@@ -1,0 +1,66 @@
+// Appendix D.3 — MAML (sinusoid meta-learning): AutoGraph vs Eager.
+//
+// Paper finding: 1.9x faster with one meta-parameter set (1 task),
+// 2.7x with 10 tasks — the staged for-loop over tasks amortizes more
+// interpretation the more tasks a meta-step touches.
+#include <benchmark/benchmark.h>
+
+#include "workloads/maml.h"
+
+namespace ag::workloads {
+namespace {
+
+MamlConfig ConfigFor(const benchmark::State& state) {
+  MamlConfig config;
+  config.tasks = state.range(0);
+  config.shots = 10;
+  config.hidden = 40;
+  return config;
+}
+
+void BM_Maml_Eager(benchmark::State& state) {
+  MamlConfig config = ConfigFor(state);
+  MamlBatch batch = MakeMamlBatch(config, 1);
+  MamlWeights w = InitMamlWeights(config);
+  core::AutoGraph agc;
+  InstallMaml(agc, config);
+  const std::vector<core::Value> args{
+      core::Value(batch.xs), core::Value(batch.ys), core::Value(batch.xq),
+      core::Value(batch.yq), core::Value(w.w1),     core::Value(w.b1),
+      core::Value(w.w2),     core::Value(w.b2)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agc.CallEager("maml_step", args));
+  }
+  state.counters["meta_steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_Maml_AutoGraph(benchmark::State& state) {
+  MamlConfig config = ConfigFor(state);
+  MamlBatch batch = MakeMamlBatch(config, 1);
+  MamlWeights w = InitMamlWeights(config);
+  core::AutoGraph agc;
+  InstallMaml(agc, config);
+  core::StagedFunction staged = agc.Stage(
+      "maml_step",
+      {core::StageArg::Placeholder("xs"), core::StageArg::Placeholder("ys"),
+       core::StageArg::Placeholder("xq"), core::StageArg::Placeholder("yq"),
+       core::StageArg::Placeholder("w1"), core::StageArg::Placeholder("b1"),
+       core::StageArg::Placeholder("w2"), core::StageArg::Placeholder("b2")});
+  const std::vector<exec::RuntimeValue> feeds{batch.xs, batch.ys, batch.xq,
+                                              batch.yq, w.w1,     w.b1,
+                                              w.w2,     w.b2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(staged.Run(feeds));
+  }
+  state.counters["meta_steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_Maml_Eager)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_Maml_AutoGraph)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+}  // namespace
+}  // namespace ag::workloads

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary and tees the combined output. Pass a build
+# directory as $1 (default: ./build).
+set -u
+BUILD_DIR="${1:-build}"
+for b in "${BUILD_DIR}"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "================================================================="
+  echo "== $(basename "$b")"
+  echo "================================================================="
+  "$b" --benchmark_min_time=0.2 2>&1
+  echo
+done

@@ -1,0 +1,273 @@
+#include "analysis/activity.h"
+
+#include "support/strings.h"
+
+namespace ag::analysis {
+
+using lang::Cast;
+using lang::ExprKind;
+using lang::ExprPtr;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+std::set<std::string> Scope::ModifiedNames() const {
+  std::set<std::string> out;
+  for (const std::string& m : modified) {
+    if (m.find('.') == std::string::npos &&
+        m.find('[') == std::string::npos) {
+      out.insert(m);
+    }
+  }
+  return out;
+}
+
+void CollectReads(const ExprPtr& expr, std::set<std::string>* out) {
+  if (!expr) return;
+  switch (expr->kind) {
+    case ExprKind::kName:
+      out->insert(Cast<lang::NameExpr>(expr)->id);
+      return;
+    case ExprKind::kAttribute: {
+      // A qualified read "a.b" reads both "a.b" and its root "a".
+      auto qn = lang::QualifiedName(expr);
+      if (qn) {
+        out->insert(*qn);
+        // Insert every prefix, including the root name.
+        std::string prefix;
+        for (char c : *qn) {
+          if (c == '.') out->insert(prefix);
+          prefix += c;
+        }
+        return;
+      }
+      CollectReads(Cast<lang::AttributeExpr>(expr)->value, out);
+      return;
+    }
+    case ExprKind::kSubscript: {
+      auto s = Cast<lang::SubscriptExpr>(expr);
+      CollectReads(s->value, out);
+      CollectReads(s->index, out);
+      return;
+    }
+    case ExprKind::kTuple:
+      for (const ExprPtr& e : Cast<lang::TupleExpr>(expr)->elts) {
+        CollectReads(e, out);
+      }
+      return;
+    case ExprKind::kList:
+      for (const ExprPtr& e : Cast<lang::ListExpr>(expr)->elts) {
+        CollectReads(e, out);
+      }
+      return;
+    case ExprKind::kCall: {
+      auto c = Cast<lang::CallExpr>(expr);
+      CollectReads(c->func, out);
+      for (const ExprPtr& a : c->args) CollectReads(a, out);
+      for (const lang::Keyword& kw : c->keywords) CollectReads(kw.value, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectReads(Cast<lang::UnaryExpr>(expr)->operand, out);
+      return;
+    case ExprKind::kBinary: {
+      auto b = Cast<lang::BinaryExpr>(expr);
+      CollectReads(b->left, out);
+      CollectReads(b->right, out);
+      return;
+    }
+    case ExprKind::kCompare: {
+      auto c = Cast<lang::CompareExpr>(expr);
+      CollectReads(c->left, out);
+      CollectReads(c->right, out);
+      return;
+    }
+    case ExprKind::kBoolOp: {
+      auto b = Cast<lang::BoolOpExpr>(expr);
+      CollectReads(b->left, out);
+      CollectReads(b->right, out);
+      return;
+    }
+    case ExprKind::kIfExp: {
+      auto i = Cast<lang::IfExpExpr>(expr);
+      CollectReads(i->test, out);
+      CollectReads(i->body, out);
+      CollectReads(i->orelse, out);
+      return;
+    }
+    case ExprKind::kLambda: {
+      // Free variables of the lambda body, minus its parameters.
+      auto l = Cast<lang::LambdaExpr>(expr);
+      std::set<std::string> inner;
+      CollectReads(l->body, &inner);
+      for (const std::string& p : l->params) inner.erase(p);
+      out->insert(inner.begin(), inner.end());
+      return;
+    }
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kBool:
+    case ExprKind::kNone:
+      return;
+  }
+}
+
+void CollectWrites(const ExprPtr& target, std::set<std::string>* out,
+                   std::set<std::string>* reads) {
+  switch (target->kind) {
+    case ExprKind::kName:
+      out->insert(Cast<lang::NameExpr>(target)->id);
+      return;
+    case ExprKind::kAttribute: {
+      auto qn = lang::QualifiedName(target);
+      if (qn) {
+        out->insert(*qn);
+        // The root object is read when mutating a field.
+        std::string root = qn->substr(0, qn->find('.'));
+        reads->insert(root);
+        return;
+      }
+      CollectReads(Cast<lang::AttributeExpr>(target)->value, reads);
+      return;
+    }
+    case ExprKind::kSubscript: {
+      auto s = Cast<lang::SubscriptExpr>(target);
+      // x[i] = v modifies the composite, reads x and i.
+      auto qn = lang::QualifiedName(s->value);
+      if (qn) out->insert(*qn + "[]");
+      CollectReads(s->value, reads);
+      CollectReads(s->index, reads);
+      return;
+    }
+    case ExprKind::kTuple:
+      for (const ExprPtr& e : Cast<lang::TupleExpr>(target)->elts) {
+        CollectWrites(e, out, reads);
+      }
+      return;
+    case ExprKind::kList:
+      for (const ExprPtr& e : Cast<lang::ListExpr>(target)->elts) {
+        CollectWrites(e, out, reads);
+      }
+      return;
+    default:
+      throw ConversionError("invalid assignment target in activity analysis",
+                            target->loc);
+  }
+}
+
+ActivityAnalysis::ActivityAnalysis(const lang::StmtList& body) {
+  AnalyzeBody(body);
+}
+
+const Scope& ActivityAnalysis::ScopeFor(const lang::Stmt* stmt) const {
+  auto it = scopes_.find(stmt);
+  if (it == scopes_.end()) {
+    throw InternalError("activity: statement was not analyzed");
+  }
+  return it->second;
+}
+
+Scope ActivityAnalysis::AnalyzeBody(const StmtList& body) {
+  Scope agg;
+  for (const StmtPtr& s : body) {
+    Scope sc = Analyze(s);
+    agg.read.insert(sc.read.begin(), sc.read.end());
+    agg.modified.insert(sc.modified.begin(), sc.modified.end());
+  }
+  return agg;
+}
+
+Scope ActivityAnalysis::Analyze(const StmtPtr& stmt) {
+  Scope sc;
+  switch (stmt->kind) {
+    case StmtKind::kFunctionDef: {
+      auto f = Cast<lang::FunctionDefStmt>(stmt);
+      // The def binds its name; free symbols of the body (minus params and
+      // locals) are reads from the enclosing scope.
+      Scope inner = AnalyzeBody(f->body);
+      for (const std::string& p : f->params) {
+        inner.read.erase(p);
+        inner.modified.erase(p);
+      }
+      for (const std::string& m : inner.ModifiedNames()) {
+        inner.read.erase(m);  // locals shadow
+      }
+      sc.read = inner.read;
+      sc.modified.insert(f->name);
+      for (const ExprPtr& d : f->defaults) CollectReads(d, &sc.read);
+      break;
+    }
+    case StmtKind::kReturn:
+      CollectReads(Cast<lang::ReturnStmt>(stmt)->value, &sc.read);
+      break;
+    case StmtKind::kAssign: {
+      auto a = Cast<lang::AssignStmt>(stmt);
+      CollectReads(a->value, &sc.read);
+      CollectWrites(a->target, &sc.modified, &sc.read);
+      break;
+    }
+    case StmtKind::kAugAssign: {
+      auto a = Cast<lang::AugAssignStmt>(stmt);
+      CollectReads(a->value, &sc.read);
+      CollectReads(a->target, &sc.read);  // x += 1 also reads x
+      CollectWrites(a->target, &sc.modified, &sc.read);
+      break;
+    }
+    case StmtKind::kExprStmt:
+      CollectReads(Cast<lang::ExprStmt>(stmt)->value, &sc.read);
+      break;
+    case StmtKind::kIf: {
+      auto i = Cast<lang::IfStmt>(stmt);
+      CollectReads(i->test, &sc.read);
+      Scope body = AnalyzeBody(i->body);
+      Scope orelse = AnalyzeBody(i->orelse);
+      sc.read.insert(body.read.begin(), body.read.end());
+      sc.read.insert(orelse.read.begin(), orelse.read.end());
+      sc.modified.insert(body.modified.begin(), body.modified.end());
+      sc.modified.insert(orelse.modified.begin(), orelse.modified.end());
+      break;
+    }
+    case StmtKind::kWhile: {
+      auto w = Cast<lang::WhileStmt>(stmt);
+      CollectReads(w->test, &sc.read);
+      Scope body = AnalyzeBody(w->body);
+      sc.read.insert(body.read.begin(), body.read.end());
+      sc.modified.insert(body.modified.begin(), body.modified.end());
+      break;
+    }
+    case StmtKind::kFor: {
+      auto f = Cast<lang::ForStmt>(stmt);
+      CollectReads(f->iter, &sc.read);
+      CollectWrites(f->target, &sc.modified, &sc.read);
+      Scope body = AnalyzeBody(f->body);
+      sc.read.insert(body.read.begin(), body.read.end());
+      sc.modified.insert(body.modified.begin(), body.modified.end());
+      break;
+    }
+    case StmtKind::kAssert: {
+      auto a = Cast<lang::AssertStmt>(stmt);
+      CollectReads(a->test, &sc.read);
+      if (a->msg) CollectReads(a->msg, &sc.read);
+      break;
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+    case StmtKind::kPass:
+      break;
+  }
+  scopes_[stmt.get()] = sc;
+  return sc;
+}
+
+Scope ActivityAnalysis::Aggregate(const ActivityAnalysis& analysis,
+                                  const StmtList& body) {
+  Scope agg;
+  for (const StmtPtr& s : body) {
+    const Scope& sc = analysis.ScopeFor(s.get());
+    agg.read.insert(sc.read.begin(), sc.read.end());
+    agg.modified.insert(sc.modified.begin(), sc.modified.end());
+  }
+  return agg;
+}
+
+}  // namespace ag::analysis

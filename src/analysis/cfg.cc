@@ -1,0 +1,244 @@
+#include "analysis/cfg.h"
+
+#include <sstream>
+
+#include "analysis/activity.h"
+
+namespace ag::analysis {
+
+using lang::Cast;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+namespace {
+
+struct LoopContext {
+  NodeId header;     // continue target
+  NodeId after;      // break target (loop's synthetic exit)
+};
+
+}  // namespace
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(ControlFlowGraph* cfg) : cfg_(cfg) {}
+
+  void Run(const StmtList& body, const std::vector<std::string>& params) {
+    cfg_->params_ = params;
+    NodeId entry = AddNode(nullptr, "entry");
+    for (const std::string& p : params) {
+      cfg_->nodes_[static_cast<size_t>(entry)].writes.insert(p);
+    }
+    cfg_->entry_ = entry;
+    cfg_->exit_ = AddNode(nullptr, "exit");
+
+    std::vector<NodeId> frontier{entry};
+    frontier = EmitBody(body, std::move(frontier));
+    Connect(frontier, cfg_->exit_);
+  }
+
+ private:
+  NodeId AddNode(const lang::Stmt* stmt, std::string role) {
+    CfgNode node;
+    node.stmt = stmt;
+    node.role = std::move(role);
+    cfg_->nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(cfg_->nodes_.size() - 1);
+  }
+
+  void AddEdge(NodeId from, NodeId to) {
+    cfg_->nodes_[static_cast<size_t>(from)].successors.push_back(to);
+    cfg_->nodes_[static_cast<size_t>(to)].predecessors.push_back(from);
+  }
+
+  void Connect(const std::vector<NodeId>& frontier, NodeId to) {
+    for (NodeId from : frontier) AddEdge(from, to);
+  }
+
+  // Emits CFG nodes for `body`, entered from `frontier`; returns the new
+  // frontier (nodes whose fall-through leaves the body).
+  std::vector<NodeId> EmitBody(const StmtList& body,
+                               std::vector<NodeId> frontier) {
+    for (const StmtPtr& s : body) {
+      frontier = EmitStmt(s, std::move(frontier));
+    }
+    return frontier;
+  }
+
+  std::vector<NodeId> EmitStmt(const StmtPtr& s, std::vector<NodeId> frontier) {
+    switch (s->kind) {
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        NodeId test = AddNode(s.get(), "test");
+        CollectReads(i->test, &cfg_->nodes_[static_cast<size_t>(test)].reads);
+        cfg_->stmt_nodes_[s.get()] = test;
+        Connect(frontier, test);
+        NodeId after = AddNode(s.get(), "exit");
+        cfg_->exit_nodes_[s.get()] = after;
+
+        std::vector<NodeId> body_out = EmitBody(i->body, {test});
+        Connect(body_out, after);
+        if (i->orelse.empty()) {
+          AddEdge(test, after);
+        } else {
+          std::vector<NodeId> else_out = EmitBody(i->orelse, {test});
+          Connect(else_out, after);
+        }
+        return {after};
+      }
+      case StmtKind::kWhile: {
+        auto w = Cast<lang::WhileStmt>(s);
+        NodeId test = AddNode(s.get(), "test");
+        CollectReads(w->test, &cfg_->nodes_[static_cast<size_t>(test)].reads);
+        cfg_->stmt_nodes_[s.get()] = test;
+        Connect(frontier, test);
+        NodeId after = AddNode(s.get(), "exit");
+        cfg_->exit_nodes_[s.get()] = after;
+        AddEdge(test, after);  // loop may not execute
+
+        loops_.push_back(LoopContext{test, after});
+        std::vector<NodeId> body_out = EmitBody(w->body, {test});
+        loops_.pop_back();
+        Connect(body_out, test);  // back edge
+        return {after};
+      }
+      case StmtKind::kFor: {
+        auto f = Cast<lang::ForStmt>(s);
+        NodeId head = AddNode(s.get(), "iter");
+        CfgNode& head_node = cfg_->nodes_[static_cast<size_t>(head)];
+        CollectReads(f->iter, &head_node.reads);
+        CollectWrites(f->target, &head_node.writes, &head_node.reads);
+        cfg_->stmt_nodes_[s.get()] = head;
+        Connect(frontier, head);
+        NodeId after = AddNode(s.get(), "exit");
+        cfg_->exit_nodes_[s.get()] = after;
+        AddEdge(head, after);  // empty iterable
+
+        loops_.push_back(LoopContext{head, after});
+        std::vector<NodeId> body_out = EmitBody(f->body, {head});
+        loops_.pop_back();
+        Connect(body_out, head);
+        return {after};
+      }
+      case StmtKind::kBreak: {
+        NodeId n = AddNode(s.get(), "break");
+        cfg_->stmt_nodes_[s.get()] = n;
+        cfg_->exit_nodes_[s.get()] = n;
+        Connect(frontier, n);
+        if (loops_.empty()) {
+          throw ConversionError("'break' outside loop", s->loc);
+        }
+        AddEdge(n, loops_.back().after);
+        return {};  // no fall-through
+      }
+      case StmtKind::kContinue: {
+        NodeId n = AddNode(s.get(), "continue");
+        cfg_->stmt_nodes_[s.get()] = n;
+        cfg_->exit_nodes_[s.get()] = n;
+        Connect(frontier, n);
+        if (loops_.empty()) {
+          throw ConversionError("'continue' outside loop", s->loc);
+        }
+        AddEdge(n, loops_.back().header);
+        return {};
+      }
+      case StmtKind::kReturn: {
+        auto r = Cast<lang::ReturnStmt>(s);
+        NodeId n = AddNode(s.get(), "return");
+        CollectReads(r->value, &cfg_->nodes_[static_cast<size_t>(n)].reads);
+        cfg_->stmt_nodes_[s.get()] = n;
+        cfg_->exit_nodes_[s.get()] = n;
+        Connect(frontier, n);
+        AddEdge(n, cfg_->exit_);
+        return {};
+      }
+      default: {
+        NodeId n = AddNode(s.get(), "stmt");
+        CfgNode& node = cfg_->nodes_[static_cast<size_t>(n)];
+        switch (s->kind) {
+          case StmtKind::kAssign: {
+            auto a = Cast<lang::AssignStmt>(s);
+            CollectReads(a->value, &node.reads);
+            CollectWrites(a->target, &node.writes, &node.reads);
+            break;
+          }
+          case StmtKind::kAugAssign: {
+            auto a = Cast<lang::AugAssignStmt>(s);
+            CollectReads(a->value, &node.reads);
+            CollectReads(a->target, &node.reads);
+            CollectWrites(a->target, &node.writes, &node.reads);
+            break;
+          }
+          case StmtKind::kExprStmt:
+            CollectReads(Cast<lang::ExprStmt>(s)->value, &node.reads);
+            break;
+          case StmtKind::kAssert: {
+            auto a = Cast<lang::AssertStmt>(s);
+            CollectReads(a->test, &node.reads);
+            if (a->msg) CollectReads(a->msg, &node.reads);
+            break;
+          }
+          case StmtKind::kFunctionDef: {
+            // Nested function definition: binds its name; free variables
+            // are reads (approximated by activity analysis rules).
+            auto f = Cast<lang::FunctionDefStmt>(s);
+            ActivityAnalysis nested(StmtList{s});
+            const Scope& sc = nested.ScopeFor(s.get());
+            node.reads = sc.read;
+            node.writes.insert(f->name);
+            break;
+          }
+          case StmtKind::kPass:
+            break;
+          default:
+            throw InternalError("CFG: unexpected statement kind");
+        }
+        cfg_->stmt_nodes_[s.get()] = n;
+        cfg_->exit_nodes_[s.get()] = n;
+        Connect(frontier, n);
+        return {n};
+      }
+    }
+  }
+
+  ControlFlowGraph* cfg_;
+  std::vector<LoopContext> loops_;
+};
+
+ControlFlowGraph ControlFlowGraph::Build(
+    const StmtList& body, const std::vector<std::string>& params) {
+  ControlFlowGraph cfg;
+  CfgBuilder builder(&cfg);
+  builder.Run(body, params);
+  return cfg;
+}
+
+NodeId ControlFlowGraph::NodeFor(const lang::Stmt* stmt) const {
+  auto it = stmt_nodes_.find(stmt);
+  if (it == stmt_nodes_.end()) {
+    throw InternalError("CFG: statement has no node");
+  }
+  return it->second;
+}
+
+NodeId ControlFlowGraph::ExitNodeFor(const lang::Stmt* stmt) const {
+  auto it = exit_nodes_.find(stmt);
+  if (it == exit_nodes_.end()) {
+    throw InternalError("CFG: statement has no exit node");
+  }
+  return it->second;
+}
+
+std::string ControlFlowGraph::DebugString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const CfgNode& n = nodes_[i];
+    os << i << " [" << n.role << "] ->";
+    for (NodeId s : n.successors) os << " " << s;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ag::analysis

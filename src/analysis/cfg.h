@@ -1,0 +1,73 @@
+// Intraprocedural control flow graph over PyMini statements (paper §7.1,
+// "Control Flow Graph Construction").
+//
+// Atomic program points become CFG nodes:
+//   - every simple statement;
+//   - the test of each if/while, and the iterator of each for;
+//   - a synthetic EXIT node per compound statement, through which every
+//     path leaving the statement flows — this is what lets clients ask
+//     "what is live *after* this whole if/while?" with a single lookup;
+//   - a synthetic function EXIT node (target of returns and fall-through).
+//
+// break/continue/return edges are wired to the appropriate loop-exit /
+// loop-header / function-exit nodes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace ag::analysis {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+struct CfgNode {
+  // The statement this node represents; null for synthetic nodes.
+  const lang::Stmt* stmt = nullptr;
+  // Human-readable role, for dumps: "stmt", "test", "iter", "exit", ...
+  std::string role;
+  // Dataflow facts, precomputed at construction:
+  std::set<std::string> reads;   // gen set for liveness
+  std::set<std::string> writes;  // kill set for liveness / defs
+  std::vector<NodeId> successors;
+  std::vector<NodeId> predecessors;
+};
+
+class ControlFlowGraph {
+ public:
+  // Builds the CFG of a function body. `params` seed the entry definitions.
+  static ControlFlowGraph Build(const lang::StmtList& body,
+                                const std::vector<std::string>& params);
+
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const { return nodes_; }
+  [[nodiscard]] NodeId entry() const { return entry_; }
+  [[nodiscard]] NodeId exit() const { return exit_; }
+  [[nodiscard]] const std::vector<std::string>& params() const {
+    return params_;
+  }
+
+  // The node representing a statement (its test node for compounds).
+  [[nodiscard]] NodeId NodeFor(const lang::Stmt* stmt) const;
+  // The synthetic exit node of a compound statement (if/while/for); for
+  // simple statements this is the statement node itself.
+  [[nodiscard]] NodeId ExitNodeFor(const lang::Stmt* stmt) const;
+
+  [[nodiscard]] std::string DebugString() const;
+
+ private:
+  std::vector<CfgNode> nodes_;
+  NodeId entry_ = kNoNode;
+  NodeId exit_ = kNoNode;
+  std::vector<std::string> params_;
+  std::unordered_map<const lang::Stmt*, NodeId> stmt_nodes_;
+  std::unordered_map<const lang::Stmt*, NodeId> exit_nodes_;
+
+  friend class CfgBuilder;
+};
+
+}  // namespace ag::analysis

@@ -1,0 +1,64 @@
+#include "analysis/liveness.h"
+
+#include <deque>
+
+namespace ag::analysis {
+
+Liveness::Liveness(const ControlFlowGraph& cfg) : cfg_(cfg) {
+  const auto& nodes = cfg.nodes();
+  live_in_.resize(nodes.size());
+  live_out_.resize(nodes.size());
+
+  // Worklist fixpoint, seeded with all nodes (processed in reverse id
+  // order, which approximates reverse program order for faster
+  // convergence).
+  std::deque<NodeId> worklist;
+  for (int i = static_cast<int>(nodes.size()) - 1; i >= 0; --i) {
+    worklist.push_back(i);
+  }
+  std::vector<bool> queued(nodes.size(), true);
+
+  while (!worklist.empty()) {
+    NodeId id = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<size_t>(id)] = false;
+    const CfgNode& node = nodes[static_cast<size_t>(id)];
+
+    std::set<std::string> out;
+    for (NodeId succ : node.successors) {
+      const auto& in = live_in_[static_cast<size_t>(succ)];
+      out.insert(in.begin(), in.end());
+    }
+
+    std::set<std::string> in = out;
+    for (const std::string& w : node.writes) in.erase(w);
+    in.insert(node.reads.begin(), node.reads.end());
+
+    const bool changed = in != live_in_[static_cast<size_t>(id)] ||
+                         out != live_out_[static_cast<size_t>(id)];
+    live_out_[static_cast<size_t>(id)] = std::move(out);
+    if (changed) {
+      live_in_[static_cast<size_t>(id)] = std::move(in);
+      for (NodeId pred : node.predecessors) {
+        if (!queued[static_cast<size_t>(pred)]) {
+          queued[static_cast<size_t>(pred)] = true;
+          worklist.push_back(pred);
+        }
+      }
+    }
+  }
+}
+
+const std::set<std::string>& Liveness::LiveIn(const lang::Stmt* stmt) const {
+  return live_in_[static_cast<size_t>(cfg_.NodeFor(stmt))];
+}
+
+const std::set<std::string>& Liveness::LiveOut(const lang::Stmt* stmt) const {
+  // Live-out of a whole compound = live-out of its synthetic exit node
+  // (everything flowing out of the statement passes through it, and the
+  // synthetic node reads/writes nothing). For simple statements the exit
+  // node is the statement itself, so this is its ordinary live-out.
+  return live_out_[static_cast<size_t>(cfg_.ExitNodeFor(stmt))];
+}
+
+}  // namespace ag::analysis

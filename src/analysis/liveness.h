@@ -1,0 +1,34 @@
+// Liveness analysis (paper §7.1): classic backward may-analysis over the
+// CFG. A symbol is live at a point if some path from that point reads it
+// before writing it.
+//
+// Clients use:
+//   LiveIn(stmt)  — symbols live on entry to `stmt`;
+//   LiveOut(stmt) — symbols live after the *entire* statement (for
+//                   compounds this uses the synthetic exit node).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace ag::analysis {
+
+class Liveness {
+ public:
+  explicit Liveness(const ControlFlowGraph& cfg);
+
+  [[nodiscard]] const std::set<std::string>& LiveIn(
+      const lang::Stmt* stmt) const;
+  [[nodiscard]] const std::set<std::string>& LiveOut(
+      const lang::Stmt* stmt) const;
+
+ private:
+  const ControlFlowGraph& cfg_;
+  std::vector<std::set<std::string>> live_in_;
+  std::vector<std::set<std::string>> live_out_;
+};
+
+}  // namespace ag::analysis

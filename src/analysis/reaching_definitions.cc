@@ -1,0 +1,108 @@
+#include "analysis/reaching_definitions.h"
+
+#include <deque>
+
+namespace ag::analysis {
+
+ReachingDefinitions::ReachingDefinitions(const ControlFlowGraph& cfg)
+    : cfg_(cfg) {
+  const auto& nodes = cfg.nodes();
+  const size_t n = nodes.size();
+  must_in_.resize(n);
+  may_in_.resize(n);
+  std::vector<std::set<std::string>> must_out(n);
+  std::vector<std::set<std::string>> may_out(n);
+
+  // The must-analysis is an intersection meet, so non-entry nodes start
+  // at TOP (the universe of all symbols ever written) and only ever
+  // shrink — this is what guarantees termination. The may-analysis is a
+  // union meet and starts at bottom (empty), only ever growing.
+  std::set<std::string> universe;
+  for (const CfgNode& node : nodes) {
+    universe.insert(node.writes.begin(), node.writes.end());
+  }
+  const auto entry = static_cast<size_t>(cfg.entry());
+  for (size_t i = 0; i < n; ++i) {
+    if (i != entry) {
+      must_in_[i] = universe;
+      must_out[i] = universe;
+    }
+  }
+  must_out[entry] = nodes[entry].writes;  // the function parameters
+
+  std::deque<NodeId> worklist;
+  std::vector<bool> queued(n, true);
+  for (size_t i = 0; i < n; ++i) worklist.push_back(static_cast<NodeId>(i));
+
+  while (!worklist.empty()) {
+    const NodeId id = worklist.front();
+    worklist.pop_front();
+    const auto iu = static_cast<size_t>(id);
+    queued[iu] = false;
+    const CfgNode& node = nodes[iu];
+
+    std::set<std::string> must;
+    std::set<std::string> may;
+    if (iu == entry) {
+      // Nothing is defined before entry.
+    } else if (node.predecessors.empty()) {
+      must = universe;  // unreachable; keep TOP (vacuously defined)
+    } else {
+      bool first = true;
+      for (NodeId pred : node.predecessors) {
+        const auto& pm = must_out[static_cast<size_t>(pred)];
+        if (first) {
+          must = pm;
+          first = false;
+        } else {
+          std::set<std::string> inter;
+          for (const std::string& s : must) {
+            if (pm.count(s) > 0) inter.insert(s);
+          }
+          must = std::move(inter);
+        }
+        const auto& py = may_out[static_cast<size_t>(pred)];
+        may.insert(py.begin(), py.end());
+      }
+    }
+
+    std::set<std::string> new_must_out = must;
+    new_must_out.insert(node.writes.begin(), node.writes.end());
+    std::set<std::string> new_may_out = may;
+    new_may_out.insert(node.writes.begin(), node.writes.end());
+
+    const bool changed = must != must_in_[iu] || may != may_in_[iu] ||
+                         new_must_out != must_out[iu] ||
+                         new_may_out != may_out[iu];
+    must_in_[iu] = std::move(must);
+    may_in_[iu] = std::move(may);
+    must_out[iu] = std::move(new_must_out);
+    may_out[iu] = std::move(new_may_out);
+
+    if (changed) {
+      for (NodeId succ : node.successors) {
+        if (!queued[static_cast<size_t>(succ)]) {
+          queued[static_cast<size_t>(succ)] = true;
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+}
+
+const std::set<std::string>& ReachingDefinitions::DefinitelyDefinedIn(
+    const lang::Stmt* stmt) const {
+  return must_in_[static_cast<size_t>(cfg_.NodeFor(stmt))];
+}
+
+const std::set<std::string>& ReachingDefinitions::MaybeDefinedIn(
+    const lang::Stmt* stmt) const {
+  return may_in_[static_cast<size_t>(cfg_.NodeFor(stmt))];
+}
+
+const std::set<std::string>& ReachingDefinitions::DefinitelyDefinedOut(
+    const lang::Stmt* stmt) const {
+  return must_in_[static_cast<size_t>(cfg_.ExitNodeFor(stmt))];
+}
+
+}  // namespace ag::analysis

@@ -1,0 +1,38 @@
+// Reaching definitions (paper §7.1): forward dataflow identifying, at the
+// entry of every statement, which symbols are *definitely* defined
+// (intersection over all paths) and which *may* be defined (union).
+//
+// The control-flow conversion pass uses the gap between the two to decide
+// which symbols must be reified with the special "Undefined" value before
+// a functionalized if/while (paper §7.2, Control Flow).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace ag::analysis {
+
+class ReachingDefinitions {
+ public:
+  explicit ReachingDefinitions(const ControlFlowGraph& cfg);
+
+  // Symbols defined on every path reaching the entry of `stmt`.
+  [[nodiscard]] const std::set<std::string>& DefinitelyDefinedIn(
+      const lang::Stmt* stmt) const;
+  // Symbols defined on at least one path reaching the entry of `stmt`.
+  [[nodiscard]] const std::set<std::string>& MaybeDefinedIn(
+      const lang::Stmt* stmt) const;
+  // Same, at the point just after the whole statement.
+  [[nodiscard]] const std::set<std::string>& DefinitelyDefinedOut(
+      const lang::Stmt* stmt) const;
+
+ private:
+  const ControlFlowGraph& cfg_;
+  std::vector<std::set<std::string>> must_in_;  // intersection analysis
+  std::vector<std::set<std::string>> may_in_;   // union analysis
+};
+
+}  // namespace ag::analysis

@@ -1,0 +1,147 @@
+#include "core/api.h"
+
+#include "core/operators.h"
+
+namespace ag::core {
+
+std::vector<exec::RuntimeValue> StagedFunction::Run(
+    const std::vector<exec::RuntimeValue>& feeds) {
+  if (feeds.size() != feed_names.size()) {
+    throw ValueError("StagedFunction::Run: expected " +
+                     std::to_string(feed_names.size()) + " feeds, got " +
+                     std::to_string(feeds.size()));
+  }
+  std::map<std::string, exec::RuntimeValue> feed_map;
+  for (size_t i = 0; i < feeds.size(); ++i) {
+    feed_map.emplace(feed_names[i], feeds[i]);
+  }
+  return session->Run(feed_map, fetches);
+}
+
+Tensor StagedFunction::Run1(const std::vector<exec::RuntimeValue>& feeds) {
+  std::vector<exec::RuntimeValue> out = Run(feeds);
+  if (out.size() != 1) {
+    throw ValueError("Run1 used on a function with " +
+                     std::to_string(out.size()) + " outputs");
+  }
+  return exec::AsTensor(out[0]);
+}
+
+std::vector<exec::RuntimeValue> PolymorphicFunction::operator()(
+    const std::vector<exec::RuntimeValue>& args) {
+  std::string signature;
+  for (const exec::RuntimeValue& a : args) {
+    if (exec::IsTensor(a)) {
+      signature += DTypeName(exec::AsTensor(a).dtype());
+      signature += ",";
+    } else {
+      signature += "list,";
+    }
+  }
+  auto it = traces_.find(signature);
+  if (it == traces_.end()) {
+    std::vector<StageArg> stage_args;
+    stage_args.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+      const DType dtype = exec::IsTensor(args[i])
+                              ? exec::AsTensor(args[i]).dtype()
+                              : DType::kFloat32;
+      stage_args.push_back(
+          StageArg::Placeholder("arg" + std::to_string(i), dtype));
+    }
+    it = traces_
+             .emplace(signature, owner_->Stage(fn_name_, stage_args))
+             .first;
+  }
+  return it->second.Run(args);
+}
+
+AutoGraph::AutoGraph(Interpreter::Options options)
+    : globals_(BuildGlobals()),
+      interpreter_(globals_, std::move(options)) {}
+
+void AutoGraph::LoadSource(const std::string& source,
+                           const std::string& filename) {
+  lang::ModulePtr module = lang::ParseStr(source, filename);
+  interpreter_.ExecTopLevel(module->body, globals_);
+}
+
+Value AutoGraph::GetGlobal(const std::string& name) const {
+  return globals_->Lookup(name);
+}
+
+void AutoGraph::SetGlobal(const std::string& name, Value value) {
+  globals_->Set(name, std::move(value));
+}
+
+Value AutoGraph::CallEager(const std::string& fn_name,
+                           std::vector<Value> args) {
+  Value fn = GetGlobal(fn_name);
+  return interpreter_.CallCallable(fn, std::move(args));
+}
+
+std::string AutoGraph::ConvertedSource(const std::string& fn_name,
+                                       lang::SourceMap* map) {
+  Value fn = GetGlobal(fn_name);
+  FunctionPtr converted = interpreter_.ConvertFunctionValue(fn.AsFunction());
+  if (!converted->def_node) {
+    throw ValueError("ConvertedSource: '" + fn_name +
+                     "' has no source definition");
+  }
+  return lang::AstToSource(
+      std::static_pointer_cast<lang::Stmt>(converted->def_node), map);
+}
+
+StagedFunction AutoGraph::Stage(const std::string& fn_name,
+                                const std::vector<StageArg>& args,
+                                bool optimize) {
+  return Stage(GetGlobal(fn_name), args, optimize);
+}
+
+StagedFunction AutoGraph::Stage(const Value& fn,
+                                const std::vector<StageArg>& args,
+                                bool optimize) {
+  FunctionPtr converted = interpreter_.ConvertFunctionValue(fn.AsFunction());
+
+  StagedFunction out;
+  out.graph = std::make_shared<graph::Graph>();
+  graph::GraphContext ctx(out.graph.get());
+
+  graph::GraphContext* prev_ctx = interpreter_.graph_ctx();
+  interpreter_.set_graph_ctx(&ctx);
+
+  try {
+    // Bind parameters: placeholders feed at run time; constants bake in.
+    std::vector<Value> call_args;
+    call_args.reserve(args.size());
+    for (const StageArg& a : args) {
+      if (a.is_placeholder) {
+        graph::Output ph = graph::Placeholder(ctx, a.name, a.dtype);
+        out.feed_names.push_back(a.name);
+        call_args.emplace_back(ph);
+      } else {
+        call_args.push_back(a.value);
+      }
+    }
+
+    // Trace: interpret the converted function over symbolic values.
+    Value result = interpreter_.CallFunctionValue(converted,
+                                                  std::move(call_args));
+    std::vector<bool> shape;
+    out.fetches = ops::FlattenToOutputs(interpreter_, result, &shape);
+    out.fetch_was_tuple = shape[0];
+  } catch (...) {
+    interpreter_.set_graph_ctx(prev_ctx);
+    throw;
+  }
+  interpreter_.set_graph_ctx(prev_ctx);
+
+  if (optimize) {
+    out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
+                                         &exec::EvaluatePureNode);
+  }
+  out.session = std::make_unique<exec::Session>(out.graph.get());
+  return out;
+}
+
+}  // namespace ag::core

@@ -1,0 +1,143 @@
+// Public AutoGraph-C++ API (the `@ag.convert()` / tf.function analog).
+//
+// Typical use:
+//
+//   ag::core::AutoGraph agc;
+//   agc.LoadSource(R"(
+//     def f(x):
+//       if x > 0:
+//         x = x * x
+//       return x
+//   )");
+//
+//   // Eager execution (imperative semantics, per-op dispatch):
+//   Value y = agc.CallEager("f", {Value(Tensor::Scalar(3.f))});
+//
+//   // Staged execution (conversion + graph build + Session):
+//   StagedFunction sf = agc.Stage("f", {StageArg::Placeholder("x")});
+//   Tensor out = sf.Run1({Tensor::Scalar(3.f)});
+//
+// The staged path amortizes all conversion and interpretation cost: Run()
+// only executes graph kernels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interpreter.h"
+#include "core/modules.h"
+#include "exec/session.h"
+#include "graph/optimize.h"
+#include "lang/parser.h"
+#include "lang/unparser.h"
+
+namespace ag::core {
+
+// How one function parameter is bound when staging.
+struct StageArg {
+  // A graph Placeholder fed at Run() time.
+  static StageArg Placeholder(std::string name,
+                              DType dtype = DType::kFloat32) {
+    StageArg a;
+    a.is_placeholder = true;
+    a.name = std::move(name);
+    a.dtype = dtype;
+    return a;
+  }
+  // A fixed value baked into the trace (hyperparameters, functions,
+  // objects, eager tensors -> constants).
+  static StageArg Constant(Value v) {
+    StageArg a;
+    a.value = std::move(v);
+    return a;
+  }
+
+  bool is_placeholder = false;
+  std::string name;
+  DType dtype = DType::kFloat32;
+  Value value;
+};
+
+// A converted, staged, ready-to-run function: graph + session.
+struct StagedFunction {
+  std::shared_ptr<graph::Graph> graph;
+  std::vector<graph::Output> fetches;
+  bool fetch_was_tuple = false;
+  std::vector<std::string> feed_names;  // placeholder order for Run()
+  std::unique_ptr<exec::Session> session;
+  graph::OptimizeStats optimize_stats;
+
+  // One graph execution (one "Session.run call" in the paper's terms).
+  std::vector<exec::RuntimeValue> Run(
+      const std::vector<exec::RuntimeValue>& feeds);
+  // Single-fetch convenience.
+  Tensor Run1(const std::vector<exec::RuntimeValue>& feeds);
+};
+
+// The tf.function analog: a polymorphic staged callable that retraces
+// per argument *signature* (dtype of each tensor argument) and caches one
+// StagedFunction per signature — calling with a new dtype combination
+// triggers one conversion+trace; subsequent calls reuse the graph.
+class AutoGraph;
+class PolymorphicFunction {
+ public:
+  PolymorphicFunction(AutoGraph* owner, std::string fn_name)
+      : owner_(owner), fn_name_(std::move(fn_name)) {}
+
+  // Executes with concrete values, tracing on a signature miss.
+  std::vector<exec::RuntimeValue> operator()(
+      const std::vector<exec::RuntimeValue>& args);
+
+  [[nodiscard]] size_t num_traces() const { return traces_.size(); }
+
+ private:
+  AutoGraph* owner_;
+  std::string fn_name_;
+  std::map<std::string, StagedFunction> traces_;
+};
+
+// Facade bundling globals + interpreter + source management.
+class AutoGraph {
+ public:
+  explicit AutoGraph(Interpreter::Options options = {});
+
+  // Parses PyMini source and binds its top-level functions (unconverted)
+  // and assignments in the globals.
+  void LoadSource(const std::string& source,
+                  const std::string& filename = "<string>");
+
+  [[nodiscard]] Value GetGlobal(const std::string& name) const;
+  void SetGlobal(const std::string& name, Value value);
+
+  // Eager (imperative) call of a loaded function.
+  Value CallEager(const std::string& fn_name, std::vector<Value> args);
+
+  // Converts a function and returns the converted PyMini source (the
+  // paper's "generated code can be inspected" property).
+  [[nodiscard]] std::string ConvertedSource(const std::string& fn_name,
+                                            lang::SourceMap* map = nullptr);
+
+  // Converts + traces + optimizes + builds a Session.
+  [[nodiscard]] StagedFunction Stage(const std::string& fn_name,
+                                     const std::vector<StageArg>& args,
+                                     bool optimize = true);
+  [[nodiscard]] StagedFunction Stage(const Value& fn,
+                                     const std::vector<StageArg>& args,
+                                     bool optimize = true);
+
+  // tf.function analog over all-tensor arguments (see
+  // PolymorphicFunction).
+  [[nodiscard]] PolymorphicFunction Function(const std::string& fn_name) {
+    return PolymorphicFunction(this, fn_name);
+  }
+
+  [[nodiscard]] Interpreter& interpreter() { return interpreter_; }
+  [[nodiscard]] const EnvPtr& globals() const { return globals_; }
+
+ private:
+  EnvPtr globals_;
+  Interpreter interpreter_;
+};
+
+}  // namespace ag::core

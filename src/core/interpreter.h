@@ -1,0 +1,117 @@
+// The PyMini interpreter.
+//
+// Runs in two modes distinguished only by the values flowing through it:
+//   - Eager: tensors are concrete; every op executes immediately (this is
+//     the "Eager" baseline of the paper's evaluation).
+//   - Staging: the interpreter holds a GraphContext; tf ops and the
+//     ag__ dynamic-dispatch operators emit graph nodes instead of
+//     computing. Running the graph afterwards amortizes all interpreter
+//     overhead — the core claim of the paper.
+//
+// The interpreter also implements the runtime half of conversion:
+// converted_call converts user functions on first call (recursive
+// conversion, with a cache), and errors are rewritten with frames that
+// point to the user's original source lines (paper Appendix B).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/value.h"
+#include "graph/ops.h"
+#include "lantern/builder.h"
+#include "transforms/passes.h"
+
+namespace ag::core {
+
+// State for tracing into the Lantern backend (paper §8). Owns the IR
+// builder plus the call-site specialization cache: staged functions are
+// specialized per argument-kind signature, as the paper's
+// __def_staged/__call_staged machinery does.
+struct LanternContext {
+  lantern::ProgramBuilder builder;
+  // (definition node, signature) -> staged function name.
+  std::map<std::pair<const void*, std::string>, std::string> staged_names;
+  // staged function name -> number of returned values (1 for single).
+  std::map<std::string, int> staged_arity;
+  std::map<std::string, int> name_counts;
+
+  std::string UniqueName(const std::string& base) {
+    const int n = name_counts[base]++;
+    return n == 0 ? base : base + "_" + std::to_string(n);
+  }
+};
+
+class Interpreter {
+ public:
+  struct Options {
+    transforms::ConversionOptions conversion;
+    // Maximum call depth before raising (guards runaway recursion).
+    int max_call_depth = 2000;
+  };
+
+  explicit Interpreter(EnvPtr globals)
+      : globals_(std::move(globals)), options_() {}
+  Interpreter(EnvPtr globals, Options options)
+      : globals_(std::move(globals)), options_(std::move(options)) {}
+
+  // ---- staging mode ----
+  [[nodiscard]] graph::GraphContext* graph_ctx() const { return graph_ctx_; }
+  void set_graph_ctx(graph::GraphContext* ctx) { graph_ctx_ = ctx; }
+  [[nodiscard]] bool staging() const { return graph_ctx_ != nullptr; }
+
+  [[nodiscard]] LanternContext* lantern_ctx() const { return lantern_ctx_; }
+  void set_lantern_ctx(LanternContext* ctx) { lantern_ctx_ = ctx; }
+  [[nodiscard]] bool lantern_staging() const {
+    return lantern_ctx_ != nullptr;
+  }
+
+  // ---- execution ----
+  // Calls any callable value (function, native, callable object).
+  Value CallCallable(const Value& fn, std::vector<Value> args,
+                     Kwargs kwargs = {});
+  Value CallFunctionValue(const FunctionPtr& fn, std::vector<Value> args,
+                          Kwargs kwargs = {});
+  // Evaluates an expression in an environment.
+  Value EvalExpr(const lang::ExprPtr& expr, const EnvPtr& env);
+  // Executes top-level statements (e.g. a Module body) in `env`.
+  void ExecTopLevel(const lang::StmtList& body, const EnvPtr& env);
+
+  // ---- conversion (runtime half) ----
+  // Converts a user function value (cached per definition node).
+  FunctionPtr ConvertFunctionValue(const FunctionPtr& fn);
+
+  [[nodiscard]] const EnvPtr& globals() const { return globals_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // Statements executed (rough interpreter-work metric for the dispatch
+  // overhead ablation bench).
+  [[nodiscard]] int64_t statements_executed() const {
+    return statements_executed_;
+  }
+
+ private:
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  Flow ExecBody(const lang::StmtList& body, const EnvPtr& env, Value* ret);
+  Flow ExecStmt(const lang::StmtPtr& stmt, const EnvPtr& env, Value* ret);
+  void AssignTarget(const lang::ExprPtr& target, Value value,
+                    const EnvPtr& env);
+  Value EvalCall(const std::shared_ptr<lang::CallExpr>& call,
+                 const EnvPtr& env);
+
+  EnvPtr globals_;
+  Options options_;
+  graph::GraphContext* graph_ctx_ = nullptr;
+  LanternContext* lantern_ctx_ = nullptr;
+  int call_depth_ = 0;
+  bool in_converted_code_ = false;
+  // Statement currently executing (for error-frame construction).
+  const lang::Stmt* cur_stmt_ = nullptr;
+  int64_t statements_executed_ = 0;
+  std::map<const lang::FunctionDefStmt*,
+           std::shared_ptr<lang::FunctionDefStmt>>
+      conversion_cache_;
+};
+
+}  // namespace ag::core

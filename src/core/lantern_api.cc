@@ -1,0 +1,117 @@
+#include "core/lantern_api.h"
+
+#include "core/operators.h"
+
+namespace ag::core {
+
+namespace {
+
+// Splits caller args into entry parameters (trees) and globals (tensors)
+// per the staged arg layout.
+void SplitArgs(const std::vector<LanternArg>& spec,
+               const std::vector<lantern::LValue>& args,
+               std::vector<lantern::LValue>* params,
+               std::vector<Tensor>* globals) {
+  if (args.size() != spec.size()) {
+    throw ValueError("lantern staged function expects " +
+                     std::to_string(spec.size()) + " arguments, got " +
+                     std::to_string(args.size()));
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (spec[i].is_tree) {
+      params->push_back(args[i]);
+    } else {
+      globals->push_back(lantern::AsTensorL(args[i]));
+    }
+  }
+}
+
+}  // namespace
+
+lantern::LValue LanternStagedFunction::Run(
+    const std::vector<lantern::LValue>& args) {
+  std::vector<lantern::LValue> params;
+  std::vector<Tensor> globals;
+  SplitArgs(arg_spec, args, &params, &globals);
+  return executor->Run(params, globals);
+}
+
+std::pair<Tensor, std::vector<Tensor>> LanternStagedFunction::RunWithGradients(
+    const std::vector<lantern::LValue>& args) {
+  std::vector<lantern::LValue> params;
+  std::vector<Tensor> globals;
+  SplitArgs(arg_spec, args, &params, &globals);
+  std::vector<Tensor> global_grads;
+  auto [value, param_grads] =
+      executor->RunWithGradients(params, globals, &global_grads);
+  // Re-interleave gradients to match the caller's argument order.
+  std::vector<Tensor> grads(args.size());
+  size_t next_param = 0;
+  size_t next_global = 0;
+  for (size_t i = 0; i < arg_spec.size(); ++i) {
+    if (arg_spec[i].is_tree) {
+      grads[i] = param_grads[next_param++];
+    } else {
+      grads[i] = global_grads[next_global++];
+    }
+  }
+  return {value, std::move(grads)};
+}
+
+LanternStagedFunction StageLantern(AutoGraph& agc,
+                                   const std::string& fn_name,
+                                   const std::vector<LanternArg>& args) {
+  Interpreter& in = agc.interpreter();
+  Value fn = agc.GetGlobal(fn_name);
+
+  LanternContext ctx;
+  LanternContext* prev = in.lantern_ctx();
+  in.set_lantern_ctx(&ctx);
+
+  LanternStagedFunction out;
+  out.arg_spec = args;
+  try {
+    // Tree arguments are entry-function parameters; tensor arguments
+    // become by-reference globals (the `[&]` captures of the generated
+    // code), so recursion does not thread them through every call.
+    std::vector<bool> param_is_tree;
+    for (const LanternArg& a : args) {
+      if (a.is_tree) param_is_tree.push_back(true);
+    }
+
+    // Mirror the paper's generated wrapper: a `run` entry function whose
+    // body is __def_staged(fn, params) followed by __call_staged(fn,
+    // params) — here both happen inside ConvertedCall, which defines the
+    // specialized function on first staged use and emits the call.
+    std::vector<lantern::SymPtr> params =
+        ctx.builder.BeginFunction("run", param_is_tree);
+    std::vector<Value> param_values;
+    param_values.reserve(args.size());
+    size_t next_param = 0;
+    int next_global = 0;
+    for (const LanternArg& a : args) {
+      if (a.is_tree) {
+        param_values.emplace_back(params[next_param++]);
+      } else {
+        param_values.emplace_back(ctx.builder.MakeGlobal(next_global++));
+      }
+    }
+
+    Value result = ops::ConvertedCall(in, fn, std::move(param_values), {});
+    if (result.IsTuple()) {
+      throw UnsupportedError(
+          "Lantern entry functions must return a single value");
+    }
+    ctx.builder.EndFunction(ops::ToLanternSym(in, result));
+    out.program =
+        std::make_shared<lantern::LProgram>(ctx.builder.Finish("run"));
+  } catch (...) {
+    in.set_lantern_ctx(prev);
+    throw;
+  }
+  in.set_lantern_ctx(prev);
+  out.executor = std::make_unique<lantern::Executor>(*out.program);
+  return out;
+}
+
+}  // namespace ag::core

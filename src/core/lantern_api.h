@@ -1,0 +1,60 @@
+// Staging PyMini functions onto the Lantern backend (paper §8):
+// Python -> (conversion) -> S-Expression IR -> C++ / execution.
+//
+//   AutoGraph agc;
+//   agc.LoadSource(tree_prod_source);
+//   LanternStagedFunction lf = agc_lantern::Stage(
+//       agc, "tree_prod",
+//       {LanternArg::TensorParam(), LanternArg::TreeParam()});
+//   auto [value, grads] = lf.RunWithGradients({base_tensor, tree});
+//   std::string cpp = lf.EmitCpp();     // the paper's generated snippet
+//   std::string sexpr = lf.SExpr();     // the IR fed to Lantern
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "lantern/codegen.h"
+#include "lantern/executor.h"
+
+namespace ag::core {
+
+struct LanternArg {
+  static LanternArg TensorParam() { return LanternArg{false}; }
+  static LanternArg TreeParam() { return LanternArg{true}; }
+  bool is_tree = false;
+};
+
+struct LanternStagedFunction {
+  // Held by shared_ptr: the executor keeps a pointer into the program, so
+  // the program's address must survive moves of this struct.
+  std::shared_ptr<lantern::LProgram> program;
+  std::unique_ptr<lantern::Executor> executor;
+  // Which staged arguments are by-reference tensor globals (weights)
+  // versus entry-function parameters (trees).
+  std::vector<LanternArg> arg_spec;
+
+  // Forward-only execution. `args` follow the StageLantern arg order.
+  [[nodiscard]] lantern::LValue Run(const std::vector<lantern::LValue>& args);
+  // Forward + CPS-style reverse AD; result must be scalar. The returned
+  // gradients align with `args` (tree arguments get empty tensors).
+  [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
+      const std::vector<lantern::LValue>& args);
+
+  [[nodiscard]] std::string SExpr() const {
+    return lantern::ToSExpr(*program);
+  }
+  [[nodiscard]] std::string EmitCpp() const {
+    return lantern::EmitCpp(*program);
+  }
+};
+
+// Converts `fn_name` and traces it into a Lantern program whose entry
+// function takes the given parameters.
+[[nodiscard]] LanternStagedFunction StageLantern(
+    AutoGraph& agc, const std::string& fn_name,
+    const std::vector<LanternArg>& args);
+
+}  // namespace ag::core

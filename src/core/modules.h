@@ -1,0 +1,22 @@
+// Builds the interpreter's global environment:
+//   - Python-like builtins: print, len, range, int, float, bool, abs,
+//     min, max;
+//   - the `tf` module object (this repo's TensorFlow API surface), whose
+//     every function dispatches eager vs. staged by mode/argument types;
+//   - the `ag` module (user-facing AutoGraph API: stack,
+//     set_element_type, ...);
+//   - the `ag__` intrinsics object targeted by converted code.
+#pragma once
+
+#include "core/value.h"
+
+namespace ag::core {
+
+// Returns a fresh globals environment with all modules installed.
+[[nodiscard]] EnvPtr BuildGlobals();
+
+// Builds a bare object value (attribute bag), e.g. for tree nodes in the
+// examples and tests.
+[[nodiscard]] Value MakeObject(const std::string& type_name);
+
+}  // namespace ag::core

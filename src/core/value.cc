@@ -1,0 +1,238 @@
+#include "core/value.h"
+
+#include <sstream>
+
+namespace ag::core {
+
+namespace {
+
+[[noreturn]] void TypeError(const char* expected, const Value& got) {
+  throw ValueError(std::string("expected ") + expected + ", got " +
+                   got.TypeName() + " (" + got.Repr() + ")");
+}
+
+}  // namespace
+
+bool Value::AsBool() const {
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  TypeError("bool", *this);
+}
+
+int64_t Value::AsInt() const {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) return *i;
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+  TypeError("int", *this);
+}
+
+double Value::AsFloat() const {
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    return static_cast<double>(*i);
+  }
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  TypeError("float", *this);
+}
+
+const std::string& Value::AsStr() const {
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  TypeError("str", *this);
+}
+
+const Tensor& Value::AsTensor() const {
+  if (const Tensor* t = std::get_if<Tensor>(&v)) return *t;
+  TypeError("Tensor", *this);
+}
+
+const graph::Output& Value::AsGraphTensor() const {
+  if (const graph::Output* o = std::get_if<graph::Output>(&v)) return *o;
+  TypeError("graph Tensor", *this);
+}
+
+DType Value::AsDType() const {
+  if (const DType* d = std::get_if<DType>(&v)) return *d;
+  TypeError("dtype", *this);
+}
+
+const ListPtr& Value::AsList() const {
+  if (const ListPtr* l = std::get_if<ListPtr>(&v)) return *l;
+  TypeError("list", *this);
+}
+
+const TuplePtr& Value::AsTuple() const {
+  if (const TuplePtr* t = std::get_if<TuplePtr>(&v)) return *t;
+  TypeError("tuple", *this);
+}
+
+const FunctionPtr& Value::AsFunction() const {
+  if (const FunctionPtr* f = std::get_if<FunctionPtr>(&v)) return *f;
+  TypeError("function", *this);
+}
+
+const NativePtr& Value::AsNative() const {
+  if (const NativePtr* f = std::get_if<NativePtr>(&v)) return *f;
+  TypeError("native function", *this);
+}
+
+const ObjectPtr& Value::AsObject() const {
+  if (const ObjectPtr* o = std::get_if<ObjectPtr>(&v)) return *o;
+  TypeError("object", *this);
+}
+
+const lantern::SymPtr& Value::AsLantern() const {
+  if (const lantern::SymPtr* s = std::get_if<lantern::SymPtr>(&v)) return *s;
+  TypeError("lantern symbol", *this);
+}
+
+const char* Value::TypeName() const {
+  switch (v.index()) {
+    case 0: return "NoneType";
+    case 1: return "bool";
+    case 2: return "int";
+    case 3: return "float";
+    case 4: return "str";
+    case 5: return "Tensor";
+    case 6: return "graph Tensor";
+    case 7: return "dtype";
+    case 8: return "list";
+    case 9: return "tuple";
+    case 10: return "function";
+    case 11: return "native function";
+    case 12: return "object";
+    case 13: return "undefined";
+    case 14: return "lantern symbol";
+    default: return "?";
+  }
+}
+
+std::string Value::Repr() const {
+  std::ostringstream os;
+  if (IsNone()) {
+    os << "None";
+  } else if (IsBool()) {
+    os << (std::get<bool>(v) ? "True" : "False");
+  } else if (IsInt()) {
+    os << std::get<int64_t>(v);
+  } else if (IsFloat()) {
+    os << std::get<double>(v);
+  } else if (IsStr()) {
+    os << "'" << std::get<std::string>(v) << "'";
+  } else if (IsTensor()) {
+    os << std::get<Tensor>(v).DebugString(8);
+  } else if (IsGraphTensor()) {
+    const graph::Output& o = std::get<graph::Output>(v);
+    os << "<graph tensor " << o.node->name();
+    if (o.index != 0) os << ":" << o.index;
+    os << ">";
+  } else if (IsDType()) {
+    os << DTypeName(std::get<DType>(v));
+  } else if (IsList()) {
+    os << "[";
+    const auto& elts = *std::get<ListPtr>(v);
+    for (size_t i = 0; i < elts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << elts[i].Repr();
+    }
+    os << "]";
+  } else if (IsTuple()) {
+    os << "(";
+    const auto& elts = std::get<TuplePtr>(v)->elts;
+    for (size_t i = 0; i < elts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << elts[i].Repr();
+    }
+    if (elts.size() == 1) os << ",";
+    os << ")";
+  } else if (IsFunction()) {
+    os << "<function " << std::get<FunctionPtr>(v)->name << ">";
+  } else if (IsNative()) {
+    os << "<built-in " << std::get<NativePtr>(v)->name << ">";
+  } else if (IsObject()) {
+    os << "<" << std::get<ObjectPtr>(v)->type_name << " object>";
+  } else if (IsUndefined()) {
+    os << "<undefined symbol '" << std::get<UndefinedPtr>(v)->symbol << "'>";
+  } else if (IsLantern()) {
+    const lantern::SymPtr& s = std::get<lantern::SymPtr>(v);
+    os << "<lantern " << (s->is_tree ? "tree" : "tensor") << " x" << s->id
+       << ">";
+  }
+  return os.str();
+}
+
+Value ObjectValue::GetAttr(const std::string& name) const {
+  auto it = attrs.find(name);
+  if (it == attrs.end()) {
+    throw RuntimeError("'" + type_name + "' object has no attribute '" +
+                       name + "'");
+  }
+  return it->second;
+}
+
+const Value& Env::Lookup(const std::string& name) const {
+  for (const Env* e = this; e != nullptr; e = e->parent_.get()) {
+    auto it = e->vars_.find(name);
+    if (it != e->vars_.end()) return it->second;
+  }
+  throw RuntimeError("name '" + name + "' is not defined");
+}
+
+bool Env::Has(const std::string& name) const {
+  for (const Env* e = this; e != nullptr; e = e->parent_.get()) {
+    if (e->vars_.count(name) > 0) return true;
+  }
+  return false;
+}
+
+Value MakeList(std::vector<Value> elts) {
+  return Value(std::make_shared<std::vector<Value>>(std::move(elts)));
+}
+
+Value MakeTuple(std::vector<Value> elts) {
+  auto t = std::make_shared<TupleValue>();
+  t->elts = std::move(elts);
+  return Value(std::move(t));
+}
+
+Value MakeNative(
+    const std::string& name,
+    std::function<Value(Interpreter&, std::vector<Value>&, Kwargs&)> fn) {
+  auto n = std::make_shared<NativeFunction>();
+  n->name = name;
+  n->fn = std::move(fn);
+  return Value(std::move(n));
+}
+
+Value MakeUndefined(const std::string& symbol) {
+  auto u = std::make_shared<UndefinedValue>();
+  u->symbol = symbol;
+  return Value(std::move(u));
+}
+
+bool Truthy(const Value& value) {
+  if (value.IsNone()) return false;
+  if (value.IsBool()) return std::get<bool>(value.v);
+  if (value.IsInt()) return std::get<int64_t>(value.v) != 0;
+  if (value.IsFloat()) return std::get<double>(value.v) != 0.0;
+  if (value.IsStr()) return !std::get<std::string>(value.v).empty();
+  if (value.IsList()) return !std::get<ListPtr>(value.v)->empty();
+  if (value.IsTuple()) return !std::get<TuplePtr>(value.v)->elts.empty();
+  if (value.IsTensor()) return value.AsTensor().scalar_bool();
+  if (value.IsGraphTensor()) {
+    throw StagingError(
+        "a symbolic (graph) tensor was used as a Python boolean; "
+        "data-dependent control flow must go through AutoGraph conversion "
+        "(ag.convert)");
+  }
+  if (value.IsUndefined()) {
+    throw RuntimeError("local variable '" +
+                       std::get<UndefinedPtr>(value.v)->symbol +
+                       "' referenced before assignment");
+  }
+  if (value.IsLantern()) {
+    throw StagingError(
+        "a Lantern-staged value was used as a Python boolean; "
+        "data-dependent control flow must go through AutoGraph conversion");
+  }
+  return true;  // functions / objects are truthy
+}
+
+}  // namespace ag::core

@@ -1,0 +1,220 @@
+// Runtime values of the PyMini interpreter.
+//
+// The Value type is where the paper's "dynamic dispatch" lives: the same
+// converted code runs with
+//   - plain Python-like values (bool/int/float/str/list/...) — ordinary
+//     imperative semantics,
+//   - eager Tensors — immediate kernel execution (the Eager baseline),
+//   - graph Outputs (symbolic tensors) — ops *stage* nodes into the
+//     current Graph instead of computing.
+// The special Undefined value reifies "not yet defined" symbols created
+// by the control-flow conversion (paper §7.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.h"
+#include "lang/ast.h"
+#include "lantern/sym.h"
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace ag::core {
+
+class Interpreter;
+struct Value;
+
+// Mutable Python-style list.
+using ListPtr = std::shared_ptr<std::vector<Value>>;
+
+// Immutable tuple (by convention; never mutated after construction).
+struct TupleValue;
+using TuplePtr = std::shared_ptr<TupleValue>;
+
+// Environments: a chain of scopes (locals -> closure -> globals).
+class Env;
+using EnvPtr = std::shared_ptr<Env>;
+
+// A PyMini function (from `def` or `lambda`) plus its closure.
+struct FunctionValue;
+using FunctionPtr = std::shared_ptr<FunctionValue>;
+
+// A built-in implemented in C++.
+struct NativeFunction;
+using NativePtr = std::shared_ptr<NativeFunction>;
+
+// A simple attribute bag (modules, tree nodes, cells, ...).
+struct ObjectValue;
+using ObjectPtr = std::shared_ptr<ObjectValue>;
+
+// Reified undefined symbol.
+struct UndefinedValue {
+  std::string symbol;
+};
+using UndefinedPtr = std::shared_ptr<UndefinedValue>;
+
+struct Value {
+  using Variant =
+      std::variant<std::monostate,            // None
+                   bool, int64_t, double, std::string,
+                   Tensor,                    // eager tensor
+                   graph::Output,             // staged (graph) tensor
+                   DType,                     // dtype object (tf.float32)
+                   ListPtr, TuplePtr, FunctionPtr, NativePtr, ObjectPtr,
+                   UndefinedPtr,
+                   lantern::SymPtr>;          // Lantern-staged value
+
+  Variant v;
+
+  Value() = default;
+  Value(Variant variant) : v(std::move(variant)) {}
+  static Value None() { return Value(); }
+
+  [[nodiscard]] bool IsNone() const {
+    return std::holds_alternative<std::monostate>(v);
+  }
+  [[nodiscard]] bool IsBool() const { return std::holds_alternative<bool>(v); }
+  [[nodiscard]] bool IsInt() const {
+    return std::holds_alternative<int64_t>(v);
+  }
+  [[nodiscard]] bool IsFloat() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool IsNumber() const { return IsInt() || IsFloat(); }
+  [[nodiscard]] bool IsStr() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] bool IsTensor() const {
+    return std::holds_alternative<Tensor>(v);
+  }
+  [[nodiscard]] bool IsGraphTensor() const {
+    return std::holds_alternative<graph::Output>(v);
+  }
+  [[nodiscard]] bool IsTensorLike() const {
+    return IsTensor() || IsGraphTensor();
+  }
+  [[nodiscard]] bool IsDType() const {
+    return std::holds_alternative<DType>(v);
+  }
+  [[nodiscard]] bool IsList() const {
+    return std::holds_alternative<ListPtr>(v);
+  }
+  [[nodiscard]] bool IsTuple() const {
+    return std::holds_alternative<TuplePtr>(v);
+  }
+  [[nodiscard]] bool IsFunction() const {
+    return std::holds_alternative<FunctionPtr>(v);
+  }
+  [[nodiscard]] bool IsNative() const {
+    return std::holds_alternative<NativePtr>(v);
+  }
+  [[nodiscard]] bool IsObject() const {
+    return std::holds_alternative<ObjectPtr>(v);
+  }
+  [[nodiscard]] bool IsUndefined() const {
+    return std::holds_alternative<UndefinedPtr>(v);
+  }
+  [[nodiscard]] bool IsLantern() const {
+    return std::holds_alternative<lantern::SymPtr>(v);
+  }
+  [[nodiscard]] bool IsCallable() const {
+    return IsFunction() || IsNative() || IsObject();
+  }
+
+  // Checked accessors (throw Error(kValue) with a useful message).
+  [[nodiscard]] bool AsBool() const;
+  [[nodiscard]] int64_t AsInt() const;
+  [[nodiscard]] double AsFloat() const;  // accepts int too
+  [[nodiscard]] const std::string& AsStr() const;
+  [[nodiscard]] const Tensor& AsTensor() const;
+  [[nodiscard]] const graph::Output& AsGraphTensor() const;
+  [[nodiscard]] DType AsDType() const;
+  [[nodiscard]] const ListPtr& AsList() const;
+  [[nodiscard]] const TuplePtr& AsTuple() const;
+  [[nodiscard]] const FunctionPtr& AsFunction() const;
+  [[nodiscard]] const NativePtr& AsNative() const;
+  [[nodiscard]] const ObjectPtr& AsObject() const;
+  [[nodiscard]] const lantern::SymPtr& AsLantern() const;
+
+  // Human-readable type name ("int", "Tensor", "list", ...).
+  [[nodiscard]] const char* TypeName() const;
+  // repr-like rendering for print / error messages.
+  [[nodiscard]] std::string Repr() const;
+};
+
+struct TupleValue {
+  std::vector<Value> elts;
+};
+
+using Kwargs = std::vector<std::pair<std::string, Value>>;
+
+struct NativeFunction {
+  std::string name;
+  std::function<Value(Interpreter&, std::vector<Value>&, Kwargs&)> fn;
+};
+
+struct FunctionValue {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Value> defaults;  // right-aligned against params
+  // Exactly one of body/expr is set (def vs lambda).
+  lang::StmtList body;
+  lang::ExprPtr expr;
+  EnvPtr closure;
+  // True when this function's AST already went through conversion (set
+  // for functions defined while executing converted code, and for the
+  // outputs of ConvertFunctionAst).
+  bool converted = false;
+  // The original definition node (null for lambdas); used as the
+  // conversion-cache key and as conversion input.
+  std::shared_ptr<lang::FunctionDefStmt> def_node;
+};
+
+struct ObjectValue {
+  std::string type_name;
+  std::map<std::string, Value> attrs;
+
+  [[nodiscard]] Value GetAttr(const std::string& name) const;
+  [[nodiscard]] bool HasAttr(const std::string& name) const {
+    return attrs.count(name) > 0;
+  }
+};
+
+class Env {
+ public:
+  explicit Env(EnvPtr parent = nullptr) : parent_(std::move(parent)) {}
+
+  // Walks the scope chain; throws Error(kRuntime) for unknown names.
+  [[nodiscard]] const Value& Lookup(const std::string& name) const;
+  [[nodiscard]] bool Has(const std::string& name) const;
+  // Binds in THIS scope (Python assignment semantics).
+  void Set(const std::string& name, Value value) {
+    vars_[name] = std::move(value);
+  }
+
+  [[nodiscard]] const EnvPtr& parent() const { return parent_; }
+
+ private:
+  std::map<std::string, Value> vars_;
+  EnvPtr parent_;
+};
+
+// Factory helpers.
+[[nodiscard]] Value MakeList(std::vector<Value> elts);
+[[nodiscard]] Value MakeTuple(std::vector<Value> elts);
+[[nodiscard]] Value MakeNative(
+    const std::string& name,
+    std::function<Value(Interpreter&, std::vector<Value>&, Kwargs&)> fn);
+[[nodiscard]] Value MakeUndefined(const std::string& symbol);
+
+// Truthiness with dynamic dispatch semantics. Graph tensors throw
+// Error(kStaging): a data-dependent condition reached unconverted code.
+[[nodiscard]] bool Truthy(const Value& value);
+
+}  // namespace ag::core

@@ -1,0 +1,341 @@
+#include "exec/kernels.h"
+
+#include <iostream>
+#include <random>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace ag::exec {
+namespace {
+
+using graph::Node;
+
+Kernel Unary(Tensor (*fn)(const Tensor&)) {
+  return [fn](const Node&, const std::vector<RuntimeValue>& in) {
+    return std::vector<RuntimeValue>{fn(AsTensor(in[0]))};
+  };
+}
+
+Kernel Binary(Tensor (*fn)(const Tensor&, const Tensor&)) {
+  return [fn](const Node&, const std::vector<RuntimeValue>& in) {
+    return std::vector<RuntimeValue>{fn(AsTensor(in[0]), AsTensor(in[1]))};
+  };
+}
+
+std::vector<RuntimeValue> One(Tensor t) {
+  return std::vector<RuntimeValue>{std::move(t)};
+}
+
+int AttrAxis(const Node& node) {
+  return node.HasAttr("axis")
+             ? static_cast<int>(node.attr<int64_t>("axis"))
+             : kAllAxes;
+}
+
+const std::unordered_map<std::string, Kernel>& Registry() {
+  static const auto* kRegistry = [] {
+    auto* r = new std::unordered_map<std::string, Kernel>();
+    auto& reg = *r;
+
+    reg["Const"] = [](const Node& n, const std::vector<RuntimeValue>&) {
+      return One(n.attr<Tensor>("value"));
+    };
+    reg["Identity"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      return std::vector<RuntimeValue>{in[0]};
+    };
+    reg["NoOp"] = [](const Node&, const std::vector<RuntimeValue>&) {
+      return std::vector<RuntimeValue>{Tensor::Scalar(0.0f)};
+    };
+
+    // Elementwise binary.
+    reg["Add"] = Binary(&Add);
+    reg["Sub"] = Binary(&Sub);
+    reg["Mul"] = Binary(&Mul);
+    reg["Div"] = Binary(&Div);
+    reg["FloorDiv"] = Binary(&FloorDiv);
+    reg["Mod"] = Binary(&Mod);
+    reg["Pow"] = Binary(&Pow);
+    reg["Maximum"] = Binary(&Maximum);
+    reg["Minimum"] = Binary(&Minimum);
+    reg["Less"] = Binary(&Less);
+    reg["LessEqual"] = Binary(&LessEqual);
+    reg["Greater"] = Binary(&Greater);
+    reg["GreaterEqual"] = Binary(&GreaterEqual);
+    reg["Equal"] = Binary(&Equal);
+    reg["NotEqual"] = Binary(&NotEqual);
+    reg["LogicalAnd"] = Binary(&LogicalAnd);
+    reg["LogicalOr"] = Binary(&LogicalOr);
+
+    // Elementwise unary.
+    reg["Neg"] = Unary(&Neg);
+    reg["Exp"] = Unary(&Exp);
+    reg["Log"] = Unary(&Log);
+    reg["Tanh"] = Unary(&Tanh);
+    reg["Sigmoid"] = Unary(&Sigmoid);
+    reg["Relu"] = Unary(&Relu);
+    reg["Sqrt"] = Unary(&Sqrt);
+    reg["Abs"] = Unary(&Abs);
+    reg["Sign"] = Unary(&Sign);
+    reg["Square"] = Unary(&Square);
+    reg["Sin"] = Unary(&Sin);
+    reg["Cos"] = Unary(&Cos);
+    reg["LogicalNot"] = Unary(&LogicalNot);
+    reg["Softmax"] = Unary(&Softmax);
+    reg["LogSoftmax"] = Unary(&LogSoftmax);
+
+    reg["MatMul"] = Binary(&MatMul);
+    reg["SoftmaxCrossEntropy"] = Binary(&SoftmaxCrossEntropy);
+    reg["SoftmaxCrossEntropyGrad"] = Binary(&SoftmaxCrossEntropyGrad);
+
+    // Reductions.
+    reg["ReduceSum"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(ReduceSum(AsTensor(in[0]), AttrAxis(n),
+                           n.HasAttr("keepdims") &&
+                               n.attr<int64_t>("keepdims") != 0));
+    };
+    reg["ReduceMean"] = [](const Node& n,
+                           const std::vector<RuntimeValue>& in) {
+      return One(ReduceMean(AsTensor(in[0]), AttrAxis(n),
+                            n.HasAttr("keepdims") &&
+                                n.attr<int64_t>("keepdims") != 0));
+    };
+    reg["ReduceMax"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(ReduceMax(AsTensor(in[0]), AttrAxis(n),
+                           n.HasAttr("keepdims") &&
+                               n.attr<int64_t>("keepdims") != 0));
+    };
+    reg["ReduceMin"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(ReduceMin(AsTensor(in[0]), AttrAxis(n),
+                           n.HasAttr("keepdims") &&
+                               n.attr<int64_t>("keepdims") != 0));
+    };
+    reg["ArgMax"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(ArgMax(AsTensor(in[0]),
+                        static_cast<int>(n.attr<int64_t>("axis"))));
+    };
+
+    // Shape manipulation.
+    reg["Reshape"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      const std::vector<int>& dims = n.attr<std::vector<int>>("dims");
+      std::vector<int64_t> d64(dims.begin(), dims.end());
+      return One(Reshape(AsTensor(in[0]), Shape(std::move(d64))));
+    };
+    reg["Transpose"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(Transpose(AsTensor(in[0]), n.attr<std::vector<int>>("perm")));
+    };
+    reg["Concat"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      std::vector<Tensor> parts;
+      parts.reserve(in.size());
+      for (const RuntimeValue& v : in) parts.push_back(AsTensor(v));
+      return One(Concat(parts, static_cast<int>(n.attr<int64_t>("axis"))));
+    };
+    reg["Pack"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      std::vector<Tensor> parts;
+      parts.reserve(in.size());
+      for (const RuntimeValue& v : in) parts.push_back(AsTensor(v));
+      return One(Stack(parts));
+    };
+    reg["Shape"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      const Shape& s = AsTensor(in[0]).shape();
+      std::vector<float> dims;
+      dims.reserve(static_cast<size_t>(s.rank()));
+      for (int64_t d : s.dims()) dims.push_back(static_cast<float>(d));
+      return One(Tensor::FromVector(std::move(dims), Shape({s.rank()}),
+                                    DType::kInt32));
+    };
+    reg["Size"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      return One(Tensor::ScalarInt(AsTensor(in[0]).num_elements()));
+    };
+    reg["Dim0"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      const Tensor& t = AsTensor(in[0]);
+      if (t.rank() < 1) throw RuntimeError("Dim0 of a scalar tensor");
+      return One(Tensor::ScalarInt(t.shape().dim(0)));
+    };
+    reg["Assert"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      if (!AsTensor(in[0]).scalar_bool()) {
+        throw RuntimeError("assertion failed: " +
+                           (n.HasAttr("message")
+                                ? n.attr<std::string>("message")
+                                : std::string("<no message>")));
+      }
+      return std::vector<RuntimeValue>{in[0]};
+    };
+    reg["Cast"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(AsTensor(in[0]).Cast(n.attr<DType>("dtype")));
+    };
+    reg["ZerosLike"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      const Tensor& t = AsTensor(in[0]);
+      return One(Tensor::Zeros(t.shape(), t.dtype()));
+    };
+    reg["OnesLike"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      const Tensor& t = AsTensor(in[0]);
+      return One(Tensor::Ones(t.shape(), t.dtype()));
+    };
+
+    reg["ExpandDims"] = [](const Node& n,
+                           const std::vector<RuntimeValue>& in) {
+      const Tensor& t = AsTensor(in[0]);
+      auto axis = static_cast<int>(n.attr<int64_t>("axis"));
+      std::vector<int64_t> dims = t.shape().dims();
+      if (axis < 0) axis += static_cast<int>(dims.size()) + 1;
+      dims.insert(dims.begin() + axis, 1);
+      return One(t.Reshaped(Shape(std::move(dims))));
+    };
+    // Reshapes input 0 to the shape of input 1 (same element count).
+    reg["ReshapeLike"] = [](const Node&,
+                            const std::vector<RuntimeValue>& in) {
+      return One(AsTensor(in[0]).Reshaped(AsTensor(in[1]).shape()));
+    };
+    // Reduce-sums input 0 down to the shape of input 1 (gradient routing
+    // for broadcasting binary ops; see autodiff/graph_grad.cc).
+    reg["SumToShapeOf"] = [](const Node&,
+                             const std::vector<RuntimeValue>& in) {
+      return One(SumToShape(AsTensor(in[0]), AsTensor(in[1]).shape()));
+    };
+
+    // Indexing / selection.
+    reg["IndexAxis0"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      return One(IndexAxis0(AsTensor(in[0]), AsTensor(in[1]).scalar_int()));
+    };
+    reg["SetItemAxis0"] = [](const Node&,
+                             const std::vector<RuntimeValue>& in) {
+      return One(SetItemAxis0(AsTensor(in[0]), AsTensor(in[1]).scalar_int(),
+                              AsTensor(in[2])));
+    };
+    // Contiguous row slice [start, start+len) along axis 0.
+    reg["SliceRows"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      const Tensor& x = AsTensor(in[0]);
+      const auto start = n.attr<int64_t>("start");
+      const auto len = n.attr<int64_t>("len");
+      if (x.rank() < 1 || start < 0 || start + len > x.shape().dim(0)) {
+        throw RuntimeError("SliceRows out of range");
+      }
+      const int64_t inner = x.num_elements() / x.shape().dim(0);
+      std::vector<float> out(x.data() + start * inner,
+                             x.data() + (start + len) * inner);
+      std::vector<int64_t> dims = x.shape().dims();
+      dims[0] = len;
+      return One(Tensor::FromVector(std::move(out), Shape(std::move(dims)),
+                                    x.dtype()));
+    };
+    reg["Gather"] = Binary(&Gather);
+    reg["Where"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      return One(Where(AsTensor(in[0]), AsTensor(in[1]), AsTensor(in[2])));
+    };
+    reg["OneHot"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      return One(OneHot(AsTensor(in[0]), n.attr<int64_t>("depth")));
+    };
+    reg["Range"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      return One(Range(AsTensor(in[0]).scalar_int()));
+    };
+    reg["TopK"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+      auto [values, indices] = TopK(AsTensor(in[0]), n.attr<int64_t>("k"));
+      return std::vector<RuntimeValue>{std::move(values), std::move(indices)};
+    };
+
+    // Random ops (stateful; excluded from folding/CSE by IsPureOp).
+    reg["RandomNormal"] = [](const Node& n,
+                             const std::vector<RuntimeValue>&) {
+      static thread_local std::mt19937_64 engine(12345);
+      std::normal_distribution<float> dist(0.0f, 1.0f);
+      const std::vector<int>& dims = n.attr<std::vector<int>>("shape");
+      std::vector<int64_t> d64(dims.begin(), dims.end());
+      Shape shape{std::move(d64)};
+      std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+      for (float& v : out) v = dist(engine);
+      return One(Tensor::FromVector(std::move(out), std::move(shape)));
+    };
+    reg["RandomUniform"] = [](const Node& n,
+                              const std::vector<RuntimeValue>&) {
+      static thread_local std::mt19937_64 engine(54321);
+      std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+      const std::vector<int>& dims = n.attr<std::vector<int>>("shape");
+      std::vector<int64_t> d64(dims.begin(), dims.end());
+      Shape shape{std::move(d64)};
+      std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+      for (float& v : out) v = dist(engine);
+      return One(Tensor::FromVector(std::move(out), std::move(shape)));
+    };
+
+    // Print: logs at graph runtime (the staged form of `print`).
+    reg["Print"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+      for (const RuntimeValue& v : in) {
+        if (IsTensor(v)) {
+          std::cout << AsTensor(v).DebugString() << " ";
+        } else {
+          std::cout << "<TensorList len=" << AsList(v)->size() << "> ";
+        }
+      }
+      std::cout << "\n";
+      return std::vector<RuntimeValue>{in.empty() ? RuntimeValue(Tensor())
+                                                  : in[0]};
+    };
+
+    // TensorList ops.
+    reg["TensorListNew"] = [](const Node&, const std::vector<RuntimeValue>&) {
+      return std::vector<RuntimeValue>{std::make_shared<TensorList>()};
+    };
+    reg["TensorListPushBack"] = [](const Node&,
+                                   const std::vector<RuntimeValue>& in) {
+      return std::vector<RuntimeValue>{
+          AsList(in[0])->PushBack(AsTensor(in[1]))};
+    };
+    reg["TensorListPopBack"] = [](const Node&,
+                                  const std::vector<RuntimeValue>& in) {
+      auto [list, last] = AsList(in[0])->PopBack();
+      return std::vector<RuntimeValue>{std::move(list), std::move(last)};
+    };
+    reg["TensorListStack"] = [](const Node&,
+                                const std::vector<RuntimeValue>& in) {
+      const TensorListPtr& list = AsList(in[0]);
+      if (list->size() == 0) {
+        throw RuntimeError("cannot stack an empty TensorList");
+      }
+      return One(Stack(list->items()));
+    };
+    reg["TensorListGet"] = [](const Node&,
+                              const std::vector<RuntimeValue>& in) {
+      return One(AsList(in[0])->at(AsTensor(in[1]).scalar_int()));
+    };
+    reg["TensorListSet"] = [](const Node&,
+                              const std::vector<RuntimeValue>& in) {
+      return std::vector<RuntimeValue>{AsList(in[0])->Set(
+          AsTensor(in[1]).scalar_int(), AsTensor(in[2]))};
+    };
+    reg["TensorListLen"] = [](const Node&,
+                              const std::vector<RuntimeValue>& in) {
+      return One(Tensor::ScalarInt(AsList(in[0])->size()));
+    };
+
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace
+
+bool HasKernel(const std::string& op) { return Registry().count(op) > 0; }
+
+const Kernel& FindKernel(const std::string& op) {
+  auto it = Registry().find(op);
+  if (it == Registry().end()) {
+    throw RuntimeError("no kernel registered for op '" + op + "'");
+  }
+  return it->second;
+}
+
+std::vector<Tensor> EvaluatePureNode(const graph::Node& node,
+                                     const std::vector<Tensor>& inputs) {
+  std::vector<RuntimeValue> in;
+  in.reserve(inputs.size());
+  for (const Tensor& t : inputs) in.emplace_back(t);
+  std::vector<RuntimeValue> out = FindKernel(node.op())(node, in);
+  std::vector<Tensor> result;
+  result.reserve(out.size());
+  for (const RuntimeValue& v : out) result.push_back(AsTensor(v));
+  return result;
+}
+
+}  // namespace ag::exec

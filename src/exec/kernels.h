@@ -1,0 +1,27 @@
+// Kernel registry: maps op type strings to CPU kernel implementations.
+// Shared by the Session executor and by constant folding.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/value.h"
+#include "graph/graph.h"
+
+namespace ag::exec {
+
+using Kernel = std::function<std::vector<RuntimeValue>(
+    const graph::Node&, const std::vector<RuntimeValue>&)>;
+
+// Returns the kernel for `op`, or throws Error(kRuntime) if the op has no
+// registered kernel (control-flow / stateful ops are executed by the
+// Session itself and have no kernels).
+[[nodiscard]] const Kernel& FindKernel(const std::string& op);
+[[nodiscard]] bool HasKernel(const std::string& op);
+
+// Tensor-only adapter used by graph::Optimize for constant folding.
+[[nodiscard]] std::vector<Tensor> EvaluatePureNode(
+    const graph::Node& node, const std::vector<Tensor>& inputs);
+
+}  // namespace ag::exec

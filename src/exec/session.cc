@@ -1,0 +1,342 @@
+#include "exec/session.h"
+
+#include "support/error.h"
+
+namespace ag::exec {
+
+using graph::FuncGraph;
+using graph::Node;
+using graph::Output;
+
+std::vector<RuntimeValue> Session::Run(
+    const std::map<std::string, RuntimeValue>& feeds,
+    const std::vector<Output>& fetches) {
+  feeds_ = &feeds;
+  Frame frame;
+  std::vector<RuntimeValue> results;
+  results.reserve(fetches.size());
+  try {
+    for (const Output& f : fetches) {
+      results.push_back(EvalOutput(f, frame));
+    }
+  } catch (...) {
+    feeds_ = nullptr;
+    throw;
+  }
+  feeds_ = nullptr;
+  ++stats_.runs;
+  return results;
+}
+
+Tensor Session::RunTensor(const std::map<std::string, RuntimeValue>& feeds,
+                          const Output& fetch) {
+  return AsTensor(Run(feeds, {fetch})[0]);
+}
+
+const Tensor& Session::GetVariable(const std::string& name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    throw RuntimeError("variable '" + name + "' has not been initialized");
+  }
+  return it->second;
+}
+
+RuntimeValue Session::EvalOutput(const Output& out, Frame& frame) {
+  const std::vector<RuntimeValue>& vals = EvalNode(out.node, frame);
+  if (out.index < 0 || out.index >= static_cast<int>(vals.size())) {
+    throw InternalError("fetch of invalid output index on node '" +
+                        out.node->name() + "'");
+  }
+  return vals[static_cast<size_t>(out.index)];
+}
+
+const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
+                                                   Frame& frame) {
+  auto it = frame.memo.find(node);
+  if (it != frame.memo.end()) return it->second;
+
+  ++stats_.nodes_executed;
+  const std::string& op = node->op();
+  std::vector<RuntimeValue> outputs;
+
+  if (op == "Arg") {
+    if (frame.args == nullptr) {
+      throw InternalError("Arg node evaluated outside a subgraph");
+    }
+    const auto index = static_cast<size_t>(node->attr<int64_t>("index"));
+    if (index >= frame.args->size()) {
+      throw InternalError("Arg index out of range");
+    }
+    outputs = {(*frame.args)[index]};
+  } else if (op == "Placeholder") {
+    const std::string& name = node->attr<std::string>("name");
+    if (feeds_ == nullptr) {
+      throw RuntimeError("placeholder '" + name + "' evaluated outside Run");
+    }
+    auto feed = feeds_->find(name);
+    if (feed == feeds_->end()) {
+      throw RuntimeError("placeholder '" + name + "' was not fed");
+    }
+    outputs = {feed->second};
+  } else if (op == "Variable") {
+    outputs = {GetVariable(node->attr<std::string>("var_name"))};
+  } else if (op == "Assign") {
+    RuntimeValue value = EvalOutput(node->inputs()[0], frame);
+    variables_[node->attr<std::string>("var_name")] = AsTensor(value);
+    outputs = {std::move(value)};
+  } else if (op == "Cond") {
+    const Tensor pred = AsTensor(EvalOutput(node->inputs()[0], frame));
+    if (pred.dtype() != DType::kBool) {
+      throw RuntimeError("cond predicate must be a bool tensor, got " +
+                         std::string(DTypeName(pred.dtype())));
+    }
+    const bool taken = pred.scalar_bool();
+    const auto then_ncaps =
+        static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
+    const auto& branch_attr = taken ? "then_branch" : "else_branch";
+    const auto& branch = *std::static_pointer_cast<FuncGraph>(
+        node->attr<std::shared_ptr<graph::Graph>>(branch_attr));
+    // Capture layout: inputs = [pred, then_caps..., else_caps...].
+    const size_t offset = taken ? 1 : 1 + then_ncaps;
+    std::vector<RuntimeValue> args;
+    args.reserve(branch.captures.size());
+    for (size_t i = 0; i < branch.captures.size(); ++i) {
+      args.push_back(EvalOutput(node->inputs()[offset + i], frame));
+    }
+    outputs = ExecSubgraph(branch, args);
+    if (outputs.empty()) outputs = {Tensor()};  // 0-output cond placeholder
+  } else if (op == "While") {
+    const auto n = static_cast<size_t>(node->attr<int64_t>("num_loop_vars"));
+    const auto cond_ncaps =
+        static_cast<size_t>(node->attr<int64_t>("cond_ncaps"));
+    const auto& cond_g = *std::static_pointer_cast<FuncGraph>(
+        node->attr<std::shared_ptr<graph::Graph>>("cond"));
+    const auto& body_g = *std::static_pointer_cast<FuncGraph>(
+        node->attr<std::shared_ptr<graph::Graph>>("body"));
+
+    std::vector<RuntimeValue> loop_vars;
+    loop_vars.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      loop_vars.push_back(EvalOutput(node->inputs()[i], frame));
+    }
+    std::vector<RuntimeValue> cond_caps;
+    for (size_t i = 0; i < cond_ncaps; ++i) {
+      cond_caps.push_back(EvalOutput(node->inputs()[n + i], frame));
+    }
+    std::vector<RuntimeValue> body_caps;
+    for (size_t i = n + cond_ncaps; i < node->inputs().size(); ++i) {
+      body_caps.push_back(EvalOutput(node->inputs()[i], frame));
+    }
+
+    while (true) {
+      std::vector<RuntimeValue> cond_args = loop_vars;
+      cond_args.insert(cond_args.end(), cond_caps.begin(), cond_caps.end());
+      std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args);
+      if (test.size() != 1) {
+        throw RuntimeError("while condition must produce a single value");
+      }
+      if (!AsTensor(test[0]).scalar_bool()) break;
+      std::vector<RuntimeValue> body_args = loop_vars;
+      body_args.insert(body_args.end(), body_caps.begin(), body_caps.end());
+      loop_vars = ExecSubgraph(body_g, body_args);
+    }
+    outputs = std::move(loop_vars);
+    if (outputs.empty()) outputs = {Tensor()};
+  } else {
+    const Kernel& kernel = FindKernel(op);
+    std::vector<RuntimeValue> inputs;
+    inputs.reserve(node->inputs().size());
+    for (const Output& in : node->inputs()) {
+      inputs.push_back(EvalOutput(in, frame));
+    }
+    try {
+      outputs = kernel(*node, inputs);
+    } catch (const Error& e) {
+      throw e.WithFrame(SourceFrame{
+          SourceLocation{"<graph>", 0, 0}, node->name() + " (" + op + ")",
+          /*generated=*/true});
+    }
+  }
+
+  auto [ins, inserted] = frame.memo.emplace(node, std::move(outputs));
+  (void)inserted;
+  return ins->second;
+}
+
+std::vector<RuntimeValue> Session::ExecSubgraph(
+    const FuncGraph& fg, const std::vector<RuntimeValue>& args) {
+  std::vector<std::vector<RuntimeValue>> scratch;
+  return RunPlan(PlanFor(fg), args, &scratch);
+}
+
+const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
+  auto it = plans_.find(&fg);
+  if (it != plans_.end()) return it->second;
+
+  Plan plan;
+  std::unordered_map<const Node*, int> step_of;
+  // Post-order DFS from the returns gives a topological schedule over
+  // exactly the nodes this subgraph needs.
+  std::vector<std::pair<const Node*, size_t>> stack;
+  auto visit = [&](const Node* n) -> int {
+    auto found = step_of.find(n);
+    if (found != step_of.end()) return found->second;
+    stack.emplace_back(n, 0);
+    while (!stack.empty()) {
+      auto& [node, next_input] = stack.back();
+      if (next_input < node->inputs().size()) {
+        const Node* in = node->inputs()[next_input++].node;
+        if (in->op() != "Arg" && step_of.find(in) == step_of.end()) {
+          stack.emplace_back(in, 0);
+        }
+        continue;
+      }
+      if (step_of.find(node) == step_of.end()) {
+        Plan::Step step;
+        step.node = node;
+        const std::string& op = node->op();
+        if (op == "Cond") {
+          step.kind = Plan::Kind::kCond;
+        } else if (op == "While") {
+          step.kind = Plan::Kind::kWhile;
+        } else {
+          step.kind = Plan::Kind::kKernel;
+          step.kernel = &FindKernel(op);
+        }
+        step.inputs.reserve(node->inputs().size());
+        for (const Output& in : node->inputs()) {
+          if (in.node->op() == "Arg") {
+            step.inputs.push_back(Plan::InputRef{
+                -1, static_cast<int>(in.node->attr<int64_t>("index"))});
+          } else {
+            step.inputs.push_back(
+                Plan::InputRef{step_of.at(in.node), in.index});
+          }
+        }
+        step_of[node] = static_cast<int>(plan.steps.size());
+        plan.steps.push_back(std::move(step));
+      }
+      stack.pop_back();
+    }
+    return step_of.at(n);
+  };
+
+  for (const Output& r : fg.returns) {
+    if (r.node->op() == "Arg") {
+      plan.returns.push_back(Plan::InputRef{
+          -1, static_cast<int>(r.node->attr<int64_t>("index"))});
+    } else {
+      plan.returns.push_back(Plan::InputRef{visit(r.node), r.index});
+    }
+  }
+  return plans_.emplace(&fg, std::move(plan)).first->second;
+}
+
+std::vector<RuntimeValue> Session::RunPlan(
+    const Plan& plan, const std::vector<RuntimeValue>& args,
+    std::vector<std::vector<RuntimeValue>>* scratch) {
+  // One output vector per step (steps are in execution order). The
+  // caller-provided scratch lets While bodies reuse storage across
+  // iterations instead of reallocating.
+  std::vector<std::vector<RuntimeValue>>& slots = *scratch;
+  if (slots.size() < plan.steps.size()) slots.resize(plan.steps.size());
+  auto resolve = [&](const Plan::InputRef& ref) -> const RuntimeValue& {
+    if (ref.step < 0) return args[static_cast<size_t>(ref.output)];
+    return slots[static_cast<size_t>(ref.step)]
+                [static_cast<size_t>(ref.output)];
+  };
+
+  std::vector<RuntimeValue> inputs;
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    const Plan::Step& step = plan.steps[s];
+    ++stats_.nodes_executed;
+    inputs.clear();
+    inputs.reserve(step.inputs.size());
+    for (const Plan::InputRef& ref : step.inputs) {
+      inputs.push_back(resolve(ref));
+    }
+    const Node* node = step.node;
+    switch (step.kind) {
+      case Plan::Kind::kKernel:
+        try {
+          slots[s] = (*step.kernel)(*node, inputs);
+        } catch (const Error& e) {
+          throw e.WithFrame(SourceFrame{SourceLocation{"<graph>", 0, 0},
+                                        node->name() + " (" + node->op() +
+                                            ")",
+                                        /*generated=*/true});
+        }
+        break;
+      case Plan::Kind::kCond: {
+        const Tensor& pred = AsTensor(inputs[0]);
+        const bool taken = pred.scalar_bool();
+        const auto then_ncaps =
+            static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
+        const auto& branch = *std::static_pointer_cast<FuncGraph>(
+            node->attr<std::shared_ptr<graph::Graph>>(
+                taken ? "then_branch" : "else_branch"));
+        const size_t offset = taken ? 1 : 1 + then_ncaps;
+        std::vector<RuntimeValue> branch_args(
+            inputs.begin() + static_cast<std::ptrdiff_t>(offset),
+            inputs.begin() +
+                static_cast<std::ptrdiff_t>(offset + branch.captures.size()));
+        std::vector<std::vector<RuntimeValue>> branch_scratch;
+        slots[s] =
+            RunPlan(PlanFor(branch), branch_args, &branch_scratch);
+        if (slots[s].empty()) slots[s] = {Tensor()};
+        break;
+      }
+      case Plan::Kind::kWhile: {
+        const auto n =
+            static_cast<size_t>(node->attr<int64_t>("num_loop_vars"));
+        const auto cond_ncaps =
+            static_cast<size_t>(node->attr<int64_t>("cond_ncaps"));
+        const auto& cond_g = *std::static_pointer_cast<FuncGraph>(
+            node->attr<std::shared_ptr<graph::Graph>>("cond"));
+        const auto& body_g = *std::static_pointer_cast<FuncGraph>(
+            node->attr<std::shared_ptr<graph::Graph>>("body"));
+        std::vector<RuntimeValue> loop_vars(inputs.begin(),
+                                            inputs.begin() +
+                                                static_cast<std::ptrdiff_t>(n));
+        std::vector<RuntimeValue> cond_caps(
+            inputs.begin() + static_cast<std::ptrdiff_t>(n),
+            inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps));
+        std::vector<RuntimeValue> body_caps(
+            inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps),
+            inputs.end());
+        const Plan& cond_plan = PlanFor(cond_g);
+        const Plan& body_plan = PlanFor(body_g);
+        std::vector<std::vector<RuntimeValue>> cond_scratch;
+        std::vector<std::vector<RuntimeValue>> body_scratch;
+        std::vector<RuntimeValue> cond_args;
+        std::vector<RuntimeValue> body_args;
+        while (true) {
+          cond_args.assign(loop_vars.begin(), loop_vars.end());
+          cond_args.insert(cond_args.end(), cond_caps.begin(),
+                           cond_caps.end());
+          std::vector<RuntimeValue> test =
+              RunPlan(cond_plan, cond_args, &cond_scratch);
+          if (!AsTensor(test[0]).scalar_bool()) break;
+          body_args.assign(loop_vars.begin(), loop_vars.end());
+          body_args.insert(body_args.end(), body_caps.begin(),
+                           body_caps.end());
+          loop_vars = RunPlan(body_plan, body_args, &body_scratch);
+        }
+        slots[s] = std::move(loop_vars);
+        if (slots[s].empty()) slots[s] = {Tensor()};
+        break;
+      }
+      case Plan::Kind::kArg:
+        break;  // args are resolved directly; never scheduled
+    }
+  }
+
+  std::vector<RuntimeValue> results;
+  results.reserve(plan.returns.size());
+  for (const Plan::InputRef& ref : plan.returns) {
+    results.push_back(resolve(ref));
+  }
+  return results;
+}
+
+}  // namespace ag::exec

@@ -1,0 +1,99 @@
+// Graph executor — this repo's tf.Session.
+//
+// A Session executes a built Graph: feed placeholders, fetch endpoints.
+// Only nodes reachable from the fetches are evaluated (lazy, memoized per
+// Run). Functional control flow is interpreted:
+//   - Cond evaluates its predicate, then executes only the taken branch's
+//     subgraph;
+//   - While repeatedly executes its cond/body subgraphs over the loop
+//     variables.
+// Variables persist across Run calls in the session's variable store.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/kernels.h"
+#include "exec/value.h"
+#include "graph/graph.h"
+
+namespace ag::exec {
+
+struct SessionStats {
+  int64_t nodes_executed = 0;   // kernel invocations (cumulative)
+  int64_t runs = 0;
+};
+
+class Session {
+ public:
+  // The graph must outlive the session.
+  explicit Session(const graph::Graph* graph) : graph_(graph) {}
+
+  // Executes the graph. `feeds` bind placeholder names to values.
+  std::vector<RuntimeValue> Run(
+      const std::map<std::string, RuntimeValue>& feeds,
+      const std::vector<graph::Output>& fetches);
+
+  // Single-fetch convenience returning a Tensor.
+  Tensor RunTensor(const std::map<std::string, RuntimeValue>& feeds,
+                   const graph::Output& fetch);
+
+  // Variable store.
+  void SetVariable(const std::string& name, Tensor value) {
+    variables_[name] = std::move(value);
+  }
+  [[nodiscard]] const Tensor& GetVariable(const std::string& name) const;
+  [[nodiscard]] bool HasVariable(const std::string& name) const {
+    return variables_.count(name) > 0;
+  }
+
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+
+ private:
+  struct Frame {
+    std::unordered_map<const graph::Node*, std::vector<RuntimeValue>> memo;
+    const std::vector<RuntimeValue>* args = nullptr;
+  };
+
+  // Precompiled execution plan for a FuncGraph (the hot path inside
+  // While/Cond): nodes in topological order with pre-resolved input slot
+  // indices and cached kernel pointers — no hashing per node. This is the
+  // executor-side analog of TF's executor "ready list" compilation.
+  struct Plan {
+    enum class Kind : uint8_t { kKernel, kArg, kCond, kWhile };
+    struct InputRef {
+      int step;    // producing step index (-1: function argument)
+      int output;  // producer output index, or arg index when step < 0
+    };
+    struct Step {
+      const graph::Node* node;
+      Kind kind;
+      const Kernel* kernel = nullptr;  // kKernel only
+      std::vector<InputRef> inputs;
+    };
+    std::vector<Step> steps;
+    std::vector<InputRef> returns;
+  };
+
+  RuntimeValue EvalOutput(const graph::Output& out, Frame& frame);
+  const std::vector<RuntimeValue>& EvalNode(const graph::Node* node,
+                                            Frame& frame);
+  std::vector<RuntimeValue> ExecSubgraph(
+      const graph::FuncGraph& fg, const std::vector<RuntimeValue>& args);
+  const Plan& PlanFor(const graph::FuncGraph& fg);
+  // `scratch` (step output storage) may be reused across calls to avoid
+  // reallocating per While iteration; it is resized as needed.
+  std::vector<RuntimeValue> RunPlan(
+      const Plan& plan, const std::vector<RuntimeValue>& args,
+      std::vector<std::vector<RuntimeValue>>* scratch);
+
+  const graph::Graph* graph_;
+  const std::map<std::string, RuntimeValue>* feeds_ = nullptr;
+  std::map<std::string, Tensor> variables_;
+  std::unordered_map<const graph::Graph*, Plan> plans_;
+  SessionStats stats_;
+};
+
+}  // namespace ag::exec

@@ -1,0 +1,58 @@
+#include "exec/value.h"
+
+#include "support/error.h"
+
+namespace ag::exec {
+
+const Tensor& TensorList::at(int64_t i) const {
+  if (i < 0) i += size();
+  if (i < 0 || i >= size()) {
+    throw RuntimeError("TensorList index " + std::to_string(i) +
+                       " out of range for size " + std::to_string(size()));
+  }
+  return items_[static_cast<size_t>(i)];
+}
+
+TensorListPtr TensorList::PushBack(Tensor value) const {
+  auto out = std::make_shared<TensorList>(items_);
+  out->items_.push_back(std::move(value));
+  return out;
+}
+
+std::pair<TensorListPtr, Tensor> TensorList::PopBack() const {
+  if (items_.empty()) {
+    throw RuntimeError("pop from empty TensorList");
+  }
+  auto out = std::make_shared<TensorList>(items_);
+  Tensor last = out->items_.back();
+  out->items_.pop_back();
+  return {std::move(out), std::move(last)};
+}
+
+TensorListPtr TensorList::Set(int64_t i, Tensor value) const {
+  if (i < 0) i += size();
+  if (i < 0 || i >= size()) {
+    throw RuntimeError("TensorList assignment index out of range");
+  }
+  auto out = std::make_shared<TensorList>(items_);
+  out->items_[static_cast<size_t>(i)] = std::move(value);
+  return out;
+}
+
+const Tensor& AsTensor(const RuntimeValue& v) {
+  const Tensor* t = std::get_if<Tensor>(&v);
+  if (t == nullptr) {
+    throw RuntimeError("expected a Tensor value, got a TensorList");
+  }
+  return *t;
+}
+
+const TensorListPtr& AsList(const RuntimeValue& v) {
+  const TensorListPtr* l = std::get_if<TensorListPtr>(&v);
+  if (l == nullptr) {
+    throw RuntimeError("expected a TensorList value, got a Tensor");
+  }
+  return *l;
+}
+
+}  // namespace ag::exec

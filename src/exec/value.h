@@ -1,0 +1,49 @@
+// Runtime values flowing along graph edges during execution.
+//
+// Besides dense tensors, edges can carry TensorList handles (the
+// "low-level Tensor list" from the paper's Appendix E that backs staged
+// list idioms and ag.stack) — e.g. the `outputs` list in the dynamic_rnn
+// example.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ag::exec {
+
+// Immutable list of tensors; write operations return a new list.
+// Copies are cheap: elements are refcounted tensor buffers.
+class TensorList {
+ public:
+  TensorList() = default;
+  explicit TensorList(std::vector<Tensor> items) : items_(std::move(items)) {}
+
+  [[nodiscard]] int64_t size() const {
+    return static_cast<int64_t>(items_.size());
+  }
+  [[nodiscard]] const Tensor& at(int64_t i) const;
+  [[nodiscard]] const std::vector<Tensor>& items() const { return items_; }
+
+  [[nodiscard]] std::shared_ptr<TensorList> PushBack(Tensor value) const;
+  // Returns {list without last element, last element}.
+  [[nodiscard]] std::pair<std::shared_ptr<TensorList>, Tensor> PopBack() const;
+  [[nodiscard]] std::shared_ptr<TensorList> Set(int64_t i, Tensor value) const;
+
+ private:
+  std::vector<Tensor> items_;
+};
+
+using TensorListPtr = std::shared_ptr<TensorList>;
+using RuntimeValue = std::variant<Tensor, TensorListPtr>;
+
+[[nodiscard]] inline bool IsTensor(const RuntimeValue& v) {
+  return std::holds_alternative<Tensor>(v);
+}
+[[nodiscard]] const Tensor& AsTensor(const RuntimeValue& v);
+[[nodiscard]] const TensorListPtr& AsList(const RuntimeValue& v);
+
+}  // namespace ag::exec

@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ag::graph {
+
+Node* Graph::AddNode(const std::string& op, std::vector<Output> inputs,
+                     AttrMap attrs, int num_outputs) {
+  auto node = std::make_unique<Node>(next_id_++, UniqueName(op), op,
+                                     std::move(inputs), std::move(attrs),
+                                     num_outputs);
+  Node* raw = node.get();
+  raw->set_owner(this);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+Node* Graph::FindNode(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+void Graph::PushNameScope(const std::string& scope) {
+  name_scopes_.push_back(scope);
+}
+
+void Graph::PopNameScope() {
+  if (!name_scopes_.empty()) name_scopes_.pop_back();
+}
+
+std::string Graph::UniqueName(const std::string& base) {
+  std::string prefix;
+  for (const std::string& s : name_scopes_) prefix += s + "/";
+  std::string full = prefix + base;
+  int count = name_counts_[full]++;
+  if (count == 0) return full;
+  return full + "_" + std::to_string(count);
+}
+
+void Graph::Prune(const std::vector<Output>& roots) {
+  std::set<const Node*> live;
+  std::vector<const Node*> stack;
+  for (const Output& r : roots) {
+    if (r.valid() && live.insert(r.node).second) stack.push_back(r.node);
+  }
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const Output& in : n->inputs()) {
+      if (in.valid() && live.insert(in.node).second) stack.push_back(in.node);
+    }
+    // Subgraph captures keep their outer-graph sources alive.
+    for (const auto& [key, attr] : n->attrs()) {
+      if (const auto* sub = std::get_if<std::shared_ptr<Graph>>(&attr)) {
+        auto* fg = dynamic_cast<FuncGraph*>(sub->get());
+        if (fg != nullptr) {
+          for (const Output& c : fg->captures) {
+            if (c.valid() && live.insert(c.node).second) {
+              stack.push_back(c.node);
+            }
+          }
+        }
+      }
+    }
+  }
+  nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                              [&live](const std::unique_ptr<Node>& n) {
+                                return live.count(n.get()) == 0;
+                              }),
+               nodes_.end());
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  for (const auto& n : nodes_) {
+    os << n->name() << " = " << n->op() << "(";
+    for (size_t i = 0; i < n->inputs().size(); ++i) {
+      if (i > 0) os << ", ";
+      const Output& in = n->inputs()[i];
+      os << in.node->name();
+      if (in.index != 0) os << ":" << in.index;
+    }
+    os << ")";
+    for (const auto& [key, attr] : n->attrs()) {
+      if (std::holds_alternative<std::shared_ptr<Graph>>(attr)) {
+        os << " {" << key << "=<subgraph "
+           << std::get<std::shared_ptr<Graph>>(attr)->num_nodes()
+           << " nodes>}";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Output FuncGraph::CaptureExternal(const Output& ext) {
+  for (size_t i = 0; i < captures.size(); ++i) {
+    if (captures[i] == ext) return Output{capture_args[i], 0};
+  }
+  Node* arg = AddNode("Arg", {},
+                      {{"index", static_cast<int64_t>(num_explicit_args() +
+                                                      captures.size())}});
+  arg->set_output_dtype(0, ext.node->output_dtype(ext.index));
+  arg->set_output_is_list(0, ext.node->output_is_list(ext.index));
+  captures.push_back(ext);
+  capture_args.push_back(arg);
+  return Output{arg, 0};
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,180 @@
+// Dataflow graph IR — this repo's stand-in for the TensorFlow graph.
+//
+// A Graph is a DAG of Nodes. Each node has an op type (string, like TF),
+// positional inputs referencing other nodes' outputs, and typed
+// attributes. Functional control flow (Cond/While) stores its branches
+// and bodies as *subgraphs* held in attributes; subgraph parameters are
+// `Arg` nodes and results are recorded in `FuncGraph::returns`.
+//
+// Graphs are built once and executed many times by exec::Session — the
+// build/run split whose amortization the paper's evaluation measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace ag::graph {
+
+class Graph;
+class Node;
+
+// A reference to one output of a node ("tensor endpoint").
+struct Output {
+  Node* node = nullptr;
+  int index = 0;
+
+  [[nodiscard]] bool valid() const { return node != nullptr; }
+  friend bool operator==(const Output& a, const Output& b) {
+    return a.node == b.node && a.index == b.index;
+  }
+};
+
+using AttrValue = std::variant<int64_t, double, std::string, Tensor, DType,
+                               std::shared_ptr<Graph>, std::vector<int>>;
+using AttrMap = std::map<std::string, AttrValue>;
+
+class Node {
+ public:
+  Node(int id, std::string name, std::string op, std::vector<Output> inputs,
+       AttrMap attrs, int num_outputs)
+      : id_(id),
+        name_(std::move(name)),
+        op_(std::move(op)),
+        inputs_(std::move(inputs)),
+        attrs_(std::move(attrs)),
+        output_dtypes_(static_cast<size_t>(num_outputs), DType::kFloat32),
+        output_is_list_(static_cast<size_t>(num_outputs), false) {}
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] const std::vector<Output>& inputs() const { return inputs_; }
+  [[nodiscard]] std::vector<Output>* mutable_inputs() { return &inputs_; }
+  [[nodiscard]] int num_outputs() const {
+    return static_cast<int>(output_dtypes_.size());
+  }
+
+  [[nodiscard]] const AttrMap& attrs() const { return attrs_; }
+  [[nodiscard]] bool HasAttr(const std::string& key) const {
+    return attrs_.count(key) > 0;
+  }
+  template <typename T>
+  [[nodiscard]] const T& attr(const std::string& key) const {
+    auto it = attrs_.find(key);
+    if (it == attrs_.end()) {
+      throw InternalError("node '" + name_ + "' (" + op_ +
+                          ") missing attr '" + key + "'");
+    }
+    const T* v = std::get_if<T>(&it->second);
+    if (v == nullptr) {
+      throw InternalError("node '" + name_ + "' attr '" + key +
+                          "' has unexpected type");
+    }
+    return *v;
+  }
+  void SetAttr(const std::string& key, AttrValue value) {
+    attrs_[key] = std::move(value);
+  }
+
+  [[nodiscard]] DType output_dtype(int i) const {
+    return output_dtypes_.at(static_cast<size_t>(i));
+  }
+  void set_output_dtype(int i, DType dtype) {
+    output_dtypes_.at(static_cast<size_t>(i)) = dtype;
+  }
+
+  // True when output `i` carries a TensorList handle rather than a dense
+  // tensor (static tracking used by the dynamic-dispatch layer).
+  [[nodiscard]] bool output_is_list(int i) const {
+    return output_is_list_.at(static_cast<size_t>(i));
+  }
+  void set_output_is_list(int i, bool is_list) {
+    output_is_list_.at(static_cast<size_t>(i)) = is_list;
+  }
+
+  [[nodiscard]] Output out(int i = 0) { return Output{this, i}; }
+
+  // The graph that owns this node (set by Graph::AddNode).
+  [[nodiscard]] Graph* owner() const { return owner_; }
+  void set_owner(Graph* g) { owner_ = g; }
+
+ private:
+  Graph* owner_ = nullptr;
+  int id_;
+  std::string name_;
+  std::string op_;
+  std::vector<Output> inputs_;
+  AttrMap attrs_;
+  std::vector<DType> output_dtypes_;
+  std::vector<bool> output_is_list_;
+};
+
+// The dataflow graph. Owns its nodes; node pointers remain stable for the
+// graph's lifetime (unique_ptr storage).
+class Graph {
+ public:
+  Graph() = default;
+  virtual ~Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  Node* AddNode(const std::string& op, std::vector<Output> inputs,
+                AttrMap attrs = {}, int num_outputs = 1);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] size_t num_nodes() const { return nodes_.size(); }
+
+  [[nodiscard]] Node* FindNode(const std::string& name) const;
+
+  // Name scopes (paper §7.2, Function Wrappers: "create a TensorFlow name
+  // scope, which improves the readability of the rendered graph").
+  void PushNameScope(const std::string& scope);
+  void PopNameScope();
+
+  // Removes nodes not reachable from `roots` (dead code elimination
+  // support). Invalidated Outputs must not be used afterwards.
+  void Prune(const std::vector<Output>& roots);
+
+  [[nodiscard]] std::string DebugString() const;
+
+ private:
+  [[nodiscard]] std::string UniqueName(const std::string& base);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, int> name_counts_;
+  std::vector<std::string> name_scopes_;
+  int next_id_ = 0;
+};
+
+// A subgraph used as a Cond branch / While body. Parameters are `Arg`
+// nodes (attr "index"); `returns` lists result endpoints. `captures`
+// records external tensors referenced from an enclosing graph: the i-th
+// capture corresponds to the Arg node `capture_args[i]`, and callers must
+// append the captured values to the call-site inputs.
+class FuncGraph final : public Graph {
+ public:
+  std::vector<Output> returns;
+  std::vector<Output> captures;       // endpoints in the OUTER graph
+  std::vector<Node*> capture_args;    // Arg nodes in THIS graph
+
+  // Returns the Arg node for captured outer endpoint `ext`, creating it
+  // (and recording the capture) on first use.
+  Output CaptureExternal(const Output& ext);
+
+  [[nodiscard]] int num_explicit_args() const { return num_explicit_args_; }
+  void set_num_explicit_args(int n) { num_explicit_args_ = n; }
+
+ private:
+  int num_explicit_args_ = 0;
+};
+
+}  // namespace ag::graph

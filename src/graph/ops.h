@@ -1,0 +1,78 @@
+// Graph construction API: a GraphContext tracking the current (sub)graph,
+// generic op emission with dtype inference, and functional control-flow
+// builders (Cond / While) with automatic closure capture — the same
+// mechanism TF's FuncGraph uses.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ag::graph {
+
+// Tracks the stack of graphs under construction. Ops are added to the
+// innermost graph; tensors from enclosing graphs are captured through
+// each FuncGraph level automatically.
+class GraphContext {
+ public:
+  explicit GraphContext(Graph* root) { stack_.push_back(root); }
+
+  [[nodiscard]] Graph* current() const { return stack_.back(); }
+  [[nodiscard]] Graph* root() const { return stack_.front(); }
+  [[nodiscard]] size_t depth() const { return stack_.size(); }
+
+  void Push(FuncGraph* g) { stack_.push_back(g); }
+  void Pop() { stack_.pop_back(); }
+
+  // Makes `o` usable in the current graph, inserting capture Args through
+  // intermediate FuncGraphs as needed.
+  [[nodiscard]] Output Resolve(Output o);
+
+ private:
+  std::vector<Graph*> stack_;
+};
+
+// Emits a node of type `op` into the current graph, resolving inputs
+// through captures, and returns its first output. Output dtypes are
+// inferred from the op type and inputs.
+Output Op(GraphContext& ctx, const std::string& op, std::vector<Output> inputs,
+          AttrMap attrs = {});
+
+// Multi-output variant; returns all outputs.
+std::vector<Output> OpN(GraphContext& ctx, const std::string& op,
+                        std::vector<Output> inputs, AttrMap attrs,
+                        int num_outputs);
+
+// ---- leaf constructors ----
+Output Const(GraphContext& ctx, Tensor value);
+Output Placeholder(GraphContext& ctx, const std::string& name, DType dtype);
+// Persistent variable (state survives across Session::Run calls).
+Output Variable(GraphContext& ctx, const std::string& var_name, DType dtype);
+Output Assign(GraphContext& ctx, const std::string& var_name, Output value);
+
+// ---- functional control flow ----
+
+// tf.cond equivalent. `then_fn` / `else_fn` build their branch bodies into
+// fresh FuncGraphs (pushed on `ctx`) and return the branch outputs; both
+// must return the same number of outputs.
+std::vector<Output> Cond(GraphContext& ctx, Output pred,
+                         const std::function<std::vector<Output>()>& then_fn,
+                         const std::function<std::vector<Output>()>& else_fn);
+
+// tf.while_loop equivalent over explicit loop variables. `cond_fn` maps
+// the loop vars (as subgraph Args) to a scalar-bool Output; `body_fn`
+// maps them to their next values.
+std::vector<Output> While(
+    GraphContext& ctx, std::vector<Output> init,
+    const std::function<Output(const std::vector<Output>&)>& cond_fn,
+    const std::function<std::vector<Output>(const std::vector<Output>&)>&
+        body_fn);
+
+// Infers the output dtype of `op` given input dtypes (index 0 output).
+[[nodiscard]] DType InferDtype(const std::string& op,
+                               const std::vector<Output>& inputs,
+                               const AttrMap& attrs);
+
+}  // namespace ag::graph

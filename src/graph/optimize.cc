@@ -1,0 +1,309 @@
+#include "graph/optimize.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace ag::graph {
+namespace {
+
+// Ops excluded from folding/CSE: stateful, control-flow, or I/O.
+const std::set<std::string>& ImpureOps() {
+  static const auto* kSet = new std::set<std::string>{
+      "Placeholder", "Variable",      "Assign",       "Print",
+      "Cond",        "While",         "Arg",          "NoOp",
+      "RandomNormal", "RandomUniform", "TensorListNew",
+      "TensorListPushBack", "TensorListPopBack", "TensorListStack",
+      "TensorListGet", "TensorListSet", "TensorListLen",
+  };
+  return *kSet;
+}
+
+// A structural signature for CSE. Includes op, input endpoints, and
+// scalar attrs; nodes with subgraph or tensor attrs are handled
+// separately (Const participates via value signature).
+std::string NodeSignature(const Node& node) {
+  std::ostringstream os;
+  os << node.op();
+  for (const Output& in : node.inputs()) {
+    os << "|" << in.node->id() << ":" << in.index;
+  }
+  for (const auto& [key, attr] : node.attrs()) {
+    os << "|" << key << "=";
+    if (const auto* i = std::get_if<int64_t>(&attr)) {
+      os << *i;
+    } else if (const auto* d = std::get_if<double>(&attr)) {
+      os << *d;
+    } else if (const auto* s = std::get_if<std::string>(&attr)) {
+      os << *s;
+    } else if (const auto* dt = std::get_if<DType>(&attr)) {
+      os << DTypeName(*dt);
+    } else if (const auto* p = std::get_if<std::vector<int>>(&attr)) {
+      for (int v : *p) os << v << ",";
+    } else if (const auto* t = std::get_if<Tensor>(&attr)) {
+      // Constants: fold small ones into the signature by value.
+      if (t->num_elements() <= 64) {
+        os << DTypeName(t->dtype()) << t->shape().str();
+        for (int64_t i = 0; i < t->num_elements(); ++i) os << "," << t->at(i);
+      } else {
+        os << "<big tensor " << node.id() << ">";
+      }
+    } else {
+      os << "<subgraph " << node.id() << ">";  // never merged
+    }
+  }
+  return os.str();
+}
+
+// Rewrites every input edge (and subgraph capture) according to `remap`.
+void RemapEdges(Graph* graph,
+                const std::unordered_map<const Node*, Node*>& remap) {
+  auto fix = [&remap](Output& o) {
+    auto it = remap.find(o.node);
+    if (it != remap.end()) o.node = it->second;
+  };
+  for (const auto& n : graph->nodes()) {
+    for (Output& in : *n->mutable_inputs()) fix(in);
+    for (const auto& [key, attr] : n->attrs()) {
+      if (const auto* sub = std::get_if<std::shared_ptr<Graph>>(&attr)) {
+        auto* fg = dynamic_cast<FuncGraph*>(sub->get());
+        if (fg != nullptr) {
+          for (Output& c : fg->captures) fix(c);
+        }
+      }
+    }
+  }
+}
+
+// Hoists loop-invariant pure ops out of one While node's body. Returns
+// the number of hoisted nodes. A body node is invariant when it is pure,
+// single-output, subgraph-free, and every input is a capture Arg, a
+// Const, or an already-hoisted node. Hoisted values are recomputed in
+// the outer graph and re-captured, and all body uses (including returns)
+// are redirected to the new capture; the originals become dead and the
+// executor's plan never schedules them.
+int HoistWhileInvariants(Graph* outer, Node* while_node) {
+  auto body = std::static_pointer_cast<FuncGraph>(
+      while_node->attr<std::shared_ptr<Graph>>("body"));
+  const auto num_loop_vars =
+      static_cast<int64_t>(while_node->attr<int64_t>("num_loop_vars"));
+
+  // Outer endpoint of each capture Arg (Arg index -> outer Output).
+  std::unordered_map<const Node*, Output> capture_source;
+  for (size_t j = 0; j < body->captures.size(); ++j) {
+    capture_source[body->capture_args[j]] = body->captures[j];
+  }
+
+  // Maps hoisted/cloned body nodes to their outer-graph clones.
+  std::unordered_map<const Node*, Node*> hoisted;
+  // Body-side replacement edges: old body endpoint -> new capture arg.
+  std::unordered_map<const Node*, Output> replace;
+
+  auto outer_input_for = [&](const Output& in,
+                             bool* ok) -> Output {
+    if (in.node->op() == "Arg") {
+      auto it = capture_source.find(in.node);
+      if (it == capture_source.end()) {  // a loop variable
+        *ok = false;
+        return {};
+      }
+      return it->second;
+    }
+    auto hit = hoisted.find(in.node);
+    if (hit != hoisted.end()) return Output{hit->second, in.index};
+    if (in.node->op() == "Const") {
+      Node* clone = outer->AddNode(
+          "Const", {}, {{"value", in.node->attr<Tensor>("value")}});
+      clone->set_output_dtype(0, in.node->output_dtype(0));
+      hoisted[in.node] = clone;
+      return Output{clone, 0};
+    }
+    *ok = false;
+    return {};
+  };
+
+  int count = 0;
+  // Index iteration over the original extent: re-capturing adds Arg
+  // nodes to the body while we scan.
+  const size_t original_body_nodes = body->num_nodes();
+  for (size_t bi = 0; bi < original_body_nodes; ++bi) {
+    const auto& n = body->nodes()[bi];
+    const std::string& op = n->op();
+    if (!IsPureOp(op) || op == "Const" || op == "Arg" ||
+        n->num_outputs() != 1 || n->inputs().empty()) {
+      continue;
+    }
+    bool has_subgraph = false;
+    for (const auto& [key, attr] : n->attrs()) {
+      if (std::holds_alternative<std::shared_ptr<Graph>>(attr)) {
+        has_subgraph = true;
+      }
+    }
+    if (has_subgraph) continue;
+
+    bool ok = true;
+    std::vector<Output> outer_inputs;
+    outer_inputs.reserve(n->inputs().size());
+    for (const Output& in : n->inputs()) {
+      outer_inputs.push_back(outer_input_for(in, &ok));
+      if (!ok) break;
+    }
+    if (!ok) continue;
+
+    Node* clone =
+        outer->AddNode(op, std::move(outer_inputs), n->attrs(), 1);
+    clone->set_output_dtype(0, n->output_dtype(0));
+    clone->set_output_is_list(0, n->output_is_list(0));
+    hoisted[n.get()] = clone;
+
+    // Re-capture the hoisted value into the body and extend the While
+    // node's input list (body captures form its trailing segment).
+    Output arg = body->CaptureExternal(Output{clone, 0});
+    while_node->mutable_inputs()->push_back(Output{clone, 0});
+    capture_source[arg.node] = Output{clone, 0};
+    replace[n.get()] = arg;
+    ++count;
+  }
+
+  if (!replace.empty()) {
+    auto fix = [&replace](Output& o) {
+      auto it = replace.find(o.node);
+      if (it != replace.end()) o = it->second;
+    };
+    for (const auto& n : body->nodes()) {
+      if (replace.count(n.get()) > 0) continue;  // the dead original
+      for (Output& in : *n->mutable_inputs()) fix(in);
+      for (const auto& [key, attr] : n->attrs()) {
+        if (const auto* sub = std::get_if<std::shared_ptr<Graph>>(&attr)) {
+          auto* fg = dynamic_cast<FuncGraph*>(sub->get());
+          if (fg != nullptr) {
+            for (Output& c : fg->captures) fix(c);
+          }
+        }
+      }
+    }
+    for (Output& r : body->returns) fix(r);
+  }
+  (void)num_loop_vars;
+  return count;
+}
+
+}  // namespace
+
+bool IsPureOp(const std::string& op) { return ImpureOps().count(op) == 0; }
+
+OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
+                       const NodeEvaluator& evaluator,
+                       const OptimizeOptions& options) {
+  OptimizeStats stats;
+
+  if (options.licm) {
+    // Hoist over the node list snapshot: hoisting appends clones.
+    const size_t original = graph->num_nodes();
+    for (size_t i = 0; i < original; ++i) {
+      Node* n = graph->nodes()[i].get();
+      if (n->op() == "While") {
+        stats.hoisted += HoistWhileInvariants(graph, n);
+      }
+    }
+  }
+
+  if (options.constant_folding && evaluator) {
+    // One forward sweep folds chains: nodes are appended after their
+    // inputs, so insertion order is topological. Index-based iteration
+    // over the original extent — folding appends new Const nodes, which
+    // both invalidates iterators and needs no scanning.
+    std::unordered_map<const Node*, Node*> remap;
+    const size_t original_count = graph->num_nodes();
+    for (size_t node_index = 0; node_index < original_count; ++node_index) {
+      const auto& n = graph->nodes()[node_index];
+      if (!IsPureOp(n->op()) || n->op() == "Const" || n->num_outputs() != 1) {
+        continue;
+      }
+      bool all_const = !n->inputs().empty();
+      std::vector<Tensor> in_values;
+      for (Output in : n->inputs()) {
+        auto it = remap.find(in.node);
+        const Node* src = it != remap.end() ? it->second : in.node;
+        if (src->op() != "Const" || in.index != 0) {
+          all_const = false;
+          break;
+        }
+        in_values.push_back(src->attr<Tensor>("value"));
+      }
+      if (!all_const) continue;
+      std::vector<Tensor> result;
+      try {
+        result = evaluator(*n, in_values);
+      } catch (const Error&) {
+        continue;  // shape errors etc. surface at run time, as in TF
+      }
+      if (result.size() != 1) continue;
+      Node* folded =
+          graph->AddNode("Const", {}, {{"value", std::move(result[0])}});
+      folded->set_output_dtype(0, n->output_dtype(0));
+      remap[n.get()] = folded;
+      ++stats.folded;
+    }
+    if (!remap.empty()) {
+      RemapEdges(graph, remap);
+      for (Output& r : *roots) {
+        auto it = remap.find(r.node);
+        if (it != remap.end()) r.node = it->second;
+      }
+    }
+  }
+
+  if (options.cse) {
+    std::map<std::string, Node*> seen;
+    std::unordered_map<const Node*, Node*> remap;
+    for (const auto& n : graph->nodes()) {
+      if (!IsPureOp(n->op())) continue;
+      bool has_subgraph = false;
+      for (const auto& [key, attr] : n->attrs()) {
+        if (std::holds_alternative<std::shared_ptr<Graph>>(attr)) {
+          has_subgraph = true;
+        }
+      }
+      if (has_subgraph) continue;
+      // Resolve inputs through prior merges so chains collapse.
+      for (Output& in : *n->mutable_inputs()) {
+        auto it = remap.find(in.node);
+        if (it != remap.end()) in.node = it->second;
+      }
+      const std::string sig = NodeSignature(*n);
+      auto [it, inserted] = seen.emplace(sig, n.get());
+      if (!inserted) {
+        remap[n.get()] = it->second;
+        ++stats.merged;
+      }
+    }
+    if (!remap.empty()) {
+      RemapEdges(graph, remap);
+      for (Output& r : *roots) {
+        auto it = remap.find(r.node);
+        if (it != remap.end()) r.node = it->second;
+      }
+    }
+  }
+
+  if (options.dce) {
+    const size_t before = graph->num_nodes();
+    // Side-effecting ops stay alive even when no fetch depends on them
+    // (they still only *execute* when on a fetched path, like TF ops
+    // without control dependencies).
+    std::vector<Output> keep = *roots;
+    for (const auto& n : graph->nodes()) {
+      if (n->op() == "Print" || n->op() == "Assert" || n->op() == "Assign") {
+        keep.push_back(Output{n.get(), 0});
+      }
+    }
+    graph->Prune(keep);
+    stats.pruned = static_cast<int>(before - graph->num_nodes());
+  }
+
+  return stats;
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,52 @@
+// Whole-graph optimization passes — the "whole-program optimization"
+// benefit graph-based systems get over imperative ones (paper §1).
+//
+//   - Constant folding: pure ops whose inputs are all Const are evaluated
+//     at optimization time (via an evaluator callback supplied by the
+//     runtime, so the graph library stays kernel-free).
+//   - Common subexpression elimination: structurally identical pure nodes
+//     are merged.
+//   - Dead code elimination: nodes not reachable from the fetch roots are
+//     pruned.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ag::graph {
+
+// Evaluates a single node given concrete input tensors. Supplied by the
+// executor (exec::EvaluatePureNode).
+using NodeEvaluator = std::function<std::vector<Tensor>(
+    const Node&, const std::vector<Tensor>&)>;
+
+struct OptimizeOptions {
+  bool constant_folding = true;
+  bool cse = true;
+  bool dce = true;
+  // Loop-invariant code motion: pure ops inside a While body that depend
+  // only on loop-invariant captures/constants are hoisted into the outer
+  // graph and re-captured, so they execute once per Run instead of once
+  // per iteration (the Grappler optimization TF applies to staged loops).
+  bool licm = true;
+};
+
+struct OptimizeStats {
+  int folded = 0;
+  int merged = 0;
+  int pruned = 0;
+  int hoisted = 0;
+};
+
+// Optimizes `graph` in place, preserving the meaning of `roots` (which are
+// remapped if their producers are merged/folded). Returns statistics.
+OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
+                       const NodeEvaluator& evaluator,
+                       const OptimizeOptions& options = {});
+
+// True if `op` has no side effects and may be folded/merged.
+[[nodiscard]] bool IsPureOp(const std::string& op);
+
+}  // namespace ag::graph

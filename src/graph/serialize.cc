@@ -1,0 +1,322 @@
+#include "graph/serialize.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace ag::graph {
+namespace {
+
+// ---- writer ----
+
+void WriteTensor(const Tensor& t, std::ostringstream& os) {
+  os << DTypeName(t.dtype()) << " [";
+  const auto& dims = t.shape().dims();
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) os << " ";
+    os << dims[i];
+  }
+  os << " ] :";
+  for (int64_t i = 0; i < t.num_elements(); ++i) {
+    os << " " << t.at(i);
+  }
+}
+
+void WriteGraph(const Graph& graph, int indent, std::ostringstream& os);
+
+void WriteNode(const Node& node, int indent, std::ostringstream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << "node \"" << node.name() << "\" " << node.op() << " "
+     << node.num_outputs() << "\n";
+  for (const Output& in : node.inputs()) {
+    os << pad << "  input \"" << in.node->name() << "\" " << in.index
+       << "\n";
+  }
+  for (int i = 0; i < node.num_outputs(); ++i) {
+    os << pad << "  dtype " << i << " " << DTypeName(node.output_dtype(i))
+       << (node.output_is_list(i) ? " list" : "") << "\n";
+  }
+  for (const auto& [key, attr] : node.attrs()) {
+    if (const auto* v = std::get_if<int64_t>(&attr)) {
+      os << pad << "  attr_int " << key << " " << *v << "\n";
+    } else if (const auto* d = std::get_if<double>(&attr)) {
+      os << pad << "  attr_float " << key << " " << *d << "\n";
+    } else if (const auto* s = std::get_if<std::string>(&attr)) {
+      os << pad << "  attr_str " << key << " \"" << *s << "\"\n";
+    } else if (const auto* dt = std::get_if<DType>(&attr)) {
+      os << pad << "  attr_dtype " << key << " " << DTypeName(*dt) << "\n";
+    } else if (const auto* ints = std::get_if<std::vector<int>>(&attr)) {
+      os << pad << "  attr_ints " << key;
+      for (int v : *ints) os << " " << v;
+      os << "\n";
+    } else if (const auto* t = std::get_if<Tensor>(&attr)) {
+      os << pad << "  attr_tensor " << key << " ";
+      WriteTensor(*t, os);
+      os << "\n";
+    } else if (const auto* sub =
+                   std::get_if<std::shared_ptr<Graph>>(&attr)) {
+      os << pad << "  attr_graph " << key << "\n";
+      WriteGraph(**sub, indent + 2, os);
+      os << pad << "  end_attr_graph\n";
+    }
+  }
+  os << pad << "end_node\n";
+}
+
+void WriteGraph(const Graph& graph, int indent, std::ostringstream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const auto* fg = dynamic_cast<const FuncGraph*>(&graph);
+  if (fg != nullptr) {
+    os << pad << "num_explicit_args " << fg->num_explicit_args() << "\n";
+  }
+  for (const auto& node : graph.nodes()) {
+    WriteNode(*node, indent, os);
+  }
+  if (fg != nullptr) {
+    for (const Output& c : fg->captures) {
+      os << pad << "capture \"" << c.node->name() << "\" " << c.index
+         << "\n";
+    }
+    for (const Output& r : fg->returns) {
+      os << pad << "return \"" << r.node->name() << "\" " << r.index
+         << "\n";
+    }
+  }
+}
+
+// ---- reader ----
+
+struct LineStream {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+
+  // Returns the next non-blank line, stripped; empty string at EOF.
+  std::string Peek() {
+    while (pos < lines.size()) {
+      std::string s = Strip(lines[pos]);
+      if (!s.empty()) return s;
+      ++pos;
+    }
+    return "";
+  }
+  void Advance() { ++pos; }
+};
+
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+// Extracts a quoted name ("foo bar" not supported; names have no spaces).
+std::string Unquote(const std::string& s) {
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+    throw ValueError("serialize: expected quoted name, got '" + s + "'");
+  }
+  return s.substr(1, s.size() - 2);
+}
+
+DType ParseDType(const std::string& s) {
+  if (s == "float32") return DType::kFloat32;
+  if (s == "int32") return DType::kInt32;
+  if (s == "bool") return DType::kBool;
+  throw ValueError("serialize: unknown dtype '" + s + "'");
+}
+
+// Reads nodes until `stop` (or EOF); `outer` resolves capture names.
+void ReadGraphBody(LineStream& ls, Graph* graph,
+                   const std::map<std::string, Node*>* outer,
+                   const std::string& stop);
+
+Node* ReadNode(LineStream& ls, Graph* graph,
+               std::map<std::string, Node*>* names,
+               const std::map<std::string, Node*>* outer) {
+  std::vector<std::string> head = Fields(ls.Peek());
+  ls.Advance();
+  // head: node "<name>" <op> <num_outputs>
+  const std::string name = Unquote(head[1]);
+  const std::string op = head[2];
+  const int num_outputs = std::stoi(head[3]);
+
+  std::vector<Output> inputs;
+  AttrMap attrs;
+  std::vector<std::pair<int, std::pair<DType, bool>>> dtypes;
+
+  while (true) {
+    std::string line = ls.Peek();
+    if (line == "end_node") {
+      ls.Advance();
+      break;
+    }
+    std::vector<std::string> f = Fields(line);
+    if (f.empty()) throw ValueError("serialize: unexpected EOF in node");
+    const std::string& kind = f[0];
+    if (kind == "input") {
+      auto it = names->find(Unquote(f[1]));
+      if (it == names->end()) {
+        throw ValueError("serialize: input references unknown node " +
+                         f[1]);
+      }
+      inputs.push_back(Output{it->second, std::stoi(f[2])});
+      ls.Advance();
+    } else if (kind == "dtype") {
+      dtypes.emplace_back(
+          std::stoi(f[1]),
+          std::make_pair(ParseDType(f[2]), f.size() > 3 && f[3] == "list"));
+      ls.Advance();
+    } else if (kind == "attr_int") {
+      attrs[f[1]] = static_cast<int64_t>(std::stoll(f[2]));
+      ls.Advance();
+    } else if (kind == "attr_float") {
+      attrs[f[1]] = std::stod(f[2]);
+      ls.Advance();
+    } else if (kind == "attr_str") {
+      // Re-join in case the value had spaces (names do not, but messages
+      // may).
+      const size_t q1 = line.find('"');
+      const size_t q2 = line.rfind('"');
+      attrs[f[1]] = line.substr(q1 + 1, q2 - q1 - 1);
+      ls.Advance();
+    } else if (kind == "attr_dtype") {
+      attrs[f[1]] = ParseDType(f[2]);
+      ls.Advance();
+    } else if (kind == "attr_ints") {
+      std::vector<int> values;
+      for (size_t i = 2; i < f.size(); ++i) values.push_back(std::stoi(f[i]));
+      attrs[f[1]] = std::move(values);
+      ls.Advance();
+    } else if (kind == "attr_tensor") {
+      // attr_tensor <key> <dtype> [ dims ] : v v v
+      const DType dtype = ParseDType(f[2]);
+      std::vector<int64_t> dims;
+      size_t i = 4;  // after '['
+      for (; i < f.size() && f[i] != "]"; ++i) {
+        dims.push_back(std::stoll(f[i]));
+      }
+      i += 2;  // skip "]" and ":"
+      std::vector<float> values;
+      for (; i < f.size(); ++i) values.push_back(std::stof(f[i]));
+      attrs[f[1]] =
+          Tensor::FromVector(std::move(values), Shape(std::move(dims)),
+                             dtype);
+      ls.Advance();
+    } else if (kind == "attr_graph") {
+      ls.Advance();
+      auto sub = std::make_shared<FuncGraph>();
+      ReadGraphBody(ls, sub.get(), names, "end_attr_graph");
+      ls.Advance();  // consume end_attr_graph
+      attrs[f[1]] = std::static_pointer_cast<Graph>(sub);
+    } else {
+      throw ValueError("serialize: unexpected line in node: " + line);
+    }
+  }
+
+  // Rebuild through AddNode to keep ownership bookkeeping; then restore
+  // the recorded dtypes. Names regenerate deterministically because nodes
+  // are written in creation order with the same base names.
+  Node* node =
+      graph->AddNode(op, std::move(inputs), std::move(attrs), num_outputs);
+  for (const auto& [index, info] : dtypes) {
+    node->set_output_dtype(index, info.first);
+    node->set_output_is_list(index, info.second);
+  }
+  names->emplace(name, node);
+  return node;
+}
+
+void ReadGraphBody(LineStream& ls, Graph* graph,
+                   const std::map<std::string, Node*>* outer,
+                   const std::string& stop) {
+  std::map<std::string, Node*> names;
+  auto* fg = dynamic_cast<FuncGraph*>(graph);
+  while (true) {
+    std::string line = ls.Peek();
+    if (line.empty() || line == stop) return;
+    std::vector<std::string> f = Fields(line);
+    if (f[0] == "node") {
+      ReadNode(ls, graph, &names, outer);
+    } else if (f[0] == "num_explicit_args") {
+      if (fg != nullptr) fg->set_num_explicit_args(std::stoi(f[1]));
+      ls.Advance();
+    } else if (f[0] == "capture") {
+      if (fg == nullptr || outer == nullptr) {
+        throw ValueError("serialize: capture outside a subgraph");
+      }
+      auto it = outer->find(Unquote(f[1]));
+      if (it == outer->end()) {
+        throw ValueError("serialize: capture references unknown node " +
+                         f[1]);
+      }
+      fg->captures.push_back(Output{it->second, std::stoi(f[2])});
+      // The matching Arg node was already deserialized; recover it by
+      // position: capture i corresponds to the i-th Arg with index >=
+      // num_explicit_args.
+      ls.Advance();
+    } else if (f[0] == "return") {
+      if (fg == nullptr) {
+        throw ValueError("serialize: return outside a subgraph");
+      }
+      auto it = names.find(Unquote(f[1]));
+      if (it == names.end()) {
+        throw ValueError("serialize: return references unknown node " +
+                         f[1]);
+      }
+      fg->returns.push_back(Output{it->second, std::stoi(f[2])});
+      ls.Advance();
+    } else if (f[0] == "output") {
+      return;  // top-level output section; handled by caller
+    } else {
+      throw ValueError("serialize: unexpected line: " + line);
+    }
+  }
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& graph,
+                           const std::vector<Output>& outputs) {
+  std::ostringstream os;
+  os << "# AutoGraph-C++ graph, version 1\n";
+  WriteGraph(graph, 0, os);
+  for (const Output& o : outputs) {
+    os << "output \"" << o.node->name() << "\" " << o.index << "\n";
+  }
+  return os.str();
+}
+
+DeserializedGraph DeserializeGraph(const std::string& text) {
+  LineStream ls;
+  for (std::string& line : Split(text, '\n')) {
+    if (!line.empty() && line[0] == '#') continue;
+    ls.lines.push_back(std::move(line));
+  }
+
+  DeserializedGraph out;
+  out.graph = std::make_shared<Graph>();
+  // Top-level read: collect the name map to resolve outputs.
+  std::map<std::string, Node*> names;
+  while (true) {
+    std::string line = ls.Peek();
+    if (line.empty()) break;
+    std::vector<std::string> f = Fields(line);
+    if (f[0] == "node") {
+      ReadNode(ls, out.graph.get(), &names, nullptr);
+    } else if (f[0] == "output") {
+      auto it = names.find(Unquote(f[1]));
+      if (it == names.end()) {
+        throw ValueError("serialize: output references unknown node " +
+                         f[1]);
+      }
+      out.outputs.push_back(Output{it->second, std::stoi(f[2])});
+      ls.Advance();
+    } else {
+      throw ValueError("serialize: unexpected top-level line: " + line);
+    }
+  }
+  return out;
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,30 @@
+// Graph serialization — the portability/deployment half of the
+// graph-based story (§1: graphs "can be deployed to mobile devices or web
+// servers"). A staged graph, including its functional control flow
+// subgraphs and fetch endpoints, round-trips through a line-oriented text
+// format (a GraphDef-pbtxt stand-in) and can be executed by a Session in
+// a process that never saw the original source.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ag::graph {
+
+// Serializes `graph` with the given fetch endpoints.
+[[nodiscard]] std::string SerializeGraph(const Graph& graph,
+                                         const std::vector<Output>& outputs);
+
+struct DeserializedGraph {
+  std::shared_ptr<Graph> graph;
+  std::vector<Output> outputs;
+};
+
+// Parses text produced by SerializeGraph. Throws Error(kValue) on
+// malformed input.
+[[nodiscard]] DeserializedGraph DeserializeGraph(const std::string& text);
+
+}  // namespace ag::graph

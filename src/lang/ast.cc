@@ -1,0 +1,274 @@
+#include "lang/ast.h"
+
+#include "support/strings.h"
+
+namespace ag::lang {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kFloorDiv: return "//";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kPow: return "**";
+  }
+  return "?";
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kIn: return "in";
+    case CompareOp::kNotIn: return "not in";
+  }
+  return "?";
+}
+
+const char* UnaryOpSymbol(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot: return "not ";
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kPos: return "+";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+std::shared_ptr<T> WithLocs(std::shared_ptr<T> node, const Node& src) {
+  node->loc = src.loc;
+  node->origin = src.origin;
+  return node;
+}
+
+std::vector<ExprPtr> CloneExprs(const std::vector<ExprPtr>& es) {
+  std::vector<ExprPtr> out;
+  out.reserve(es.size());
+  for (const ExprPtr& e : es) out.push_back(CloneExpr(e));
+  return out;
+}
+
+}  // namespace
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  if (!e) return nullptr;
+  switch (e->kind) {
+    case ExprKind::kName:
+      return WithLocs(std::make_shared<NameExpr>(Cast<NameExpr>(e)->id), *e);
+    case ExprKind::kNumber: {
+      auto n = Cast<NumberExpr>(e);
+      return WithLocs(std::make_shared<NumberExpr>(n->value, n->is_int), *e);
+    }
+    case ExprKind::kString:
+      return WithLocs(std::make_shared<StringExpr>(Cast<StringExpr>(e)->value),
+                      *e);
+    case ExprKind::kBool:
+      return WithLocs(std::make_shared<BoolExpr>(Cast<BoolExpr>(e)->value),
+                      *e);
+    case ExprKind::kNone:
+      return WithLocs(std::make_shared<NoneExpr>(), *e);
+    case ExprKind::kTuple:
+      return WithLocs(
+          std::make_shared<TupleExpr>(CloneExprs(Cast<TupleExpr>(e)->elts)),
+          *e);
+    case ExprKind::kList:
+      return WithLocs(
+          std::make_shared<ListExpr>(CloneExprs(Cast<ListExpr>(e)->elts)),
+          *e);
+    case ExprKind::kAttribute: {
+      auto a = Cast<AttributeExpr>(e);
+      return WithLocs(
+          std::make_shared<AttributeExpr>(CloneExpr(a->value), a->attr), *e);
+    }
+    case ExprKind::kSubscript: {
+      auto s = Cast<SubscriptExpr>(e);
+      return WithLocs(std::make_shared<SubscriptExpr>(CloneExpr(s->value),
+                                                      CloneExpr(s->index)),
+                      *e);
+    }
+    case ExprKind::kCall: {
+      auto c = Cast<CallExpr>(e);
+      std::vector<Keyword> kws;
+      kws.reserve(c->keywords.size());
+      for (const Keyword& kw : c->keywords) {
+        kws.push_back(Keyword{kw.name, CloneExpr(kw.value)});
+      }
+      return WithLocs(std::make_shared<CallExpr>(
+                          CloneExpr(c->func), CloneExprs(c->args),
+                          std::move(kws)),
+                      *e);
+    }
+    case ExprKind::kUnary: {
+      auto u = Cast<UnaryExpr>(e);
+      return WithLocs(std::make_shared<UnaryExpr>(u->op,
+                                                  CloneExpr(u->operand)),
+                      *e);
+    }
+    case ExprKind::kBinary: {
+      auto b = Cast<BinaryExpr>(e);
+      return WithLocs(std::make_shared<BinaryExpr>(b->op, CloneExpr(b->left),
+                                                   CloneExpr(b->right)),
+                      *e);
+    }
+    case ExprKind::kCompare: {
+      auto c = Cast<CompareExpr>(e);
+      return WithLocs(std::make_shared<CompareExpr>(c->op, CloneExpr(c->left),
+                                                    CloneExpr(c->right)),
+                      *e);
+    }
+    case ExprKind::kBoolOp: {
+      auto b = Cast<BoolOpExpr>(e);
+      return WithLocs(std::make_shared<BoolOpExpr>(b->op, CloneExpr(b->left),
+                                                   CloneExpr(b->right)),
+                      *e);
+    }
+    case ExprKind::kIfExp: {
+      auto i = Cast<IfExpExpr>(e);
+      return WithLocs(
+          std::make_shared<IfExpExpr>(CloneExpr(i->test), CloneExpr(i->body),
+                                      CloneExpr(i->orelse)),
+          *e);
+    }
+    case ExprKind::kLambda: {
+      auto l = Cast<LambdaExpr>(e);
+      return WithLocs(std::make_shared<LambdaExpr>(l->params,
+                                                   CloneExpr(l->body)),
+                      *e);
+    }
+  }
+  throw InternalError("CloneExpr: unknown kind");
+}
+
+StmtPtr CloneStmt(const StmtPtr& s) {
+  if (!s) return nullptr;
+  switch (s->kind) {
+    case StmtKind::kFunctionDef: {
+      auto f = Cast<FunctionDefStmt>(s);
+      auto out = std::make_shared<FunctionDefStmt>(f->name, f->params,
+                                                   CloneBody(f->body));
+      out->decorators = f->decorators;
+      for (const ExprPtr& d : f->defaults) out->defaults.push_back(CloneExpr(d));
+      return WithLocs(std::move(out), *s);
+    }
+    case StmtKind::kReturn:
+      return WithLocs(
+          std::make_shared<ReturnStmt>(CloneExpr(Cast<ReturnStmt>(s)->value)),
+          *s);
+    case StmtKind::kAssign: {
+      auto a = Cast<AssignStmt>(s);
+      return WithLocs(std::make_shared<AssignStmt>(CloneExpr(a->target),
+                                                   CloneExpr(a->value)),
+                      *s);
+    }
+    case StmtKind::kAugAssign: {
+      auto a = Cast<AugAssignStmt>(s);
+      return WithLocs(std::make_shared<AugAssignStmt>(
+                          a->op, CloneExpr(a->target), CloneExpr(a->value)),
+                      *s);
+    }
+    case StmtKind::kExprStmt:
+      return WithLocs(
+          std::make_shared<ExprStmt>(CloneExpr(Cast<ExprStmt>(s)->value)),
+          *s);
+    case StmtKind::kIf: {
+      auto i = Cast<IfStmt>(s);
+      return WithLocs(std::make_shared<IfStmt>(CloneExpr(i->test),
+                                               CloneBody(i->body),
+                                               CloneBody(i->orelse)),
+                      *s);
+    }
+    case StmtKind::kWhile: {
+      auto w = Cast<WhileStmt>(s);
+      return WithLocs(
+          std::make_shared<WhileStmt>(CloneExpr(w->test), CloneBody(w->body)),
+          *s);
+    }
+    case StmtKind::kFor: {
+      auto f = Cast<ForStmt>(s);
+      return WithLocs(std::make_shared<ForStmt>(CloneExpr(f->target),
+                                                CloneExpr(f->iter),
+                                                CloneBody(f->body)),
+                      *s);
+    }
+    case StmtKind::kBreak:
+      return WithLocs(std::make_shared<BreakStmt>(), *s);
+    case StmtKind::kContinue:
+      return WithLocs(std::make_shared<ContinueStmt>(), *s);
+    case StmtKind::kPass:
+      return WithLocs(std::make_shared<PassStmt>(), *s);
+    case StmtKind::kAssert: {
+      auto a = Cast<AssertStmt>(s);
+      return WithLocs(
+          std::make_shared<AssertStmt>(CloneExpr(a->test), CloneExpr(a->msg)),
+          *s);
+    }
+  }
+  throw InternalError("CloneStmt: unknown kind");
+}
+
+StmtList CloneBody(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) out.push_back(CloneStmt(s));
+  return out;
+}
+
+ExprPtr MakeName(const std::string& id, const Node* origin_of) {
+  auto n = std::make_shared<NameExpr>(id);
+  if (origin_of != nullptr) {
+    n->loc = origin_of->loc;
+    n->origin = origin_of->origin;
+  }
+  return n;
+}
+
+ExprPtr MakeAttr(ExprPtr value, const std::string& attr) {
+  auto a = std::make_shared<AttributeExpr>(std::move(value), attr);
+  if (a->value) {
+    a->loc = a->value->loc;
+    a->origin = a->value->origin;
+  }
+  return a;
+}
+
+ExprPtr MakeCall(ExprPtr func, std::vector<ExprPtr> args,
+                 std::vector<Keyword> keywords) {
+  auto c = std::make_shared<CallExpr>(std::move(func), std::move(args),
+                                      std::move(keywords));
+  if (c->func) {
+    c->loc = c->func->loc;
+    c->origin = c->func->origin;
+  }
+  return c;
+}
+
+ExprPtr MakeDottedName(const std::string& dotted) {
+  std::vector<std::string> parts = Split(dotted, '.');
+  ExprPtr e = std::make_shared<NameExpr>(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    e = std::make_shared<AttributeExpr>(std::move(e), parts[i]);
+  }
+  return e;
+}
+
+std::optional<std::string> QualifiedName(const ExprPtr& e) {
+  if (!e) return std::nullopt;
+  if (e->kind == ExprKind::kName) return Cast<NameExpr>(e)->id;
+  if (e->kind == ExprKind::kAttribute) {
+    auto a = Cast<AttributeExpr>(e);
+    auto base = QualifiedName(a->value);
+    if (!base) return std::nullopt;
+    return *base + "." + a->attr;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ag::lang

@@ -1,0 +1,341 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ag::lang {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"def", TokenKind::kDef},         {"return", TokenKind::kReturn},
+      {"if", TokenKind::kIf},           {"elif", TokenKind::kElif},
+      {"else", TokenKind::kElse},       {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},         {"in", TokenKind::kIn},
+      {"break", TokenKind::kBreak},     {"continue", TokenKind::kContinue},
+      {"pass", TokenKind::kPass},       {"assert", TokenKind::kAssert},
+      {"lambda", TokenKind::kLambda},   {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},           {"not", TokenKind::kNot},
+      {"True", TokenKind::kTrue},       {"False", TokenKind::kFalse},
+      {"None", TokenKind::kNone},       {"global", TokenKind::kGlobal},
+      {"nonlocal", TokenKind::kNonlocal}, {"del", TokenKind::kDel},
+  };
+  return *kMap;
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& source, std::string filename)
+      : src_(source), filename_(std::move(filename)) {}
+
+  std::vector<Token> Run() {
+    indents_.push_back(0);
+    while (!AtEnd()) {
+      if (at_line_start_ && paren_depth_ == 0) {
+        LexIndentation();
+        if (AtEnd()) break;
+      }
+      LexToken();
+    }
+    // Terminate any open logical line.
+    if (!tokens_.empty() && !tokens_.back().is(TokenKind::kNewline)) {
+      Emit(TokenKind::kNewline, "");
+    }
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      Emit(TokenKind::kDedent, "");
+    }
+    Emit(TokenKind::kEndOfFile, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  [[nodiscard]] bool AtEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char Peek(size_t offset = 0) const {
+    return pos_ + offset < src_.size() ? src_[pos_ + offset] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] SourceLocation Here() const {
+    return SourceLocation{filename_, line_, col_};
+  }
+
+  void Emit(TokenKind kind, std::string text, std::string str_value = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.str_value = std::move(str_value);
+    t.location = token_start_;
+    tokens_.push_back(std::move(t));
+  }
+
+  void LexIndentation() {
+    // Measure leading spaces; skip blank/comment-only lines entirely.
+    while (true) {
+      size_t scan = pos_;
+      int indent = 0;
+      while (scan < src_.size() && (src_[scan] == ' ' || src_[scan] == '\t')) {
+        indent += src_[scan] == '\t' ? 8 - indent % 8 : 1;
+        ++scan;
+      }
+      if (scan >= src_.size()) {
+        // Trailing whitespace at EOF.
+        while (pos_ < scan) Advance();
+        return;
+      }
+      if (src_[scan] == '\n' || src_[scan] == '#') {
+        // Blank or comment line: consume through newline.
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+        if (!AtEnd()) Advance();  // the newline
+        continue;
+      }
+      // Real content: consume the measured whitespace and emit tokens.
+      while (pos_ < scan) Advance();
+      token_start_ = Here();
+      if (indent > indents_.back()) {
+        indents_.push_back(indent);
+        Emit(TokenKind::kIndent, "");
+      } else {
+        while (indent < indents_.back()) {
+          indents_.pop_back();
+          Emit(TokenKind::kDedent, "");
+        }
+        if (indent != indents_.back()) {
+          throw SyntaxError("inconsistent dedent", Here());
+        }
+      }
+      at_line_start_ = false;
+      return;
+    }
+  }
+
+  void LexToken() {
+    // Skip intra-line whitespace and comments.
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '\\' && Peek(1) == '\n') {
+        Advance();
+        Advance();  // explicit line continuation
+      } else {
+        break;
+      }
+    }
+    if (AtEnd()) return;
+
+    token_start_ = Here();
+    char c = Peek();
+
+    if (c == '\n') {
+      Advance();
+      if (paren_depth_ == 0) {
+        if (!tokens_.empty() && !tokens_.back().is(TokenKind::kNewline) &&
+            !tokens_.back().is(TokenKind::kIndent) &&
+            !tokens_.back().is(TokenKind::kDedent)) {
+          Emit(TokenKind::kNewline, "");
+        }
+        at_line_start_ = true;
+      }
+      return;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        name += Advance();
+      }
+      auto it = Keywords().find(name);
+      if (it != Keywords().end()) {
+        Emit(it->second, name);
+      } else {
+        Emit(TokenKind::kName, name);
+      }
+      return;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      std::string num;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (!AtEnd()) {
+        char d = Peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num += Advance();
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          num += Advance();
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          num += Advance();
+          if (Peek() == '+' || Peek() == '-') num += Advance();
+        } else {
+          break;
+        }
+      }
+      Emit(TokenKind::kNumber, num);
+      return;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = Advance();
+      std::string value;
+      std::string raw(1, quote);
+      while (true) {
+        if (AtEnd() || Peek() == '\n') {
+          throw SyntaxError("unterminated string literal", token_start_);
+        }
+        char d = Advance();
+        raw += d;
+        if (d == quote) break;
+        if (d == '\\') {
+          if (AtEnd()) throw SyntaxError("bad escape", token_start_);
+          char e = Advance();
+          raw += e;
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '\\': value += '\\'; break;
+            case '\'': value += '\''; break;
+            case '"': value += '"'; break;
+            default: value += e;
+          }
+        } else {
+          value += d;
+        }
+      }
+      Emit(TokenKind::kString, raw, value);
+      return;
+    }
+
+    // Operators / punctuation.
+    auto two = [&](char a, char b) { return c == a && Peek(1) == b; };
+    if (two('*', '*')) { Advance(); Advance(); Emit(TokenKind::kDoubleStar, "**"); return; }
+    if (two('/', '/')) { Advance(); Advance(); Emit(TokenKind::kDoubleSlash, "//"); return; }
+    if (two('<', '=')) { Advance(); Advance(); Emit(TokenKind::kLessEqual, "<="); return; }
+    if (two('>', '=')) { Advance(); Advance(); Emit(TokenKind::kGreaterEqual, ">="); return; }
+    if (two('=', '=')) { Advance(); Advance(); Emit(TokenKind::kEqualEqual, "=="); return; }
+    if (two('!', '=')) { Advance(); Advance(); Emit(TokenKind::kNotEqual, "!="); return; }
+    if (two('+', '=')) { Advance(); Advance(); Emit(TokenKind::kPlusAssign, "+="); return; }
+    if (two('-', '=')) { Advance(); Advance(); Emit(TokenKind::kMinusAssign, "-="); return; }
+    if (two('*', '=')) { Advance(); Advance(); Emit(TokenKind::kStarAssign, "*="); return; }
+    if (two('/', '=')) { Advance(); Advance(); Emit(TokenKind::kSlashAssign, "/="); return; }
+
+    Advance();
+    switch (c) {
+      case '+': Emit(TokenKind::kPlus, "+"); return;
+      case '-': Emit(TokenKind::kMinus, "-"); return;
+      case '*': Emit(TokenKind::kStar, "*"); return;
+      case '/': Emit(TokenKind::kSlash, "/"); return;
+      case '%': Emit(TokenKind::kPercent, "%"); return;
+      case '<': Emit(TokenKind::kLess, "<"); return;
+      case '>': Emit(TokenKind::kGreater, ">"); return;
+      case '=': Emit(TokenKind::kAssign, "="); return;
+      case '(': ++paren_depth_; Emit(TokenKind::kLParen, "("); return;
+      case ')': --paren_depth_; Emit(TokenKind::kRParen, ")"); return;
+      case '[': ++paren_depth_; Emit(TokenKind::kLBracket, "["); return;
+      case ']': --paren_depth_; Emit(TokenKind::kRBracket, "]"); return;
+      case ',': Emit(TokenKind::kComma, ","); return;
+      case ':': Emit(TokenKind::kColon, ":"); return;
+      case '.': Emit(TokenKind::kDot, "."); return;
+      case '@': Emit(TokenKind::kAt, "@"); return;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'",
+                          token_start_);
+    }
+  }
+
+  const std::string& src_;
+  std::string filename_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  int paren_depth_ = 0;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+  SourceLocation token_start_;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& source,
+                            const std::string& filename) {
+  return Lexer(source, filename).Run();
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNewline: return "NEWLINE";
+    case TokenKind::kIndent: return "INDENT";
+    case TokenKind::kDedent: return "DEDENT";
+    case TokenKind::kEndOfFile: return "EOF";
+    case TokenKind::kName: return "NAME";
+    case TokenKind::kNumber: return "NUMBER";
+    case TokenKind::kString: return "STRING";
+    case TokenKind::kDef: return "def";
+    case TokenKind::kReturn: return "return";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElif: return "elif";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kWhile: return "while";
+    case TokenKind::kFor: return "for";
+    case TokenKind::kIn: return "in";
+    case TokenKind::kBreak: return "break";
+    case TokenKind::kContinue: return "continue";
+    case TokenKind::kPass: return "pass";
+    case TokenKind::kAssert: return "assert";
+    case TokenKind::kLambda: return "lambda";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kTrue: return "True";
+    case TokenKind::kFalse: return "False";
+    case TokenKind::kNone: return "None";
+    case TokenKind::kGlobal: return "global";
+    case TokenKind::kNonlocal: return "nonlocal";
+    case TokenKind::kDel: return "del";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kDoubleStar: return "**";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kDoubleSlash: return "//";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kLess: return "<";
+    case TokenKind::kLessEqual: return "<=";
+    case TokenKind::kGreater: return ">";
+    case TokenKind::kGreaterEqual: return ">=";
+    case TokenKind::kEqualEqual: return "==";
+    case TokenKind::kNotEqual: return "!=";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kPlusAssign: return "+=";
+    case TokenKind::kMinusAssign: return "-=";
+    case TokenKind::kStarAssign: return "*=";
+    case TokenKind::kSlashAssign: return "/=";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kAt: return "@";
+  }
+  return "?";
+}
+
+}  // namespace ag::lang

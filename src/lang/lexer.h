@@ -1,0 +1,19 @@
+// Indentation-sensitive lexer for PyMini.
+//
+// Produces a flat token stream with kNewline / kIndent / kDedent tokens.
+// Inside parentheses/brackets, newlines and indentation are ignored
+// (implicit line joining), matching Python.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace ag::lang {
+
+// Tokenizes `source`. Throws Error(kSyntax) on malformed input.
+[[nodiscard]] std::vector<Token> Tokenize(const std::string& source,
+                                          const std::string& filename = "<string>");
+
+}  // namespace ag::lang

@@ -1,0 +1,642 @@
+#include "lang/parser.h"
+
+#include <cstdlib>
+
+#include "lang/lexer.h"
+#include "lang/token.h"
+
+namespace ag::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ModulePtr ParseModule(const std::string& filename) {
+    auto module = std::make_shared<Module>();
+    module->filename = filename;
+    SkipNewlines();
+    while (!Check(TokenKind::kEndOfFile)) {
+      module->body.push_back(ParseStatement());
+      SkipNewlines();
+    }
+    return module;
+  }
+
+ private:
+  // ---- token stream helpers ----
+  [[nodiscard]] const Token& Peek(size_t offset = 0) const {
+    size_t i = pos_ + offset;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool Check(TokenKind k) const { return Peek().is(k); }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind k) {
+    if (Check(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  const Token& Expect(TokenKind k, const char* context) {
+    if (!Check(k)) {
+      throw SyntaxError(std::string("expected '") + TokenKindName(k) +
+                            "' in " + context + ", got '" +
+                            TokenKindName(Peek().kind) + "'",
+                        Peek().location);
+    }
+    return Advance();
+  }
+  void SkipNewlines() {
+    while (Check(TokenKind::kNewline)) Advance();
+  }
+
+  template <typename T, typename... Args>
+  std::shared_ptr<T> New(const SourceLocation& loc, Args&&... args) {
+    auto node = std::make_shared<T>(std::forward<Args>(args)...);
+    node->loc = loc;
+    node->origin = loc;
+    return node;
+  }
+
+  // ---- statements ----
+  StmtPtr ParseStatement() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kAt:
+      case TokenKind::kDef:
+        return ParseFunctionDef();
+      case TokenKind::kIf:
+        return ParseIf();
+      case TokenKind::kWhile:
+        return ParseWhile();
+      case TokenKind::kFor:
+        return ParseFor();
+      case TokenKind::kGlobal:
+      case TokenKind::kNonlocal:
+        // Paper Appendix E: global/nonlocal are "not allowed".
+        throw SyntaxError(std::string(TokenKindName(t.kind)) +
+                              " statements are not supported by PyMini",
+                          t.location);
+      default:
+        return ParseSimpleStatement();
+    }
+  }
+
+  StmtPtr ParseFunctionDef() {
+    std::vector<std::string> decorators;
+    while (Match(TokenKind::kAt)) {
+      // Decorator: dotted name with optional call parens, e.g. @ag.convert()
+      std::string dec = Expect(TokenKind::kName, "decorator").text;
+      while (Match(TokenKind::kDot)) {
+        dec += "." + Expect(TokenKind::kName, "decorator").text;
+      }
+      if (Match(TokenKind::kLParen)) {
+        // Ignore decorator arguments.
+        int depth = 1;
+        while (depth > 0) {
+          const Token& tok = Advance();
+          if (tok.is(TokenKind::kLParen)) ++depth;
+          if (tok.is(TokenKind::kRParen)) --depth;
+          if (tok.is(TokenKind::kEndOfFile)) {
+            throw SyntaxError("unterminated decorator", tok.location);
+          }
+        }
+      }
+      decorators.push_back(dec);
+      Expect(TokenKind::kNewline, "decorator");
+      SkipNewlines();
+    }
+
+    const Token& def_tok = Expect(TokenKind::kDef, "function definition");
+    std::string name = Expect(TokenKind::kName, "function name").text;
+    Expect(TokenKind::kLParen, "parameter list");
+    std::vector<std::string> params;
+    std::vector<ExprPtr> defaults;
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        params.push_back(Expect(TokenKind::kName, "parameter").text);
+        if (Match(TokenKind::kAssign)) {
+          defaults.push_back(ParseTest());
+        } else if (!defaults.empty()) {
+          throw SyntaxError("non-default parameter after default parameter",
+                            Peek().location);
+        }
+      } while (Match(TokenKind::kComma));
+    }
+    Expect(TokenKind::kRParen, "parameter list");
+    Expect(TokenKind::kColon, "function definition");
+    StmtList body = ParseBlock();
+    auto fn = New<FunctionDefStmt>(def_tok.location, std::move(name),
+                                   std::move(params), std::move(body));
+    fn->defaults = std::move(defaults);
+    fn->decorators = std::move(decorators);
+    return fn;
+  }
+
+  StmtList ParseBlock() {
+    Expect(TokenKind::kNewline, "block");
+    SkipNewlines();
+    Expect(TokenKind::kIndent, "block");
+    StmtList body;
+    SkipNewlines();
+    while (!Check(TokenKind::kDedent) && !Check(TokenKind::kEndOfFile)) {
+      body.push_back(ParseStatement());
+      SkipNewlines();
+    }
+    Expect(TokenKind::kDedent, "block");
+    if (body.empty()) {
+      throw SyntaxError("empty block", Peek().location);
+    }
+    return body;
+  }
+
+  StmtPtr ParseIf() {
+    const Token& tok = Expect(TokenKind::kIf, "if statement");
+    ExprPtr test = ParseTest();
+    Expect(TokenKind::kColon, "if statement");
+    StmtList body = ParseBlock();
+    StmtList orelse;
+    SkipNewlines();
+    if (Check(TokenKind::kElif)) {
+      // Desugar `elif` into `else: if ...`, like CPython's AST.
+      const Token& elif_tok = Advance();
+      ExprPtr elif_test = ParseTest();
+      Expect(TokenKind::kColon, "elif");
+      StmtList elif_body = ParseBlock();
+      StmtList elif_orelse = ParseOptionalElse();
+      orelse.push_back(New<IfStmt>(elif_tok.location, std::move(elif_test),
+                                   std::move(elif_body),
+                                   std::move(elif_orelse)));
+    } else {
+      orelse = ParseOptionalElse();
+    }
+    return New<IfStmt>(tok.location, std::move(test), std::move(body),
+                       std::move(orelse));
+  }
+
+  StmtList ParseOptionalElse() {
+    SkipNewlines();
+    if (Check(TokenKind::kElse)) {
+      Advance();
+      if (Check(TokenKind::kIf)) {
+        // `else if` is not Python; require elif.
+        throw SyntaxError("use 'elif', not 'else if'", Peek().location);
+      }
+      Expect(TokenKind::kColon, "else");
+      return ParseBlock();
+    }
+    if (Check(TokenKind::kElif)) {
+      const Token& elif_tok = Advance();
+      ExprPtr test = ParseTest();
+      Expect(TokenKind::kColon, "elif");
+      StmtList body = ParseBlock();
+      StmtList orelse = ParseOptionalElse();
+      StmtList out;
+      out.push_back(New<IfStmt>(elif_tok.location, std::move(test),
+                                std::move(body), std::move(orelse)));
+      return out;
+    }
+    return {};
+  }
+
+  StmtPtr ParseWhile() {
+    const Token& tok = Expect(TokenKind::kWhile, "while statement");
+    ExprPtr test = ParseTest();
+    Expect(TokenKind::kColon, "while statement");
+    StmtList body = ParseBlock();
+    return New<WhileStmt>(tok.location, std::move(test), std::move(body));
+  }
+
+  StmtPtr ParseFor() {
+    const Token& tok = Expect(TokenKind::kFor, "for statement");
+    ExprPtr target = ParseTargetList();
+    Expect(TokenKind::kIn, "for statement");
+    ExprPtr iter = ParseTestList();
+    Expect(TokenKind::kColon, "for statement");
+    StmtList body = ParseBlock();
+    return New<ForStmt>(tok.location, std::move(target), std::move(iter),
+                        std::move(body));
+  }
+
+  ExprPtr ParseTargetList() {
+    SourceLocation loc = Peek().location;
+    std::vector<ExprPtr> targets;
+    targets.push_back(ParseAtomTrailer());
+    while (Match(TokenKind::kComma)) {
+      targets.push_back(ParseAtomTrailer());
+    }
+    if (targets.size() == 1) return targets[0];
+    return New<TupleExpr>(loc, std::move(targets));
+  }
+
+  StmtPtr ParseSimpleStatement() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kReturn: {
+        Advance();
+        ExprPtr value;
+        if (!Check(TokenKind::kNewline) && !Check(TokenKind::kEndOfFile)) {
+          value = ParseTestList();
+        }
+        EndSimpleStatement();
+        return New<ReturnStmt>(t.location, std::move(value));
+      }
+      case TokenKind::kBreak:
+        Advance();
+        EndSimpleStatement();
+        return New<BreakStmt>(t.location);
+      case TokenKind::kContinue:
+        Advance();
+        EndSimpleStatement();
+        return New<ContinueStmt>(t.location);
+      case TokenKind::kPass:
+        Advance();
+        EndSimpleStatement();
+        return New<PassStmt>(t.location);
+      case TokenKind::kAssert: {
+        Advance();
+        ExprPtr test = ParseTest();
+        ExprPtr msg;
+        if (Match(TokenKind::kComma)) msg = ParseTest();
+        EndSimpleStatement();
+        return New<AssertStmt>(t.location, std::move(test), std::move(msg));
+      }
+      default:
+        break;
+    }
+
+    // Expression statement / assignment / augmented assignment.
+    ExprPtr first = ParseTestList();
+    if (Check(TokenKind::kAssign)) {
+      Advance();
+      ExprPtr value = ParseTestList();
+      // Chained assignment a = b = expr.
+      std::vector<ExprPtr> targets{first};
+      while (Check(TokenKind::kAssign)) {
+        Advance();
+        targets.push_back(value);
+        value = ParseTestList();
+      }
+      EndSimpleStatement();
+      if (targets.size() > 1) {
+        throw SyntaxError("chained assignment is not supported", t.location);
+      }
+      ValidateTarget(targets[0]);
+      return New<AssignStmt>(t.location, targets[0], std::move(value));
+    }
+    BinaryOp aug_op{};
+    bool is_aug = true;
+    if (Check(TokenKind::kPlusAssign)) {
+      aug_op = BinaryOp::kAdd;
+    } else if (Check(TokenKind::kMinusAssign)) {
+      aug_op = BinaryOp::kSub;
+    } else if (Check(TokenKind::kStarAssign)) {
+      aug_op = BinaryOp::kMul;
+    } else if (Check(TokenKind::kSlashAssign)) {
+      aug_op = BinaryOp::kDiv;
+    } else {
+      is_aug = false;
+    }
+    if (is_aug) {
+      Advance();
+      ExprPtr value = ParseTestList();
+      EndSimpleStatement();
+      ValidateTarget(first);
+      return New<AugAssignStmt>(t.location, aug_op, first, std::move(value));
+    }
+    EndSimpleStatement();
+    return New<ExprStmt>(t.location, std::move(first));
+  }
+
+  void EndSimpleStatement() {
+    if (Check(TokenKind::kNewline)) {
+      Advance();
+    } else if (!Check(TokenKind::kEndOfFile) && !Check(TokenKind::kDedent)) {
+      throw SyntaxError(std::string("unexpected '") +
+                            TokenKindName(Peek().kind) +
+                            "' after statement",
+                        Peek().location);
+    }
+  }
+
+  void ValidateTarget(const ExprPtr& target) {
+    switch (target->kind) {
+      case ExprKind::kName:
+      case ExprKind::kAttribute:
+      case ExprKind::kSubscript:
+        return;
+      case ExprKind::kTuple:
+      case ExprKind::kList: {
+        const auto& elts = target->kind == ExprKind::kTuple
+                               ? Cast<TupleExpr>(target)->elts
+                               : Cast<ListExpr>(target)->elts;
+        for (const ExprPtr& e : elts) ValidateTarget(e);
+        return;
+      }
+      default:
+        throw SyntaxError("invalid assignment target", target->loc);
+    }
+  }
+
+  // ---- expressions ----
+  // testlist: test (',' test)* — builds a tuple when more than one.
+  ExprPtr ParseTestList() {
+    SourceLocation loc = Peek().location;
+    std::vector<ExprPtr> elts;
+    elts.push_back(ParseTest());
+    bool is_tuple = false;
+    while (Check(TokenKind::kComma)) {
+      // A trailing comma before a closer still makes a tuple.
+      Advance();
+      is_tuple = true;
+      if (Check(TokenKind::kNewline) || Check(TokenKind::kEndOfFile) ||
+          Check(TokenKind::kRParen) || Check(TokenKind::kRBracket) ||
+          Check(TokenKind::kAssign) || Check(TokenKind::kColon)) {
+        break;
+      }
+      elts.push_back(ParseTest());
+    }
+    if (!is_tuple) return elts[0];
+    return New<TupleExpr>(loc, std::move(elts));
+  }
+
+  // test: or_test ('if' or_test 'else' test)? | lambda
+  ExprPtr ParseTest() {
+    if (Check(TokenKind::kLambda)) return ParseLambda();
+    ExprPtr body = ParseOrTest();
+    if (Check(TokenKind::kIf)) {
+      const Token& tok = Advance();
+      ExprPtr test = ParseOrTest();
+      Expect(TokenKind::kElse, "conditional expression");
+      ExprPtr orelse = ParseTest();
+      return New<IfExpExpr>(tok.location, std::move(test), std::move(body),
+                            std::move(orelse));
+    }
+    return body;
+  }
+
+  ExprPtr ParseLambda() {
+    const Token& tok = Expect(TokenKind::kLambda, "lambda");
+    std::vector<std::string> params;
+    if (!Check(TokenKind::kColon)) {
+      do {
+        params.push_back(Expect(TokenKind::kName, "lambda parameter").text);
+      } while (Match(TokenKind::kComma));
+    }
+    Expect(TokenKind::kColon, "lambda");
+    ExprPtr body = ParseTest();
+    return New<LambdaExpr>(tok.location, std::move(params), std::move(body));
+  }
+
+  ExprPtr ParseOrTest() {
+    ExprPtr left = ParseAndTest();
+    while (Check(TokenKind::kOr)) {
+      const Token& tok = Advance();
+      ExprPtr right = ParseAndTest();
+      left = New<BoolOpExpr>(tok.location, BoolOp::kOr, std::move(left),
+                             std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseAndTest() {
+    ExprPtr left = ParseNotTest();
+    while (Check(TokenKind::kAnd)) {
+      const Token& tok = Advance();
+      ExprPtr right = ParseNotTest();
+      left = New<BoolOpExpr>(tok.location, BoolOp::kAnd, std::move(left),
+                             std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseNotTest() {
+    if (Check(TokenKind::kNot)) {
+      const Token& tok = Advance();
+      // `not in` handled in comparison; a leading `not` binds the test.
+      ExprPtr operand = ParseNotTest();
+      return New<UnaryExpr>(tok.location, UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    // Python chained-comparison semantics: `a < b < c` means
+    // `a < b and b < c` (the middle operand is syntactically duplicated;
+    // PyMini expressions in the supported subset are side-effect-free).
+    ExprPtr left = ParseArith();
+    ExprPtr chain;  // accumulated conjunction for chains
+    while (true) {
+      CompareOp op;
+      const Token& t = Peek();
+      if (t.is(TokenKind::kLess)) {
+        op = CompareOp::kLt;
+      } else if (t.is(TokenKind::kLessEqual)) {
+        op = CompareOp::kLe;
+      } else if (t.is(TokenKind::kGreater)) {
+        op = CompareOp::kGt;
+      } else if (t.is(TokenKind::kGreaterEqual)) {
+        op = CompareOp::kGe;
+      } else if (t.is(TokenKind::kEqualEqual)) {
+        op = CompareOp::kEq;
+      } else if (t.is(TokenKind::kNotEqual)) {
+        op = CompareOp::kNe;
+      } else if (t.is(TokenKind::kIn)) {
+        op = CompareOp::kIn;
+      } else if (t.is(TokenKind::kNot) && Peek(1).is(TokenKind::kIn)) {
+        op = CompareOp::kNotIn;
+        Advance();  // the `not`
+      } else {
+        break;
+      }
+      const Token& tok = Advance();
+      ExprPtr right = ParseArith();
+      ExprPtr compare = New<CompareExpr>(tok.location, op, std::move(left),
+                                         CloneExpr(right));
+      chain = chain ? New<BoolOpExpr>(tok.location, BoolOp::kAnd,
+                                      std::move(chain), std::move(compare))
+                    : std::move(compare);
+      left = std::move(right);  // next link compares against this operand
+    }
+    return chain ? chain : left;
+  }
+
+  ExprPtr ParseArith() {
+    ExprPtr left = ParseTerm();
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      const Token& tok = Advance();
+      BinaryOp op = tok.is(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      ExprPtr right = ParseTerm();
+      left = New<BinaryExpr>(tok.location, op, std::move(left),
+                             std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseTerm() {
+    ExprPtr left = ParseFactor();
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+           Check(TokenKind::kDoubleSlash) || Check(TokenKind::kPercent)) {
+      const Token& tok = Advance();
+      BinaryOp op = BinaryOp::kMul;
+      if (tok.is(TokenKind::kSlash)) op = BinaryOp::kDiv;
+      if (tok.is(TokenKind::kDoubleSlash)) op = BinaryOp::kFloorDiv;
+      if (tok.is(TokenKind::kPercent)) op = BinaryOp::kMod;
+      ExprPtr right = ParseFactor();
+      left = New<BinaryExpr>(tok.location, op, std::move(left),
+                             std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseFactor() {
+    if (Check(TokenKind::kMinus) || Check(TokenKind::kPlus)) {
+      const Token& tok = Advance();
+      UnaryOp op = tok.is(TokenKind::kMinus) ? UnaryOp::kNeg : UnaryOp::kPos;
+      ExprPtr operand = ParseFactor();
+      return New<UnaryExpr>(tok.location, op, std::move(operand));
+    }
+    return ParsePower();
+  }
+
+  ExprPtr ParsePower() {
+    ExprPtr base = ParseAtomTrailer();
+    if (Check(TokenKind::kDoubleStar)) {
+      const Token& tok = Advance();
+      ExprPtr exp = ParseFactor();  // right-associative
+      return New<BinaryExpr>(tok.location, BinaryOp::kPow, std::move(base),
+                             std::move(exp));
+    }
+    return base;
+  }
+
+  ExprPtr ParseAtomTrailer() {
+    ExprPtr e = ParseAtom();
+    while (true) {
+      if (Check(TokenKind::kLParen)) {
+        const Token& tok = Advance();
+        std::vector<ExprPtr> args;
+        std::vector<Keyword> keywords;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            if (Check(TokenKind::kRParen)) break;  // trailing comma
+            if (Check(TokenKind::kName) && Peek(1).is(TokenKind::kAssign)) {
+              std::string kw = Advance().text;
+              Advance();  // '='
+              keywords.push_back(Keyword{std::move(kw), ParseTest()});
+            } else {
+              if (!keywords.empty()) {
+                throw SyntaxError("positional argument after keyword argument",
+                                  Peek().location);
+              }
+              args.push_back(ParseTest());
+            }
+          } while (Match(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRParen, "call");
+        e = New<CallExpr>(tok.location, std::move(e), std::move(args),
+                          std::move(keywords));
+      } else if (Check(TokenKind::kLBracket)) {
+        const Token& tok = Advance();
+        ExprPtr index = ParseTestList();
+        Expect(TokenKind::kRBracket, "subscript");
+        e = New<SubscriptExpr>(tok.location, std::move(e), std::move(index));
+      } else if (Check(TokenKind::kDot)) {
+        const Token& tok = Advance();
+        std::string attr = Expect(TokenKind::kName, "attribute access").text;
+        e = New<AttributeExpr>(tok.location, std::move(e), std::move(attr));
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr ParseAtom() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kName:
+        Advance();
+        return New<NameExpr>(t.location, t.text);
+      case TokenKind::kNumber: {
+        Advance();
+        const bool is_int = t.text.find('.') == std::string::npos &&
+                            t.text.find('e') == std::string::npos &&
+                            t.text.find('E') == std::string::npos;
+        return New<NumberExpr>(t.location, std::strtod(t.text.c_str(), nullptr),
+                               is_int);
+      }
+      case TokenKind::kString:
+        Advance();
+        return New<StringExpr>(t.location, t.str_value);
+      case TokenKind::kTrue:
+        Advance();
+        return New<BoolExpr>(t.location, true);
+      case TokenKind::kFalse:
+        Advance();
+        return New<BoolExpr>(t.location, false);
+      case TokenKind::kNone:
+        Advance();
+        return New<NoneExpr>(t.location);
+      case TokenKind::kLParen: {
+        Advance();
+        if (Check(TokenKind::kRParen)) {
+          Advance();
+          return New<TupleExpr>(t.location, std::vector<ExprPtr>{});
+        }
+        ExprPtr inner = ParseTestList();
+        Expect(TokenKind::kRParen, "parenthesized expression");
+        return inner;
+      }
+      case TokenKind::kLBracket: {
+        Advance();
+        std::vector<ExprPtr> elts;
+        if (!Check(TokenKind::kRBracket)) {
+          do {
+            if (Check(TokenKind::kRBracket)) break;  // trailing comma
+            elts.push_back(ParseTest());
+          } while (Match(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRBracket, "list literal");
+        return New<ListExpr>(t.location, std::move(elts));
+      }
+      case TokenKind::kLambda:
+        return ParseLambda();
+      default:
+        throw SyntaxError(std::string("unexpected token '") +
+                              TokenKindName(t.kind) + "'",
+                          t.location);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ModulePtr ParseStr(const std::string& code, const std::string& filename) {
+  Parser parser(Tokenize(code, filename));
+  return parser.ParseModule(filename);
+}
+
+std::shared_ptr<FunctionDefStmt> ParseEntity(const std::string& code,
+                                             const std::string& filename) {
+  ModulePtr module = ParseStr(code, filename);
+  std::shared_ptr<FunctionDefStmt> found;
+  for (const StmtPtr& s : module->body) {
+    if (s->kind == StmtKind::kFunctionDef) {
+      if (found) {
+        throw ValueError("ParseEntity: multiple top-level functions");
+      }
+      found = Cast<FunctionDefStmt>(s);
+    }
+  }
+  if (!found) {
+    throw ValueError("ParseEntity: no top-level function found");
+  }
+  return found;
+}
+
+}  // namespace ag::lang

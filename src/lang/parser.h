@@ -1,0 +1,23 @@
+// Recursive-descent parser for PyMini.
+//
+// Mirrors the paper's Appendix C utilities:
+//   parse_str(code)      -> Module (any sequence of statements)
+//   parse_entity(code)   -> the single FunctionDef in `code`
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ag::lang {
+
+// Parses arbitrary PyMini code into a Module. Throws Error(kSyntax).
+[[nodiscard]] ModulePtr ParseStr(const std::string& code,
+                                 const std::string& filename = "<string>");
+
+// Parses code expected to contain exactly one top-level function
+// definition and returns it. Throws Error(kSyntax) / Error(kValue).
+[[nodiscard]] std::shared_ptr<FunctionDefStmt> ParseEntity(
+    const std::string& code, const std::string& filename = "<string>");
+
+}  // namespace ag::lang

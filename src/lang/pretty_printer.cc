@@ -1,0 +1,312 @@
+#include "lang/pretty_printer.h"
+
+#include <sstream>
+
+namespace ag::lang {
+namespace {
+
+class Printer {
+ public:
+  std::string Result() { return os_.str(); }
+
+  void Line(const std::string& text) {
+    for (int i = 0; i < depth_; ++i) os_ << "| ";
+    os_ << text << "\n";
+  }
+
+  template <typename F>
+  void Nested(F&& f) {
+    ++depth_;
+    f();
+    --depth_;
+  }
+
+  void PrintExpr(const ExprPtr& e) {
+    if (!e) {
+      Line("None");
+      return;
+    }
+    switch (e->kind) {
+      case ExprKind::kName:
+        Line("Name:");
+        Nested([&] { Line("id=\"" + Cast<NameExpr>(e)->id + "\""); });
+        break;
+      case ExprKind::kNumber: {
+        auto n = Cast<NumberExpr>(e);
+        std::ostringstream v;
+        if (n->is_int) {
+          v << static_cast<long long>(n->value);
+        } else {
+          v << n->value;
+        }
+        Line("Num:");
+        Nested([&] { Line("n=" + v.str()); });
+        break;
+      }
+      case ExprKind::kString:
+        Line("Str:");
+        Nested([&] { Line("s=\"" + Cast<StringExpr>(e)->value + "\""); });
+        break;
+      case ExprKind::kBool:
+        Line(std::string("NameConstant: ") +
+             (Cast<BoolExpr>(e)->value ? "True" : "False"));
+        break;
+      case ExprKind::kNone:
+        Line("NameConstant: None");
+        break;
+      case ExprKind::kTuple:
+        Line("Tuple:");
+        Nested([&] { PrintExprList("elts", Cast<TupleExpr>(e)->elts); });
+        break;
+      case ExprKind::kList:
+        Line("List:");
+        Nested([&] { PrintExprList("elts", Cast<ListExpr>(e)->elts); });
+        break;
+      case ExprKind::kAttribute: {
+        auto a = Cast<AttributeExpr>(e);
+        Line("Attribute:");
+        Nested([&] {
+          Line("value=");
+          Nested([&] { PrintExpr(a->value); });
+          Line("attr=\"" + a->attr + "\"");
+        });
+        break;
+      }
+      case ExprKind::kSubscript: {
+        auto s = Cast<SubscriptExpr>(e);
+        Line("Subscript:");
+        Nested([&] {
+          Line("value=");
+          Nested([&] { PrintExpr(s->value); });
+          Line("index=");
+          Nested([&] { PrintExpr(s->index); });
+        });
+        break;
+      }
+      case ExprKind::kCall: {
+        auto c = Cast<CallExpr>(e);
+        Line("Call:");
+        Nested([&] {
+          Line("func=");
+          Nested([&] { PrintExpr(c->func); });
+          PrintExprList("args", c->args);
+          if (!c->keywords.empty()) {
+            Line("keywords=[");
+            Nested([&] {
+              for (const Keyword& kw : c->keywords) {
+                Line(kw.name + "=");
+                Nested([&] { PrintExpr(kw.value); });
+              }
+            });
+            Line("]");
+          }
+        });
+        break;
+      }
+      case ExprKind::kUnary: {
+        auto u = Cast<UnaryExpr>(e);
+        Line(std::string("UnaryOp: ") + UnaryOpSymbol(u->op));
+        Nested([&] { PrintExpr(u->operand); });
+        break;
+      }
+      case ExprKind::kBinary: {
+        auto b = Cast<BinaryExpr>(e);
+        Line(std::string("BinOp: ") + BinaryOpSymbol(b->op));
+        Nested([&] {
+          PrintExpr(b->left);
+          PrintExpr(b->right);
+        });
+        break;
+      }
+      case ExprKind::kCompare: {
+        auto c = Cast<CompareExpr>(e);
+        Line(std::string("Compare: ") + CompareOpSymbol(c->op));
+        Nested([&] {
+          PrintExpr(c->left);
+          PrintExpr(c->right);
+        });
+        break;
+      }
+      case ExprKind::kBoolOp: {
+        auto b = Cast<BoolOpExpr>(e);
+        Line(std::string("BoolOp: ") +
+             (b->op == BoolOp::kAnd ? "and" : "or"));
+        Nested([&] {
+          PrintExpr(b->left);
+          PrintExpr(b->right);
+        });
+        break;
+      }
+      case ExprKind::kIfExp: {
+        auto i = Cast<IfExpExpr>(e);
+        Line("IfExp:");
+        Nested([&] {
+          Line("test=");
+          Nested([&] { PrintExpr(i->test); });
+          Line("body=");
+          Nested([&] { PrintExpr(i->body); });
+          Line("orelse=");
+          Nested([&] { PrintExpr(i->orelse); });
+        });
+        break;
+      }
+      case ExprKind::kLambda: {
+        auto l = Cast<LambdaExpr>(e);
+        std::string params;
+        for (size_t i = 0; i < l->params.size(); ++i) {
+          if (i > 0) params += ", ";
+          params += l->params[i];
+        }
+        Line("Lambda: (" + params + ")");
+        Nested([&] { PrintExpr(l->body); });
+        break;
+      }
+    }
+  }
+
+  void PrintStmt(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kFunctionDef: {
+        auto f = Cast<FunctionDefStmt>(s);
+        std::string params;
+        for (size_t i = 0; i < f->params.size(); ++i) {
+          if (i > 0) params += ", ";
+          params += f->params[i];
+        }
+        Line("FunctionDef: " + f->name + "(" + params + ")");
+        Nested([&] { PrintBody("body", f->body); });
+        break;
+      }
+      case StmtKind::kReturn:
+        Line("Return:");
+        Nested([&] { PrintExpr(Cast<ReturnStmt>(s)->value); });
+        break;
+      case StmtKind::kAssign: {
+        auto a = Cast<AssignStmt>(s);
+        Line("Assign:");
+        Nested([&] {
+          Line("targets=[");
+          Nested([&] { PrintExpr(a->target); });
+          Line("]");
+          Line("value=");
+          Nested([&] { PrintExpr(a->value); });
+        });
+        break;
+      }
+      case StmtKind::kAugAssign: {
+        auto a = Cast<AugAssignStmt>(s);
+        Line(std::string("AugAssign: ") + BinaryOpSymbol(a->op) + "=");
+        Nested([&] {
+          PrintExpr(a->target);
+          PrintExpr(a->value);
+        });
+        break;
+      }
+      case StmtKind::kExprStmt:
+        Line("Expr:");
+        Nested([&] { PrintExpr(Cast<ExprStmt>(s)->value); });
+        break;
+      case StmtKind::kIf: {
+        auto i = Cast<IfStmt>(s);
+        Line("If:");
+        Nested([&] {
+          Line("test=");
+          Nested([&] { PrintExpr(i->test); });
+          PrintBody("body", i->body);
+          if (!i->orelse.empty()) PrintBody("orelse", i->orelse);
+        });
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto w = Cast<WhileStmt>(s);
+        Line("While:");
+        Nested([&] {
+          Line("test=");
+          Nested([&] { PrintExpr(w->test); });
+          PrintBody("body", w->body);
+        });
+        break;
+      }
+      case StmtKind::kFor: {
+        auto f = Cast<ForStmt>(s);
+        Line("For:");
+        Nested([&] {
+          Line("target=");
+          Nested([&] { PrintExpr(f->target); });
+          Line("iter=");
+          Nested([&] { PrintExpr(f->iter); });
+          PrintBody("body", f->body);
+        });
+        break;
+      }
+      case StmtKind::kBreak:
+        Line("Break");
+        break;
+      case StmtKind::kContinue:
+        Line("Continue");
+        break;
+      case StmtKind::kPass:
+        Line("Pass");
+        break;
+      case StmtKind::kAssert: {
+        auto a = Cast<AssertStmt>(s);
+        Line("Assert:");
+        Nested([&] {
+          PrintExpr(a->test);
+          if (a->msg) PrintExpr(a->msg);
+        });
+        break;
+      }
+    }
+  }
+
+  void PrintBody(const std::string& label, const StmtList& body) {
+    Line(label + "=[");
+    Nested([&] {
+      for (const StmtPtr& s : body) PrintStmt(s);
+    });
+    Line("]");
+  }
+
+ private:
+  void PrintExprList(const std::string& label,
+                     const std::vector<ExprPtr>& exprs) {
+    Line(label + "=[");
+    Nested([&] {
+      for (const ExprPtr& e : exprs) PrintExpr(e);
+    });
+    Line("]");
+  }
+
+  std::ostringstream os_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Fmt(const ExprPtr& expr) {
+  Printer p;
+  p.PrintExpr(expr);
+  return p.Result();
+}
+
+std::string Fmt(const StmtPtr& stmt) {
+  Printer p;
+  p.PrintStmt(stmt);
+  return p.Result();
+}
+
+std::string Fmt(const StmtList& body) {
+  Printer p;
+  for (const StmtPtr& s : body) p.PrintStmt(s);
+  return p.Result();
+}
+
+std::string Fmt(const ModulePtr& module) {
+  Printer p;
+  p.Line("Module:");
+  p.Nested([&] { p.PrintBody("body", module->body); });
+  return p.Result();
+}
+
+}  // namespace ag::lang

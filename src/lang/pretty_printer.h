@@ -1,0 +1,21 @@
+// Tree-shaped AST dump (the paper's pretty_printer.fmt, Appendix C).
+//
+//   Module:
+//   | body=[
+//   | | Assign:
+//   | | | targets=[ ... ]
+//   ...
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ag::lang {
+
+[[nodiscard]] std::string Fmt(const ExprPtr& expr);
+[[nodiscard]] std::string Fmt(const StmtPtr& stmt);
+[[nodiscard]] std::string Fmt(const StmtList& body);
+[[nodiscard]] std::string Fmt(const ModulePtr& module);
+
+}  // namespace ag::lang

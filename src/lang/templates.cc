@@ -1,0 +1,264 @@
+#include "lang/templates.h"
+
+#include "lang/parser.h"
+#include "support/strings.h"
+
+namespace ag::lang::templates {
+namespace {
+
+class Substituter {
+ public:
+  explicit Substituter(const ReplacementMap& replacements)
+      : replacements_(replacements) {}
+
+  StmtList ProcessBody(const StmtList& body) {
+    StmtList out;
+    for (const StmtPtr& s : body) {
+      // A whole-line placeholder: `body` as a bare expression statement.
+      if (s->kind == StmtKind::kExprStmt) {
+        const ExprPtr& v = Cast<ExprStmt>(s)->value;
+        if (v->kind == ExprKind::kName) {
+          const Replacement* r = Find(Cast<NameExpr>(v)->id);
+          if (r != nullptr && std::holds_alternative<StmtList>(r->value)) {
+            for (const StmtPtr& repl : std::get<StmtList>(r->value)) {
+              out.push_back(CloneStmt(repl));
+            }
+            continue;
+          }
+        }
+      }
+      out.push_back(ProcessStmt(s));
+    }
+    return out;
+  }
+
+  StmtPtr ProcessStmt(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kFunctionDef: {
+        auto f = Cast<FunctionDefStmt>(s);
+        f->name = SubstSymbol(f->name);
+        std::vector<std::string> params;
+        for (const std::string& p : f->params) {
+          const Replacement* r = Find(p);
+          if (r != nullptr &&
+              std::holds_alternative<std::vector<std::string>>(r->value)) {
+            for (const std::string& sym :
+                 std::get<std::vector<std::string>>(r->value)) {
+              params.push_back(sym);
+            }
+          } else {
+            params.push_back(SubstSymbol(p));
+          }
+        }
+        f->params = std::move(params);
+        for (ExprPtr& d : f->defaults) d = ProcessExpr(d);
+        f->body = ProcessBody(f->body);
+        return f;
+      }
+      case StmtKind::kReturn: {
+        auto r = Cast<ReturnStmt>(s);
+        if (r->value) r->value = ProcessExpr(r->value);
+        return r;
+      }
+      case StmtKind::kAssign: {
+        auto a = Cast<AssignStmt>(s);
+        a->target = ProcessExpr(a->target);
+        a->value = ProcessExpr(a->value);
+        return a;
+      }
+      case StmtKind::kAugAssign: {
+        auto a = Cast<AugAssignStmt>(s);
+        a->target = ProcessExpr(a->target);
+        a->value = ProcessExpr(a->value);
+        return a;
+      }
+      case StmtKind::kExprStmt: {
+        auto e = Cast<ExprStmt>(s);
+        e->value = ProcessExpr(e->value);
+        return e;
+      }
+      case StmtKind::kIf: {
+        auto i = Cast<IfStmt>(s);
+        i->test = ProcessExpr(i->test);
+        i->body = ProcessBody(i->body);
+        i->orelse = ProcessBody(i->orelse);
+        return i;
+      }
+      case StmtKind::kWhile: {
+        auto w = Cast<WhileStmt>(s);
+        w->test = ProcessExpr(w->test);
+        w->body = ProcessBody(w->body);
+        return w;
+      }
+      case StmtKind::kFor: {
+        auto f = Cast<ForStmt>(s);
+        f->target = ProcessExpr(f->target);
+        f->iter = ProcessExpr(f->iter);
+        f->body = ProcessBody(f->body);
+        return f;
+      }
+      case StmtKind::kAssert: {
+        auto a = Cast<AssertStmt>(s);
+        a->test = ProcessExpr(a->test);
+        if (a->msg) a->msg = ProcessExpr(a->msg);
+        return a;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kPass:
+        return s;
+    }
+    throw InternalError("templates: unknown stmt kind");
+  }
+
+  ExprPtr ProcessExpr(const ExprPtr& e) {
+    if (!e) return e;
+    if (e->kind == ExprKind::kName) {
+      const std::string& id = Cast<NameExpr>(e)->id;
+      const Replacement* r = Find(id);
+      if (r == nullptr) return e;
+      if (std::holds_alternative<std::string>(r->value)) {
+        const std::string& sym = std::get<std::string>(r->value);
+        // Dotted replacement symbols expand to attribute chains.
+        ExprPtr out = MakeDottedName(sym);
+        out->loc = e->loc;
+        out->origin = e->origin;
+        return out;
+      }
+      if (std::holds_alternative<ExprPtr>(r->value)) {
+        return CloneExpr(std::get<ExprPtr>(r->value));
+      }
+      throw ValueError("template placeholder '" + id +
+                       "' used in expression position but bound to a "
+                       "statement list or symbol list");
+    }
+    switch (e->kind) {
+      case ExprKind::kTuple: {
+        auto t = Cast<TupleExpr>(e);
+        for (ExprPtr& elt : t->elts) elt = ProcessExpr(elt);
+        return t;
+      }
+      case ExprKind::kList: {
+        auto l = Cast<ListExpr>(e);
+        for (ExprPtr& elt : l->elts) elt = ProcessExpr(elt);
+        return l;
+      }
+      case ExprKind::kAttribute: {
+        auto a = Cast<AttributeExpr>(e);
+        a->value = ProcessExpr(a->value);
+        return a;
+      }
+      case ExprKind::kSubscript: {
+        auto s = Cast<SubscriptExpr>(e);
+        s->value = ProcessExpr(s->value);
+        s->index = ProcessExpr(s->index);
+        return s;
+      }
+      case ExprKind::kCall: {
+        auto c = Cast<CallExpr>(e);
+        c->func = ProcessExpr(c->func);
+        // A placeholder bound to a symbol *list* in argument position
+        // expands to multiple arguments.
+        std::vector<ExprPtr> args;
+        for (const ExprPtr& a : c->args) {
+          if (a->kind == ExprKind::kName) {
+            const Replacement* r = Find(Cast<NameExpr>(a)->id);
+            if (r != nullptr &&
+                std::holds_alternative<std::vector<std::string>>(r->value)) {
+              for (const std::string& sym :
+                   std::get<std::vector<std::string>>(r->value)) {
+                args.push_back(MakeName(sym, a.get()));
+              }
+              continue;
+            }
+          }
+          args.push_back(ProcessExpr(a));
+        }
+        c->args = std::move(args);
+        for (Keyword& kw : c->keywords) kw.value = ProcessExpr(kw.value);
+        return c;
+      }
+      case ExprKind::kUnary: {
+        auto u = Cast<UnaryExpr>(e);
+        u->operand = ProcessExpr(u->operand);
+        return u;
+      }
+      case ExprKind::kBinary: {
+        auto b = Cast<BinaryExpr>(e);
+        b->left = ProcessExpr(b->left);
+        b->right = ProcessExpr(b->right);
+        return b;
+      }
+      case ExprKind::kCompare: {
+        auto c = Cast<CompareExpr>(e);
+        c->left = ProcessExpr(c->left);
+        c->right = ProcessExpr(c->right);
+        return c;
+      }
+      case ExprKind::kBoolOp: {
+        auto b = Cast<BoolOpExpr>(e);
+        b->left = ProcessExpr(b->left);
+        b->right = ProcessExpr(b->right);
+        return b;
+      }
+      case ExprKind::kIfExp: {
+        auto i = Cast<IfExpExpr>(e);
+        i->test = ProcessExpr(i->test);
+        i->body = ProcessExpr(i->body);
+        i->orelse = ProcessExpr(i->orelse);
+        return i;
+      }
+      case ExprKind::kLambda: {
+        auto l = Cast<LambdaExpr>(e);
+        for (std::string& p : l->params) p = SubstSymbol(p);
+        l->body = ProcessExpr(l->body);
+        return l;
+      }
+      default:
+        return e;
+    }
+  }
+
+ private:
+  const Replacement* Find(const std::string& id) const {
+    auto it = replacements_.find(id);
+    return it == replacements_.end() ? nullptr : &it->second;
+  }
+
+  std::string SubstSymbol(const std::string& id) const {
+    const Replacement* r = Find(id);
+    if (r == nullptr) return id;
+    if (std::holds_alternative<std::string>(r->value)) {
+      const std::string& sym = std::get<std::string>(r->value);
+      if (!IsIdentifier(sym)) {
+        throw ValueError("template symbol replacement '" + sym +
+                         "' is not a valid identifier");
+      }
+      return sym;
+    }
+    throw ValueError("template placeholder '" + id +
+                     "' in symbol position must be bound to a symbol name");
+  }
+
+  const ReplacementMap& replacements_;
+};
+
+}  // namespace
+
+StmtList Replace(const std::string& template_code,
+                 const ReplacementMap& replacements) {
+  ModulePtr module = ParseStr(Dedent(template_code), "<template>");
+  Substituter sub(replacements);
+  return sub.ProcessBody(module->body);
+}
+
+ExprPtr ReplaceAsExpr(const std::string& template_code,
+                      const ReplacementMap& replacements) {
+  StmtList stmts = Replace(template_code, replacements);
+  if (stmts.size() != 1 || stmts[0]->kind != StmtKind::kExprStmt) {
+    throw ValueError("ReplaceAsExpr: template must be a single expression");
+  }
+  return Cast<ExprStmt>(stmts[0])->value;
+}
+
+}  // namespace ag::lang::templates

@@ -1,0 +1,56 @@
+// Templated code rewriting (paper Appendix C, templates.replace).
+//
+// A template is PyMini source containing placeholder Names. `Replace`
+// parses the template and substitutes each placeholder with:
+//   - a symbol name (string),
+//   - an expression node, or
+//   - a list of statements (when the placeholder occupies a whole
+//     expression-statement line, e.g. a bare `body`).
+//
+// Example:
+//   auto stmts = templates::Replace(R"(
+//     def fn(args):
+//       body
+//   )", {{"fn", Replacement("my_function")},
+//        {"args", Replacement(std::vector<std::string>{"x", "y"})},
+//        {"body", Replacement(parsed_body)}});
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace ag::lang::templates {
+
+struct Replacement {
+  // A bare symbol name.
+  explicit Replacement(std::string symbol) : value(std::move(symbol)) {}
+  explicit Replacement(const char* symbol) : value(std::string(symbol)) {}
+  // Multiple symbols — valid where a parameter list placeholder appears.
+  explicit Replacement(std::vector<std::string> symbols)
+      : value(std::move(symbols)) {}
+  // An expression subtree (cloned on each substitution).
+  explicit Replacement(ExprPtr expr) : value(std::move(expr)) {}
+  // A statement list — valid where the placeholder is a whole statement.
+  explicit Replacement(StmtList stmts) : value(std::move(stmts)) {}
+
+  std::variant<std::string, std::vector<std::string>, ExprPtr, StmtList> value;
+};
+
+using ReplacementMap = std::map<std::string, Replacement>;
+
+// Parses `template_code` (dedented automatically) and applies the
+// replacements. Throws Error(kValue) if a statement-list replacement is
+// used in expression position, or if a placeholder collides with the
+// template structure.
+[[nodiscard]] StmtList Replace(const std::string& template_code,
+                               const ReplacementMap& replacements);
+
+// Single-expression variant: template must be one expression statement.
+[[nodiscard]] ExprPtr ReplaceAsExpr(const std::string& template_code,
+                                    const ReplacementMap& replacements);
+
+}  // namespace ag::lang::templates

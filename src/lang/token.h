@@ -1,0 +1,86 @@
+// Token definitions for PyMini, the Python-like mini-language AutoGraph-C++
+// converts. The lexer is indentation-sensitive (INDENT/DEDENT tokens), like
+// CPython's tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace ag::lang {
+
+enum class TokenKind : std::uint8_t {
+  // Structure
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+  // Literals / names
+  kName,
+  kNumber,
+  kString,
+  // Keywords
+  kDef,
+  kReturn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kBreak,
+  kContinue,
+  kPass,
+  kAssert,
+  kLambda,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNone,
+  kGlobal,
+  kNonlocal,
+  kDel,
+  // Operators & punctuation
+  kPlus,
+  kMinus,
+  kStar,
+  kDoubleStar,
+  kSlash,
+  kDoubleSlash,
+  kPercent,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqualEqual,
+  kNotEqual,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kDot,
+  kAt,  // decorator
+};
+
+[[nodiscard]] const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;      // raw text (identifier name, number literal, ...)
+  std::string str_value; // decoded value for string literals
+  SourceLocation location;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace ag::lang

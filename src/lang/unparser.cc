@@ -1,0 +1,326 @@
+#include "lang/unparser.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ag::lang {
+namespace {
+
+// Operator precedence for minimal parenthesization.
+// Higher binds tighter.
+int ExprPrecedence(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kLambda:
+      return 0;
+    case ExprKind::kIfExp:
+      return 1;
+    case ExprKind::kBoolOp:
+      return Cast<BoolOpExpr>(e)->op == BoolOp::kOr ? 2 : 3;
+    case ExprKind::kCompare:
+      return 5;
+    case ExprKind::kBinary:
+      switch (Cast<BinaryExpr>(e)->op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+          return 6;
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kFloorDiv:
+        case BinaryOp::kMod:
+          return 7;
+        case BinaryOp::kPow:
+          return 9;
+      }
+      return 6;
+    case ExprKind::kUnary:
+      return Cast<UnaryExpr>(e)->op == UnaryOp::kNot ? 4 : 8;
+    case ExprKind::kTuple:
+      return 1;  // always parenthesize nested tuples
+    default:
+      return 100;
+  }
+}
+
+class Unparser {
+ public:
+  explicit Unparser(SourceMap* source_map) : source_map_(source_map) {}
+
+  std::string Run(const StmtList& body) {
+    for (const StmtPtr& s : body) EmitStmt(s);
+    return os_.str();
+  }
+
+  void EmitStmt(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kFunctionDef: {
+        auto f = Cast<FunctionDefStmt>(s);
+        for (const std::string& dec : f->decorators) {
+          Line(s, "@" + dec);
+        }
+        std::string header = "def " + f->name + "(";
+        const size_t first_default =
+            f->params.size() - f->defaults.size();
+        for (size_t i = 0; i < f->params.size(); ++i) {
+          if (i > 0) header += ", ";
+          header += f->params[i];
+          if (i >= first_default) {
+            header += "=" + Expr_(f->defaults[i - first_default]);
+          }
+        }
+        header += "):";
+        Line(s, header);
+        Indented(f->body);
+        break;
+      }
+      case StmtKind::kReturn: {
+        auto r = Cast<ReturnStmt>(s);
+        Line(s, r->value ? "return " + Expr_(r->value) : "return");
+        break;
+      }
+      case StmtKind::kAssign: {
+        auto a = Cast<AssignStmt>(s);
+        Line(s, TargetToSource(a->target) + " = " + Expr_(a->value));
+        break;
+      }
+      case StmtKind::kAugAssign: {
+        auto a = Cast<AugAssignStmt>(s);
+        Line(s, TargetToSource(a->target) + " " + BinaryOpSymbol(a->op) +
+                    "= " + Expr_(a->value));
+        break;
+      }
+      case StmtKind::kExprStmt:
+        Line(s, Expr_(Cast<ExprStmt>(s)->value));
+        break;
+      case StmtKind::kIf: {
+        auto i = Cast<IfStmt>(s);
+        Line(s, "if " + Expr_(i->test) + ":");
+        Indented(i->body);
+        if (!i->orelse.empty()) {
+          Line(s, "else:");
+          Indented(i->orelse);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto w = Cast<WhileStmt>(s);
+        Line(s, "while " + Expr_(w->test) + ":");
+        Indented(w->body);
+        break;
+      }
+      case StmtKind::kFor: {
+        auto f = Cast<ForStmt>(s);
+        Line(s, "for " + TargetToSource(f->target) + " in " + Expr_(f->iter) +
+                    ":");
+        Indented(f->body);
+        break;
+      }
+      case StmtKind::kBreak:
+        Line(s, "break");
+        break;
+      case StmtKind::kContinue:
+        Line(s, "continue");
+        break;
+      case StmtKind::kPass:
+        Line(s, "pass");
+        break;
+      case StmtKind::kAssert: {
+        auto a = Cast<AssertStmt>(s);
+        std::string text = "assert " + Expr_(a->test);
+        if (a->msg) text += ", " + Expr_(a->msg);
+        Line(s, text);
+        break;
+      }
+    }
+  }
+
+ private:
+  void Line(const StmtPtr& stmt, const std::string& text) {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+    os_ << text << "\n";
+    if (source_map_ != nullptr && stmt->origin.valid()) {
+      (*source_map_)[line_] = stmt->origin;
+    }
+    ++line_;
+  }
+
+  void Indented(const StmtList& body) {
+    ++indent_;
+    for (const StmtPtr& s : body) EmitStmt(s);
+    --indent_;
+  }
+
+  // Tuple targets are rendered without parens: `a, b = ...`.
+  std::string TargetToSource(const ExprPtr& target) {
+    if (target->kind == ExprKind::kTuple) {
+      const auto& elts = Cast<TupleExpr>(target)->elts;
+      std::string out;
+      for (size_t i = 0; i < elts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Expr_(elts[i]);
+      }
+      return out;
+    }
+    return Expr_(target);
+  }
+
+  std::string Expr_(const ExprPtr& e) { return ExprToSource(e); }
+
+  std::ostringstream os_;
+  int indent_ = 0;
+  int line_ = 1;
+  SourceMap* source_map_;
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      case '\'': out += "\\'"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ChildToSource(const ExprPtr& child, int parent_prec) {
+  std::string s = ExprToSource(child);
+  if (ExprPrecedence(child) < parent_prec) return "(" + s + ")";
+  return s;
+}
+
+}  // namespace
+
+std::string ExprToSource(const ExprPtr& e) {
+  if (!e) return "";
+  switch (e->kind) {
+    case ExprKind::kName:
+      return Cast<NameExpr>(e)->id;
+    case ExprKind::kNumber: {
+      auto n = Cast<NumberExpr>(e);
+      if (n->is_int) {
+        std::ostringstream os;
+        os << static_cast<long long>(n->value);
+        return os.str();
+      }
+      std::ostringstream os;
+      os << n->value;
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ExprKind::kString:
+      return "'" + Escape(Cast<StringExpr>(e)->value) + "'";
+    case ExprKind::kBool:
+      return Cast<BoolExpr>(e)->value ? "True" : "False";
+    case ExprKind::kNone:
+      return "None";
+    case ExprKind::kTuple: {
+      const auto& elts = Cast<TupleExpr>(e)->elts;
+      std::string out = "(";
+      for (size_t i = 0; i < elts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToSource(elts[i]);
+      }
+      if (elts.size() == 1) out += ",";
+      return out + ")";
+    }
+    case ExprKind::kList: {
+      const auto& elts = Cast<ListExpr>(e)->elts;
+      std::string out = "[";
+      for (size_t i = 0; i < elts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToSource(elts[i]);
+      }
+      return out + "]";
+    }
+    case ExprKind::kAttribute: {
+      auto a = Cast<AttributeExpr>(e);
+      return ChildToSource(a->value, 100) + "." + a->attr;
+    }
+    case ExprKind::kSubscript: {
+      auto s = Cast<SubscriptExpr>(e);
+      return ChildToSource(s->value, 100) + "[" + ExprToSource(s->index) + "]";
+    }
+    case ExprKind::kCall: {
+      auto c = Cast<CallExpr>(e);
+      std::string out = ChildToSource(c->func, 100) + "(";
+      bool first = true;
+      for (const ExprPtr& a : c->args) {
+        if (!first) out += ", ";
+        first = false;
+        out += ExprToSource(a);
+      }
+      for (const Keyword& kw : c->keywords) {
+        if (!first) out += ", ";
+        first = false;
+        out += kw.name + "=" + ExprToSource(kw.value);
+      }
+      return out + ")";
+    }
+    case ExprKind::kUnary: {
+      auto u = Cast<UnaryExpr>(e);
+      const int prec = ExprPrecedence(e);
+      return std::string(UnaryOpSymbol(u->op)) +
+             ChildToSource(u->operand, prec);
+    }
+    case ExprKind::kBinary: {
+      auto b = Cast<BinaryExpr>(e);
+      const int prec = ExprPrecedence(e);
+      // Left-assoc: right child needs parens at equal precedence.
+      return ChildToSource(b->left, prec) + " " + BinaryOpSymbol(b->op) + " " +
+             ChildToSource(b->right, prec + 1);
+    }
+    case ExprKind::kCompare: {
+      auto c = Cast<CompareExpr>(e);
+      const int prec = ExprPrecedence(e);
+      return ChildToSource(c->left, prec + 1) + " " + CompareOpSymbol(c->op) +
+             " " + ChildToSource(c->right, prec + 1);
+    }
+    case ExprKind::kBoolOp: {
+      auto b = Cast<BoolOpExpr>(e);
+      const int prec = ExprPrecedence(e);
+      const char* sym = b->op == BoolOp::kAnd ? " and " : " or ";
+      return ChildToSource(b->left, prec) + sym +
+             ChildToSource(b->right, prec + 1);
+    }
+    case ExprKind::kIfExp: {
+      auto i = Cast<IfExpExpr>(e);
+      const int prec = ExprPrecedence(e);
+      return ChildToSource(i->body, prec + 1) + " if " +
+             ChildToSource(i->test, prec + 1) + " else " +
+             ChildToSource(i->orelse, prec);
+    }
+    case ExprKind::kLambda: {
+      auto l = Cast<LambdaExpr>(e);
+      std::string out = "lambda";
+      for (size_t i = 0; i < l->params.size(); ++i) {
+        out += i == 0 ? " " : ", ";
+        out += l->params[i];
+      }
+      return out + ": " + ExprToSource(l->body);
+    }
+  }
+  throw InternalError("ExprToSource: unknown kind");
+}
+
+std::string AstToSource(const StmtList& body, SourceMap* source_map) {
+  return Unparser(source_map).Run(body);
+}
+
+std::string AstToSource(const ModulePtr& module, SourceMap* source_map) {
+  return AstToSource(module->body, source_map);
+}
+
+std::string AstToSource(const StmtPtr& stmt, SourceMap* source_map) {
+  return AstToSource(StmtList{stmt}, source_map);
+}
+
+}  // namespace ag::lang

@@ -1,0 +1,26 @@
+// AST -> source text (the paper's compiler.ast_to_source), plus source-map
+// extraction: for each emitted line, the original user-source location of
+// the statement that produced it (paper Appendix B, "source map
+// construction").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ag::lang {
+
+// Maps 1-based line numbers of generated code to original user locations.
+using SourceMap = std::map<int, SourceLocation>;
+
+// Unparses a statement list / module / expression to PyMini source.
+[[nodiscard]] std::string AstToSource(const StmtList& body,
+                                      SourceMap* source_map = nullptr);
+[[nodiscard]] std::string AstToSource(const ModulePtr& module,
+                                      SourceMap* source_map = nullptr);
+[[nodiscard]] std::string AstToSource(const StmtPtr& stmt,
+                                      SourceMap* source_map = nullptr);
+[[nodiscard]] std::string ExprToSource(const ExprPtr& expr);
+
+}  // namespace ag::lang

@@ -1,0 +1,288 @@
+#include "lantern/builder.h"
+
+#include "support/error.h"
+
+namespace ag::lantern {
+
+Block* ProgramBuilder::current_block() {
+  if (defining_.empty() || defining_.back()->blocks.empty()) {
+    throw StagingError("lantern: op emitted outside a function trace");
+  }
+  return defining_.back()->blocks.back();
+}
+
+SymPtr ProgramBuilder::NewSym(bool is_tree, bool is_bool) {
+  auto s = std::make_shared<Sym>();
+  s->id = next_id_++;
+  s->is_tree = is_tree;
+  s->is_bool = is_bool;
+  s->owner = defining_.empty() ? nullptr : defining_.back().get();
+  return s;
+}
+
+SymPtr ProgramBuilder::MakeGlobal(int index) {
+  auto s = std::make_shared<Sym>();
+  s->global_index = index;
+  if (index + 1 > num_globals_) num_globals_ = index + 1;
+  return s;
+}
+
+int ProgramBuilder::ResolveInput(const SymPtr& sym) {
+  if (sym->global_index >= 0) {
+    FuncCtx& ctx = *defining_.back();
+    const Block* block = ctx.blocks.back();
+    auto key = std::make_pair(block, sym->global_index);
+    auto it = ctx.global_ids.find(key);
+    if (it != ctx.global_ids.end()) return it->second;
+    const int id = next_id_++;
+    Binding& b = Append(LOp::kGlobal, id);
+    b.param_index = sym->global_index;
+    ctx.global_ids.emplace(key, id);
+    return id;
+  }
+  if (sym->owner != nullptr && sym->owner != defining_.back().get()) {
+    throw StagingError(
+        "lantern: a value from an enclosing staged function cannot be "
+        "captured; pass it as an argument or stage it as a global");
+  }
+  return sym->id;
+}
+
+Binding& ProgramBuilder::Append(LOp op, int id) {
+  Block* block = current_block();
+  Binding b;
+  b.id = id;
+  b.op = op;
+  block->bindings.push_back(std::move(b));
+  return block->bindings.back();
+}
+
+std::vector<SymPtr> ProgramBuilder::BeginFunction(
+    const std::string& name, const std::vector<bool>& param_is_tree) {
+  if (IsDefined(name) || IsDefining(name)) {
+    throw StagingError("lantern: function '" + name +
+                       "' is already defined");
+  }
+  auto ctx = std::make_unique<FuncCtx>();
+  ctx->fn.name = name;
+  ctx->fn.num_params = static_cast<int>(param_is_tree.size());
+  ctx->fn.param_is_tree = param_is_tree;
+  defining_.push_back(std::move(ctx));
+  defining_.back()->blocks.push_back(&defining_.back()->fn.body);
+
+  std::vector<SymPtr> params;
+  for (size_t i = 0; i < param_is_tree.size(); ++i) {
+    SymPtr s = NewSym(param_is_tree[i], /*is_bool=*/false);
+    Binding& b = Append(LOp::kParam, s->id);
+    b.param_index = static_cast<int>(i);
+    params.push_back(std::move(s));
+  }
+  return params;
+}
+
+void ProgramBuilder::EndFunction(const SymPtr& result) {
+  if (defining_.empty()) {
+    throw StagingError("lantern: EndFunction without BeginFunction");
+  }
+  const int result_id = ResolveInput(result);
+  FuncCtx& ctx = *defining_.back();
+  if (ctx.blocks.size() != 1) {
+    throw InternalError("lantern: unbalanced blocks at EndFunction");
+  }
+  ctx.fn.body.result = result_id;
+  program_.functions.emplace(ctx.fn.name, std::move(ctx.fn));
+  defining_.pop_back();
+}
+
+void ProgramBuilder::EndFunctionMulti(const std::vector<SymPtr>& results) {
+  if (defining_.empty()) {
+    throw StagingError("lantern: EndFunctionMulti without BeginFunction");
+  }
+  std::vector<int> result_ids;
+  result_ids.reserve(results.size());
+  for (const SymPtr& r : results) result_ids.push_back(ResolveInput(r));
+  FuncCtx& ctx = *defining_.back();
+  if (ctx.blocks.size() != 1) {
+    throw InternalError("lantern: unbalanced blocks at EndFunctionMulti");
+  }
+  ctx.fn.body.results = std::move(result_ids);
+  if (!ctx.fn.body.results.empty()) {
+    ctx.fn.body.result = ctx.fn.body.results[0];
+  }
+  program_.functions.emplace(ctx.fn.name, std::move(ctx.fn));
+  defining_.pop_back();
+}
+
+std::vector<SymPtr> ProgramBuilder::EmitCallMulti(const std::string& callee,
+                                                  const std::vector<SymPtr>&
+                                                      args,
+                                                  size_t num_results) {
+  if (!IsDefined(callee) && !IsDefining(callee)) {
+    throw StagingError("lantern: call to undefined function '" + callee +
+                       "'");
+  }
+  std::vector<int> input_ids;
+  input_ids.reserve(args.size());
+  for (const SymPtr& a : args) input_ids.push_back(ResolveInput(a));
+  std::vector<SymPtr> outs;
+  std::vector<int> out_ids;
+  for (size_t i = 0; i < num_results; ++i) {
+    SymPtr s = NewSym(/*is_tree=*/false, /*is_bool=*/false);
+    out_ids.push_back(s->id);
+    outs.push_back(std::move(s));
+  }
+  Binding& b = Append(LOp::kCall, out_ids[0]);
+  b.callee = callee;
+  b.inputs = std::move(input_ids);
+  b.out_ids = std::move(out_ids);
+  return outs;
+}
+
+bool ProgramBuilder::IsDefining(const std::string& name) const {
+  for (const auto& ctx : defining_) {
+    if (ctx->fn.name == name) return true;
+  }
+  return false;
+}
+
+SymPtr ProgramBuilder::Emit(LOp op, const std::vector<SymPtr>& inputs) {
+  const bool is_tree = op == LOp::kTreeLeft || op == LOp::kTreeRight;
+  const bool is_bool = op == LOp::kGreater || op == LOp::kLess ||
+                       op == LOp::kEq || op == LOp::kNot ||
+                       op == LOp::kTreeIsEmpty;
+  std::vector<int> input_ids;
+  input_ids.reserve(inputs.size());
+  for (const SymPtr& in : inputs) input_ids.push_back(ResolveInput(in));
+  SymPtr s = NewSym(is_tree, is_bool);
+  Binding& b = Append(op, s->id);
+  b.inputs = std::move(input_ids);
+  return s;
+}
+
+SymPtr ProgramBuilder::EmitConst(Tensor value) {
+  SymPtr s = NewSym(/*is_tree=*/false, /*is_bool=*/false);
+  Binding& b = Append(LOp::kConst, s->id);
+  b.const_value = std::move(value);
+  return s;
+}
+
+SymPtr ProgramBuilder::EmitSlice0(const SymPtr& input, int start, int len) {
+  const int input_id = ResolveInput(input);
+  SymPtr s = NewSym(/*is_tree=*/false, /*is_bool=*/false);
+  Binding& b = Append(LOp::kSlice0, s->id);
+  b.inputs.push_back(input_id);
+  b.slice_start = start;
+  b.slice_len = len;
+  return s;
+}
+
+SymPtr ProgramBuilder::EmitReshape(const SymPtr& input,
+                                   std::vector<int> dims) {
+  const int input_id = ResolveInput(input);
+  SymPtr s = NewSym(/*is_tree=*/false, /*is_bool=*/false);
+  Binding& b = Append(LOp::kReshape, s->id);
+  b.inputs.push_back(input_id);
+  b.reshape_dims = std::move(dims);
+  return s;
+}
+
+SymPtr ProgramBuilder::EmitCall(const std::string& callee,
+                                const std::vector<SymPtr>& args) {
+  if (!IsDefined(callee) && !IsDefining(callee)) {
+    throw StagingError("lantern: call to undefined function '" + callee +
+                       "'");
+  }
+  std::vector<int> input_ids;
+  input_ids.reserve(args.size());
+  for (const SymPtr& a : args) input_ids.push_back(ResolveInput(a));
+  SymPtr s = NewSym(/*is_tree=*/false, /*is_bool=*/false);
+  Binding& b = Append(LOp::kCall, s->id);
+  b.callee = callee;
+  b.inputs = std::move(input_ids);
+  return s;
+}
+
+void ProgramBuilder::BeginBlock() {
+  if (defining_.empty()) {
+    throw StagingError("lantern: block opened outside a function trace");
+  }
+  // Temporary holder; moved into the If binding by EmitIf.
+  auto* block = new Block();
+  defining_.back()->blocks.push_back(block);
+}
+
+Block ProgramBuilder::TakeBlock(const SymPtr& result) {
+  FuncCtx& ctx = *defining_.back();
+  if (ctx.blocks.size() < 2) {
+    throw InternalError("lantern: TakeBlock without BeginBlock");
+  }
+  const int result_id = ResolveInput(result);
+  Block* block = ctx.blocks.back();
+  ctx.blocks.pop_back();
+  block->result = result_id;
+  Block out = std::move(*block);
+  delete block;
+  return out;
+}
+
+Block ProgramBuilder::TakeBlockMulti(const std::vector<SymPtr>& results) {
+  FuncCtx& ctx = *defining_.back();
+  if (ctx.blocks.size() < 2) {
+    throw InternalError("lantern: TakeBlockMulti without BeginBlock");
+  }
+  std::vector<int> result_ids;
+  result_ids.reserve(results.size());
+  for (const SymPtr& r : results) result_ids.push_back(ResolveInput(r));
+  Block* block = ctx.blocks.back();
+  ctx.blocks.pop_back();
+  block->results = std::move(result_ids);
+  if (!block->results.empty()) block->result = block->results[0];
+  Block out = std::move(*block);
+  delete block;
+  return out;
+}
+
+std::vector<SymPtr> ProgramBuilder::EmitIfMulti(
+    const SymPtr& cond, Block then_block, Block else_block,
+    const std::vector<bool>& result_is_tree) {
+  const int cond_id = ResolveInput(cond);
+  std::vector<SymPtr> outs;
+  outs.reserve(result_is_tree.size());
+  std::vector<int> out_ids;
+  for (bool is_tree : result_is_tree) {
+    SymPtr s = NewSym(is_tree, /*is_bool=*/false);
+    out_ids.push_back(s->id);
+    outs.push_back(std::move(s));
+  }
+  Binding& b = Append(LOp::kIf, out_ids.empty() ? next_id_++ : out_ids[0]);
+  b.inputs.push_back(cond_id);
+  b.then_block = std::make_unique<Block>(std::move(then_block));
+  b.else_block = std::make_unique<Block>(std::move(else_block));
+  b.out_ids = std::move(out_ids);
+  return outs;
+}
+
+SymPtr ProgramBuilder::EmitIf(const SymPtr& cond, Block then_block,
+                              Block else_block, bool result_is_tree,
+                              bool result_is_bool) {
+  const int cond_id = ResolveInput(cond);
+  SymPtr s = NewSym(result_is_tree, result_is_bool);
+  Binding& b = Append(LOp::kIf, s->id);
+  b.inputs.push_back(cond_id);
+  b.then_block = std::make_unique<Block>(std::move(then_block));
+  b.else_block = std::make_unique<Block>(std::move(else_block));
+  b.out_ids = {s->id};
+  return s;
+}
+
+LProgram ProgramBuilder::Finish(const std::string& entry) {
+  if (!defining_.empty()) {
+    throw InternalError("lantern: Finish with open function traces");
+  }
+  program_.entry = entry;
+  program_.num_ids = next_id_;
+  program_.num_globals = num_globals_;
+  return std::move(program_);
+}
+
+}  // namespace ag::lantern

@@ -1,0 +1,92 @@
+// Tracing builder for the Lantern IR.
+//
+// The interpreter drives this while executing converted PyMini code in
+// Lantern staging mode: every tensor op appends a let-binding, `if` on a
+// symbolic condition opens two blocks, and converted_call on a user
+// function emits `__def_staged` / `__call_staged` semantics — the callee
+// is traced once (even while *its own* trace is still open, which is what
+// makes recursion work), and every call site becomes a Call binding.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lantern/ir.h"
+#include "lantern/sym.h"
+
+namespace ag::lantern {
+
+class ProgramBuilder {
+ public:
+  // ---- function definition scopes ----
+  // Opens a definition for `name` and returns its parameter symbols.
+  std::vector<SymPtr> BeginFunction(const std::string& name,
+                                    const std::vector<bool>& param_is_tree);
+  void EndFunction(const SymPtr& result);
+  // Multi-value function return (tuple-returning staged functions).
+  void EndFunctionMulti(const std::vector<SymPtr>& results);
+
+  [[nodiscard]] bool IsDefined(const std::string& name) const {
+    return program_.functions.count(name) > 0;
+  }
+  // True while `name`'s trace is still open (a recursive call site).
+  [[nodiscard]] bool IsDefining(const std::string& name) const;
+  [[nodiscard]] bool InFunction() const { return !defining_.empty(); }
+
+  // ---- globals (by-reference captures, usable from any function) ----
+  SymPtr MakeGlobal(int index);
+
+  // ---- bindings ----
+  SymPtr Emit(LOp op, const std::vector<SymPtr>& inputs);
+  SymPtr EmitConst(Tensor value);
+  SymPtr EmitSlice0(const SymPtr& input, int start, int len);
+  SymPtr EmitReshape(const SymPtr& input, std::vector<int> dims);
+  SymPtr EmitCall(const std::string& callee,
+                  const std::vector<SymPtr>& args);
+  std::vector<SymPtr> EmitCallMulti(const std::string& callee,
+                                    const std::vector<SymPtr>& args,
+                                    size_t num_results);
+
+  // ---- if blocks ----
+  // Usage: BeginBlock(); ...trace...; Block b = TakeBlock(result);
+  void BeginBlock();
+  [[nodiscard]] Block TakeBlock(const SymPtr& result);
+  [[nodiscard]] Block TakeBlockMulti(const std::vector<SymPtr>& results);
+  SymPtr EmitIf(const SymPtr& cond, Block then_block, Block else_block,
+                bool result_is_tree, bool result_is_bool);
+  // Multi-value conditional: both blocks must carry `results` of size n.
+  std::vector<SymPtr> EmitIfMulti(const SymPtr& cond, Block then_block,
+                                  Block else_block,
+                                  const std::vector<bool>& result_is_tree);
+
+  // Finalizes the program with `entry` as its entry point.
+  [[nodiscard]] LProgram Finish(const std::string& entry);
+
+ private:
+  struct FuncCtx {
+    LFunction fn;
+    // Stack of open blocks: fn.body plus nested If branches.
+    std::vector<Block*> blocks;
+    // Per-block cache of kGlobal bindings: (block, global index) -> id.
+    std::map<std::pair<const Block*, int>, int> global_ids;
+  };
+
+  [[nodiscard]] Block* current_block();
+  SymPtr NewSym(bool is_tree, bool is_bool);
+  Binding& Append(LOp op, int id);
+  // Maps a sym to a binding id valid in the current block, materializing
+  // kGlobal bindings for global syms; rejects foreign (cross-function)
+  // non-global syms.
+  int ResolveInput(const SymPtr& sym);
+
+  LProgram program_;
+  // unique_ptr storage: FuncCtx addresses (and the Block* pointers into
+  // their fn.body) must stay stable while nested definitions open.
+  std::vector<std::unique_ptr<FuncCtx>> defining_;
+  int next_id_ = 0;
+  int num_globals_ = 0;
+};
+
+}  // namespace ag::lantern

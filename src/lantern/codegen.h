@@ -1,0 +1,22 @@
+// C++ source emission from the Lantern IR, in the CPS style of the
+// paper's §8 snippet: each staged function becomes a recursive C++ lambda
+// taking an explicit continuation `cont`, and backpropagation is encoded
+// as nested continuation closures (`cont_l`, `cont_r`, ...).
+//
+// This emitter produces the artifact the paper's pipeline feeds to a C++
+// toolchain. In this repository the emitted source is a build artifact
+// for inspection (examples write it to disk); execution goes through
+// lantern::Executor, which interprets the same IR with the same CPS
+// gradient-flow structure, since invoking a compiler at runtime is out of
+// scope for the reproduction.
+#pragma once
+
+#include <string>
+
+#include "lantern/ir.h"
+
+namespace ag::lantern {
+
+[[nodiscard]] std::string EmitCpp(const LProgram& program);
+
+}  // namespace ag::lantern

@@ -1,0 +1,575 @@
+#include "lantern/executor.h"
+
+#include <functional>
+
+#include "support/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace ag::lantern {
+
+const Tensor& AsTensorL(const LValue& v) {
+  const Tensor* t = std::get_if<Tensor>(&v);
+  if (t == nullptr) throw RuntimeError("lantern: expected a tensor value");
+  return *t;
+}
+
+const LTreePtr& AsTreeL(const LValue& v) {
+  const LTreePtr* t = std::get_if<LTreePtr>(&v);
+  if (t == nullptr) throw RuntimeError("lantern: expected a tree value");
+  return *t;
+}
+
+namespace {
+
+// Scatter-add for the Gather gradient: out[row(index)] += grad.
+Tensor ScatterAddRow(const Tensor& acc, int64_t row, const Tensor& grad) {
+  const int64_t inner = acc.num_elements() / acc.shape().dim(0);
+  std::vector<float> out(acc.data(), acc.data() + acc.num_elements());
+  for (int64_t i = 0; i < inner; ++i) {
+    out[static_cast<size_t>(row * inner + i)] += grad.at(i);
+  }
+  return Tensor::FromVector(std::move(out), acc.shape(), acc.dtype());
+}
+
+}  // namespace
+
+namespace {
+
+Block CloneBlock(const Block& src) {
+  Block out;
+  out.result = src.result;
+  out.results = src.results;
+  out.bindings.reserve(src.bindings.size());
+  for (const Binding& b : src.bindings) {
+    Binding c;
+    c.id = b.id;
+    c.op = b.op;
+    c.inputs = b.inputs;
+    c.const_value = b.const_value;
+    c.param_index = b.param_index;
+    c.slice_start = b.slice_start;
+    c.slice_len = b.slice_len;
+    c.reshape_dims = b.reshape_dims;
+    c.callee = b.callee;
+    c.out_ids = b.out_ids;
+    if (b.then_block) {
+      c.then_block = std::make_unique<Block>(CloneBlock(*b.then_block));
+    }
+    if (b.else_block) {
+      c.else_block = std::make_unique<Block>(CloneBlock(*b.else_block));
+    }
+    out.bindings.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+Executor::Executor(const LProgram& program) : program_(&compiled_) {
+  Compile(program);
+}
+
+void Executor::RenumberBlock(Block* block, std::map<int, int>* remap,
+                             int* next, std::vector<int>* global_of) {
+  for (Binding& b : block->bindings) {
+    for (int& in : b.inputs) in = remap->at(in);
+    if (b.op == LOp::kIf) {
+      RenumberBlock(b.then_block.get(), remap, next, global_of);
+      RenumberBlock(b.else_block.get(), remap, next, global_of);
+      for (Block* branch : {b.then_block.get(), b.else_block.get()}) {
+        if (branch->result >= 0) branch->result = remap->at(branch->result);
+        for (int& r : branch->results) r = remap->at(r);
+      }
+    }
+    const int dense = (*next)++;
+    (*remap)[b.id] = dense;
+    b.id = dense;
+    global_of->push_back(b.op == LOp::kGlobal ? b.param_index : -1);
+    // Extra If outputs get their own dense slots.
+    for (int& out_id : b.out_ids) {
+      if (out_id == dense) continue;  // placeholder; fixed below
+      auto it = remap->find(out_id);
+      if (it != remap->end()) {
+        out_id = it->second;
+        continue;
+      }
+      const int extra = (*next)++;
+      (*remap)[out_id] = extra;
+      out_id = extra;
+      global_of->push_back(-1);
+    }
+    if (!b.out_ids.empty()) b.out_ids[0] = dense;
+  }
+}
+
+void Executor::Compile(const LProgram& source) {
+  // Clone, then renumber each function's bindings into a dense
+  // function-local slot space — the "closure compilation" step that lets
+  // frames be small flat arrays.
+  compiled_.entry = source.entry;
+  compiled_.num_globals = source.num_globals;
+  for (const auto& [name, fn] : source.functions) {
+    LFunction out;
+    out.name = fn.name;
+    out.num_params = fn.num_params;
+    out.param_is_tree = fn.param_is_tree;
+    out.body = CloneBlock(fn.body);
+    std::map<int, int> remap;
+    int next = 0;
+    std::vector<int> global_of;
+    RenumberBlock(&out.body, &remap, &next, &global_of);
+    out.body.result = remap.at(out.body.result);
+    for (int& r : out.body.results) r = remap.at(r);
+    out.num_slots = next;
+    compiled_.num_ids = std::max(compiled_.num_ids, next);
+    global_of_[name] = std::move(global_of);
+    compiled_.functions.emplace(name, std::move(out));
+  }
+}
+
+LValue Executor::Run(const std::vector<LValue>& params,
+                     const std::vector<Tensor>& globals) {
+  globals_ = &globals;
+  const LFunction& entry = program_->function(program_->entry);
+  std::unique_ptr<Frame> frame = ForwardFunction(entry, params);
+  globals_ = nullptr;
+  return frame->slots[static_cast<size_t>(entry.body.result)];
+}
+
+std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
+    const std::vector<LValue>& params) {
+  std::vector<Tensor> unused;
+  return RunWithGradients(params, {}, &unused);
+}
+
+std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
+    const std::vector<LValue>& params, const std::vector<Tensor>& globals,
+    std::vector<Tensor>* global_grads) {
+  globals_ = &globals;
+  global_accums_.assign(globals.size(), {});
+  for (size_t i = 0; i < globals.size(); ++i) {
+    global_accums_[i].assign(
+        static_cast<size_t>(globals[i].num_elements()), 0.0f);
+  }
+
+  const LFunction& entry = program_->function(program_->entry);
+  std::unique_ptr<Frame> frame = ForwardFunction(entry, params);
+  const Tensor result =
+      AsTensorL(frame->slots[static_cast<size_t>(entry.body.result)]);
+  if (result.num_elements() != 1) {
+    globals_ = nullptr;
+    throw RuntimeError(
+        "lantern: gradients require a scalar result, got shape " +
+        result.shape().str());
+  }
+  Accumulate(*frame, entry.body.result, Tensor::Ones(result.shape()));
+  BackwardFunction(*frame);
+
+  // Collect parameter gradients in declaration order.
+  std::vector<Tensor> grads(params.size());
+  for (const Binding& b : entry.body.bindings) {
+    if (b.op != LOp::kParam) continue;
+    const auto i = static_cast<size_t>(b.param_index);
+    if (entry.param_is_tree[i]) continue;
+    if (frame->has_grad[static_cast<size_t>(b.id)]) {
+      grads[i] = frame->grads[static_cast<size_t>(b.id)];
+    } else {
+      grads[i] = Tensor::Zeros(AsTensorL(params[i]).shape());
+    }
+  }
+  // Materialize the in-place global accumulators.
+  global_grads->clear();
+  global_grads->reserve(globals.size());
+  for (size_t i = 0; i < globals.size(); ++i) {
+    global_grads->push_back(Tensor::FromVector(std::move(global_accums_[i]),
+                                               globals[i].shape()));
+  }
+  global_accums_.clear();
+  globals_ = nullptr;
+  return {result, std::move(grads)};
+}
+
+std::unique_ptr<Executor::Frame> Executor::ForwardFunction(
+    const LFunction& fn, std::vector<LValue> args) {
+  if (static_cast<int>(args.size()) != fn.num_params) {
+    throw RuntimeError("lantern: function '" + fn.name + "' expects " +
+                       std::to_string(fn.num_params) + " args");
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->fn = &fn;
+  frame->global_of = &global_of_.at(fn.name);
+  frame->args = std::move(args);
+  frame->slots.resize(static_cast<size_t>(fn.num_slots));
+  // grads/has_grad stay empty until the backward pass touches the frame.
+  ForwardBlock(fn.body, *frame);
+  return frame;
+}
+
+void Executor::ForwardBlock(const Block& block, Frame& frame) {
+  for (const Binding& b : block.bindings) {
+    ++bindings_executed_;
+    const auto id = static_cast<size_t>(b.id);
+    auto in = [&frame, &b](size_t i) -> const LValue& {
+      return frame.slots[static_cast<size_t>(b.inputs[i])];
+    };
+    auto t = [&in](size_t i) -> const Tensor& { return AsTensorL(in(i)); };
+
+    switch (b.op) {
+      case LOp::kConst:
+        frame.slots[id] = b.const_value;
+        break;
+      case LOp::kParam:
+        frame.slots[id] = frame.args[static_cast<size_t>(b.param_index)];
+        break;
+      case LOp::kGlobal:
+        if (globals_ == nullptr ||
+            static_cast<size_t>(b.param_index) >= globals_->size()) {
+          throw RuntimeError("lantern: global " +
+                             std::to_string(b.param_index) + " not bound");
+        }
+        frame.slots[id] = (*globals_)[static_cast<size_t>(b.param_index)];
+        break;
+      case LOp::kAdd: frame.slots[id] = Add(t(0), t(1)); break;
+      case LOp::kSub: frame.slots[id] = Sub(t(0), t(1)); break;
+      case LOp::kMul: frame.slots[id] = Mul(t(0), t(1)); break;
+      case LOp::kDiv: frame.slots[id] = Div(t(0), t(1)); break;
+      case LOp::kNeg: frame.slots[id] = Neg(t(0)); break;
+      case LOp::kTanh: frame.slots[id] = Tanh(t(0)); break;
+      case LOp::kSigmoid: frame.slots[id] = Sigmoid(t(0)); break;
+      case LOp::kRelu: frame.slots[id] = Relu(t(0)); break;
+      case LOp::kExp: frame.slots[id] = Exp(t(0)); break;
+      case LOp::kLog: frame.slots[id] = Log(t(0)); break;
+      case LOp::kSquare: frame.slots[id] = Square(t(0)); break;
+      case LOp::kMatMul: frame.slots[id] = MatMul(t(0), t(1)); break;
+      case LOp::kConcat0:
+        frame.slots[id] = Concat({t(0), t(1)}, 0);
+        break;
+      case LOp::kSlice0: {
+        const Tensor& x = t(0);
+        const int64_t inner = x.num_elements() / x.shape().dim(0);
+        std::vector<float> out(
+            x.data() + b.slice_start * inner,
+            x.data() + (b.slice_start + b.slice_len) * inner);
+        std::vector<int64_t> dims = x.shape().dims();
+        dims[0] = b.slice_len;
+        frame.slots[id] =
+            Tensor::FromVector(std::move(out), Shape(std::move(dims)));
+        break;
+      }
+      case LOp::kReduceSum: frame.slots[id] = ReduceSum(t(0)); break;
+      case LOp::kReshape: {
+        std::vector<int64_t> dims(b.reshape_dims.begin(),
+                                  b.reshape_dims.end());
+        frame.slots[id] = t(0).Reshaped(Shape(std::move(dims)));
+        break;
+      }
+      case LOp::kGather:
+        frame.slots[id] = Gather(t(0), t(1));
+        break;
+      case LOp::kGreater: frame.slots[id] = Greater(t(0), t(1)); break;
+      case LOp::kLess: frame.slots[id] = Less(t(0), t(1)); break;
+      case LOp::kEq: frame.slots[id] = Equal(t(0), t(1)); break;
+      case LOp::kNot: frame.slots[id] = LogicalNot(t(0)); break;
+      case LOp::kTreeIsEmpty:
+        frame.slots[id] = Tensor::ScalarBool(AsTreeL(in(0))->is_empty);
+        break;
+      case LOp::kTreeLeft:
+        frame.slots[id] = AsTreeL(in(0))->left;
+        break;
+      case LOp::kTreeRight:
+        frame.slots[id] = AsTreeL(in(0))->right;
+        break;
+      case LOp::kTreeValue:
+        frame.slots[id] = AsTreeL(in(0))->value;
+        break;
+      case LOp::kTreeLabel:
+        frame.slots[id] = AsTreeL(in(0))->label;
+        break;
+      case LOp::kIf: {
+        const bool taken = t(0).scalar_bool();
+        frame.taken.emplace_back(b.id, taken);
+        const Block& branch = taken ? *b.then_block : *b.else_block;
+        ForwardBlock(branch, frame);
+        if (branch.results.empty()) {
+          frame.slots[id] = frame.slots[static_cast<size_t>(branch.result)];
+        } else {
+          for (size_t j = 0; j < branch.results.size(); ++j) {
+            frame.slots[static_cast<size_t>(b.out_ids[j])] =
+                frame.slots[static_cast<size_t>(branch.results[j])];
+          }
+        }
+        break;
+      }
+      case LOp::kCall: {
+        const LFunction& callee = program_->function(b.callee);
+        std::vector<LValue> call_args;
+        call_args.reserve(b.inputs.size());
+        for (size_t i = 0; i < b.inputs.size(); ++i) {
+          call_args.push_back(in(i));
+        }
+        std::unique_ptr<Frame> child =
+            ForwardFunction(callee, std::move(call_args));
+        if (callee.body.results.empty()) {
+          frame.slots[id] =
+              child->slots[static_cast<size_t>(callee.body.result)];
+        } else {
+          for (size_t j = 0; j < callee.body.results.size(); ++j) {
+            frame.slots[static_cast<size_t>(b.out_ids[j])] =
+                child->slots[static_cast<size_t>(callee.body.results[j])];
+          }
+        }
+        frame.calls.emplace_back(b.id, std::move(child));
+        break;
+      }
+    }
+  }
+}
+
+void Executor::Accumulate(Frame& frame, int id, const Tensor& grad) {
+  const auto i = static_cast<size_t>(id);
+  // Gradients flowing into a kGlobal read go straight into the shared
+  // in-place accumulator (the `grad +=` cells of the generated code).
+  const int g = (*frame.global_of)[i];
+  if (g >= 0) {
+    AccumulateGlobal(g, grad);
+    return;
+  }
+  if (frame.grads.empty()) {
+    frame.grads.resize(frame.slots.size());
+    frame.has_grad.assign(frame.slots.size(), false);
+  }
+  if (frame.has_grad[i]) {
+    frame.grads[i] = Add(frame.grads[i], grad);
+  } else {
+    frame.grads[i] = grad;
+    frame.has_grad[i] = true;
+  }
+}
+
+void Executor::AccumulateGlobal(int global_index, const Tensor& grad) {
+  std::vector<float>& acc = global_accums_[static_cast<size_t>(global_index)];
+  if (static_cast<int64_t>(acc.size()) != grad.num_elements()) {
+    throw RuntimeError("lantern: global gradient shape mismatch");
+  }
+  const float* g = grad.data();
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] += g[i];
+}
+
+void Executor::BackwardFunction(Frame& frame) {
+  if (frame.grads.empty()) {
+    frame.grads.resize(frame.slots.size());
+    frame.has_grad.assign(frame.slots.size(), false);
+  }
+  BackwardBlock(frame.fn->body, frame);
+}
+
+void Executor::BackwardBlock(const Block& block, Frame& frame) {
+  for (auto it = block.bindings.rbegin(); it != block.bindings.rend();
+       ++it) {
+    const Binding& b = *it;
+    const auto id = static_cast<size_t>(b.id);
+    if (b.op == LOp::kIf) {
+      // Multi-output conditionals: route every output grad into the taken
+      // branch's corresponding result, then run the branch backward once.
+      bool any = false;
+      const bool taken = frame.Taken(b.id);
+      const Block& branch = taken ? *b.then_block : *b.else_block;
+      if (!branch.results.empty()) {
+        for (size_t j = 0; j < b.out_ids.size(); ++j) {
+          const auto oj = static_cast<size_t>(b.out_ids[j]);
+          if (frame.has_grad.empty() || !frame.has_grad[oj]) continue;
+          Accumulate(frame, branch.results[j], frame.grads[oj]);
+          any = true;
+        }
+        if (any) BackwardBlock(branch, frame);
+        continue;
+      }
+    }
+    if (b.op == LOp::kCall) {
+      const LFunction& callee = program_->function(b.callee);
+      if (!callee.body.results.empty()) {
+        // Multi-output call: seed each child result grad, run the child
+        // backward once, route param grads to the call arguments.
+        Frame& child = *frame.CallFrame(b.id);
+        bool any = false;
+        for (size_t j = 0; j < b.out_ids.size(); ++j) {
+          const auto oj = static_cast<size_t>(b.out_ids[j]);
+          if (frame.has_grad.empty() || !frame.has_grad[oj]) continue;
+          Accumulate(child, callee.body.results[j], frame.grads[oj]);
+          any = true;
+        }
+        if (!any) continue;
+        BackwardFunction(child);
+        for (const Binding& pb : callee.body.bindings) {
+          if (pb.op != LOp::kParam) continue;
+          const auto pi = static_cast<size_t>(pb.param_index);
+          if (callee.param_is_tree[pi]) continue;
+          if (child.has_grad.empty()) continue;
+          if (child.has_grad[static_cast<size_t>(pb.id)]) {
+            Accumulate(frame, b.inputs[pi],
+                       child.grads[static_cast<size_t>(pb.id)]);
+          }
+        }
+        continue;
+      }
+    }
+    if (frame.has_grad.empty() || !frame.has_grad[id]) continue;
+    const Tensor g = frame.grads[id];
+    auto in = [&frame, &b](size_t i) -> const LValue& {
+      return frame.slots[static_cast<size_t>(b.inputs[i])];
+    };
+    auto t = [&in](size_t i) -> const Tensor& { return AsTensorL(in(i)); };
+    auto acc = [this, &frame, &b](size_t i, const Tensor& grad) {
+      Accumulate(frame, b.inputs[i], grad);
+    };
+
+    switch (b.op) {
+      case LOp::kAdd:
+        acc(0, SumToShape(g, t(0).shape()));
+        acc(1, SumToShape(g, t(1).shape()));
+        break;
+      case LOp::kSub:
+        acc(0, SumToShape(g, t(0).shape()));
+        acc(1, SumToShape(Neg(g), t(1).shape()));
+        break;
+      case LOp::kMul:
+        acc(0, SumToShape(Mul(g, t(1)), t(0).shape()));
+        acc(1, SumToShape(Mul(g, t(0)), t(1).shape()));
+        break;
+      case LOp::kDiv:
+        acc(0, SumToShape(Div(g, t(1)), t(0).shape()));
+        acc(1, SumToShape(Neg(Div(Mul(g, t(0)), Mul(t(1), t(1)))),
+                          t(1).shape()));
+        break;
+      case LOp::kNeg:
+        acc(0, Neg(g));
+        break;
+      case LOp::kTanh: {
+        const Tensor& y = AsTensorL(frame.slots[id]);
+        acc(0, Mul(g, Sub(Tensor::Scalar(1.0f), Mul(y, y))));
+        break;
+      }
+      case LOp::kSigmoid: {
+        const Tensor& y = AsTensorL(frame.slots[id]);
+        acc(0, Mul(g, Mul(y, Sub(Tensor::Scalar(1.0f), y))));
+        break;
+      }
+      case LOp::kRelu:
+        acc(0, Mul(g, Greater(t(0), Tensor::Scalar(0.0f))));
+        break;
+      case LOp::kExp:
+        acc(0, Mul(g, AsTensorL(frame.slots[id])));
+        break;
+      case LOp::kLog:
+        acc(0, Div(g, t(0)));
+        break;
+      case LOp::kSquare:
+        acc(0, Mul(g, Mul(Tensor::Scalar(2.0f), t(0))));
+        break;
+      case LOp::kMatMul:
+        acc(0, MatMul(g, Transpose(t(1), {1, 0})));
+        acc(1, MatMul(Transpose(t(0), {1, 0}), g));
+        break;
+      case LOp::kConcat0: {
+        const int64_t n0 = t(0).shape().dim(0);
+        const int64_t n1 = t(1).shape().dim(0);
+        const int64_t inner = t(0).num_elements() / n0;
+        std::vector<float> g0(g.data(), g.data() + n0 * inner);
+        std::vector<float> g1(g.data() + n0 * inner,
+                              g.data() + (n0 + n1) * inner);
+        acc(0, Tensor::FromVector(std::move(g0), t(0).shape()));
+        acc(1, Tensor::FromVector(std::move(g1), t(1).shape()));
+        break;
+      }
+      case LOp::kSlice0: {
+        const Tensor& x = t(0);
+        const int64_t inner = x.num_elements() / x.shape().dim(0);
+        std::vector<float> out(static_cast<size_t>(x.num_elements()), 0.0f);
+        std::copy(g.data(), g.data() + b.slice_len * inner,
+                  out.data() + b.slice_start * inner);
+        acc(0, Tensor::FromVector(std::move(out), x.shape()));
+        break;
+      }
+      case LOp::kReduceSum:
+        acc(0, Mul(Tensor::Ones(t(0).shape()), g));
+        break;
+      case LOp::kReshape:
+        acc(0, g.Reshaped(t(0).shape()));
+        break;
+      case LOp::kGather: {
+        const Tensor& indices = t(1);
+        const int64_t inner = t(0).num_elements() / t(0).shape().dim(0);
+        const int table_global =
+            (*frame.global_of)[static_cast<size_t>(b.inputs[0])];
+        if (table_global >= 0) {
+          // Sparse in-place scatter into the shared accumulator: O(rows
+          // touched), not O(table) — this is what the generated code's
+          // mutable gradient cells buy.
+          std::vector<float>& acc =
+              global_accums_[static_cast<size_t>(table_global)];
+          for (int64_t i = 0; i < indices.num_elements(); ++i) {
+            const auto row = static_cast<int64_t>(indices.at(i));
+            for (int64_t k = 0; k < inner; ++k) {
+              acc[static_cast<size_t>(row * inner + k)] +=
+                  g.at(i * inner + k);
+            }
+          }
+          break;
+        }
+        // Dense scatter-add into a zeros-like of the gathered table.
+        Tensor table_grad = frame.has_grad[static_cast<size_t>(b.inputs[0])]
+                                ? frame.grads[static_cast<size_t>(b.inputs[0])]
+                                : Tensor::Zeros(t(0).shape());
+        for (int64_t i = 0; i < indices.num_elements(); ++i) {
+          const auto row = static_cast<int64_t>(indices.at(i));
+          std::vector<float> sub(g.data() + i * inner,
+                                 g.data() + (i + 1) * inner);
+          table_grad = ScatterAddRow(
+              table_grad, row,
+              Tensor::FromVector(std::move(sub), Shape({inner})));
+        }
+        frame.grads[static_cast<size_t>(b.inputs[0])] = table_grad;
+        frame.has_grad[static_cast<size_t>(b.inputs[0])] = true;
+        break;
+      }
+      case LOp::kIf: {
+        const bool taken = frame.Taken(b.id);
+        const Block& branch = taken ? *b.then_block : *b.else_block;
+        Accumulate(frame, branch.result, g);
+        BackwardBlock(branch, frame);
+        break;
+      }
+      case LOp::kCall: {
+        Frame& child = *frame.CallFrame(b.id);
+        const LFunction& callee = *child.fn;
+        Accumulate(child, callee.body.result, g);
+        BackwardFunction(child);
+        // Route parameter grads back into the call arguments.
+        for (const Binding& pb : callee.body.bindings) {
+          if (pb.op != LOp::kParam) continue;
+          const auto pi = static_cast<size_t>(pb.param_index);
+          if (callee.param_is_tree[pi]) continue;
+          if (child.has_grad[static_cast<size_t>(pb.id)]) {
+            acc(pi, child.grads[static_cast<size_t>(pb.id)]);
+          }
+        }
+        break;
+      }
+      case LOp::kConst:
+      case LOp::kParam:
+      case LOp::kGlobal:
+      case LOp::kGreater:
+      case LOp::kLess:
+      case LOp::kEq:
+      case LOp::kNot:
+      case LOp::kTreeIsEmpty:
+      case LOp::kTreeLeft:
+      case LOp::kTreeRight:
+      case LOp::kTreeValue:
+      case LOp::kTreeLabel:
+        break;  // leaves / non-differentiable
+    }
+  }
+}
+
+}  // namespace ag::lantern

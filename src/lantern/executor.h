@@ -1,0 +1,112 @@
+// Lantern runtime: forward evaluation and continuation-style reverse-mode
+// AD over the IR.
+//
+// The backward implementation mirrors the CPS backpropagation of
+// Wang & Rompf (the `cont` callbacks in the paper's generated C++): each
+// Call executed during the forward pass keeps its callee frame alive —
+// exactly what the continuation closure captures in the generated code —
+// and the backward pass re-enters those frames in reverse order,
+// recursing through data-dependent call trees.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "lantern/ir.h"
+
+namespace ag::lantern {
+
+using LValue = std::variant<std::monostate, Tensor, LTreePtr>;
+
+[[nodiscard]] const Tensor& AsTensorL(const LValue& v);
+[[nodiscard]] const LTreePtr& AsTreeL(const LValue& v);
+
+class Executor {
+ public:
+  explicit Executor(const LProgram& program);
+
+  // Forward-only evaluation of the entry function. `params` bind the
+  // entry function's parameters; `globals` bind the by-reference
+  // captured tensors (index = global index).
+  [[nodiscard]] LValue Run(const std::vector<LValue>& params,
+                           const std::vector<Tensor>& globals = {});
+
+  // Forward + backward. The result must be a scalar tensor; returns
+  // (value, d result / d params[i]) plus, via `global_grads`, the
+  // accumulated gradient for each global (built in place, as the CPS
+  // `grad +=` cells in Lantern's generated code are).
+  [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
+      const std::vector<LValue>& params, const std::vector<Tensor>& globals,
+      std::vector<Tensor>* global_grads);
+  // Entry-params-only convenience (no globals).
+  [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
+      const std::vector<LValue>& params);
+
+  // Bindings executed during the last run (work metric for benches).
+  [[nodiscard]] int64_t bindings_executed() const {
+    return bindings_executed_;
+  }
+
+ private:
+  struct Frame {
+    const LFunction* fn = nullptr;
+    const std::vector<int>* global_of = nullptr;  // per-slot global index
+    std::vector<LValue> args;
+    // Slot storage indexed by function-local dense id.
+    std::vector<LValue> slots;
+    // Gradient storage, allocated lazily on first backward touch.
+    std::vector<Tensor> grads;
+    std::vector<bool> has_grad;
+    // Call frames kept alive for the backward pass (the "continuations"),
+    // and which branch each If took; keyed by slot id. Small vectors: a
+    // typical function has at most a handful of calls/ifs.
+    std::vector<std::pair<int, std::unique_ptr<Frame>>> calls;
+    std::vector<std::pair<int, bool>> taken;
+
+    [[nodiscard]] Frame* CallFrame(int id) const {
+      for (const auto& [slot, frame] : calls) {
+        if (slot == id) return frame.get();
+      }
+      return nullptr;
+    }
+    [[nodiscard]] bool Taken(int id) const {
+      for (const auto& [slot, taken_branch] : taken) {
+        if (slot == id) return taken_branch;
+      }
+      return false;
+    }
+  };
+
+  // Compilation pass: clones the program with per-function dense slot
+  // ids (frames shrink from program-wide to function-local size) and
+  // records per-slot global indices.
+  void Compile(const LProgram& source);
+  void RenumberBlock(Block* block, std::map<int, int>* remap, int* next,
+                     std::vector<int>* global_of);
+
+  std::unique_ptr<Frame> ForwardFunction(const LFunction& fn,
+                                         std::vector<LValue> args);
+  void ForwardBlock(const Block& block, Frame& frame);
+  void BackwardFunction(Frame& frame);
+  void BackwardBlock(const Block& block, Frame& frame);
+  void Accumulate(Frame& frame, int id, const Tensor& grad);
+  void AccumulateGlobal(int global_index, const Tensor& grad);
+
+  // The compiled (dense-renumbered) program; `program_` points at it.
+  LProgram compiled_;
+  const LProgram* program_;
+  // Per-function, per-slot global index (-1 if the slot is not a kGlobal
+  // read), keyed by function name.
+  std::map<std::string, std::vector<int>> global_of_;
+  // Live only during a Run / RunWithGradients:
+  const std::vector<Tensor>* globals_ = nullptr;
+  // In-place gradient accumulators, one buffer per global.
+  std::vector<std::vector<float>> global_accums_;
+  int64_t bindings_executed_ = 0;
+};
+
+}  // namespace ag::lantern

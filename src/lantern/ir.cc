@@ -1,0 +1,132 @@
+#include "lantern/ir.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ag::lantern {
+
+const char* LOpName(LOp op) {
+  switch (op) {
+    case LOp::kConst: return "const";
+    case LOp::kParam: return "param";
+    case LOp::kGlobal: return "global";
+    case LOp::kAdd: return "add";
+    case LOp::kSub: return "sub";
+    case LOp::kMul: return "mul";
+    case LOp::kDiv: return "div";
+    case LOp::kNeg: return "neg";
+    case LOp::kTanh: return "tanh";
+    case LOp::kSigmoid: return "sigmoid";
+    case LOp::kRelu: return "relu";
+    case LOp::kExp: return "exp";
+    case LOp::kLog: return "log";
+    case LOp::kSquare: return "square";
+    case LOp::kMatMul: return "matmul";
+    case LOp::kConcat0: return "concat0";
+    case LOp::kSlice0: return "slice0";
+    case LOp::kReshape: return "reshape";
+    case LOp::kReduceSum: return "reduce-sum";
+    case LOp::kGather: return "gather";
+    case LOp::kGreater: return "gt";
+    case LOp::kLess: return "lt";
+    case LOp::kEq: return "eq";
+    case LOp::kNot: return "not";
+    case LOp::kTreeIsEmpty: return "tree-empty?";
+    case LOp::kTreeLeft: return "tree-left";
+    case LOp::kTreeRight: return "tree-right";
+    case LOp::kTreeValue: return "tree-value";
+    case LOp::kTreeLabel: return "tree-label";
+    case LOp::kIf: return "if";
+    case LOp::kCall: return "call";
+  }
+  return "?";
+}
+
+const LFunction& LProgram::function(const std::string& name) const {
+  auto it = functions.find(name);
+  if (it == functions.end()) {
+    throw RuntimeError("lantern: undefined function '" + name + "'");
+  }
+  return it->second;
+}
+
+LTreePtr LTree::Leaf(Tensor value_in) {
+  auto t = std::make_shared<LTree>();
+  t->is_empty = false;
+  t->left = Empty();
+  t->right = Empty();
+  t->value = std::move(value_in);
+  return t;
+}
+
+LTreePtr LTree::Node(LTreePtr l, LTreePtr r, Tensor value_in) {
+  auto t = std::make_shared<LTree>();
+  t->is_empty = false;
+  t->left = std::move(l);
+  t->right = std::move(r);
+  t->value = std::move(value_in);
+  return t;
+}
+
+namespace {
+
+void BlockToSExpr(const Block& block, int indent, std::ostringstream& os) {
+  auto pad = [&os](int n) {
+    for (int i = 0; i < n; ++i) os << "  ";
+  };
+  for (const Binding& b : block.bindings) {
+    pad(indent);
+    os << "(let x" << b.id << " (";
+    if (b.op == LOp::kConst) {
+      os << "const " << b.const_value.str();
+    } else if (b.op == LOp::kParam) {
+      os << "param " << b.param_index;
+    } else if (b.op == LOp::kGlobal) {
+      os << "global " << b.param_index;
+    } else if (b.op == LOp::kCall) {
+      os << "call " << b.callee;
+      for (int in : b.inputs) os << " x" << in;
+    } else if (b.op == LOp::kIf) {
+      os << "if x" << b.inputs[0] << "\n";
+      auto emit_branch = [&](const Block& branch) {
+        BlockToSExpr(branch, indent + 1, os);
+        pad(indent + 1);
+        os << "(result";
+        if (branch.results.empty()) {
+          os << " x" << branch.result;
+        } else {
+          for (int r : branch.results) os << " x" << r;
+        }
+        os << ")\n";
+      };
+      emit_branch(*b.then_block);
+      emit_branch(*b.else_block);
+      pad(indent);
+    } else {
+      os << LOpName(b.op);
+      for (int in : b.inputs) os << " x" << in;
+    }
+    os << "))\n";
+  }
+}
+
+}  // namespace
+
+std::string ToSExpr(const LProgram& program) {
+  std::ostringstream os;
+  for (const auto& [name, fn] : program.functions) {
+    os << "(def " << name << " (";
+    for (int i = 0; i < fn.num_params; ++i) {
+      if (i > 0) os << " ";
+      os << (fn.param_is_tree[static_cast<size_t>(i)] ? "tree" : "tensor");
+    }
+    os << ")\n";
+    BlockToSExpr(fn.body, 1, os);
+    os << "  (result x" << fn.body.result << "))\n";
+  }
+  os << "(entry " << program.entry << ")\n";
+  return os.str();
+}
+
+}  // namespace ag::lantern

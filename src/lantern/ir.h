@@ -1,0 +1,118 @@
+// The Lantern IR (paper §8): a functional, let-normal-form IR that —
+// unlike the TensorFlow-style graph — supports *function definitions,
+// re-entrant calls, and recursion*, which is what makes recursive models
+// (TreeLSTM) expressible.
+//
+// A program is a set of named functions. Each function body is a block: a
+// sequence of let-bindings evaluated in order, ending in a result id.
+// Data-dependent branching is the If binding, whose two sub-blocks may
+// reference outer bindings. Recursion is the Call binding referencing any
+// program function, including the one being defined.
+//
+// The textual form is S-expressions (see ToSExpr / codegen.h), matching
+// the paper's Python -> S-Expr -> C++ pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ag::lantern {
+
+enum class LOp : std::uint8_t {
+  kConst,    // value in `const_value`
+  kParam,    // function parameter `param_index`
+  kGlobal,   // by-reference capture: executor global `param_index`
+  // Elementwise arithmetic (tensor or scalar operands).
+  kAdd, kSub, kMul, kDiv, kNeg,
+  // Unary math.
+  kTanh, kSigmoid, kRelu, kExp, kLog, kSquare,
+  // Linear algebra / shaping.
+  kMatMul, kConcat0,       // concat along axis 0
+  kSlice0,                 // rows [slice_start, slice_start+slice_len)
+  kReshape,                // to `reshape_dims` (same element count)
+  kReduceSum,              // to scalar
+  kGather,                 // inputs: (params, index); grad scatters
+  // Comparisons / logic (produce bool scalars; no gradient).
+  kGreater, kLess, kEq, kNot,
+  // Tree accessors (tree-typed operand).
+  kTreeIsEmpty, kTreeLeft, kTreeRight, kTreeValue, kTreeLabel,
+  // Control / calls.
+  kIf,    // inputs: (cond); then_block / else_block
+  kCall,  // `callee` + inputs
+};
+
+[[nodiscard]] const char* LOpName(LOp op);
+
+struct Block;
+
+// One let-binding: `let %id = op(inputs...)`.
+struct Binding {
+  int id = -1;
+  LOp op = LOp::kConst;
+  std::vector<int> inputs;        // binding ids
+  Tensor const_value;             // kConst
+  int param_index = -1;           // kParam
+  int slice_start = 0;            // kSlice0
+  int slice_len = 0;              // kSlice0
+  std::vector<int> reshape_dims;  // kReshape
+  std::string callee;             // kCall
+  std::unique_ptr<Block> then_block;  // kIf
+  std::unique_ptr<Block> else_block;  // kIf
+  // kIf: all output ids (out_ids[0] == id). Size > 1 for multi-value
+  // conditionals (tuple-state branches).
+  std::vector<int> out_ids;
+};
+
+struct Block {
+  std::vector<Binding> bindings;
+  int result = -1;  // id of the block's value
+  // Multi-value form (used by multi-output If branches); when non-empty
+  // it supersedes `result`.
+  std::vector<int> results;
+};
+
+struct LFunction {
+  std::string name;
+  int num_params = 0;
+  std::vector<bool> param_is_tree;  // per parameter
+  Block body;
+  // Dense per-function slot count (set by the executor's compilation
+  // pass; 0 until compiled).
+  int num_slots = 0;
+};
+
+struct LProgram {
+  std::map<std::string, LFunction> functions;
+  std::string entry;
+  int num_ids = 0;     // binding-id space size (ids are program-unique)
+  int num_globals = 0; // by-reference captured tensors
+
+  [[nodiscard]] const LFunction& function(const std::string& name) const;
+};
+
+// Runtime tree value (the staged substitute for Python tree objects).
+struct LTree {
+  bool is_empty = true;
+  std::shared_ptr<LTree> left;
+  std::shared_ptr<LTree> right;
+  Tensor value;   // leaf payload (e.g. word id or embedding)
+  Tensor label;   // optional per-node label
+
+  static std::shared_ptr<LTree> Empty() { return std::make_shared<LTree>(); }
+  static std::shared_ptr<LTree> Leaf(Tensor value_in);
+  static std::shared_ptr<LTree> Node(std::shared_ptr<LTree> l,
+                                     std::shared_ptr<LTree> r,
+                                     Tensor value_in);
+};
+using LTreePtr = std::shared_ptr<LTree>;
+
+// Renders the program as S-expressions (the Lantern input format shown
+// in the paper).
+[[nodiscard]] std::string ToSExpr(const LProgram& program);
+
+}  // namespace ag::lantern

@@ -1,0 +1,30 @@
+// Symbolic handle for values traced into the Lantern IR. Kept minimal so
+// core/value.h can hold one without depending on the full IR headers.
+#pragma once
+
+#include <memory>
+
+namespace ag::lantern {
+
+// A reference to a let-binding (or parameter) in the function currently
+// being traced. `is_tree` marks tree-structured (non-tensor) values;
+// `is_bool` marks boolean scalars (branch conditions).
+//
+// A sym with `global_index >= 0` is a *global*: a tensor captured by
+// reference by every staged function (the paper's generated C++ captures
+// enclosing state with `[&]` lambdas). Globals are not threaded through
+// calls; their gradients accumulate in-place in a single executor-level
+// buffer.
+struct Sym {
+  int id = -1;
+  bool is_tree = false;
+  bool is_bool = false;
+  int global_index = -1;
+  // Identity of the function trace that owns this binding (builder
+  // internal; null for globals).
+  const void* owner = nullptr;
+};
+
+using SymPtr = std::shared_ptr<Sym>;
+
+}  // namespace ag::lantern

@@ -1,0 +1,89 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace ag {
+
+std::string SourceLocation::str() const {
+  std::ostringstream os;
+  os << (filename.empty() ? "<unknown>" : filename);
+  if (valid()) {
+    os << ":" << line;
+    if (column > 0) os << ":" << column;
+  }
+  return os.str();
+}
+
+std::string SourceFrame::str() const {
+  std::ostringstream os;
+  os << "  at " << (function_name.empty() ? "<module>" : function_name)
+     << " (" << location.str() << ")";
+  if (generated) os << " [generated]";
+  return os.str();
+}
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInternal:
+      return "InternalError";
+    case ErrorKind::kSyntax:
+      return "SyntaxError";
+    case ErrorKind::kConversion:
+      return "ConversionError";
+    case ErrorKind::kStaging:
+      return "StagingError";
+    case ErrorKind::kRuntime:
+      return "RuntimeError";
+    case ErrorKind::kValue:
+      return "ValueError";
+    case ErrorKind::kUnsupported:
+      return "UnsupportedError";
+  }
+  return "Error";
+}
+
+std::string Error::Format(ErrorKind kind, const std::string& message,
+                          const std::vector<SourceFrame>& frames) {
+  std::ostringstream os;
+  os << ErrorKindName(kind) << ": " << message;
+  for (const SourceFrame& frame : frames) {
+    os << "\n" << frame.str();
+  }
+  return os.str();
+}
+
+Error Error::WithFrame(SourceFrame frame) const {
+  std::vector<SourceFrame> frames = frames_;
+  frames.push_back(std::move(frame));
+  return Error(kind_, message_, std::move(frames));
+}
+
+Error InternalError(const std::string& message) {
+  return Error(ErrorKind::kInternal, message);
+}
+
+Error SyntaxError(const std::string& message, const SourceLocation& loc) {
+  return Error(ErrorKind::kSyntax, message + " (" + loc.str() + ")");
+}
+
+Error ConversionError(const std::string& message, const SourceLocation& loc) {
+  return Error(ErrorKind::kConversion, message + " (" + loc.str() + ")");
+}
+
+Error StagingError(const std::string& message) {
+  return Error(ErrorKind::kStaging, message);
+}
+
+Error RuntimeError(const std::string& message) {
+  return Error(ErrorKind::kRuntime, message);
+}
+
+Error ValueError(const std::string& message) {
+  return Error(ErrorKind::kValue, message);
+}
+
+Error UnsupportedError(const std::string& message) {
+  return Error(ErrorKind::kUnsupported, message);
+}
+
+}  // namespace ag

@@ -1,0 +1,111 @@
+// Error types for the AutoGraph C++ system.
+//
+// The paper (Appendix B) distinguishes three classes of errors beyond
+// ordinary syntax errors:
+//   - Conversion errors: legal PyMini code that AutoGraph cannot convert.
+//   - Staging errors: raised while building the target IR (graph
+//     construction time), e.g. inconsistent branch outputs.
+//   - Runtime errors: raised by the staged IR's runtime (graph execution).
+//
+// Every error carries a stack of SourceFrames. Frames produced from
+// generated code are re-associated with the user's original source via
+// the SourceMap maintained by the transformer (see lang/source_map.h),
+// mirroring the paper's "error rewriting" mechanism.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ag {
+
+// A location in some source buffer. Line/col are 1-based; line 0 means
+// "unknown".
+struct SourceLocation {
+  std::string filename;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+// One frame of an AutoGraph-level stack trace: where (in user code or in
+// generated code) an error passed through.
+struct SourceFrame {
+  SourceLocation location;
+  std::string function_name;
+  // True when the frame points at AutoGraph-generated code that could not
+  // be mapped back to user code.
+  bool generated = false;
+
+  [[nodiscard]] std::string str() const;
+};
+
+enum class ErrorKind : std::uint8_t {
+  kInternal,     // bug in this library
+  kSyntax,       // PyMini lexer/parser error
+  kConversion,   // unsupported idiom during SCT
+  kStaging,      // error while building graph / lantern IR
+  kRuntime,      // error raised by the staged runtime (Session etc.)
+  kValue,        // bad value passed by user code (TypeError/ValueError)
+  kUnsupported,  // feature intentionally not implemented
+};
+
+[[nodiscard]] const char* ErrorKindName(ErrorKind kind);
+
+// The single exception type thrown throughout the library.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, std::string message)
+      : std::runtime_error(Format(kind, message, {})),
+        kind_(kind),
+        message_(std::move(message)) {}
+
+  Error(ErrorKind kind, std::string message, std::vector<SourceFrame> frames)
+      : std::runtime_error(Format(kind, message, frames)),
+        kind_(kind),
+        message_(std::move(message)),
+        frames_(std::move(frames)) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] const std::vector<SourceFrame>& frames() const {
+    return frames_;
+  }
+
+  // Returns a copy of this error with one more frame pushed on the trace.
+  [[nodiscard]] Error WithFrame(SourceFrame frame) const;
+
+ private:
+  static std::string Format(ErrorKind kind, const std::string& message,
+                            const std::vector<SourceFrame>& frames);
+
+  ErrorKind kind_;
+  std::string message_;
+  std::vector<SourceFrame> frames_;
+};
+
+// Convenience constructors.
+[[nodiscard]] Error InternalError(const std::string& message);
+[[nodiscard]] Error SyntaxError(const std::string& message,
+                                const SourceLocation& loc);
+[[nodiscard]] Error ConversionError(const std::string& message,
+                                    const SourceLocation& loc);
+[[nodiscard]] Error StagingError(const std::string& message);
+[[nodiscard]] Error RuntimeError(const std::string& message);
+[[nodiscard]] Error ValueError(const std::string& message);
+[[nodiscard]] Error UnsupportedError(const std::string& message);
+
+// CHECK-style macro for internal invariants. Throws Error(kInternal).
+#define AG_CHECK(cond)                                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::ag::InternalError(std::string("check failed: " #cond " at ") + \
+                                __FILE__ + ":" + std::to_string(__LINE__)); \
+    }                                                                   \
+  } while (false)
+
+}  // namespace ag

@@ -1,0 +1,35 @@
+// Small string utilities shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ag {
+
+// Joins `parts` with `sep`.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+// Splits `s` on `sep` (single char). Keeps empty fields.
+[[nodiscard]] std::vector<std::string> Split(std::string_view s, char sep);
+
+// Strips leading/trailing whitespace.
+[[nodiscard]] std::string Strip(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Removes the longest common leading whitespace from every non-blank line
+// (Python textwrap.dedent).
+[[nodiscard]] std::string Dedent(std::string_view text);
+
+// Replaces all occurrences of `from` with `to`.
+[[nodiscard]] std::string ReplaceAll(std::string s, std::string_view from,
+                                     std::string_view to);
+
+// True if `s` is a valid PyMini identifier.
+[[nodiscard]] bool IsIdentifier(std::string_view s);
+
+}  // namespace ag

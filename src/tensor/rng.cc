@@ -1,0 +1,36 @@
+#include "tensor/rng.h"
+
+namespace ag {
+
+Tensor Rng::Uniform(Shape shape, float low, float high) {
+  std::uniform_real_distribution<float> dist(low, high);
+  std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+  for (float& v : out) v = dist(engine_);
+  return Tensor::FromVector(std::move(out), std::move(shape));
+}
+
+Tensor Rng::Normal(Shape shape, float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+  for (float& v : out) v = dist(engine_);
+  return Tensor::FromVector(std::move(out), std::move(shape));
+}
+
+Tensor Rng::UniformInt(Shape shape, int64_t bound) {
+  std::uniform_int_distribution<int64_t> dist(0, bound - 1);
+  std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+  for (float& v : out) v = static_cast<float>(dist(engine_));
+  return Tensor::FromVector(std::move(out), std::move(shape), DType::kInt32);
+}
+
+int64_t Rng::NextInt(int64_t bound) {
+  std::uniform_int_distribution<int64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+float Rng::NextUniform() {
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  return dist(engine_);
+}
+
+}  // namespace ag

@@ -1,0 +1,33 @@
+// Deterministic random tensor generation for workloads and initializers.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace ag {
+
+// A seedable RNG producing tensors. Used by benchmark workload generators
+// so every run sees identical data.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // U[low, high).
+  [[nodiscard]] Tensor Uniform(Shape shape, float low = 0.0f,
+                               float high = 1.0f);
+  // N(mean, stddev).
+  [[nodiscard]] Tensor Normal(Shape shape, float mean = 0.0f,
+                              float stddev = 1.0f);
+  // Integers in [0, bound) with kInt32 dtype.
+  [[nodiscard]] Tensor UniformInt(Shape shape, int64_t bound);
+
+  [[nodiscard]] int64_t NextInt(int64_t bound);
+  [[nodiscard]] float NextUniform();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ag

@@ -1,0 +1,46 @@
+// Tensor shapes with NumPy-style broadcasting rules.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ag {
+
+// A dense tensor shape. Rank 0 is a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] int64_t dim(int axis) const;
+  [[nodiscard]] const std::vector<int64_t>& dims() const { return dims_; }
+  [[nodiscard]] int64_t num_elements() const;
+  [[nodiscard]] bool is_scalar() const { return dims_.empty(); }
+
+  // Row-major strides (in elements).
+  [[nodiscard]] std::vector<int64_t> strides() const;
+
+  // Resolves a possibly-negative axis (Python style). Throws on range error.
+  [[nodiscard]] int ResolveAxis(int axis) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+  // NumPy broadcast of two shapes; throws ValueError if incompatible.
+  [[nodiscard]] static Shape Broadcast(const Shape& a, const Shape& b);
+  [[nodiscard]] static bool BroadcastCompatible(const Shape& a,
+                                                const Shape& b);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace ag

@@ -1,0 +1,115 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace ag {
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kInt32:
+      return "int32";
+    case DType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+Tensor::Tensor()
+    : shape_(std::make_shared<const Shape>()), dtype_(DType::kFloat32),
+      buffer_(std::make_shared<std::vector<float>>(1, 0.0f)) {}
+
+Tensor Tensor::Scalar(float value, DType dtype) {
+  return Tensor(Shape(), dtype,
+                std::make_shared<std::vector<float>>(1, value));
+}
+
+Tensor Tensor::ScalarInt(int64_t value) {
+  return Scalar(static_cast<float>(value), DType::kInt32);
+}
+
+Tensor Tensor::ScalarBool(bool value) {
+  return Scalar(value ? 1.0f : 0.0f, DType::kBool);
+}
+
+Tensor Tensor::FromVector(std::vector<float> values, Shape shape,
+                          DType dtype) {
+  if (static_cast<int64_t>(values.size()) != shape.num_elements()) {
+    throw ValueError("FromVector: " + std::to_string(values.size()) +
+                     " values do not fill shape " + shape.str());
+  }
+  return Tensor(std::move(shape), dtype,
+                std::make_shared<std::vector<float>>(std::move(values)));
+}
+
+Tensor Tensor::Zeros(Shape shape, DType dtype) {
+  auto buffer = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(shape.num_elements()), 0.0f);
+  return Tensor(std::move(shape), dtype, std::move(buffer));
+}
+
+Tensor Tensor::Ones(Shape shape, DType dtype) {
+  return Full(std::move(shape), 1.0f, dtype);
+}
+
+Tensor Tensor::Full(Shape shape, float value, DType dtype) {
+  auto buffer = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(shape.num_elements()), value);
+  return Tensor(std::move(shape), dtype, std::move(buffer));
+}
+
+float Tensor::scalar() const {
+  if (num_elements() != 1) {
+    throw ValueError("scalar() on tensor of shape " + shape_->str());
+  }
+  return (*buffer_)[0];
+}
+
+int64_t Tensor::scalar_int() const {
+  return static_cast<int64_t>(std::llround(scalar()));
+}
+
+bool Tensor::scalar_bool() const { return scalar() != 0.0f; }
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  if (new_shape.num_elements() != num_elements()) {
+    throw ValueError("cannot reshape " + shape_->str() + " to " +
+                     new_shape.str());
+  }
+  return Tensor(std::move(new_shape), dtype_, buffer_);
+}
+
+Tensor Tensor::Cast(DType new_dtype) const {
+  auto buffer = std::make_shared<std::vector<float>>(*buffer_);
+  if (new_dtype == DType::kBool) {
+    for (float& v : *buffer) v = (v != 0.0f) ? 1.0f : 0.0f;
+  } else if (new_dtype == DType::kInt32) {
+    for (float& v : *buffer) v = std::trunc(v);
+  }
+  return Tensor(*shape_, new_dtype, std::move(buffer));
+}
+
+std::string Tensor::str() const {
+  std::ostringstream os;
+  os << "Tensor<" << DTypeName(dtype_) << ", " << shape_->str() << ">";
+  return os.str();
+}
+
+std::string Tensor::DebugString(int max_elements) const {
+  std::ostringstream os;
+  os << str() << " [";
+  int64_t n = std::min<int64_t>(num_elements(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << (*buffer_)[static_cast<size_t>(i)];
+  }
+  if (n < num_elements()) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ag

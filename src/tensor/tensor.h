@@ -1,0 +1,86 @@
+// Dense CPU tensors — the kernel substrate for both the eager runtime and
+// the graph Session, standing in for TensorFlow's CPU kernels.
+//
+// Storage note: all dtypes share a float buffer. The DType tag drives the
+// same type-checking semantics TF enforces (e.g. `tf.cond` predicates must
+// be kBool, loop counters kInt32), while keeping kernels compact. Integer
+// values used in the benchmarks (indices, vocab ids, counters) are well
+// within float32's exact-integer range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace ag {
+
+enum class DType : std::uint8_t { kFloat32, kInt32, kBool };
+
+[[nodiscard]] const char* DTypeName(DType dtype);
+
+// An immutable, cheaply copyable dense tensor. The data buffer is shared
+// between copies; all ops produce new tensors.
+class Tensor {
+ public:
+  // Default: float32 scalar 0.
+  Tensor();
+
+  // Scalar constructors.
+  static Tensor Scalar(float value, DType dtype = DType::kFloat32);
+  static Tensor ScalarInt(int64_t value);
+  static Tensor ScalarBool(bool value);
+
+  // Dense constructors.
+  static Tensor FromVector(std::vector<float> values, Shape shape,
+                           DType dtype = DType::kFloat32);
+  static Tensor Zeros(Shape shape, DType dtype = DType::kFloat32);
+  static Tensor Ones(Shape shape, DType dtype = DType::kFloat32);
+  static Tensor Full(Shape shape, float value, DType dtype = DType::kFloat32);
+
+  [[nodiscard]] const Shape& shape() const { return *shape_; }
+  [[nodiscard]] DType dtype() const { return dtype_; }
+  [[nodiscard]] int64_t num_elements() const {
+    return shape_->num_elements();
+  }
+  [[nodiscard]] int rank() const { return shape_->rank(); }
+
+  [[nodiscard]] const float* data() const { return buffer_->data(); }
+  [[nodiscard]] const std::vector<float>& vec() const { return *buffer_; }
+
+  // Scalar accessors; throw ValueError unless num_elements() == 1.
+  [[nodiscard]] float scalar() const;
+  [[nodiscard]] int64_t scalar_int() const;
+  [[nodiscard]] bool scalar_bool() const;
+
+  // Element access by flat index (no bounds check in release-critical path).
+  [[nodiscard]] float at(int64_t flat_index) const {
+    return (*buffer_)[static_cast<size_t>(flat_index)];
+  }
+
+  // Returns a tensor with the same buffer and a new compatible shape.
+  [[nodiscard]] Tensor Reshaped(Shape new_shape) const;
+  // Returns a copy with the dtype tag changed (values reinterpreted
+  // semantically: bool<->float via 0/1, int<->float via truncation).
+  [[nodiscard]] Tensor Cast(DType new_dtype) const;
+
+  [[nodiscard]] std::string str() const;  // human-readable summary
+  [[nodiscard]] std::string DebugString(int max_elements = 16) const;
+
+ private:
+  Tensor(Shape shape, DType dtype, std::shared_ptr<std::vector<float>> buffer)
+      : shape_(std::make_shared<const Shape>(std::move(shape))),
+        dtype_(dtype),
+        buffer_(std::move(buffer)) {}
+
+  // The shape is shared between copies (it is immutable), so copying a
+  // Tensor costs two refcount bumps and no heap allocation — copies are
+  // pervasive in both the eager and graph execution paths.
+  std::shared_ptr<const Shape> shape_;
+  DType dtype_;
+  std::shared_ptr<std::vector<float>> buffer_;
+};
+
+}  // namespace ag

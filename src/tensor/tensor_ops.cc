@@ -1,0 +1,714 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace ag {
+namespace {
+
+// Result dtype for an arithmetic binary op (float wins over int).
+DType PromoteDType(DType a, DType b) {
+  if (a == DType::kFloat32 || b == DType::kFloat32) return DType::kFloat32;
+  if (a == DType::kInt32 || b == DType::kInt32) return DType::kInt32;
+  return DType::kBool;
+}
+
+// Broadcast-aware elementwise binary kernel.
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f) {
+  const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  const int64_t n = out_shape.num_elements();
+  std::vector<float> out(static_cast<size_t>(n));
+
+  // Fast paths: same shape, or one side scalar.
+  if (a.shape() == b.shape()) {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = f(pa[i], pb[i]);
+    }
+    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+  }
+  if (a.num_elements() == 1) {
+    const float va = a.data()[0];
+    const float* pb = b.data();
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = f(va, pb[i]);
+    }
+    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+  }
+  if (b.num_elements() == 1) {
+    const float* pa = a.data();
+    const float vb = b.data()[0];
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = f(pa[i], vb);
+    }
+    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+  }
+
+  // General broadcast: per-dimension strides, 0 where broadcasting.
+  const int r = out_shape.rank();
+  auto padded_strides = [r](const Tensor& t) {
+    std::vector<int64_t> s(static_cast<size_t>(r), 0);
+    const auto& dims = t.shape().dims();
+    const auto strides = t.shape().strides();
+    const int rt = t.rank();
+    for (int i = 0; i < rt; ++i) {
+      const int out_axis = r - rt + i;
+      s[static_cast<size_t>(out_axis)] =
+          dims[static_cast<size_t>(i)] == 1 ? 0 : strides[static_cast<size_t>(i)];
+    }
+    return s;
+  };
+  const std::vector<int64_t> sa = padded_strides(a);
+  const std::vector<int64_t> sb = padded_strides(b);
+  const std::vector<int64_t>& out_dims = out_shape.dims();
+
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = f(pa[oa], pb[ob]);
+    // Odometer increment.
+    for (int d = r - 1; d >= 0; --d) {
+      const auto du = static_cast<size_t>(d);
+      idx[du] += 1;
+      oa += sa[du];
+      ob += sb[du];
+      if (idx[du] < out_dims[du]) break;
+      oa -= sa[du] * idx[du];
+      ob -= sb[du] * idx[du];
+      idx[du] = 0;
+    }
+  }
+  return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f) {
+  const int64_t n = a.num_elements();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = f(pa[i]);
+  }
+  return Tensor::FromVector(std::move(out), a.shape(), out_dtype);
+}
+
+// Shared reduction machinery: reduces `axis` of `a` with accumulator F,
+// starting from `init`.
+template <typename F>
+Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
+  if (axis == kAllAxes) {
+    float acc = init;
+    const float* p = a.data();
+    const int64_t n = a.num_elements();
+    for (int64_t i = 0; i < n; ++i) acc = f(acc, p[i]);
+    if (keepdims) {
+      std::vector<int64_t> dims(static_cast<size_t>(a.rank()), 1);
+      return Tensor::FromVector({acc}, Shape(std::move(dims)), a.dtype());
+    }
+    return Tensor::Scalar(acc, a.dtype());
+  }
+  const int ax = a.shape().ResolveAxis(axis);
+  const auto& dims = a.shape().dims();
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int i = 0; i < ax; ++i) outer *= dims[static_cast<size_t>(i)];
+  for (int i = ax + 1; i < a.rank(); ++i) inner *= dims[static_cast<size_t>(i)];
+  const int64_t mid = dims[static_cast<size_t>(ax)];
+
+  std::vector<float> out(static_cast<size_t>(outer * inner), init);
+  const float* p = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* row = p + (o * mid + m) * inner;
+      float* orow = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] = f(orow[i], row[i]);
+    }
+  }
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < a.rank(); ++i) {
+    if (i == ax) {
+      if (keepdims) out_dims.push_back(1);
+    } else {
+      out_dims.push_back(dims[static_cast<size_t>(i)]);
+    }
+  }
+  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
+                            a.dtype());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kFloat32,
+                  [](float x, float y) { return x / y; });
+}
+
+Tensor FloorDiv(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::floor(x / y); });
+}
+
+Tensor Mod(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()), [](float x, float y) {
+    return x - std::floor(x / y) * y;  // Python modulo semantics
+  });
+}
+
+Tensor Pow(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kFloat32,
+                  [](float x, float y) { return std::pow(x, y); });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor Less(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x < y ? 1.0f : 0.0f; });
+}
+
+Tensor LessEqual(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x <= y ? 1.0f : 0.0f; });
+}
+
+Tensor Greater(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+}
+
+Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
+}
+
+Tensor Equal(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x == y ? 1.0f : 0.0f; });
+}
+
+Tensor NotEqual(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x != y ? 1.0f : 0.0f; });
+}
+
+Tensor LogicalAnd(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool, [](float x, float y) {
+    return (x != 0.0f && y != 0.0f) ? 1.0f : 0.0f;
+  });
+}
+
+Tensor LogicalOr(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, DType::kBool, [](float x, float y) {
+    return (x != 0.0f || y != 0.0f) ? 1.0f : 0.0f;
+  });
+}
+
+Tensor LogicalNot(const Tensor& a) {
+  return UnaryOp(a, DType::kBool,
+                 [](float x) { return x == 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::log(x); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::tanh(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32,
+                 [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32,
+                 [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return std::fabs(x); });
+}
+
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, a.dtype(), [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return x * x; });
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::sin(x); });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::cos(x); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw ValueError("MatMul requires rank-2 tensors, got " +
+                     a.shape().str() + " x " + b.shape().str());
+  }
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t k2 = b.shape().dim(0);
+  const int64_t n = b.shape().dim(1);
+  if (k != k2) {
+    throw ValueError("MatMul inner dims mismatch: " + a.shape().str() +
+                     " x " + b.shape().str());
+  }
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  // ikj loop order for cache-friendly row-major access.
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = out.data() + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return Tensor::FromVector(std::move(out), Shape({m, n}), DType::kFloat32);
+}
+
+Tensor ReduceSum(const Tensor& a, int axis, bool keepdims) {
+  return Reduce(a, axis, keepdims, 0.0f,
+                [](float acc, float x) { return acc + x; });
+}
+
+Tensor ReduceMean(const Tensor& a, int axis, bool keepdims) {
+  Tensor sum = ReduceSum(a, axis, keepdims);
+  const int64_t count = axis == kAllAxes
+                            ? a.num_elements()
+                            : a.shape().dim(a.shape().ResolveAxis(axis));
+  return Div(sum, Tensor::Scalar(static_cast<float>(count)));
+}
+
+Tensor ReduceMax(const Tensor& a, int axis, bool keepdims) {
+  return Reduce(a, axis, keepdims, -std::numeric_limits<float>::infinity(),
+                [](float acc, float x) { return std::max(acc, x); });
+}
+
+Tensor ReduceMin(const Tensor& a, int axis, bool keepdims) {
+  return Reduce(a, axis, keepdims, std::numeric_limits<float>::infinity(),
+                [](float acc, float x) { return std::min(acc, x); });
+}
+
+Tensor ArgMax(const Tensor& a, int axis) {
+  const int ax = a.shape().ResolveAxis(axis);
+  const auto& dims = a.shape().dims();
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int i = 0; i < ax; ++i) outer *= dims[static_cast<size_t>(i)];
+  for (int i = ax + 1; i < a.rank(); ++i) inner *= dims[static_cast<size_t>(i)];
+  const int64_t mid = dims[static_cast<size_t>(ax)];
+
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  std::vector<float> best(static_cast<size_t>(outer * inner),
+                          -std::numeric_limits<float>::infinity());
+  const float* p = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* row = p + (o * mid + m) * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        const size_t oi = static_cast<size_t>(o * inner + i);
+        if (row[i] > best[oi]) {
+          best[oi] = row[i];
+          out[oi] = static_cast<float>(m);
+        }
+      }
+    }
+  }
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < a.rank(); ++i) {
+    if (i != ax) out_dims.push_back(dims[static_cast<size_t>(i)]);
+  }
+  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
+                            DType::kInt32);
+}
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  // Support a single -1 wildcard dim, NumPy style.
+  int wildcard = -1;
+  int64_t known = 1;
+  auto dims = shape.dims();
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      if (wildcard >= 0) throw ValueError("Reshape: multiple -1 dims");
+      wildcard = static_cast<int>(i);
+    } else {
+      known *= dims[i];
+    }
+  }
+  if (wildcard >= 0) {
+    if (known == 0 || a.num_elements() % known != 0) {
+      throw ValueError("Reshape: cannot infer -1 dim for " +
+                       a.shape().str() + " -> " + shape.str());
+    }
+    dims[static_cast<size_t>(wildcard)] = a.num_elements() / known;
+  }
+  return a.Reshaped(Shape(std::move(dims)));
+}
+
+Tensor Transpose(const Tensor& a, std::vector<int> perm) {
+  if (static_cast<int>(perm.size()) != a.rank()) {
+    throw ValueError("Transpose: perm size != rank");
+  }
+  const auto& dims = a.shape().dims();
+  const auto strides = a.shape().strides();
+  std::vector<int64_t> out_dims(perm.size());
+  std::vector<int64_t> src_strides(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out_dims[i] = dims[static_cast<size_t>(perm[i])];
+    src_strides[i] = strides[static_cast<size_t>(perm[i])];
+  }
+  const int64_t n = a.num_elements();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* p = a.data();
+  const int r = a.rank();
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);
+  int64_t src = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = p[src];
+    for (int d = r - 1; d >= 0; --d) {
+      const auto du = static_cast<size_t>(d);
+      idx[du] += 1;
+      src += src_strides[du];
+      if (idx[du] < out_dims[du]) break;
+      src -= src_strides[du] * idx[du];
+      idx[du] = 0;
+    }
+  }
+  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
+                            a.dtype());
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  if (parts.empty()) throw ValueError("Concat: empty input");
+  const int ax = parts[0].shape().ResolveAxis(axis);
+  const auto& base_dims = parts[0].shape().dims();
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int i = 0; i < ax; ++i) outer *= base_dims[static_cast<size_t>(i)];
+  for (int i = ax + 1; i < parts[0].rank(); ++i) {
+    inner *= base_dims[static_cast<size_t>(i)];
+  }
+  int64_t total_mid = 0;
+  for (const Tensor& t : parts) {
+    if (t.rank() != parts[0].rank()) {
+      throw ValueError("Concat: rank mismatch");
+    }
+    total_mid += t.shape().dim(ax);
+  }
+  std::vector<float> out(static_cast<size_t>(outer * total_mid * inner));
+  for (int64_t o = 0; o < outer; ++o) {
+    int64_t written = 0;
+    for (const Tensor& t : parts) {
+      const int64_t mid = t.shape().dim(ax);
+      const float* src = t.data() + o * mid * inner;
+      std::copy(src, src + mid * inner,
+                out.data() + (o * total_mid + written) * inner);
+      written += mid;
+    }
+  }
+  std::vector<int64_t> out_dims = base_dims;
+  out_dims[static_cast<size_t>(ax)] = total_mid;
+  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
+                            parts[0].dtype());
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw ValueError("Stack: empty input");
+  const int64_t per = parts[0].num_elements();
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(per) * parts.size());
+  for (const Tensor& t : parts) {
+    if (t.shape() != parts[0].shape()) {
+      throw ValueError("Stack: shape mismatch " + t.shape().str() + " vs " +
+                       parts[0].shape().str());
+    }
+    out.insert(out.end(), t.data(), t.data() + per);
+  }
+  std::vector<int64_t> dims = parts[0].shape().dims();
+  dims.insert(dims.begin(), static_cast<int64_t>(parts.size()));
+  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
+                            parts[0].dtype());
+}
+
+std::vector<Tensor> Unstack(const Tensor& a) {
+  if (a.rank() < 1) throw ValueError("Unstack: scalar input");
+  const int64_t n = a.shape().dim(0);
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(IndexAxis0(a, i));
+  return out;
+}
+
+Tensor IndexAxis0(const Tensor& a, int64_t index) {
+  if (a.rank() < 1) throw ValueError("IndexAxis0: scalar input");
+  const int64_t n0 = a.shape().dim(0);
+  int64_t i = index < 0 ? index + n0 : index;
+  if (i < 0 || i >= n0) {
+    throw ValueError("index " + std::to_string(index) +
+                     " out of range for shape " + a.shape().str());
+  }
+  const int64_t inner = a.num_elements() / n0;
+  std::vector<float> out(a.data() + i * inner, a.data() + (i + 1) * inner);
+  std::vector<int64_t> dims(a.shape().dims().begin() + 1,
+                            a.shape().dims().end());
+  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
+                            a.dtype());
+}
+
+Tensor SetItemAxis0(const Tensor& a, int64_t index, const Tensor& value) {
+  if (a.rank() < 1) throw ValueError("SetItemAxis0: scalar target");
+  const int64_t n0 = a.shape().dim(0);
+  int64_t i = index < 0 ? index + n0 : index;
+  if (i < 0 || i >= n0) {
+    throw ValueError("index " + std::to_string(index) +
+                     " out of range for shape " + a.shape().str());
+  }
+  const int64_t inner = a.num_elements() / n0;
+  if (value.num_elements() != inner) {
+    throw ValueError("SetItemAxis0: value shape " + value.shape().str() +
+                     " does not fit row of " + a.shape().str());
+  }
+  std::vector<float> out(a.data(), a.data() + a.num_elements());
+  std::copy(value.data(), value.data() + inner, out.data() + i * inner);
+  return Tensor::FromVector(std::move(out), a.shape(), a.dtype());
+}
+
+Tensor Gather(const Tensor& params, const Tensor& indices) {
+  if (params.rank() < 1) throw ValueError("Gather: scalar params");
+  const int64_t n0 = params.shape().dim(0);
+  const int64_t inner = params.num_elements() / n0;
+  const int64_t ni = indices.num_elements();
+  std::vector<float> out(static_cast<size_t>(ni * inner));
+  for (int64_t i = 0; i < ni; ++i) {
+    const int64_t idx = static_cast<int64_t>(std::llround(indices.at(i)));
+    if (idx < 0 || idx >= n0) {
+      throw ValueError("Gather: index " + std::to_string(idx) +
+                       " out of range [0, " + std::to_string(n0) + ")");
+    }
+    std::copy(params.data() + idx * inner, params.data() + (idx + 1) * inner,
+              out.data() + i * inner);
+  }
+  std::vector<int64_t> dims = indices.shape().dims();
+  for (int i = 1; i < params.rank(); ++i) {
+    dims.push_back(params.shape().dim(i));
+  }
+  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
+                            params.dtype());
+}
+
+Tensor Where(const Tensor& cond, const Tensor& x, const Tensor& y) {
+  if (x.shape() != y.shape()) {
+    throw ValueError("Where: branch shapes differ: " + x.shape().str() +
+                     " vs " + y.shape().str());
+  }
+  const int64_t n = x.num_elements();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* px = x.data();
+  const float* py = y.data();
+  if (cond.num_elements() == 1) {
+    const bool c = cond.data()[0] != 0.0f;
+    const float* src = c ? px : py;
+    std::copy(src, src + n, out.data());
+  } else if (cond.num_elements() == n) {
+    const float* pc = cond.data();
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = pc[i] != 0.0f ? px[i] : py[i];
+    }
+  } else {
+    // cond indexes the leading axis (tf.where batch semantics).
+    const int64_t rows = cond.num_elements();
+    if (x.rank() < 1 || x.shape().dim(0) != rows) {
+      throw ValueError("Where: cond shape " + cond.shape().str() +
+                       " incompatible with " + x.shape().str());
+    }
+    const int64_t inner = n / rows;
+    const float* pc = cond.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = (pc[r] != 0.0f ? px : py) + r * inner;
+      std::copy(src, src + inner, out.data() + r * inner);
+    }
+  }
+  return Tensor::FromVector(std::move(out), x.shape(), x.dtype());
+}
+
+Tensor Softmax(const Tensor& logits) {
+  Tensor m = ReduceMax(logits, -1, /*keepdims=*/true);
+  Tensor e = Exp(Sub(logits, m));
+  Tensor s = ReduceSum(e, -1, /*keepdims=*/true);
+  return Div(e, s);
+}
+
+Tensor LogSoftmax(const Tensor& logits) {
+  Tensor m = ReduceMax(logits, -1, /*keepdims=*/true);
+  Tensor shifted = Sub(logits, m);
+  Tensor lse = Log(ReduceSum(Exp(shifted), -1, /*keepdims=*/true));
+  return Sub(shifted, lse);
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels) {
+  if (logits.rank() != 2) {
+    throw ValueError("SoftmaxCrossEntropy: logits must be rank 2");
+  }
+  const int64_t batch = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  if (labels.num_elements() != batch) {
+    throw ValueError("SoftmaxCrossEntropy: labels size mismatch");
+  }
+  Tensor lsm = LogSoftmax(logits);
+  float total = 0.0f;
+  for (int64_t i = 0; i < batch; ++i) {
+    const int64_t c = static_cast<int64_t>(std::llround(labels.at(i)));
+    if (c < 0 || c >= classes) {
+      throw ValueError("SoftmaxCrossEntropy: label out of range");
+    }
+    total -= lsm.at(i * classes + c);
+  }
+  return Tensor::Scalar(total / static_cast<float>(batch));
+}
+
+Tensor SoftmaxCrossEntropyGrad(const Tensor& logits, const Tensor& labels) {
+  const int64_t batch = logits.shape().dim(0);
+  const int64_t classes = logits.shape().dim(1);
+  Tensor sm = Softmax(logits);
+  std::vector<float> out(sm.data(), sm.data() + sm.num_elements());
+  for (int64_t i = 0; i < batch; ++i) {
+    const int64_t c = static_cast<int64_t>(std::llround(labels.at(i)));
+    out[static_cast<size_t>(i * classes + c)] -= 1.0f;
+  }
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (float& v : out) v *= inv_batch;
+  return Tensor::FromVector(std::move(out), logits.shape(), DType::kFloat32);
+}
+
+Tensor Range(int64_t n) {
+  std::vector<float> out(static_cast<size_t>(std::max<int64_t>(n, 0)));
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = static_cast<float>(i);
+  }
+  return Tensor::FromVector(std::move(out), Shape({std::max<int64_t>(n, 0)}),
+                            DType::kInt32);
+}
+
+Tensor OneHot(const Tensor& indices, int64_t depth) {
+  const int64_t n = indices.num_elements();
+  std::vector<float> out(static_cast<size_t>(n * depth), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = static_cast<int64_t>(std::llround(indices.at(i)));
+    if (c >= 0 && c < depth) out[static_cast<size_t>(i * depth + c)] = 1.0f;
+  }
+  std::vector<int64_t> dims = indices.shape().dims();
+  dims.push_back(depth);
+  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
+                            DType::kFloat32);
+}
+
+std::pair<Tensor, Tensor> TopK(const Tensor& a, int64_t k) {
+  if (a.rank() < 1) throw ValueError("TopK: scalar input");
+  const int64_t last = a.shape().dim(a.rank() - 1);
+  if (k < 1 || k > last) {
+    throw ValueError("TopK: k=" + std::to_string(k) +
+                     " out of range for last dim " + std::to_string(last));
+  }
+  const int64_t rows = a.num_elements() / last;
+  std::vector<float> values(static_cast<size_t>(rows * k));
+  std::vector<float> indices(static_cast<size_t>(rows * k));
+  std::vector<int64_t> order(static_cast<size_t>(last));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = a.data() + r * last;
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [row](int64_t x, int64_t y) { return row[x] > row[y]; });
+    for (int64_t j = 0; j < k; ++j) {
+      values[static_cast<size_t>(r * k + j)] = row[order[static_cast<size_t>(j)]];
+      indices[static_cast<size_t>(r * k + j)] =
+          static_cast<float>(order[static_cast<size_t>(j)]);
+    }
+  }
+  std::vector<int64_t> dims = a.shape().dims();
+  dims.back() = k;
+  Shape out_shape(std::move(dims));
+  return {Tensor::FromVector(std::move(values), out_shape, a.dtype()),
+          Tensor::FromVector(std::move(indices), out_shape, DType::kInt32)};
+}
+
+Tensor SumToShape(const Tensor& grad, const Shape& target) {
+  if (grad.shape() == target) return grad;
+  Tensor g = grad;
+  // Sum away leading broadcast axes.
+  while (g.rank() > target.rank()) g = ReduceSum(g, 0);
+  // Sum (keepdims) axes where target dim is 1.
+  for (int i = 0; i < target.rank(); ++i) {
+    if (target.dim(i) == 1 && g.shape().dim(i) != 1) {
+      g = ReduceSum(g, i, /*keepdims=*/true);
+    }
+  }
+  if (g.shape() != target) {
+    g = Reshape(g, target);
+  }
+  return g;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(a.at(i) - b.at(i)) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace ag

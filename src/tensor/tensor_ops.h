@@ -1,0 +1,129 @@
+// CPU kernels over Tensor. These are the "op implementations" shared by the
+// eager runtime (immediate dispatch) and the graph Session (deferred
+// dispatch), mirroring how TF eager and TF graph share kernels.
+//
+// All binary elementwise ops broadcast NumPy-style. Comparison and logical
+// ops produce kBool tensors. Reductions accept an optional axis (negative
+// axes allowed) — `axis == kAllAxes` reduces to a scalar.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ag {
+
+inline constexpr int kAllAxes = INT32_MIN;
+
+// ---- Elementwise binary (broadcasting) ----
+[[nodiscard]] Tensor Add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Div(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor FloorDiv(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mod(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Pow(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Maximum(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Minimum(const Tensor& a, const Tensor& b);
+
+// ---- Comparisons (result dtype kBool) ----
+[[nodiscard]] Tensor Less(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LessEqual(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Greater(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor GreaterEqual(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Equal(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor NotEqual(const Tensor& a, const Tensor& b);
+
+// ---- Logical (operands interpreted as truthy; result kBool) ----
+[[nodiscard]] Tensor LogicalAnd(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LogicalOr(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LogicalNot(const Tensor& a);
+
+// ---- Elementwise unary ----
+[[nodiscard]] Tensor Neg(const Tensor& a);
+[[nodiscard]] Tensor Exp(const Tensor& a);
+[[nodiscard]] Tensor Log(const Tensor& a);
+[[nodiscard]] Tensor Tanh(const Tensor& a);
+[[nodiscard]] Tensor Sigmoid(const Tensor& a);
+[[nodiscard]] Tensor Relu(const Tensor& a);
+[[nodiscard]] Tensor Sqrt(const Tensor& a);
+[[nodiscard]] Tensor Abs(const Tensor& a);
+[[nodiscard]] Tensor Sign(const Tensor& a);
+[[nodiscard]] Tensor Square(const Tensor& a);
+[[nodiscard]] Tensor Sin(const Tensor& a);
+[[nodiscard]] Tensor Cos(const Tensor& a);
+
+// ---- Linear algebra ----
+// 2-D matrix product: [m, k] x [k, n] -> [m, n].
+[[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Reductions ----
+[[nodiscard]] Tensor ReduceSum(const Tensor& a, int axis = kAllAxes,
+                               bool keepdims = false);
+[[nodiscard]] Tensor ReduceMean(const Tensor& a, int axis = kAllAxes,
+                                bool keepdims = false);
+[[nodiscard]] Tensor ReduceMax(const Tensor& a, int axis = kAllAxes,
+                               bool keepdims = false);
+[[nodiscard]] Tensor ReduceMin(const Tensor& a, int axis = kAllAxes,
+                               bool keepdims = false);
+// Index of the max along `axis` (kInt32 result).
+[[nodiscard]] Tensor ArgMax(const Tensor& a, int axis);
+
+// ---- Shape manipulation ----
+[[nodiscard]] Tensor Reshape(const Tensor& a, Shape shape);
+// General axis permutation, e.g. Transpose(x, {1, 0, 2}).
+[[nodiscard]] Tensor Transpose(const Tensor& a, std::vector<int> perm);
+[[nodiscard]] Tensor Concat(const std::vector<Tensor>& parts, int axis);
+// Stacks equal-shaped tensors along a new leading axis.
+[[nodiscard]] Tensor Stack(const std::vector<Tensor>& parts);
+// Splits along axis 0 into shape.dim(0) tensors.
+[[nodiscard]] std::vector<Tensor> Unstack(const Tensor& a);
+
+// ---- Indexing ----
+// x[index] along axis 0 (one row / sub-tensor).
+[[nodiscard]] Tensor IndexAxis0(const Tensor& a, int64_t index);
+// Value-semantics update: returns a copy of `a` with a[index] = value.
+[[nodiscard]] Tensor SetItemAxis0(const Tensor& a, int64_t index,
+                                  const Tensor& value);
+// Gathers rows of `params` (axis 0) by integer `indices` (any shape);
+// result shape = indices.shape + params.shape[1:].
+[[nodiscard]] Tensor Gather(const Tensor& params, const Tensor& indices);
+
+// ---- Selection ----
+// Elementwise select with broadcast: cond ? x : y. `cond` may be a scalar
+// or match leading dims of x/y (TF's tf.where semantics for our uses).
+[[nodiscard]] Tensor Where(const Tensor& cond, const Tensor& x,
+                           const Tensor& y);
+
+// ---- Neural-network fused ops ----
+[[nodiscard]] Tensor Softmax(const Tensor& logits);      // last axis
+[[nodiscard]] Tensor LogSoftmax(const Tensor& logits);   // last axis
+// Mean cross entropy over batch; labels are sparse int class ids [batch].
+[[nodiscard]] Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                                         const Tensor& labels);
+// d(mean xent)/d logits — used by both autodiff backends.
+[[nodiscard]] Tensor SoftmaxCrossEntropyGrad(const Tensor& logits,
+                                             const Tensor& labels);
+
+// ---- Construction ----
+[[nodiscard]] Tensor Range(int64_t n);  // kInt32 [0, n)
+[[nodiscard]] Tensor OneHot(const Tensor& indices, int64_t depth);
+
+// ---- Top-K (last axis) ----
+// Returns {values, indices}, both shaped like `a` with last dim replaced
+// by k, values sorted descending.
+[[nodiscard]] std::pair<Tensor, Tensor> TopK(const Tensor& a, int64_t k);
+
+// ---- Gradient helper ----
+// Reduce-sums `grad` down to `target` so that broadcasted binary ops can
+// route gradients back to their (smaller) operand shapes.
+[[nodiscard]] Tensor SumToShape(const Tensor& grad, const Shape& target);
+
+// True if every element matches within `atol`.
+[[nodiscard]] bool AllClose(const Tensor& a, const Tensor& b,
+                            float atol = 1e-5f);
+
+}  // namespace ag

@@ -1,0 +1,403 @@
+// Lowering of nonlocal control flow: break, continue, and return
+// statements (paper §7.2: "the corresponding statement is lowered into
+// conditionals or expanded loop conditions").
+//
+// The common scheme introduces a fresh guard variable:
+//
+//   while test:                 ag__did_break_0 = False
+//     ...                 ->    while not ag__did_break_0 and test:
+//     if c: break                 ...
+//     f()                         if c:
+//                                   ag__did_break_0 = True
+//                                 if not ag__did_break_0:
+//                                   f()
+//
+// Guards start as plain Python booleans; if a jump is conditioned on a
+// tensor, the guard becomes a tensor through the staged conditional and
+// the downstream `if not guard` / loop tests stage too — dynamic dispatch
+// does the right thing in both worlds.
+#include <functional>
+
+#include "lang/unparser.h"
+#include "transforms/passes.h"
+#include "transforms/transformer.h"
+
+namespace ag::transforms {
+
+using lang::Cast;
+using lang::CloneExpr;
+using lang::ExprPtr;
+using lang::MakeName;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+namespace {
+
+template <typename T>
+std::shared_ptr<T> At(std::shared_ptr<T> node, const lang::Node& src) {
+  node->loc = src.loc;
+  node->origin = src.origin;
+  return node;
+}
+
+// True if `body` contains a statement of `kind` at this control level.
+// Never descends into nested function definitions; descends into nested
+// loops only when `descend_loops` (returns belong to the function; breaks
+// and continues belong to the innermost loop).
+bool ContainsJump(const StmtList& body, StmtKind kind, bool descend_loops) {
+  for (const StmtPtr& s : body) {
+    if (s->kind == kind) return true;
+    switch (s->kind) {
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        if (ContainsJump(i->body, kind, descend_loops) ||
+            ContainsJump(i->orelse, kind, descend_loops)) {
+          return true;
+        }
+        break;
+      }
+      case StmtKind::kWhile:
+        if (descend_loops &&
+            ContainsJump(Cast<lang::WhileStmt>(s)->body, kind,
+                         descend_loops)) {
+          return true;
+        }
+        break;
+      case StmtKind::kFor:
+        if (descend_loops &&
+            ContainsJump(Cast<lang::ForStmt>(s)->body, kind, descend_loops)) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+// True if every path through `body` executes a `kind` jump (at this
+// level; loops and nested functions are opaque). Used to merge the
+// post-if continuation into the else branch instead of guarding it —
+// which keeps variables like the return value defined on *both* branches
+// of the resulting conditional (required for staging).
+bool AlwaysJumps(const StmtList& body, StmtKind kind) {
+  for (const StmtPtr& s : body) {
+    if (s->kind == kind) return true;  // rest of the block is unreachable
+    if (s->kind == StmtKind::kIf) {
+      auto i = Cast<lang::IfStmt>(s);
+      if (!i->orelse.empty() && AlwaysJumps(i->body, kind) &&
+          AlwaysJumps(i->orelse, kind)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+StmtPtr SetGuard(const std::string& guard, bool value,
+                 const lang::Node& src) {
+  auto assign = std::make_shared<lang::AssignStmt>(
+      MakeName(guard), std::make_shared<lang::BoolExpr>(value));
+  assign->loc = src.loc;
+  assign->origin = src.origin;
+  return assign;
+}
+
+ExprPtr NotGuard(const std::string& guard) {
+  return std::make_shared<lang::UnaryExpr>(lang::UnaryOp::kNot,
+                                           MakeName(guard));
+}
+
+// Wraps `rest` in `if not guard: rest` (no-op for empty rest).
+StmtList GuardRest(const std::string& guard, StmtList rest,
+                   const lang::Node& src) {
+  if (rest.empty()) return rest;
+  auto guarded = std::make_shared<lang::IfStmt>(NotGuard(guard),
+                                                std::move(rest), StmtList{});
+  guarded->loc = src.loc;
+  guarded->origin = src.origin;
+  return {std::static_pointer_cast<lang::Stmt>(guarded)};
+}
+
+// The shared block-lowering routine. `on_jump` produces the replacement
+// statements for the jump itself (e.g. `guard = True` plus, for return,
+// the retval assignment). `handles_loops` — when true (return pass),
+// while/for containing the jump are rewritten in place too.
+class JumpLowerer {
+ public:
+  JumpLowerer(StmtKind kind, std::string guard, bool descend_loops)
+      : kind_(kind), guard_(std::move(guard)),
+        descend_loops_(descend_loops) {}
+
+  // Hook: statements that replace the jump statement itself.
+  std::function<StmtList(const StmtPtr&)> on_jump;
+
+  StmtList Lower(const StmtList& body) {
+    StmtList out;
+    for (size_t idx = 0; idx < body.size(); ++idx) {
+      const StmtPtr& s = body[idx];
+      if (s->kind == kind_) {
+        StmtList repl = on_jump(s);
+        out.insert(out.end(), repl.begin(), repl.end());
+        // Anything after an unconditional jump is unreachable.
+        return out;
+      }
+      const bool may_set_guard = MaySetGuard(s);
+      // `if c: <always jumps>` followed by more code: the continuation
+      // runs exactly when the condition was false, so it belongs in the
+      // else branch (keeping all state definitions branch-symmetric).
+      if (may_set_guard && s->kind == StmtKind::kIf) {
+        auto i = Cast<lang::IfStmt>(s);
+        if (i->orelse.empty() && AlwaysJumps(i->body, kind_) &&
+            idx + 1 < body.size()) {
+          StmtList rest;
+          for (size_t j = idx + 1; j < body.size(); ++j) {
+            rest.push_back(body[j]);
+          }
+          i->body = Lower(i->body);
+          i->orelse = Lower(rest);
+          if (i->orelse.empty()) {
+            i->orelse.push_back(At(std::make_shared<lang::PassStmt>(), *s));
+          }
+          out.push_back(i);
+          return out;
+        }
+      }
+      StmtPtr lowered = LowerCompound(s);
+      out.push_back(lowered);
+      if (may_set_guard) {
+        // The rest of the block only runs if the guard stayed false.
+        StmtList rest;
+        for (size_t j = idx + 1; j < body.size(); ++j) {
+          rest.push_back(body[j]);
+        }
+        StmtList guarded = GuardRest(guard_, Lower(rest), *s);
+        out.insert(out.end(), guarded.begin(), guarded.end());
+        return out;
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool MaySetGuard(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        return ContainsJump(i->body, kind_, descend_loops_) ||
+               ContainsJump(i->orelse, kind_, descend_loops_);
+      }
+      case StmtKind::kWhile:
+        return descend_loops_ &&
+               ContainsJump(Cast<lang::WhileStmt>(s)->body, kind_,
+                            descend_loops_);
+      case StmtKind::kFor:
+        return descend_loops_ &&
+               ContainsJump(Cast<lang::ForStmt>(s)->body, kind_,
+                            descend_loops_);
+      default:
+        return false;
+    }
+  }
+
+  StmtPtr LowerCompound(const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        i->body = Lower(i->body);
+        i->orelse = Lower(i->orelse);
+        if (i->body.empty()) {
+          i->body.push_back(At(std::make_shared<lang::PassStmt>(), *s));
+        }
+        return i;
+      }
+      case StmtKind::kWhile: {
+        if (!descend_loops_) return s;
+        auto w = Cast<lang::WhileStmt>(s);
+        if (!ContainsJump(w->body, kind_, descend_loops_)) return s;
+        w->body = Lower(w->body);
+        // `while test` -> `while not guard and test`.
+        w->test = std::make_shared<lang::BoolOpExpr>(
+            lang::BoolOp::kAnd, NotGuard(guard_), w->test);
+        return w;
+      }
+      case StmtKind::kFor: {
+        if (!descend_loops_) return s;
+        auto f = Cast<lang::ForStmt>(s);
+        if (!ContainsJump(f->body, kind_, descend_loops_)) return s;
+        f->body = GuardRest(guard_, Lower(f->body), *s);
+        return f;
+      }
+      default:
+        return s;
+    }
+  }
+
+  StmtKind kind_;
+  std::string guard_;
+  bool descend_loops_;
+};
+
+// ---- Break ----
+class BreakTransformer final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind == StmtKind::kWhile) {
+      auto w = Cast<lang::WhileStmt>(stmt);
+      w->body = TransformBody(w->body);  // inner loops first
+      if (!ContainsJump(w->body, StmtKind::kBreak, /*descend_loops=*/false)) {
+        return {w};
+      }
+      const std::string guard = NewSymbol("did_break");
+      JumpLowerer lower(StmtKind::kBreak, guard, /*descend_loops=*/false);
+      lower.on_jump = [&guard](const StmtPtr& s) {
+        return StmtList{SetGuard(guard, true, *s)};
+      };
+      w->body = lower.Lower(w->body);
+      w->test = std::make_shared<lang::BoolOpExpr>(lang::BoolOp::kAnd,
+                                                   NotGuard(guard), w->test);
+      return {SetGuard(guard, false, *stmt), w};
+    }
+    if (stmt->kind == StmtKind::kFor) {
+      auto f = Cast<lang::ForStmt>(stmt);
+      f->body = TransformBody(f->body);
+      if (!ContainsJump(f->body, StmtKind::kBreak, /*descend_loops=*/false)) {
+        return {f};
+      }
+      const std::string guard = NewSymbol("did_break");
+      JumpLowerer lower(StmtKind::kBreak, guard, /*descend_loops=*/false);
+      lower.on_jump = [&guard](const StmtPtr& s) {
+        return StmtList{SetGuard(guard, true, *s)};
+      };
+      // Remaining iterations become no-ops once the guard is set.
+      f->body = GuardRest(guard, lower.Lower(f->body), *stmt);
+      return {SetGuard(guard, false, *stmt), f};
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+};
+
+// ---- Continue ----
+class ContinueTransformer final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind == StmtKind::kWhile || stmt->kind == StmtKind::kFor) {
+      StmtList* body = stmt->kind == StmtKind::kWhile
+                           ? &Cast<lang::WhileStmt>(stmt)->body
+                           : &Cast<lang::ForStmt>(stmt)->body;
+      *body = TransformBody(*body);
+      if (ContainsJump(*body, StmtKind::kContinue,
+                       /*descend_loops=*/false)) {
+        const std::string guard = NewSymbol("did_continue");
+        JumpLowerer lower(StmtKind::kContinue, guard,
+                          /*descend_loops=*/false);
+        lower.on_jump = [&guard](const StmtPtr& s) {
+          return StmtList{SetGuard(guard, true, *s)};
+        };
+        StmtList lowered = lower.Lower(*body);
+        StmtList new_body{SetGuard(guard, false, *stmt)};
+        new_body.insert(new_body.end(), lowered.begin(), lowered.end());
+        *body = std::move(new_body);
+      }
+      return {stmt};
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+};
+
+// ---- Return ----
+class ReturnTransformer final : public Transformer {
+ public:
+  StmtList RunOnFunctionBody(const StmtList& body) {
+    // First, nested functions get their own independent transform.
+    StmtList processed;
+    for (const StmtPtr& s : body) {
+      StmtList repl = TransformStmt(s);
+      processed.insert(processed.end(), repl.begin(), repl.end());
+    }
+
+    // Trivial single-exit shape: no return anywhere except possibly a
+    // trailing one at the top level — nothing to do.
+    const bool has_nested_return =
+        [&processed] {
+          for (size_t i = 0; i < processed.size(); ++i) {
+            const StmtPtr& s = processed[i];
+            if (s->kind == StmtKind::kReturn &&
+                i + 1 == processed.size()) {
+              continue;  // trailing top-level return is fine
+            }
+            StmtList single{s};
+            if (s->kind == StmtKind::kReturn ||
+                ContainsJump(single, StmtKind::kReturn,
+                             /*descend_loops=*/true)) {
+              return true;
+            }
+          }
+          return false;
+        }();
+    if (!has_nested_return) return processed;
+
+    const std::string guard = NewSymbol("do_return");
+    const std::string retval = NewSymbol("retval");
+    JumpLowerer lower(StmtKind::kReturn, guard, /*descend_loops=*/true);
+    lower.on_jump = [&guard, &retval](const StmtPtr& s) {
+      auto r = Cast<lang::ReturnStmt>(s);
+      ExprPtr value = r->value
+                          ? r->value
+                          : std::static_pointer_cast<lang::Expr>(
+                                std::make_shared<lang::NoneExpr>());
+      auto set_ret = std::make_shared<lang::AssignStmt>(MakeName(retval),
+                                                        std::move(value));
+      set_ret->loc = s->loc;
+      set_ret->origin = s->origin;
+      return StmtList{SetGuard(guard, true, *s),
+                      std::static_pointer_cast<lang::Stmt>(set_ret)};
+    };
+
+    StmtList lowered = lower.Lower(processed);
+
+    StmtList out;
+    out.push_back(SetGuard(guard, false, *processed.front()));
+    auto init_ret = std::make_shared<lang::AssignStmt>(
+        MakeName(retval), std::make_shared<lang::NoneExpr>());
+    init_ret->loc = processed.front()->loc;
+    init_ret->origin = processed.front()->origin;
+    out.push_back(std::move(init_ret));
+    out.insert(out.end(), lowered.begin(), lowered.end());
+    auto final_ret = std::make_shared<lang::ReturnStmt>(MakeName(retval));
+    final_ret->loc = processed.back()->loc;
+    final_ret->origin = processed.back()->origin;
+    out.push_back(std::move(final_ret));
+    return out;
+  }
+
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind == StmtKind::kFunctionDef) {
+      auto f = Cast<lang::FunctionDefStmt>(stmt);
+      ReturnTransformer nested;
+      f->body = nested.RunOnFunctionBody(f->body);
+      return {f};
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+};
+
+}  // namespace
+
+StmtList BreakPass(const StmtList& body) {
+  return BreakTransformer().Run(body);
+}
+
+StmtList ContinuePass(const StmtList& body) {
+  return ContinueTransformer().Run(body);
+}
+
+StmtList ReturnPass(const StmtList& body) {
+  ReturnTransformer t;
+  return t.RunOnFunctionBody(body);
+}
+
+}  // namespace ag::transforms

@@ -1,0 +1,43 @@
+// The conversion pipeline (paper §6, "General Approach" steps 3-4): runs
+// every pass in order on a cloned AST. Also implements the Function
+// Wrappers pass: the converted function is tagged with the
+// "ag__converted" decorator, which the runtime uses to (a) skip
+// re-conversion in converted_call and (b) open a graph name scope around
+// the function's ops while staging.
+#include "transforms/passes.h"
+
+#include "lang/unparser.h"
+
+namespace ag::transforms {
+
+std::shared_ptr<lang::FunctionDefStmt> ConvertFunctionAst(
+    const std::shared_ptr<lang::FunctionDefStmt>& fn,
+    const ConversionOptions& options) {
+  auto out = lang::Cast<lang::FunctionDefStmt>(
+      lang::CloneStmt(std::static_pointer_cast<lang::Stmt>(fn)));
+
+  lang::StmtList body = std::move(out->body);
+  body = DesugarPass(body);
+  body = DirectivesPass(body);
+  body = BreakPass(body);
+  body = ContinuePass(body);
+  body = ReturnPass(body);
+  body = AssertPass(body);
+  body = ListsPass(body);
+  body = SlicesPass(body);
+  if (options.recursive) {
+    body = CallTreesPass(body, options);
+  }
+  body = ControlFlowPass(body, out->params);
+  body = TernaryPass(body);
+  body = LogicalPass(body);
+  out->body = std::move(body);
+
+  // Function Wrappers: tag as converted (runtime opens a name scope and
+  // installs the error-rewriting handler around calls to it).
+  out->decorators.clear();
+  out->decorators.push_back("ag__converted");
+  return out;
+}
+
+}  // namespace ag::transforms

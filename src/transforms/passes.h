@@ -1,0 +1,58 @@
+// The conversion passes, in the paper's order of application (§7.2):
+//
+//   Directives -> Break -> Continue -> Return -> Assert -> Lists ->
+//   Slices -> Function Calls -> Control Flow -> Ternary -> Logical ->
+//   Function Wrappers
+//
+// plus an initial Desugar pass (augmented assignment lowering) that
+// normalizes the tree so later passes handle fewer shapes.
+//
+// Every pass takes and returns a statement list; ConvertFunctionAst runs
+// the whole pipeline on one function definition (re-running the static
+// analyses between passes, since transforms invalidate node-keyed
+// annotations).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ag::transforms {
+
+struct ConversionOptions {
+  // Call targets whose qualified-name prefix matches are NOT rewritten to
+  // converted_call (the paper's whitelisted modules: TF itself, and the
+  // AutoGraph operators).
+  std::set<std::string> whitelist{"tf", "ag", "ag__"};
+  // When false, skips the Function Calls pass entirely (non-recursive
+  // conversion).
+  bool recursive = true;
+};
+
+[[nodiscard]] lang::StmtList DesugarPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList DirectivesPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList BreakPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList ContinuePass(const lang::StmtList& body);
+// Applied per function (uses its own return-value symbol); `body` is the
+// body of the function being converted.
+[[nodiscard]] lang::StmtList ReturnPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList AssertPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList ListsPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList SlicesPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList CallTreesPass(const lang::StmtList& body,
+                                           const ConversionOptions& options);
+[[nodiscard]] lang::StmtList ControlFlowPass(
+    const lang::StmtList& body, const std::vector<std::string>& params);
+[[nodiscard]] lang::StmtList TernaryPass(const lang::StmtList& body);
+[[nodiscard]] lang::StmtList LogicalPass(const lang::StmtList& body);
+
+// Runs the full pipeline on a (cloned) function definition. The result is
+// a new FunctionDef whose body is in overloadable functional form; the
+// original is left untouched.
+[[nodiscard]] std::shared_ptr<lang::FunctionDefStmt> ConvertFunctionAst(
+    const std::shared_ptr<lang::FunctionDefStmt>& fn,
+    const ConversionOptions& options = {});
+
+}  // namespace ag::transforms

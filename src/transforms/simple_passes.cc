@@ -1,0 +1,321 @@
+// The smaller conversion passes: Desugar, Directives, Assert, Lists,
+// Slices, Ternary, Logical, Function Calls.
+#include <optional>
+
+#include "lang/unparser.h"
+#include "support/strings.h"
+#include "transforms/passes.h"
+#include "transforms/transformer.h"
+
+namespace ag::transforms {
+
+using lang::Cast;
+using lang::CloneExpr;
+using lang::ExprKind;
+using lang::ExprPtr;
+using lang::Keyword;
+using lang::MakeCall;
+using lang::MakeDottedName;
+using lang::MakeName;
+using lang::QualifiedName;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+namespace {
+
+// Stamps loc/origin of `src` onto a freshly built node.
+template <typename T>
+std::shared_ptr<T> At(std::shared_ptr<T> node, const lang::Node& src) {
+  node->loc = src.loc;
+  node->origin = src.origin;
+  return node;
+}
+
+ExprPtr Intrinsic(const std::string& name, std::vector<ExprPtr> args,
+                  const lang::Node& src) {
+  auto call = MakeCall(MakeDottedName("ag__." + name), std::move(args));
+  return At(std::move(call), src);
+}
+
+ExprPtr Thunk(ExprPtr body) {
+  auto l = std::make_shared<lang::LambdaExpr>(std::vector<std::string>{},
+                                              std::move(body));
+  l->loc = l->body->loc;
+  l->origin = l->body->origin;
+  return l;
+}
+
+// ---- Desugar: x (op)= v  ->  x = x (op) v ----
+class Desugar final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind != StmtKind::kAugAssign) {
+      return Transformer::TransformStmt(stmt);
+    }
+    auto a = Cast<lang::AugAssignStmt>(stmt);
+    // Note: for subscript/attribute targets, the index/object expression
+    // is evaluated twice; PyMini expressions are side-effect-free in the
+    // supported subset, so this preserves semantics.
+    auto read = CloneExpr(a->target);
+    auto value = std::make_shared<lang::BinaryExpr>(a->op, std::move(read),
+                                                    a->value);
+    value->loc = a->loc;
+    value->origin = a->origin;
+    auto assign =
+        std::make_shared<lang::AssignStmt>(a->target, std::move(value));
+    return {At(std::move(assign), *stmt)};
+  }
+};
+
+// ---- Directives: ag.set_element_type / ag.set_loop_options ----
+class Directives final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind == StmtKind::kExprStmt) {
+      const ExprPtr& v = Cast<lang::ExprStmt>(stmt)->value;
+      if (v->kind == ExprKind::kCall) {
+        auto call = Cast<lang::CallExpr>(v);
+        auto qn = QualifiedName(call->func);
+        if (qn == "ag.set_element_type") {
+          // `ag.set_element_type(l, dt)` -> `l = ag__.set_element_type(l, dt)`
+          if (call->args.size() != 2 ||
+              call->args[0]->kind != ExprKind::kName) {
+            throw ConversionError(
+                "ag.set_element_type expects (list_variable, dtype)",
+                stmt->loc);
+          }
+          const std::string& list_name =
+              Cast<lang::NameExpr>(call->args[0])->id;
+          auto assign = std::make_shared<lang::AssignStmt>(
+              MakeName(list_name, stmt.get()),
+              Intrinsic("set_element_type",
+                        {CloneExpr(call->args[0]), CloneExpr(call->args[1])},
+                        *stmt));
+          return {At(std::move(assign), *stmt)};
+        }
+        if (qn == "ag.set_loop_options") {
+          // Recognized and consumed; loop options are advisory in this
+          // implementation.
+          return {};
+        }
+      }
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+};
+
+// ---- Assert: assert t, m -> ag__.assert_stmt(lambda: t, lambda: m) ----
+class Asserts final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind != StmtKind::kAssert) {
+      return Transformer::TransformStmt(stmt);
+    }
+    auto a = Cast<lang::AssertStmt>(stmt);
+    ExprPtr msg = a->msg
+                      ? a->msg
+                      : std::static_pointer_cast<lang::Expr>(
+                            std::make_shared<lang::NoneExpr>());
+    auto call = Intrinsic("assert_stmt", {Thunk(a->test), Thunk(msg)}, *stmt);
+    return {At(std::make_shared<lang::ExprStmt>(std::move(call)), *stmt)};
+  }
+};
+
+// ---- Lists: l.append(v) / l.pop() overloads ----
+class Lists final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    // `l.append(v)` as a bare statement.
+    if (stmt->kind == StmtKind::kExprStmt) {
+      const ExprPtr& v = Cast<lang::ExprStmt>(stmt)->value;
+      if (auto repl = MatchAppend(v, stmt)) return {*repl};
+      if (auto repl = MatchBarePop(v, stmt)) return *repl;
+    }
+    // `x = l.pop()`.
+    if (stmt->kind == StmtKind::kAssign) {
+      auto a = Cast<lang::AssignStmt>(stmt);
+      if (a->value->kind == ExprKind::kCall) {
+        auto call = Cast<lang::CallExpr>(a->value);
+        if (call->func->kind == ExprKind::kAttribute &&
+            Cast<lang::AttributeExpr>(call->func)->attr == "pop" &&
+            call->args.empty() &&
+            Cast<lang::AttributeExpr>(call->func)->value->kind ==
+                ExprKind::kName) {
+          ExprPtr list_e = Cast<lang::AttributeExpr>(call->func)->value;
+          // (l, x) = ag__.list_pop(l)
+          std::vector<ExprPtr> targets{CloneExpr(list_e), a->target};
+          auto tuple = std::make_shared<lang::TupleExpr>(std::move(targets));
+          auto assign = std::make_shared<lang::AssignStmt>(
+              At(std::move(tuple), *stmt),
+              Intrinsic("list_pop", {CloneExpr(list_e)}, *stmt));
+          return {At(std::move(assign), *stmt)};
+        }
+      }
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+
+ private:
+  std::optional<StmtPtr> MatchAppend(const ExprPtr& v, const StmtPtr& stmt) {
+    if (v->kind != ExprKind::kCall) return std::nullopt;
+    auto call = Cast<lang::CallExpr>(v);
+    if (call->func->kind != ExprKind::kAttribute) return std::nullopt;
+    auto attr = Cast<lang::AttributeExpr>(call->func);
+    if (attr->attr != "append" || call->args.size() != 1) return std::nullopt;
+    if (attr->value->kind != ExprKind::kName) return std::nullopt;
+    // l = ag__.list_append(l, v)
+    auto assign = std::make_shared<lang::AssignStmt>(
+        CloneExpr(attr->value),
+        Intrinsic("list_append",
+                  {CloneExpr(attr->value), TransformExpr(call->args[0])},
+                  *stmt));
+    return At(std::move(assign), *stmt);
+  }
+
+  std::optional<StmtList> MatchBarePop(const ExprPtr& v,
+                                       const StmtPtr& stmt) {
+    if (v->kind != ExprKind::kCall) return std::nullopt;
+    auto call = Cast<lang::CallExpr>(v);
+    if (call->func->kind != ExprKind::kAttribute) return std::nullopt;
+    auto attr = Cast<lang::AttributeExpr>(call->func);
+    if (attr->attr != "pop" || !call->args.empty()) return std::nullopt;
+    if (attr->value->kind != ExprKind::kName) return std::nullopt;
+    const std::string tmp = NewSymbol("popped");
+    std::vector<ExprPtr> targets{CloneExpr(attr->value),
+                                 MakeName(tmp, stmt.get())};
+    auto tuple = std::make_shared<lang::TupleExpr>(std::move(targets));
+    auto assign = std::make_shared<lang::AssignStmt>(
+        At(std::move(tuple), *stmt),
+        Intrinsic("list_pop", {CloneExpr(attr->value)}, *stmt));
+    return StmtList{At(std::move(assign), *stmt)};
+  }
+};
+
+// ---- Slices: x[i] = v -> x = ag__.set_item(x, i, v) ----
+class Slices final : public Transformer {
+ protected:
+  StmtList TransformStmt(const StmtPtr& stmt) override {
+    if (stmt->kind == StmtKind::kAssign) {
+      auto a = Cast<lang::AssignStmt>(stmt);
+      if (a->target->kind == ExprKind::kSubscript) {
+        auto sub = Cast<lang::SubscriptExpr>(a->target);
+        if (!QualifiedName(sub->value)) {
+          throw ConversionError(
+              "slice assignment requires a simple variable target",
+              stmt->loc);
+        }
+        auto assign = std::make_shared<lang::AssignStmt>(
+            CloneExpr(sub->value),
+            Intrinsic("set_item",
+                      {CloneExpr(sub->value), TransformExpr(sub->index),
+                       TransformExpr(a->value)},
+                      *stmt));
+        return {At(std::move(assign), *stmt)};
+      }
+    }
+    return Transformer::TransformStmt(stmt);
+  }
+};
+
+// ---- Ternary: x if c else y -> ag__.if_exp(c, lambda: x, lambda: y) ----
+class Ternary final : public Transformer {
+ protected:
+  ExprPtr TransformExpr(const ExprPtr& expr) override {
+    ExprPtr e = TransformExprChildren(expr);
+    if (e->kind == ExprKind::kIfExp) {
+      auto i = Cast<lang::IfExpExpr>(e);
+      return Intrinsic("if_exp",
+                       {i->test, Thunk(i->body), Thunk(i->orelse)}, *e);
+    }
+    return e;
+  }
+};
+
+// ---- Logical: and/or/not/==/!= -> overloadable functional forms ----
+class Logical final : public Transformer {
+ protected:
+  ExprPtr TransformExpr(const ExprPtr& expr) override {
+    ExprPtr e = TransformExprChildren(expr);
+    switch (e->kind) {
+      case ExprKind::kBoolOp: {
+        auto b = Cast<lang::BoolOpExpr>(e);
+        // Lazy right operand, preserving Python short-circuit semantics
+        // (Appendix E: "lazy boolean using tf.cond").
+        const char* name = b->op == lang::BoolOp::kAnd ? "and_" : "or_";
+        return Intrinsic(name, {b->left, Thunk(b->right)}, *e);
+      }
+      case ExprKind::kUnary: {
+        auto u = Cast<lang::UnaryExpr>(e);
+        if (u->op == lang::UnaryOp::kNot) {
+          return Intrinsic("not_", {u->operand}, *e);
+        }
+        return e;
+      }
+      case ExprKind::kCompare: {
+        auto c = Cast<lang::CompareExpr>(e);
+        // Tensor does not overload __eq__/__ne__ (paper §7.2), so these
+        // two are replaced with functional forms; the ordered comparisons
+        // go through ordinary operator dispatch.
+        if (c->op == lang::CompareOp::kEq) {
+          return Intrinsic("eq", {c->left, c->right}, *e);
+        }
+        if (c->op == lang::CompareOp::kNe) {
+          return Intrinsic("not_eq", {c->left, c->right}, *e);
+        }
+        return e;
+      }
+      default:
+        return e;
+    }
+  }
+};
+
+// ---- Function Calls: f(x) -> ag__.converted_call(f, x) ----
+class CallTrees final : public Transformer {
+ public:
+  explicit CallTrees(const ConversionOptions& options) : options_(options) {}
+
+ protected:
+  ExprPtr TransformExpr(const ExprPtr& expr) override {
+    ExprPtr e = TransformExprChildren(expr);
+    if (e->kind != ExprKind::kCall) return e;
+    auto call = Cast<lang::CallExpr>(e);
+    if (IsWhitelisted(call->func)) return e;
+    std::vector<ExprPtr> args{call->func};
+    args.insert(args.end(), call->args.begin(), call->args.end());
+    auto wrapped = MakeCall(MakeDottedName("ag__.converted_call"),
+                            std::move(args), call->keywords);
+    return At(std::move(wrapped), *e);
+  }
+
+ private:
+  bool IsWhitelisted(const ExprPtr& func) const {
+    auto qn = QualifiedName(func);
+    if (!qn) return false;  // lambdas / computed callees are wrapped
+    const std::string root = qn->substr(0, qn->find('.'));
+    if (options_.whitelist.count(root) > 0) return true;
+    if (StartsWith(*qn, "ag__")) return true;
+    return false;
+  }
+
+  const ConversionOptions& options_;
+};
+
+}  // namespace
+
+StmtList DesugarPass(const StmtList& body) { return Desugar().Run(body); }
+StmtList DirectivesPass(const StmtList& body) {
+  return Directives().Run(body);
+}
+StmtList AssertPass(const StmtList& body) { return Asserts().Run(body); }
+StmtList ListsPass(const StmtList& body) { return Lists().Run(body); }
+StmtList SlicesPass(const StmtList& body) { return Slices().Run(body); }
+StmtList TernaryPass(const StmtList& body) { return Ternary().Run(body); }
+StmtList LogicalPass(const StmtList& body) { return Logical().Run(body); }
+StmtList CallTreesPass(const StmtList& body,
+                       const ConversionOptions& options) {
+  return CallTrees(options).Run(body);
+}
+
+}  // namespace ag::transforms

@@ -1,0 +1,166 @@
+#include "transforms/transformer.h"
+
+namespace ag::transforms {
+
+using lang::Cast;
+using lang::ExprKind;
+using lang::ExprPtr;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+StmtList Transformer::TransformBody(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) {
+    StmtList repl = TransformStmt(s);
+    out.insert(out.end(), repl.begin(), repl.end());
+  }
+  return out;
+}
+
+StmtList Transformer::TransformStmt(const StmtPtr& stmt) {
+  switch (stmt->kind) {
+    case StmtKind::kFunctionDef: {
+      auto f = Cast<lang::FunctionDefStmt>(stmt);
+      for (ExprPtr& d : f->defaults) d = TransformExpr(d);
+      f->body = TransformBody(f->body);
+      return {f};
+    }
+    case StmtKind::kReturn: {
+      auto r = Cast<lang::ReturnStmt>(stmt);
+      if (r->value) r->value = TransformExpr(r->value);
+      return {r};
+    }
+    case StmtKind::kAssign: {
+      auto a = Cast<lang::AssignStmt>(stmt);
+      a->target = TransformExpr(a->target);
+      a->value = TransformExpr(a->value);
+      return {a};
+    }
+    case StmtKind::kAugAssign: {
+      auto a = Cast<lang::AugAssignStmt>(stmt);
+      a->target = TransformExpr(a->target);
+      a->value = TransformExpr(a->value);
+      return {a};
+    }
+    case StmtKind::kExprStmt: {
+      auto e = Cast<lang::ExprStmt>(stmt);
+      e->value = TransformExpr(e->value);
+      return {e};
+    }
+    case StmtKind::kIf: {
+      auto i = Cast<lang::IfStmt>(stmt);
+      i->test = TransformExpr(i->test);
+      i->body = TransformBody(i->body);
+      i->orelse = TransformBody(i->orelse);
+      return {i};
+    }
+    case StmtKind::kWhile: {
+      auto w = Cast<lang::WhileStmt>(stmt);
+      w->test = TransformExpr(w->test);
+      w->body = TransformBody(w->body);
+      return {w};
+    }
+    case StmtKind::kFor: {
+      auto f = Cast<lang::ForStmt>(stmt);
+      f->target = TransformExpr(f->target);
+      f->iter = TransformExpr(f->iter);
+      f->body = TransformBody(f->body);
+      return {f};
+    }
+    case StmtKind::kAssert: {
+      auto a = Cast<lang::AssertStmt>(stmt);
+      a->test = TransformExpr(a->test);
+      if (a->msg) a->msg = TransformExpr(a->msg);
+      return {a};
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+    case StmtKind::kPass:
+      return {stmt};
+  }
+  throw InternalError("Transformer: unknown stmt kind");
+}
+
+ExprPtr Transformer::TransformExprChildren(const ExprPtr& expr) {
+  if (!expr) return expr;
+  switch (expr->kind) {
+    case ExprKind::kTuple: {
+      auto t = Cast<lang::TupleExpr>(expr);
+      for (ExprPtr& e : t->elts) e = TransformExpr(e);
+      return t;
+    }
+    case ExprKind::kList: {
+      auto l = Cast<lang::ListExpr>(expr);
+      for (ExprPtr& e : l->elts) e = TransformExpr(e);
+      return l;
+    }
+    case ExprKind::kAttribute: {
+      auto a = Cast<lang::AttributeExpr>(expr);
+      a->value = TransformExpr(a->value);
+      return a;
+    }
+    case ExprKind::kSubscript: {
+      auto s = Cast<lang::SubscriptExpr>(expr);
+      s->value = TransformExpr(s->value);
+      s->index = TransformExpr(s->index);
+      return s;
+    }
+    case ExprKind::kCall: {
+      auto c = Cast<lang::CallExpr>(expr);
+      c->func = TransformExpr(c->func);
+      for (ExprPtr& a : c->args) a = TransformExpr(a);
+      for (lang::Keyword& kw : c->keywords) kw.value = TransformExpr(kw.value);
+      return c;
+    }
+    case ExprKind::kUnary: {
+      auto u = Cast<lang::UnaryExpr>(expr);
+      u->operand = TransformExpr(u->operand);
+      return u;
+    }
+    case ExprKind::kBinary: {
+      auto b = Cast<lang::BinaryExpr>(expr);
+      b->left = TransformExpr(b->left);
+      b->right = TransformExpr(b->right);
+      return b;
+    }
+    case ExprKind::kCompare: {
+      auto c = Cast<lang::CompareExpr>(expr);
+      c->left = TransformExpr(c->left);
+      c->right = TransformExpr(c->right);
+      return c;
+    }
+    case ExprKind::kBoolOp: {
+      auto b = Cast<lang::BoolOpExpr>(expr);
+      b->left = TransformExpr(b->left);
+      b->right = TransformExpr(b->right);
+      return b;
+    }
+    case ExprKind::kIfExp: {
+      auto i = Cast<lang::IfExpExpr>(expr);
+      i->test = TransformExpr(i->test);
+      i->body = TransformExpr(i->body);
+      i->orelse = TransformExpr(i->orelse);
+      return i;
+    }
+    case ExprKind::kLambda: {
+      auto l = Cast<lang::LambdaExpr>(expr);
+      l->body = TransformExpr(l->body);
+      return l;
+    }
+    default:
+      return expr;
+  }
+}
+
+ExprPtr Transformer::TransformExpr(const ExprPtr& expr) {
+  return TransformExprChildren(expr);
+}
+
+std::string Transformer::NewSymbol(const std::string& base) {
+  const int n = counters_[base]++;
+  return "ag__" + base + "_" + std::to_string(n);
+}
+
+}  // namespace ag::transforms

@@ -1,0 +1,51 @@
+// Base machinery for AST conversion passes (paper §7.2).
+//
+// Each pass is a Transformer subclass. The default implementation walks
+// the tree; subclasses override TransformStmt (which may expand one
+// statement into several — the shape of most lowering passes) and/or
+// TransformExpr (which may replace an expression node).
+//
+// Generated symbols use the reserved "ag__" prefix so they can never
+// collide with user code (the parser accepts them, and the interpreter
+// treats names starting with "ag__" as internal).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace ag::transforms {
+
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+
+  // Applies the pass to a whole function body.
+  [[nodiscard]] lang::StmtList Run(const lang::StmtList& body) {
+    return TransformBody(body);
+  }
+
+ protected:
+  // Transforms one statement into zero or more statements. The default
+  // recurses into nested bodies and contained expressions.
+  virtual lang::StmtList TransformStmt(const lang::StmtPtr& stmt);
+
+  // Transforms one expression (bottom-up: children first). The default
+  // recurses and returns the (possibly rebuilt) node.
+  virtual lang::ExprPtr TransformExpr(const lang::ExprPtr& expr);
+
+  [[nodiscard]] lang::StmtList TransformBody(const lang::StmtList& body);
+
+  // Recurses into an expression's children only (no self-replacement);
+  // used by TransformExpr overrides that want default child handling.
+  [[nodiscard]] lang::ExprPtr TransformExprChildren(const lang::ExprPtr& expr);
+
+  // Fresh internal symbol: "ag__<base>_<n>".
+  [[nodiscard]] std::string NewSymbol(const std::string& base);
+
+ private:
+  std::map<std::string, int> counters_;
+};
+
+}  // namespace ag::transforms

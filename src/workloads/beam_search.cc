@@ -1,0 +1,63 @@
+#include "workloads/beam_search.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace ag::workloads {
+
+BeamInputs MakeBeamInputs(const BeamConfig& config) {
+  Rng rng(config.seed);
+  BeamInputs inputs;
+  inputs.init_state = rng.Normal(Shape({config.beam, config.hidden}));
+  inputs.init_scores = Tensor::Zeros(Shape({config.beam}));
+  inputs.init_tokens =
+      rng.UniformInt(Shape({config.beam}), config.vocab);
+  const float s = 0.3f;
+  inputs.w_tok = rng.Normal(Shape({config.vocab, config.hidden}), 0.0f, s);
+  inputs.w_ss = rng.Normal(Shape({config.hidden, config.hidden}), 0.0f, s);
+  inputs.w_so = rng.Normal(Shape({config.hidden, config.vocab}), 0.0f, s);
+  // EOS is token 0; bias it upward so sequences terminate early.
+  std::vector<float> bias(static_cast<size_t>(config.vocab), 0.0f);
+  bias[0] = config.eos_bias;
+  inputs.b_o = Tensor::FromVector(std::move(bias), Shape({config.vocab}));
+  return inputs;
+}
+
+const std::string& BeamSearchSource() {
+  static const std::string* kSource = new std::string(R"(
+def beam_search(state, scores, tokens):
+  t = 0
+  while t < max_len:
+    emb = tf.gather(w_tok, tokens)
+    state = tf.tanh(tf.matmul(state, w_ss) + emb)
+    logp = tf.nn.log_softmax(tf.matmul(state, w_so) + b_o)
+    total = tf.reshape(scores, (beam, 1)) + logp
+    flat = tf.reshape(total, (1, beam * vocab))
+    best, idx = tf.math.top_k(flat, beam)
+    scores = tf.reshape(best, (beam,))
+    beam_ids = tf.reshape(idx // vocab, (beam,))
+    tokens = tf.reshape(idx % vocab, (beam,))
+    state = tf.gather(state, beam_ids)
+    t = t + 1
+    finished = tf.reduce_sum(tf.cast(tf.equal(tokens, 0), tf.float32))
+    if finished >= num_beams:
+      break
+  return scores, tokens, t
+)");
+  return *kSource;
+}
+
+void InstallBeamSearch(core::AutoGraph& agc, const BeamConfig& config,
+                       const BeamInputs& inputs) {
+  agc.LoadSource(BeamSearchSource(), "beam_search.py");
+  agc.SetGlobal("w_tok", core::Value(inputs.w_tok));
+  agc.SetGlobal("w_ss", core::Value(inputs.w_ss));
+  agc.SetGlobal("w_so", core::Value(inputs.w_so));
+  agc.SetGlobal("b_o", core::Value(inputs.b_o));
+  agc.SetGlobal("beam", core::Value(config.beam));
+  agc.SetGlobal("vocab", core::Value(config.vocab));
+  agc.SetGlobal("max_len", core::Value(config.max_len));
+  agc.SetGlobal("num_beams",
+                core::Value(static_cast<double>(config.beam)));
+}
+
+}  // namespace ag::workloads

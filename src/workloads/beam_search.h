@@ -1,0 +1,45 @@
+// Beam search (paper Appendix D.1): candidate sequences expanded by
+// top-k at each step; the loop *breaks* when every beam has emitted EOS —
+// the early exit whose staging the paper highlights ("breaking out of the
+// loop is essential to the performance of beam search").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct BeamConfig {
+  int64_t beam = 8;
+  int64_t vocab = 512;
+  int64_t hidden = 128;
+  int64_t max_len = 64;
+  // Additive logit bias on EOS; larger -> earlier termination.
+  float eos_bias = 2.0f;
+  uint64_t seed = 31;
+};
+
+struct BeamInputs {
+  Tensor init_state;   // [beam, hidden]
+  Tensor init_scores;  // [beam]
+  Tensor init_tokens;  // [beam] int
+  Tensor w_tok;        // [vocab, hidden] token embedding
+  Tensor w_ss;         // [hidden, hidden]
+  Tensor w_so;         // [hidden, vocab]
+  Tensor b_o;          // [vocab] (with EOS bias folded in)
+};
+
+[[nodiscard]] BeamInputs MakeBeamInputs(const BeamConfig& config);
+
+// PyMini source of `beam_search(state, scores, tokens)`; returns
+// (scores, tokens, steps_taken).
+[[nodiscard]] const std::string& BeamSearchSource();
+
+// Loads the source and installs weights/config globals.
+void InstallBeamSearch(core::AutoGraph& agc, const BeamConfig& config,
+                       const BeamInputs& inputs);
+
+}  // namespace ag::workloads

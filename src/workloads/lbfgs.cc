@@ -1,0 +1,94 @@
+#include "workloads/lbfgs.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace ag::workloads {
+
+LbfgsInputs MakeLbfgsInputs(const LbfgsConfig& config) {
+  Rng rng(config.seed);
+  LbfgsInputs inputs;
+  inputs.x = rng.Normal(Shape({config.samples, config.dim}));
+  // Labels from a ground-truth separator plus noise.
+  Tensor w_true = rng.Normal(Shape({config.dim, 1}));
+  Tensor margin = MatMul(inputs.x, w_true);
+  std::vector<float> labels(static_cast<size_t>(config.samples));
+  for (int64_t i = 0; i < config.samples; ++i) {
+    labels[static_cast<size_t>(i)] = margin.at(i) >= 0 ? 1.0f : -1.0f;
+  }
+  inputs.y = Tensor::FromVector(std::move(labels),
+                                Shape({config.samples, 1}));
+  inputs.w0 = Tensor::Zeros(Shape({config.dim, 1}));
+  return inputs;
+}
+
+const std::string& LbfgsSource() {
+  static const std::string* kSource = new std::string(R"(
+def loss_fn(x, y, w):
+  margin = y * tf.matmul(x, w)
+  return tf.reduce_mean(tf.log(1.0 + tf.exp(-margin)))
+
+def grad_fn(x, y, w):
+  margin = y * tf.matmul(x, w)
+  coef = -y * tf.sigmoid(-margin) / n_samples
+  return tf.matmul(tf.transpose(x, (1, 0)), coef)
+
+def lbfgs(x, y, w):
+  s_hist = tf.zeros((history, dim))
+  y_hist = tf.zeros((history, dim))
+  rho = tf.zeros((history,))
+  g = grad_fn(x, y, w)
+  k = 0
+  while k < iters:
+    # Two-loop recursion over the curvature history.
+    q = tf.reshape(g, (dim,))
+    alpha = tf.zeros((history,))
+    m = tf.minimum(k, history)
+    off = 0
+    while off < m:
+      i = (k - 1 - off) % history
+      a = rho[i] * tf.reduce_sum(s_hist[i] * q)
+      alpha[i] = a
+      q = q - a * y_hist[i]
+      off = off + 1
+    if k > 0:
+      j = (k - 1) % history
+      denom = tf.reduce_sum(y_hist[j] * y_hist[j]) + 1e-10
+      gamma = tf.reduce_sum(s_hist[j] * y_hist[j]) / denom
+      r = gamma * q
+    else:
+      r = q
+    off = m - 1
+    while off >= 0:
+      i = (k - 1 - off) % history
+      beta = rho[i] * tf.reduce_sum(y_hist[i] * r)
+      r = r + s_hist[i] * (alpha[i] - beta)
+      off = off - 1
+    # Parameter and curvature updates.
+    d = tf.reshape(r, (dim, 1))
+    w_new = w - step * d
+    g_new = grad_fn(x, y, w_new)
+    s_vec = tf.reshape(w_new - w, (dim,))
+    y_vec = tf.reshape(g_new - g, (dim,))
+    idx = k % history
+    s_hist[idx] = s_vec
+    y_hist[idx] = y_vec
+    rho[idx] = 1.0 / (tf.reduce_sum(s_vec * y_vec) + 1e-10)
+    w = w_new
+    g = g_new
+    k = k + 1
+  return w, loss_fn(x, y, w)
+)");
+  return *kSource;
+}
+
+void InstallLbfgs(core::AutoGraph& agc, const LbfgsConfig& config) {
+  agc.LoadSource(LbfgsSource(), "lbfgs.py");
+  agc.SetGlobal("dim", core::Value(config.dim));
+  agc.SetGlobal("history", core::Value(config.history));
+  agc.SetGlobal("iters", core::Value(config.iters));
+  agc.SetGlobal("n_samples",
+                core::Value(static_cast<double>(config.samples)));
+  agc.SetGlobal("step", core::Value(static_cast<double>(config.step)));
+}
+
+}  // namespace ag::workloads

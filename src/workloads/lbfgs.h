@@ -1,0 +1,40 @@
+// L-BFGS (paper Appendix D.2): limited-memory quasi-Newton optimization
+// of a logistic-regression objective, after the TF-Eager implementation
+// the paper benchmarks. The two-loop recursion runs over a fixed-window
+// history held in tensors (curvature pairs s_i, y_i), exercising staged
+// while-loops, slice reads/writes, and in-graph gradients.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct LbfgsConfig {
+  int64_t dim = 50;       // parameters
+  int64_t samples = 10;   // the paper's "batch size of 10"
+  int64_t history = 5;    // L-BFGS memory window
+  int64_t iters = 30;     // optimization iterations per run
+  float step = 0.5f;
+  uint64_t seed = 41;
+};
+
+struct LbfgsInputs {
+  Tensor x;   // [samples, dim] design matrix
+  Tensor y;   // [samples, 1] +/-1 labels
+  Tensor w0;  // [dim, 1] initial parameters
+};
+
+[[nodiscard]] LbfgsInputs MakeLbfgsInputs(const LbfgsConfig& config);
+
+// PyMini source of `lbfgs(x, y, w)`; returns (w, final_loss). Includes a
+// manual-gradient eager-compatible loss so the same code runs both
+// eagerly and staged.
+[[nodiscard]] const std::string& LbfgsSource();
+
+void InstallLbfgs(core::AutoGraph& agc, const LbfgsConfig& config);
+
+}  // namespace ag::workloads

@@ -1,0 +1,140 @@
+#include "workloads/maml.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace ag::workloads {
+
+MamlBatch MakeMamlBatch(const MamlConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  auto sample_task = [&rng, &config](std::vector<float>* x,
+                                     std::vector<float>* y) {
+    const float amp = 0.1f + 4.9f * rng.NextUniform();
+    const float phase = 3.14159f * rng.NextUniform();
+    for (int64_t i = 0; i < config.shots; ++i) {
+      const float xi = -5.0f + 10.0f * rng.NextUniform();
+      x->push_back(xi);
+      y->push_back(amp * std::sin(xi + phase));
+    }
+  };
+  std::vector<float> xs;
+  std::vector<float> ys;
+  std::vector<float> xq;
+  std::vector<float> yq;
+  for (int64_t t = 0; t < config.tasks; ++t) {
+    sample_task(&xs, &ys);
+    sample_task(&xq, &yq);
+  }
+  const Shape shape({config.tasks, config.shots, 1});
+  MamlBatch batch;
+  batch.xs = Tensor::FromVector(std::move(xs), shape);
+  batch.ys = Tensor::FromVector(std::move(ys), shape);
+  batch.xq = Tensor::FromVector(std::move(xq), shape);
+  batch.yq = Tensor::FromVector(std::move(yq), shape);
+  return batch;
+}
+
+MamlWeights InitMamlWeights(const MamlConfig& config) {
+  Rng rng(config.seed);
+  MamlWeights w;
+  w.w1 = rng.Normal(Shape({1, config.hidden}), 0.0f, 0.5f);
+  w.b1 = Tensor::Zeros(Shape({config.hidden}));
+  w.w2 = rng.Normal(Shape({config.hidden, 1}), 0.0f, 0.5f);
+  w.b2 = Tensor::Zeros(Shape({1}));
+  return w;
+}
+
+const std::string& MamlSource() {
+  static const std::string* kSource = new std::string(R"(
+def mlp_grads(x, y, w1, b1, w2, b2):
+  # Forward + manual backprop for the 2-layer tanh MLP under MSE; written
+  # imperatively so the identical code runs eagerly and staged.
+  h = tf.tanh(tf.matmul(x, w1) + b1)
+  pred = tf.matmul(h, w2) + b2
+  err = pred - y
+  loss = tf.reduce_mean(tf.square(err))
+  dpred = 2.0 * err / shots
+  g_w2 = tf.matmul(tf.transpose(h, (1, 0)), dpred)
+  g_b2 = tf.reduce_sum(dpred, 0)
+  dh = tf.matmul(dpred, tf.transpose(w2, (1, 0))) * (1.0 - h * h)
+  g_w1 = tf.matmul(tf.transpose(x, (1, 0)), dh)
+  g_b1 = tf.reduce_sum(dh, 0)
+  return loss, g_w1, g_b1, g_w2, g_b2
+
+def maml_step(xs, ys, xq, yq, w1, b1, w2, b2):
+  # First-order MAML: adapt on the support set, apply the query-set
+  # gradient at the adapted parameters to the meta-parameters.
+  mg1 = tf.zeros((1, hidden))
+  mg2 = tf.zeros((hidden,))
+  mg3 = tf.zeros((hidden, 1))
+  mg4 = tf.zeros((1,))
+  qloss_total = 0.0
+  for t in tf.range(tasks):
+    loss, g1, g2, g3, g4 = mlp_grads(xs[t], ys[t], w1, b1, w2, b2)
+    w1a = w1 - inner_lr * g1
+    b1a = b1 - inner_lr * g2
+    w2a = w2 - inner_lr * g3
+    b2a = b2 - inner_lr * g4
+    qloss, q1, q2, q3, q4 = mlp_grads(xq[t], yq[t], w1a, b1a, w2a, b2a)
+    mg1 = mg1 + q1
+    mg2 = mg2 + q2
+    mg3 = mg3 + q3
+    mg4 = mg4 + q4
+    qloss_total = qloss_total + qloss
+  w1 = w1 - meta_lr * mg1
+  b1 = b1 - meta_lr * mg2
+  w2 = w2 - meta_lr * mg3
+  b2 = b2 - meta_lr * mg4
+  return w1, b1, w2, b2, qloss_total
+
+def maml_step_second_order(xs, ys, xq, yq, w1, b1, w2, b2):
+  # Full MAML via symbolic gradients, differentiating THROUGH the inner
+  # adaptation step (graph backend only).
+  mg1 = tf.zeros((1, hidden))
+  mg2 = tf.zeros((hidden,))
+  mg3 = tf.zeros((hidden, 1))
+  mg4 = tf.zeros((1,))
+  qloss_total = 0.0
+  for t in tf.range(tasks):
+    x_s = xs[t]
+    y_s = ys[t]
+    h = tf.tanh(tf.matmul(x_s, w1) + b1)
+    pred = tf.matmul(h, w2) + b2
+    loss = tf.reduce_mean(tf.square(pred - y_s))
+    g = tf.gradients(loss, [w1, b1, w2, b2])
+    w1a = w1 - inner_lr * g[0]
+    b1a = b1 - inner_lr * g[1]
+    w2a = w2 - inner_lr * g[2]
+    b2a = b2 - inner_lr * g[3]
+    hq = tf.tanh(tf.matmul(xq[t], w1a) + b1a)
+    predq = tf.matmul(hq, w2a) + b2a
+    qloss = tf.reduce_mean(tf.square(predq - yq[t]))
+    mg = tf.gradients(qloss, [w1, b1, w2, b2])
+    mg1 = mg1 + mg[0]
+    mg2 = mg2 + mg[1]
+    mg3 = mg3 + mg[2]
+    mg4 = mg4 + mg[3]
+    qloss_total = qloss_total + qloss
+  w1 = w1 - meta_lr * mg1
+  b1 = b1 - meta_lr * mg2
+  w2 = w2 - meta_lr * mg3
+  b2 = b2 - meta_lr * mg4
+  return w1, b1, w2, b2, qloss_total
+)");
+  return *kSource;
+}
+
+void InstallMaml(core::AutoGraph& agc, const MamlConfig& config) {
+  agc.LoadSource(MamlSource(), "maml.py");
+  agc.SetGlobal("hidden", core::Value(config.hidden));
+  agc.SetGlobal("tasks", core::Value(config.tasks));
+  agc.SetGlobal("shots",
+                core::Value(static_cast<double>(config.shots)));
+  agc.SetGlobal("inner_lr",
+                core::Value(static_cast<double>(config.inner_lr)));
+  agc.SetGlobal("meta_lr",
+                core::Value(static_cast<double>(config.meta_lr)));
+}
+
+}  // namespace ag::workloads

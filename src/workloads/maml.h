@@ -1,0 +1,53 @@
+// Model-Agnostic Meta-Learning (paper Appendix D.3): the sinusoid
+// regression benchmark from Finn et al. 2017. The inner adaptation step
+// uses in-graph gradients, and the meta-gradient differentiates *through*
+// the inner step (second-order), exercising gradients-of-gradients on the
+// graph backend. The multi-task variant loops over tasks with a staged
+// for-loop, accumulating meta-gradients as loop state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct MamlConfig {
+  int64_t tasks = 1;       // meta-batch size (paper: 1 and 10)
+  int64_t shots = 10;      // support/query points per task
+  int64_t hidden = 40;     // Finn et al. use 40-unit MLPs
+  float inner_lr = 0.01f;
+  float meta_lr = 0.001f;
+  uint64_t seed = 47;
+};
+
+struct MamlBatch {
+  // Support and query sets: [tasks, shots, 1].
+  Tensor xs;
+  Tensor ys;
+  Tensor xq;
+  Tensor yq;
+};
+
+struct MamlWeights {
+  Tensor w1;  // [1, hidden]
+  Tensor b1;  // [hidden]
+  Tensor w2;  // [hidden, 1]
+  Tensor b2;  // [1]
+};
+
+// Sinusoid tasks: y = A sin(x + phi) with random amplitude/phase.
+[[nodiscard]] MamlBatch MakeMamlBatch(const MamlConfig& config,
+                                      uint64_t seed);
+[[nodiscard]] MamlWeights InitMamlWeights(const MamlConfig& config);
+
+// PyMini source of `maml_step(xs, ys, xq, yq, w1, b1, w2, b2)`: for-loop
+// over tasks, inner SGD adaptation, second-order meta-gradient; returns
+// the updated meta-parameters and the query loss.
+[[nodiscard]] const std::string& MamlSource();
+
+void InstallMaml(core::AutoGraph& agc, const MamlConfig& config);
+
+}  // namespace ag::workloads

@@ -1,0 +1,123 @@
+#include "workloads/rnn.h"
+
+#include "exec/kernels.h"
+
+namespace ag::workloads {
+
+const std::string& DynamicRnnSource() {
+  static const std::string* kSource = new std::string(R"(
+def rnn_cell(x, h):
+  h = tf.tanh(tf.matmul(x, w_xh) + tf.matmul(h, w_hh) + b_h)
+  return h, h
+
+def dynamic_rnn(input_data, initial_state, sequence_len):
+  input_data = tf.transpose(input_data, (1, 0, 2))
+  outputs = []
+  ag.set_element_type(outputs, tf.float32)
+  state = initial_state
+  max_len = tf.reduce_max(sequence_len)
+  for i in tf.range(max_len):
+    prev_state = state
+    output, state = rnn_cell(input_data[i], state)
+    state = tf.where(i < sequence_len, state, prev_state)
+    outputs.append(output)
+  outputs = ag.stack(outputs)
+  outputs = tf.transpose(outputs, (1, 0, 2))
+  return outputs, state
+)");
+  return *kSource;
+}
+
+RnnInputs MakeRnnInputs(const RnnConfig& config) {
+  Rng rng(config.seed);
+  RnnInputs inputs;
+  inputs.input_data = rng.Normal(
+      Shape({config.batch, config.seq_len, config.input_size}), 0.0f, 1.0f);
+  inputs.initial_state = Tensor::Zeros(Shape({config.batch, config.hidden}));
+  // Sequence lengths in [seq_len/2, seq_len], as variable-length batches.
+  std::vector<float> lens(static_cast<size_t>(config.batch));
+  for (float& l : lens) {
+    l = static_cast<float>(config.seq_len / 2 +
+                           rng.NextInt(config.seq_len / 2 + 1));
+  }
+  inputs.sequence_len = Tensor::FromVector(
+      std::move(lens), Shape({config.batch}), DType::kInt32);
+  const float scale = 0.08f;
+  inputs.w_xh = rng.Normal(Shape({config.input_size, config.hidden}), 0.0f,
+                           scale);
+  inputs.w_hh = rng.Normal(Shape({config.hidden, config.hidden}), 0.0f,
+                           scale);
+  inputs.b_h = Tensor::Zeros(Shape({config.hidden}));
+  return inputs;
+}
+
+void InstallRnn(core::AutoGraph& agc, const RnnInputs& inputs) {
+  agc.LoadSource(DynamicRnnSource(), "dynamic_rnn.py");
+  agc.SetGlobal("w_xh", core::Value(inputs.w_xh));
+  agc.SetGlobal("w_hh", core::Value(inputs.w_hh));
+  agc.SetGlobal("b_h", core::Value(inputs.b_h));
+}
+
+core::StagedFunction BuildHandwrittenRnnGraph(const RnnInputs& inputs) {
+  using graph::Op;
+  using graph::OpN;
+  using graph::Output;
+
+  core::StagedFunction out;
+  out.graph = std::make_shared<graph::Graph>();
+  graph::GraphContext ctx(out.graph.get());
+
+  Output input_data =
+      graph::Placeholder(ctx, "input_data", DType::kFloat32);
+  Output initial_state =
+      graph::Placeholder(ctx, "initial_state", DType::kFloat32);
+  Output sequence_len =
+      graph::Placeholder(ctx, "sequence_len", DType::kInt32);
+  out.feed_names = {"input_data", "initial_state", "sequence_len"};
+
+  Output w_xh = graph::Const(ctx, inputs.w_xh);
+  Output w_hh = graph::Const(ctx, inputs.w_hh);
+  Output b_h = graph::Const(ctx, inputs.b_h);
+
+  // input_data: [batch, time, feat] -> [time, batch, feat].
+  std::vector<int> perm{1, 0, 2};
+  Output x = Op(ctx, "Transpose", {input_data}, {{"perm", perm}});
+  Output outputs0 = Op(ctx, "TensorListNew", {});
+  Output max_len = Op(ctx, "ReduceMax", {sequence_len});
+  Output i0 = graph::Const(ctx, Tensor::ScalarInt(0));
+  Output one = graph::Const(ctx, Tensor::ScalarInt(1));
+
+  std::vector<Output> results = graph::While(
+      ctx, {i0, initial_state, outputs0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], max_len});
+      },
+      [&](const std::vector<Output>& args) {
+        Output i = args[0];
+        Output state = args[1];
+        Output outputs = args[2];
+        Output xi = Op(ctx, "IndexAxis0", {x, i});
+        Output pre = Op(ctx, "Add",
+                        {Op(ctx, "Add",
+                            {Op(ctx, "MatMul", {xi, w_xh}),
+                             Op(ctx, "MatMul", {state, w_hh})}),
+                         b_h});
+        Output h = Op(ctx, "Tanh", {pre});
+        Output masked =
+            Op(ctx, "Where", {Op(ctx, "Less", {i, sequence_len}), h, state});
+        Output pushed = Op(ctx, "TensorListPushBack", {outputs, h});
+        return std::vector<Output>{Op(ctx, "Add", {i, one}), masked, pushed};
+      });
+
+  Output stacked = Op(ctx, "TensorListStack", {results[2]});
+  Output outputs_t = Op(ctx, "Transpose", {stacked}, {{"perm", perm}});
+
+  out.fetches = {outputs_t, results[1]};
+  out.fetch_was_tuple = true;
+  out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
+                                       &exec::EvaluatePureNode);
+  out.session = std::make_unique<exec::Session>(out.graph.get());
+  return out;
+}
+
+}  // namespace ag::workloads

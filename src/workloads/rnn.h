@@ -1,0 +1,49 @@
+// The dynamic RNN workload of Table 1: the paper's AutoGraph dynamic_rnn
+// (§9, "RNN cells"), the handwritten graph version (Appendix A), and the
+// shared input generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "graph/ops.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+// PyMini source of the paper's §9 dynamic_rnn plus a basic tanh RNN cell.
+// (The `sequence_len is None` branch is specialized away: the benchmark
+// always supplies sequence lengths, as the paper's runs do.)
+[[nodiscard]] const std::string& DynamicRnnSource();
+
+struct RnnConfig {
+  int64_t batch = 32;
+  int64_t seq_len = 64;
+  int64_t input_size = 64;
+  int64_t hidden = 256;
+  uint64_t seed = 7;
+};
+
+struct RnnInputs {
+  Tensor input_data;     // [batch, seq_len, input_size]
+  Tensor initial_state;  // [batch, hidden]
+  Tensor sequence_len;   // [batch] (int)
+  Tensor w_xh;           // [input_size, hidden]
+  Tensor w_hh;           // [hidden, hidden]
+  Tensor b_h;            // [hidden]
+};
+
+[[nodiscard]] RnnInputs MakeRnnInputs(const RnnConfig& config);
+
+// Loads DynamicRnnSource into `agc` and installs the cell weights as
+// globals (they become graph constants when staged).
+void InstallRnn(core::AutoGraph& agc, const RnnInputs& inputs);
+
+// Handwritten graph dynamic_rnn (paper Appendix A): TensorList +
+// tf.while_loop built directly against the graph API. Returns the staged
+// function with placeholders (input_data, initial_state, sequence_len).
+[[nodiscard]] core::StagedFunction BuildHandwrittenRnnGraph(
+    const RnnInputs& inputs);
+
+}  // namespace ag::workloads

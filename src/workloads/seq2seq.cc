@@ -1,0 +1,64 @@
+#include "workloads/seq2seq.h"
+
+namespace ag::workloads {
+
+Seq2SeqInputs MakeSeq2SeqInputs(const Seq2SeqConfig& config) {
+  Rng rng(config.seed);
+  Seq2SeqInputs inputs;
+  inputs.src = rng.UniformInt(Shape({config.src_len, config.batch}),
+                              config.vocab);
+  inputs.tgt = rng.UniformInt(Shape({config.tgt_len, config.batch}),
+                              config.vocab);
+  inputs.init_state = Tensor::Zeros(Shape({config.batch, config.hidden}));
+  const float s = 0.2f;
+  inputs.emb_src = rng.Normal(Shape({config.vocab, config.hidden}), 0.0f, s);
+  inputs.emb_tgt = rng.Normal(Shape({config.vocab, config.hidden}), 0.0f, s);
+  inputs.w_eh = rng.Normal(Shape({config.hidden, config.hidden}), 0.0f, s);
+  inputs.w_dx = rng.Normal(Shape({config.hidden, config.hidden}), 0.0f, s);
+  inputs.w_dh = rng.Normal(Shape({config.hidden, config.hidden}), 0.0f, s);
+  inputs.w_out = rng.Normal(Shape({config.hidden, config.vocab}), 0.0f, s);
+  return inputs;
+}
+
+const std::string& Seq2SeqSource() {
+  static const std::string* kSource = new std::string(R"(
+def encode(src, state):
+  for t in tf.range(src_steps):
+    x = tf.gather(emb_src, src[t])
+    state = tf.tanh(x + tf.matmul(state, w_eh))
+  return state
+
+def seq2seq(src, tgt, state):
+  state = encode(src, state)
+  outputs = []
+  ag.set_element_type(outputs, tf.float32)
+  tok = tgt[0]
+  for t in tf.range(tgt_steps):
+    x = tf.gather(emb_tgt, tok)
+    state = tf.tanh(tf.matmul(x, w_dx) + tf.matmul(state, w_dh))
+    logits = tf.matmul(state, w_out)
+    outputs.append(logits)
+    if teacher_forcing:
+      tok = tgt[t]
+    else:
+      tok = tf.argmax(logits, 1)
+  return ag.stack(outputs)
+)");
+  return *kSource;
+}
+
+void InstallSeq2Seq(core::AutoGraph& agc, const Seq2SeqConfig& config,
+                    const Seq2SeqInputs& inputs) {
+  agc.LoadSource(Seq2SeqSource(), "seq2seq.py");
+  agc.SetGlobal("emb_src", core::Value(inputs.emb_src));
+  agc.SetGlobal("emb_tgt", core::Value(inputs.emb_tgt));
+  agc.SetGlobal("w_eh", core::Value(inputs.w_eh));
+  agc.SetGlobal("w_dx", core::Value(inputs.w_dx));
+  agc.SetGlobal("w_dh", core::Value(inputs.w_dh));
+  agc.SetGlobal("w_out", core::Value(inputs.w_out));
+  agc.SetGlobal("src_steps", core::Value(config.src_len));
+  agc.SetGlobal("tgt_steps", core::Value(config.tgt_len));
+  agc.SetGlobal("teacher_forcing", core::Value(config.teacher_forcing));
+}
+
+}  // namespace ag::workloads

@@ -1,0 +1,46 @@
+// seq2seq (paper Appendix D.4): an encoder/decoder over random token
+// sequences, with optional teacher forcing. Teacher forcing is a *Python
+// bool* hyperparameter — inside the staged decoder loop it is a
+// macro-conditional that selects which branch gets staged, exactly the
+// dual-use of `if` the paper motivates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct Seq2SeqConfig {
+  int64_t batch = 16;
+  int64_t src_len = 64;
+  int64_t tgt_len = 64;
+  int64_t vocab = 1024;
+  int64_t hidden = 128;
+  bool teacher_forcing = false;
+  uint64_t seed = 53;
+};
+
+struct Seq2SeqInputs {
+  Tensor src;         // [src_len, batch] int tokens
+  Tensor tgt;         // [tgt_len, batch] int tokens
+  Tensor init_state;  // [batch, hidden]
+  Tensor emb_src;     // [vocab, hidden]
+  Tensor emb_tgt;     // [vocab, hidden]
+  Tensor w_eh;        // [hidden, hidden] encoder recurrence
+  Tensor w_dx;        // [hidden, hidden] decoder input projection
+  Tensor w_dh;        // [hidden, hidden] decoder recurrence
+  Tensor w_out;       // [hidden, vocab]
+};
+
+[[nodiscard]] Seq2SeqInputs MakeSeq2SeqInputs(const Seq2SeqConfig& config);
+
+// PyMini source of `seq2seq(src, tgt, state)` -> stacked decoder logits.
+[[nodiscard]] const std::string& Seq2SeqSource();
+
+void InstallSeq2Seq(core::AutoGraph& agc, const Seq2SeqConfig& config,
+                    const Seq2SeqInputs& inputs);
+
+}  // namespace ag::workloads

@@ -1,0 +1,111 @@
+#include "workloads/training.h"
+
+#include "autodiff/graph_grad.h"
+#include "exec/kernels.h"
+
+namespace ag::workloads {
+
+MnistData MakeMnistData(const MnistConfig& config) {
+  Rng rng(config.seed);
+  MnistData data;
+  data.images = rng.Uniform(Shape({config.batch, config.features}));
+  data.labels = rng.UniformInt(Shape({config.batch}), config.classes);
+  data.w0 = rng.Normal(Shape({config.features, config.classes}), 0.0f,
+                       0.05f);
+  data.b0 = Tensor::Zeros(Shape({config.classes}));
+  return data;
+}
+
+const std::string& EagerTrainStepSource() {
+  static const std::string* kSource = new std::string(R"(
+def train_step_eager(x, y, w, b, lr, batch, classes):
+  logits = tf.matmul(x, w) + b
+  p = tf.nn.softmax(logits)
+  g = (p - tf.one_hot(y, classes)) / batch
+  gw = tf.matmul(tf.transpose(x, (1, 0)), g)
+  gb = tf.reduce_sum(g, 0)
+  w = w - lr * gw
+  b = b - lr * gb
+  return w, b
+)");
+  return *kSource;
+}
+
+const std::string& GraphTrainStepSource() {
+  static const std::string* kSource = new std::string(R"(
+def train_step(x, y, w, b, lr):
+  logits = tf.matmul(x, w) + b
+  loss = tf.nn.softmax_cross_entropy(logits, y)
+  grads = tf.gradients(loss, [w, b])
+  return w - lr * grads[0], b - lr * grads[1]
+)");
+  return *kSource;
+}
+
+const std::string& TrainLoopSource() {
+  static const std::string* kSource = new std::string(R"(
+def train_loop(x, y, w, b, lr, steps):
+  i = 0
+  while i < steps:
+    logits = tf.matmul(x, w) + b
+    loss = tf.nn.softmax_cross_entropy(logits, y)
+    grads = tf.gradients(loss, [w, b])
+    w = w - lr * grads[0]
+    b = b - lr * grads[1]
+    i = i + 1
+  return w, b
+)");
+  return *kSource;
+}
+
+core::StagedFunction BuildHandwrittenTrainingGraph(
+    const MnistConfig& config) {
+  using graph::Op;
+  using graph::Output;
+
+  core::StagedFunction out;
+  out.graph = std::make_shared<graph::Graph>();
+  graph::GraphContext ctx(out.graph.get());
+
+  Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  Output y = graph::Placeholder(ctx, "y", DType::kInt32);
+  Output w = graph::Placeholder(ctx, "w", DType::kFloat32);
+  Output b = graph::Placeholder(ctx, "b", DType::kFloat32);
+  out.feed_names = {"x", "y", "w", "b"};
+
+  Output lr = graph::Const(ctx, Tensor::Scalar(config.lr));
+  Output steps =
+      graph::Const(ctx, Tensor::ScalarInt(config.steps));
+  Output i0 = graph::Const(ctx, Tensor::ScalarInt(0));
+  Output one = graph::Const(ctx, Tensor::ScalarInt(1));
+
+  std::vector<Output> results = graph::While(
+      ctx, {i0, w, b},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], steps});
+      },
+      [&](const std::vector<Output>& args) {
+        Output wi = args[1];
+        Output bi = args[2];
+        Output logits =
+            Op(ctx, "Add", {Op(ctx, "MatMul", {x, wi}), bi});
+        Output loss = Op(ctx, "SoftmaxCrossEntropy", {logits, y});
+        std::vector<Output> grads =
+            autodiff::Gradients(ctx, loss, {wi, bi});
+        Output w_next =
+            Op(ctx, "Sub", {wi, Op(ctx, "Mul", {lr, grads[0]})});
+        Output b_next =
+            Op(ctx, "Sub", {bi, Op(ctx, "Mul", {lr, grads[1]})});
+        return std::vector<Output>{Op(ctx, "Add", {args[0], one}), w_next,
+                                   b_next};
+      });
+
+  out.fetches = {results[1], results[2]};
+  out.fetch_was_tuple = true;
+  out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
+                                       &exec::EvaluatePureNode);
+  out.session = std::make_unique<exec::Session>(out.graph.get());
+  return out;
+}
+
+}  // namespace ag::workloads

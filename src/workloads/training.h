@@ -1,0 +1,52 @@
+// The MNIST linear-model SGD workload of Table 2 ("Model and Training
+// Loop"), in its four variants:
+//   - Eager: an imperative PyMini training step interpreted per step;
+//   - Model in graph / loop outside: a staged step graph run once per
+//     step, threading weights through feeds;
+//   - Model AND loop in graph: a handwritten While graph running all
+//     steps in one Session::Run;
+//   - Model AND loop via AutoGraph: the idiomatic PyMini while-loop
+//     converted and staged, also one Run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/api.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct MnistConfig {
+  int64_t batch = 200;
+  int64_t features = 784;
+  int64_t classes = 10;
+  int64_t steps = 1000;
+  float lr = 0.1f;
+  uint64_t seed = 11;
+};
+
+struct MnistData {
+  Tensor images;  // [batch, features] (synthetic)
+  Tensor labels;  // [batch] int class ids
+  Tensor w0;      // [features, classes]
+  Tensor b0;      // [classes]
+};
+
+[[nodiscard]] MnistData MakeMnistData(const MnistConfig& config);
+
+// PyMini sources.
+// Eager step with explicit (manual) gradient formulas — the imperative
+// baseline (tf.gradients requires a graph, as in TF 1.x).
+[[nodiscard]] const std::string& EagerTrainStepSource();
+// Staged single step using tf.gradients (model in graph).
+[[nodiscard]] const std::string& GraphTrainStepSource();
+// Whole training loop (while + tf.gradients) for AutoGraph staging.
+[[nodiscard]] const std::string& TrainLoopSource();
+
+// Handwritten in-graph training loop (While + symbolic gradients built
+// directly on the graph API). Placeholders: x, y, w, b; fetches (w, b).
+[[nodiscard]] core::StagedFunction BuildHandwrittenTrainingGraph(
+    const MnistConfig& config);
+
+}  // namespace ag::workloads

@@ -1,0 +1,198 @@
+#include "workloads/treelstm.h"
+
+#include <functional>
+
+#include "tensor/tensor_ops.h"
+
+namespace ag::workloads {
+
+std::vector<Tensor> TreeLstmWeights::AsVector() const {
+  return {w_emb, wx, ul, ur, b, w_h, b_h, w_o, b_o};
+}
+
+TreeLstmWeights TreeLstmWeights::FromVector(const std::vector<Tensor>& v) {
+  TreeLstmWeights w;
+  w.w_emb = v[0];
+  w.wx = v[1];
+  w.ul = v[2];
+  w.ur = v[3];
+  w.b = v[4];
+  w.w_h = v[5];
+  w.b_h = v[6];
+  w.w_o = v[7];
+  w.b_o = v[8];
+  return w;
+}
+
+TreeLstmWeights InitTreeLstmWeights(const TreeLstmConfig& config,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  const float s = 0.08f;
+  TreeLstmWeights w;
+  w.w_emb = rng.Normal(Shape({config.vocab, config.embed}), 0.0f, s);
+  w.wx = rng.Normal(Shape({config.embed, 5 * config.hidden}), 0.0f, s);
+  w.ul = rng.Normal(Shape({config.hidden, 5 * config.hidden}), 0.0f, s);
+  w.ur = rng.Normal(Shape({config.hidden, 5 * config.hidden}), 0.0f, s);
+  w.b = Tensor::Zeros(Shape({1, 5 * config.hidden}));
+  w.w_h = rng.Normal(Shape({config.hidden, config.mlp}), 0.0f, s);
+  w.b_h = Tensor::Zeros(Shape({1, config.mlp}));
+  w.w_o = rng.Normal(Shape({config.mlp, config.classes}), 0.0f, s);
+  w.b_o = Tensor::Zeros(Shape({1, config.classes}));
+  return w;
+}
+
+namespace {
+
+lantern::LTreePtr RandomTree(int leaves, const TreeLstmConfig& config,
+                             Rng& rng) {
+  auto word = [&rng, &config] {
+    return Tensor::FromVector(
+        {static_cast<float>(rng.NextInt(config.vocab))}, Shape({1}),
+        DType::kInt32);
+  };
+  if (leaves <= 1) {
+    auto leaf = lantern::LTree::Leaf(word());
+    return leaf;
+  }
+  const int left = 1 + static_cast<int>(rng.NextInt(leaves - 1));
+  lantern::LTreePtr l = RandomTree(left, config, rng);
+  lantern::LTreePtr r = RandomTree(leaves - left, config, rng);
+  return lantern::LTree::Node(std::move(l), std::move(r), word());
+}
+
+}  // namespace
+
+std::vector<lantern::LTreePtr> MakeTrees(int count,
+                                         const TreeLstmConfig& config) {
+  Rng rng(config.seed);
+  std::vector<lantern::LTreePtr> trees;
+  trees.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Leaves ~ U[avg/2, 3*avg/2].
+    const int leaves = static_cast<int>(
+        config.avg_leaves / 2 + rng.NextInt(config.avg_leaves + 1));
+    lantern::LTreePtr tree = RandomTree(std::max(leaves, 2), config, rng);
+    tree->label = OneHot(
+        Tensor::FromVector({static_cast<float>(rng.NextInt(config.classes))},
+                           Shape({1}), DType::kInt32),
+        config.classes);
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+const std::string& TreeLstmSource() {
+  static const std::string* kSource = new std::string(R"(
+def tree_state(tree, w_emb, wx, ul, ur, b):
+  if tree.is_empty:
+    return zero_state
+  else:
+    sl = tree_state(tree.left, w_emb, wx, ul, ur, b)
+    sr = tree_state(tree.right, w_emb, wx, ul, ur, b)
+    hl = tf.slice_rows(sl, 0, 1)
+    cl = tf.slice_rows(sl, 1, 1)
+    hr = tf.slice_rows(sr, 0, 1)
+    cr = tf.slice_rows(sr, 1, 1)
+    x = tf.gather(w_emb, tree.value)
+    g = tf.matmul(x, wx) + tf.matmul(hl, ul) + tf.matmul(hr, ur) + b
+    g5 = tf.reshape(g, (5, hidden))
+    i = tf.sigmoid(tf.slice_rows(g5, 0, 1))
+    fl = tf.sigmoid(tf.slice_rows(g5, 1, 1))
+    fr = tf.sigmoid(tf.slice_rows(g5, 2, 1))
+    o = tf.sigmoid(tf.slice_rows(g5, 3, 1))
+    u = tf.tanh(tf.slice_rows(g5, 4, 1))
+    c = i * u + fl * cl + fr * cr
+    h = o * tf.tanh(c)
+    return tf.concat([h, c], 0)
+
+def sentiment_loss(tree, w_emb, wx, ul, ur, b, w_h, b_h, w_o, b_o):
+  s = tree_state(tree, w_emb, wx, ul, ur, b)
+  h = tf.slice_rows(s, 0, 1)
+  m = tf.nn.relu(tf.matmul(h, w_h) + b_h)
+  logits = tf.matmul(m, w_o) + b_o
+  z = tf.log(tf.reduce_sum(tf.exp(logits)))
+  loss = z - tf.reduce_sum(logits * tree.label)
+  return loss
+)");
+  return *kSource;
+}
+
+core::LanternStagedFunction StageTreeLstm(core::AutoGraph& agc,
+                                          const TreeLstmConfig& config) {
+  agc.LoadSource(TreeLstmSource(), "treelstm.py");
+  agc.SetGlobal("hidden", core::Value(config.hidden));
+  agc.SetGlobal("zero_state",
+                core::Value(Tensor::Zeros(Shape({2, config.hidden}))));
+  std::vector<core::LanternArg> args;
+  args.push_back(core::LanternArg::TreeParam());
+  for (int i = 0; i < 9; ++i) {
+    args.push_back(core::LanternArg::TensorParam());
+  }
+  return StageLantern(agc, "sentiment_loss", args);
+}
+
+// ---------------------------------------------------------------------
+// Define-by-run baseline
+// ---------------------------------------------------------------------
+
+EagerTreeLstm::State EagerTreeLstm::Recurse(
+    const lantern::LTreePtr& tree, const std::vector<eager::ETensor>& w) {
+  using namespace eager;  // NOLINT: local op vocabulary
+  const auto h = config_.hidden;
+  if (tree->is_empty) {
+    return State{ETensor(Tensor::Zeros(Shape({1, h}))),
+                 ETensor(Tensor::Zeros(Shape({1, h})))};
+  }
+  State l = Recurse(tree->left, w);
+  State r = Recurse(tree->right, w);
+  ETensor x = Gather(w[0], tree->value);
+  ETensor g = Add(Add(Add(MatMul(x, w[1]), MatMul(l.h, w[2])),
+                      MatMul(r.h, w[3])),
+                  w[4]);
+  ETensor g5 = Reshape(g, Shape({5, h}));
+  ETensor i = Sigmoid(SliceRows(g5, 0, 1));
+  ETensor fl = Sigmoid(SliceRows(g5, 1, 1));
+  ETensor fr = Sigmoid(SliceRows(g5, 2, 1));
+  ETensor o = Sigmoid(SliceRows(g5, 3, 1));
+  ETensor u = Tanh(SliceRows(g5, 4, 1));
+  ETensor c = Add(Add(Mul(i, u), Mul(fl, l.c)), Mul(fr, r.c));
+  ETensor hh = Mul(o, Tanh(c));
+  return State{hh, c};
+}
+
+eager::ETensor EagerTreeLstm::Forward(const lantern::LTreePtr& tree,
+                                      const std::vector<eager::ETensor>& w) {
+  using namespace eager;  // NOLINT
+  State s = Recurse(tree, w);
+  ETensor m = Relu(Add(MatMul(s.h, w[5]), w[6]));
+  ETensor logits = Add(MatMul(m, w[7]), w[8]);
+  ETensor z = Log(ReduceSum(Exp(logits)));
+  ETensor fit = ReduceSum(Mul(logits, ETensor(tree->label)));
+  return Sub(z, fit);
+}
+
+float EagerTreeLstm::TrainStep(const lantern::LTreePtr& tree) {
+  eager::GradientTape tape;
+  std::vector<Tensor> raw = weights_.AsVector();
+  std::vector<eager::ETensor> w;
+  w.reserve(raw.size());
+  for (const Tensor& t : raw) w.push_back(tape.Watch(t));
+  eager::ETensor loss = Forward(tree, w);
+  std::vector<Tensor> grads = tape.Gradient(loss, w);
+  std::vector<Tensor> updated;
+  updated.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    updated.push_back(
+        Sub(raw[i], Mul(Tensor::Scalar(config_.lr), grads[i])));
+  }
+  weights_ = TreeLstmWeights::FromVector(updated);
+  return loss.value.scalar();
+}
+
+float EagerTreeLstm::Loss(const lantern::LTreePtr& tree) {
+  std::vector<Tensor> raw = weights_.AsVector();
+  std::vector<eager::ETensor> w(raw.begin(), raw.end());
+  return Forward(tree, w).value.scalar();
+}
+
+}  // namespace ag::workloads

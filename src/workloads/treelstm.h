@@ -1,0 +1,90 @@
+// The TreeLSTM sentiment-classification workload of Table 3 (§9.1):
+// a recursive binary TreeLSTM (Tai et al. 2015) over parse trees, staged
+// to the Lantern backend via AutoGraph, versus a define-by-run
+// ("PyTorch"-style) C++ baseline using the eager tape.
+//
+// Dataset substitution: the Stanford Sentiment Treebank is replaced with
+// synthetic random binary parse trees (matching SST's ~20 leaves/sentence
+// shape); TreeLSTM throughput depends only on tree size/shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lantern_api.h"
+#include "eager/eager.h"
+#include "tensor/rng.h"
+
+namespace ag::workloads {
+
+struct TreeLstmConfig {
+  int64_t hidden = 64;
+  int64_t embed = 64;
+  int64_t vocab = 1000;
+  int64_t mlp = 64;
+  int64_t classes = 5;  // SST sentiment classes
+  int64_t avg_leaves = 20;
+  float lr = 0.05f;
+  uint64_t seed = 23;
+};
+
+struct TreeLstmWeights {
+  Tensor w_emb;  // [vocab, embed]
+  Tensor wx;     // [embed, 5*hidden] gate input projection
+  Tensor ul;     // [hidden, 5*hidden] left-child projection
+  Tensor ur;     // [hidden, 5*hidden] right-child projection
+  Tensor b;      // [1, 5*hidden]
+  Tensor w_h;    // [hidden, mlp]
+  Tensor b_h;    // [1, mlp]
+  Tensor w_o;    // [mlp, classes]
+  Tensor b_o;    // [1, classes]
+
+  [[nodiscard]] std::vector<Tensor> AsVector() const;
+  static TreeLstmWeights FromVector(const std::vector<Tensor>& v);
+};
+
+[[nodiscard]] TreeLstmWeights InitTreeLstmWeights(
+    const TreeLstmConfig& config, uint64_t seed);
+
+// Random binary parse trees; every node carries a word id, the root a
+// one-hot sentiment label.
+[[nodiscard]] std::vector<lantern::LTreePtr> MakeTrees(
+    int count, const TreeLstmConfig& config);
+
+// PyMini source: recursive tree_state + sentiment_loss entry.
+[[nodiscard]] const std::string& TreeLstmSource();
+
+// Loads the source, installs config globals, stages sentiment_loss to
+// Lantern. Entry args: (tree, w_emb, wx, ul, ur, b, w_h, b_h, w_o, b_o).
+[[nodiscard]] core::LanternStagedFunction StageTreeLstm(
+    core::AutoGraph& agc, const TreeLstmConfig& config);
+
+// Define-by-run baseline ("Loop and Model in PyTorch"): the same model
+// written directly against the eager tape, re-traced on every step.
+class EagerTreeLstm {
+ public:
+  EagerTreeLstm(const TreeLstmConfig& config, TreeLstmWeights weights)
+      : config_(config), weights_(std::move(weights)) {}
+
+  // One SGD step on one tree; returns the loss.
+  float TrainStep(const lantern::LTreePtr& tree);
+  [[nodiscard]] float Loss(const lantern::LTreePtr& tree);
+
+  [[nodiscard]] const TreeLstmWeights& weights() const { return weights_; }
+
+ private:
+  struct State {
+    eager::ETensor h;
+    eager::ETensor c;
+  };
+  State Recurse(const lantern::LTreePtr& tree,
+                const std::vector<eager::ETensor>& w);
+  eager::ETensor Forward(const lantern::LTreePtr& tree,
+                         const std::vector<eager::ETensor>& w);
+
+  TreeLstmConfig config_;
+  TreeLstmWeights weights_;
+};
+
+}  // namespace ag::workloads

@@ -1,0 +1,228 @@
+// Unit tests for the static analyses of §7.1: activity, CFG construction,
+// liveness, and reaching definitions.
+#include <gtest/gtest.h>
+
+#include "analysis/activity.h"
+#include "analysis/cfg.h"
+#include "analysis/liveness.h"
+#include "analysis/reaching_definitions.h"
+#include "lang/parser.h"
+
+namespace ag::analysis {
+namespace {
+
+using lang::Cast;
+using lang::ParseStr;
+
+TEST(Activity, ReadAndModifiedSets) {
+  auto module = ParseStr("a = b + c\n");
+  ActivityAnalysis activity(module->body);
+  const Scope& sc = activity.ScopeFor(module->body[0].get());
+  EXPECT_EQ(sc.read, (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(sc.modified, (std::set<std::string>{"a"}));
+}
+
+TEST(Activity, QualifiedNameSemantics) {
+  // Paper: "in the statement a.b = c, a.b is considered to be modified,
+  // but a is not" (though a is read).
+  auto module = ParseStr("a.b = c\n");
+  ActivityAnalysis activity(module->body);
+  const Scope& sc = activity.ScopeFor(module->body[0].get());
+  EXPECT_TRUE(sc.modified.count("a.b"));
+  EXPECT_FALSE(sc.modified.count("a"));
+  EXPECT_TRUE(sc.read.count("a"));
+  EXPECT_TRUE(sc.read.count("c"));
+  // ModifiedNames filters out compound names.
+  EXPECT_TRUE(sc.ModifiedNames().empty());
+}
+
+TEST(Activity, AugAssignReadsTarget) {
+  auto module = ParseStr("x += y\n");
+  ActivityAnalysis activity(module->body);
+  const Scope& sc = activity.ScopeFor(module->body[0].get());
+  EXPECT_TRUE(sc.read.count("x"));
+  EXPECT_TRUE(sc.read.count("y"));
+  EXPECT_TRUE(sc.modified.count("x"));
+}
+
+TEST(Activity, CompoundStatementAggregates) {
+  auto module = ParseStr(R"(
+if cond:
+  x = a
+else:
+  y = b
+)");
+  ActivityAnalysis activity(module->body);
+  const Scope& sc = activity.ScopeFor(module->body[0].get());
+  EXPECT_EQ(sc.read, (std::set<std::string>{"cond", "a", "b"}));
+  EXPECT_EQ(sc.modified, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(Activity, LambdaAndNestedFunctionScoping) {
+  auto module = ParseStr(R"(
+def f(p):
+  q = p + free
+  return q
+)");
+  ActivityAnalysis activity(module->body);
+  const Scope& sc = activity.ScopeFor(module->body[0].get());
+  // Only the free variable leaks out; params and locals do not.
+  EXPECT_TRUE(sc.read.count("free"));
+  EXPECT_FALSE(sc.read.count("p"));
+  EXPECT_FALSE(sc.read.count("q"));
+  EXPECT_TRUE(sc.modified.count("f"));
+}
+
+TEST(Cfg, StraightLine) {
+  auto module = ParseStr("a = 1\nb = a\n");
+  auto cfg = ControlFlowGraph::Build(module->body, {});
+  // entry, exit, two statements.
+  EXPECT_EQ(cfg.nodes().size(), 4u);
+  NodeId first = cfg.NodeFor(module->body[0].get());
+  NodeId second = cfg.NodeFor(module->body[1].get());
+  EXPECT_EQ(cfg.nodes()[static_cast<size_t>(first)].successors,
+            (std::vector<NodeId>{second}));
+}
+
+TEST(Cfg, BranchesJoinAtExitNode) {
+  auto module = ParseStr(R"(
+if c:
+  x = 1
+else:
+  x = 2
+y = x
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {});
+  const auto* if_stmt = module->body[0].get();
+  NodeId join = cfg.ExitNodeFor(if_stmt);
+  // Both branch statements flow into the synthetic join.
+  EXPECT_EQ(cfg.nodes()[static_cast<size_t>(join)].predecessors.size(), 2u);
+}
+
+TEST(Cfg, LoopBackEdgeAndBreakEdges) {
+  auto module = ParseStr(R"(
+while c:
+  if d:
+    break
+  x = 1
+y = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {});
+  const auto* loop = module->body[0].get();
+  NodeId test = cfg.NodeFor(loop);
+  NodeId after = cfg.ExitNodeFor(loop);
+  // The test has a path out of the loop and into the body.
+  EXPECT_EQ(cfg.nodes()[static_cast<size_t>(test)].successors.size(), 2u);
+  // The break node targets the loop exit.
+  bool found_break_edge = false;
+  for (const CfgNode& n : cfg.nodes()) {
+    if (n.role == "break") {
+      found_break_edge =
+          n.successors == std::vector<NodeId>{after};
+    }
+  }
+  EXPECT_TRUE(found_break_edge);
+}
+
+TEST(Cfg, BreakOutsideLoopIsAnError) {
+  auto module = ParseStr("break\n");
+  EXPECT_THROW((void)ControlFlowGraph::Build(module->body, {}), Error);
+}
+
+TEST(Liveness, BasicKillAndGen) {
+  auto module = ParseStr(R"(
+a = 1
+b = a
+c = b
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {});
+  Liveness live(cfg);
+  // `a` is live into the second statement, dead after it.
+  EXPECT_TRUE(live.LiveIn(module->body[1].get()).count("a"));
+  EXPECT_FALSE(live.LiveOut(module->body[1].get()).count("a"));
+  EXPECT_TRUE(live.LiveOut(module->body[1].get()).count("b"));
+}
+
+TEST(Liveness, LoopCarriedVariables) {
+  auto module = ParseStr(R"(
+x = 0
+while x < n:
+  x = x + 1
+return x
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"n"});
+  Liveness live(cfg);
+  const auto* loop = module->body[1].get();
+  // x is live into the loop (read by test and body) and after it.
+  EXPECT_TRUE(live.LiveIn(loop).count("x"));
+  EXPECT_TRUE(live.LiveOut(loop).count("x"));
+  EXPECT_TRUE(live.LiveIn(loop).count("n"));
+  EXPECT_FALSE(live.LiveOut(loop).count("n"));
+}
+
+TEST(Liveness, BranchLocalTemporaryNotLiveOut) {
+  auto module = ParseStr(R"(
+if c:
+  tmp = f(x)
+  y = tmp
+return y
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"c", "x", "f", "y"});
+  Liveness live(cfg);
+  const auto* if_stmt = module->body[0].get();
+  EXPECT_FALSE(live.LiveOut(if_stmt).count("tmp"));
+  EXPECT_TRUE(live.LiveOut(if_stmt).count("y"));
+}
+
+TEST(ReachingDefs, DefinitelyVsMaybe) {
+  auto module = ParseStr(R"(
+a = 1
+if c:
+  b = 2
+d = 3
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"c"});
+  ReachingDefinitions reach(cfg);
+  const auto* last = module->body[2].get();
+  EXPECT_TRUE(reach.DefinitelyDefinedIn(last).count("a"));
+  EXPECT_FALSE(reach.DefinitelyDefinedIn(last).count("b"));
+  EXPECT_TRUE(reach.MaybeDefinedIn(last).count("b"));
+}
+
+TEST(ReachingDefs, DefinedInBothBranchesIsDefinite) {
+  auto module = ParseStr(R"(
+if c:
+  x = 1
+else:
+  x = 2
+y = x
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"c"});
+  ReachingDefinitions reach(cfg);
+  EXPECT_TRUE(
+      reach.DefinitelyDefinedIn(module->body[1].get()).count("x"));
+}
+
+TEST(ReachingDefs, LoopBodyDefinitionsAreMaybe) {
+  auto module = ParseStr(R"(
+while c:
+  v = 1
+u = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"c"});
+  ReachingDefinitions reach(cfg);
+  const auto* after = module->body[1].get();
+  EXPECT_FALSE(reach.DefinitelyDefinedIn(after).count("v"));
+  EXPECT_TRUE(reach.MaybeDefinedIn(after).count("v"));
+}
+
+TEST(ReachingDefs, ParamsAreDefinedOnEntry) {
+  auto module = ParseStr("y = x\n");
+  auto cfg = ControlFlowGraph::Build(module->body, {"x"});
+  ReachingDefinitions reach(cfg);
+  EXPECT_TRUE(
+      reach.DefinitelyDefinedIn(module->body[0].get()).count("x"));
+}
+
+}  // namespace
+}  // namespace ag::analysis

@@ -1,0 +1,259 @@
+// Correctness tests for the Appendix D workloads: eager and staged
+// executions of beam search, L-BFGS, MAML, and seq2seq must agree, and
+// each workload's characteristic behaviour (early exit, convergence,
+// meta-learning progress, teacher-forcing branch selection) must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "workloads/beam_search.h"
+#include "workloads/lbfgs.h"
+#include "workloads/maml.h"
+#include "workloads/seq2seq.h"
+
+namespace ag::workloads {
+namespace {
+
+using core::AutoGraph;
+using core::StageArg;
+using core::StagedFunction;
+using core::Value;
+
+TEST(BeamSearch, EagerMatchesStagedAndBreaksEarly) {
+  BeamConfig config;
+  config.beam = 4;
+  config.vocab = 64;
+  config.hidden = 16;
+  config.max_len = 48;
+  config.eos_bias = 2.5f;
+  BeamInputs inputs = MakeBeamInputs(config);
+
+  AutoGraph agc;
+  InstallBeamSearch(agc, config, inputs);
+
+  Value eager_out = agc.CallEager(
+      "beam_search", {Value(inputs.init_state), Value(inputs.init_scores),
+                      Value(inputs.init_tokens)});
+  const auto& eager_elts = eager_out.AsTuple()->elts;
+  const int64_t eager_steps = eager_elts[2].AsInt();
+
+  StagedFunction staged = agc.Stage(
+      "beam_search",
+      {StageArg::Placeholder("state"), StageArg::Placeholder("scores"),
+       StageArg::Placeholder("tokens", DType::kInt32)});
+  std::vector<exec::RuntimeValue> staged_out = staged.Run(
+      {inputs.init_state, inputs.init_scores, inputs.init_tokens});
+
+  EXPECT_TRUE(AllClose(eager_elts[0].AsTensor(),
+                       exec::AsTensor(staged_out[0]), 1e-4f));
+  EXPECT_TRUE(AllClose(eager_elts[1].AsTensor(),
+                       exec::AsTensor(staged_out[1]), 1e-4f));
+  EXPECT_EQ(eager_steps, exec::AsTensor(staged_out[2]).scalar_int());
+  // The break fired before max_len (EOS-biased logits terminate early).
+  EXPECT_LT(eager_steps, config.max_len);
+  EXPECT_GE(eager_steps, 1);
+}
+
+TEST(BeamSearch, LargerEosBiasTerminatesSooner) {
+  BeamConfig slow;
+  slow.beam = 4;
+  slow.vocab = 64;
+  slow.hidden = 16;
+  slow.max_len = 64;
+  slow.eos_bias = 0.5f;
+  BeamConfig fast = slow;
+  fast.eos_bias = 4.0f;
+
+  auto steps_for = [](const BeamConfig& config) {
+    BeamInputs inputs = MakeBeamInputs(config);
+    AutoGraph agc;
+    InstallBeamSearch(agc, config, inputs);
+    StagedFunction staged = agc.Stage(
+        "beam_search",
+        {StageArg::Placeholder("state"), StageArg::Placeholder("scores"),
+         StageArg::Placeholder("tokens", DType::kInt32)});
+    std::vector<exec::RuntimeValue> out = staged.Run(
+        {inputs.init_state, inputs.init_scores, inputs.init_tokens});
+    return exec::AsTensor(out[2]).scalar_int();
+  };
+  EXPECT_LE(steps_for(fast), steps_for(slow));
+}
+
+TEST(Lbfgs, EagerMatchesStagedAndConverges) {
+  LbfgsConfig config;
+  config.dim = 12;
+  config.samples = 10;
+  config.history = 4;
+  config.iters = 15;
+  LbfgsInputs inputs = MakeLbfgsInputs(config);
+
+  AutoGraph agc;
+  InstallLbfgs(agc, config);
+
+  Value eager_out = agc.CallEager(
+      "lbfgs", {Value(inputs.x), Value(inputs.y), Value(inputs.w0)});
+  const float eager_loss = eager_out.AsTuple()->elts[1].AsTensor().scalar();
+
+  StagedFunction staged = agc.Stage(
+      "lbfgs", {StageArg::Placeholder("x"), StageArg::Placeholder("y"),
+                StageArg::Placeholder("w")});
+  std::vector<exec::RuntimeValue> staged_out =
+      staged.Run({inputs.x, inputs.y, inputs.w0});
+  const float staged_loss = exec::AsTensor(staged_out[1]).scalar();
+
+  EXPECT_NEAR(eager_loss, staged_loss, 1e-4f);
+  EXPECT_TRUE(AllClose(eager_out.AsTuple()->elts[0].AsTensor(),
+                       exec::AsTensor(staged_out[0]), 1e-3f));
+
+  // L-BFGS made real progress from the zero vector (loss starts at
+  // log(2) ~ 0.693 on +/-1 labels).
+  EXPECT_LT(staged_loss, 0.3f);
+}
+
+TEST(Maml, EagerMatchesStagedAndMetaLearns) {
+  MamlConfig config;
+  config.tasks = 4;
+  config.shots = 8;
+  config.hidden = 16;
+  MamlBatch batch = MakeMamlBatch(config, 1);
+  MamlWeights w = InitMamlWeights(config);
+
+  AutoGraph agc;
+  InstallMaml(agc, config);
+
+  Value eager_out = agc.CallEager(
+      "maml_step", {Value(batch.xs), Value(batch.ys), Value(batch.xq),
+                    Value(batch.yq), Value(w.w1), Value(w.b1), Value(w.w2),
+                    Value(w.b2)});
+  const auto& elts = eager_out.AsTuple()->elts;
+
+  StagedFunction staged = agc.Stage(
+      "maml_step",
+      {StageArg::Placeholder("xs"), StageArg::Placeholder("ys"),
+       StageArg::Placeholder("xq"), StageArg::Placeholder("yq"),
+       StageArg::Placeholder("w1"), StageArg::Placeholder("b1"),
+       StageArg::Placeholder("w2"), StageArg::Placeholder("b2")});
+  std::vector<exec::RuntimeValue> staged_out = staged.Run(
+      {batch.xs, batch.ys, batch.xq, batch.yq, w.w1, w.b1, w.w2, w.b2});
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(AllClose(elts[static_cast<size_t>(i)].AsTensor(),
+                         exec::AsTensor(staged_out[static_cast<size_t>(i)]),
+                         1e-4f))
+        << "param " << i;
+  }
+
+  // Meta-training over fresh task batches reduces the query loss.
+  Tensor w1 = w.w1;
+  Tensor b1 = w.b1;
+  Tensor w2 = w.w2;
+  Tensor b2 = w.b2;
+  float first = 0;
+  float last = 0;
+  for (int step = 0; step < 60; ++step) {
+    MamlBatch b = MakeMamlBatch(config, 100 + static_cast<uint64_t>(step) % 5);
+    std::vector<exec::RuntimeValue> out =
+        staged.Run({b.xs, b.ys, b.xq, b.yq, w1, b1, w2, b2});
+    w1 = exec::AsTensor(out[0]);
+    b1 = exec::AsTensor(out[1]);
+    w2 = exec::AsTensor(out[2]);
+    b2 = exec::AsTensor(out[3]);
+    const float qloss = exec::AsTensor(out[4]).scalar();
+    if (step == 0) first = qloss;
+    last = qloss;
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(Maml, SecondOrderStagesAndDiffersFromFirstOrder) {
+  MamlConfig config;
+  config.tasks = 2;
+  config.shots = 6;
+  config.hidden = 8;
+  MamlBatch batch = MakeMamlBatch(config, 3);
+  MamlWeights w = InitMamlWeights(config);
+
+  AutoGraph agc;
+  InstallMaml(agc, config);
+
+  auto stage = [&](const std::string& fn) {
+    return agc.Stage(
+        fn, {StageArg::Placeholder("xs"), StageArg::Placeholder("ys"),
+             StageArg::Placeholder("xq"), StageArg::Placeholder("yq"),
+             StageArg::Placeholder("w1"), StageArg::Placeholder("b1"),
+             StageArg::Placeholder("w2"), StageArg::Placeholder("b2")});
+  };
+  StagedFunction first_order = stage("maml_step");
+  StagedFunction second_order = stage("maml_step_second_order");
+
+  std::vector<exec::RuntimeValue> fo = first_order.Run(
+      {batch.xs, batch.ys, batch.xq, batch.yq, w.w1, w.b1, w.w2, w.b2});
+  std::vector<exec::RuntimeValue> so = second_order.Run(
+      {batch.xs, batch.ys, batch.xq, batch.yq, w.w1, w.b1, w.w2, w.b2});
+
+  // Same query loss (forward paths agree)...
+  EXPECT_NEAR(exec::AsTensor(fo[4]).scalar(), exec::AsTensor(so[4]).scalar(),
+              1e-4f);
+  // ...but different meta-updates (the second-order term is real).
+  EXPECT_FALSE(AllClose(exec::AsTensor(fo[0]), exec::AsTensor(so[0]), 1e-7f));
+}
+
+TEST(Seq2Seq, EagerMatchesStagedBothModes) {
+  for (bool teacher_forcing : {false, true}) {
+    Seq2SeqConfig config;
+    config.batch = 3;
+    config.src_len = 5;
+    config.tgt_len = 6;
+    config.vocab = 32;
+    config.hidden = 8;
+    config.teacher_forcing = teacher_forcing;
+    Seq2SeqInputs inputs = MakeSeq2SeqInputs(config);
+
+    AutoGraph agc;
+    InstallSeq2Seq(agc, config, inputs);
+
+    Value eager_out = agc.CallEager(
+        "seq2seq",
+        {Value(inputs.src), Value(inputs.tgt), Value(inputs.init_state)});
+    EXPECT_EQ(eager_out.AsTensor().shape(),
+              Shape({config.tgt_len, config.batch, config.vocab}));
+
+    StagedFunction staged = agc.Stage(
+        "seq2seq",
+        {StageArg::Placeholder("src", DType::kInt32),
+         StageArg::Placeholder("tgt", DType::kInt32),
+         StageArg::Placeholder("state")});
+    Tensor staged_out =
+        staged.Run1({inputs.src, inputs.tgt, inputs.init_state});
+    EXPECT_TRUE(AllClose(eager_out.AsTensor(), staged_out, 1e-4f))
+        << "teacher_forcing=" << teacher_forcing;
+  }
+}
+
+TEST(Seq2Seq, TeacherForcingChangesOutputs) {
+  Seq2SeqConfig config;
+  config.batch = 2;
+  config.src_len = 4;
+  config.tgt_len = 8;
+  config.vocab = 16;
+  config.hidden = 8;
+  Seq2SeqInputs inputs = MakeSeq2SeqInputs(config);
+
+  auto run = [&](bool teacher_forcing) {
+    Seq2SeqConfig c = config;
+    c.teacher_forcing = teacher_forcing;
+    AutoGraph agc;
+    InstallSeq2Seq(agc, c, inputs);
+    StagedFunction staged = agc.Stage(
+        "seq2seq",
+        {StageArg::Placeholder("src", DType::kInt32),
+         StageArg::Placeholder("tgt", DType::kInt32),
+         StageArg::Placeholder("state")});
+    return staged.Run1({inputs.src, inputs.tgt, inputs.init_state});
+  };
+  EXPECT_FALSE(AllClose(run(false), run(true), 1e-6f));
+}
+
+}  // namespace
+}  // namespace ag::workloads

@@ -1,0 +1,180 @@
+// Tests for the three error classes of Appendix B — conversion errors,
+// staging errors, and runtime errors — and for error *rewriting*: frames
+// must point at the user's original source lines even though execution
+// runs converted (generated) code.
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+
+namespace ag::core {
+namespace {
+
+TEST(Errors, ConversionErrorForUnsupportedIdiom) {
+  // Slice assignment to a computed (non-variable) target is legal-looking
+  // PyMini that conversion rejects.
+  AutoGraph agc;
+  agc.LoadSource("def f(a, i, y):\n  g(a)[i] = y\n  return a\n");
+  try {
+    (void)agc.ConvertedSource("f");
+    FAIL() << "expected conversion error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConversion);
+  }
+}
+
+TEST(Errors, StagingErrorForUnstagedDataDependentControlFlow) {
+  // Data-dependent control flow reaching UNCONVERTED code while staging
+  // is the classic staging error.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(x):
+  if x > 0:
+    return x
+  return -x
+)");
+  Interpreter::Options options;
+  options.conversion.recursive = true;
+  // Build a graph context but call the *unconverted* function.
+  auto graph = std::make_shared<graph::Graph>();
+  graph::GraphContext ctx(graph.get());
+  agc.interpreter().set_graph_ctx(&ctx);
+  graph::Output ph = graph::Placeholder(ctx, "x", DType::kFloat32);
+  try {
+    (void)agc.interpreter().CallCallable(agc.GetGlobal("f"),
+                                         {Value(ph)});
+    FAIL() << "expected staging error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kStaging);
+    EXPECT_NE(e.message().find("AutoGraph"), std::string::npos);
+  }
+  agc.interpreter().set_graph_ctx(nullptr);
+}
+
+TEST(Errors, StagingErrorForInconsistentBranches) {
+  // One branch defines the variable, the other leaves it undefined —
+  // Appendix E: "all code paths must produce consistent value".
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(x):
+  if x > 0:
+    y = x
+  return y
+)");
+  try {
+    (void)agc.Stage("f", {StageArg::Placeholder("x")});
+    FAIL() << "expected staging error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kStaging);
+    EXPECT_NE(e.message().find("'y'"), std::string::npos) << e.message();
+  }
+}
+
+TEST(Errors, StagingErrorForUninitializedLoopVariable) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  i = tf.constant(0)
+  while i < n:
+    acc = i
+    i = i + 1
+  return acc
+)");
+  try {
+    (void)agc.Stage("f", {StageArg::Placeholder("n", DType::kInt32)});
+    FAIL() << "expected staging error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kStaging);
+    EXPECT_NE(e.message().find("'acc'"), std::string::npos) << e.message();
+  }
+}
+
+TEST(Errors, RuntimeErrorsRewrittenToOriginalSource) {
+  // The paper's Appendix B example: division by zero in graph execution.
+  // The error trace must reference the user's file/line via the source
+  // map, not only generated code.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  x = tf.constant(10.0)
+  while n > 0:
+    x = x / n
+    n = n - 1
+  return x
+)",
+                 "user_code.py");
+  // Eager: runtime error frames point into user_code.py.
+  try {
+    Value bad = agc.CallEager(
+        "f", {Value(Tensor::FromVector({1, 2}, Shape({2})))});
+    (void)bad;
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    bool has_user_frame = false;
+    for (const SourceFrame& frame : e.frames()) {
+      if (frame.location.filename == "user_code.py") has_user_frame = true;
+    }
+    EXPECT_TRUE(has_user_frame) << e.what();
+  }
+}
+
+TEST(Errors, ConvertedCodeFramesPointToOriginalLines) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(l):
+  v = l.pop()
+  return v
+)",
+                 "user_code.py");
+  FunctionPtr converted =
+      agc.interpreter().ConvertFunctionValue(agc.GetGlobal("f").AsFunction());
+  try {
+    // pop from empty list raises inside the *converted* body.
+    (void)agc.interpreter().CallFunctionValue(converted, {MakeList({})});
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    ASSERT_FALSE(e.frames().empty());
+    bool points_to_user_line3 = false;
+    for (const SourceFrame& frame : e.frames()) {
+      if (frame.location.filename == "user_code.py" &&
+          frame.location.line == 3) {
+        points_to_user_line3 = true;
+      }
+    }
+    EXPECT_TRUE(points_to_user_line3) << e.what();
+  }
+}
+
+TEST(Errors, AssertRaisesEagerlyAndStagesToAssertNode) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(x):
+  assert x > 0, 'x must be positive'
+  return x * 2
+)");
+  // Eager failure carries the message.
+  try {
+    (void)agc.CallEager("f", {Value(int64_t{-1})});
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(e.message().find("assert"), std::string::npos);
+  }
+  // Staged: the assert becomes a graph node that fires at run time.
+  StagedFunction staged = agc.Stage("f", {StageArg::Placeholder("x")});
+  EXPECT_FLOAT_EQ(staged.Run1({Tensor::Scalar(2.0f)}).scalar(), 4.0f);
+}
+
+TEST(Errors, ErrorKindNamesRendered) {
+  Error e(ErrorKind::kStaging, "boom");
+  EXPECT_NE(std::string(e.what()).find("StagingError: boom"),
+            std::string::npos);
+  SourceFrame frame;
+  frame.function_name = "fn";
+  frame.location = SourceLocation{"file.py", 7, 2};
+  Error with = e.WithFrame(frame);
+  EXPECT_NE(std::string(with.what()).find("file.py:7"), std::string::npos);
+  EXPECT_EQ(with.frames().size(), 1u);
+  EXPECT_EQ(e.frames().size(), 0u);  // original untouched
+}
+
+}  // namespace
+}  // namespace ag::core

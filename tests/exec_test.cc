@@ -1,0 +1,249 @@
+// Unit tests for the Session executor: feeds/fetches, lazy branch
+// execution, functional while loops, tensor lists, variables, the
+// compiled-plan path, and runtime error reporting.
+#include <gtest/gtest.h>
+
+#include "exec/session.h"
+#include "graph/ops.h"
+
+namespace ag::exec {
+namespace {
+
+using graph::Cond;
+using graph::Const;
+using graph::Graph;
+using graph::GraphContext;
+using graph::Op;
+using graph::OpN;
+using graph::Output;
+using graph::Placeholder;
+using graph::While;
+
+TEST(Session, FeedAndFetch) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output y = Op(ctx, "Mul", {x, Const(ctx, Tensor::Scalar(3.0f))});
+  Session session(&g);
+  EXPECT_FLOAT_EQ(session.RunTensor({{"x", Tensor::Scalar(2.0f)}}, y)
+                      .scalar(),
+                  6.0f);
+  // Missing feed is a runtime error naming the placeholder.
+  try {
+    (void)session.RunTensor({}, y);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRuntime);
+    EXPECT_NE(e.message().find("'x'"), std::string::npos);
+  }
+}
+
+TEST(Session, MemoizationWithinOneRun) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Const(ctx, Tensor::Scalar(1.0f));
+  Output t = Op(ctx, "Tanh", {x});
+  Output sum = Op(ctx, "Add", {t, t});  // t executes once
+  Session session(&g);
+  (void)session.RunTensor({}, sum);
+  // Const + Tanh + Add = 3 node executions, not 4.
+  EXPECT_EQ(session.stats().nodes_executed, 3);
+}
+
+TEST(Session, CondExecutesOnlyTakenBranch) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output pred = Placeholder(ctx, "p", DType::kBool);
+  Output a = Const(ctx, Tensor::Scalar(1.0f));
+  std::vector<Output> outs = Cond(
+      ctx, pred,
+      [&] { return std::vector<Output>{Op(ctx, "Add", {a, a})}; },
+      [&] {
+        // This branch divides by zero — it must not run when p is true.
+        return std::vector<Output>{
+            Op(ctx, "Div", {a, Const(ctx, Tensor::Scalar(0.0f))})};
+      });
+  Session session(&g);
+  EXPECT_FLOAT_EQ(
+      session.RunTensor({{"p", Tensor::ScalarBool(true)}}, outs[0]).scalar(),
+      2.0f);
+}
+
+TEST(Session, CondPredicateMustBeBool) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output pred = Placeholder(ctx, "p", DType::kFloat32);
+  Output a = Const(ctx, Tensor::Scalar(1.0f));
+  std::vector<Output> outs =
+      Cond(ctx, pred, [&] { return std::vector<Output>{a}; },
+           [&] { return std::vector<Output>{a}; });
+  Session session(&g);
+  EXPECT_THROW(
+      (void)session.RunTensor({{"p", Tensor::Scalar(1.0f)}}, outs[0]),
+      Error);
+}
+
+TEST(Session, WhileLoopRunsToFixpoint) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output limit = Placeholder(ctx, "n", DType::kInt32);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output acc0 = Const(ctx, Tensor::Scalar(0.0f));
+  std::vector<Output> outs = While(
+      ctx, {i0, acc0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        Output inc =
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))});
+        Output acc = Op(ctx, "Add",
+                        {args[1], Op(ctx, "Cast", {args[0]},
+                                     {{"dtype", DType::kFloat32}})});
+        return std::vector<Output>{inc, acc};
+      });
+  Session session(&g);
+  // sum(0..9) = 45; loop count fed at run time.
+  auto results = session.Run({{"n", Tensor::ScalarInt(10)}}, outs);
+  EXPECT_EQ(AsTensor(results[0]).scalar_int(), 10);
+  EXPECT_FLOAT_EQ(AsTensor(results[1]).scalar(), 45.0f);
+  // Zero-trip loop returns the initial values.
+  auto zero = session.Run({{"n", Tensor::ScalarInt(0)}}, outs);
+  EXPECT_FLOAT_EQ(AsTensor(zero[1]).scalar(), 0.0f);
+}
+
+TEST(Session, NestedWhileInsideCond) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output pred = Placeholder(ctx, "p", DType::kBool);
+  Output limit = Const(ctx, Tensor::ScalarInt(4));
+  std::vector<Output> outs = Cond(
+      ctx, pred,
+      [&] {
+        Output i0 = Const(ctx, Tensor::ScalarInt(0));
+        std::vector<Output> loop = While(
+            ctx, {i0},
+            [&](const std::vector<Output>& args) {
+              return Op(ctx, "Less", {args[0], limit});
+            },
+            [&](const std::vector<Output>& args) {
+              return std::vector<Output>{
+                  Op(ctx, "Add",
+                     {args[0], Const(ctx, Tensor::ScalarInt(1))})};
+            });
+        return std::vector<Output>{loop[0]};
+      },
+      [&] {
+        return std::vector<Output>{Const(ctx, Tensor::ScalarInt(-1))};
+      });
+  Session session(&g);
+  EXPECT_EQ(session.RunTensor({{"p", Tensor::ScalarBool(true)}}, outs[0])
+                .scalar_int(),
+            4);
+  EXPECT_EQ(session.RunTensor({{"p", Tensor::ScalarBool(false)}}, outs[0])
+                .scalar_int(),
+            -1);
+}
+
+TEST(Session, TensorListOps) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output list = Op(ctx, "TensorListNew", {});
+  Output l1 =
+      Op(ctx, "TensorListPushBack", {list, Const(ctx, Tensor::Scalar(1.0f))});
+  Output l2 =
+      Op(ctx, "TensorListPushBack", {l1, Const(ctx, Tensor::Scalar(2.0f))});
+  Output len = Op(ctx, "TensorListLen", {l2});
+  Output stacked = Op(ctx, "TensorListStack", {l2});
+  std::vector<Output> popped = OpN(ctx, "TensorListPopBack", {l2}, {}, 2);
+  Session session(&g);
+  auto results = session.Run({}, {len, stacked, popped[1]});
+  EXPECT_EQ(AsTensor(results[0]).scalar_int(), 2);
+  EXPECT_EQ(AsTensor(results[1]).shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(AsTensor(results[2]).scalar(), 2.0f);
+  // Lists are values: l1 still has one element.
+  EXPECT_EQ(session.RunTensor({}, Op(ctx, "TensorListLen", {l1}))
+                .scalar_int(),
+            1);
+}
+
+TEST(Session, TensorListAsLoopVariable) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output list = Op(ctx, "TensorListNew", {});
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  std::vector<Output> outs = While(
+      ctx, {i0, list},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], Const(ctx, Tensor::ScalarInt(3))});
+      },
+      [&](const std::vector<Output>& args) {
+        Output v = Op(ctx, "Cast", {args[0]}, {{"dtype", DType::kFloat32}});
+        return std::vector<Output>{
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))}),
+            Op(ctx, "TensorListPushBack", {args[1], v})};
+      });
+  Output stacked = Op(ctx, "TensorListStack", {outs[1]});
+  Session session(&g);
+  Tensor result = session.RunTensor({}, stacked);
+  EXPECT_EQ(result.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(result.at(2), 2.0f);
+}
+
+TEST(Session, VariablesPersistAcrossRuns) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output v = graph::Variable(ctx, "counter", DType::kFloat32);
+  Output next = Op(ctx, "Add", {v, Const(ctx, Tensor::Scalar(1.0f))});
+  Output assign = graph::Assign(ctx, "counter", next);
+  Session session(&g);
+  session.SetVariable("counter", Tensor::Scalar(0.0f));
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_FLOAT_EQ(session.RunTensor({}, assign).scalar(),
+                    static_cast<float>(i));
+  }
+  EXPECT_FLOAT_EQ(session.GetVariable("counter").scalar(), 3.0f);
+  EXPECT_THROW((void)session.GetVariable("missing"), Error);
+}
+
+TEST(Session, RuntimeErrorsCarryGraphFrames) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output bad = Op(ctx, "MatMul", {Const(ctx, Tensor::Scalar(1.0f)),
+                                  Const(ctx, Tensor::Scalar(2.0f))});
+  Session session(&g);
+  try {
+    (void)session.RunTensor({}, bad);
+    FAIL();
+  } catch (const Error& e) {
+    ASSERT_FALSE(e.frames().empty());
+    EXPECT_NE(e.frames()[0].function_name.find("MatMul"),
+              std::string::npos);
+    EXPECT_TRUE(e.frames()[0].generated);
+  }
+}
+
+TEST(Session, WhileLoopErrorInsideBodySurfaces) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  std::vector<Output> outs = While(
+      ctx, {i0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], Const(ctx, Tensor::ScalarInt(2))});
+      },
+      [&](const std::vector<Output>& args) {
+        // Fails on execution: gather index out of range.
+        Output bad = Op(ctx, "Gather",
+                        {Const(ctx, Tensor::FromVector({1, 2}, Shape({2}))),
+                         Const(ctx, Tensor::ScalarInt(7))});
+        return std::vector<Output>{
+            Op(ctx, "Add", {args[0], Op(ctx, "Cast", {bad},
+                                        {{"dtype", DType::kInt32}})})};
+      });
+  Session session(&g);
+  EXPECT_THROW((void)session.Run({}, outs), Error);
+}
+
+}  // namespace
+}  // namespace ag::exec
