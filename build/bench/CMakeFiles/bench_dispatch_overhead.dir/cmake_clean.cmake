@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch_overhead.dir/bench_dispatch_overhead.cc.o"
+  "CMakeFiles/bench_dispatch_overhead.dir/bench_dispatch_overhead.cc.o.d"
+  "bench_dispatch_overhead"
+  "bench_dispatch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lbfgs.dir/bench_lbfgs.cc.o"
+  "CMakeFiles/bench_lbfgs.dir/bench_lbfgs.cc.o.d"
+  "bench_lbfgs"
+  "bench_lbfgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lbfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

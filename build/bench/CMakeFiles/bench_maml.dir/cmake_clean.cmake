@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maml.dir/bench_maml.cc.o"
+  "CMakeFiles/bench_maml.dir/bench_maml.cc.o.d"
+  "bench_maml"
+  "bench_maml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq2seq.dir/bench_seq2seq.cc.o"
+  "CMakeFiles/bench_seq2seq.dir/bench_seq2seq.cc.o.d"
+  "bench_seq2seq"
+  "bench_seq2seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq2seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

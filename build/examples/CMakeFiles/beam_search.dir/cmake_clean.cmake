@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_search.dir/beam_search.cpp.o"
+  "CMakeFiles/beam_search.dir/beam_search.cpp.o.d"
+  "beam_search"
+  "beam_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_rnn.dir/dynamic_rnn.cpp.o"
+  "CMakeFiles/dynamic_rnn.dir/dynamic_rnn.cpp.o.d"
+  "dynamic_rnn"
+  "dynamic_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

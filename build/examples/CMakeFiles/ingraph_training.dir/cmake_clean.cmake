@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingraph_training.dir/ingraph_training.cpp.o"
+  "CMakeFiles/ingraph_training.dir/ingraph_training.cpp.o.d"
+  "ingraph_training"
+  "ingraph_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingraph_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treelstm_lantern.dir/treelstm_lantern.cpp.o"
+  "CMakeFiles/treelstm_lantern.dir/treelstm_lantern.cpp.o.d"
+  "treelstm_lantern"
+  "treelstm_lantern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treelstm_lantern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

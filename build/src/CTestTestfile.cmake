@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("lang")
+subdirs("analysis")
+subdirs("graph")
+subdirs("exec")
+subdirs("autodiff")
+subdirs("eager")
+subdirs("transforms")
+subdirs("core")
+subdirs("lantern")
+subdirs("workloads")

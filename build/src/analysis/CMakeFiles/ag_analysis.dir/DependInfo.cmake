@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/activity.cc" "src/analysis/CMakeFiles/ag_analysis.dir/activity.cc.o" "gcc" "src/analysis/CMakeFiles/ag_analysis.dir/activity.cc.o.d"
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/ag_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/ag_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/analysis/CMakeFiles/ag_analysis.dir/liveness.cc.o" "gcc" "src/analysis/CMakeFiles/ag_analysis.dir/liveness.cc.o.d"
+  "/root/repo/src/analysis/reaching_definitions.cc" "src/analysis/CMakeFiles/ag_analysis.dir/reaching_definitions.cc.o" "gcc" "src/analysis/CMakeFiles/ag_analysis.dir/reaching_definitions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_analysis.dir/activity.cc.o"
+  "CMakeFiles/ag_analysis.dir/activity.cc.o.d"
+  "CMakeFiles/ag_analysis.dir/cfg.cc.o"
+  "CMakeFiles/ag_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/ag_analysis.dir/liveness.cc.o"
+  "CMakeFiles/ag_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/ag_analysis.dir/reaching_definitions.cc.o"
+  "CMakeFiles/ag_analysis.dir/reaching_definitions.cc.o.d"
+  "libag_analysis.a"
+  "libag_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

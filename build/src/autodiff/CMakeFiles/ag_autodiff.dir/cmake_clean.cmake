@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_autodiff.dir/graph_grad.cc.o"
+  "CMakeFiles/ag_autodiff.dir/graph_grad.cc.o.d"
+  "libag_autodiff.a"
+  "libag_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_core.dir/api.cc.o"
+  "CMakeFiles/ag_core.dir/api.cc.o.d"
+  "CMakeFiles/ag_core.dir/interpreter.cc.o"
+  "CMakeFiles/ag_core.dir/interpreter.cc.o.d"
+  "CMakeFiles/ag_core.dir/lantern_api.cc.o"
+  "CMakeFiles/ag_core.dir/lantern_api.cc.o.d"
+  "CMakeFiles/ag_core.dir/modules.cc.o"
+  "CMakeFiles/ag_core.dir/modules.cc.o.d"
+  "CMakeFiles/ag_core.dir/operators.cc.o"
+  "CMakeFiles/ag_core.dir/operators.cc.o.d"
+  "CMakeFiles/ag_core.dir/value.cc.o"
+  "CMakeFiles/ag_core.dir/value.cc.o.d"
+  "libag_core.a"
+  "libag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_eager.dir/eager.cc.o"
+  "CMakeFiles/ag_eager.dir/eager.cc.o.d"
+  "libag_eager.a"
+  "libag_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/kernels.cc" "src/exec/CMakeFiles/ag_exec.dir/kernels.cc.o" "gcc" "src/exec/CMakeFiles/ag_exec.dir/kernels.cc.o.d"
+  "/root/repo/src/exec/session.cc" "src/exec/CMakeFiles/ag_exec.dir/session.cc.o" "gcc" "src/exec/CMakeFiles/ag_exec.dir/session.cc.o.d"
+  "/root/repo/src/exec/value.cc" "src/exec/CMakeFiles/ag_exec.dir/value.cc.o" "gcc" "src/exec/CMakeFiles/ag_exec.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ag_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_exec.dir/kernels.cc.o"
+  "CMakeFiles/ag_exec.dir/kernels.cc.o.d"
+  "CMakeFiles/ag_exec.dir/session.cc.o"
+  "CMakeFiles/ag_exec.dir/session.cc.o.d"
+  "CMakeFiles/ag_exec.dir/value.cc.o"
+  "CMakeFiles/ag_exec.dir/value.cc.o.d"
+  "libag_exec.a"
+  "libag_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_graph.dir/graph.cc.o"
+  "CMakeFiles/ag_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ag_graph.dir/ops.cc.o"
+  "CMakeFiles/ag_graph.dir/ops.cc.o.d"
+  "CMakeFiles/ag_graph.dir/optimize.cc.o"
+  "CMakeFiles/ag_graph.dir/optimize.cc.o.d"
+  "CMakeFiles/ag_graph.dir/serialize.cc.o"
+  "CMakeFiles/ag_graph.dir/serialize.cc.o.d"
+  "libag_graph.a"
+  "libag_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

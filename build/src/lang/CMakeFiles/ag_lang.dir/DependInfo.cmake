@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/ag_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/ag_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/ag_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/pretty_printer.cc" "src/lang/CMakeFiles/ag_lang.dir/pretty_printer.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/pretty_printer.cc.o.d"
+  "/root/repo/src/lang/templates.cc" "src/lang/CMakeFiles/ag_lang.dir/templates.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/templates.cc.o.d"
+  "/root/repo/src/lang/unparser.cc" "src/lang/CMakeFiles/ag_lang.dir/unparser.cc.o" "gcc" "src/lang/CMakeFiles/ag_lang.dir/unparser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

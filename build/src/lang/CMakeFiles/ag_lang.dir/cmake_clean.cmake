@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_lang.dir/ast.cc.o"
+  "CMakeFiles/ag_lang.dir/ast.cc.o.d"
+  "CMakeFiles/ag_lang.dir/lexer.cc.o"
+  "CMakeFiles/ag_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/ag_lang.dir/parser.cc.o"
+  "CMakeFiles/ag_lang.dir/parser.cc.o.d"
+  "CMakeFiles/ag_lang.dir/pretty_printer.cc.o"
+  "CMakeFiles/ag_lang.dir/pretty_printer.cc.o.d"
+  "CMakeFiles/ag_lang.dir/templates.cc.o"
+  "CMakeFiles/ag_lang.dir/templates.cc.o.d"
+  "CMakeFiles/ag_lang.dir/unparser.cc.o"
+  "CMakeFiles/ag_lang.dir/unparser.cc.o.d"
+  "libag_lang.a"
+  "libag_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

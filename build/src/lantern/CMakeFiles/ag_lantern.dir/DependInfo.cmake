@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lantern/builder.cc" "src/lantern/CMakeFiles/ag_lantern.dir/builder.cc.o" "gcc" "src/lantern/CMakeFiles/ag_lantern.dir/builder.cc.o.d"
+  "/root/repo/src/lantern/codegen.cc" "src/lantern/CMakeFiles/ag_lantern.dir/codegen.cc.o" "gcc" "src/lantern/CMakeFiles/ag_lantern.dir/codegen.cc.o.d"
+  "/root/repo/src/lantern/executor.cc" "src/lantern/CMakeFiles/ag_lantern.dir/executor.cc.o" "gcc" "src/lantern/CMakeFiles/ag_lantern.dir/executor.cc.o.d"
+  "/root/repo/src/lantern/ir.cc" "src/lantern/CMakeFiles/ag_lantern.dir/ir.cc.o" "gcc" "src/lantern/CMakeFiles/ag_lantern.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_lantern.dir/builder.cc.o"
+  "CMakeFiles/ag_lantern.dir/builder.cc.o.d"
+  "CMakeFiles/ag_lantern.dir/codegen.cc.o"
+  "CMakeFiles/ag_lantern.dir/codegen.cc.o.d"
+  "CMakeFiles/ag_lantern.dir/executor.cc.o"
+  "CMakeFiles/ag_lantern.dir/executor.cc.o.d"
+  "CMakeFiles/ag_lantern.dir/ir.cc.o"
+  "CMakeFiles/ag_lantern.dir/ir.cc.o.d"
+  "libag_lantern.a"
+  "libag_lantern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_lantern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

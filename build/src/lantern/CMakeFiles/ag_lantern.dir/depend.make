@@ -1,0 +1,2 @@
+# Empty dependencies file for ag_lantern.
+# This may be replaced when dependencies are built.

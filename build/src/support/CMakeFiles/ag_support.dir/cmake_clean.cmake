@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_support.dir/error.cc.o"
+  "CMakeFiles/ag_support.dir/error.cc.o.d"
+  "CMakeFiles/ag_support.dir/strings.cc.o"
+  "CMakeFiles/ag_support.dir/strings.cc.o.d"
+  "libag_support.a"
+  "libag_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_tensor.dir/rng.cc.o"
+  "CMakeFiles/ag_tensor.dir/rng.cc.o.d"
+  "CMakeFiles/ag_tensor.dir/shape.cc.o"
+  "CMakeFiles/ag_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/ag_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ag_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/ag_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/ag_tensor.dir/tensor_ops.cc.o.d"
+  "libag_tensor.a"
+  "libag_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/control_flow.cc" "src/transforms/CMakeFiles/ag_transforms.dir/control_flow.cc.o" "gcc" "src/transforms/CMakeFiles/ag_transforms.dir/control_flow.cc.o.d"
+  "/root/repo/src/transforms/jump_passes.cc" "src/transforms/CMakeFiles/ag_transforms.dir/jump_passes.cc.o" "gcc" "src/transforms/CMakeFiles/ag_transforms.dir/jump_passes.cc.o.d"
+  "/root/repo/src/transforms/pass_manager.cc" "src/transforms/CMakeFiles/ag_transforms.dir/pass_manager.cc.o" "gcc" "src/transforms/CMakeFiles/ag_transforms.dir/pass_manager.cc.o.d"
+  "/root/repo/src/transforms/simple_passes.cc" "src/transforms/CMakeFiles/ag_transforms.dir/simple_passes.cc.o" "gcc" "src/transforms/CMakeFiles/ag_transforms.dir/simple_passes.cc.o.d"
+  "/root/repo/src/transforms/transformer.cc" "src/transforms/CMakeFiles/ag_transforms.dir/transformer.cc.o" "gcc" "src/transforms/CMakeFiles/ag_transforms.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

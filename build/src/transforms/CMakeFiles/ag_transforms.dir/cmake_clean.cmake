@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_transforms.dir/control_flow.cc.o"
+  "CMakeFiles/ag_transforms.dir/control_flow.cc.o.d"
+  "CMakeFiles/ag_transforms.dir/jump_passes.cc.o"
+  "CMakeFiles/ag_transforms.dir/jump_passes.cc.o.d"
+  "CMakeFiles/ag_transforms.dir/pass_manager.cc.o"
+  "CMakeFiles/ag_transforms.dir/pass_manager.cc.o.d"
+  "CMakeFiles/ag_transforms.dir/simple_passes.cc.o"
+  "CMakeFiles/ag_transforms.dir/simple_passes.cc.o.d"
+  "CMakeFiles/ag_transforms.dir/transformer.cc.o"
+  "CMakeFiles/ag_transforms.dir/transformer.cc.o.d"
+  "libag_transforms.a"
+  "libag_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

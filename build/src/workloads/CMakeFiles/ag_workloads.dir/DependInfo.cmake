@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/beam_search.cc" "src/workloads/CMakeFiles/ag_workloads.dir/beam_search.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/beam_search.cc.o.d"
+  "/root/repo/src/workloads/lbfgs.cc" "src/workloads/CMakeFiles/ag_workloads.dir/lbfgs.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/lbfgs.cc.o.d"
+  "/root/repo/src/workloads/maml.cc" "src/workloads/CMakeFiles/ag_workloads.dir/maml.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/maml.cc.o.d"
+  "/root/repo/src/workloads/rnn.cc" "src/workloads/CMakeFiles/ag_workloads.dir/rnn.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/rnn.cc.o.d"
+  "/root/repo/src/workloads/seq2seq.cc" "src/workloads/CMakeFiles/ag_workloads.dir/seq2seq.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/seq2seq.cc.o.d"
+  "/root/repo/src/workloads/training.cc" "src/workloads/CMakeFiles/ag_workloads.dir/training.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/training.cc.o.d"
+  "/root/repo/src/workloads/treelstm.cc" "src/workloads/CMakeFiles/ag_workloads.dir/treelstm.cc.o" "gcc" "src/workloads/CMakeFiles/ag_workloads.dir/treelstm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eager/CMakeFiles/ag_eager.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/ag_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ag_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ag_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ag_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lantern/CMakeFiles/ag_lantern.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ag_workloads.dir/beam_search.cc.o"
+  "CMakeFiles/ag_workloads.dir/beam_search.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/lbfgs.cc.o"
+  "CMakeFiles/ag_workloads.dir/lbfgs.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/maml.cc.o"
+  "CMakeFiles/ag_workloads.dir/maml.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/rnn.cc.o"
+  "CMakeFiles/ag_workloads.dir/rnn.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/seq2seq.cc.o"
+  "CMakeFiles/ag_workloads.dir/seq2seq.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/training.cc.o"
+  "CMakeFiles/ag_workloads.dir/training.cc.o.d"
+  "CMakeFiles/ag_workloads.dir/treelstm.cc.o"
+  "CMakeFiles/ag_workloads.dir/treelstm.cc.o.d"
+  "libag_workloads.a"
+  "libag_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ag_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

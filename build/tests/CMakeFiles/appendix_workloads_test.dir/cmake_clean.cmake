@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_workloads_test.dir/appendix_workloads_test.cc.o"
+  "CMakeFiles/appendix_workloads_test.dir/appendix_workloads_test.cc.o.d"
+  "appendix_workloads_test"
+  "appendix_workloads_test.pdb"
+  "appendix_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

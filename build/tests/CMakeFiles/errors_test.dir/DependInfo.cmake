@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/errors_test.cc" "tests/CMakeFiles/errors_test.dir/errors_test.cc.o" "gcc" "tests/CMakeFiles/errors_test.dir/errors_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ag_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ag_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ag_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ag_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lantern/CMakeFiles/ag_lantern.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/ag_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/eager/CMakeFiles/ag_eager.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ag_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

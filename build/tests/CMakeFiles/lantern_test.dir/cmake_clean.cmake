@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lantern_test.dir/lantern_test.cc.o"
+  "CMakeFiles/lantern_test.dir/lantern_test.cc.o.d"
+  "lantern_test"
+  "lantern_test.pdb"
+  "lantern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lantern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supported_features_test.dir/supported_features_test.cc.o"
+  "CMakeFiles/supported_features_test.dir/supported_features_test.cc.o.d"
+  "supported_features_test"
+  "supported_features_test.pdb"
+  "supported_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supported_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
