@@ -1,0 +1,262 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/strings.h"
+
+namespace ag::analysis {
+
+using lang::Cast;
+using lang::ExprKind;
+using lang::ExprPtr;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::StmtPtr;
+
+namespace {
+
+// Collects every FunctionDefStmt in `body`, recursing into nested defs
+// and compound statements.
+void CollectDefs(const StmtList& body,
+                 std::vector<const lang::FunctionDefStmt*>* out) {
+  for (const StmtPtr& s : body) {
+    switch (s->kind) {
+      case StmtKind::kFunctionDef: {
+        auto f = Cast<lang::FunctionDefStmt>(s);
+        out->push_back(f.get());
+        CollectDefs(f->body, out);
+        break;
+      }
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        CollectDefs(i->body, out);
+        CollectDefs(i->orelse, out);
+        break;
+      }
+      case StmtKind::kWhile:
+        CollectDefs(Cast<lang::WhileStmt>(s)->body, out);
+        break;
+      case StmtKind::kFor:
+        CollectDefs(Cast<lang::ForStmt>(s)->body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+class EdgeCollector {
+ public:
+  EdgeCollector(const std::set<std::string>& functions,
+                std::vector<CallGraph::Edge>* edges)
+      : functions_(functions), edges_(edges) {}
+
+  void WalkBody(const std::string& caller, const StmtList& body) {
+    for (const StmtPtr& s : body) WalkStmt(caller, s);
+  }
+
+ private:
+  void WalkStmt(const std::string& caller, const StmtPtr& s) {
+    switch (s->kind) {
+      case StmtKind::kFunctionDef:
+        // Nested defs are their own caller; CallGraph::Build walks them.
+        return;
+      case StmtKind::kReturn:
+        WalkExpr(caller, Cast<lang::ReturnStmt>(s)->value);
+        return;
+      case StmtKind::kAssign: {
+        auto a = Cast<lang::AssignStmt>(s);
+        WalkExpr(caller, a->target);
+        WalkExpr(caller, a->value);
+        return;
+      }
+      case StmtKind::kAugAssign: {
+        auto a = Cast<lang::AugAssignStmt>(s);
+        WalkExpr(caller, a->target);
+        WalkExpr(caller, a->value);
+        return;
+      }
+      case StmtKind::kExprStmt:
+        WalkExpr(caller, Cast<lang::ExprStmt>(s)->value);
+        return;
+      case StmtKind::kIf: {
+        auto i = Cast<lang::IfStmt>(s);
+        WalkExpr(caller, i->test);
+        WalkBody(caller, i->body);
+        WalkBody(caller, i->orelse);
+        return;
+      }
+      case StmtKind::kWhile: {
+        auto w = Cast<lang::WhileStmt>(s);
+        WalkExpr(caller, w->test);
+        WalkBody(caller, w->body);
+        return;
+      }
+      case StmtKind::kFor: {
+        auto f = Cast<lang::ForStmt>(s);
+        WalkExpr(caller, f->iter);
+        WalkBody(caller, f->body);
+        return;
+      }
+      case StmtKind::kAssert: {
+        auto a = Cast<lang::AssertStmt>(s);
+        WalkExpr(caller, a->test);
+        WalkExpr(caller, a->msg);
+        return;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kPass:
+        return;
+    }
+  }
+
+  void WalkExpr(const std::string& caller, const ExprPtr& e) {
+    if (!e) return;
+    switch (e->kind) {
+      case ExprKind::kCall: {
+        auto c = Cast<lang::CallExpr>(e);
+        if (auto qn = lang::QualifiedName(c->func);
+            qn && functions_.count(*qn) > 0) {
+          const SourceLocation& loc =
+              e->origin.valid() ? e->origin : e->loc;
+          edges_->push_back({caller, *qn, loc});
+        }
+        WalkExpr(caller, c->func);
+        for (const ExprPtr& a : c->args) WalkExpr(caller, a);
+        for (const lang::Keyword& kw : c->keywords) {
+          WalkExpr(caller, kw.value);
+        }
+        return;
+      }
+      case ExprKind::kTuple:
+        for (const ExprPtr& x : Cast<lang::TupleExpr>(e)->elts) {
+          WalkExpr(caller, x);
+        }
+        return;
+      case ExprKind::kList:
+        for (const ExprPtr& x : Cast<lang::ListExpr>(e)->elts) {
+          WalkExpr(caller, x);
+        }
+        return;
+      case ExprKind::kAttribute:
+        WalkExpr(caller, Cast<lang::AttributeExpr>(e)->value);
+        return;
+      case ExprKind::kSubscript: {
+        auto s = Cast<lang::SubscriptExpr>(e);
+        WalkExpr(caller, s->value);
+        WalkExpr(caller, s->index);
+        return;
+      }
+      case ExprKind::kUnary:
+        WalkExpr(caller, Cast<lang::UnaryExpr>(e)->operand);
+        return;
+      case ExprKind::kBinary: {
+        auto b = Cast<lang::BinaryExpr>(e);
+        WalkExpr(caller, b->left);
+        WalkExpr(caller, b->right);
+        return;
+      }
+      case ExprKind::kCompare: {
+        auto c = Cast<lang::CompareExpr>(e);
+        WalkExpr(caller, c->left);
+        WalkExpr(caller, c->right);
+        return;
+      }
+      case ExprKind::kBoolOp: {
+        auto b = Cast<lang::BoolOpExpr>(e);
+        WalkExpr(caller, b->left);
+        WalkExpr(caller, b->right);
+        return;
+      }
+      case ExprKind::kIfExp: {
+        auto i = Cast<lang::IfExpExpr>(e);
+        WalkExpr(caller, i->test);
+        WalkExpr(caller, i->body);
+        WalkExpr(caller, i->orelse);
+        return;
+      }
+      case ExprKind::kLambda:
+        WalkExpr(caller, Cast<lang::LambdaExpr>(e)->body);
+        return;
+      case ExprKind::kName:
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kBool:
+      case ExprKind::kNone:
+        return;
+    }
+  }
+
+  const std::set<std::string>& functions_;
+  std::vector<CallGraph::Edge>* edges_;
+};
+
+}  // namespace
+
+std::string CallGraph::Cycle::str() const {
+  std::vector<std::string> parts = path;
+  parts.push_back(path.front());
+  return Join(parts, " -> ");
+}
+
+CallGraph CallGraph::Build(const StmtList& body) {
+  CallGraph cg;
+  std::vector<const lang::FunctionDefStmt*> defs;
+  CollectDefs(body, &defs);
+  for (const lang::FunctionDefStmt* def : defs) {
+    cg.functions_.insert(def->name);
+  }
+  EdgeCollector collector(cg.functions_, &cg.edges_);
+  for (const lang::FunctionDefStmt* def : defs) {
+    collector.WalkBody(def->name, def->body);
+  }
+  for (const Edge& e : cg.edges_) {
+    cg.out_edges_[e.caller].push_back(&e);
+  }
+  return cg;
+}
+
+std::vector<CallGraph::Cycle> CallGraph::FindRecursion() const {
+  std::vector<Cycle> cycles;
+  std::set<std::string> reported;  // canonical "a,b,c" member keys
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  // Iterative-by-recursion DFS; the graph is tiny (one node per def).
+  std::function<void(const std::string&)> dfs =
+      [&](const std::string& fn) {
+        color[fn] = 1;
+        stack.push_back(fn);
+        auto it = out_edges_.find(fn);
+        if (it != out_edges_.end()) {
+          for (const Edge* e : it->second) {
+            const int c = color[e->callee];
+            if (c == 1) {
+              // Back edge: the cycle is the stack suffix from the callee.
+              auto pos = std::find(stack.begin(), stack.end(), e->callee);
+              Cycle cycle;
+              cycle.path.assign(pos, stack.end());
+              cycle.loc = e->loc;
+              std::vector<std::string> key = cycle.path;
+              std::sort(key.begin(), key.end());
+              if (reported.insert(Join(key, ",")).second) {
+                cycles.push_back(std::move(cycle));
+              }
+            } else if (c == 0) {
+              dfs(e->callee);
+            }
+          }
+        }
+        stack.pop_back();
+        color[fn] = 2;
+      };
+
+  for (const std::string& fn : functions_) {
+    if (color[fn] == 0) dfs(fn);
+  }
+  return cycles;
+}
+
+}  // namespace ag::analysis

@@ -1,0 +1,58 @@
+// Call graph over PyMini function definitions, for recursion detection.
+//
+// The TF graph IR cannot express re-entrant (recursive) staged functions;
+// the Lantern backend can (paper §8). aglint uses the cycles of this
+// graph to error on recursion for the TF backend and to suggest the
+// Lantern backend otherwise (lint code AG005).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace ag::analysis {
+
+class CallGraph {
+ public:
+  // One `f -> g` call site.
+  struct Edge {
+    std::string caller;
+    std::string callee;
+    SourceLocation loc;  // of the call expression (user source)
+  };
+
+  // A recursion cycle: the functions on it, in call order starting from
+  // the lexically first one, plus the location of the call that closes
+  // the cycle.
+  struct Cycle {
+    std::vector<std::string> path;
+    SourceLocation loc;
+
+    // "f -> g -> f" rendering for messages.
+    [[nodiscard]] std::string str() const;
+  };
+
+  // Builds the graph over every function defined in `body` (top-level
+  // defs plus defs nested inside them, keyed by bare name). Only calls
+  // whose qualified name resolves to one of those functions become
+  // edges.
+  [[nodiscard]] static CallGraph Build(const lang::StmtList& body);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::set<std::string>& functions() const {
+    return functions_;
+  }
+
+  // Every distinct cycle (self-recursion included), each reported once.
+  [[nodiscard]] std::vector<Cycle> FindRecursion() const;
+
+ private:
+  std::set<std::string> functions_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::vector<const Edge*>> out_edges_;
+};
+
+}  // namespace ag::analysis

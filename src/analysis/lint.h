@@ -1,0 +1,83 @@
+// aglint: staging-safety diagnostics over PyMini source (ahead of
+// conversion).
+//
+// AutoGraph's worst failure modes surface as opaque staging-time
+// exceptions deep inside ag::If / ag::While (paper Appendix B classifies
+// them). Every one of them is statically detectable in the imperative
+// source, with a user-source location, before conversion begins:
+//
+//   AG001  maybe-undefined: a variable read that is defined on only some
+//          control-flow paths (the classic "undefined symbol in
+//          functional form" error at staging time).
+//   AG002  branch mismatch: an `if` whose branches bind a threaded
+//          variable to conflicting dtypes/kinds or shapes (tf.cond
+//          requires branch outputs to agree).
+//   AG003  loop-variant: a `while`/`for` body that changes a loop
+//          variable's dtype or shape between iterations (tf.while_loop
+//          requires loop-variable invariance).
+//   AG004  hidden side effect: a compound-target (`a.b`) or subscript
+//          write inside potentially-staged control flow — functional
+//          form cannot thread it, so the write is silently lost when the
+//          construct stages.
+//   AG005  recursion: a function (transitively) calling itself — the TF
+//          graph IR cannot express re-entrant staged functions; the
+//          Lantern backend can.
+//   AG006  unreachable code after return/break/continue.
+//
+// Severities: AG001-AG003 and AG005-on-TF are errors; AG004 and AG006
+// are warnings; AG005 on a re-entrant backend is an informational note.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/error.h"
+
+namespace ag::analysis {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+[[nodiscard]] const char* SeverityName(Severity severity);
+
+// One structured, source-located finding.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;     // "AG001" ... "AG006"
+  std::string message;  // one line, names the offending symbol
+  SourceLocation location;  // 1-based user-source line/column
+  std::string note;     // optional remediation hint ("" when absent)
+
+  // "file:line:col: error: [AG001] message" (+ "\n  note: ..." if set).
+  [[nodiscard]] std::string str() const;
+};
+
+// Which staging backend the lint is targeting; AG005's severity depends
+// on whether the backend can express recursion.
+enum class LintBackend : std::uint8_t { kTF, kLantern };
+
+struct LintOptions {
+  LintBackend backend = LintBackend::kTF;
+};
+
+// Lints a single function definition: AG001-AG004, AG006, and
+// self-recursion for AG005. Results are ordered by source line.
+[[nodiscard]] std::vector<Diagnostic> LintFunction(
+    const std::shared_ptr<lang::FunctionDefStmt>& fn,
+    const LintOptions& options = {});
+
+// Lints every function in a module plus cross-function (mutual)
+// recursion over the module's call graph.
+[[nodiscard]] std::vector<Diagnostic> LintModule(
+    const lang::ModulePtr& module, const LintOptions& options = {});
+
+// True if any diagnostic has severity kError.
+[[nodiscard]] bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+// Converts a diagnostic into the ConversionError raised when
+// ConversionOptions::lint_mode == kError, carrying the user-source frame.
+[[nodiscard]] Error ToConversionError(const Diagnostic& diagnostic,
+                                      const std::string& function_name);
+
+}  // namespace ag::analysis

@@ -1,0 +1,181 @@
+#include "analysis/type_lattice.h"
+
+#include <sstream>
+
+namespace ag::analysis {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBottom: return "<unreached>";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kStr: return "str";
+    case TypeKind::kNone: return "None";
+    case TypeKind::kList: return "list";
+    case TypeKind::kTuple: return "tuple";
+    case TypeKind::kFunc: return "function";
+    case TypeKind::kTensor: return "tensor";
+    case TypeKind::kTop: return "<any>";
+  }
+  return "<?>";
+}
+
+DTypeFact DTypeFactOf(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32: return DTypeFact::kFloat32;
+    case DType::kInt32: return DTypeFact::kInt32;
+    case DType::kBool: return DTypeFact::kBoolDType;
+  }
+  return DTypeFact::kTop;
+}
+
+const char* DTypeFactName(DTypeFact dtype) {
+  switch (dtype) {
+    case DTypeFact::kBottom: return "<unreached>";
+    case DTypeFact::kFloat32: return "float32";
+    case DTypeFact::kInt32: return "int32";
+    case DTypeFact::kBoolDType: return "bool";
+    case DTypeFact::kTop: return "<any>";
+  }
+  return "<?>";
+}
+
+ShapeFact ShapeFact::Known(std::vector<int64_t> dims) {
+  ShapeFact f;
+  f.state = State::kKnown;
+  f.dims = std::move(dims);
+  return f;
+}
+
+ShapeFact ShapeFact::Top() {
+  ShapeFact f;
+  f.state = State::kTop;
+  return f;
+}
+
+ShapeFact ShapeFact::Join(const ShapeFact& a, const ShapeFact& b) {
+  if (a.state == State::kBottom) return b;
+  if (b.state == State::kBottom) return a;
+  if (a.state == State::kTop || b.state == State::kTop) return Top();
+  if (a.dims.size() != b.dims.size()) return Top();
+  ShapeFact out;
+  out.state = State::kKnown;
+  out.dims.reserve(a.dims.size());
+  for (size_t i = 0; i < a.dims.size(); ++i) {
+    out.dims.push_back(a.dims[i] == b.dims[i] ? a.dims[i] : -1);
+  }
+  return out;
+}
+
+bool ShapeFact::ConflictsWith(const ShapeFact& other) const {
+  if (state != State::kKnown || other.state != State::kKnown) return false;
+  if (dims.size() != other.dims.size()) return true;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] >= 0 && other.dims[i] >= 0 && dims[i] != other.dims[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ShapeFact::str() const {
+  switch (state) {
+    case State::kBottom: return "<unreached>";
+    case State::kTop: return "[?]";
+    case State::kKnown: break;
+  }
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) os << ",";
+    if (dims[i] < 0) {
+      os << "?";
+    } else {
+      os << dims[i];
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+TypeFact TypeFact::Top() {
+  TypeFact f;
+  f.kind = TypeKind::kTop;
+  f.dtype = DTypeFact::kTop;
+  f.shape = ShapeFact::Top();
+  return f;
+}
+
+TypeFact TypeFact::Of(TypeKind kind) {
+  TypeFact f;
+  f.kind = kind;
+  return f;
+}
+
+TypeFact TypeFact::Tensor(DTypeFact dtype, ShapeFact shape) {
+  TypeFact f;
+  f.kind = TypeKind::kTensor;
+  f.dtype = dtype;
+  f.shape = std::move(shape);
+  return f;
+}
+
+TypeFact TypeFact::Join(const TypeFact& a, const TypeFact& b) {
+  if (a.kind == TypeKind::kBottom) return b;
+  if (b.kind == TypeKind::kBottom) return a;
+  if (a.kind != b.kind) return Top();
+  TypeFact out;
+  out.kind = a.kind;
+  if (a.kind == TypeKind::kTensor) {
+    if (a.dtype == DTypeFact::kBottom) {
+      out.dtype = b.dtype;
+    } else if (b.dtype == DTypeFact::kBottom || a.dtype == b.dtype) {
+      out.dtype = a.dtype;
+    } else {
+      out.dtype = DTypeFact::kTop;
+    }
+    out.shape = ShapeFact::Join(a.shape, b.shape);
+  }
+  return out;
+}
+
+bool TypeFact::DTypeConflictsWith(const TypeFact& other) const {
+  if (!IsConcrete() || !other.IsConcrete()) return false;
+  if (kind != other.kind) return true;
+  if (kind != TypeKind::kTensor) return false;
+  const bool both_concrete = dtype != DTypeFact::kBottom &&
+                             dtype != DTypeFact::kTop &&
+                             other.dtype != DTypeFact::kBottom &&
+                             other.dtype != DTypeFact::kTop;
+  return both_concrete && dtype != other.dtype;
+}
+
+bool TypeFact::ShapeConflictsWith(const TypeFact& other) const {
+  if (kind != TypeKind::kTensor || other.kind != TypeKind::kTensor) {
+    return false;
+  }
+  return shape.ConflictsWith(other.shape);
+}
+
+std::string TypeFact::str() const {
+  if (kind != TypeKind::kTensor) return TypeKindName(kind);
+  std::string out = DTypeFactName(dtype);
+  if (shape.state != ShapeFact::State::kBottom) out += shape.str();
+  return out;
+}
+
+TypeEnv JoinEnvs(const TypeEnv& a, const TypeEnv& b) {
+  TypeEnv out = a;
+  for (const auto& [name, fact] : b) {
+    auto it = out.find(name);
+    if (it == out.end()) {
+      out[name] = fact;
+    } else {
+      it->second = TypeFact::Join(it->second, fact);
+    }
+  }
+  return out;
+}
+
+}  // namespace ag::analysis

@@ -1,0 +1,129 @@
+// Abstract value facts for staging-safety diagnostics (aglint).
+//
+// A TypeFact describes what is statically known about the value a symbol
+// holds at a program point: its kind (python int/float/bool/..., or
+// tensor), and — for tensors — its dtype and shape. Facts form a flat
+// lattice per component:
+//
+//   kBottom (no path reached / nothing known yet)
+//     < concrete value
+//       < kTop (conflicting or unknowable)
+//
+// Join (least upper bound) is taken at CFG merge points. Two facts
+// *conflict* when both are concrete and disagree — that is exactly the
+// situation in which staging `tf.cond` / `tf.while_loop` raises an
+// opaque error, and what the lint passes report ahead of time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ag::analysis {
+
+// The kind of value a symbol holds. kTensor facts are refined further by
+// a dtype and shape component.
+enum class TypeKind : std::uint8_t {
+  kBottom,  // unreached / unknown-yet
+  kInt,
+  kFloat,
+  kBool,
+  kStr,
+  kNone,
+  kList,
+  kTuple,
+  kFunc,
+  kTensor,
+  kTop,  // any value / conflicting kinds
+};
+
+[[nodiscard]] const char* TypeKindName(TypeKind kind);
+
+// Flat lattice over tensor dtypes.
+enum class DTypeFact : std::uint8_t {
+  kBottom,
+  kFloat32,
+  kInt32,
+  kBoolDType,
+  kTop,
+};
+
+[[nodiscard]] DTypeFact DTypeFactOf(DType dtype);
+[[nodiscard]] const char* DTypeFactName(DTypeFact dtype);
+
+// Flat lattice over tensor shapes: unknown-yet, a known rank with
+// possibly-unknown dims (-1), or "varies" (top).
+struct ShapeFact {
+  enum class State : std::uint8_t { kBottom, kKnown, kTop };
+
+  State state = State::kBottom;
+  std::vector<int64_t> dims;  // valid iff state == kKnown; -1 = unknown dim
+
+  [[nodiscard]] static ShapeFact Known(std::vector<int64_t> dims);
+  [[nodiscard]] static ShapeFact Scalar() { return Known({}); }
+  [[nodiscard]] static ShapeFact Top();
+
+  // Least upper bound: equal ranks join dim-wise (mismatched dims -> -1);
+  // different ranks (or any top) -> top.
+  [[nodiscard]] static ShapeFact Join(const ShapeFact& a, const ShapeFact& b);
+
+  // True when both shapes are known and cannot describe the same tensor:
+  // different ranks, or a dim concretely disagreeing.
+  [[nodiscard]] bool ConflictsWith(const ShapeFact& other) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const ShapeFact& a, const ShapeFact& b) {
+    return a.state == b.state && a.dims == b.dims;
+  }
+  friend bool operator!=(const ShapeFact& a, const ShapeFact& b) {
+    return !(a == b);
+  }
+};
+
+// What is known about one symbol's value.
+struct TypeFact {
+  TypeKind kind = TypeKind::kBottom;
+  // Tensor refinements; meaningful only when kind == kTensor.
+  DTypeFact dtype = DTypeFact::kBottom;
+  ShapeFact shape;
+
+  [[nodiscard]] static TypeFact Bottom() { return {}; }
+  [[nodiscard]] static TypeFact Top();
+  [[nodiscard]] static TypeFact Of(TypeKind kind);
+  [[nodiscard]] static TypeFact Tensor(DTypeFact dtype, ShapeFact shape);
+
+  [[nodiscard]] bool IsConcrete() const {
+    return kind != TypeKind::kBottom && kind != TypeKind::kTop;
+  }
+
+  [[nodiscard]] static TypeFact Join(const TypeFact& a, const TypeFact& b);
+
+  // Dtype-level disagreement: both facts concrete and either of different
+  // kinds (int vs tensor, ...) or tensors of concretely different dtypes.
+  [[nodiscard]] bool DTypeConflictsWith(const TypeFact& other) const;
+  // Shape-level disagreement between two tensor facts.
+  [[nodiscard]] bool ShapeConflictsWith(const TypeFact& other) const;
+
+  // Rendered for diagnostics: "int", "float32[2,3]", "float32[?]", ...
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const TypeFact& a, const TypeFact& b) {
+    return a.kind == b.kind && a.dtype == b.dtype && a.shape == b.shape;
+  }
+  friend bool operator!=(const TypeFact& a, const TypeFact& b) {
+    return !(a == b);
+  }
+};
+
+// Symbol -> fact environment flowed through the abstract interpreter.
+using TypeEnv = std::map<std::string, TypeFact>;
+
+// Pointwise join; a symbol missing from one side keeps the other side's
+// fact (missing == bottom).
+[[nodiscard]] TypeEnv JoinEnvs(const TypeEnv& a, const TypeEnv& b);
+
+}  // namespace ag::analysis

@@ -80,6 +80,17 @@ Value AutoGraph::CallEager(const std::string& fn_name,
   return interpreter_.CallCallable(fn, std::move(args));
 }
 
+std::vector<analysis::Diagnostic> AutoGraph::Lint(
+    const std::string& fn_name,
+    const analysis::LintOptions& options) const {
+  Value fn = GetGlobal(fn_name);
+  FunctionPtr f = fn.AsFunction();
+  if (!f->def_node) {
+    throw ValueError("Lint: '" + fn_name + "' has no source definition");
+  }
+  return analysis::LintFunction(f->def_node, options);
+}
+
 std::string AutoGraph::ConvertedSource(const std::string& fn_name,
                                        lang::SourceMap* map) {
   Value fn = GetGlobal(fn_name);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "core/interpreter.h"
 #include "core/modules.h"
 #include "exec/session.h"
@@ -117,6 +118,12 @@ class AutoGraph {
   // paper's "generated code can be inspected" property).
   [[nodiscard]] std::string ConvertedSource(const std::string& fn_name,
                                             lang::SourceMap* map = nullptr);
+
+  // Runs the aglint staging-safety diagnostics over a loaded function
+  // without converting it (see analysis/lint.h for the codes).
+  [[nodiscard]] std::vector<analysis::Diagnostic> Lint(
+      const std::string& fn_name,
+      const analysis::LintOptions& options = {}) const;
 
   // Converts + traces + optimizes + builds a Session.
   [[nodiscard]] StagedFunction Stage(const std::string& fn_name,

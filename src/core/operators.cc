@@ -294,7 +294,9 @@ Value LanternStagedCall(Interpreter& in, const FunctionPtr& fn,
   for (const Value& a : args) {
     lantern::SymPtr s = ToLanternSym(in, a);
     if (s->global_index >= 0) {
-      sig += "g" + std::to_string(s->global_index) + ",";
+      sig += "g";
+      sig += std::to_string(s->global_index);
+      sig += ",";
     } else {
       sig += s->is_tree ? 'T' : 't';
       param_is_tree.push_back(s->is_tree);

@@ -133,7 +133,7 @@ void ReadGraphBody(LineStream& ls, Graph* graph,
 
 Node* ReadNode(LineStream& ls, Graph* graph,
                std::map<std::string, Node*>* names,
-               const std::map<std::string, Node*>* outer) {
+               const std::map<std::string, Node*>* /*outer*/) {
   std::vector<std::string> head = Fields(ls.Peek());
   ls.Advance();
   // head: node "<name>" <op> <num_outputs>

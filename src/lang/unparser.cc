@@ -64,7 +64,8 @@ class Unparser {
           if (i > 0) header += ", ";
           header += f->params[i];
           if (i >= first_default) {
-            header += "=" + Expr_(f->defaults[i - first_default]);
+            header += "=";
+            header += Expr_(f->defaults[i - first_default]);
           }
         }
         header += "):";
@@ -216,8 +217,12 @@ std::string ExprToSource(const ExprPtr& e) {
       }
       return s;
     }
-    case ExprKind::kString:
-      return "'" + Escape(Cast<StringExpr>(e)->value) + "'";
+    case ExprKind::kString: {
+      std::string quoted = "'";
+      quoted += Escape(Cast<StringExpr>(e)->value);
+      quoted += "'";
+      return quoted;
+    }
     case ExprKind::kBool:
       return Cast<BoolExpr>(e)->value ? "True" : "False";
     case ExprKind::kNone:

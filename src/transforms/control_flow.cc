@@ -40,10 +40,6 @@ std::shared_ptr<T> At(std::shared_ptr<T> node, const lang::Node& src) {
   return node;
 }
 
-std::vector<std::string> Sorted(const std::set<std::string>& s) {
-  return {s.begin(), s.end()};
-}
-
 // Builds `return v` / `return (v1, v2, ...)` / `return None`.
 StmtPtr MakeReturn(const std::vector<std::string>& names,
                    const lang::Node& src) {

@@ -6,13 +6,42 @@
 // the function's ops while staging.
 #include "transforms/passes.h"
 
+#include <iostream>
+
+#include "analysis/lint.h"
 #include "lang/unparser.h"
 
 namespace ag::transforms {
 
+namespace {
+
+// Runs aglint over the unconverted function, so every diagnostic carries
+// the user's original source location. In kError mode the first
+// staging-safety diagnostic (AG001-AG005) aborts conversion; AG006
+// (unreachable code) is never fatal.
+void RunLint(const std::shared_ptr<lang::FunctionDefStmt>& fn,
+             const ConversionOptions& options) {
+  analysis::LintOptions lint_options;
+  lint_options.backend = options.lint_backend;
+  const std::vector<analysis::Diagnostic> diagnostics =
+      analysis::LintFunction(fn, lint_options);
+  for (const analysis::Diagnostic& d : diagnostics) {
+    if (options.lint_mode == LintMode::kError && d.code != "AG006" &&
+        d.severity != analysis::Severity::kInfo) {
+      throw analysis::ToConversionError(d, fn->name);
+    }
+    std::cerr << "aglint: " << d.str() << "\n";
+  }
+}
+
+}  // namespace
+
 std::shared_ptr<lang::FunctionDefStmt> ConvertFunctionAst(
     const std::shared_ptr<lang::FunctionDefStmt>& fn,
     const ConversionOptions& options) {
+  if (options.lint_mode != LintMode::kOff) {
+    RunLint(fn, options);
+  }
   auto out = lang::Cast<lang::FunctionDefStmt>(
       lang::CloneStmt(std::static_pointer_cast<lang::Stmt>(fn)));
 

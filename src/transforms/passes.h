@@ -17,9 +17,18 @@
 #include <set>
 #include <string>
 
+#include "analysis/lint.h"
 #include "lang/ast.h"
 
 namespace ag::transforms {
+
+// What ConvertFunctionAst does with aglint diagnostics (see
+// analysis/lint.h for the diagnostic codes).
+enum class LintMode : std::uint8_t {
+  kOff,   // no linting (default)
+  kWarn,  // print diagnostics to stderr, convert anyway
+  kError, // raise ConversionError for any AG001-AG005 diagnostic
+};
 
 struct ConversionOptions {
   // Call targets whose qualified-name prefix matches are NOT rewritten to
@@ -29,6 +38,10 @@ struct ConversionOptions {
   // When false, skips the Function Calls pass entirely (non-recursive
   // conversion).
   bool recursive = true;
+  // Staging-safety diagnostics run over the *original* function before
+  // any pass, so locations always point at user source.
+  LintMode lint_mode = LintMode::kOff;
+  analysis::LintBackend lint_backend = analysis::LintBackend::kTF;
 };
 
 [[nodiscard]] lang::StmtList DesugarPass(const lang::StmtList& body);

@@ -2,6 +2,8 @@
 // liveness, and reaching definitions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/activity.h"
 #include "analysis/cfg.h"
 #include "analysis/liveness.h"
@@ -214,6 +216,161 @@ u = 2
   const auto* after = module->body[1].get();
   EXPECT_FALSE(reach.DefinitelyDefinedIn(after).count("v"));
   EXPECT_TRUE(reach.MaybeDefinedIn(after).count("v"));
+}
+
+TEST(Cfg, NestedLoopBreakTargetsInnerExitOnly) {
+  auto module = ParseStr(R"(
+while a:
+  while b:
+    if c:
+      break
+    x = 1
+  y = 2
+z = 3
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"a", "b", "c"});
+  const auto& outer = module->body[0];
+  const auto* inner = Cast<lang::WhileStmt>(outer)->body[0].get();
+  NodeId inner_exit = cfg.ExitNodeFor(inner);
+  NodeId outer_exit = cfg.ExitNodeFor(outer.get());
+  for (const CfgNode& n : cfg.nodes()) {
+    if (n.role == "break") {
+      // break leaves the innermost loop only.
+      EXPECT_EQ(n.successors, (std::vector<NodeId>{inner_exit}));
+      EXPECT_NE(n.successors, (std::vector<NodeId>{outer_exit}));
+    }
+  }
+}
+
+TEST(Cfg, NestedLoopContinueTargetsInnerHeader) {
+  auto module = ParseStr(R"(
+while a:
+  while b:
+    if c:
+      continue
+    x = 1
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"a", "b", "c"});
+  const auto& outer = module->body[0];
+  const auto* inner = Cast<lang::WhileStmt>(outer)->body[0].get();
+  NodeId inner_test = cfg.NodeFor(inner);
+  bool found = false;
+  for (const CfgNode& n : cfg.nodes()) {
+    if (n.role == "continue") {
+      found = true;
+      EXPECT_EQ(n.successors, (std::vector<NodeId>{inner_test}));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Cfg, ForHeadHasEmptyIterableEdgeToExit) {
+  auto module = ParseStr(R"(
+for i in xs:
+  y = i
+z = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"xs"});
+  const auto* loop = module->body[0].get();
+  NodeId head = cfg.NodeFor(loop);
+  NodeId after = cfg.ExitNodeFor(loop);
+  // The head node branches straight to the exit when the iterable is
+  // empty, in addition to entering the body.
+  const auto& succ = cfg.nodes()[static_cast<size_t>(head)].successors;
+  EXPECT_NE(std::find(succ.begin(), succ.end(), after), succ.end());
+  EXPECT_EQ(succ.size(), 2u);
+  // The head both reads the iterable and writes the loop target.
+  EXPECT_TRUE(cfg.nodes()[static_cast<size_t>(head)].reads.count("xs"));
+  EXPECT_TRUE(cfg.nodes()[static_cast<size_t>(head)].writes.count("i"));
+}
+
+TEST(Liveness, BreakAndContinueInNestedLoops) {
+  auto module = ParseStr(R"(
+total = 0
+for i in outer:
+  for j in inner:
+    if j > cap:
+      break
+    if j < floor:
+      continue
+    total = total + j
+  z = total
+return z
+)");
+  auto cfg =
+      ControlFlowGraph::Build(module->body, {"outer", "inner", "cap", "floor"});
+  Liveness live(cfg);
+  const auto& outer_for_ptr = module->body[1];
+  const auto* outer_for = outer_for_ptr.get();
+  const auto* inner_for = Cast<lang::ForStmt>(outer_for_ptr)->body[0].get();
+  // total is loop-carried through both loops: live into each, and live
+  // out of the inner loop where `z = total` reads it — even along the
+  // break and continue paths.
+  EXPECT_TRUE(live.LiveIn(outer_for).count("total"));
+  EXPECT_TRUE(live.LiveIn(inner_for).count("total"));
+  EXPECT_TRUE(live.LiveOut(inner_for).count("total"));
+  // The guards' operands stay live across iterations.
+  EXPECT_TRUE(live.LiveIn(inner_for).count("cap"));
+  EXPECT_TRUE(live.LiveIn(inner_for).count("floor"));
+  // The inner loop target is rebound by the iteration head before any
+  // read, so it is not loop-carried into the outer loop.
+  EXPECT_FALSE(live.LiveIn(outer_for).count("j"));
+  EXPECT_TRUE(live.LiveOut(outer_for).count("z"));
+}
+
+TEST(ReachingDefs, DefinitionBeforeBreakIsMaybeAfterLoop) {
+  auto module = ParseStr(R"(
+while a:
+  if c:
+    w = 1
+    break
+after = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"a", "c"});
+  ReachingDefinitions reach(cfg);
+  const auto* last = module->body[1].get();
+  // The break path defines w, the normal exit path does not.
+  EXPECT_FALSE(reach.DefinitelyDefinedIn(last).count("w"));
+  EXPECT_TRUE(reach.MaybeDefinedIn(last).count("w"));
+}
+
+TEST(ReachingDefs, ContinueSkipsLaterDefinitions) {
+  auto module = ParseStr(R"(
+while a:
+  if c:
+    continue
+  v = 1
+  u = v
+done = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"a", "c"});
+  ReachingDefinitions reach(cfg);
+  const auto& loop = module->body[0];
+  const auto* u_stmt = Cast<lang::WhileStmt>(loop)->body[2].get();
+  // Within the body, v dominates the read that follows it...
+  EXPECT_TRUE(reach.DefinitelyDefinedIn(u_stmt).count("v"));
+  // ...but after the loop it is only maybe-defined: the continue path
+  // reaches the loop exit without ever executing `v = 1`.
+  const auto* last = module->body[1].get();
+  EXPECT_FALSE(reach.DefinitelyDefinedIn(last).count("v"));
+  EXPECT_TRUE(reach.MaybeDefinedIn(last).count("v"));
+}
+
+TEST(ReachingDefs, ForOverEmptyIterable) {
+  auto module = ParseStr(R"(
+for i in xs:
+  y = 1
+z = 2
+)");
+  auto cfg = ControlFlowGraph::Build(module->body, {"xs"});
+  ReachingDefinitions reach(cfg);
+  const auto* last = module->body[1].get();
+  // Body definitions may be skipped entirely when the iterable is empty.
+  EXPECT_FALSE(reach.DefinitelyDefinedIn(last).count("y"));
+  EXPECT_TRUE(reach.MaybeDefinedIn(last).count("y"));
+  // The loop target lives in the head node, which sits on the empty
+  // path too, so the CFG conservatively treats it as always defined.
+  EXPECT_TRUE(reach.DefinitelyDefinedIn(last).count("i"));
 }
 
 TEST(ReachingDefs, ParamsAreDefinedOnEntry) {

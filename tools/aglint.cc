@@ -1,0 +1,148 @@
+// aglint — standalone staging-safety linter for PyMini sources.
+//
+// Usage:
+//   aglint [--backend=tf|lantern] [--werror] [-q] <file.pym|dir>...
+//
+// Directories are searched recursively for *.pym files. Each file is
+// parsed as a PyMini module and every function in it is checked for the
+// AG001-AG006 staging hazards (see src/analysis/lint.h).
+//
+// Exit status: 0 when no error-severity diagnostics were produced,
+// 1 when at least one error was found (or a file failed to parse),
+// 2 on usage / IO problems.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "lang/parser.h"
+#include "support/strings.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Counters {
+  int errors = 0;
+  int warnings = 0;
+  int infos = 0;
+  int files = 0;
+};
+
+void PrintUsage() {
+  std::cerr << "usage: aglint [--backend=tf|lantern] [--werror] [-q] "
+               "<file.pym|dir>...\n"
+               "  --backend=tf|lantern  target staging backend for AG005 "
+               "(default tf)\n"
+               "  --werror              treat warnings as errors\n"
+               "  -q                    only print error diagnostics\n";
+}
+
+bool LintFile(const fs::path& path, const ag::analysis::LintOptions& options,
+              bool werror, bool quiet, Counters* counters) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "aglint: cannot read " << path.string() << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  ++counters->files;
+  std::vector<ag::analysis::Diagnostic> diagnostics;
+  try {
+    ag::lang::ModulePtr module =
+        ag::lang::ParseStr(buffer.str(), path.string());
+    diagnostics = ag::analysis::LintModule(module, options);
+  } catch (const ag::Error& e) {
+    std::cerr << path.string() << ": " << e.what() << "\n";
+    ++counters->errors;
+    return true;
+  }
+
+  for (const ag::analysis::Diagnostic& d : diagnostics) {
+    using ag::analysis::Severity;
+    switch (d.severity) {
+      case Severity::kError: ++counters->errors; break;
+      case Severity::kWarning:
+        if (werror) {
+          ++counters->errors;
+        } else {
+          ++counters->warnings;
+        }
+        break;
+      case Severity::kInfo: ++counters->infos; break;
+    }
+    const bool is_error =
+        d.severity == Severity::kError ||
+        (werror && d.severity == Severity::kWarning);
+    if (quiet && !is_error) continue;
+    std::cout << d.str() << "\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ag::analysis::LintOptions options;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--backend=tf") {
+      options.backend = ag::analysis::LintBackend::kTF;
+    } else if (arg == "--backend=lantern") {
+      options.backend = ag::analysis::LintBackend::kLantern;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "aglint: unknown option '" << arg << "'\n";
+      PrintUsage();
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  Counters counters;
+  bool io_ok = true;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const fs::directory_entry& entry :
+           fs::recursive_directory_iterator(input)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".pym") {
+          io_ok &= LintFile(entry.path(), options, werror, quiet, &counters);
+        }
+      }
+    } else if (fs::exists(input, ec)) {
+      io_ok &= LintFile(input, options, werror, quiet, &counters);
+    } else {
+      std::cerr << "aglint: no such file or directory: " << input.string()
+                << "\n";
+      io_ok = false;
+    }
+  }
+
+  std::cerr << "aglint: " << counters.files << " file(s), "
+            << counters.errors << " error(s), " << counters.warnings
+            << " warning(s)\n";
+  if (!io_ok) return 2;
+  return counters.errors > 0 ? 1 : 0;
+}
