@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary and tees the combined output. Pass a build
-# directory as $1 (default: ./build).
+# directory as $1 (default: ./build). Afterwards, emits Chrome traces
+# for the example programs via agprof into ${BUILD_DIR}/traces/ (view in
+# chrome://tracing or Perfetto).
 set -u
 BUILD_DIR="${1:-build}"
 for b in "${BUILD_DIR}"/bench/bench_*; do
@@ -11,3 +13,16 @@ for b in "${BUILD_DIR}"/bench/bench_*; do
   "$b" --benchmark_min_time=0.2 2>&1
   echo
 done
+
+AGPROF="${BUILD_DIR}/tools/agprof"
+if [ -x "${AGPROF}" ]; then
+  mkdir -p "${BUILD_DIR}/traces"
+  for example in examples/*.pym; do
+    name="$(basename "${example}" .pym)"
+    echo "== agprof trace: ${name} =="
+    # Some examples need structured (non-scalar) feeds; skip those.
+    "${AGPROF}" "${example}" --runs=20 \
+      --trace-out="${BUILD_DIR}/traces/${name}.json" || true
+    echo
+  done
+fi

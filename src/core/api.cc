@@ -1,11 +1,40 @@
 #include "core/api.h"
 
+#include <sstream>
+
 #include "core/operators.h"
 
 namespace ag::core {
 
+namespace {
+
+// Shared tail of both StagedFunction::Run overloads: executes the
+// session with the prepared feed map, merging per-run metadata into the
+// function's cumulative record and the caller's (when instrumented).
+std::vector<exec::RuntimeValue> RunStaged(
+    StagedFunction& fn, const std::map<std::string, exec::RuntimeValue>& feeds,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
+  fn.metadata.runs += 1;  // cheap cumulative counter, even untraced
+  if (options == nullptr || !options->enabled()) {
+    return fn.session->Run(feeds, fn.fetches);
+  }
+  obs::RunMetadata local;
+  std::vector<exec::RuntimeValue> out =
+      fn.session->Run(feeds, fn.fetches, options, &local);
+  local.runs = 0;  // already counted above
+  fn.metadata.Merge(local);
+  if (run_metadata != nullptr) {
+    local.runs = 1;
+    run_metadata->Merge(local);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<exec::RuntimeValue> StagedFunction::Run(
-    const std::vector<exec::RuntimeValue>& feeds) {
+    const std::vector<exec::RuntimeValue>& feeds,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
   if (feeds.size() != feed_names.size()) {
     throw ValueError("StagedFunction::Run: expected " +
                      std::to_string(feed_names.size()) + " feeds, got " +
@@ -15,11 +44,29 @@ std::vector<exec::RuntimeValue> StagedFunction::Run(
   for (size_t i = 0; i < feeds.size(); ++i) {
     feed_map.emplace(feed_names[i], feeds[i]);
   }
-  return session->Run(feed_map, fetches);
+  return RunStaged(*this, feed_map, options, run_metadata);
 }
 
-Tensor StagedFunction::Run1(const std::vector<exec::RuntimeValue>& feeds) {
-  std::vector<exec::RuntimeValue> out = Run(feeds);
+std::vector<exec::RuntimeValue> StagedFunction::Run(
+    const std::map<std::string, exec::RuntimeValue>& feeds,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
+  if (feeds.size() != feed_names.size()) {
+    throw ValueError("StagedFunction::Run: expected " +
+                     std::to_string(feed_names.size()) + " feeds, got " +
+                     std::to_string(feeds.size()));
+  }
+  for (const std::string& name : feed_names) {
+    if (feeds.count(name) == 0) {
+      throw ValueError("StagedFunction::Run: missing feed '" + name + "'");
+    }
+  }
+  return RunStaged(*this, feeds, options, run_metadata);
+}
+
+Tensor StagedFunction::Run1(const std::vector<exec::RuntimeValue>& feeds,
+                            const obs::RunOptions* options,
+                            obs::RunMetadata* run_metadata) {
+  std::vector<exec::RuntimeValue> out = Run(feeds, options, run_metadata);
   if (out.size() != 1) {
     throw ValueError("Run1 used on a function with " +
                      std::to_string(out.size()) + " outputs");
@@ -27,8 +74,26 @@ Tensor StagedFunction::Run1(const std::vector<exec::RuntimeValue>& feeds) {
   return exec::AsTensor(out[0]);
 }
 
+std::string StagedFunction::DebugString() const {
+  std::ostringstream os;
+  os << "StagedFunction: feeds=" << feed_names.size()
+     << " fetches=" << fetches.size() << "\n"
+     << optimize_stats.DebugString() << "\n";
+  if (session != nullptr) os << session->stats().DebugString() << "\n";
+  os << metadata.DebugString();
+  return os.str();
+}
+
+std::string CacheStats::DebugString() const {
+  std::ostringstream os;
+  os << "CacheStats: hits=" << hits << " misses=" << misses
+     << " traces=" << traces;
+  return os.str();
+}
+
 std::vector<exec::RuntimeValue> PolymorphicFunction::operator()(
-    const std::vector<exec::RuntimeValue>& args) {
+    const std::vector<exec::RuntimeValue>& args,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
   std::string signature;
   for (const exec::RuntimeValue& a : args) {
     if (exec::IsTensor(a)) {
@@ -40,6 +105,7 @@ std::vector<exec::RuntimeValue> PolymorphicFunction::operator()(
   }
   auto it = traces_.find(signature);
   if (it == traces_.end()) {
+    ++cache_stats_.misses;
     std::vector<StageArg> stage_args;
     stage_args.reserve(args.size());
     for (size_t i = 0; i < args.size(); ++i) {
@@ -52,8 +118,10 @@ std::vector<exec::RuntimeValue> PolymorphicFunction::operator()(
     it = traces_
              .emplace(signature, owner_->Stage(fn_name_, stage_args))
              .first;
+  } else {
+    ++cache_stats_.hits;
   }
-  return it->second.Run(args);
+  return it->second.Run(args, options, run_metadata);
 }
 
 AutoGraph::AutoGraph(Interpreter::Options options)
@@ -75,9 +143,34 @@ void AutoGraph::SetGlobal(const std::string& name, Value value) {
 }
 
 Value AutoGraph::CallEager(const std::string& fn_name,
-                           std::vector<Value> args) {
+                           std::vector<Value> args,
+                           const obs::RunOptions* options,
+                           obs::RunMetadata* run_metadata) {
   Value fn = GetGlobal(fn_name);
-  return interpreter_.CallCallable(fn, std::move(args));
+  if (options == nullptr || !options->enabled()) {
+    return interpreter_.CallCallable(fn, std::move(args));
+  }
+  obs::Tracer tracer;
+  const int64_t t0 = obs::NowNs();
+  Value result;
+  {
+    obs::TracerInstallScope install(&tracer);
+    result = interpreter_.CallCallable(fn, std::move(args));
+  }
+  const int64_t wall = obs::NowNs() - t0;
+  if (run_metadata != nullptr) {
+    obs::RunMetadata delta;
+    std::vector<obs::TraceEvent> events = tracer.Take();
+    if (options->step_stats) {
+      obs::AggregateEvents(events, &delta.step_stats);
+    }
+    if (options->trace) delta.trace_events = std::move(events);
+    delta.phase_ns["run"] = wall;
+    delta.runs = 1;
+    delta.run_wall_ns = wall;
+    run_metadata->Merge(delta);
+  }
+  return result;
 }
 
 std::vector<analysis::Diagnostic> AutoGraph::Lint(
@@ -112,15 +205,18 @@ StagedFunction AutoGraph::Stage(const std::string& fn_name,
 StagedFunction AutoGraph::Stage(const Value& fn,
                                 const std::vector<StageArg>& args,
                                 bool optimize) {
+  int64_t t = obs::NowNs();
   FunctionPtr converted = interpreter_.ConvertFunctionValue(fn.AsFunction());
 
   StagedFunction out;
+  out.metadata.phase_ns["convert"] = obs::NowNs() - t;
   out.graph = std::make_shared<graph::Graph>();
   graph::GraphContext ctx(out.graph.get());
 
   graph::GraphContext* prev_ctx = interpreter_.graph_ctx();
   interpreter_.set_graph_ctx(&ctx);
 
+  t = obs::NowNs();
   try {
     // Bind parameters: placeholders feed at run time; constants bake in.
     std::vector<Value> call_args;
@@ -146,10 +242,13 @@ StagedFunction AutoGraph::Stage(const Value& fn,
     throw;
   }
   interpreter_.set_graph_ctx(prev_ctx);
+  out.metadata.phase_ns["trace"] = obs::NowNs() - t;
 
   if (optimize) {
+    t = obs::NowNs();
     out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
                                          &exec::EvaluatePureNode);
+    out.metadata.phase_ns["optimize"] = obs::NowNs() - t;
   }
   out.session = std::make_unique<exec::Session>(out.graph.get());
   return out;

@@ -32,6 +32,7 @@
 #include "graph/optimize.h"
 #include "lang/parser.h"
 #include "lang/unparser.h"
+#include "obs/run_metadata.h"
 
 namespace ag::core {
 
@@ -61,6 +62,10 @@ struct StageArg {
 };
 
 // A converted, staged, ready-to-run function: graph + session.
+//
+// Run() accepts feeds either positionally (in feed_names order) or
+// name-keyed — the unified Run surface shared with exec::Session — and
+// takes optional trailing RunOptions/RunMetadata for per-op profiling.
 struct StagedFunction {
   std::shared_ptr<graph::Graph> graph;
   std::vector<graph::Output> fetches;
@@ -68,12 +73,28 @@ struct StagedFunction {
   std::vector<std::string> feed_names;  // placeholder order for Run()
   std::unique_ptr<exec::Session> session;
   graph::OptimizeStats optimize_stats;
+  // Cumulative observability record: staging phase timings (convert /
+  // trace / optimize) plus every instrumented Run() merged in.
+  obs::RunMetadata metadata;
 
   // One graph execution (one "Session.run call" in the paper's terms).
+  // Feeds are positional, bound in feed_names order.
   std::vector<exec::RuntimeValue> Run(
-      const std::vector<exec::RuntimeValue>& feeds);
+      const std::vector<exec::RuntimeValue>& feeds,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* run_metadata = nullptr);
+  // Name-keyed overload (any order; names must match feed_names).
+  std::vector<exec::RuntimeValue> Run(
+      const std::map<std::string, exec::RuntimeValue>& feeds,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* run_metadata = nullptr);
   // Single-fetch convenience.
-  Tensor Run1(const std::vector<exec::RuntimeValue>& feeds);
+  Tensor Run1(const std::vector<exec::RuntimeValue>& feeds,
+              const obs::RunOptions* options = nullptr,
+              obs::RunMetadata* run_metadata = nullptr);
+
+  // Staging + optimization + cumulative run profile, human-readable.
+  [[nodiscard]] std::string DebugString() const;
 };
 
 // The tf.function analog: a polymorphic staged callable that retraces
@@ -81,6 +102,16 @@ struct StagedFunction {
 // StagedFunction per signature — calling with a new dtype combination
 // triggers one conversion+trace; subsequent calls reuse the graph.
 class AutoGraph;
+
+// Trace-cache statistics for a PolymorphicFunction.
+struct CacheStats {
+  int64_t hits = 0;    // calls served by a cached trace
+  int64_t misses = 0;  // calls that triggered a conversion+trace
+  size_t traces = 0;   // live cached signatures
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
 class PolymorphicFunction {
  public:
   PolymorphicFunction(AutoGraph* owner, std::string fn_name)
@@ -88,14 +119,27 @@ class PolymorphicFunction {
 
   // Executes with concrete values, tracing on a signature miss.
   std::vector<exec::RuntimeValue> operator()(
-      const std::vector<exec::RuntimeValue>& args);
+      const std::vector<exec::RuntimeValue>& args,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* run_metadata = nullptr);
 
+  [[nodiscard]] CacheStats cache_stats() const {
+    CacheStats s = cache_stats_;
+    s.traces = traces_.size();
+    return s;
+  }
+  [[nodiscard]] std::string DebugString() const {
+    return cache_stats().DebugString();
+  }
+
+  // Deprecated: use cache_stats().traces.
   [[nodiscard]] size_t num_traces() const { return traces_.size(); }
 
  private:
   AutoGraph* owner_;
   std::string fn_name_;
   std::map<std::string, StagedFunction> traces_;
+  CacheStats cache_stats_;
 };
 
 // Facade bundling globals + interpreter + source management.
@@ -111,8 +155,14 @@ class AutoGraph {
   [[nodiscard]] Value GetGlobal(const std::string& name) const;
   void SetGlobal(const std::string& name, Value value);
 
-  // Eager (imperative) call of a loaded function.
-  Value CallEager(const std::string& fn_name, std::vector<Value> args);
+  // Eager (imperative) call of a loaded function. With RunOptions that
+  // enable tracing, per-op dispatch events from the eager interpreter
+  // (native tf.* calls, overloaded operators) are collected into
+  // `run_metadata` — making the paper's eager-vs-staged overhead
+  // directly visible in one trace format.
+  Value CallEager(const std::string& fn_name, std::vector<Value> args,
+                  const obs::RunOptions* options = nullptr,
+                  obs::RunMetadata* run_metadata = nullptr);
 
   // Converts a function and returns the converted PyMini source (the
   // paper's "generated code can be inspected" property).

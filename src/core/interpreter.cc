@@ -1,6 +1,7 @@
 #include "core/interpreter.h"
 
 #include "core/operators.h"
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace ag::core {
@@ -43,6 +44,8 @@ Value Interpreter::CallCallable(const Value& fn, std::vector<Value> args,
                              std::move(kwargs));
   }
   if (fn.IsNative()) {
+    obs::TraceScope scope(obs::CurrentTracer(), fn.AsNative()->name,
+                          staging() ? "stage" : "eager");
     return fn.AsNative()->fn(*this, args, kwargs);
   }
   if (fn.IsObject()) {

@@ -29,21 +29,23 @@ void SplitArgs(const std::vector<LanternArg>& spec,
 }  // namespace
 
 lantern::LValue LanternStagedFunction::Run(
-    const std::vector<lantern::LValue>& args) {
+    const std::vector<lantern::LValue>& args,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
   std::vector<lantern::LValue> params;
   std::vector<Tensor> globals;
   SplitArgs(arg_spec, args, &params, &globals);
-  return executor->Run(params, globals);
+  return executor->Run(params, globals, options, run_metadata);
 }
 
 std::pair<Tensor, std::vector<Tensor>> LanternStagedFunction::RunWithGradients(
-    const std::vector<lantern::LValue>& args) {
+    const std::vector<lantern::LValue>& args,
+    const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
   std::vector<lantern::LValue> params;
   std::vector<Tensor> globals;
   SplitArgs(arg_spec, args, &params, &globals);
   std::vector<Tensor> global_grads;
-  auto [value, param_grads] =
-      executor->RunWithGradients(params, globals, &global_grads);
+  auto [value, param_grads] = executor->RunWithGradients(
+      params, globals, &global_grads, options, run_metadata);
   // Re-interleave gradients to match the caller's argument order.
   std::vector<Tensor> grads(args.size());
   size_t next_param = 0;

@@ -37,11 +37,19 @@ struct LanternStagedFunction {
   std::vector<LanternArg> arg_spec;
 
   // Forward-only execution. `args` follow the StageLantern arg order.
-  [[nodiscard]] lantern::LValue Run(const std::vector<lantern::LValue>& args);
+  // Optional trailing RunOptions/RunMetadata follow the unified Run
+  // surface (see obs/run_metadata.h): per-LOp step stats, "forward" /
+  // "backward" phase timings, Chrome-exportable trace events.
+  [[nodiscard]] lantern::LValue Run(
+      const std::vector<lantern::LValue>& args,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* run_metadata = nullptr);
   // Forward + CPS-style reverse AD; result must be scalar. The returned
   // gradients align with `args` (tree arguments get empty tensors).
   [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
-      const std::vector<lantern::LValue>& args);
+      const std::vector<lantern::LValue>& args,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* run_metadata = nullptr);
 
   [[nodiscard]] std::string SExpr() const {
     return lantern::ToSExpr(*program);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "obs/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace ag::core::ops {
@@ -464,6 +465,7 @@ Value Binary(Interpreter& in, lang::BinaryOp op, const Value& a,
   }
   // Eager tensor path.
   if (a.IsTensor() || b.IsTensor()) {
+    obs::TraceScope scope(obs::CurrentTracer(), BinaryOpName(op), "eager");
     return Value(EagerBinary(op, ToEagerTensor(a), ToEagerTensor(b)));
   }
   // Plain Python semantics.
@@ -561,6 +563,8 @@ Value Compare(Interpreter& in, lang::CompareOp op, const Value& a,
                     {ToGraphOutput(in, a, pref), ToGraphOutput(in, b, pref)}));
   }
   if (a.IsTensor() || b.IsTensor()) {
+    obs::TraceScope scope(obs::CurrentTracer(),
+                          name != nullptr ? name : "Compare", "eager");
     const Tensor ta = ToEagerTensor(a);
     const Tensor tb = ToEagerTensor(b);
     switch (op) {
@@ -609,7 +613,10 @@ Value Negate(Interpreter& in, const Value& a) {
     GraphContext& ctx = RequireStaging(in, "negation");
     return Value(Op(ctx, "Neg", {ToGraphOutput(in, a)}));
   }
-  if (a.IsTensor()) return Value(ag::Neg(a.AsTensor()));
+  if (a.IsTensor()) {
+    obs::TraceScope scope(obs::CurrentTracer(), "Neg", "eager");
+    return Value(ag::Neg(a.AsTensor()));
+  }
   if (a.IsInt() || a.IsBool()) return Value(-a.AsInt());
   if (a.IsFloat()) return Value(-a.AsFloat());
   throw ValueError(std::string("bad operand type for unary -: ") +

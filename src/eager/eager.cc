@@ -2,7 +2,14 @@
 
 #include <map>
 
+#include "obs/trace.h"
 #include "support/error.h"
+
+// Times one eager-op dispatch into the thread's installed tracer; a
+// no-op when none is installed (see obs::TracerInstallScope).
+#define AG_EAGER_TRACE(op_name)                                     \
+  ::ag::obs::TraceScope ag_eager_trace_scope_(                      \
+      ::ag::obs::CurrentTracer(), op_name, "eager")
 
 namespace ag::eager {
 
@@ -29,6 +36,7 @@ int GradientTape::Record(
 
 std::vector<Tensor> GradientTape::Gradient(
     const ETensor& target, const std::vector<ETensor>& sources) {
+  AG_EAGER_TRACE("GradientTape::Gradient");
   if (!target.tracked()) {
     throw ValueError("Gradient: target is not tracked by this tape");
   }
@@ -97,6 +105,7 @@ ETensor RecordBinary(
 }  // namespace
 
 ETensor Add(const ETensor& a, const ETensor& b) {
+  AG_EAGER_TRACE("Add");
   Tensor av = a.value;
   Tensor bv = b.value;
   return RecordBinary(a, b, ag::Add(av, bv), [av, bv](const Tensor& g) {
@@ -106,6 +115,7 @@ ETensor Add(const ETensor& a, const ETensor& b) {
 }
 
 ETensor Sub(const ETensor& a, const ETensor& b) {
+  AG_EAGER_TRACE("Sub");
   Tensor av = a.value;
   Tensor bv = b.value;
   return RecordBinary(a, b, ag::Sub(av, bv), [av, bv](const Tensor& g) {
@@ -115,6 +125,7 @@ ETensor Sub(const ETensor& a, const ETensor& b) {
 }
 
 ETensor Mul(const ETensor& a, const ETensor& b) {
+  AG_EAGER_TRACE("Mul");
   Tensor av = a.value;
   Tensor bv = b.value;
   return RecordBinary(a, b, ag::Mul(av, bv), [av, bv](const Tensor& g) {
@@ -124,6 +135,7 @@ ETensor Mul(const ETensor& a, const ETensor& b) {
 }
 
 ETensor Div(const ETensor& a, const ETensor& b) {
+  AG_EAGER_TRACE("Div");
   Tensor av = a.value;
   Tensor bv = b.value;
   return RecordBinary(a, b, ag::Div(av, bv), [av, bv](const Tensor& g) {
@@ -135,11 +147,13 @@ ETensor Div(const ETensor& a, const ETensor& b) {
 }
 
 ETensor Neg(const ETensor& a) {
+  AG_EAGER_TRACE("Neg");
   return RecordUnary(a, ag::Neg(a.value),
                      [](const Tensor& g) { return ag::Neg(g); });
 }
 
 ETensor MatMul(const ETensor& a, const ETensor& b) {
+  AG_EAGER_TRACE("MatMul");
   Tensor av = a.value;
   Tensor bv = b.value;
   return RecordBinary(a, b, ag::MatMul(av, bv), [av, bv](const Tensor& g) {
@@ -150,6 +164,7 @@ ETensor MatMul(const ETensor& a, const ETensor& b) {
 }
 
 ETensor Tanh(const ETensor& a) {
+  AG_EAGER_TRACE("Tanh");
   Tensor y = ag::Tanh(a.value);
   return RecordUnary(a, y, [y](const Tensor& g) {
     Tensor one = Tensor::Scalar(1.0f);
@@ -158,6 +173,7 @@ ETensor Tanh(const ETensor& a) {
 }
 
 ETensor Sigmoid(const ETensor& a) {
+  AG_EAGER_TRACE("Sigmoid");
   Tensor y = ag::Sigmoid(a.value);
   return RecordUnary(a, y, [y](const Tensor& g) {
     Tensor one = Tensor::Scalar(1.0f);
@@ -166,6 +182,7 @@ ETensor Sigmoid(const ETensor& a) {
 }
 
 ETensor Relu(const ETensor& a) {
+  AG_EAGER_TRACE("Relu");
   Tensor av = a.value;
   return RecordUnary(a, ag::Relu(av), [av](const Tensor& g) {
     return ag::Mul(g, ag::Greater(av, Tensor::Scalar(0.0f)));
@@ -173,18 +190,21 @@ ETensor Relu(const ETensor& a) {
 }
 
 ETensor Exp(const ETensor& a) {
+  AG_EAGER_TRACE("Exp");
   Tensor y = ag::Exp(a.value);
   return RecordUnary(a, y,
                      [y](const Tensor& g) { return ag::Mul(g, y); });
 }
 
 ETensor Log(const ETensor& a) {
+  AG_EAGER_TRACE("Log");
   Tensor av = a.value;
   return RecordUnary(a, ag::Log(av),
                      [av](const Tensor& g) { return ag::Div(g, av); });
 }
 
 ETensor Square(const ETensor& a) {
+  AG_EAGER_TRACE("Square");
   Tensor av = a.value;
   return RecordUnary(a, ag::Square(av), [av](const Tensor& g) {
     return ag::Mul(g, ag::Mul(Tensor::Scalar(2.0f), av));
@@ -192,6 +212,7 @@ ETensor Square(const ETensor& a) {
 }
 
 ETensor Sqrt(const ETensor& a) {
+  AG_EAGER_TRACE("Sqrt");
   Tensor y = ag::Sqrt(a.value);
   return RecordUnary(a, y, [y](const Tensor& g) {
     return ag::Div(ag::Mul(Tensor::Scalar(0.5f), g), y);
@@ -199,6 +220,7 @@ ETensor Sqrt(const ETensor& a) {
 }
 
 ETensor ReduceSum(const ETensor& a, int axis, bool keepdims) {
+  AG_EAGER_TRACE("ReduceSum");
   Tensor av = a.value;
   Tensor y = ag::ReduceSum(av, axis, keepdims);
   return RecordUnary(a, y, [av, axis, keepdims](const Tensor& g) {
@@ -214,6 +236,7 @@ ETensor ReduceSum(const ETensor& a, int axis, bool keepdims) {
 }
 
 ETensor ReduceMean(const ETensor& a, int axis, bool keepdims) {
+  AG_EAGER_TRACE("ReduceMean");
   Tensor av = a.value;
   Tensor y = ag::ReduceMean(av, axis, keepdims);
   const float count = axis == kAllAxes
@@ -234,6 +257,7 @@ ETensor ReduceMean(const ETensor& a, int axis, bool keepdims) {
 }
 
 ETensor Concat(const std::vector<ETensor>& parts, int axis) {
+  AG_EAGER_TRACE("Concat");
   std::vector<Tensor> values;
   values.reserve(parts.size());
   std::vector<int> ids;
@@ -277,6 +301,7 @@ ETensor Concat(const std::vector<ETensor>& parts, int axis) {
 }
 
 ETensor Gather(const ETensor& params, const Tensor& indices) {
+  AG_EAGER_TRACE("Gather");
   Tensor pv = params.value;
   Tensor y = ag::Gather(pv, indices);
   return RecordUnary(params, y, [pv, indices](const Tensor& g) {
@@ -294,6 +319,7 @@ ETensor Gather(const ETensor& params, const Tensor& indices) {
 }
 
 ETensor Reshape(const ETensor& a, Shape shape) {
+  AG_EAGER_TRACE("Reshape");
   Tensor av = a.value;
   Tensor y = ag::Reshape(av, shape);
   return RecordUnary(a, y, [av](const Tensor& g) {
@@ -302,6 +328,7 @@ ETensor Reshape(const ETensor& a, Shape shape) {
 }
 
 ETensor SliceRows(const ETensor& a, int64_t start, int64_t len) {
+  AG_EAGER_TRACE("SliceRows");
   Tensor av = a.value;
   const int64_t inner = av.num_elements() / av.shape().dim(0);
   std::vector<float> out(av.data() + start * inner,
@@ -319,6 +346,7 @@ ETensor SliceRows(const ETensor& a, int64_t start, int64_t len) {
 }
 
 ETensor SoftmaxCrossEntropy(const ETensor& logits, const Tensor& labels) {
+  AG_EAGER_TRACE("SoftmaxCrossEntropy");
   Tensor lv = logits.value;
   Tensor y = ag::SoftmaxCrossEntropy(lv, labels);
   return RecordUnary(logits, y, [lv, labels](const Tensor& g) {

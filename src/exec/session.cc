@@ -1,5 +1,8 @@
 #include "exec/session.h"
 
+#include <optional>
+#include <sstream>
+
 #include "support/error.h"
 
 namespace ag::exec {
@@ -8,9 +11,47 @@ using graph::FuncGraph;
 using graph::Node;
 using graph::Output;
 
+namespace {
+
+int64_t DTypeBytes(DType dtype) { return dtype == DType::kBool ? 1 : 4; }
+
+// Bytes produced by one node execution (tensor lists count their items).
+int64_t OutputBytes(const std::vector<RuntimeValue>& outputs) {
+  int64_t total = 0;
+  for (const RuntimeValue& v : outputs) {
+    if (IsTensor(v)) {
+      const Tensor& t = AsTensor(v);
+      total += t.num_elements() * DTypeBytes(t.dtype());
+    } else if (const TensorListPtr& list = AsList(v); list != nullptr) {
+      for (const Tensor& t : list->items()) {
+        total += t.num_elements() * DTypeBytes(t.dtype());
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string SessionStats::DebugString() const {
+  std::ostringstream os;
+  os << "SessionStats: runs=" << runs << " nodes_executed=" << nodes_executed
+     << " kernel_invocations=" << kernel_invocations;
+  return os.str();
+}
+
 std::vector<RuntimeValue> Session::Run(
     const std::map<std::string, RuntimeValue>& feeds,
-    const std::vector<Output>& fetches) {
+    const std::vector<Output>& fetches, const obs::RunOptions* options,
+    obs::RunMetadata* metadata) {
+  const bool instrument = options != nullptr && options->enabled();
+  std::optional<obs::RunRecorder> recorder;
+  const int64_t t0 = instrument ? obs::NowNs() : 0;
+  if (instrument) {
+    recorder.emplace(*options);
+    rec_ = &*recorder;
+  }
+
   feeds_ = &feeds;
   Frame frame;
   std::vector<RuntimeValue> results;
@@ -21,22 +62,45 @@ std::vector<RuntimeValue> Session::Run(
     }
   } catch (...) {
     feeds_ = nullptr;
+    rec_ = nullptr;
     throw;
   }
   feeds_ = nullptr;
   ++stats_.runs;
+
+  if (instrument) {
+    rec_ = nullptr;
+    const int64_t wall = obs::NowNs() - t0;
+    recorder->RecordPhase("run", wall);
+    if (obs::Tracer* tracer = recorder->tracer()) {
+      tracer->AddComplete("Session::Run", "session", t0, t0 + wall);
+    }
+    recorder->Finish(metadata);
+    if (metadata != nullptr) {
+      metadata->runs += 1;
+      metadata->run_wall_ns += wall;
+    }
+  }
   return results;
 }
 
 Tensor Session::RunTensor(const std::map<std::string, RuntimeValue>& feeds,
-                          const Output& fetch) {
-  return AsTensor(Run(feeds, {fetch})[0]);
+                          const Output& fetch, const obs::RunOptions* options,
+                          obs::RunMetadata* metadata) {
+  return AsTensor(Run(feeds, {fetch}, options, metadata)[0]);
 }
 
 const Tensor& Session::GetVariable(const std::string& name) const {
   auto it = variables_.find(name);
   if (it == variables_.end()) {
-    throw RuntimeError("variable '" + name + "' has not been initialized");
+    std::string known;
+    for (const auto& [var_name, value] : variables_) {
+      if (!known.empty()) known += ", ";
+      known += "'" + var_name + "'";
+    }
+    throw RuntimeError("variable '" + name +
+                       "' has not been initialized; known variables: " +
+                       (known.empty() ? "(none)" : "[" + known + "]"));
   }
   return it->second;
 }
@@ -82,7 +146,12 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     outputs = {GetVariable(node->attr<std::string>("var_name"))};
   } else if (op == "Assign") {
     RuntimeValue value = EvalOutput(node->inputs()[0], frame);
+    const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
     variables_[node->attr<std::string>("var_name")] = AsTensor(value);
+    if (rec_ != nullptr) {
+      rec_->RecordNode(node->name(), op, t0, obs::NowNs(),
+                       OutputBytes({value}));
+    }
     outputs = {std::move(value)};
   } else if (op == "Cond") {
     const Tensor pred = AsTensor(EvalOutput(node->inputs()[0], frame));
@@ -91,6 +160,7 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
                          std::string(DTypeName(pred.dtype())));
     }
     const bool taken = pred.scalar_bool();
+    if (rec_ != nullptr) rec_->CountCondBranch(taken);
     const auto then_ncaps =
         static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
     const auto& branch_attr = taken ? "then_branch" : "else_branch";
@@ -103,7 +173,11 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     for (size_t i = 0; i < branch.captures.size(); ++i) {
       args.push_back(EvalOutput(node->inputs()[offset + i], frame));
     }
-    outputs = ExecSubgraph(branch, args);
+    {
+      obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+                            node->name() + " (Cond)", "control");
+      outputs = ExecSubgraph(branch, args);
+    }
     if (outputs.empty()) outputs = {Tensor()};  // 0-output cond placeholder
   } else if (op == "While") {
     const auto n = static_cast<size_t>(node->attr<int64_t>("num_loop_vars"));
@@ -128,6 +202,8 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
       body_caps.push_back(EvalOutput(node->inputs()[i], frame));
     }
 
+    obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+                          node->name() + " (While)", "control");
     while (true) {
       std::vector<RuntimeValue> cond_args = loop_vars;
       cond_args.insert(cond_args.end(), cond_caps.begin(), cond_caps.end());
@@ -136,6 +212,7 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
         throw RuntimeError("while condition must produce a single value");
       }
       if (!AsTensor(test[0]).scalar_bool()) break;
+      if (rec_ != nullptr) rec_->CountWhileIteration();
       std::vector<RuntimeValue> body_args = loop_vars;
       body_args.insert(body_args.end(), body_caps.begin(), body_caps.end());
       loop_vars = ExecSubgraph(body_g, body_args);
@@ -149,12 +226,18 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     for (const Output& in : node->inputs()) {
       inputs.push_back(EvalOutput(in, frame));
     }
+    ++stats_.kernel_invocations;
+    const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
     try {
       outputs = kernel(*node, inputs);
     } catch (const Error& e) {
       throw e.WithFrame(SourceFrame{
           SourceLocation{"<graph>", 0, 0}, node->name() + " (" + op + ")",
           /*generated=*/true});
+    }
+    if (rec_ != nullptr) {
+      rec_->RecordNode(node->name(), op, t0, obs::NowNs(),
+                       OutputBytes(outputs));
     }
   }
 
@@ -173,6 +256,7 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
   auto it = plans_.find(&fg);
   if (it != plans_.end()) return it->second;
 
+  const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
   Plan plan;
   std::unordered_map<const Node*, int> step_of;
   // Post-order DFS from the returns gives a topological schedule over
@@ -229,6 +313,9 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
       plan.returns.push_back(Plan::InputRef{visit(r.node), r.index});
     }
   }
+  if (rec_ != nullptr) {
+    rec_->RecordPhase("plan_compile", obs::NowNs() - t0);
+  }
   return plans_.emplace(&fg, std::move(plan)).first->second;
 }
 
@@ -257,7 +344,9 @@ std::vector<RuntimeValue> Session::RunPlan(
     }
     const Node* node = step.node;
     switch (step.kind) {
-      case Plan::Kind::kKernel:
+      case Plan::Kind::kKernel: {
+        ++stats_.kernel_invocations;
+        const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
         try {
           slots[s] = (*step.kernel)(*node, inputs);
         } catch (const Error& e) {
@@ -266,10 +355,16 @@ std::vector<RuntimeValue> Session::RunPlan(
                                             ")",
                                         /*generated=*/true});
         }
+        if (rec_ != nullptr) {
+          rec_->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
+                           OutputBytes(slots[s]));
+        }
         break;
+      }
       case Plan::Kind::kCond: {
         const Tensor& pred = AsTensor(inputs[0]);
         const bool taken = pred.scalar_bool();
+        if (rec_ != nullptr) rec_->CountCondBranch(taken);
         const auto then_ncaps =
             static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
         const auto& branch = *std::static_pointer_cast<FuncGraph>(
@@ -281,6 +376,8 @@ std::vector<RuntimeValue> Session::RunPlan(
             inputs.begin() +
                 static_cast<std::ptrdiff_t>(offset + branch.captures.size()));
         std::vector<std::vector<RuntimeValue>> branch_scratch;
+        obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+                              node->name() + " (Cond)", "control");
         slots[s] =
             RunPlan(PlanFor(branch), branch_args, &branch_scratch);
         if (slots[s].empty()) slots[s] = {Tensor()};
@@ -310,6 +407,8 @@ std::vector<RuntimeValue> Session::RunPlan(
         std::vector<std::vector<RuntimeValue>> body_scratch;
         std::vector<RuntimeValue> cond_args;
         std::vector<RuntimeValue> body_args;
+        obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+                              node->name() + " (While)", "control");
         while (true) {
           cond_args.assign(loop_vars.begin(), loop_vars.end());
           cond_args.insert(cond_args.end(), cond_caps.begin(),
@@ -317,6 +416,7 @@ std::vector<RuntimeValue> Session::RunPlan(
           std::vector<RuntimeValue> test =
               RunPlan(cond_plan, cond_args, &cond_scratch);
           if (!AsTensor(test[0]).scalar_bool()) break;
+          if (rec_ != nullptr) rec_->CountWhileIteration();
           body_args.assign(loop_vars.begin(), loop_vars.end());
           body_args.insert(body_args.end(), body_caps.begin(),
                            body_caps.end());

@@ -8,23 +8,42 @@
 //   - While repeatedly executes its cond/body subgraphs over the loop
 //     variables.
 // Variables persist across Run calls in the session's variable store.
+//
+// Observability: every Run overload accepts an optional trailing
+// `const obs::RunOptions*` / `obs::RunMetadata*` pair (TF's
+// RunOptions/RunMetadata). When options are null or disabled, execution
+// takes the uninstrumented fast path; when enabled, per-node step stats,
+// While/Cond counters, plan-compile phase timings, and (with
+// RunOptions::trace) Chrome-trace events are collected into the
+// metadata.
 #pragma once
 
 #include <map>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/kernels.h"
 #include "exec/value.h"
 #include "graph/graph.h"
+#include "obs/run_metadata.h"
 
 namespace ag::exec {
 
 struct SessionStats {
-  int64_t nodes_executed = 0;   // kernel invocations (cumulative)
+  int64_t nodes_executed = 0;       // node evaluations incl. control flow
+  int64_t kernel_invocations = 0;   // kernel calls only (cumulative)
   int64_t runs = 0;
+
+  [[nodiscard]] std::string DebugString() const;
 };
+
+// An ordered feed list: the positional analog of the name-keyed feed
+// map (placeholder name, value) — shared by Session and StagedFunction
+// so both Run() surfaces accept both shapes.
+using FeedList = std::vector<std::pair<std::string, RuntimeValue>>;
 
 class Session {
  public:
@@ -34,16 +53,39 @@ class Session {
   // Executes the graph. `feeds` bind placeholder names to values.
   std::vector<RuntimeValue> Run(
       const std::map<std::string, RuntimeValue>& feeds,
-      const std::vector<graph::Output>& fetches);
+      const std::vector<graph::Output>& fetches,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* metadata = nullptr);
+
+  // Ordered-feed-list overload (the unified positional Run shape). A
+  // deduction-blocked template so brace-initialized feeds — which could
+  // construct either container — keep binding to the map overload above.
+  template <typename V,
+            std::enable_if_t<std::is_same_v<V, RuntimeValue>, int> = 0>
+  std::vector<RuntimeValue> Run(
+      const std::vector<std::pair<std::string, V>>& feeds,
+      const std::vector<graph::Output>& fetches,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* metadata = nullptr) {
+    std::map<std::string, RuntimeValue> feed_map;
+    for (const auto& [name, value] : feeds) {
+      feed_map.insert_or_assign(name, value);
+    }
+    return Run(feed_map, fetches, options, metadata);
+  }
 
   // Single-fetch convenience returning a Tensor.
   Tensor RunTensor(const std::map<std::string, RuntimeValue>& feeds,
-                   const graph::Output& fetch);
+                   const graph::Output& fetch,
+                   const obs::RunOptions* options = nullptr,
+                   obs::RunMetadata* metadata = nullptr);
 
   // Variable store.
   void SetVariable(const std::string& name, Tensor value) {
     variables_[name] = std::move(value);
   }
+  // Throws a structured Error(kRuntime) naming the missing variable and
+  // listing the known ones.
   [[nodiscard]] const Tensor& GetVariable(const std::string& name) const;
   [[nodiscard]] bool HasVariable(const std::string& name) const {
     return variables_.count(name) > 0;
@@ -94,6 +136,8 @@ class Session {
   std::map<std::string, Tensor> variables_;
   std::unordered_map<const graph::Graph*, Plan> plans_;
   SessionStats stats_;
+  // Live only during an instrumented Run (null on the fast path).
+  obs::RunRecorder* rec_ = nullptr;
 };
 
 }  // namespace ag::exec

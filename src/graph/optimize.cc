@@ -1,5 +1,6 @@
 #include "graph/optimize.h"
 
+#include <chrono>
 #include <map>
 #include <set>
 #include <sstream>
@@ -7,6 +8,36 @@
 
 namespace ag::graph {
 namespace {
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Records one pass's node-count delta and wall time into the stats.
+class PassScope {
+ public:
+  PassScope(OptimizeStats* stats, const Graph* graph, const char* name)
+      : stats_(stats), graph_(graph) {
+    stat_.pass = name;
+    stat_.nodes_before = static_cast<int>(graph->num_nodes());
+    start_ns_ = MonotonicNs();
+  }
+  // `changed` is the pass's own work metric (hoisted/folded/merged/...).
+  void Finish(int changed) {
+    stat_.changed = changed;
+    stat_.nodes_after = static_cast<int>(graph_->num_nodes());
+    stat_.wall_ns = MonotonicNs() - start_ns_;
+    stats_->passes.push_back(std::move(stat_));
+  }
+
+ private:
+  OptimizeStats* stats_;
+  const Graph* graph_;
+  OptimizePassStat stat_;
+  int64_t start_ns_ = 0;
+};
 
 // Ops excluded from folding/CSE: stateful, control-flow, or I/O.
 const std::set<std::string>& ImpureOps() {
@@ -193,12 +224,25 @@ int HoistWhileInvariants(Graph* outer, Node* while_node) {
 
 bool IsPureOp(const std::string& op) { return ImpureOps().count(op) == 0; }
 
+std::string OptimizeStats::DebugString() const {
+  std::ostringstream os;
+  os << "OptimizeStats: folded=" << folded << " merged=" << merged
+     << " pruned=" << pruned << " hoisted=" << hoisted;
+  for (const OptimizePassStat& p : passes) {
+    os << "\n  " << p.pass << ": changed=" << p.changed << " nodes "
+       << p.nodes_before << " -> " << p.nodes_after << " ("
+       << p.wall_ns / 1000 << " us)";
+  }
+  return os.str();
+}
+
 OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
                        const NodeEvaluator& evaluator,
                        const OptimizeOptions& options) {
   OptimizeStats stats;
 
   if (options.licm) {
+    PassScope pass(&stats, graph, "licm");
     // Hoist over the node list snapshot: hoisting appends clones.
     const size_t original = graph->num_nodes();
     for (size_t i = 0; i < original; ++i) {
@@ -207,9 +251,11 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
         stats.hoisted += HoistWhileInvariants(graph, n);
       }
     }
+    pass.Finish(stats.hoisted);
   }
 
   if (options.constant_folding && evaluator) {
+    PassScope pass(&stats, graph, "constant_folding");
     // One forward sweep folds chains: nodes are appended after their
     // inputs, so insertion order is topological. Index-based iteration
     // over the original extent — folding appends new Const nodes, which
@@ -253,9 +299,11 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
         if (it != remap.end()) r.node = it->second;
       }
     }
+    pass.Finish(stats.folded);
   }
 
   if (options.cse) {
+    PassScope pass(&stats, graph, "cse");
     std::map<std::string, Node*> seen;
     std::unordered_map<const Node*, Node*> remap;
     for (const auto& n : graph->nodes()) {
@@ -286,9 +334,11 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
         if (it != remap.end()) r.node = it->second;
       }
     }
+    pass.Finish(stats.merged);
   }
 
   if (options.dce) {
+    PassScope pass(&stats, graph, "dce");
     const size_t before = graph->num_nodes();
     // Side-effecting ops stay alive even when no fetch depends on them
     // (they still only *execute* when on a fetched path, like TF ops
@@ -301,6 +351,7 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
     }
     graph->Prune(keep);
     stats.pruned = static_cast<int>(before - graph->num_nodes());
+    pass.Finish(stats.pruned);
   }
 
   return stats;

@@ -10,7 +10,9 @@
 //     pruned.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -33,11 +35,24 @@ struct OptimizeOptions {
   bool licm = true;
 };
 
+// Per-pass record: what one optimization pass did to the graph.
+struct OptimizePassStat {
+  std::string pass;     // "licm", "constant_folding", "cse", "dce"
+  int changed = 0;      // nodes hoisted/folded/merged/pruned by the pass
+  int nodes_before = 0; // top-level node count entering the pass
+  int nodes_after = 0;  // top-level node count leaving the pass
+  int64_t wall_ns = 0;
+};
+
 struct OptimizeStats {
   int folded = 0;
   int merged = 0;
   int pruned = 0;
   int hoisted = 0;
+  // One entry per executed pass, in execution order.
+  std::vector<OptimizePassStat> passes;
+
+  [[nodiscard]] std::string DebugString() const;
 };
 
 // Optimizes `graph` in place, preserving the meaning of `roots` (which are

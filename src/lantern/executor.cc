@@ -1,6 +1,7 @@
 #include "lantern/executor.h"
 
 #include <functional>
+#include <optional>
 
 #include "support/error.h"
 #include "tensor/tensor_ops.h"
@@ -128,11 +129,40 @@ void Executor::Compile(const LProgram& source) {
 }
 
 LValue Executor::Run(const std::vector<LValue>& params,
-                     const std::vector<Tensor>& globals) {
+                     const std::vector<Tensor>& globals,
+                     const obs::RunOptions* options,
+                     obs::RunMetadata* metadata) {
+  const bool instrument = options != nullptr && options->enabled();
+  std::optional<obs::RunRecorder> recorder;
+  const int64_t t0 = instrument ? obs::NowNs() : 0;
+  if (instrument) {
+    recorder.emplace(*options);
+    rec_ = &*recorder;
+  }
   globals_ = &globals;
   const LFunction& entry = program_->function(program_->entry);
-  std::unique_ptr<Frame> frame = ForwardFunction(entry, params);
+  std::unique_ptr<Frame> frame;
+  try {
+    frame = ForwardFunction(entry, params);
+  } catch (...) {
+    globals_ = nullptr;
+    rec_ = nullptr;
+    throw;
+  }
   globals_ = nullptr;
+  if (instrument) {
+    rec_ = nullptr;
+    const int64_t wall = obs::NowNs() - t0;
+    recorder->RecordPhase("forward", wall);
+    if (obs::Tracer* tracer = recorder->tracer()) {
+      tracer->AddComplete("Executor::Run", "session", t0, t0 + wall);
+    }
+    recorder->Finish(metadata);
+    if (metadata != nullptr) {
+      metadata->runs += 1;
+      metadata->run_wall_ns += wall;
+    }
+  }
   return frame->slots[static_cast<size_t>(entry.body.result)];
 }
 
@@ -144,7 +174,15 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
 
 std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
     const std::vector<LValue>& params, const std::vector<Tensor>& globals,
-    std::vector<Tensor>* global_grads) {
+    std::vector<Tensor>* global_grads, const obs::RunOptions* options,
+    obs::RunMetadata* metadata) {
+  const bool instrument = options != nullptr && options->enabled();
+  std::optional<obs::RunRecorder> recorder;
+  const int64_t t0 = instrument ? obs::NowNs() : 0;
+  if (instrument) {
+    recorder.emplace(*options);
+    rec_ = &*recorder;
+  }
   globals_ = &globals;
   global_accums_.assign(globals.size(), {});
   for (size_t i = 0; i < globals.size(); ++i) {
@@ -153,17 +191,28 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
   }
 
   const LFunction& entry = program_->function(program_->entry);
-  std::unique_ptr<Frame> frame = ForwardFunction(entry, params);
+  std::unique_ptr<Frame> frame;
+  try {
+    frame = ForwardFunction(entry, params);
+  } catch (...) {
+    globals_ = nullptr;
+    rec_ = nullptr;
+    throw;
+  }
+  const int64_t fwd_end = instrument ? obs::NowNs() : 0;
+  if (instrument) recorder->RecordPhase("forward", fwd_end - t0);
   const Tensor result =
       AsTensorL(frame->slots[static_cast<size_t>(entry.body.result)]);
   if (result.num_elements() != 1) {
     globals_ = nullptr;
+    rec_ = nullptr;
     throw RuntimeError(
         "lantern: gradients require a scalar result, got shape " +
         result.shape().str());
   }
   Accumulate(*frame, entry.body.result, Tensor::Ones(result.shape()));
   BackwardFunction(*frame);
+  if (instrument) recorder->RecordPhase("backward", obs::NowNs() - fwd_end);
 
   // Collect parameter gradients in declaration order.
   std::vector<Tensor> grads(params.size());
@@ -186,6 +235,19 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
   }
   global_accums_.clear();
   globals_ = nullptr;
+  if (instrument) {
+    rec_ = nullptr;
+    const int64_t wall = obs::NowNs() - t0;
+    if (obs::Tracer* tracer = recorder->tracer()) {
+      tracer->AddComplete("Executor::RunWithGradients", "session", t0,
+                          t0 + wall);
+    }
+    recorder->Finish(metadata);
+    if (metadata != nullptr) {
+      metadata->runs += 1;
+      metadata->run_wall_ns += wall;
+    }
+  }
   return {result, std::move(grads)};
 }
 
@@ -213,6 +275,12 @@ void Executor::ForwardBlock(const Block& block, Frame& frame) {
       return frame.slots[static_cast<size_t>(b.inputs[i])];
     };
     auto t = [&in](size_t i) -> const Tensor& { return AsTensorL(in(i)); };
+
+    // kIf / kCall recurse through this function, so their inclusive
+    // times are excluded from step stats (leaf ops only: sums stay
+    // within the run wall time). They still show as nesting events in
+    // the trace, added below.
+    const int64_t op_start = rec_ != nullptr ? obs::NowNs() : 0;
 
     switch (b.op) {
       case LOp::kConst:
@@ -320,6 +388,24 @@ void Executor::ForwardBlock(const Block& block, Frame& frame) {
         }
         frame.calls.emplace_back(b.id, std::move(child));
         break;
+      }
+    }
+
+    if (rec_ != nullptr) {
+      if (b.op == LOp::kIf || b.op == LOp::kCall) {
+        if (obs::Tracer* tracer = rec_->tracer()) {
+          std::string name = LOpName(b.op);
+          if (b.op == LOp::kCall) name += " " + b.callee;
+          tracer->AddComplete(name, "control", op_start, obs::NowNs());
+        }
+      } else {
+        const Tensor* out = std::get_if<Tensor>(&frame.slots[id]);
+        const int64_t bytes =
+            out != nullptr
+                ? out->num_elements() * (out->dtype() == DType::kBool ? 1 : 4)
+                : 0;
+        rec_->RecordNode(LOpName(b.op), "lantern", op_start, obs::NowNs(),
+                         bytes);
       }
     }
   }

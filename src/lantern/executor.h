@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lantern/ir.h"
+#include "obs/run_metadata.h"
 
 namespace ag::lantern {
 
@@ -31,17 +32,25 @@ class Executor {
 
   // Forward-only evaluation of the entry function. `params` bind the
   // entry function's parameters; `globals` bind the by-reference
-  // captured tensors (index = global index).
+  // captured tensors (index = global index). The trailing
+  // RunOptions/RunMetadata pair is the unified observability surface:
+  // when given, per-binding LOp timings land in metadata->step_stats
+  // (category "lantern") and forward wall time in phase_ns["forward"].
   [[nodiscard]] LValue Run(const std::vector<LValue>& params,
-                           const std::vector<Tensor>& globals = {});
+                           const std::vector<Tensor>& globals = {},
+                           const obs::RunOptions* options = nullptr,
+                           obs::RunMetadata* metadata = nullptr);
 
   // Forward + backward. The result must be a scalar tensor; returns
   // (value, d result / d params[i]) plus, via `global_grads`, the
   // accumulated gradient for each global (built in place, as the CPS
-  // `grad +=` cells in Lantern's generated code are).
+  // `grad +=` cells in Lantern's generated code are). Instrumented runs
+  // record "forward" and "backward" phases separately.
   [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
       const std::vector<LValue>& params, const std::vector<Tensor>& globals,
-      std::vector<Tensor>* global_grads);
+      std::vector<Tensor>* global_grads,
+      const obs::RunOptions* options = nullptr,
+      obs::RunMetadata* metadata = nullptr);
   // Entry-params-only convenience (no globals).
   [[nodiscard]] std::pair<Tensor, std::vector<Tensor>> RunWithGradients(
       const std::vector<LValue>& params);
@@ -107,6 +116,8 @@ class Executor {
   // In-place gradient accumulators, one buffer per global.
   std::vector<std::vector<float>> global_accums_;
   int64_t bindings_executed_ = 0;
+  // Live only during an instrumented Run / RunWithGradients.
+  obs::RunRecorder* rec_ = nullptr;
 };
 
 }  // namespace ag::lantern

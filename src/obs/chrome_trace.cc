@@ -1,0 +1,271 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace ag::obs {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Microseconds with sub-microsecond precision, as Chrome expects.
+std::string Us(int64_t ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << static_cast<double>(ns) / 1e3;
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  int64_t t0 = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (first || e.start_ns < t0) t0 = e.start_ns;
+    first = false;
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool need_comma = false;
+  for (const TraceEvent& e : events) {
+    if (need_comma) os << ",";
+    need_comma = true;
+    os << "{\"name\":";
+    AppendJsonString(os, e.name);
+    os << ",\"cat\":";
+    AppendJsonString(os, e.category);
+    os << ",\"pid\":1,\"tid\":" << e.thread_id << ",\"ts\":"
+       << Us(e.start_ns - t0);
+    switch (e.kind) {
+      case EventKind::kComplete:
+        os << ",\"ph\":\"X\",\"dur\":" << Us(e.dur_ns);
+        break;
+      case EventKind::kCounter:
+        os << ",\"ph\":\"C\",\"args\":{\"value\":" << e.value << "}";
+        break;
+      case EventKind::kInstant:
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::string ToChromeTraceJson(const RunMetadata& meta) {
+  std::vector<TraceEvent> events = meta.trace_events;
+  for (const auto& [phase, ns] : meta.phase_ns) {
+    TraceEvent e;
+    e.name = "phase:" + phase;
+    e.category = "phase";
+    e.kind = EventKind::kCounter;
+    e.start_ns = events.empty() ? 0 : events.front().start_ns;
+    e.value = ns;
+    e.thread_id = 0;
+    events.push_back(std::move(e));
+  }
+  return ToChromeTraceJson(events);
+}
+
+namespace {
+
+// Minimal recursive-descent JSON parser. Tracks only what the validator
+// needs: structural well-formedness and the traceEvents array length.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(std::string* error, int* num_events) {
+    num_events_ = -1;
+    SkipWs();
+    if (Peek() != '{') {
+      if (error != nullptr) *error = Err("expected a top-level object");
+      return false;
+    }
+    if (!ParseValue(/*depth=*/0)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) *error = Err("trailing characters");
+      return false;
+    }
+    if (num_events_ < 0) {
+      if (error != nullptr) *error = "missing \"traceEvents\" array";
+      return false;
+    }
+    if (num_events != nullptr) *num_events = num_events_;
+    return true;
+  }
+
+ private:
+  std::string Err(const std::string& what) {
+    return what + " at offset " + std::to_string(pos_);
+  }
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = Err(what);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char Peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    SkipWs();
+    switch (Peek()) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth, nullptr);
+      case '"': return ParseString(nullptr);
+      case 't': return ParseLiteral("true");
+      case 'f': return ParseLiteral("false");
+      case 'n': return ParseLiteral("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseLiteral(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (!Consume(*p)) return Fail("bad literal");
+    }
+    return true;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    if (Consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("expected a value");
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return Fail("bad escape");
+        }
+        if (out != nullptr) *out += '?';  // unescaped value not needed
+        continue;
+      }
+      if (out != nullptr) *out += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(int depth, int* count) {
+    if (!Consume('[')) return Fail("expected '['");
+    SkipWs();
+    int n = 0;
+    if (!Consume(']')) {
+      while (true) {
+        if (!ParseValue(depth + 1)) return false;
+        ++n;
+        SkipWs();
+        if (Consume(']')) break;
+        if (!Consume(',')) return Fail("expected ',' or ']'");
+      }
+    }
+    if (count != nullptr) *count = n;
+    return true;
+  }
+
+  bool ParseObject(int depth) {
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      if (depth == 0 && key == "traceEvents" && Peek() == '[') {
+        int n = 0;
+        if (!ParseArray(depth + 1, &n)) return false;
+        num_events_ = n;
+      } else {
+        if (!ParseValue(depth + 1)) return false;
+      }
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+  int num_events_ = -1;
+};
+
+}  // namespace
+
+bool ValidateChromeTraceJson(const std::string& json, std::string* error,
+                             int* num_events) {
+  JsonParser parser(json);
+  return parser.Parse(error, num_events);
+}
+
+}  // namespace ag::obs

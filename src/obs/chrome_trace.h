@@ -1,0 +1,34 @@
+// Chrome trace-event JSON export (chrome://tracing / Perfetto).
+//
+// Events are emitted in the "JSON object format": {"traceEvents": [...]}
+// with complete ("X"), counter ("C") and instant ("i") phases.
+// Timestamps are microseconds, rebased so the earliest event starts at 0.
+//
+// ValidateChromeTraceJson is a deliberately strict structural parser
+// used by tests and the agprof CLI to round-trip check exported traces
+// without a JSON library dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/run_metadata.h"
+#include "obs/trace.h"
+
+namespace ag::obs {
+
+[[nodiscard]] std::string ToChromeTraceJson(
+    const std::vector<TraceEvent>& events);
+
+// Exports `meta.trace_events`; phase timings are appended as instant
+// metadata events so they show up on the timeline.
+[[nodiscard]] std::string ToChromeTraceJson(const RunMetadata& meta);
+
+// Parses `json` as a Chrome trace-event object. Returns true and the
+// number of events in `traceEvents` on success; on failure returns
+// false with a diagnostic in `error` (both out-params may be null).
+[[nodiscard]] bool ValidateChromeTraceJson(const std::string& json,
+                                           std::string* error,
+                                           int* num_events);
+
+}  // namespace ag::obs

@@ -1,0 +1,122 @@
+// RunOptions / RunMetadata — the observability contract of every Run()
+// surface in the system (exec::Session, core::StagedFunction /
+// PolymorphicFunction / AutoGraph::CallEager, lantern::Executor).
+//
+// Modeled on TensorFlow's RunOptions/RunMetadata: the caller passes an
+// optional `const RunOptions*` to request instrumentation and an
+// optional `RunMetadata*` to receive it. Passing nullptr (the default
+// everywhere) runs the uninstrumented fast path.
+//
+//   obs::RunOptions opts;
+//   opts.trace = true;
+//   obs::RunMetadata meta;
+//   staged.Run(feeds, &opts, &meta);
+//   std::cout << meta.DebugString();                 // per-op table
+//   std::ofstream("t.json") << obs::ToChromeTraceJson(meta);  // Perfetto
+//
+// RunMetadata aggregates across calls via Merge(), which is how
+// StagedFunction accumulates its cumulative per-op profile.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ag::obs {
+
+struct RunOptions {
+  // Record per-invocation TraceEvents (Chrome-trace exportable).
+  bool trace = false;
+  // Aggregate per-node step stats (op, count, wall time, output bytes).
+  bool step_stats = true;
+
+  [[nodiscard]] bool enabled() const { return trace || step_stats; }
+};
+
+// Aggregated execution record for one graph node (or eager/lantern op).
+struct NodeStats {
+  std::string name;    // node name, or op name for anonymous dispatch
+  std::string op;      // op / kernel type
+  int64_t count = 0;   // number of executions merged into this record
+  int64_t total_ns = 0;
+  int64_t output_bytes = 0;  // cumulative bytes produced
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+// Per-node execution statistics for the Run(s) described by a
+// RunMetadata — the analog of TF's StepStats/NodeExecStats.
+struct StepStats {
+  std::vector<NodeStats> nodes;
+
+  [[nodiscard]] int64_t TotalNodeExecutions() const;
+  [[nodiscard]] int64_t TotalNodeNs() const;
+};
+
+struct RunMetadata {
+  StepStats step_stats;
+  // Raw trace events (RunOptions::trace only).
+  std::vector<TraceEvent> trace_events;
+  // Phase wall times: "convert", "trace", "optimize", "plan_compile",
+  // "run", "forward", "backward", ... (cumulative).
+  std::map<std::string, int64_t> phase_ns;
+  // Control-flow counters.
+  int64_t while_iterations = 0;
+  int64_t cond_true_taken = 0;
+  int64_t cond_false_taken = 0;
+  // Number of Run() calls merged into this metadata.
+  int64_t runs = 0;
+  // Total Run() wall time (cumulative).
+  int64_t run_wall_ns = 0;
+
+  // Folds `other` into this metadata (NodeStats merged by (name, op)).
+  void Merge(const RunMetadata& other);
+
+  // Human-readable per-op time table plus phase/counter summary.
+  [[nodiscard]] std::string DebugString() const;
+};
+
+// Folds complete events into per-(name, category) NodeStats — used by
+// layers that record through a raw Tracer (eager dispatch) rather than
+// a RunRecorder.
+void AggregateEvents(const std::vector<TraceEvent>& events, StepStats* stats);
+
+// Internal instrumentation sink live during one instrumented Run().
+// Execution layers call Record*/Count* unconditionally guarded by a
+// null check on their recorder pointer; Finish() flushes everything
+// into the caller's RunMetadata.
+class RunRecorder {
+ public:
+  explicit RunRecorder(const RunOptions& options) : options_(options) {}
+
+  [[nodiscard]] bool tracing() const { return options_.trace; }
+  [[nodiscard]] Tracer* tracer() {
+    return options_.trace ? &tracer_ : nullptr;
+  }
+
+  // Records one node/op execution over [start_ns, end_ns].
+  void RecordNode(const std::string& name, const std::string& op,
+                  int64_t start_ns, int64_t end_ns, int64_t output_bytes);
+  void RecordPhase(const std::string& phase, int64_t dur_ns);
+  void CountWhileIteration();
+  void CountCondBranch(bool taken);
+
+  // Flushes aggregates (and trace events) into `meta`; no-op when null.
+  void Finish(RunMetadata* meta);
+
+ private:
+  RunOptions options_;
+  Tracer tracer_;
+  std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, size_t> index_;
+  StepStats stats_;
+  std::map<std::string, int64_t> phase_ns_;
+  int64_t while_iterations_ = 0;
+  int64_t cond_true_ = 0;
+  int64_t cond_false_ = 0;
+};
+
+}  // namespace ag::obs

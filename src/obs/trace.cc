@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace ag::obs {
+
+namespace {
+
+int64_t SteadyNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local Tracer* t_current_tracer = nullptr;
+
+}  // namespace
+
+int64_t NowNs() {
+  // Anchor the timebase at first use so exported timestamps stay small.
+  static const int64_t kEpoch = SteadyNs();
+  return SteadyNs() - kEpoch;
+}
+
+uint64_t CurrentThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+void Tracer::AddComplete(std::string name, std::string category,
+                         int64_t start_ns, int64_t end_ns) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.kind = EventKind::kComplete;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  e.thread_id = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::AddCounter(std::string name, std::string category,
+                        int64_t value) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.kind = EventKind::kCounter;
+  e.start_ns = NowNs();
+  e.value = value;
+  e.thread_id = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::AddInstant(std::string name, std::string category) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.kind = EventKind::kInstant;
+  e.start_ns = NowNs();
+  e.thread_id = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> Tracer::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out = std::move(events_);
+  events_.clear();
+  return out;
+}
+
+Tracer* CurrentTracer() { return t_current_tracer; }
+
+TracerInstallScope::TracerInstallScope(Tracer* tracer)
+    : previous_(t_current_tracer) {
+  t_current_tracer = tracer;
+}
+
+TracerInstallScope::~TracerInstallScope() { t_current_tracer = previous_; }
+
+}  // namespace ag::obs

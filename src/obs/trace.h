@@ -1,0 +1,119 @@
+// Low-overhead tracing core for the runtime observability layer.
+//
+// A Tracer is a thread-safe append-only buffer of TraceEvents recorded
+// against a process-wide monotonic clock. Instrumentation sites pay a
+// single null-pointer (or thread_local) check when tracing is disabled:
+// every hook takes the form
+//
+//   if (tracer != nullptr) { ...record... }
+//
+// so an untraced Run() executes the exact pre-instrumentation code path.
+// The RAII TraceScope times a region and appends one complete ("X")
+// event on destruction; nested scopes on the same thread produce
+// properly nested intervals, which the Chrome trace exporter (see
+// chrome_trace.h) renders as a flame graph.
+//
+// The eager interpreter has no Run()-shaped entry point to thread a
+// tracer through, so it consults a per-thread current tracer installed
+// by TracerInstallScope (AutoGraph::CallEager does this when given
+// RunOptions with tracing enabled).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ag::obs {
+
+// Nanoseconds on the process-wide monotonic clock (steady_clock, offset
+// so that early events don't start at huge absolute values).
+[[nodiscard]] int64_t NowNs();
+
+// Stable small integer id for the calling thread (first-come order).
+[[nodiscard]] uint64_t CurrentThreadId();
+
+enum class EventKind : uint8_t {
+  kComplete,  // a timed interval [start_ns, start_ns + dur_ns]
+  kCounter,   // a sampled counter value at start_ns
+  kInstant,   // a zero-duration marker at start_ns
+};
+
+struct TraceEvent {
+  std::string name;      // op / node / phase name
+  std::string category;  // "op", "eager", "lantern", "phase", ...
+  EventKind kind = EventKind::kComplete;
+  int64_t start_ns = 0;  // NowNs() timebase
+  int64_t dur_ns = 0;    // kComplete only
+  int64_t value = 0;     // kCounter only
+  uint64_t thread_id = 0;
+};
+
+// Thread-safe trace buffer.
+class Tracer {
+ public:
+  void AddComplete(std::string name, std::string category, int64_t start_ns,
+                   int64_t end_ns);
+  void AddCounter(std::string name, std::string category, int64_t value);
+  void AddInstant(std::string name, std::string category);
+
+  [[nodiscard]] size_t size() const;
+  // Snapshot of all events recorded so far.
+  [[nodiscard]] std::vector<TraceEvent> Snapshot() const;
+  // Moves the events out, leaving the buffer empty.
+  [[nodiscard]] std::vector<TraceEvent> Take();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// Times a region; appends one kComplete event when `tracer` is non-null,
+// does nothing at all when it is null.
+class TraceScope {
+ public:
+  TraceScope(Tracer* tracer, const char* name, const char* category)
+      : tracer_(tracer), name_(name), category_(category) {
+    if (tracer_ != nullptr) start_ns_ = NowNs();
+  }
+  TraceScope(Tracer* tracer, std::string name, const char* category)
+      : tracer_(tracer), owned_name_(std::move(name)), category_(category) {
+    if (tracer_ != nullptr) start_ns_ = NowNs();
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr) {
+      tracer_->AddComplete(name_ != nullptr ? name_ : owned_name_, category_,
+                           start_ns_, NowNs());
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  std::string owned_name_;
+  const char* category_;
+  int64_t start_ns_ = 0;
+};
+
+// ---- per-thread current tracer (eager instrumentation hook) ----
+
+// The tracer eager dispatch sites should record into, or nullptr when
+// eager tracing is off (the common case: one thread_local load).
+[[nodiscard]] Tracer* CurrentTracer();
+
+// Installs `tracer` as the calling thread's current tracer for the
+// scope's lifetime, restoring the previous one on exit.
+class TracerInstallScope {
+ public:
+  explicit TracerInstallScope(Tracer* tracer);
+  ~TracerInstallScope();
+  TracerInstallScope(const TracerInstallScope&) = delete;
+  TracerInstallScope& operator=(const TracerInstallScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+}  // namespace ag::obs

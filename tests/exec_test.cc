@@ -206,6 +206,32 @@ TEST(Session, VariablesPersistAcrossRuns) {
   EXPECT_THROW((void)session.GetVariable("missing"), Error);
 }
 
+TEST(Session, GetVariableErrorNamesVariableAndListsKnown) {
+  Graph g;
+  Session session(&g);
+  session.SetVariable("weights", Tensor::Scalar(1.0f));
+  session.SetVariable("bias", Tensor::Scalar(0.0f));
+  try {
+    (void)session.GetVariable("weigths");  // typo'd name
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRuntime);
+    EXPECT_NE(e.message().find("'weigths'"), std::string::npos)
+        << e.message();
+    EXPECT_NE(e.message().find("'bias'"), std::string::npos) << e.message();
+    EXPECT_NE(e.message().find("'weights'"), std::string::npos)
+        << e.message();
+  }
+  // With no variables at all, the message says so rather than listing.
+  Session empty(&g);
+  try {
+    (void)empty.GetVariable("x");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(e.message().find("(none)"), std::string::npos) << e.message();
+  }
+}
+
 TEST(Session, RuntimeErrorsCarryGraphFrames) {
   Graph g;
   GraphContext ctx(&g);
