@@ -10,7 +10,12 @@ for b in "${BUILD_DIR}"/bench/bench_*; do
   echo "================================================================="
   echo "== $(basename "$b")"
   echo "================================================================="
-  "$b" --benchmark_min_time=0.2 2>&1
+  extra=""
+  if [ "$(basename "$b")" = "bench_parallel_scaling" ]; then
+    # Machine-readable scaling numbers for CI artifacts / regression diffing.
+    extra="--benchmark_out=${BUILD_DIR}/BENCH_parallel.json --benchmark_out_format=json"
+  fi
+  "$b" --benchmark_min_time=0.2 ${extra} 2>&1
   echo
 done
 

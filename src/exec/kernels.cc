@@ -8,9 +8,71 @@
 #include "tensor/tensor_ops.h"
 
 namespace ag::exec {
+
+namespace {
+thread_local RngRunState* t_rng_run_state = nullptr;
+}  // namespace
+
+RngRunScope::RngRunScope(RngRunState* state) : previous_(t_rng_run_state) {
+  t_rng_run_state = state;
+}
+
+RngRunScope::~RngRunScope() { t_rng_run_state = previous_; }
+
+RngRunState* CurrentRngRunState() { return t_rng_run_state; }
+
 namespace {
 
 using graph::Node;
+
+// ---- counter-based random streams ----
+//
+// splitmix64: a cheap, well-mixed 64-bit finalizer; seeds one fresh
+// engine per (node stream, invocation) pair.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Stream id for a random node: FNV-1a over the node name (stable across
+// stagings — node names are deterministic), salted per op kind and by an
+// optional "seed" attr.
+uint64_t NodeStreamSeed(const Node& n, uint64_t salt) {
+  uint64_t h = 1469598103934665603ULL ^ salt;
+  for (char c : n.name()) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  if (n.HasAttr("seed")) {
+    h ^= Mix64(static_cast<uint64_t>(n.attr<int64_t>("seed")));
+  }
+  return h;
+}
+
+// This node's invocation index within the current run (or within the
+// process-wide fallback stream when no run is active).
+uint64_t NextRngInvocation(const Node& n) {
+  RngRunState* state = t_rng_run_state;
+  if (state == nullptr) {
+    static auto* fallback = new RngRunState();
+    state = fallback;
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->counts[&n]++;
+}
+
+template <typename Dist>
+Tensor FillRandom(const Node& n, uint64_t salt, Dist dist) {
+  std::mt19937_64 engine(
+      Mix64(NodeStreamSeed(n, salt) + Mix64(NextRngInvocation(n))));
+  const std::vector<int>& dims = n.attr<std::vector<int>>("shape");
+  std::vector<int64_t> d64(dims.begin(), dims.end());
+  Shape shape{std::move(d64)};
+  std::vector<float> out(static_cast<size_t>(shape.num_elements()));
+  for (float& v : out) v = dist(engine);
+  return Tensor::FromVector(std::move(out), std::move(shape));
+}
 
 Kernel Unary(Tensor (*fn)(const Tensor&)) {
   return [fn](const Node&, const std::vector<RuntimeValue>& in) {
@@ -236,27 +298,18 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     };
 
     // Random ops (stateful; excluded from folding/CSE by IsPureOp).
+    // Counter-based: each node has its own stream, advanced once per
+    // invocation per run, so parallel == sequential bit-for-bit.
     reg["RandomNormal"] = [](const Node& n,
                              const std::vector<RuntimeValue>&) {
-      static thread_local std::mt19937_64 engine(12345);
-      std::normal_distribution<float> dist(0.0f, 1.0f);
-      const std::vector<int>& dims = n.attr<std::vector<int>>("shape");
-      std::vector<int64_t> d64(dims.begin(), dims.end());
-      Shape shape{std::move(d64)};
-      std::vector<float> out(static_cast<size_t>(shape.num_elements()));
-      for (float& v : out) v = dist(engine);
-      return One(Tensor::FromVector(std::move(out), std::move(shape)));
+      return One(FillRandom(n, /*salt=*/12345,
+                            std::normal_distribution<float>(0.0f, 1.0f)));
     };
     reg["RandomUniform"] = [](const Node& n,
                               const std::vector<RuntimeValue>&) {
-      static thread_local std::mt19937_64 engine(54321);
-      std::uniform_real_distribution<float> dist(0.0f, 1.0f);
-      const std::vector<int>& dims = n.attr<std::vector<int>>("shape");
-      std::vector<int64_t> d64(dims.begin(), dims.end());
-      Shape shape{std::move(d64)};
-      std::vector<float> out(static_cast<size_t>(shape.num_elements()));
-      for (float& v : out) v = dist(engine);
-      return One(Tensor::FromVector(std::move(out), std::move(shape)));
+      return One(FillRandom(
+          n, /*salt=*/54321,
+          std::uniform_real_distribution<float>(0.0f, 1.0f)));
     };
 
     // Print: logs at graph runtime (the staged form of `print`).

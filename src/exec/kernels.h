@@ -2,8 +2,11 @@
 // Shared by the Session executor and by constant folding.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/value.h"
@@ -13,6 +16,36 @@ namespace ag::exec {
 
 using Kernel = std::function<std::vector<RuntimeValue>(
     const graph::Node&, const std::vector<RuntimeValue>&)>;
+
+// Invocation counters for the stateful random ops. Each random node
+// draws from its own stream, seeded by (node name, invocation index) —
+// never from a shared engine — so results are a pure function of the
+// invocation history, bit-identical between sequential and parallel
+// execution, while successive Runs still see fresh draws.
+//
+// Session owns one RngRunState (counters advance across its Runs) and
+// installs it with RngRunScope on every thread that executes kernels
+// (the run thread, and each pool helper per parallel drain). Outside
+// any run (e.g. a bare kernel invocation in a test) a process-wide
+// fallback table keyed by node keeps draws advancing.
+struct RngRunState {
+  std::mutex mu;
+  std::unordered_map<const graph::Node*, uint64_t> counts;
+};
+
+class RngRunScope {
+ public:
+  explicit RngRunScope(RngRunState* state);
+  ~RngRunScope();
+  RngRunScope(const RngRunScope&) = delete;
+  RngRunScope& operator=(const RngRunScope&) = delete;
+
+ private:
+  RngRunState* previous_;
+};
+
+// The calling thread's installed per-run state (null outside a run).
+[[nodiscard]] RngRunState* CurrentRngRunState();
 
 // Returns the kernel for `op`, or throws Error(kRuntime) if the op has no
 // registered kernel (control-flow / stateful ops are executed by the

@@ -1,8 +1,13 @@
 #include "exec/session.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <optional>
 #include <sstream>
 
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 #include "support/error.h"
 
 namespace ag::exec {
@@ -35,10 +40,42 @@ int64_t OutputBytes(const std::vector<RuntimeValue>& outputs) {
 
 std::string SessionStats::DebugString() const {
   std::ostringstream os;
-  os << "SessionStats: runs=" << runs << " nodes_executed=" << nodes_executed
-     << " kernel_invocations=" << kernel_invocations;
+  os << "SessionStats: runs=" << runs.load()
+     << " nodes_executed=" << nodes_executed.load()
+     << " kernel_invocations=" << kernel_invocations.load();
   return os.str();
 }
+
+// Shared state of one parallel plan execution. Owned by shared_ptr: a
+// pool helper that starts late (after the run already finished) must
+// still find the queue it was scheduled against. Helpers dereference
+// `session`/`ctx`/`args` only while they hold a claimed step, and the
+// caller cannot leave RunPlanParallel before every claimed step is done.
+struct Session::ParallelRun {
+  Session* session = nullptr;
+  const Plan* plan = nullptr;
+  const std::vector<RuntimeValue>* args = nullptr;
+  RunCtx ctx;
+  RngRunState* rng = nullptr;
+  int max_helpers = 0;
+
+  std::vector<std::vector<RuntimeValue>> slots;
+  // One refcount per step, initialized from Plan::Step::pending_init.
+  std::unique_ptr<std::atomic<int>[]> pending;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  int in_flight = 0;        // steps claimed but not finished
+  size_t done = 0;          // steps finished successfully
+  int active_helpers = 0;   // pool tasks currently draining
+  bool failed = false;
+  std::exception_ptr error;
+
+  [[nodiscard]] bool Finished() const {
+    return in_flight == 0 && (failed || done == plan->steps.size());
+  }
+};
 
 std::vector<RuntimeValue> Session::Run(
     const std::map<std::string, RuntimeValue>& feeds,
@@ -47,29 +84,38 @@ std::vector<RuntimeValue> Session::Run(
   const bool instrument = options != nullptr && options->enabled();
   std::optional<obs::RunRecorder> recorder;
   const int64_t t0 = instrument ? obs::NowNs() : 0;
-  if (instrument) {
-    recorder.emplace(*options);
-    rec_ = &*recorder;
+  if (instrument) recorder.emplace(*options);
+
+  RunCtx ctx;
+  ctx.feeds = &feeds;
+  ctx.rec = instrument ? &*recorder : nullptr;
+  if (options != nullptr) {
+    ctx.inter_op_threads = options->inter_op_threads;
+    ctx.intra_op_threads = options->intra_op_threads;
   }
 
-  feeds_ = &feeds;
-  Frame frame;
+  // Random draws index per (node, invocation) in session scope; the
+  // scope makes the counters visible to every kernel this run executes
+  // on this thread (pool helpers install it per drain).
+  RngRunScope rng(&rng_state_);
+  std::optional<runtime::IntraOpScope> intra;
+  if (ctx.intra_op_threads > 0) intra.emplace(ctx.intra_op_threads);
+
   std::vector<RuntimeValue> results;
-  results.reserve(fetches.size());
-  try {
+  if (ctx.inter_op_threads > 0) {
+    const Plan& plan = TopPlanFor(fetches, ctx);
+    const std::vector<RuntimeValue> no_args;
+    results = RunPlanParallel(plan, no_args, ctx);
+  } else {
+    results.reserve(fetches.size());
+    Frame frame;
     for (const Output& f : fetches) {
-      results.push_back(EvalOutput(f, frame));
+      results.push_back(EvalOutput(f, frame, ctx));
     }
-  } catch (...) {
-    feeds_ = nullptr;
-    rec_ = nullptr;
-    throw;
   }
-  feeds_ = nullptr;
   ++stats_.runs;
 
   if (instrument) {
-    rec_ = nullptr;
     const int64_t wall = obs::NowNs() - t0;
     recorder->RecordPhase("run", wall);
     if (obs::Tracer* tracer = recorder->tracer()) {
@@ -90,7 +136,8 @@ Tensor Session::RunTensor(const std::map<std::string, RuntimeValue>& feeds,
   return AsTensor(Run(feeds, {fetch}, options, metadata)[0]);
 }
 
-const Tensor& Session::GetVariable(const std::string& name) const {
+Tensor Session::GetVariable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(var_mu_);
   auto it = variables_.find(name);
   if (it == variables_.end()) {
     std::string known;
@@ -105,8 +152,9 @@ const Tensor& Session::GetVariable(const std::string& name) const {
   return it->second;
 }
 
-RuntimeValue Session::EvalOutput(const Output& out, Frame& frame) {
-  const std::vector<RuntimeValue>& vals = EvalNode(out.node, frame);
+RuntimeValue Session::EvalOutput(const Output& out, Frame& frame,
+                                 RunCtx& ctx) {
+  const std::vector<RuntimeValue>& vals = EvalNode(out.node, frame, ctx);
   if (out.index < 0 || out.index >= static_cast<int>(vals.size())) {
     throw InternalError("fetch of invalid output index on node '" +
                         out.node->name() + "'");
@@ -115,7 +163,8 @@ RuntimeValue Session::EvalOutput(const Output& out, Frame& frame) {
 }
 
 const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
-                                                   Frame& frame) {
+                                                   Frame& frame,
+                                                   RunCtx& ctx) {
   auto it = frame.memo.find(node);
   if (it != frame.memo.end()) return it->second;
 
@@ -134,33 +183,36 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     outputs = {(*frame.args)[index]};
   } else if (op == "Placeholder") {
     const std::string& name = node->attr<std::string>("name");
-    if (feeds_ == nullptr) {
+    if (ctx.feeds == nullptr) {
       throw RuntimeError("placeholder '" + name + "' evaluated outside Run");
     }
-    auto feed = feeds_->find(name);
-    if (feed == feeds_->end()) {
+    auto feed = ctx.feeds->find(name);
+    if (feed == ctx.feeds->end()) {
       throw RuntimeError("placeholder '" + name + "' was not fed");
     }
     outputs = {feed->second};
   } else if (op == "Variable") {
     outputs = {GetVariable(node->attr<std::string>("var_name"))};
   } else if (op == "Assign") {
-    RuntimeValue value = EvalOutput(node->inputs()[0], frame);
-    const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
-    variables_[node->attr<std::string>("var_name")] = AsTensor(value);
-    if (rec_ != nullptr) {
-      rec_->RecordNode(node->name(), op, t0, obs::NowNs(),
-                       OutputBytes({value}));
+    RuntimeValue value = EvalOutput(node->inputs()[0], frame, ctx);
+    const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+    {
+      std::lock_guard<std::mutex> lock(var_mu_);
+      variables_[node->attr<std::string>("var_name")] = AsTensor(value);
+    }
+    if (ctx.rec != nullptr) {
+      ctx.rec->RecordNode(node->name(), op, t0, obs::NowNs(),
+                          OutputBytes({value}));
     }
     outputs = {std::move(value)};
   } else if (op == "Cond") {
-    const Tensor pred = AsTensor(EvalOutput(node->inputs()[0], frame));
+    const Tensor pred = AsTensor(EvalOutput(node->inputs()[0], frame, ctx));
     if (pred.dtype() != DType::kBool) {
       throw RuntimeError("cond predicate must be a bool tensor, got " +
                          std::string(DTypeName(pred.dtype())));
     }
     const bool taken = pred.scalar_bool();
-    if (rec_ != nullptr) rec_->CountCondBranch(taken);
+    if (ctx.rec != nullptr) ctx.rec->CountCondBranch(taken);
     const auto then_ncaps =
         static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
     const auto& branch_attr = taken ? "then_branch" : "else_branch";
@@ -171,12 +223,12 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     std::vector<RuntimeValue> args;
     args.reserve(branch.captures.size());
     for (size_t i = 0; i < branch.captures.size(); ++i) {
-      args.push_back(EvalOutput(node->inputs()[offset + i], frame));
+      args.push_back(EvalOutput(node->inputs()[offset + i], frame, ctx));
     }
     {
-      obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+      obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (Cond)", "control");
-      outputs = ExecSubgraph(branch, args);
+      outputs = ExecSubgraph(branch, args, ctx);
     }
     if (outputs.empty()) outputs = {Tensor()};  // 0-output cond placeholder
   } else if (op == "While") {
@@ -191,31 +243,31 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     std::vector<RuntimeValue> loop_vars;
     loop_vars.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      loop_vars.push_back(EvalOutput(node->inputs()[i], frame));
+      loop_vars.push_back(EvalOutput(node->inputs()[i], frame, ctx));
     }
     std::vector<RuntimeValue> cond_caps;
     for (size_t i = 0; i < cond_ncaps; ++i) {
-      cond_caps.push_back(EvalOutput(node->inputs()[n + i], frame));
+      cond_caps.push_back(EvalOutput(node->inputs()[n + i], frame, ctx));
     }
     std::vector<RuntimeValue> body_caps;
     for (size_t i = n + cond_ncaps; i < node->inputs().size(); ++i) {
-      body_caps.push_back(EvalOutput(node->inputs()[i], frame));
+      body_caps.push_back(EvalOutput(node->inputs()[i], frame, ctx));
     }
 
-    obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
+    obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                           node->name() + " (While)", "control");
     while (true) {
       std::vector<RuntimeValue> cond_args = loop_vars;
       cond_args.insert(cond_args.end(), cond_caps.begin(), cond_caps.end());
-      std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args);
+      std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args, ctx);
       if (test.size() != 1) {
         throw RuntimeError("while condition must produce a single value");
       }
       if (!AsTensor(test[0]).scalar_bool()) break;
-      if (rec_ != nullptr) rec_->CountWhileIteration();
+      if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
       std::vector<RuntimeValue> body_args = loop_vars;
       body_args.insert(body_args.end(), body_caps.begin(), body_caps.end());
-      loop_vars = ExecSubgraph(body_g, body_args);
+      loop_vars = ExecSubgraph(body_g, body_args, ctx);
     }
     outputs = std::move(loop_vars);
     if (outputs.empty()) outputs = {Tensor()};
@@ -224,10 +276,10 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     std::vector<RuntimeValue> inputs;
     inputs.reserve(node->inputs().size());
     for (const Output& in : node->inputs()) {
-      inputs.push_back(EvalOutput(in, frame));
+      inputs.push_back(EvalOutput(in, frame, ctx));
     }
     ++stats_.kernel_invocations;
-    const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
+    const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
     try {
       outputs = kernel(*node, inputs);
     } catch (const Error& e) {
@@ -235,9 +287,9 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
           SourceLocation{"<graph>", 0, 0}, node->name() + " (" + op + ")",
           /*generated=*/true});
     }
-    if (rec_ != nullptr) {
-      rec_->RecordNode(node->name(), op, t0, obs::NowNs(),
-                       OutputBytes(outputs));
+    if (ctx.rec != nullptr) {
+      ctx.rec->RecordNode(node->name(), op, t0, obs::NowNs(),
+                          OutputBytes(outputs));
     }
   }
 
@@ -247,20 +299,19 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
 }
 
 std::vector<RuntimeValue> Session::ExecSubgraph(
-    const FuncGraph& fg, const std::vector<RuntimeValue>& args) {
+    const FuncGraph& fg, const std::vector<RuntimeValue>& args, RunCtx& ctx) {
   std::vector<std::vector<RuntimeValue>> scratch;
-  return RunPlan(PlanFor(fg), args, &scratch);
+  return RunPlan(PlanFor(fg, ctx), args, &scratch, ctx);
 }
 
-const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
-  auto it = plans_.find(&fg);
-  if (it != plans_.end()) return it->second;
-
-  const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
+Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
+                                   bool allow_args) {
   Plan plan;
   std::unordered_map<const Node*, int> step_of;
   // Post-order DFS from the returns gives a topological schedule over
-  // exactly the nodes this subgraph needs.
+  // exactly the nodes this subgraph needs. The schedule order equals
+  // the sequential recursive evaluation order, which is what the
+  // stateful chain below relies on.
   std::vector<std::pair<const Node*, size_t>> stack;
   auto visit = [&](const Node* n) -> int {
     auto found = step_of.find(n);
@@ -270,7 +321,11 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
       auto& [node, next_input] = stack.back();
       if (next_input < node->inputs().size()) {
         const Node* in = node->inputs()[next_input++].node;
-        if (in->op() != "Arg" && step_of.find(in) == step_of.end()) {
+        if (in->op() == "Arg") {
+          if (!allow_args) {
+            throw InternalError("Arg node evaluated outside a subgraph");
+          }
+        } else if (step_of.find(in) == step_of.end()) {
           stack.emplace_back(in, 0);
         }
         continue;
@@ -283,6 +338,12 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
           step.kind = Plan::Kind::kCond;
         } else if (op == "While") {
           step.kind = Plan::Kind::kWhile;
+        } else if (op == "Placeholder") {
+          step.kind = Plan::Kind::kPlaceholder;
+        } else if (op == "Variable") {
+          step.kind = Plan::Kind::kVariable;
+        } else if (op == "Assign") {
+          step.kind = Plan::Kind::kAssign;
         } else {
           step.kind = Plan::Kind::kKernel;
           step.kernel = &FindKernel(op);
@@ -305,23 +366,222 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg) {
     return step_of.at(n);
   };
 
-  for (const Output& r : fg.returns) {
+  for (const Output& r : returns) {
     if (r.node->op() == "Arg") {
+      if (!allow_args) {
+        throw InternalError("Arg node evaluated outside a subgraph");
+      }
       plan.returns.push_back(Plan::InputRef{
           -1, static_cast<int>(r.node->attr<int64_t>("index"))});
     } else {
       plan.returns.push_back(Plan::InputRef{visit(r.node), r.index});
     }
   }
-  if (rec_ != nullptr) {
-    rec_->RecordPhase("plan_compile", obs::NowNs() - t0);
+
+  // Dataflow edges for the parallel engine: one deduped edge per
+  // (producer, consumer) pair; pending_init counts distinct producers.
+  const int num_steps = static_cast<int>(plan.steps.size());
+  std::vector<int> producers;
+  for (int i = 0; i < num_steps; ++i) {
+    producers.clear();
+    for (const Plan::InputRef& ref : plan.steps[i].inputs) {
+      if (ref.step < 0) continue;
+      if (std::find(producers.begin(), producers.end(), ref.step) ==
+          producers.end()) {
+        producers.push_back(ref.step);
+      }
+    }
+    for (int p : producers) {
+      plan.steps[p].successors.push_back(i);
+    }
+    plan.steps[i].pending_init = static_cast<int>(producers.size());
   }
-  return plans_.emplace(&fg, std::move(plan)).first->second;
+
+  // Side-effect order: chain every stateful step to the next one in
+  // plan order, so variable reads/writes and Print output interleave
+  // exactly as the sequential evaluator would. Random ops need no
+  // chaining — their draws are per-node counter streams, independent of
+  // cross-node execution order.
+  auto stateful = [](const Plan::Step& s) {
+    return s.kind == Plan::Kind::kVariable || s.kind == Plan::Kind::kAssign ||
+           (s.kind == Plan::Kind::kKernel && s.node->op() == "Print");
+  };
+  int prev = -1;
+  for (int i = 0; i < num_steps; ++i) {
+    if (!stateful(plan.steps[i])) continue;
+    if (prev >= 0) {
+      std::vector<int>& succ = plan.steps[prev].successors;
+      if (std::find(succ.begin(), succ.end(), i) == succ.end()) {
+        succ.push_back(i);
+        ++plan.steps[i].pending_init;
+      }
+    }
+    prev = i;
+  }
+  return plan;
+}
+
+const Session::Plan& Session::PlanFor(const FuncGraph& fg, RunCtx& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = plans_.find(&fg);
+    if (it != plans_.end()) return it->second;
+  }
+  // Compile outside the lock (compilation is pure); a racing thread may
+  // duplicate the work, but try_emplace keeps a single winner and
+  // node-based map references stay stable.
+  const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+  Plan plan = CompilePlan(fg.returns, /*allow_args=*/true);
+  if (ctx.rec != nullptr) {
+    ctx.rec->RecordPhase("plan_compile", obs::NowNs() - t0);
+  }
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plans_.try_emplace(&fg, std::move(plan)).first->second;
+}
+
+const Session::Plan& Session::TopPlanFor(const std::vector<Output>& fetches,
+                                         RunCtx& ctx) {
+  std::vector<std::pair<const Node*, int>> key;
+  key.reserve(fetches.size());
+  for (const Output& f : fetches) key.emplace_back(f.node, f.index);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = top_plans_.find(key);
+    if (it != top_plans_.end()) return it->second;
+  }
+  const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+  Plan plan = CompilePlan(fetches, /*allow_args=*/false);
+  if (ctx.rec != nullptr) {
+    ctx.rec->RecordPhase("plan_compile", obs::NowNs() - t0);
+  }
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return top_plans_.try_emplace(std::move(key), std::move(plan))
+      .first->second;
+}
+
+void Session::ExecStep(const Plan::Step& step,
+                       const std::vector<RuntimeValue>& inputs,
+                       std::vector<RuntimeValue>* out, RunCtx& ctx) {
+  ++stats_.nodes_executed;
+  const Node* node = step.node;
+  switch (step.kind) {
+    case Plan::Kind::kKernel: {
+      ++stats_.kernel_invocations;
+      const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+      try {
+        *out = (*step.kernel)(*node, inputs);
+      } catch (const Error& e) {
+        throw e.WithFrame(SourceFrame{SourceLocation{"<graph>", 0, 0},
+                                      node->name() + " (" + node->op() + ")",
+                                      /*generated=*/true});
+      }
+      if (ctx.rec != nullptr) {
+        ctx.rec->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
+                            OutputBytes(*out));
+      }
+      break;
+    }
+    case Plan::Kind::kCond: {
+      const Tensor& pred = AsTensor(inputs[0]);
+      const bool taken = pred.scalar_bool();
+      if (ctx.rec != nullptr) ctx.rec->CountCondBranch(taken);
+      const auto then_ncaps =
+          static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
+      const auto& branch = *std::static_pointer_cast<FuncGraph>(
+          node->attr<std::shared_ptr<graph::Graph>>(
+              taken ? "then_branch" : "else_branch"));
+      const size_t offset = taken ? 1 : 1 + then_ncaps;
+      std::vector<RuntimeValue> branch_args(
+          inputs.begin() + static_cast<std::ptrdiff_t>(offset),
+          inputs.begin() +
+              static_cast<std::ptrdiff_t>(offset + branch.captures.size()));
+      std::vector<std::vector<RuntimeValue>> branch_scratch;
+      obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
+                            node->name() + " (Cond)", "control");
+      *out = RunPlan(PlanFor(branch, ctx), branch_args, &branch_scratch, ctx);
+      if (out->empty()) *out = {Tensor()};
+      break;
+    }
+    case Plan::Kind::kWhile: {
+      const auto n =
+          static_cast<size_t>(node->attr<int64_t>("num_loop_vars"));
+      const auto cond_ncaps =
+          static_cast<size_t>(node->attr<int64_t>("cond_ncaps"));
+      const auto& cond_g = *std::static_pointer_cast<FuncGraph>(
+          node->attr<std::shared_ptr<graph::Graph>>("cond"));
+      const auto& body_g = *std::static_pointer_cast<FuncGraph>(
+          node->attr<std::shared_ptr<graph::Graph>>("body"));
+      std::vector<RuntimeValue> loop_vars(
+          inputs.begin(), inputs.begin() + static_cast<std::ptrdiff_t>(n));
+      std::vector<RuntimeValue> cond_caps(
+          inputs.begin() + static_cast<std::ptrdiff_t>(n),
+          inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps));
+      std::vector<RuntimeValue> body_caps(
+          inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps),
+          inputs.end());
+      const Plan& cond_plan = PlanFor(cond_g, ctx);
+      const Plan& body_plan = PlanFor(body_g, ctx);
+      std::vector<std::vector<RuntimeValue>> cond_scratch;
+      std::vector<std::vector<RuntimeValue>> body_scratch;
+      std::vector<RuntimeValue> cond_args;
+      std::vector<RuntimeValue> body_args;
+      obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
+                            node->name() + " (While)", "control");
+      while (true) {
+        cond_args.assign(loop_vars.begin(), loop_vars.end());
+        cond_args.insert(cond_args.end(), cond_caps.begin(),
+                         cond_caps.end());
+        std::vector<RuntimeValue> test =
+            RunPlan(cond_plan, cond_args, &cond_scratch, ctx);
+        if (!AsTensor(test[0]).scalar_bool()) break;
+        if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
+        body_args.assign(loop_vars.begin(), loop_vars.end());
+        body_args.insert(body_args.end(), body_caps.begin(),
+                         body_caps.end());
+        loop_vars = RunPlan(body_plan, body_args, &body_scratch, ctx);
+      }
+      *out = std::move(loop_vars);
+      if (out->empty()) *out = {Tensor()};
+      break;
+    }
+    case Plan::Kind::kPlaceholder: {
+      const std::string& name = node->attr<std::string>("name");
+      if (ctx.feeds == nullptr) {
+        throw RuntimeError("placeholder '" + name +
+                           "' evaluated outside Run");
+      }
+      auto feed = ctx.feeds->find(name);
+      if (feed == ctx.feeds->end()) {
+        throw RuntimeError("placeholder '" + name + "' was not fed");
+      }
+      *out = {feed->second};
+      break;
+    }
+    case Plan::Kind::kVariable:
+      *out = {GetVariable(node->attr<std::string>("var_name"))};
+      break;
+    case Plan::Kind::kAssign: {
+      const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+      {
+        std::lock_guard<std::mutex> lock(var_mu_);
+        variables_[node->attr<std::string>("var_name")] =
+            AsTensor(inputs[0]);
+      }
+      if (ctx.rec != nullptr) {
+        ctx.rec->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
+                            OutputBytes({inputs[0]}));
+      }
+      *out = {inputs[0]};
+      break;
+    }
+    case Plan::Kind::kArg:
+      break;  // args are resolved directly; never scheduled
+  }
 }
 
 std::vector<RuntimeValue> Session::RunPlan(
     const Plan& plan, const std::vector<RuntimeValue>& args,
-    std::vector<std::vector<RuntimeValue>>* scratch) {
+    std::vector<std::vector<RuntimeValue>>* scratch, RunCtx& ctx) {
   // One output vector per step (steps are in execution order). The
   // caller-provided scratch lets While bodies reuse storage across
   // iterations instead of reallocating.
@@ -336,99 +596,12 @@ std::vector<RuntimeValue> Session::RunPlan(
   std::vector<RuntimeValue> inputs;
   for (size_t s = 0; s < plan.steps.size(); ++s) {
     const Plan::Step& step = plan.steps[s];
-    ++stats_.nodes_executed;
     inputs.clear();
     inputs.reserve(step.inputs.size());
     for (const Plan::InputRef& ref : step.inputs) {
       inputs.push_back(resolve(ref));
     }
-    const Node* node = step.node;
-    switch (step.kind) {
-      case Plan::Kind::kKernel: {
-        ++stats_.kernel_invocations;
-        const int64_t t0 = rec_ != nullptr ? obs::NowNs() : 0;
-        try {
-          slots[s] = (*step.kernel)(*node, inputs);
-        } catch (const Error& e) {
-          throw e.WithFrame(SourceFrame{SourceLocation{"<graph>", 0, 0},
-                                        node->name() + " (" + node->op() +
-                                            ")",
-                                        /*generated=*/true});
-        }
-        if (rec_ != nullptr) {
-          rec_->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
-                           OutputBytes(slots[s]));
-        }
-        break;
-      }
-      case Plan::Kind::kCond: {
-        const Tensor& pred = AsTensor(inputs[0]);
-        const bool taken = pred.scalar_bool();
-        if (rec_ != nullptr) rec_->CountCondBranch(taken);
-        const auto then_ncaps =
-            static_cast<size_t>(node->attr<int64_t>("then_ncaps"));
-        const auto& branch = *std::static_pointer_cast<FuncGraph>(
-            node->attr<std::shared_ptr<graph::Graph>>(
-                taken ? "then_branch" : "else_branch"));
-        const size_t offset = taken ? 1 : 1 + then_ncaps;
-        std::vector<RuntimeValue> branch_args(
-            inputs.begin() + static_cast<std::ptrdiff_t>(offset),
-            inputs.begin() +
-                static_cast<std::ptrdiff_t>(offset + branch.captures.size()));
-        std::vector<std::vector<RuntimeValue>> branch_scratch;
-        obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
-                              node->name() + " (Cond)", "control");
-        slots[s] =
-            RunPlan(PlanFor(branch), branch_args, &branch_scratch);
-        if (slots[s].empty()) slots[s] = {Tensor()};
-        break;
-      }
-      case Plan::Kind::kWhile: {
-        const auto n =
-            static_cast<size_t>(node->attr<int64_t>("num_loop_vars"));
-        const auto cond_ncaps =
-            static_cast<size_t>(node->attr<int64_t>("cond_ncaps"));
-        const auto& cond_g = *std::static_pointer_cast<FuncGraph>(
-            node->attr<std::shared_ptr<graph::Graph>>("cond"));
-        const auto& body_g = *std::static_pointer_cast<FuncGraph>(
-            node->attr<std::shared_ptr<graph::Graph>>("body"));
-        std::vector<RuntimeValue> loop_vars(inputs.begin(),
-                                            inputs.begin() +
-                                                static_cast<std::ptrdiff_t>(n));
-        std::vector<RuntimeValue> cond_caps(
-            inputs.begin() + static_cast<std::ptrdiff_t>(n),
-            inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps));
-        std::vector<RuntimeValue> body_caps(
-            inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps),
-            inputs.end());
-        const Plan& cond_plan = PlanFor(cond_g);
-        const Plan& body_plan = PlanFor(body_g);
-        std::vector<std::vector<RuntimeValue>> cond_scratch;
-        std::vector<std::vector<RuntimeValue>> body_scratch;
-        std::vector<RuntimeValue> cond_args;
-        std::vector<RuntimeValue> body_args;
-        obs::TraceScope scope(rec_ != nullptr ? rec_->tracer() : nullptr,
-                              node->name() + " (While)", "control");
-        while (true) {
-          cond_args.assign(loop_vars.begin(), loop_vars.end());
-          cond_args.insert(cond_args.end(), cond_caps.begin(),
-                           cond_caps.end());
-          std::vector<RuntimeValue> test =
-              RunPlan(cond_plan, cond_args, &cond_scratch);
-          if (!AsTensor(test[0]).scalar_bool()) break;
-          if (rec_ != nullptr) rec_->CountWhileIteration();
-          body_args.assign(loop_vars.begin(), loop_vars.end());
-          body_args.insert(body_args.end(), body_caps.begin(),
-                           body_caps.end());
-          loop_vars = RunPlan(body_plan, body_args, &body_scratch);
-        }
-        slots[s] = std::move(loop_vars);
-        if (slots[s].empty()) slots[s] = {Tensor()};
-        break;
-      }
-      case Plan::Kind::kArg:
-        break;  // args are resolved directly; never scheduled
-    }
+    ExecStep(step, inputs, &slots[s], ctx);
   }
 
   std::vector<RuntimeValue> results;
@@ -437,6 +610,150 @@ std::vector<RuntimeValue> Session::RunPlan(
     results.push_back(resolve(ref));
   }
   return results;
+}
+
+std::vector<RuntimeValue> Session::RunPlanParallel(
+    const Plan& plan, const std::vector<RuntimeValue>& args, RunCtx& ctx) {
+  auto run = std::make_shared<ParallelRun>();
+  run->session = this;
+  run->plan = &plan;
+  run->args = &args;
+  run->ctx = ctx;
+  run->rng = &rng_state_;
+  run->max_helpers = std::max(0, ctx.inter_op_threads - 1);
+
+  const size_t num_steps = plan.steps.size();
+  run->slots.resize(num_steps);
+  run->pending = std::make_unique<std::atomic<int>[]>(num_steps);
+  for (size_t i = 0; i < num_steps; ++i) {
+    run->pending[i].store(plan.steps[i].pending_init,
+                          std::memory_order_relaxed);
+    if (plan.steps[i].pending_init == 0) {
+      run->ready.push_back(static_cast<int>(i));
+    }
+  }
+
+  if (run->max_helpers > 0) {
+    runtime::ThreadPool::Shared()->EnsureWorkers(run->max_helpers);
+    MaybeScheduleHelpers(run);
+  }
+  Drain(run, /*is_caller=*/true);
+
+  // Drain returned only after observing completion under run->mu, so
+  // these reads are ordered after every step's effects.
+  if (run->failed) std::rethrow_exception(run->error);
+  std::vector<RuntimeValue> results;
+  results.reserve(plan.returns.size());
+  for (const Plan::InputRef& ref : plan.returns) {
+    results.push_back(ref.step < 0
+                          ? args[static_cast<size_t>(ref.output)]
+                          : run->slots[static_cast<size_t>(ref.step)]
+                                      [static_cast<size_t>(ref.output)]);
+  }
+  return results;
+}
+
+void Session::Drain(const std::shared_ptr<ParallelRun>& run,
+                    bool is_caller) {
+  for (;;) {
+    int s = -1;
+    {
+      std::unique_lock<std::mutex> lock(run->mu);
+      if (!run->failed && !run->ready.empty()) {
+        s = run->ready.front();
+        run->ready.pop_front();
+        ++run->in_flight;
+      } else if (is_caller) {
+        // The caller self-progresses: it claims work like any helper
+        // and only sleeps while other participants hold in-flight
+        // steps, so the run completes even with zero pool workers.
+        run->cv.wait(lock, [&run] {
+          return run->Finished() || (!run->failed && !run->ready.empty());
+        });
+        if (run->Finished()) return;
+        continue;
+      } else {
+        return;  // helper: momentarily no claimable work
+      }
+    }
+
+    bool ok = true;
+    try {
+      const Plan::Step& step = run->plan->steps[static_cast<size_t>(s)];
+      std::vector<RuntimeValue> inputs;
+      inputs.reserve(step.inputs.size());
+      for (const Plan::InputRef& ref : step.inputs) {
+        inputs.push_back(
+            ref.step < 0
+                ? (*run->args)[static_cast<size_t>(ref.output)]
+                : run->slots[static_cast<size_t>(ref.step)]
+                            [static_cast<size_t>(ref.output)]);
+      }
+      run->session->ExecStep(step, inputs,
+                             &run->slots[static_cast<size_t>(s)], run->ctx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      if (!run->failed) {
+        run->failed = true;
+        run->error = std::current_exception();
+      }
+      run->ready.clear();  // claimed nothing new; unstarted steps stay off
+      ok = false;
+    }
+
+    std::vector<int> newly;
+    if (ok) {
+      // The release in each producer's fetch_sub and the acquire in the
+      // final decrement order every producer's slot write before the
+      // consumer's read (release sequence over the same refcount).
+      for (int succ : run->plan->steps[static_cast<size_t>(s)].successors) {
+        if (run->pending[succ].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          newly.push_back(succ);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(run->mu);
+      --run->in_flight;
+      if (ok) {
+        ++run->done;
+        if (!run->failed) {
+          for (int succ : newly) run->ready.push_back(succ);
+        }
+      }
+    }
+    run->cv.notify_all();
+    // Fan-out grew the backlog beyond what this thread will take next —
+    // invite more helpers (cheap no-op when the budget is exhausted).
+    if (ok && newly.size() > 1) MaybeScheduleHelpers(run);
+  }
+}
+
+void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
+  int want = 0;
+  {
+    std::lock_guard<std::mutex> lock(run->mu);
+    if (!run->failed) {
+      want = std::min(static_cast<int>(run->ready.size()),
+                      run->max_helpers - run->active_helpers);
+      if (want < 0) want = 0;
+      run->active_helpers += want;
+    }
+  }
+  for (int i = 0; i < want; ++i) {
+    runtime::ThreadPool::Shared()->Schedule([run] {
+      // Helpers inherit the run's RNG counters and intra-op budget;
+      // nested ParallelFor inside a step degrades inline on pool
+      // threads via the pool's own IntraOpScope(1).
+      RngRunScope rng(run->rng);
+      runtime::IntraOpScope intra(
+          run->ctx.intra_op_threads > 0 ? run->ctx.intra_op_threads : 1);
+      Drain(run, /*is_caller=*/false);
+      std::lock_guard<std::mutex> lock(run->mu);
+      --run->active_helpers;
+    });
+  }
 }
 
 }  // namespace ag::exec

@@ -9,6 +9,21 @@
 //     variables.
 // Variables persist across Run calls in the session's variable store.
 //
+// Execution engines. Every graph is executed through one of two engines
+// selected by obs::RunOptions::inter_op_threads:
+//   - 0 (default): the sequential recursive evaluator — today's exact
+//     behaviour, byte-identical step stats and trace output;
+//   - >= 1: the parallel plan engine. The fetched subgraph is compiled
+//     once into a Plan whose steps carry precomputed successor lists and
+//     pending-input counts; execution is a ready-queue over those
+//     refcounts, drained by the calling thread plus up to
+//     (inter_op_threads - 1) shared-pool workers. Stateful steps
+//     (Variable/Assign/Print) are chained in plan order so side effects
+//     keep their sequential semantics.
+// Sessions are safe to Run() from multiple threads concurrently: the
+// plan cache and the variable store are mutex-protected and SessionStats
+// counters are atomic.
+//
 // Observability: every Run overload accepts an optional trailing
 // `const obs::RunOptions*` / `obs::RunMetadata*` pair (TF's
 // RunOptions/RunMetadata). When options are null or disabled, execution
@@ -18,7 +33,10 @@
 // metadata.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -32,10 +50,12 @@
 
 namespace ag::exec {
 
+// Counters are atomic so concurrent Run() calls aggregate correctly;
+// they read as plain integers (implicit load).
 struct SessionStats {
-  int64_t nodes_executed = 0;       // node evaluations incl. control flow
-  int64_t kernel_invocations = 0;   // kernel calls only (cumulative)
-  int64_t runs = 0;
+  std::atomic<int64_t> nodes_executed{0};  // node evals incl. control flow
+  std::atomic<int64_t> kernel_invocations{0};  // kernel calls (cumulative)
+  std::atomic<int64_t> runs{0};
 
   [[nodiscard]] std::string DebugString() const;
 };
@@ -80,31 +100,57 @@ class Session {
                    const obs::RunOptions* options = nullptr,
                    obs::RunMetadata* metadata = nullptr);
 
-  // Variable store.
+  // Variable store (mutex-protected; safe against concurrent Runs).
   void SetVariable(const std::string& name, Tensor value) {
+    std::lock_guard<std::mutex> lock(var_mu_);
     variables_[name] = std::move(value);
   }
-  // Throws a structured Error(kRuntime) naming the missing variable and
-  // listing the known ones.
-  [[nodiscard]] const Tensor& GetVariable(const std::string& name) const;
+  // Returns a copy (Tensors share storage, so this is cheap) — a
+  // reference into the store could be invalidated by a concurrent
+  // Assign. Throws a structured Error(kRuntime) naming the missing
+  // variable and listing the known ones.
+  [[nodiscard]] Tensor GetVariable(const std::string& name) const;
   [[nodiscard]] bool HasVariable(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(var_mu_);
     return variables_.count(name) > 0;
   }
 
   [[nodiscard]] const SessionStats& stats() const { return stats_; }
 
  private:
+  // Per-Run execution context, threaded through the call tree instead of
+  // living in session members so concurrent Runs never share it.
+  struct RunCtx {
+    const std::map<std::string, RuntimeValue>* feeds = nullptr;
+    obs::RunRecorder* rec = nullptr;  // null on the fast path
+    int inter_op_threads = 0;
+    int intra_op_threads = 0;
+  };
+
   struct Frame {
     std::unordered_map<const graph::Node*, std::vector<RuntimeValue>> memo;
     const std::vector<RuntimeValue>* args = nullptr;
   };
 
-  // Precompiled execution plan for a FuncGraph (the hot path inside
-  // While/Cond): nodes in topological order with pre-resolved input slot
-  // indices and cached kernel pointers — no hashing per node. This is the
+  // Precompiled execution plan for a fetched subgraph (FuncGraphs inside
+  // While/Cond, and — for the parallel engine — the top-level graph):
+  // nodes in topological order with pre-resolved input slot indices and
+  // cached kernel pointers — no hashing per node. This is the
   // executor-side analog of TF's executor "ready list" compilation.
+  //
+  // For the parallel engine each step also carries its consumer list and
+  // initial pending-input count, both computed here at compile time so
+  // the scheduler does nothing but atomic decrements at run time.
   struct Plan {
-    enum class Kind : uint8_t { kKernel, kArg, kCond, kWhile };
+    enum class Kind : uint8_t {
+      kKernel,
+      kArg,
+      kCond,
+      kWhile,
+      kPlaceholder,
+      kVariable,
+      kAssign,
+    };
     struct InputRef {
       int step;    // producing step index (-1: function argument)
       int output;  // producer output index, or arg index when step < 0
@@ -114,30 +160,68 @@ class Session {
       Kind kind;
       const Kernel* kernel = nullptr;  // kKernel only
       std::vector<InputRef> inputs;
+      // Consumer steps (deduped; includes the stateful-order chain).
+      std::vector<int> successors;
+      // Number of distinct producer steps that must finish first.
+      int pending_init = 0;
     };
     std::vector<Step> steps;
     std::vector<InputRef> returns;
   };
 
-  RuntimeValue EvalOutput(const graph::Output& out, Frame& frame);
+  // Shared run state of one parallel plan execution (defined in the
+  // .cc); shared_ptr-owned so pool helpers may outlive the caller's
+  // epilogue safely.
+  struct ParallelRun;
+
+  RuntimeValue EvalOutput(const graph::Output& out, Frame& frame,
+                          RunCtx& ctx);
   const std::vector<RuntimeValue>& EvalNode(const graph::Node* node,
-                                            Frame& frame);
-  std::vector<RuntimeValue> ExecSubgraph(
-      const graph::FuncGraph& fg, const std::vector<RuntimeValue>& args);
-  const Plan& PlanFor(const graph::FuncGraph& fg);
+                                            Frame& frame, RunCtx& ctx);
+  std::vector<RuntimeValue> ExecSubgraph(const graph::FuncGraph& fg,
+                                         const std::vector<RuntimeValue>& args,
+                                         RunCtx& ctx);
+  Plan CompilePlan(const std::vector<graph::Output>& returns,
+                   bool allow_args);
+  const Plan& PlanFor(const graph::FuncGraph& fg, RunCtx& ctx);
+  // Plan for a top-level fetch list (parallel engine), cached per fetch
+  // signature.
+  const Plan& TopPlanFor(const std::vector<graph::Output>& fetches,
+                         RunCtx& ctx);
+  // Executes one plan step given its resolved inputs, writing the step's
+  // outputs to `out`. Shared by the sequential and parallel engines.
+  void ExecStep(const Plan::Step& step,
+                const std::vector<RuntimeValue>& inputs,
+                std::vector<RuntimeValue>* out, RunCtx& ctx);
   // `scratch` (step output storage) may be reused across calls to avoid
   // reallocating per While iteration; it is resized as needed.
   std::vector<RuntimeValue> RunPlan(
       const Plan& plan, const std::vector<RuntimeValue>& args,
-      std::vector<std::vector<RuntimeValue>>* scratch);
+      std::vector<std::vector<RuntimeValue>>* scratch, RunCtx& ctx);
+  // Ready-queue parallel engine: the caller drains alongside up to
+  // (ctx.inter_op_threads - 1) pool helpers.
+  std::vector<RuntimeValue> RunPlanParallel(
+      const Plan& plan, const std::vector<RuntimeValue>& args, RunCtx& ctx);
+  // One scheduler participant: claims ready steps until the run
+  // finishes (caller) or the queue momentarily empties (helper).
+  // Static: pool helpers reach the session through the run state only
+  // while they hold a claimed step (the caller cannot return before
+  // then), never through a captured `this` that could dangle.
+  static void Drain(const std::shared_ptr<ParallelRun>& run, bool is_caller);
+  static void MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run);
 
   const graph::Graph* graph_;
-  const std::map<std::string, RuntimeValue>* feeds_ = nullptr;
+  mutable std::mutex var_mu_;
   std::map<std::string, Tensor> variables_;
+  std::mutex plan_mu_;
   std::unordered_map<const graph::Graph*, Plan> plans_;
+  // Top-level plans keyed by fetch signature (fetches vary per Run).
+  std::map<std::vector<std::pair<const graph::Node*, int>>, Plan> top_plans_;
   SessionStats stats_;
-  // Live only during an instrumented Run (null on the fast path).
-  obs::RunRecorder* rec_ = nullptr;
+  // Invocation counters for the stateful random ops: draws are a pure
+  // function of (node, invocation index) within this session, so
+  // parallel and sequential execution are bit-identical.
+  RngRunState rng_state_;
 };
 
 }  // namespace ag::exec

@@ -3,6 +3,7 @@
 #include <functional>
 #include <optional>
 
+#include "runtime/parallel_for.h"
 #include "support/error.h"
 #include "tensor/tensor_ops.h"
 
@@ -139,6 +140,11 @@ LValue Executor::Run(const std::vector<LValue>& params,
     recorder.emplace(*options);
     rec_ = &*recorder;
   }
+  // Honour the intra-op sharding budget for the heavy tensor kernels.
+  std::optional<runtime::IntraOpScope> intra;
+  if (options != nullptr && options->intra_op_threads > 0) {
+    intra.emplace(options->intra_op_threads);
+  }
   globals_ = &globals;
   const LFunction& entry = program_->function(program_->entry);
   std::unique_ptr<Frame> frame;
@@ -182,6 +188,11 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
   if (instrument) {
     recorder.emplace(*options);
     rec_ = &*recorder;
+  }
+  // Honour the intra-op sharding budget for forward and backward passes.
+  std::optional<runtime::IntraOpScope> intra;
+  if (options != nullptr && options->intra_op_threads > 0) {
+    intra.emplace(options->intra_op_threads);
   }
   globals_ = &globals;
   global_accums_.assign(globals.size(), {});

@@ -50,6 +50,25 @@ std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool need_comma = false;
+  // thread_name metadata rows for every *named* thread that appears in
+  // the trace (runtime pool workers register names; the main thread does
+  // not, keeping sequential-run traces unchanged).
+  {
+    std::vector<uint64_t> tids;
+    for (const TraceEvent& e : events) tids.push_back(e.thread_id);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    for (uint64_t tid : tids) {
+      const std::string name = ThreadName(tid);
+      if (name.empty()) continue;
+      if (need_comma) os << ",";
+      need_comma = true;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":";
+      AppendJsonString(os, name);
+      os << "}}";
+    }
+  }
   for (const TraceEvent& e : events) {
     if (need_comma) os << ",";
     need_comma = true;

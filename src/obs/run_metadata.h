@@ -33,6 +33,24 @@ struct RunOptions {
   // Aggregate per-node step stats (op, count, wall time, output bytes).
   bool step_stats = true;
 
+  // Threading knobs (the analog of TF's inter/intra-op pools, but over
+  // one shared runtime::ThreadPool). These select the execution engine;
+  // they do NOT turn on instrumentation (see enabled() below), so a
+  // caller wanting a parallel-but-unprofiled run sets step_stats=false.
+  //
+  // inter_op_threads: how many graph steps may execute concurrently in
+  // exec::Session. 0 (default) = the sequential recursive evaluator,
+  // byte-identical behaviour to a build without this knob; >= 1 = the
+  // ready-queue parallel plan executor (1 = drained by the calling
+  // thread alone, useful for deterministic testing of that engine).
+  int inter_op_threads = 0;
+  // intra_op_threads: per-kernel sharding budget for the heavy tensor
+  // kernels (MatMul row bands, large elementwise/reduction loops).
+  // 0 or 1 = unsharded. Honoured by both Session and lantern::Executor.
+  int intra_op_threads = 0;
+
+  // Whether *instrumentation* is requested; threading knobs are
+  // deliberately excluded so parallelism never forces profiling.
   [[nodiscard]] bool enabled() const { return trace || step_stats; }
 };
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <utility>
 
 namespace ag::obs {
 
@@ -27,6 +29,33 @@ uint64_t CurrentThreadId() {
   static std::atomic<uint64_t> next{1};
   thread_local const uint64_t id = next.fetch_add(1);
   return id;
+}
+
+namespace {
+
+// tid -> display name. Never destroyed: pool workers may register during
+// static destruction ordering we don't control.
+std::mutex& ThreadNameMu() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+std::map<uint64_t, std::string>& ThreadNames() {
+  static auto* names = new std::map<uint64_t, std::string>();
+  return *names;
+}
+
+}  // namespace
+
+void SetCurrentThreadName(std::string name) {
+  const uint64_t id = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(ThreadNameMu());
+  ThreadNames()[id] = std::move(name);
+}
+
+std::string ThreadName(uint64_t thread_id) {
+  std::lock_guard<std::mutex> lock(ThreadNameMu());
+  auto it = ThreadNames().find(thread_id);
+  return it == ThreadNames().end() ? std::string() : it->second;
 }
 
 void Tracer::AddComplete(std::string name, std::string category,

@@ -33,6 +33,15 @@ namespace ag::obs {
 // Stable small integer id for the calling thread (first-come order).
 [[nodiscard]] uint64_t CurrentThreadId();
 
+// Registers a display name for the calling thread (e.g. the runtime's
+// pool workers register "agrt-worker-N"). Named threads render as named
+// rows in the Chrome trace; unnamed threads keep their numeric tid row,
+// so traces from purely sequential runs are unchanged.
+void SetCurrentThreadName(std::string name);
+
+// The registered name for `thread_id`, or "" if none. Thread-safe.
+[[nodiscard]] std::string ThreadName(uint64_t thread_id);
+
 enum class EventKind : uint8_t {
   kComplete,  // a timed interval [start_ns, start_ns + dur_ns]
   kCounter,   // a sampled counter value at start_ns

@@ -1,0 +1,117 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace ag::runtime {
+
+namespace {
+thread_local int g_intra_op_threads = 1;
+}  // namespace
+
+int IntraOpThreads() { return g_intra_op_threads; }
+
+IntraOpScope::IntraOpScope(int threads) : previous_(g_intra_op_threads) {
+  g_intra_op_threads = threads <= 1 ? 1 : threads;
+}
+
+IntraOpScope::~IntraOpScope() { g_intra_op_threads = previous_; }
+
+namespace detail {
+
+namespace {
+
+// State shared between the calling thread and pool helpers. Owned by a
+// shared_ptr so a helper scheduled late (after the caller already
+// finished the loop and returned) finds only a harmless empty cursor.
+struct ShardedLoop {
+  int64_t n = 0;
+  int64_t shard_size = 0;
+  int64_t num_shards = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  std::atomic<int64_t> next_shard{0};
+  std::atomic<int64_t> done_shards{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  // Claims and runs shards until the cursor is exhausted. Safe to call
+  // from any thread, any number of threads at once.
+  void Drain() {
+    while (true) {
+      const int64_t shard = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        const int64_t begin = shard * shard_size;
+        const int64_t end = std::min(n, begin + shard_size);
+        try {
+          (*body)(begin, end);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (error == nullptr) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      if (done_shards.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_shards) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelForImpl(int64_t n, int64_t grain, int threads,
+                     const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t max_shards =
+      std::min<int64_t>(threads, (n + grain - 1) / grain);
+  auto loop = std::make_shared<ShardedLoop>();
+  loop->n = n;
+  // Even split into max_shards pieces, rounded up; boundaries are a pure
+  // function of (n, grain, threads).
+  loop->shard_size = (n + max_shards - 1) / max_shards;
+  loop->num_shards = (n + loop->shard_size - 1) / loop->shard_size;
+  loop->body = &body;
+
+  ThreadPool* pool = ThreadPool::Shared();
+  pool->EnsureWorkers(threads - 1);
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(threads - 1, loop->num_shards - 1));
+  for (int h = 0; h < helpers; ++h) {
+    pool->Schedule([loop] {
+      // Helpers shard with a budget of 1: nested ParallelFor runs inline.
+      IntraOpScope sequential(1);
+      loop->Drain();
+    });
+  }
+
+  loop->Drain();  // self-progress: the caller claims shards too
+
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->cv.wait(lock, [&] {
+      return loop->done_shards.load(std::memory_order_acquire) ==
+             loop->num_shards;
+    });
+    if (loop->error != nullptr) std::rethrow_exception(loop->error);
+  }
+  // `body` lives on this frame; helpers only touch it while done_shards
+  // < num_shards, which the wait above has excluded.
+}
+
+}  // namespace detail
+
+}  // namespace ag::runtime

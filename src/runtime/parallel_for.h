@@ -1,0 +1,78 @@
+// Intra-op sharding helper: splits an index range across the shared
+// thread pool, with determinism and deadlock-freedom guarantees.
+//
+//   runtime::ParallelFor(n, grain, [&](int64_t begin, int64_t end) {
+//     for (int64_t i = begin; i < end; ++i) out[i] = f(in[i]);
+//   });
+//
+// Contract:
+//   - The body is invoked over disjoint [begin, end) shards covering
+//     [0, n) exactly once. Shard *boundaries* depend only on (n, grain,
+//     budget), never on scheduling, so any per-shard sequential
+//     computation with disjoint writes is bit-identical across thread
+//     counts — the determinism contract the sharded kernels rely on.
+//   - Runs entirely inline (one body(0, n) call, zero synchronization)
+//     when the calling thread's intra-op budget is <= 1 thread or the
+//     range is under 2 grains. The budget is scoped, not global: a
+//     Session::Run with RunOptions::intra_op_threads installs an
+//     IntraOpScope for its duration; the default everywhere is
+//     sequential.
+//   - Self-progressing: the calling thread claims shards from the same
+//     atomic cursor as pool helpers, so it completes the loop alone if
+//     the pool is saturated. Waiting is bounded by shards actively
+//     running on helpers; no cycle through the pool exists, hence no
+//     deadlock under nesting.
+//   - Exceptions thrown by the body are captured (first wins) and
+//     rethrown on the calling thread after all in-flight shards finish.
+//   - Pool helpers run shards with an intra-op budget of 1, so a body
+//     that itself calls ParallelFor degrades to inline execution rather
+//     than exploding the shard tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace ag::runtime {
+
+// The calling thread's effective intra-op thread budget (>= 1). 1 means
+// sequential kernels; set via IntraOpScope.
+[[nodiscard]] int IntraOpThreads();
+
+// Installs an intra-op budget for the scope's lifetime on this thread,
+// restoring the previous budget on exit. Values <= 1 (including the
+// RunOptions default 0) mean sequential.
+class IntraOpScope {
+ public:
+  explicit IntraOpScope(int threads);
+  ~IntraOpScope();
+  IntraOpScope(const IntraOpScope&) = delete;
+  IntraOpScope& operator=(const IntraOpScope&) = delete;
+
+ private:
+  int previous_;
+};
+
+namespace detail {
+// Out-of-line sharded path; `threads` > 1 and n > grain guaranteed.
+void ParallelForImpl(int64_t n, int64_t grain, int threads,
+                     const std::function<void(int64_t, int64_t)>& body);
+}  // namespace detail
+
+// Runs body over [0, n) in shards of at least `grain` iterations (the
+// minimum work worth shipping to another thread).
+template <typename Body>
+void ParallelFor(int64_t n, int64_t grain, Body&& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = IntraOpThreads();
+  if (threads <= 1 || n < grain * 2) {
+    body(int64_t{0}, n);
+    return;
+  }
+  detail::ParallelForImpl(n, grain, threads,
+                          std::function<void(int64_t, int64_t)>(
+                              std::forward<Body>(body)));
+}
+
+}  // namespace ag::runtime

@@ -1,0 +1,67 @@
+#include "runtime/thread_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ag::runtime {
+
+ThreadPool::ThreadPool(int initial_workers) { EnsureWorkers(initial_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < n && !shutdown_) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::SetCurrentThreadName("agrt-worker-" + std::to_string(worker_index));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Meyer's singleton: workers are joined during static destruction, so
+  // no task may be scheduled from another static destructor.
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+}  // namespace ag::runtime

@@ -1,0 +1,66 @@
+// Work-queue thread pool — the shared execution substrate for both the
+// inter-op scheduler (exec::Session's ready-queue plan executor) and the
+// intra-op kernel sharding helper (runtime::ParallelFor).
+//
+// Design notes, mirroring TF's unified threadpool:
+//   - One process-wide pool (Shared()) grown on demand up to a hard cap;
+//     inter- and intra-op work share it rather than fighting over cores
+//     from two separate pools.
+//   - Scheduling is strictly non-blocking for workers: a worker either
+//     runs a task to completion or sleeps on the queue. All *waiting*
+//     composites (ParallelFor, the Session's parallel plan run) are
+//     self-progressing — the thread that waits also claims pending
+//     shards/steps itself — so pool exhaustion can never deadlock them;
+//     helpers only ever add speed, never correctness.
+//   - Workers register a stable name ("agrt-worker-N") with the obs
+//     thread-name registry, so Chrome traces render named thread rows.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ag::runtime {
+
+class ThreadPool {
+ public:
+  // Starts `initial_workers` threads (may be 0; EnsureWorkers grows it).
+  explicit ThreadPool(int initial_workers = 0);
+  // Drains nothing: pending tasks that never ran are dropped at
+  // destruction. Callers that must observe completion synchronize
+  // themselves (ParallelFor and the plan executor both do).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues one task for any worker to pick up.
+  void Schedule(std::function<void()> fn);
+
+  // Grows the pool so at least `n` workers exist (clamped to kMaxWorkers;
+  // never shrinks). Thread-safe.
+  void EnsureWorkers(int n);
+
+  [[nodiscard]] int num_workers() const;
+
+  // The process-wide shared pool. Created empty on first use; sized by
+  // the threading knobs that reach it (EnsureWorkers).
+  [[nodiscard]] static ThreadPool* Shared();
+
+  // Upper bound on pool size; requests beyond it are clamped.
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ag::runtime

@@ -4,10 +4,26 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel_for.h"
 #include "support/error.h"
 
 namespace ag {
 namespace {
+
+// Minimum elements per intra-op shard: below this, shipping work to
+// another thread costs more than the loop. Each output element is
+// written by exactly one shard and accumulation order within an output
+// element never depends on the shard layout, so sharded results are
+// bit-identical to sequential ones (the kernel determinism contract —
+// see DESIGN.md §4e).
+constexpr int64_t kElementGrain = 16384;
+
+// Fixed block length for whole-tensor reductions: partial sums are
+// taken over kReduceBlock-element blocks and then combined in block
+// order. The block structure depends only on the input length — never
+// on the thread budget — so results are identical whether the blocks
+// run sequentially or sharded.
+constexpr int64_t kReduceBlock = 65536;
 
 // Result dtype for an arithmetic binary op (float wins over int).
 DType PromoteDType(DType a, DType b) {
@@ -23,29 +39,33 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f) {
   const int64_t n = out_shape.num_elements();
   std::vector<float> out(static_cast<size_t>(n));
 
-  // Fast paths: same shape, or one side scalar.
+  // Fast paths: same shape, or one side scalar. Sharded above the flop
+  // threshold: every out[i] is written by exactly one shard.
   if (a.shape() == b.shape()) {
     const float* pa = a.data();
     const float* pb = b.data();
-    for (int64_t i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] = f(pa[i], pb[i]);
-    }
+    float* po = out.data();
+    runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return Tensor::FromVector(std::move(out), out_shape, out_dtype);
   }
   if (a.num_elements() == 1) {
     const float va = a.data()[0];
     const float* pb = b.data();
-    for (int64_t i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] = f(va, pb[i]);
-    }
+    float* po = out.data();
+    runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) po[i] = f(va, pb[i]);
+    });
     return Tensor::FromVector(std::move(out), out_shape, out_dtype);
   }
   if (b.num_elements() == 1) {
     const float* pa = a.data();
     const float vb = b.data()[0];
-    for (int64_t i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] = f(pa[i], vb);
-    }
+    float* po = out.data();
+    runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i], vb);
+    });
     return Tensor::FromVector(std::move(out), out_shape, out_dtype);
   }
 
@@ -94,9 +114,10 @@ Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f) {
   const int64_t n = a.num_elements();
   std::vector<float> out(static_cast<size_t>(n));
   const float* pa = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] = f(pa[i]);
-  }
+  float* po = out.data();
+  runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
+  });
   return Tensor::FromVector(std::move(out), a.shape(), out_dtype);
 }
 
@@ -105,10 +126,29 @@ Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f) {
 template <typename F>
 Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
   if (axis == kAllAxes) {
-    float acc = init;
     const float* p = a.data();
     const int64_t n = a.num_elements();
-    for (int64_t i = 0; i < n; ++i) acc = f(acc, p[i]);
+    float acc = init;
+    if (n >= 2 * kReduceBlock) {
+      // Fixed-block tree: per-block partials in block order, combined in
+      // block order. Shape of the tree depends only on n, so the result
+      // is bit-identical at every thread budget.
+      const int64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+      std::vector<float> partial(static_cast<size_t>(blocks), init);
+      float* pp = partial.data();
+      runtime::ParallelFor(blocks, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          const int64_t lo = b * kReduceBlock;
+          const int64_t hi = std::min(n, lo + kReduceBlock);
+          float block_acc = init;
+          for (int64_t i = lo; i < hi; ++i) block_acc = f(block_acc, p[i]);
+          pp[b] = block_acc;
+        }
+      });
+      for (int64_t b = 0; b < blocks; ++b) acc = f(acc, pp[b]);
+    } else {
+      for (int64_t i = 0; i < n; ++i) acc = f(acc, p[i]);
+    }
     if (keepdims) {
       std::vector<int64_t> dims(static_cast<size_t>(a.rank()), 1);
       return Tensor::FromVector({acc}, Shape(std::move(dims)), a.dtype());
@@ -125,13 +165,20 @@ Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
 
   std::vector<float> out(static_cast<size_t>(outer * inner), init);
   const float* p = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t m = 0; m < mid; ++m) {
-      const float* row = p + (o * mid + m) * inner;
-      float* orow = out.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] = f(orow[i], row[i]);
+  float* po = out.data();
+  // Shard over the non-reduced outer axis: each output row accumulates
+  // over `mid` in the same order regardless of sharding.
+  const int64_t outer_grain =
+      std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, mid * inner));
+  runtime::ParallelFor(outer, outer_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t m = 0; m < mid; ++m) {
+        const float* row = p + (o * mid + m) * inner;
+        float* orow = po + o * inner;
+        for (int64_t i = 0; i < inner; ++i) orow[i] = f(orow[i], row[i]);
+      }
     }
-  }
+  });
   std::vector<int64_t> out_dims;
   for (int i = 0; i < a.rank(); ++i) {
     if (i == ax) {
@@ -307,16 +354,30 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
-  // ikj loop order for cache-friendly row-major access.
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = out.data() + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  float* po = out.data();
+  // Row-band parallel, cache-blocked over k so a panel of B rows stays
+  // resident while a band of A rows streams over it. Each output row is
+  // produced by one shard with k accumulated in ascending order, so the
+  // result is bit-identical across thread budgets. Inner loops keep the
+  // ikj row-major order (and the zero-skip for sparse-ish A).
+  constexpr int64_t kPanel = 256;  // B rows per k-panel (~n KiB of B)
+  const int64_t rows_grain =
+      std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, k * n));
+  runtime::ParallelFor(m, rows_grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t k0 = 0; k0 < k; k0 += kPanel) {
+      const int64_t k1 = std::min(k, k0 + kPanel);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* orow = po + i * n;
+        const float* arow = pa + i * k;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return Tensor::FromVector(std::move(out), Shape({m, n}), DType::kFloat32);
 }
 
@@ -356,18 +417,24 @@ Tensor ArgMax(const Tensor& a, int axis) {
   std::vector<float> best(static_cast<size_t>(outer * inner),
                           -std::numeric_limits<float>::infinity());
   const float* p = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t m = 0; m < mid; ++m) {
-      const float* row = p + (o * mid + m) * inner;
-      for (int64_t i = 0; i < inner; ++i) {
-        const size_t oi = static_cast<size_t>(o * inner + i);
-        if (row[i] > best[oi]) {
-          best[oi] = row[i];
-          out[oi] = static_cast<float>(m);
+  float* pout = out.data();
+  float* pbest = best.data();
+  const int64_t outer_grain =
+      std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, mid * inner));
+  runtime::ParallelFor(outer, outer_grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t m = 0; m < mid; ++m) {
+        const float* row = p + (o * mid + m) * inner;
+        for (int64_t i = 0; i < inner; ++i) {
+          const size_t oi = static_cast<size_t>(o * inner + i);
+          if (row[i] > pbest[oi]) {
+            pbest[oi] = row[i];
+            pout[oi] = static_cast<float>(m);
+          }
         }
       }
     }
-  }
+  });
   std::vector<int64_t> out_dims;
   for (int i = 0; i < a.rank(); ++i) {
     if (i != ax) out_dims.push_back(dims[static_cast<size_t>(i)]);

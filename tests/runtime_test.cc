@@ -1,0 +1,590 @@
+// Tests for the parallel dataflow runtime: the ThreadPool / ParallelFor
+// substrate, the Session's ready-queue plan executor (inter-op), the
+// sharded-kernel determinism contract (intra-op), counter-based random
+// streams, and concurrent Run() safety on one Session.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "exec/session.h"
+#include "graph/ops.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "tensor/tensor_ops.h"
+#include "workloads/beam_search.h"
+#include "workloads/rnn.h"
+#include "workloads/training.h"
+
+namespace ag {
+namespace {
+
+using exec::AsTensor;
+using exec::RuntimeValue;
+using exec::Session;
+using graph::Assign;
+using graph::Const;
+using graph::Graph;
+using graph::GraphContext;
+using graph::Op;
+using graph::Output;
+using graph::Placeholder;
+using graph::Variable;
+using graph::While;
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.dtype(), b.dtype());
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.num_elements())),
+            0);
+}
+
+// Options selecting the parallel engines without enabling profiling.
+obs::RunOptions ParallelOptions(int inter, int intra = 1) {
+  obs::RunOptions opts;
+  opts.step_stats = false;
+  opts.inter_op_threads = inter;
+  opts.intra_op_threads = intra;
+  return opts;
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ExecutesScheduledTasks) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { ++count; });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (count.load() < 100 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsClampsAndNeverShrinks) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  pool.EnsureWorkers(1);  // never shrinks
+  EXPECT_EQ(pool.num_workers(), 3);
+  pool.EnsureWorkers(runtime::ThreadPool::kMaxWorkers + 100);
+  EXPECT_EQ(pool.num_workers(), runtime::ThreadPool::kMaxWorkers);
+}
+
+// ---------------------------------------------------------------------
+// ParallelFor / IntraOpScope
+
+TEST(IntraOpScope, NestsAndRestores) {
+  EXPECT_EQ(runtime::IntraOpThreads(), 1);
+  {
+    runtime::IntraOpScope outer(4);
+    EXPECT_EQ(runtime::IntraOpThreads(), 4);
+    {
+      runtime::IntraOpScope inner(2);
+      EXPECT_EQ(runtime::IntraOpThreads(), 2);
+    }
+    EXPECT_EQ(runtime::IntraOpThreads(), 4);
+    runtime::IntraOpScope floor(0);  // <= 1 means sequential
+    EXPECT_EQ(runtime::IntraOpThreads(), 1);
+  }
+  EXPECT_EQ(runtime::IntraOpThreads(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  runtime::IntraOpScope scope(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  runtime::ParallelFor(kN, 10, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, RunsInlineWithoutBudget) {
+  // Default budget is 1: exactly one body call covering the full range,
+  // even for large n.
+  int calls = 0;
+  int64_t begin = -1;
+  int64_t end = -1;
+  runtime::ParallelFor(100000, 1, [&](int64_t b, int64_t e) {
+    ++calls;
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 100000);
+}
+
+TEST(ParallelFor, SmallRangesStayInline) {
+  runtime::IntraOpScope scope(8);
+  int calls = 0;
+  runtime::ParallelFor(31, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // n < 2 * grain: not worth shipping
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  runtime::IntraOpScope scope(4);
+  EXPECT_THROW(
+      runtime::ParallelFor(1000, 10,
+                           [&](int64_t begin, int64_t end) {
+                             for (int64_t i = begin; i < end; ++i) {
+                               if (i == 137) {
+                                 throw RuntimeError("shard failure");
+                               }
+                             }
+                           }),
+      Error);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  runtime::IntraOpScope scope(4);
+  std::atomic<int64_t> total{0};
+  runtime::ParallelFor(64, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      runtime::ParallelFor(32, 1, [&](int64_t b, int64_t e) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 32);
+}
+
+TEST(ParallelFor, ShardBoundariesAreDeterministic) {
+  // Boundaries must be a pure function of (n, grain, budget) — the
+  // determinism contract the sharded kernels rely on.
+  auto boundaries = [](int threads) {
+    runtime::IntraOpScope scope(threads);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> shards;
+    runtime::ParallelFor(997, 8, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      shards.emplace_back(b, e);
+    });
+    std::sort(shards.begin(), shards.end());
+    return shards;
+  };
+  EXPECT_EQ(boundaries(4), boundaries(4));
+}
+
+// ---------------------------------------------------------------------
+// Session: ready-queue parallel plan engine
+
+// Eight independent Tanh/Add chains over a fed placeholder, summed — a
+// wide fan-out with real inter-op parallelism.
+Output BuildFanOut(GraphContext& ctx, Output x) {
+  std::vector<Output> chains;
+  for (int c = 0; c < 8; ++c) {
+    Output v = Const(ctx, Tensor::Scalar(static_cast<float>(c + 1)));
+    for (int d = 0; d < 5; ++d) {
+      v = Op(ctx, "Tanh", {Op(ctx, "Add", {v, x})});
+    }
+    chains.push_back(v);
+  }
+  Output sum = chains[0];
+  for (size_t c = 1; c < chains.size(); ++c) {
+    sum = Op(ctx, "Add", {sum, chains[c]});
+  }
+  return sum;
+}
+
+TEST(SessionParallel, FanOutMatchesSequentialBitIdentical) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output sum = BuildFanOut(ctx, x);
+
+  Session session(&g);
+  const Tensor feed = Tensor::Scalar(0.25f);
+  const Tensor seq = session.RunTensor({{"x", feed}}, sum);
+  for (int inter : {1, 2, 4, 8}) {
+    obs::RunOptions opts = ParallelOptions(inter, 2);
+    const Tensor par = session.RunTensor({{"x", feed}}, sum, &opts);
+    ExpectBitIdentical(seq, par);
+  }
+}
+
+TEST(SessionParallel, NodesExecutedMatchesSequentialEngine) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Const(ctx, Tensor::Scalar(1.0f));
+  Output t = Op(ctx, "Tanh", {x});
+  Output sum = Op(ctx, "Add", {t, t});
+
+  Session session(&g);
+  (void)session.RunTensor({}, sum);
+  const int64_t after_seq = session.stats().nodes_executed;
+  EXPECT_EQ(after_seq, 3);  // Const + Tanh + Add, memoized
+
+  obs::RunOptions opts = ParallelOptions(2);
+  (void)session.RunTensor({}, sum, &opts);
+  EXPECT_EQ(session.stats().nodes_executed - after_seq, 3);
+}
+
+TEST(SessionParallel, ControlFlowRunsUnderParallelEngine) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output limit = Placeholder(ctx, "n", DType::kInt32);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output acc0 = Const(ctx, Tensor::Scalar(0.0f));
+  std::vector<Output> outs = While(
+      ctx, {i0, acc0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        Output inc =
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))});
+        Output acc = Op(ctx, "Add",
+                        {args[1], Op(ctx, "Cast", {args[0]},
+                                     {{"dtype", DType::kFloat32}})});
+        return std::vector<Output>{inc, acc};
+      });
+
+  Session session(&g);
+  obs::RunOptions opts = ParallelOptions(4);
+  auto results =
+      session.Run({{"n", Tensor::ScalarInt(10)}}, outs, &opts);
+  EXPECT_EQ(AsTensor(results[0]).scalar_int(), 10);
+  EXPECT_FLOAT_EQ(AsTensor(results[1]).scalar(), 45.0f);
+}
+
+TEST(SessionParallel, StatefulChainKeepsAssignBeforeRead) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output assigned = Assign(ctx, "v", x);
+  Output read = Variable(ctx, "v", DType::kFloat32);
+  // Plenty of unrelated parallel work around the stateful pair.
+  Output noise = BuildFanOut(ctx, x);
+
+  Session session(&g);
+  obs::RunOptions opts = ParallelOptions(8);
+  for (int i = 0; i < 20; ++i) {
+    const float fed = static_cast<float>(i) + 0.5f;
+    auto results = session.Run({{"x", Tensor::Scalar(fed)}},
+                               {assigned, read, noise}, &opts);
+    // The chain orders the Variable read after the Assign in plan
+    // (= program) order, every schedule.
+    EXPECT_FLOAT_EQ(AsTensor(results[1]).scalar(), fed);
+  }
+}
+
+TEST(SessionParallel, ExceptionPropagatesAndSessionSurvives) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output sum = BuildFanOut(ctx, x);
+  Output bad = Op(ctx, "Assert", {Const(ctx, Tensor::ScalarBool(false))},
+                  {{"message", std::string("midrun failure")}});
+
+  Session session(&g);
+  obs::RunOptions opts = ParallelOptions(4);
+  try {
+    (void)session.Run({{"x", Tensor::Scalar(1.0f)}}, {sum, bad}, &opts);
+    FAIL() << "expected the Assert to throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRuntime);
+    EXPECT_NE(e.message().find("midrun failure"), std::string::npos);
+  }
+  // The session stays usable after a failed parallel run.
+  const Tensor seq = session.RunTensor({{"x", Tensor::Scalar(1.0f)}}, sum);
+  const Tensor par =
+      session.RunTensor({{"x", Tensor::Scalar(1.0f)}}, sum, &opts);
+  ExpectBitIdentical(seq, par);
+}
+
+TEST(SessionParallel, ConcurrentRunsShareOneSession) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output limit = Placeholder(ctx, "n", DType::kInt32);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output acc0 = Const(ctx, Tensor::Scalar(0.0f));
+  std::vector<Output> outs = While(
+      ctx, {i0, acc0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        Output inc =
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))});
+        Output acc = Op(ctx, "Add",
+                        {args[1], Op(ctx, "Cast", {args[0]},
+                                     {{"dtype", DType::kFloat32}})});
+        return std::vector<Output>{inc, acc};
+      });
+
+  Session session(&g);
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Half the threads use the sequential engine, half the parallel
+      // one — both against the shared plan cache and stats.
+      obs::RunOptions opts = ParallelOptions(t % 2 == 0 ? 0 : 2);
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        const int n = 3 + t;
+        auto results =
+            session.Run({{"n", Tensor::ScalarInt(n)}}, outs, &opts);
+        const float expected = static_cast<float>(n * (n - 1)) / 2.0f;
+        if (AsTensor(results[0]).scalar_int() != n ||
+            AsTensor(results[1]).scalar() != expected) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(session.stats().runs, kThreads * kRunsPerThread);
+}
+
+TEST(SessionParallel, ConcurrentVariableWritesStayConsistent) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output assigned = Assign(ctx, "shared", x);
+
+  Session session(&g);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::RunOptions opts = ParallelOptions(t % 2 == 0 ? 0 : 2);
+      for (int r = 0; r < 10; ++r) {
+        (void)session.Run(
+            {{"x", Tensor::Scalar(static_cast<float>(t))}}, {assigned},
+            &opts);
+        // Reads interleave with other threads' writes; they must
+        // always observe some fully-written value.
+        const float v = session.GetVariable("shared").scalar();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, static_cast<float>(kThreads));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST(SessionParallel, ThreadingKnobsDoNotEnableInstrumentation) {
+  obs::RunOptions opts = ParallelOptions(4, 4);
+  EXPECT_FALSE(opts.enabled());
+
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output y = Op(ctx, "Mul", {x, Const(ctx, Tensor::Scalar(3.0f))});
+  Session session(&g);
+  obs::RunMetadata meta;
+  EXPECT_FLOAT_EQ(
+      session.RunTensor({{"x", Tensor::Scalar(2.0f)}}, y, &opts, &meta)
+          .scalar(),
+      6.0f);
+  EXPECT_EQ(meta.runs, 0);  // no instrumentation was recorded
+}
+
+TEST(SessionParallel, StepStatsMatchSequentialEngine) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output sum = BuildFanOut(ctx, x);
+  Session session(&g);
+
+  obs::RunOptions seq_opts;  // step_stats on, sequential engine
+  obs::RunMetadata seq_meta;
+  (void)session.RunTensor({{"x", Tensor::Scalar(1.0f)}}, sum, &seq_opts,
+                          &seq_meta);
+
+  obs::RunOptions par_opts;
+  par_opts.inter_op_threads = 4;
+  obs::RunMetadata par_meta;
+  (void)session.RunTensor({{"x", Tensor::Scalar(1.0f)}}, sum, &par_opts,
+                          &par_meta);
+
+  EXPECT_EQ(par_meta.step_stats.TotalNodeExecutions(),
+            seq_meta.step_stats.TotalNodeExecutions());
+}
+
+// ---------------------------------------------------------------------
+// Counter-based random streams
+
+TEST(RandomStreams, BitIdenticalAcrossEngines) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<int> shape{8, 8};
+  Output r = Op(ctx, "RandomNormal", {}, {{"shape", shape}});
+  Output u = Op(ctx, "RandomUniform", {}, {{"shape", shape}});
+
+  // Fresh sessions so both start at invocation index 0.
+  Session seq_session(&g);
+  auto seq = seq_session.Run({}, {r, u});
+
+  Session par_session(&g);
+  obs::RunOptions opts = ParallelOptions(4);
+  auto par = par_session.Run({}, {r, u}, &opts);
+
+  ExpectBitIdentical(AsTensor(seq[0]), AsTensor(par[0]));
+  ExpectBitIdentical(AsTensor(seq[1]), AsTensor(par[1]));
+}
+
+TEST(RandomStreams, SuccessiveRunsDrawFreshValues) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<int> shape{16};
+  Output r = Op(ctx, "RandomNormal", {}, {{"shape", shape}});
+  Session session(&g);
+  const Tensor first = session.RunTensor({}, r);
+  const Tensor second = session.RunTensor({}, r);
+  EXPECT_NE(std::memcmp(first.data(), second.data(),
+                        sizeof(float) * static_cast<size_t>(
+                                            first.num_elements())),
+            0);
+}
+
+TEST(RandomStreams, DistinctNodesDrawDistinctStreams) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<int> shape{16};
+  Output r1 = Op(ctx, "RandomNormal", {}, {{"shape", shape}});
+  Output r2 = Op(ctx, "RandomNormal", {}, {{"shape", shape}});
+  Session session(&g);
+  auto results = session.Run({}, {r1, r2});
+  EXPECT_NE(std::memcmp(AsTensor(results[0]).data(),
+                        AsTensor(results[1]).data(),
+                        sizeof(float) * 16),
+            0);
+}
+
+// ---------------------------------------------------------------------
+// Paper workloads: parallel must be bit-identical to sequential
+
+TEST(WorkloadParity, DynamicRnn) {
+  workloads::RnnConfig config;
+  config.batch = 2;
+  config.seq_len = 4;
+  config.input_size = 3;
+  config.hidden = 4;
+  workloads::RnnInputs inputs = workloads::MakeRnnInputs(config);
+
+  core::AutoGraph agc;
+  workloads::InstallRnn(agc, inputs);
+  core::StagedFunction staged = agc.Stage(
+      "dynamic_rnn",
+      {core::StageArg::Placeholder("input_data"),
+       core::StageArg::Placeholder("initial_state"),
+       core::StageArg::Placeholder("sequence_len", DType::kInt32)});
+
+  const std::vector<RuntimeValue> feeds{
+      inputs.input_data, inputs.initial_state, inputs.sequence_len};
+  auto seq = staged.Run(feeds);
+  obs::RunOptions opts = ParallelOptions(4, 2);
+  auto par = staged.Run(feeds, &opts);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ExpectBitIdentical(AsTensor(seq[i]), AsTensor(par[i]));
+  }
+}
+
+TEST(WorkloadParity, InGraphTraining) {
+  workloads::MnistConfig config;
+  config.batch = 16;
+  config.features = 10;
+  config.classes = 4;
+  config.steps = 10;
+  workloads::MnistData data = workloads::MakeMnistData(config);
+
+  core::StagedFunction hand =
+      workloads::BuildHandwrittenTrainingGraph(config);
+  const std::vector<RuntimeValue> feeds{data.images, data.labels, data.w0,
+                                        data.b0};
+  auto seq = hand.Run(feeds);
+  obs::RunOptions opts = ParallelOptions(4, 2);
+  auto par = hand.Run(feeds, &opts);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ExpectBitIdentical(AsTensor(seq[i]), AsTensor(par[i]));
+  }
+}
+
+TEST(WorkloadParity, BeamSearch) {
+  workloads::BeamConfig config;
+  config.beam = 4;
+  config.vocab = 32;
+  config.hidden = 16;
+  config.max_len = 12;
+  workloads::BeamInputs inputs = workloads::MakeBeamInputs(config);
+
+  core::AutoGraph agc;
+  workloads::InstallBeamSearch(agc, config, inputs);
+  core::StagedFunction staged = agc.Stage(
+      "beam_search",
+      {core::StageArg::Placeholder("state"),
+       core::StageArg::Placeholder("scores"),
+       core::StageArg::Placeholder("tokens", DType::kInt32)});
+
+  const std::vector<RuntimeValue> feeds{inputs.init_state,
+                                        inputs.init_scores,
+                                        inputs.init_tokens};
+  auto seq = staged.Run(feeds);
+  obs::RunOptions opts = ParallelOptions(4, 2);
+  auto par = staged.Run(feeds, &opts);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ExpectBitIdentical(AsTensor(seq[i]), AsTensor(par[i]));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Observability: named thread lanes
+
+TEST(ThreadNames, RegistryRoundTrips) {
+  obs::SetCurrentThreadName("runtime-test-main");
+  EXPECT_EQ(obs::ThreadName(obs::CurrentThreadId()), "runtime-test-main");
+  EXPECT_EQ(obs::ThreadName(~0ULL), "");  // unknown tid has no name
+}
+
+TEST(ThreadNames, ChromeTraceEmitsThreadNameRows) {
+  obs::SetCurrentThreadName("runtime-test-main");
+
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output sum = BuildFanOut(ctx, x);
+  Session session(&g);
+  obs::RunOptions opts;
+  opts.trace = true;
+  opts.inter_op_threads = 2;
+  obs::RunMetadata meta;
+  (void)session.RunTensor({{"x", Tensor::Scalar(1.0f)}}, sum, &opts, &meta);
+
+  const std::string json = obs::ToChromeTraceJson(meta.trace_events);
+  std::string error;
+  int num_events = 0;
+  ASSERT_TRUE(obs::ValidateChromeTraceJson(json, &error, &num_events))
+      << error;
+  EXPECT_GT(num_events, 0);
+  // The caller thread always emits at least the Session::Run span, and
+  // it is named, so a thread_name metadata row must be present.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("runtime-test-main"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ag
