@@ -5,6 +5,7 @@
 #include <deque>
 #include <optional>
 #include <sstream>
+#include <unordered_set>
 
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
@@ -34,6 +35,36 @@ int64_t OutputBytes(const std::vector<RuntimeValue>& outputs) {
     }
   }
   return total;
+}
+
+bool GraphHasStatefulNode(const graph::Graph& g,
+                          std::unordered_set<const graph::Graph*>& seen);
+
+// True when executing `node` can have observable side effects: the node
+// itself is Variable/Assign/Print, or it carries subgraphs (Cond
+// branches, While cond/body) that — transitively — contain such a node.
+bool NodeIsStateful(const Node& node,
+                    std::unordered_set<const graph::Graph*>& seen) {
+  const std::string& op = node.op();
+  if (op == "Variable" || op == "Assign" || op == "Print") return true;
+  for (const auto& [key, value] : node.attrs()) {
+    const auto* sub =
+        std::get_if<std::shared_ptr<graph::Graph>>(&value);
+    if (sub != nullptr && *sub != nullptr &&
+        GraphHasStatefulNode(**sub, seen)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GraphHasStatefulNode(const graph::Graph& g,
+                          std::unordered_set<const graph::Graph*>& seen) {
+  if (!seen.insert(&g).second) return false;  // already scanned: stateless
+  for (const auto& n : g.nodes()) {
+    if (NodeIsStateful(*n, seen)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -399,12 +430,22 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
 
   // Side-effect order: chain every stateful step to the next one in
   // plan order, so variable reads/writes and Print output interleave
-  // exactly as the sequential evaluator would. Random ops need no
-  // chaining — their draws are per-node counter streams, independent of
-  // cross-node execution order.
+  // exactly as the sequential evaluator would. A Cond/While step is an
+  // effect fence too when any node of its subgraphs (transitively)
+  // is stateful — its branch/body runs inside the step, so it must not
+  // overlap other stateful steps. Random ops need no chaining — their
+  // draws are per-node counter streams, independent of cross-node
+  // execution order.
   auto stateful = [](const Plan::Step& s) {
-    return s.kind == Plan::Kind::kVariable || s.kind == Plan::Kind::kAssign ||
-           (s.kind == Plan::Kind::kKernel && s.node->op() == "Print");
+    if (s.kind == Plan::Kind::kVariable || s.kind == Plan::Kind::kAssign) {
+      return true;
+    }
+    if (s.kind == Plan::Kind::kKernel) return s.node->op() == "Print";
+    if (s.kind == Plan::Kind::kCond || s.kind == Plan::Kind::kWhile) {
+      std::unordered_set<const graph::Graph*> seen;
+      return NodeIsStateful(*s.node, seen);
+    }
+    return false;
   };
   int prev = -1;
   for (int i = 0; i < num_steps; ++i) {
@@ -533,6 +574,9 @@ void Session::ExecStep(const Plan::Step& step,
                          cond_caps.end());
         std::vector<RuntimeValue> test =
             RunPlan(cond_plan, cond_args, &cond_scratch, ctx);
+        if (test.size() != 1) {
+          throw RuntimeError("while condition must produce a single value");
+        }
         if (!AsTensor(test[0]).scalar_bool()) break;
         if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
         body_args.assign(loop_vars.begin(), loop_vars.end());

@@ -18,8 +18,9 @@
 //     pending-input counts; execution is a ready-queue over those
 //     refcounts, drained by the calling thread plus up to
 //     (inter_op_threads - 1) shared-pool workers. Stateful steps
-//     (Variable/Assign/Print) are chained in plan order so side effects
-//     keep their sequential semantics.
+//     (Variable/Assign/Print, plus Cond/While whose subgraphs contain
+//     any of those) are chained in plan order so side effects keep
+//     their sequential semantics.
 // Sessions are safe to Run() from multiple threads concurrently: the
 // plan cache and the variable store are mutex-protected and SessionStats
 // counters are atomic.

@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.h"
 
+#include <exception>
+#include <iostream>
 #include <string>
 #include <utility>
 
@@ -52,7 +54,18 @@ void ThreadPool::WorkerLoop(int worker_index) {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    task();
+    // Tasks are expected to capture their own failures (the Session's
+    // drain does); an escaped exception must not take down the worker —
+    // and with it the process — so it is logged and swallowed here.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::cerr << "agrt-worker-" << worker_index
+                << ": scheduled task threw: " << e.what() << "\n";
+    } catch (...) {
+      std::cerr << "agrt-worker-" << worker_index
+                << ": scheduled task threw a non-std exception\n";
+    }
     lock.lock();
   }
 }

@@ -37,7 +37,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues one task for any worker to pick up.
+  // Enqueues one task for any worker to pick up. Tasks should report
+  // failures through their own channel (as the Session's plan executor
+  // does); an exception escaping a task is logged to stderr and
+  // swallowed rather than terminating the worker.
   void Schedule(std::function<void()> fn);
 
   // Grows the pool so at least `n` workers exist (clamped to kMaxWorkers;

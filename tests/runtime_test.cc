@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/session.h"
+#include "graph/graph.h"
 #include "graph/ops.h"
 #include "obs/chrome_trace.h"
 #include "obs/trace.h"
@@ -28,6 +29,7 @@ using exec::AsTensor;
 using exec::RuntimeValue;
 using exec::Session;
 using graph::Assign;
+using graph::Cond;
 using graph::Const;
 using graph::Graph;
 using graph::GraphContext;
@@ -69,6 +71,20 @@ TEST(ThreadPool, ExecutesScheduledTasks) {
     std::this_thread::yield();
   }
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SurvivesThrowingTask) {
+  runtime::ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.Schedule([] { throw RuntimeError("stray task failure"); });
+  pool.Schedule([&ran] { ran = true; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!ran.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  // The worker logged the escaped exception and kept draining.
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(ThreadPool, EnsureWorkersGrowsClampsAndNeverShrinks) {
@@ -280,6 +296,101 @@ TEST(SessionParallel, StatefulChainKeepsAssignBeforeRead) {
     // The chain orders the Variable read after the Assign in plan
     // (= program) order, every schedule.
     EXPECT_FLOAT_EQ(AsTensor(results[1]).scalar(), fed);
+  }
+}
+
+TEST(SessionParallel, StatefulChainCoversCondSubgraphEffects) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output pred = Const(ctx, Tensor::ScalarBool(true));
+  // The Assign hides inside the taken branch's subgraph; the top-level
+  // Variable read must still be ordered after the Cond step.
+  std::vector<Output> assigned = Cond(
+      ctx, pred,
+      [&] { return std::vector<Output>{Assign(ctx, "cv", x)}; },
+      [&] {
+        return std::vector<Output>{Const(ctx, Tensor::Scalar(-1.0f))};
+      });
+  Output read = Variable(ctx, "cv", DType::kFloat32);
+  Output noise = BuildFanOut(ctx, x);
+
+  Session session(&g);
+  obs::RunOptions opts = ParallelOptions(8);
+  for (int i = 0; i < 20; ++i) {
+    const float fed = static_cast<float>(i) + 0.25f;
+    auto results = session.Run({{"x", Tensor::Scalar(fed)}},
+                               {assigned[0], read, noise}, &opts);
+    EXPECT_FLOAT_EQ(AsTensor(results[1]).scalar(), fed);
+  }
+}
+
+TEST(SessionParallel, StatefulChainCoversWhileBodyEffects) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output limit = Placeholder(ctx, "n", DType::kInt32);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output c0 = Const(ctx, Tensor::Scalar(0.0f));
+  // Each iteration assigns the running count to "w" inside the body
+  // subgraph; the top-level read must observe the final iteration.
+  std::vector<Output> outs = While(
+      ctx, {i0, c0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        Output inc =
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))});
+        Output next = Assign(
+            ctx, "w",
+            Op(ctx, "Add",
+               {args[1], Const(ctx, Tensor::Scalar(1.0f))}));
+        return std::vector<Output>{inc, next};
+      });
+  Output read = Variable(ctx, "w", DType::kFloat32);
+  Output noise = BuildFanOut(ctx, x);
+
+  Session session(&g);
+  obs::RunOptions opts = ParallelOptions(8);
+  for (int i = 0; i < 10; ++i) {
+    auto results = session.Run(
+        {{"x", Tensor::Scalar(0.5f)}, {"n", Tensor::ScalarInt(7)}},
+        {outs[0], outs[1], read, noise}, &opts);
+    EXPECT_FLOAT_EQ(AsTensor(results[2]).scalar(), 7.0f);
+  }
+}
+
+TEST(SessionParallel, WhileCondArityValidatedInBothEngines) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output limit = Placeholder(ctx, "n", DType::kInt32);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  std::vector<Output> outs = While(
+      ctx, {i0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        return std::vector<Output>{
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))})};
+      });
+  // Corrupt the cond subgraph so it returns two values — unreachable
+  // through the builders, but both engines must reject it identically.
+  auto cond_g = std::static_pointer_cast<graph::FuncGraph>(
+      outs[0].node->attr<std::shared_ptr<graph::Graph>>("cond"));
+  cond_g->returns.push_back(cond_g->returns[0]);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    try {
+      (void)session.Run({{"n", Tensor::ScalarInt(3)}}, outs, &opts);
+      FAIL() << "expected the malformed while condition to throw";
+    } catch (const Error& e) {
+      EXPECT_NE(e.message().find("single value"), std::string::npos)
+          << e.message();
+    }
   }
 }
 
