@@ -1,8 +1,10 @@
 #include "core/api.h"
 
+#include <optional>
 #include <sstream>
 
 #include "core/operators.h"
+#include "runtime/cancellation.h"
 
 namespace ag::core {
 
@@ -19,14 +21,25 @@ std::vector<exec::RuntimeValue> RunStaged(
     return fn.session->Run(feeds, fn.fetches);
   }
   obs::RunMetadata local;
-  std::vector<exec::RuntimeValue> out =
-      fn.session->Run(feeds, fn.fetches, options, &local);
-  local.runs = 0;  // already counted above
-  fn.metadata.Merge(local);
-  if (run_metadata != nullptr) {
-    local.runs = 1;
-    run_metadata->Merge(local);
+  // Merge even when the session throws: an interrupted (cancelled or
+  // deadline-exceeded) run records its outcome in `local` on the way out,
+  // and dropping it would hide the interrupt from the caller's metadata.
+  const auto merge = [&] {
+    local.runs = 0;  // already counted above
+    fn.metadata.Merge(local);
+    if (run_metadata != nullptr) {
+      local.runs = 1;
+      run_metadata->Merge(local);
+    }
+  };
+  std::vector<exec::RuntimeValue> out;
+  try {
+    out = fn.session->Run(feeds, fn.fetches, options, &local);
+  } catch (...) {
+    merge();
+    throw;
   }
+  merge();
   return out;
 }
 
@@ -147,15 +160,43 @@ Value AutoGraph::CallEager(const std::string& fn_name,
                            const obs::RunOptions* options,
                            obs::RunMetadata* run_metadata) {
   Value fn = GetGlobal(fn_name);
+  // Interruption works independently of instrumentation: the installed
+  // CancelCheck is polled by the interpreter's while loops and by any
+  // staged/lantern call made from inside the eager function.
+  std::optional<runtime::CancelCheck> cancel;
+  std::optional<runtime::CancelCheckScope> cancel_scope;
+  if (options != nullptr && options->cancellable()) {
+    cancel.emplace(options->cancel_token, options->deadline_ms,
+                   options->inject_cancel_after_kernels);
+    cancel_scope.emplace(&*cancel);
+  }
   if (options == nullptr || !options->enabled()) {
     return interpreter_.CallCallable(fn, std::move(args));
   }
   obs::Tracer tracer;
   const int64_t t0 = obs::NowNs();
   Value result;
-  {
+  try {
     obs::TracerInstallScope install(&tracer);
     result = interpreter_.CallCallable(fn, std::move(args));
+  } catch (const Error& e) {
+    if (run_metadata != nullptr &&
+        (e.kind() == ErrorKind::kCancelled ||
+         e.kind() == ErrorKind::kDeadlineExceeded)) {
+      const int64_t now = obs::NowNs();
+      obs::RunMetadata delta;
+      delta.runs = 1;
+      delta.run_wall_ns = now - t0;
+      delta.interrupted_runs = 1;
+      delta.interrupt_kind = e.kind() == ErrorKind::kCancelled
+                                 ? "cancelled"
+                                 : "deadline_exceeded";
+      if (cancel.has_value() && cancel->tripped_at_ns() > 0) {
+        delta.unwind_ns = now - cancel->tripped_at_ns();
+      }
+      run_metadata->Merge(delta);
+    }
+    throw;
   }
   const int64_t wall = obs::NowNs() - t0;
   if (run_metadata != nullptr) {

@@ -2,6 +2,7 @@
 
 #include "core/operators.h"
 #include "obs/trace.h"
+#include "runtime/cancellation.h"
 #include "tensor/tensor_ops.h"
 
 namespace ag::core {
@@ -202,7 +203,11 @@ Interpreter::Flow Interpreter::ExecStmt(const StmtPtr& stmt,
     }
     case StmtKind::kWhile: {
       auto w = Cast<lang::WhileStmt>(stmt);
-      while (Truthy(EvalExpr(w->test, env))) {
+      // Cooperative interruption for imperative loops: CallEager with
+      // deadline/cancel options installs the thread's CancelCheck.
+      runtime::CancelCheck* cancel = runtime::CurrentCancelCheck();
+      for (int64_t iter = 0; Truthy(EvalExpr(w->test, env)); ++iter) {
+        if (cancel != nullptr) cancel->Poll("eager while loop", iter);
         Flow flow = ExecBody(w->body, env, ret);
         if (flow == Flow::kBreak) break;
         if (flow == Flow::kReturn) return flow;

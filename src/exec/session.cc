@@ -67,6 +67,24 @@ bool GraphHasStatefulNode(const graph::Graph& g,
   return false;
 }
 
+// Annotates an interruption (cancel/deadline) escaping a While loop
+// with the loop's identity: the poll that tripped is usually a kernel
+// or sub-plan step deep inside the body, so without this the error
+// would not name the loop the run died in. Other error kinds pass
+// through untouched. Must be called from within a catch block.
+[[noreturn]] void RethrowWithWhileContext(const Error& e,
+                                          const std::string& node_name,
+                                          int64_t iteration) {
+  if (e.kind() == ErrorKind::kCancelled ||
+      e.kind() == ErrorKind::kDeadlineExceeded) {
+    throw Error(e.kind(),
+                e.message() + " (in While node '" + node_name +
+                    "', iteration " + std::to_string(iteration) + ")",
+                e.frames());
+  }
+  throw;
+}
+
 }  // namespace
 
 std::string SessionStats::DebugString() const {
@@ -101,7 +119,13 @@ struct Session::ParallelRun {
   size_t done = 0;          // steps finished successfully
   int active_helpers = 0;   // pool tasks currently draining
   bool failed = false;
-  std::exception_ptr error;
+  // First failing step's error. ag::Error is stored by value and the
+  // caller throws a fresh copy: sharing one exception object across
+  // threads via exception_ptr would let a late pool helper destroy it
+  // through libstdc++ refcounts ThreadSanitizer cannot see. Foreign
+  // (non-Error) exceptions keep the exception_ptr path.
+  std::optional<Error> error;
+  std::exception_ptr foreign_error;
 
   [[nodiscard]] bool Finished() const {
     return in_flight == 0 && (failed || done == plan->steps.size());
@@ -120,29 +144,73 @@ std::vector<RuntimeValue> Session::Run(
   RunCtx ctx;
   ctx.feeds = &feeds;
   ctx.rec = instrument ? &*recorder : nullptr;
+  std::optional<runtime::CancelCheck> cancel;
   if (options != nullptr) {
     ctx.inter_op_threads = options->inter_op_threads;
     ctx.intra_op_threads = options->intra_op_threads;
+    ctx.max_while_iterations = options->max_while_iterations;
+    if (options->cancellable()) {
+      cancel.emplace(options->cancel_token, options->deadline_ms,
+                     options->inject_cancel_after_kernels);
+      ctx.cancel = &*cancel;
+    }
   }
+  // A Run launched from inside an already-cancellable context (e.g. a
+  // staged call made by an eager function running under a deadline)
+  // inherits the enclosing check, so the outer deadline reaches every
+  // nested engine.
+  if (ctx.cancel == nullptr) ctx.cancel = runtime::CurrentCancelCheck();
 
   // Random draws index per (node, invocation) in session scope; the
   // scope makes the counters visible to every kernel this run executes
-  // on this thread (pool helpers install it per drain).
+  // on this thread (pool helpers install it per drain). The cancel
+  // scope likewise makes the check reachable from inside sharded
+  // kernels (ParallelFor) without threading it through every kernel.
   RngRunScope rng(&rng_state_);
+  std::optional<runtime::CancelCheckScope> cancel_scope;
+  if (ctx.cancel != nullptr) cancel_scope.emplace(ctx.cancel);
   std::optional<runtime::IntraOpScope> intra;
   if (ctx.intra_op_threads > 0) intra.emplace(ctx.intra_op_threads);
 
   std::vector<RuntimeValue> results;
-  if (ctx.inter_op_threads > 0) {
-    const Plan& plan = TopPlanFor(fetches, ctx);
-    const std::vector<RuntimeValue> no_args;
-    results = RunPlanParallel(plan, no_args, ctx);
-  } else {
-    results.reserve(fetches.size());
-    Frame frame;
-    for (const Output& f : fetches) {
-      results.push_back(EvalOutput(f, frame, ctx));
+  try {
+    if (ctx.inter_op_threads > 0) {
+      const Plan& plan = TopPlanFor(fetches, ctx);
+      const std::vector<RuntimeValue> no_args;
+      results = RunPlanParallel(plan, no_args, ctx);
+    } else {
+      results.reserve(fetches.size());
+      Frame frame;
+      for (const Output& f : fetches) {
+        results.push_back(EvalOutput(f, frame, ctx));
+      }
     }
+  } catch (const Error& e) {
+    ++stats_.runs;
+    // An interrupted (or otherwise failed) instrumented run still
+    // flushes its partial profile, stamped with the interruption
+    // outcome and the time it took to unwind — per-run state is on
+    // this frame, so the Session itself stays fully usable.
+    if (instrument) {
+      const int64_t now = obs::NowNs();
+      recorder->RecordPhase("run", now - t0);
+      recorder->Finish(metadata);
+      if (metadata != nullptr) {
+        metadata->runs += 1;
+        metadata->run_wall_ns += now - t0;
+        if (e.kind() == ErrorKind::kCancelled ||
+            e.kind() == ErrorKind::kDeadlineExceeded) {
+          metadata->interrupted_runs += 1;
+          metadata->interrupt_kind = e.kind() == ErrorKind::kCancelled
+                                         ? "cancelled"
+                                         : "deadline_exceeded";
+          if (cancel.has_value() && cancel->tripped_at_ns() > 0) {
+            metadata->unwind_ns += now - cancel->tripped_at_ns();
+          }
+        }
+      }
+    }
+    throw;
   }
   ++stats_.runs;
 
@@ -287,18 +355,32 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
 
     obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                           node->name() + " (While)", "control");
-    while (true) {
-      std::vector<RuntimeValue> cond_args = loop_vars;
-      cond_args.insert(cond_args.end(), cond_caps.begin(), cond_caps.end());
-      std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args, ctx);
-      if (test.size() != 1) {
-        throw RuntimeError("while condition must produce a single value");
+    int64_t iter = 0;
+    try {
+      for (;; ++iter) {
+        if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
+        if (iter >= ctx.max_while_iterations) {
+          throw RuntimeError("While node '" + node->name() +
+                             "' exceeded max_while_iterations (" +
+                             std::to_string(ctx.max_while_iterations) +
+                             "); runaway staged loop?");
+        }
+        std::vector<RuntimeValue> cond_args = loop_vars;
+        cond_args.insert(cond_args.end(), cond_caps.begin(),
+                         cond_caps.end());
+        std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args, ctx);
+        if (test.size() != 1) {
+          throw RuntimeError("while condition must produce a single value");
+        }
+        if (!AsTensor(test[0]).scalar_bool()) break;
+        if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
+        std::vector<RuntimeValue> body_args = loop_vars;
+        body_args.insert(body_args.end(), body_caps.begin(),
+                         body_caps.end());
+        loop_vars = ExecSubgraph(body_g, body_args, ctx);
       }
-      if (!AsTensor(test[0]).scalar_bool()) break;
-      if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
-      std::vector<RuntimeValue> body_args = loop_vars;
-      body_args.insert(body_args.end(), body_caps.begin(), body_caps.end());
-      loop_vars = ExecSubgraph(body_g, body_args, ctx);
+    } catch (const Error& e) {
+      RethrowWithWhileContext(e, node->name(), iter);
     }
     outputs = std::move(loop_vars);
     if (outputs.empty()) outputs = {Tensor()};
@@ -309,6 +391,7 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     for (const Output& in : node->inputs()) {
       inputs.push_back(EvalOutput(in, frame, ctx));
     }
+    if (ctx.cancel != nullptr) ctx.cancel->PollKernel(node->name());
     ++stats_.kernel_invocations;
     const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
     try {
@@ -507,6 +590,7 @@ void Session::ExecStep(const Plan::Step& step,
   const Node* node = step.node;
   switch (step.kind) {
     case Plan::Kind::kKernel: {
+      if (ctx.cancel != nullptr) ctx.cancel->PollKernel(node->name());
       ++stats_.kernel_invocations;
       const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
       try {
@@ -568,21 +652,34 @@ void Session::ExecStep(const Plan::Step& step,
       std::vector<RuntimeValue> body_args;
       obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (While)", "control");
-      while (true) {
-        cond_args.assign(loop_vars.begin(), loop_vars.end());
-        cond_args.insert(cond_args.end(), cond_caps.begin(),
-                         cond_caps.end());
-        std::vector<RuntimeValue> test =
-            RunPlan(cond_plan, cond_args, &cond_scratch, ctx);
-        if (test.size() != 1) {
-          throw RuntimeError("while condition must produce a single value");
+      int64_t iter = 0;
+      try {
+        for (;; ++iter) {
+          if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
+          if (iter >= ctx.max_while_iterations) {
+            throw RuntimeError("While node '" + node->name() +
+                               "' exceeded max_while_iterations (" +
+                               std::to_string(ctx.max_while_iterations) +
+                               "); runaway staged loop?");
+          }
+          cond_args.assign(loop_vars.begin(), loop_vars.end());
+          cond_args.insert(cond_args.end(), cond_caps.begin(),
+                           cond_caps.end());
+          std::vector<RuntimeValue> test =
+              RunPlan(cond_plan, cond_args, &cond_scratch, ctx);
+          if (test.size() != 1) {
+            throw RuntimeError(
+                "while condition must produce a single value");
+          }
+          if (!AsTensor(test[0]).scalar_bool()) break;
+          if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
+          body_args.assign(loop_vars.begin(), loop_vars.end());
+          body_args.insert(body_args.end(), body_caps.begin(),
+                           body_caps.end());
+          loop_vars = RunPlan(body_plan, body_args, &body_scratch, ctx);
         }
-        if (!AsTensor(test[0]).scalar_bool()) break;
-        if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
-        body_args.assign(loop_vars.begin(), loop_vars.end());
-        body_args.insert(body_args.end(), body_caps.begin(),
-                         body_caps.end());
-        loop_vars = RunPlan(body_plan, body_args, &body_scratch, ctx);
+      } catch (const Error& e) {
+        RethrowWithWhileContext(e, node->name(), iter);
       }
       *out = std::move(loop_vars);
       if (out->empty()) *out = {Tensor()};
@@ -685,7 +782,10 @@ std::vector<RuntimeValue> Session::RunPlanParallel(
 
   // Drain returned only after observing completion under run->mu, so
   // these reads are ordered after every step's effects.
-  if (run->failed) std::rethrow_exception(run->error);
+  if (run->failed) {
+    if (run->error.has_value()) throw Error(*run->error);
+    std::rethrow_exception(run->foreign_error);
+  }
   std::vector<RuntimeValue> results;
   results.reserve(plan.returns.size());
   for (const Plan::InputRef& ref : plan.returns) {
@@ -724,6 +824,12 @@ void Session::Drain(const std::shared_ptr<ParallelRun>& run,
     bool ok = true;
     try {
       const Plan::Step& step = run->plan->steps[static_cast<size_t>(s)];
+      // Claim-path poll: a cancelled/timed-out run flips run->failed
+      // through this throw, so every participant unwinds through the
+      // existing failure machinery and unstarted steps stay unstarted.
+      if (run->ctx.cancel != nullptr) {
+        run->ctx.cancel->Poll("parallel step", step.node->name());
+      }
       std::vector<RuntimeValue> inputs;
       inputs.reserve(step.inputs.size());
       for (const Plan::InputRef& ref : step.inputs) {
@@ -735,13 +841,21 @@ void Session::Drain(const std::shared_ptr<ParallelRun>& run,
       }
       run->session->ExecStep(step, inputs,
                              &run->slots[static_cast<size_t>(s)], run->ctx);
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      if (!run->failed) {
+        run->failed = true;
+        run->error = e;
+      }
+      run->ready.clear();  // claimed nothing new; unstarted steps stay off
+      ok = false;
     } catch (...) {
       std::lock_guard<std::mutex> lock(run->mu);
       if (!run->failed) {
         run->failed = true;
-        run->error = std::current_exception();
+        run->foreign_error = std::current_exception();
       }
-      run->ready.clear();  // claimed nothing new; unstarted steps stay off
+      run->ready.clear();
       ok = false;
     }
 
@@ -787,10 +901,11 @@ void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
   }
   for (int i = 0; i < want; ++i) {
     runtime::ThreadPool::Shared()->Schedule([run] {
-      // Helpers inherit the run's RNG counters and intra-op budget;
-      // nested ParallelFor inside a step degrades inline on pool
-      // threads via the pool's own IntraOpScope(1).
+      // Helpers inherit the run's RNG counters, cancel check, and
+      // intra-op budget; nested ParallelFor inside a step degrades
+      // inline on pool threads via the pool's own IntraOpScope(1).
       RngRunScope rng(run->rng);
+      runtime::CancelCheckScope cancel(run->ctx.cancel);
       runtime::IntraOpScope intra(
           run->ctx.intra_op_threads > 0 ? run->ctx.intra_op_threads : 1);
       Drain(run, /*is_caller=*/false);

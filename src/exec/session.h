@@ -32,6 +32,13 @@
 // While/Cond counters, plan-compile phase timings, and (with
 // RunOptions::trace) Chrome-trace events are collected into the
 // metadata.
+//
+// Interruption: RunOptions::deadline_ms / cancel_token /
+// max_while_iterations make a Run killable. Both engines poll
+// cooperatively (kernel launches, While iterations, the parallel
+// drain's claim path) and unwind through the normal failure machinery
+// with Error(kDeadlineExceeded / kCancelled / kRuntime), after which
+// the Session remains fully usable — variables and plan caches intact.
 #pragma once
 
 #include <atomic>
@@ -48,6 +55,7 @@
 #include "exec/value.h"
 #include "graph/graph.h"
 #include "obs/run_metadata.h"
+#include "runtime/cancellation.h"
 
 namespace ag::exec {
 
@@ -126,6 +134,13 @@ class Session {
     obs::RunRecorder* rec = nullptr;  // null on the fast path
     int inter_op_threads = 0;
     int intra_op_threads = 0;
+    // Cooperative cancellation/deadline poll point for this run (null
+    // when the options request none — the zero-overhead default).
+    // Polled at kernel launches, While iterations, and the parallel
+    // drain's claim path; owned by Run()'s stack frame.
+    runtime::CancelCheck* cancel = nullptr;
+    // Finite runaway-loop guard (RunOptions::max_while_iterations).
+    int64_t max_while_iterations = int64_t{1} << 31;
   };
 
   struct Frame {

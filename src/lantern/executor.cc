@@ -1,8 +1,10 @@
 #include "lantern/executor.h"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 
+#include "runtime/cancellation.h"
 #include "runtime/parallel_for.h"
 #include "support/error.h"
 #include "tensor/tensor_ops.h"
@@ -145,6 +147,22 @@ LValue Executor::Run(const std::vector<LValue>& params,
   if (options != nullptr && options->intra_op_threads > 0) {
     intra.emplace(options->intra_op_threads);
   }
+  // Interruption: own check when the options ask for one, otherwise
+  // inherit an enclosing run's check (e.g. a lantern call made from an
+  // engine already running under a deadline).
+  std::optional<runtime::CancelCheck> cancel;
+  std::optional<runtime::CancelCheckScope> cancel_scope;
+  if (options != nullptr && options->cancellable()) {
+    cancel.emplace(options->cancel_token, options->deadline_ms,
+                   options->inject_cancel_after_kernels);
+    cancel_scope.emplace(&*cancel);
+  }
+  cancel_ = runtime::CurrentCancelCheck();
+  max_call_depth_ =
+      options != nullptr
+          ? std::min<int64_t>(options->max_while_iterations, kMaxCallDepth)
+          : kMaxCallDepth;
+  call_depth_ = 0;
   globals_ = &globals;
   const LFunction& entry = program_->function(program_->entry);
   std::unique_ptr<Frame> frame;
@@ -153,9 +171,11 @@ LValue Executor::Run(const std::vector<LValue>& params,
   } catch (...) {
     globals_ = nullptr;
     rec_ = nullptr;
+    cancel_ = nullptr;
     throw;
   }
   globals_ = nullptr;
+  cancel_ = nullptr;
   if (instrument) {
     rec_ = nullptr;
     const int64_t wall = obs::NowNs() - t0;
@@ -194,6 +214,19 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
   if (options != nullptr && options->intra_op_threads > 0) {
     intra.emplace(options->intra_op_threads);
   }
+  std::optional<runtime::CancelCheck> cancel;
+  std::optional<runtime::CancelCheckScope> cancel_scope;
+  if (options != nullptr && options->cancellable()) {
+    cancel.emplace(options->cancel_token, options->deadline_ms,
+                   options->inject_cancel_after_kernels);
+    cancel_scope.emplace(&*cancel);
+  }
+  cancel_ = runtime::CurrentCancelCheck();
+  max_call_depth_ =
+      options != nullptr
+          ? std::min<int64_t>(options->max_while_iterations, kMaxCallDepth)
+          : kMaxCallDepth;
+  call_depth_ = 0;
   globals_ = &globals;
   global_accums_.assign(globals.size(), {});
   for (size_t i = 0; i < globals.size(); ++i) {
@@ -203,27 +236,31 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
 
   const LFunction& entry = program_->function(program_->entry);
   std::unique_ptr<Frame> frame;
+  Tensor result;
   try {
     frame = ForwardFunction(entry, params);
+    const int64_t fwd_end = instrument ? obs::NowNs() : 0;
+    if (instrument) recorder->RecordPhase("forward", fwd_end - t0);
+    result = AsTensorL(frame->slots[static_cast<size_t>(entry.body.result)]);
+    if (result.num_elements() != 1) {
+      throw RuntimeError(
+          "lantern: gradients require a scalar result, got shape " +
+          result.shape().str());
+    }
+    Accumulate(*frame, entry.body.result, Tensor::Ones(result.shape()));
+    BackwardFunction(*frame);
+    if (instrument) {
+      recorder->RecordPhase("backward", obs::NowNs() - fwd_end);
+    }
   } catch (...) {
+    // Leave the executor reusable after an interrupted/failed run: the
+    // per-run pointers must never dangle into a dead frame.
     globals_ = nullptr;
     rec_ = nullptr;
+    cancel_ = nullptr;
     throw;
   }
-  const int64_t fwd_end = instrument ? obs::NowNs() : 0;
-  if (instrument) recorder->RecordPhase("forward", fwd_end - t0);
-  const Tensor result =
-      AsTensorL(frame->slots[static_cast<size_t>(entry.body.result)]);
-  if (result.num_elements() != 1) {
-    globals_ = nullptr;
-    rec_ = nullptr;
-    throw RuntimeError(
-        "lantern: gradients require a scalar result, got shape " +
-        result.shape().str());
-  }
-  Accumulate(*frame, entry.body.result, Tensor::Ones(result.shape()));
-  BackwardFunction(*frame);
-  if (instrument) recorder->RecordPhase("backward", obs::NowNs() - fwd_end);
+  cancel_ = nullptr;
 
   // Collect parameter gradients in declaration order.
   std::vector<Tensor> grads(params.size());
@@ -268,6 +305,17 @@ std::unique_ptr<Executor::Frame> Executor::ForwardFunction(
     throw RuntimeError("lantern: function '" + fn.name + "' expects " +
                        std::to_string(fn.num_params) + " args");
   }
+  // Staged loops are recursive calls here, so the call depth is the
+  // iteration count of a runaway loop; raise a structured error well
+  // before the native stack would overflow. No RAII needed: depth is
+  // reset at every Run entry, and on unwind the whole run dies anyway.
+  if (call_depth_ >= max_call_depth_) {
+    throw RuntimeError(
+        "lantern: call depth exceeded max_while_iterations bound (" +
+        std::to_string(max_call_depth_) + ") in function '" + fn.name +
+        "'; runaway staged loop/recursion?");
+  }
+  ++call_depth_;  // balanced by the decrement before the return below
   auto frame = std::make_unique<Frame>();
   frame->fn = &fn;
   frame->global_of = &global_of_.at(fn.name);
@@ -275,11 +323,16 @@ std::unique_ptr<Executor::Frame> Executor::ForwardFunction(
   frame->slots.resize(static_cast<size_t>(fn.num_slots));
   // grads/has_grad stay empty until the backward pass touches the frame.
   ForwardBlock(fn.body, *frame);
+  --call_depth_;  // on unwind the whole run dies, so no RAII needed
   return frame;
 }
 
 void Executor::ForwardBlock(const Block& block, Frame& frame) {
   for (const Binding& b : block.bindings) {
+    // Per-op poll point: one branch when not cancellable.
+    if (cancel_ != nullptr) {
+      cancel_->Poll("lantern op in function", frame.fn->name);
+    }
     ++bindings_executed_;
     const auto id = static_cast<size_t>(b.id);
     auto in = [&frame, &b](size_t i) -> const LValue& {
@@ -463,6 +516,9 @@ void Executor::BackwardFunction(Frame& frame) {
 void Executor::BackwardBlock(const Block& block, Frame& frame) {
   for (auto it = block.bindings.rbegin(); it != block.bindings.rend();
        ++it) {
+    if (cancel_ != nullptr) {
+      cancel_->Poll("lantern backward op in function", frame.fn->name);
+    }
     const Binding& b = *it;
     const auto id = static_cast<size_t>(b.id);
     if (b.op == LOp::kIf) {

@@ -18,6 +18,7 @@
 
 #include "lantern/ir.h"
 #include "obs/run_metadata.h"
+#include "runtime/cancellation.h"
 
 namespace ag::lantern {
 
@@ -118,6 +119,18 @@ class Executor {
   int64_t bindings_executed_ = 0;
   // Live only during an instrumented Run / RunWithGradients.
   obs::RunRecorder* rec_ = nullptr;
+  // Live only during a Run / RunWithGradients with interruption knobs
+  // set (RunOptions::deadline_ms / cancel_token): polled once per
+  // binding in the forward and backward op loops.
+  runtime::CancelCheck* cancel_ = nullptr;
+  // Runaway-loop guard. Lantern stages data-dependent loops as CPS
+  // recursion, so the While-iteration bound of the graph engines maps
+  // to a recursive call-depth bound here: RunOptions::
+  // max_while_iterations, clamped to kMaxCallDepth — the native stack
+  // is the hard resource, and a structured error beats a segfault.
+  static constexpr int64_t kMaxCallDepth = 4000;
+  int64_t max_call_depth_ = kMaxCallDepth;
+  int64_t call_depth_ = 0;
 };
 
 }  // namespace ag::lantern

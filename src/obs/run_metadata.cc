@@ -68,6 +68,9 @@ void RunMetadata::Merge(const RunMetadata& other) {
   cond_false_taken += other.cond_false_taken;
   runs += other.runs;
   run_wall_ns += other.run_wall_ns;
+  interrupted_runs += other.interrupted_runs;
+  if (!other.interrupt_kind.empty()) interrupt_kind = other.interrupt_kind;
+  unwind_ns += other.unwind_ns;
 }
 
 std::string RunMetadata::DebugString() const {
@@ -76,6 +79,10 @@ std::string RunMetadata::DebugString() const {
      << " node_execs=" << step_stats.TotalNodeExecutions()
      << " while_iters=" << while_iterations << " cond_taken=["
      << cond_true_taken << " true, " << cond_false_taken << " false]\n";
+  if (interrupted_runs > 0) {
+    os << "interrupted: " << interrupted_runs << " run(s), last="
+       << interrupt_kind << " unwind=" << FormatNs(unwind_ns) << "\n";
+  }
   if (!phase_ns.empty()) {
     os << "phases:";
     for (const auto& [phase, ns] : phase_ns) {

@@ -25,6 +25,10 @@
 
 #include "obs/trace.h"
 
+namespace ag::runtime {
+class CancellationToken;  // runtime/cancellation.h
+}  // namespace ag::runtime
+
 namespace ag::obs {
 
 struct RunOptions {
@@ -49,9 +53,38 @@ struct RunOptions {
   // 0 or 1 = unsharded. Honoured by both Session and lantern::Executor.
   int intra_op_threads = 0;
 
+  // Interruption knobs (the analog of TF's RunOptions timeout +
+  // CancellationManager). Every engine polls these cooperatively at
+  // kernel/iteration/shard boundaries — see runtime/cancellation.h.
+  //
+  // deadline_ms: wall-clock budget for one Run(); when exceeded, the
+  // run unwinds with Error(kDeadlineExceeded) naming the node and loop
+  // iteration where it stopped. <= 0 (default) = no deadline.
+  int64_t deadline_ms = 0;
+  // cancel_token: external cancellation. The token is copied at Run()
+  // entry (tokens are shared_ptr views), so the pointed-to token only
+  // needs to outlive the Run() call itself. Null = not cancellable.
+  const runtime::CancellationToken* cancel_token = nullptr;
+  // max_while_iterations: finite guard against runaway staged loops. A
+  // While node that iterates past this raises Error(kRuntime) naming
+  // the node and count instead of spinning forever. Enforced in both
+  // Session engines; lantern::Executor enforces it as its recursive
+  // call-depth bound (staged loops are CPS recursion there).
+  int64_t max_while_iterations = int64_t{1} << 31;
+  // Test-only fault injection: cancel the run once exactly N kernels
+  // have started (any engine, any thread), making cancellation at
+  // arbitrary kernel boundaries deterministically testable. -1 = off.
+  int64_t inject_cancel_after_kernels = -1;
+
   // Whether *instrumentation* is requested; threading knobs are
   // deliberately excluded so parallelism never forces profiling.
   [[nodiscard]] bool enabled() const { return trace || step_stats; }
+  // Whether this run needs a CancelCheck poll object at all; false for
+  // every pre-existing call shape, keeping those runs zero-overhead.
+  [[nodiscard]] bool cancellable() const {
+    return deadline_ms > 0 || cancel_token != nullptr ||
+           inject_cancel_after_kernels >= 0;
+  }
 };
 
 // Aggregated execution record for one graph node (or eager/lantern op).
@@ -89,6 +122,14 @@ struct RunMetadata {
   int64_t runs = 0;
   // Total Run() wall time (cumulative).
   int64_t run_wall_ns = 0;
+  // Cancellation outcome: how many merged runs were interrupted, the
+  // kind of the most recent interruption ("cancelled" /
+  // "deadline_exceeded"), and the cumulative time from the poll that
+  // tripped to Run() unwinding into the caller — so an agprof trace
+  // shows both where a run died and how fast it let go.
+  int64_t interrupted_runs = 0;
+  std::string interrupt_kind;
+  int64_t unwind_ns = 0;
 
   // Folds `other` into this metadata (NodeStats merged by (name, op)).
   void Merge(const RunMetadata& other);

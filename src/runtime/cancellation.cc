@@ -1,0 +1,94 @@
+#include "runtime/cancellation.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+#include "support/error.h"
+
+namespace ag::runtime {
+
+namespace {
+thread_local CancelCheck* g_current_cancel_check = nullptr;
+}  // namespace
+
+std::string CancellationToken::reason() const {
+  if (state_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+void CancellationSource::Cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    // First Cancel's reason wins; the store below publishes it.
+    if (state_->reason.empty()) state_->reason = std::move(reason);
+  }
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+CancelCheck::CancelCheck(const CancellationToken* token, int64_t deadline_ms,
+                         int64_t inject_after_kernels)
+    : inject_after_(inject_after_kernels) {
+  if (token != nullptr) token_ = *token;
+  if (deadline_ms > 0) {
+    deadline_ms_ = deadline_ms;
+    deadline_ns_ = obs::NowNs() + deadline_ms * 1000000;
+  }
+}
+
+void CancelCheck::Poll(const char* site, const std::string& name,
+                       int64_t iteration) {
+  if (injected_.load(std::memory_order_relaxed) || token_.IsCancelled()) {
+    ThrowTripped(/*deadline=*/false, site, name, iteration);
+  }
+  if (deadline_ns_ != 0 && obs::NowNs() >= deadline_ns_) {
+    ThrowTripped(/*deadline=*/true, site, name, iteration);
+  }
+}
+
+void CancelCheck::Poll(const char* site, int64_t iteration) {
+  static const std::string kNoName;
+  Poll(site, kNoName, iteration);
+}
+
+void CancelCheck::PollKernel(const std::string& name) {
+  if (inject_after_ >= 0 &&
+      kernels_started_.fetch_add(1, std::memory_order_relaxed) ==
+          inject_after_) {
+    injected_.store(true, std::memory_order_relaxed);
+  }
+  Poll("kernel", name);
+}
+
+void CancelCheck::ThrowTripped(bool deadline, const char* site,
+                               const std::string& name, int64_t iteration) {
+  int64_t expected = 0;
+  tripped_at_.compare_exchange_strong(expected, obs::NowNs(),
+                                      std::memory_order_acq_rel);
+  std::string msg;
+  if (deadline) {
+    msg = "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+  } else if (injected_.load(std::memory_order_relaxed)) {
+    msg = "run cancelled: fault injection after " +
+          std::to_string(inject_after_) + " kernel(s)";
+  } else {
+    const std::string reason = token_.reason();
+    msg = "run cancelled: " + (reason.empty() ? "cancelled" : reason);
+  }
+  msg += std::string(" at ") + site;
+  if (!name.empty()) msg += " '" + name + "'";
+  if (iteration >= 0) msg += ", iteration " + std::to_string(iteration);
+  throw Error(deadline ? ErrorKind::kDeadlineExceeded : ErrorKind::kCancelled,
+              std::move(msg));
+}
+
+CancelCheck* CurrentCancelCheck() { return g_current_cancel_check; }
+
+CancelCheckScope::CancelCheckScope(CancelCheck* check)
+    : previous_(g_current_cancel_check) {
+  g_current_cancel_check = check;
+}
+
+CancelCheckScope::~CancelCheckScope() { g_current_cancel_check = previous_; }
+
+}  // namespace ag::runtime

@@ -1,0 +1,154 @@
+// Cooperative cancellation and deadlines for every execution engine.
+//
+// The runtime never preempts a running kernel; instead every engine
+// (the sequential Session evaluator, the parallel plan executor, the
+// intra-op ParallelFor shard loop, lantern::Executor and the eager
+// interpreter) polls a CancelCheck at cheap, well-defined boundaries —
+// kernel launches, While/loop iterations, shard claims — and unwinds
+// through the normal error machinery when the check has tripped. This
+// is TF's CancellationManager / RunOptions-timeout knob surface, scaled
+// to this runtime: tokens are *polled*, not signalled, because a poll
+// is one relaxed atomic load on the hot path and needs no registration
+// or callback lifetime protocol across pool threads.
+//
+//   runtime::CancellationSource source;
+//   runtime::CancellationToken token = source.token();
+//   obs::RunOptions opts;
+//   opts.cancel_token = &token;       // external cancel
+//   opts.deadline_ms = 50;            // and/or a wall-clock deadline
+//   std::thread killer([&] { source.Cancel("user abort"); });
+//   session.Run(feeds, fetches, &opts);  // throws kCancelled/kDeadlineExceeded
+//
+// The graceful-degradation contract: a cancelled or timed-out run
+// leaves its Session/Executor fully usable — variables intact, plan
+// caches intact — because cancellation reuses the exception failure
+// path, which never mutates cross-run state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ag::runtime {
+
+namespace detail {
+// Shared flag+reason cell between one CancellationSource and all of its
+// tokens. The flag is the hot path (polled per kernel); the reason is
+// cold (read once, when building the error message).
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  mutable std::mutex mu;
+  std::string reason;
+};
+}  // namespace detail
+
+// A cheap, copyable, thread-safe view of a CancellationSource. The
+// default-constructed token is never cancelled.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  [[nodiscard]] bool IsCancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+  // The reason passed to Cancel(); empty while not cancelled.
+  [[nodiscard]] std::string reason() const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const detail::CancelState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<const detail::CancelState> state_;
+};
+
+// The owning side: Cancel() flips every token minted from this source.
+// Thread-safe; the first Cancel's reason wins, later calls are no-ops.
+class CancellationSource {
+ public:
+  CancellationSource()
+      : state_(std::make_shared<detail::CancelState>()) {}
+
+  void Cancel(std::string reason = "cancelled");
+  [[nodiscard]] bool IsCancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] CancellationToken token() const {
+    return CancellationToken(state_);
+  }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+// Per-run poll point combining every way a run can be interrupted: an
+// external CancellationToken, a wall-clock deadline, and the test-only
+// fault-injection counter (RunOptions::inject_cancel_after_kernels).
+// One CancelCheck is created per Run() and shared by every thread that
+// participates in that run; all members are safe to poll concurrently.
+//
+// Poll() throws Error(kCancelled) or Error(kDeadlineExceeded) with a
+// structured message naming the poll site (node, loop iteration) where
+// the run stopped. The first poll that trips records its timestamp so
+// RunMetadata can report time-to-unwind.
+class CancelCheck {
+ public:
+  // deadline_ms <= 0 means no deadline; inject_after_kernels < 0 means
+  // no fault injection. `token` may be null and is copied (tokens are a
+  // shared_ptr), so the caller's RunOptions may die before the check.
+  CancelCheck(const CancellationToken* token, int64_t deadline_ms,
+              int64_t inject_after_kernels = -1);
+
+  // Polls every source. `site` describes the boundary ("While node",
+  // "kernel", ...), `name` the node/function involved, `iteration` the
+  // loop iteration (-1: not in a loop). No allocation unless tripping.
+  void Poll(const char* site, const std::string& name,
+            int64_t iteration = -1);
+  void Poll(const char* site, int64_t iteration = -1);
+
+  // Kernel-boundary poll: additionally advances the fault-injection
+  // counter — with inject_after_kernels == k the run is cancelled once
+  // exactly k kernels have started, at any thread, deterministically.
+  void PollKernel(const std::string& name);
+
+  // Monotonic ns timestamp of the poll that tripped (0: not tripped).
+  [[nodiscard]] int64_t tripped_at_ns() const {
+    return tripped_at_.load(std::memory_order_acquire);
+  }
+
+ private:
+  [[noreturn]] void ThrowTripped(bool deadline, const char* site,
+                                 const std::string& name, int64_t iteration);
+
+  CancellationToken token_;
+  int64_t deadline_ms_ = 0;
+  int64_t deadline_ns_ = 0;  // absolute obs::NowNs() deadline; 0 = none
+  int64_t inject_after_ = -1;
+  std::atomic<int64_t> kernels_started_{0};
+  std::atomic<bool> injected_{false};
+  std::atomic<int64_t> tripped_at_{0};
+};
+
+// The calling thread's current CancelCheck (null: not cancellable).
+// Installed per run so layers without an explicit context pointer —
+// the intra-op ParallelFor shard loop and the eager interpreter's
+// while loops — can poll the same check as the engines above them.
+[[nodiscard]] CancelCheck* CurrentCancelCheck();
+
+// Installs `check` as the thread's current CancelCheck for the scope's
+// lifetime, restoring the previous one on exit (scopes nest).
+class CancelCheckScope {
+ public:
+  explicit CancelCheckScope(CancelCheck* check);
+  ~CancelCheckScope();
+  CancelCheckScope(const CancelCheckScope&) = delete;
+  CancelCheckScope& operator=(const CancelCheckScope&) = delete;
+
+ private:
+  CancelCheck* previous_;
+};
+
+}  // namespace ag::runtime

@@ -6,8 +6,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 
+#include "runtime/cancellation.h"
 #include "runtime/thread_pool.h"
+#include "support/error.h"
 
 namespace ag::runtime {
 
@@ -35,6 +38,11 @@ struct ShardedLoop {
   int64_t shard_size = 0;
   int64_t num_shards = 0;
   const std::function<void(int64_t, int64_t)>* body = nullptr;
+  // The calling thread's CancelCheck (null: not cancellable), polled
+  // before each shard claim so a cancelled run stops launching shards.
+  // Outlives the loop: ParallelForImpl waits for all shards before
+  // returning, and the check lives on a Run() frame above that.
+  CancelCheck* cancel = nullptr;
 
   std::atomic<int64_t> next_shard{0};
   std::atomic<int64_t> done_shards{0};
@@ -42,7 +50,17 @@ struct ShardedLoop {
 
   std::mutex mu;
   std::condition_variable cv;
-  std::exception_ptr error;
+  // First failing shard's error. ag::Error is stored by value and the
+  // caller throws a fresh copy: sharing one exception object across
+  // threads via exception_ptr would let a late pool helper destroy it
+  // through libstdc++ refcounts ThreadSanitizer cannot see. Foreign
+  // (non-Error) exceptions keep the exception_ptr path.
+  std::optional<Error> error;
+  std::exception_ptr foreign_error;
+
+  [[nodiscard]] bool HasError() const {
+    return error.has_value() || foreign_error != nullptr;
+  }
 
   // Claims and runs shards until the cursor is exhausted. Safe to call
   // from any thread, any number of threads at once.
@@ -54,11 +72,18 @@ struct ShardedLoop {
         const int64_t begin = shard * shard_size;
         const int64_t end = std::min(n, begin + shard_size);
         try {
+          if (cancel != nullptr) cancel->Poll("intra-op shard", shard);
           (*body)(begin, end);
+        } catch (const Error& e) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!HasError()) error = e;
+          }
+          failed.store(true, std::memory_order_release);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(mu);
-            if (error == nullptr) error = std::current_exception();
+            if (!HasError()) foreign_error = std::current_exception();
           }
           failed.store(true, std::memory_order_release);
         }
@@ -85,6 +110,7 @@ void ParallelForImpl(int64_t n, int64_t grain, int threads,
   loop->shard_size = (n + max_shards - 1) / max_shards;
   loop->num_shards = (n + loop->shard_size - 1) / loop->shard_size;
   loop->body = &body;
+  loop->cancel = CurrentCancelCheck();
 
   ThreadPool* pool = ThreadPool::Shared();
   pool->EnsureWorkers(threads - 1);
@@ -106,7 +132,10 @@ void ParallelForImpl(int64_t n, int64_t grain, int threads,
       return loop->done_shards.load(std::memory_order_acquire) ==
              loop->num_shards;
     });
-    if (loop->error != nullptr) std::rethrow_exception(loop->error);
+    if (loop->error.has_value()) throw Error(*loop->error);
+    if (loop->foreign_error != nullptr) {
+      std::rethrow_exception(loop->foreign_error);
+    }
   }
   // `body` lives on this frame; helpers only touch it while done_shards
   // < num_shards, which the wait above has excluded.

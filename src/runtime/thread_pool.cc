@@ -56,15 +56,18 @@ void ThreadPool::WorkerLoop(int worker_index) {
     lock.unlock();
     // Tasks are expected to capture their own failures (the Session's
     // drain does); an escaped exception must not take down the worker —
-    // and with it the process — so it is logged and swallowed here.
+    // and with it the process — so it is logged and swallowed here. The
+    // diagnostic is built into one string and emitted with a single
+    // stream insertion: concurrent failures on several workers must not
+    // interleave their fragments into garbage.
     try {
       task();
     } catch (const std::exception& e) {
-      std::cerr << "agrt-worker-" << worker_index
-                << ": scheduled task threw: " << e.what() << "\n";
+      std::cerr << ("agrt-worker-" + std::to_string(worker_index) +
+                    ": scheduled task threw: " + e.what() + "\n");
     } catch (...) {
-      std::cerr << "agrt-worker-" << worker_index
-                << ": scheduled task threw a non-std exception\n";
+      std::cerr << ("agrt-worker-" + std::to_string(worker_index) +
+                    ": scheduled task threw a non-std exception\n");
     }
     lock.lock();
   }

@@ -38,6 +38,10 @@ const char* ErrorKindName(ErrorKind kind) {
       return "ValueError";
     case ErrorKind::kUnsupported:
       return "UnsupportedError";
+    case ErrorKind::kCancelled:
+      return "CancelledError";
+    case ErrorKind::kDeadlineExceeded:
+      return "DeadlineExceededError";
   }
   return "Error";
 }
@@ -84,6 +88,14 @@ Error ValueError(const std::string& message) {
 
 Error UnsupportedError(const std::string& message) {
   return Error(ErrorKind::kUnsupported, message);
+}
+
+Error CancelledError(const std::string& message) {
+  return Error(ErrorKind::kCancelled, message);
+}
+
+Error DeadlineExceededError(const std::string& message) {
+  return Error(ErrorKind::kDeadlineExceeded, message);
 }
 
 }  // namespace ag

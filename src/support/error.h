@@ -52,6 +52,8 @@ enum class ErrorKind : std::uint8_t {
   kRuntime,      // error raised by the staged runtime (Session etc.)
   kValue,        // bad value passed by user code (TypeError/ValueError)
   kUnsupported,  // feature intentionally not implemented
+  kCancelled,    // run interrupted via a CancellationToken / fault hook
+  kDeadlineExceeded,  // run exceeded RunOptions::deadline_ms
 };
 
 [[nodiscard]] const char* ErrorKindName(ErrorKind kind);
@@ -98,6 +100,8 @@ class Error : public std::runtime_error {
 [[nodiscard]] Error RuntimeError(const std::string& message);
 [[nodiscard]] Error ValueError(const std::string& message);
 [[nodiscard]] Error UnsupportedError(const std::string& message);
+[[nodiscard]] Error CancelledError(const std::string& message);
+[[nodiscard]] Error DeadlineExceededError(const std::string& message);
 
 // CHECK-style macro for internal invariants. Throws Error(kInternal).
 #define AG_CHECK(cond)                                                  \

@@ -4,6 +4,8 @@
 // runs converted (generated) code.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/api.h"
 
 namespace ag::core {
@@ -174,6 +176,88 @@ TEST(Errors, ErrorKindNamesRendered) {
   EXPECT_NE(std::string(with.what()).find("file.py:7"), std::string::npos);
   EXPECT_EQ(with.frames().size(), 1u);
   EXPECT_EQ(e.frames().size(), 0u);  // original untouched
+}
+
+TEST(Errors, InterruptionErrorKindsRendered) {
+  Error cancelled = CancelledError("stopped by token");
+  EXPECT_EQ(cancelled.kind(), ErrorKind::kCancelled);
+  EXPECT_NE(std::string(cancelled.what())
+                .find("CancelledError: stopped by token"),
+            std::string::npos);
+  Error deadline = DeadlineExceededError("50 ms budget spent");
+  EXPECT_EQ(deadline.kind(), ErrorKind::kDeadlineExceeded);
+  EXPECT_NE(std::string(deadline.what())
+                .find("DeadlineExceededError: 50 ms budget spent"),
+            std::string::npos);
+}
+
+TEST(Errors, EagerWhileLoopHonorsDeadline) {
+  // The eager interpreter polls the run's CancelCheck once per while
+  // iteration, so even unstaged runaway loops are interruptible.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  while n > 0:
+    n = n + 1
+  return n
+)");
+  obs::RunOptions opts;
+  opts.deadline_ms = 50;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)agc.CallEager("f", {Value(int64_t{1})}, &opts);
+    FAIL() << "expected the deadline to interrupt the eager loop";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+    EXPECT_NE(e.message().find("eager while loop"), std::string::npos)
+        << e.message();
+    EXPECT_NE(e.message().find("iteration"), std::string::npos)
+        << e.message();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(Errors, EagerDeadlineRecordsInterruptInMetadata) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  while n > 0:
+    n = n + 1
+  return n
+)");
+  obs::RunOptions opts;
+  opts.deadline_ms = 50;
+  obs::RunMetadata meta;
+  EXPECT_THROW((void)agc.CallEager("f", {Value(int64_t{1})}, &opts, &meta),
+               Error);
+  EXPECT_EQ(meta.runs, 1);
+  EXPECT_EQ(meta.interrupted_runs, 1);
+  EXPECT_EQ(meta.interrupt_kind, "deadline_exceeded");
+}
+
+// The StagedFunction::Run wrapper must merge the interrupt record into
+// the caller's metadata even though the session throws mid-merge path.
+TEST(Errors, StagedRunPropagatesInterruptMetadata) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  while n > 0:
+    n = n + 1
+  return n
+)");
+  StagedFunction staged = agc.Stage("f", {StageArg::Placeholder("n")});
+  obs::RunOptions opts;
+  opts.deadline_ms = 50;
+  obs::RunMetadata meta;
+  EXPECT_THROW(
+      (void)staged.Run({exec::RuntimeValue(Tensor::Scalar(1.0f))}, &opts,
+                       &meta),
+      Error);
+  EXPECT_EQ(meta.runs, 1);
+  EXPECT_EQ(meta.interrupted_runs, 1);
+  EXPECT_EQ(meta.interrupt_kind, "deadline_exceeded");
+  EXPECT_GE(staged.metadata.interrupted_runs, 1);
 }
 
 }  // namespace

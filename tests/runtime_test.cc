@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "graph/ops.h"
 #include "obs/chrome_trace.h"
 #include "obs/trace.h"
+#include "runtime/cancellation.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor_ops.h"
@@ -531,6 +533,219 @@ TEST(SessionParallel, StepStatsMatchSequentialEngine) {
 
   EXPECT_EQ(par_meta.step_stats.TotalNodeExecutions(),
             seq_meta.step_stats.TotalNodeExecutions());
+}
+
+// ---------------------------------------------------------------------
+// Cancellation, deadlines, runaway-loop guards
+
+// A While loop that counts to INT32_MAX — practically infinite at
+// kernel-dispatch speed, so only a deadline, a cancel, or the
+// max_while_iterations guard can end the run in test time.
+std::vector<Output> BuildEndlessWhile(GraphContext& ctx) {
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output limit =
+      Const(ctx, Tensor::ScalarInt(std::numeric_limits<int32_t>::max()));
+  return While(
+      ctx, {i0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        return std::vector<Output>{
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))})};
+      });
+}
+
+TEST(Cancellation, TokenLifecycle) {
+  runtime::CancellationToken none;
+  EXPECT_FALSE(none.IsCancelled());
+  EXPECT_EQ(none.reason(), "");
+
+  runtime::CancellationSource source;
+  runtime::CancellationToken token = source.token();
+  EXPECT_FALSE(source.IsCancelled());
+  EXPECT_FALSE(token.IsCancelled());
+  source.Cancel("first");
+  source.Cancel("second");  // first reason wins
+  EXPECT_TRUE(source.IsCancelled());
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.reason(), "first");
+  // Tokens minted after the cancel observe it too.
+  EXPECT_TRUE(source.token().IsCancelled());
+}
+
+TEST(Cancellation, DeadlineFiresMidWhileInBothEngines) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.deadline_ms = 50;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      (void)session.Run({}, outs, &opts);
+      FAIL() << "expected the deadline to interrupt the run";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+      // Structured message: names the While node and the deadline.
+      EXPECT_NE(e.message().find("deadline"), std::string::npos)
+          << e.message();
+      EXPECT_NE(e.message().find(outs[0].node->name()), std::string::npos)
+          << e.message();
+      EXPECT_NE(e.message().find("iteration"), std::string::npos)
+          << e.message();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5)) << "inter=" << inter;
+  }
+}
+
+TEST(Cancellation, ExternalCancelFromAnotherThread) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    runtime::CancellationSource source;
+    runtime::CancellationToken token = source.token();
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.cancel_token = &token;
+    std::thread killer([&source] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      source.Cancel("user abort");
+    });
+    try {
+      (void)session.Run({}, outs, &opts);
+      ADD_FAILURE() << "expected the external cancel to interrupt the run";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kCancelled) << e.what();
+      EXPECT_NE(e.message().find("user abort"), std::string::npos)
+          << e.message();
+    }
+    killer.join();
+  }
+}
+
+TEST(Cancellation, FaultInjectedCancelAtEveryKernelIndex) {
+  // Small plan with a handful of kernels; inject the cancel after every
+  // kernel count 0..N and check each outcome. Once some count lets the
+  // run complete, every larger count must too.
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output v = x;
+  for (int i = 0; i < 4; ++i) v = Op(ctx, "Tanh", {v});
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    bool completed = false;
+    int64_t first_completed = -1;
+    for (int64_t inject = 0; inject <= 16; ++inject) {
+      obs::RunOptions opts = ParallelOptions(inter);
+      opts.inject_cancel_after_kernels = inject;
+      try {
+        (void)session.RunTensor({{"x", Tensor::Scalar(0.5f)}}, v, &opts);
+        if (!completed) first_completed = inject;
+        completed = true;
+      } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kCancelled) << e.what();
+        EXPECT_NE(e.message().find("fault injection"), std::string::npos)
+            << e.message();
+        EXPECT_FALSE(completed)
+            << "run failed at inject=" << inject
+            << " after completing at inject=" << first_completed;
+      }
+    }
+    EXPECT_TRUE(completed) << "inter=" << inter;
+    EXPECT_GT(first_completed, 0) << "inter=" << inter
+                                  << ": inject=0 should cancel before "
+                                     "any kernel runs";
+  }
+}
+
+TEST(Cancellation, SessionStaysUsableAfterCancelledRun) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output assigned = Assign(ctx, "state", x);
+  std::vector<Output> endless = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    // Seed the variable, then let a deadline kill an endless run.
+    (void)session.Run({{"x", Tensor::Scalar(41.0f)}}, {assigned}, &opts);
+    opts.deadline_ms = 50;
+    EXPECT_THROW((void)session.Run({}, endless, &opts), Error);
+    // Graceful degradation: variables and the plan cache survive, and
+    // the same Session completes an un-deadlined run.
+    EXPECT_FLOAT_EQ(session.GetVariable("state").scalar(), 41.0f);
+    obs::RunOptions clean = ParallelOptions(inter);
+    auto results =
+        session.Run({{"x", Tensor::Scalar(7.0f)}}, {assigned}, &clean);
+    EXPECT_FLOAT_EQ(AsTensor(results[0]).scalar(), 7.0f);
+    EXPECT_FLOAT_EQ(session.GetVariable("state").scalar(), 7.0f);
+  }
+}
+
+TEST(Cancellation, MaxWhileIterationsGuardInBothEngines) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.max_while_iterations = 100;
+    try {
+      (void)session.Run({}, outs, &opts);
+      FAIL() << "expected the iteration guard to fire";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kRuntime) << e.what();
+      EXPECT_NE(e.message().find("max_while_iterations"), std::string::npos)
+          << e.message();
+      EXPECT_NE(e.message().find(outs[0].node->name()), std::string::npos)
+          << e.message();
+      EXPECT_NE(e.message().find("100"), std::string::npos) << e.message();
+    }
+  }
+}
+
+TEST(Cancellation, InterruptOutcomeRecordedInRunMetadata) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  obs::RunOptions opts;  // step_stats on: instrumented run
+  opts.deadline_ms = 50;
+  obs::RunMetadata meta;
+  EXPECT_THROW((void)session.Run({}, outs, &opts, &meta), Error);
+  EXPECT_EQ(meta.runs, 1);
+  EXPECT_EQ(meta.interrupted_runs, 1);
+  EXPECT_EQ(meta.interrupt_kind, "deadline_exceeded");
+  EXPECT_GE(meta.unwind_ns, 0);
+  EXPECT_NE(meta.DebugString().find("interrupted"), std::string::npos);
+}
+
+TEST(Cancellation, ParallelForShardsObserveThreadCancelCheck) {
+  runtime::CancellationSource source;
+  runtime::CancellationToken token = source.token();
+  source.Cancel("shard stop");
+  runtime::CancelCheck check(&token, /*deadline_ms=*/0);
+  runtime::CancelCheckScope scope(&check);
+  runtime::IntraOpScope intra(4);
+  try {
+    runtime::ParallelFor(1000, 10, [](int64_t, int64_t) {});
+    FAIL() << "expected the sharded loop to observe the cancel";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kCancelled) << e.what();
+    EXPECT_NE(e.message().find("shard stop"), std::string::npos)
+        << e.message();
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...]
-//          [--trace-out=FILE] [--eager] <file.pym>
+//          [--deadline-ms=N] [--trace-out=FILE] [--eager] <file.pym>
 //
 // The file is loaded, the chosen function (default: the first function
 // defined in the file) is staged with one float32 placeholder per
@@ -11,9 +11,14 @@
 // a Chrome trace-event JSON viewable in chrome://tracing or Perfetto.
 // --eager additionally profiles the unstaged (imperative) path for the
 // same feeds, making the paper's eager-vs-staged overhead visible.
+// --deadline-ms bounds each profiled Run(); a function that loops
+// forever exits with status 1 and a DeadlineExceededError instead of
+// hanging the tool.
 //
 // Exit status: 0 on success, 1 on execution failure, 2 on usage / IO
 // problems.
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,16 +34,41 @@ namespace {
 
 void PrintUsage() {
   std::cerr << "usage: agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...]\n"
-               "              [--trace-out=FILE] [--eager] <file.pym>\n"
+               "              [--deadline-ms=N] [--trace-out=FILE] "
+               "[--eager] <file.pym>\n"
                "  --fn=NAME        function to profile (default: first "
                "def in the file)\n"
                "  --runs=N         number of instrumented Run() calls "
                "(default 10)\n"
                "  --feeds=v1,...   scalar float feed per parameter "
                "(default: 1.0 each)\n"
+               "  --deadline-ms=N  per-Run() wall-clock budget; a run "
+               "that exceeds it\n"
+               "                   fails with DeadlineExceededError "
+               "instead of hanging\n"
                "  --trace-out=FILE write Chrome trace-event JSON\n"
                "  --eager          also profile the eager (unstaged) "
                "path\n";
+}
+
+// Strict positive-integer flag parse. std::stoi would throw (and
+// previously crashed the tool) on "--runs=abc" and silently accept
+// trailing junk like "10x"; from_chars lets us reject both, plus
+// overflow, with a usage message and exit status 2.
+bool ParseIntFlag(const std::string& flag, const std::string& text,
+                  int64_t min_value, int64_t* out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || text.empty() ||
+      value < min_value) {
+    std::cerr << "agprof: " << flag << " expects an integer >= "
+              << min_value << ", got '" << text << "'\n";
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 // First function defined at the top level of the module.
@@ -51,14 +81,29 @@ std::string FirstFunctionName(const ag::lang::ModulePtr& module) {
   return "";
 }
 
-std::vector<float> ParseFeeds(const std::string& spec) {
-  std::vector<float> out;
+// Defensive float list parse: "1.0,2.5" → {1.0f, 2.5f}. Returns false
+// (usage error) on malformed or empty items rather than throwing.
+bool ParseFeeds(const std::string& spec, std::vector<float>* out) {
+  out->clear();
   std::stringstream ss(spec);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    out.push_back(std::stof(item));
+    try {
+      size_t consumed = 0;
+      const float value = std::stof(item, &consumed);
+      if (consumed != item.size()) throw std::invalid_argument(item);
+      out->push_back(value);
+    } catch (const std::exception&) {
+      std::cerr << "agprof: --feeds expects comma-separated floats, got '"
+                << item << "'\n";
+      return false;
+    }
   }
-  return out;
+  if (out->empty()) {
+    std::cerr << "agprof: --feeds given but no values parsed\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -68,7 +113,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string feeds_spec;
   std::string path;
-  int runs = 10;
+  int64_t runs = 10;
+  int64_t deadline_ms = 0;
   bool eager = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,7 +125,15 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--fn=", 0) == 0) {
       fn_name = arg.substr(5);
     } else if (arg.rfind("--runs=", 0) == 0) {
-      runs = std::stoi(arg.substr(7));
+      if (!ParseIntFlag("--runs", arg.substr(7), 1, &runs)) {
+        PrintUsage();
+        return 2;
+      }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseIntFlag("--deadline-ms", arg.substr(14), 1, &deadline_ms)) {
+        PrintUsage();
+        return 2;
+      }
     } else if (arg.rfind("--feeds=", 0) == 0) {
       feeds_spec = arg.substr(8);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -97,7 +151,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (path.empty() || runs <= 0) {
+  if (path.empty()) {
     PrintUsage();
     return 2;
   }
@@ -127,7 +181,10 @@ int main(int argc, char** argv) {
         agc.GetGlobal(fn_name).AsFunction()->params.size();
     std::vector<float> feed_values(num_params, 1.0f);
     if (!feeds_spec.empty()) {
-      feed_values = ParseFeeds(feeds_spec);
+      if (!ParseFeeds(feeds_spec, &feed_values)) {
+        PrintUsage();
+        return 2;
+      }
       if (feed_values.size() != num_params) {
         std::cerr << "agprof: " << fn_name << " takes " << num_params
                   << " parameter(s) but --feeds gave "
@@ -149,8 +206,9 @@ int main(int argc, char** argv) {
     ag::obs::RunOptions options;
     options.trace = true;
     options.step_stats = true;
+    options.deadline_ms = deadline_ms;  // 0 = unbounded
     ag::obs::RunMetadata meta;
-    for (int i = 0; i < runs; ++i) {
+    for (int64_t i = 0; i < runs; ++i) {
       (void)staged.Run(feeds, &options, &meta);
     }
 
@@ -161,7 +219,7 @@ int main(int argc, char** argv) {
 
     if (eager) {
       ag::obs::RunMetadata eager_meta;
-      for (int i = 0; i < runs; ++i) {
+      for (int64_t i = 0; i < runs; ++i) {
         std::vector<ag::core::Value> args;
         for (float v : feed_values) {
           args.emplace_back(ag::Tensor::Scalar(v));
