@@ -17,8 +17,15 @@ std::vector<exec::RuntimeValue> RunStaged(
     StagedFunction& fn, const std::map<std::string, exec::RuntimeValue>& feeds,
     const obs::RunOptions* options, obs::RunMetadata* run_metadata) {
   fn.metadata.runs += 1;  // cheap cumulative counter, even untraced
-  if (options == nullptr || !options->enabled()) {
+  if (options == nullptr) {
     return fn.session->Run(feeds, fn.fetches);
+  }
+  if (!options->enabled()) {
+    // Uninstrumented is not bare: the documented parallel-but-unprofiled
+    // config (step_stats=false) still carries threading knobs and the
+    // interruption contract (deadline/cancel/max_while_iterations), so
+    // the options must reach the session even with no metadata to merge.
+    return fn.session->Run(feeds, fn.fetches, options, /*metadata=*/nullptr);
   }
   obs::RunMetadata local;
   // Merge even when the session throws: an interrupted (cancelled or
@@ -162,12 +169,16 @@ Value AutoGraph::CallEager(const std::string& fn_name,
   Value fn = GetGlobal(fn_name);
   // Interruption works independently of instrumentation: the installed
   // CancelCheck is polled by the interpreter's while loops and by any
-  // staged/lantern call made from inside the eager function.
+  // staged/lantern call made from inside the eager function. The check
+  // also carries max_while_iterations — the interpreter has no other
+  // transport for the loop bound — so it is installed even when only
+  // the bound is set (cancellable() false).
   std::optional<runtime::CancelCheck> cancel;
   std::optional<runtime::CancelCheckScope> cancel_scope;
-  if (options != nullptr && options->cancellable()) {
+  if (options != nullptr && options->interruptible()) {
     cancel.emplace(options->cancel_token, options->deadline_ms,
-                   options->inject_cancel_after_kernels);
+                   options->inject_cancel_after_kernels,
+                   options->max_while_iterations);
     cancel_scope.emplace(&*cancel);
   }
   if (options == nullptr || !options->enabled()) {

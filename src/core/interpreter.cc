@@ -204,10 +204,16 @@ Interpreter::Flow Interpreter::ExecStmt(const StmtPtr& stmt,
     case StmtKind::kWhile: {
       auto w = Cast<lang::WhileStmt>(stmt);
       // Cooperative interruption for imperative loops: CallEager with
-      // deadline/cancel options installs the thread's CancelCheck.
+      // deadline/cancel/max_while_iterations options installs the
+      // thread's CancelCheck. Both checks sit after the condition came
+      // up true, so a loop that terminates cleanly within the bound
+      // never trips it.
       runtime::CancelCheck* cancel = runtime::CurrentCancelCheck();
       for (int64_t iter = 0; Truthy(EvalExpr(w->test, env)); ++iter) {
-        if (cancel != nullptr) cancel->Poll("eager while loop", iter);
+        if (cancel != nullptr) {
+          cancel->Poll("eager while loop", iter);
+          cancel->CheckLoopBound("eager while loop", iter);
+        }
         Flow flow = ExecBody(w->body, env, ret);
         if (flow == Flow::kBreak) break;
         if (flow == Flow::kReturn) return flow;

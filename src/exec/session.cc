@@ -359,12 +359,6 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     try {
       for (;; ++iter) {
         if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
-        if (iter >= ctx.max_while_iterations) {
-          throw RuntimeError("While node '" + node->name() +
-                             "' exceeded max_while_iterations (" +
-                             std::to_string(ctx.max_while_iterations) +
-                             "); runaway staged loop?");
-        }
         std::vector<RuntimeValue> cond_args = loop_vars;
         cond_args.insert(cond_args.end(), cond_caps.begin(),
                          cond_caps.end());
@@ -373,6 +367,14 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
           throw RuntimeError("while condition must produce a single value");
         }
         if (!AsTensor(test[0]).scalar_bool()) break;
+        // Guard after the condition: a loop that terminates cleanly in
+        // exactly N iterations never trips a bound of N.
+        if (iter >= ctx.max_while_iterations) {
+          throw RuntimeError("While node '" + node->name() +
+                             "' exceeded max_while_iterations (" +
+                             std::to_string(ctx.max_while_iterations) +
+                             "); runaway staged loop?");
+        }
         if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
         std::vector<RuntimeValue> body_args = loop_vars;
         body_args.insert(body_args.end(), body_caps.begin(),
@@ -656,12 +658,6 @@ void Session::ExecStep(const Plan::Step& step,
       try {
         for (;; ++iter) {
           if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
-          if (iter >= ctx.max_while_iterations) {
-            throw RuntimeError("While node '" + node->name() +
-                               "' exceeded max_while_iterations (" +
-                               std::to_string(ctx.max_while_iterations) +
-                               "); runaway staged loop?");
-          }
           cond_args.assign(loop_vars.begin(), loop_vars.end());
           cond_args.insert(cond_args.end(), cond_caps.begin(),
                            cond_caps.end());
@@ -672,6 +668,14 @@ void Session::ExecStep(const Plan::Step& step,
                 "while condition must produce a single value");
           }
           if (!AsTensor(test[0]).scalar_bool()) break;
+          // Guard after the condition: a loop that terminates cleanly
+          // in exactly N iterations never trips a bound of N.
+          if (iter >= ctx.max_while_iterations) {
+            throw RuntimeError("While node '" + node->name() +
+                               "' exceeded max_while_iterations (" +
+                               std::to_string(ctx.max_while_iterations) +
+                               "); runaway staged loop?");
+          }
           if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
           body_args.assign(loop_vars.begin(), loop_vars.end());
           body_args.insert(body_args.end(), body_caps.begin(),

@@ -128,6 +128,11 @@ class Executor {
   // to a recursive call-depth bound here: RunOptions::
   // max_while_iterations, clamped to kMaxCallDepth — the native stack
   // is the hard resource, and a structured error beats a segfault.
+  // kMaxCallDepth applies even with no RunOptions at all: ForwardFunction
+  // frames cost ~1-2 KB of native stack each, so 4000 frames stays
+  // within a default 8 MB stack with headroom, while anything deeper
+  // previously died as a stack-overflow segfault. Documented as part of
+  // the public contract in DESIGN.md §4f and the README.
   static constexpr int64_t kMaxCallDepth = 4000;
   int64_t max_call_depth_ = kMaxCallDepth;
   int64_t call_depth_ = 0;

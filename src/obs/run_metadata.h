@@ -65,12 +65,16 @@ struct RunOptions {
   // entry (tokens are shared_ptr views), so the pointed-to token only
   // needs to outlive the Run() call itself. Null = not cancellable.
   const runtime::CancellationToken* cancel_token = nullptr;
-  // max_while_iterations: finite guard against runaway staged loops. A
-  // While node that iterates past this raises Error(kRuntime) naming
-  // the node and count instead of spinning forever. Enforced in both
-  // Session engines; lantern::Executor enforces it as its recursive
-  // call-depth bound (staged loops are CPS recursion there).
-  int64_t max_while_iterations = int64_t{1} << 31;
+  // max_while_iterations: finite guard against runaway loops. A loop
+  // whose condition is still true after this many body executions
+  // raises Error(kRuntime) naming the node and count instead of
+  // spinning forever; a loop that terminates cleanly in exactly N
+  // iterations never trips a bound of N. Enforced in both Session
+  // engines and the eager interpreter's while statements;
+  // lantern::Executor enforces it as its recursive call-depth bound
+  // (staged loops are CPS recursion there).
+  static constexpr int64_t kDefaultMaxWhileIterations = int64_t{1} << 31;
+  int64_t max_while_iterations = kDefaultMaxWhileIterations;
   // Test-only fault injection: cancel the run once exactly N kernels
   // have started (any engine, any thread), making cancellation at
   // arbitrary kernel boundaries deterministically testable. -1 = off.
@@ -84,6 +88,14 @@ struct RunOptions {
   [[nodiscard]] bool cancellable() const {
     return deadline_ms > 0 || cancel_token != nullptr ||
            inject_cancel_after_kernels >= 0;
+  }
+  // Whether any interruption knob is set, including a custom loop
+  // bound. Engines whose only transport for the bound is the
+  // CancelCheck (the eager interpreter) install one when this is true,
+  // so a caller setting only max_while_iterations is still guarded.
+  [[nodiscard]] bool interruptible() const {
+    return cancellable() ||
+           max_while_iterations != kDefaultMaxWhileIterations;
   }
 };
 

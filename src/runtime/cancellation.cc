@@ -27,8 +27,10 @@ void CancellationSource::Cancel(std::string reason) {
 }
 
 CancelCheck::CancelCheck(const CancellationToken* token, int64_t deadline_ms,
-                         int64_t inject_after_kernels)
-    : inject_after_(inject_after_kernels) {
+                         int64_t inject_after_kernels,
+                         int64_t max_while_iterations)
+    : inject_after_(inject_after_kernels),
+      max_while_iterations_(max_while_iterations) {
   if (token != nullptr) token_ = *token;
   if (deadline_ms > 0) {
     deadline_ms_ = deadline_ms;
@@ -58,6 +60,15 @@ void CancelCheck::PollKernel(const std::string& name) {
     injected_.store(true, std::memory_order_relaxed);
   }
   Poll("kernel", name);
+}
+
+void CancelCheck::CheckLoopBound(const char* site, int64_t iteration) const {
+  if (max_while_iterations_ > 0 && iteration >= max_while_iterations_) {
+    throw RuntimeError(std::string(site) +
+                       " exceeded max_while_iterations (" +
+                       std::to_string(max_while_iterations_) +
+                       "); runaway loop?");
+  }
 }
 
 void CancelCheck::ThrowTripped(bool deadline, const char* site,

@@ -97,10 +97,12 @@ class CancellationSource {
 class CancelCheck {
  public:
   // deadline_ms <= 0 means no deadline; inject_after_kernels < 0 means
-  // no fault injection. `token` may be null and is copied (tokens are a
-  // shared_ptr), so the caller's RunOptions may die before the check.
+  // no fault injection; max_while_iterations <= 0 means no loop bound.
+  // `token` may be null and is copied (tokens are a shared_ptr), so the
+  // caller's RunOptions may die before the check.
   CancelCheck(const CancellationToken* token, int64_t deadline_ms,
-              int64_t inject_after_kernels = -1);
+              int64_t inject_after_kernels = -1,
+              int64_t max_while_iterations = 0);
 
   // Polls every source. `site` describes the boundary ("While node",
   // "kernel", ...), `name` the node/function involved, `iteration` the
@@ -113,6 +115,14 @@ class CancelCheck {
   // counter — with inject_after_kernels == k the run is cancelled once
   // exactly k kernels have started, at any thread, deterministically.
   void PollKernel(const std::string& name);
+
+  // Runaway-loop guard for engines whose only transport is this check
+  // (the eager interpreter): throws RuntimeError once `iteration` body
+  // executions have already run and the loop condition came up true
+  // again — a loop that terminates cleanly in exactly N iterations
+  // never trips a bound of N. The Session engines enforce the same
+  // bound themselves (with the While node's name) and never call this.
+  void CheckLoopBound(const char* site, int64_t iteration) const;
 
   // Monotonic ns timestamp of the poll that tripped (0: not tripped).
   [[nodiscard]] int64_t tripped_at_ns() const {
@@ -127,6 +137,7 @@ class CancelCheck {
   int64_t deadline_ms_ = 0;
   int64_t deadline_ns_ = 0;  // absolute obs::NowNs() deadline; 0 = none
   int64_t inject_after_ = -1;
+  int64_t max_while_iterations_ = 0;  // <= 0 = no loop bound
   std::atomic<int64_t> kernels_started_{0};
   std::atomic<bool> injected_{false};
   std::atomic<int64_t> tripped_at_{0};

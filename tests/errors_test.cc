@@ -260,5 +260,74 @@ def f(n):
   EXPECT_GE(staged.metadata.interrupted_runs, 1);
 }
 
+// step_stats=false is the documented parallel-but-unprofiled config;
+// the staged wrapper must still forward the interruption knobs to the
+// session instead of taking the bare fast path.
+TEST(Errors, StagedUnprofiledRunStillHonorsDeadline) {
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  while n > 0:
+    n = n + 1
+  return n
+)");
+  StagedFunction staged = agc.Stage("f", {StageArg::Placeholder("n")});
+  obs::RunOptions opts;
+  opts.step_stats = false;
+  opts.deadline_ms = 50;
+  ASSERT_FALSE(opts.enabled());
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)staged.Run({exec::RuntimeValue(Tensor::Scalar(1.0f))}, &opts);
+    FAIL() << "expected the deadline to interrupt the staged run";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(Errors, EagerWhileLoopHonorsMaxIterationsAlone) {
+  // Only the loop bound is set: cancellable() is false, but the eager
+  // engine must still install a check and stop the runaway loop.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  while n > 0:
+    n = n + 1
+  return n
+)");
+  obs::RunOptions opts;
+  opts.max_while_iterations = 1000;
+  ASSERT_FALSE(opts.cancellable());
+  try {
+    (void)agc.CallEager("f", {Value(int64_t{1})}, &opts);
+    FAIL() << "expected the iteration guard to fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kRuntime) << e.what();
+    EXPECT_NE(e.message().find("max_while_iterations"), std::string::npos)
+        << e.message();
+    EXPECT_NE(e.message().find("1000"), std::string::npos) << e.message();
+  }
+}
+
+TEST(Errors, EagerMaxIterationsBoundExcludesCleanTermination) {
+  // A loop that terminates in exactly 5 body executions is fine with a
+  // bound of 5 and errors with a bound of 4.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def g(n):
+  while n > 0:
+    n = n - 1
+  return n
+)");
+  obs::RunOptions opts;
+  opts.max_while_iterations = 5;
+  Value out = agc.CallEager("g", {Value(int64_t{5})}, &opts);
+  EXPECT_EQ(out.AsInt(), 0);
+  opts.max_while_iterations = 4;
+  EXPECT_THROW((void)agc.CallEager("g", {Value(int64_t{5})}, &opts), Error);
+}
+
 }  // namespace
 }  // namespace ag::core

@@ -714,6 +714,37 @@ TEST(Cancellation, MaxWhileIterationsGuardInBothEngines) {
   }
 }
 
+TEST(Cancellation, MaxWhileIterationsBoundExcludesCleanTermination) {
+  // TF's maximum_iterations semantics boundary case: a While that
+  // terminates cleanly in exactly N body executions must not trip a
+  // bound of N (the guard fires only when the condition is still true
+  // at the bound), in both engines.
+  Graph g;
+  GraphContext ctx(&g);
+  Output i0 = Const(ctx, Tensor::ScalarInt(0));
+  Output limit = Const(ctx, Tensor::ScalarInt(10));
+  std::vector<Output> outs = While(
+      ctx, {i0},
+      [&](const std::vector<Output>& args) {
+        return Op(ctx, "Less", {args[0], limit});
+      },
+      [&](const std::vector<Output>& args) {
+        return std::vector<Output>{
+            Op(ctx, "Add", {args[0], Const(ctx, Tensor::ScalarInt(1))})};
+      });
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.max_while_iterations = 10;  // exactly the loop's trip count
+    auto results = session.Run({}, outs, &opts);
+    EXPECT_EQ(AsTensor(results[0]).scalar_int(), 10) << "inter=" << inter;
+    opts.max_while_iterations = 9;  // one short: the guard must fire
+    EXPECT_THROW((void)session.Run({}, outs, &opts), Error)
+        << "inter=" << inter;
+  }
+}
+
 TEST(Cancellation, InterruptOutcomeRecordedInRunMetadata) {
   Graph g;
   GraphContext ctx(&g);
