@@ -8,8 +8,15 @@
 // deadline, and with a live-but-never-cancelled token, in both Session
 // engines. The three curves should be indistinguishable; a gap is a
 // regression in CancelCheck::Poll.
+//
+// BM_MatMul_UnwindLatency measures the other side of the contract:
+// worst-case time from the interrupt tripping to the engine actually
+// unwinding, with the trip landing inside a large MatMul. The
+// kernel-interior panel poll (every kPanel=256 k-rows) bounds this at
+// roughly one panel's worth of compute instead of the whole kernel.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "exec/session.h"
@@ -110,6 +117,54 @@ void ApplyEngineArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_While_Unarmed)->Apply(ApplyEngineArgs);
 BENCHMARK(BM_While_ArmedDeadline)->Apply(ApplyEngineArgs);
 BENCHMARK(BM_While_ArmedToken)->Apply(ApplyEngineArgs);
+
+// Worst-case unwind latency: a 1ms deadline is guaranteed to trip while
+// a multi-hundred-ms MatMul chain is still inside its first kernel, so
+// every sample exercises the kernel-interior panel poll. unwind_us_max
+// approximates the longest stretch of compute between polls; without
+// the interior poll it would be the full MatMul wall time.
+void BM_MatMul_UnwindLatency(benchmark::State& state) {
+  Graph g;
+  std::vector<Output> outs;
+  {
+    GraphContext ctx(&g);
+    Output x = Placeholder(ctx, "x", DType::kFloat32);
+    Output w = Placeholder(ctx, "w", DType::kFloat32);
+    Output y = Op(ctx, "MatMul", {x, w});
+    y = Op(ctx, "MatMul", {y, w});
+    outs = {y};
+  }
+  Session session(&g);
+
+  obs::RunOptions opts = EngineOptions(static_cast<int>(state.range(0)));
+  opts.step_stats = true;  // unwind_ns arrives via RunMetadata
+  opts.deadline_ms = 1;
+  const Tensor x = Tensor::Full({256, 2048}, 0.5f);
+  const Tensor w = Tensor::Full({2048, 2048}, 0.001f);
+
+  int64_t total_ns = 0;
+  int64_t worst_ns = 0;
+  int64_t samples = 0;
+  for (auto _ : state) {
+    obs::RunMetadata meta;
+    try {
+      benchmark::DoNotOptimize(
+          session.Run({{"x", x}, {"w", w}}, outs, &opts, &meta));
+    } catch (const Error&) {
+      // Expected: every run dies on the deadline mid-kernel.
+    }
+    total_ns += meta.unwind_ns;
+    worst_ns = std::max(worst_ns, meta.unwind_ns);
+    ++samples;
+  }
+  state.counters["unwind_us_avg"] =
+      samples > 0 ? static_cast<double>(total_ns) / 1000.0 /
+                        static_cast<double>(samples)
+                  : 0;
+  state.counters["unwind_us_max"] = static_cast<double>(worst_ns) / 1000.0;
+}
+
+BENCHMARK(BM_MatMul_UnwindLatency)->Apply(ApplyEngineArgs);
 
 }  // namespace
 }  // namespace ag

@@ -14,6 +14,9 @@ for b in "${BUILD_DIR}"/bench/bench_*; do
   if [ "$(basename "$b")" = "bench_parallel_scaling" ]; then
     # Machine-readable scaling numbers for CI artifacts / regression diffing.
     extra="--benchmark_out=${BUILD_DIR}/BENCH_parallel.json --benchmark_out_format=json"
+  elif [ "$(basename "$b")" = "bench_memory" ]; then
+    # Machine-readable allocator numbers (allocs/run, hit rate, peak live).
+    extra="--benchmark_out=${BUILD_DIR}/BENCH_memory.json --benchmark_out_format=json"
   fi
   "$b" --benchmark_min_time=0.2 ${extra} 2>&1
   echo

@@ -204,6 +204,7 @@ Value AutoGraph::CallEager(const std::string& fn_name,
                                  : "deadline_exceeded";
       if (cancel.has_value() && cancel->tripped_at_ns() > 0) {
         delta.unwind_ns = now - cancel->tripped_at_ns();
+        delta.unwind_samples_ns.push_back(delta.unwind_ns);
       }
       run_metadata->Merge(delta);
     }

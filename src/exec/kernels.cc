@@ -75,14 +75,33 @@ Tensor FillRandom(const Node& n, uint64_t salt, Dist dist) {
 }
 
 Kernel Unary(Tensor (*fn)(const Tensor&)) {
-  return [fn](const Node&, const std::vector<RuntimeValue>& in) {
+  return [fn](const Node&, std::vector<RuntimeValue>& in) {
     return std::vector<RuntimeValue>{fn(AsTensor(in[0]))};
   };
 }
 
 Kernel Binary(Tensor (*fn)(const Tensor&, const Tensor&)) {
-  return [fn](const Node&, const std::vector<RuntimeValue>& in) {
+  return [fn](const Node&, std::vector<RuntimeValue>& in) {
     return std::vector<RuntimeValue>{fn(AsTensor(in[0]), AsTensor(in[1]))};
+  };
+}
+
+// Moving adapters for ops with in-place rvalue overloads. The
+// function-pointer parameter type picks the && overload out of the
+// overload set, and TakeTensor hands the op whatever ownership the
+// executor left in the input slot: sole-owned when this step was the
+// value's last use (liveness moved it in), shared otherwise — the op's
+// own refcount check then decides between in-place and copy.
+Kernel UnaryM(Tensor (*fn)(Tensor&&)) {
+  return [fn](const Node&, std::vector<RuntimeValue>& in) {
+    return std::vector<RuntimeValue>{fn(TakeTensor(in[0]))};
+  };
+}
+
+Kernel BinaryM(Tensor (*fn)(Tensor&&, Tensor&&)) {
+  return [fn](const Node&, std::vector<RuntimeValue>& in) {
+    return std::vector<RuntimeValue>{
+        fn(TakeTensor(in[0]), TakeTensor(in[1]))};
   };
 }
 
@@ -101,49 +120,49 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     auto* r = new std::unordered_map<std::string, Kernel>();
     auto& reg = *r;
 
-    reg["Const"] = [](const Node& n, const std::vector<RuntimeValue>&) {
+    reg["Const"] = [](const Node& n, std::vector<RuntimeValue>&) {
       return One(n.attr<Tensor>("value"));
     };
-    reg["Identity"] = [](const Node&, const std::vector<RuntimeValue>& in) {
-      return std::vector<RuntimeValue>{in[0]};
+    reg["Identity"] = [](const Node&, std::vector<RuntimeValue>& in) {
+      return std::vector<RuntimeValue>{std::move(in[0])};
     };
-    reg["NoOp"] = [](const Node&, const std::vector<RuntimeValue>&) {
+    reg["NoOp"] = [](const Node&, std::vector<RuntimeValue>&) {
       return std::vector<RuntimeValue>{Tensor::Scalar(0.0f)};
     };
 
-    // Elementwise binary.
-    reg["Add"] = Binary(&Add);
-    reg["Sub"] = Binary(&Sub);
-    reg["Mul"] = Binary(&Mul);
-    reg["Div"] = Binary(&Div);
-    reg["FloorDiv"] = Binary(&FloorDiv);
-    reg["Mod"] = Binary(&Mod);
-    reg["Pow"] = Binary(&Pow);
-    reg["Maximum"] = Binary(&Maximum);
-    reg["Minimum"] = Binary(&Minimum);
-    reg["Less"] = Binary(&Less);
-    reg["LessEqual"] = Binary(&LessEqual);
-    reg["Greater"] = Binary(&Greater);
-    reg["GreaterEqual"] = Binary(&GreaterEqual);
-    reg["Equal"] = Binary(&Equal);
-    reg["NotEqual"] = Binary(&NotEqual);
-    reg["LogicalAnd"] = Binary(&LogicalAnd);
-    reg["LogicalOr"] = Binary(&LogicalOr);
+    // Elementwise binary — moving adapters so dead inputs are reused.
+    reg["Add"] = BinaryM(&Add);
+    reg["Sub"] = BinaryM(&Sub);
+    reg["Mul"] = BinaryM(&Mul);
+    reg["Div"] = BinaryM(&Div);
+    reg["FloorDiv"] = BinaryM(&FloorDiv);
+    reg["Mod"] = BinaryM(&Mod);
+    reg["Pow"] = BinaryM(&Pow);
+    reg["Maximum"] = BinaryM(&Maximum);
+    reg["Minimum"] = BinaryM(&Minimum);
+    reg["Less"] = BinaryM(&Less);
+    reg["LessEqual"] = BinaryM(&LessEqual);
+    reg["Greater"] = BinaryM(&Greater);
+    reg["GreaterEqual"] = BinaryM(&GreaterEqual);
+    reg["Equal"] = BinaryM(&Equal);
+    reg["NotEqual"] = BinaryM(&NotEqual);
+    reg["LogicalAnd"] = BinaryM(&LogicalAnd);
+    reg["LogicalOr"] = BinaryM(&LogicalOr);
 
     // Elementwise unary.
-    reg["Neg"] = Unary(&Neg);
-    reg["Exp"] = Unary(&Exp);
-    reg["Log"] = Unary(&Log);
-    reg["Tanh"] = Unary(&Tanh);
-    reg["Sigmoid"] = Unary(&Sigmoid);
-    reg["Relu"] = Unary(&Relu);
-    reg["Sqrt"] = Unary(&Sqrt);
-    reg["Abs"] = Unary(&Abs);
-    reg["Sign"] = Unary(&Sign);
-    reg["Square"] = Unary(&Square);
-    reg["Sin"] = Unary(&Sin);
-    reg["Cos"] = Unary(&Cos);
-    reg["LogicalNot"] = Unary(&LogicalNot);
+    reg["Neg"] = UnaryM(&Neg);
+    reg["Exp"] = UnaryM(&Exp);
+    reg["Log"] = UnaryM(&Log);
+    reg["Tanh"] = UnaryM(&Tanh);
+    reg["Sigmoid"] = UnaryM(&Sigmoid);
+    reg["Relu"] = UnaryM(&Relu);
+    reg["Sqrt"] = UnaryM(&Sqrt);
+    reg["Abs"] = UnaryM(&Abs);
+    reg["Sign"] = UnaryM(&Sign);
+    reg["Square"] = UnaryM(&Square);
+    reg["Sin"] = UnaryM(&Sin);
+    reg["Cos"] = UnaryM(&Cos);
+    reg["LogicalNot"] = UnaryM(&LogicalNot);
     reg["Softmax"] = Unary(&Softmax);
     reg["LogSoftmax"] = Unary(&LogSoftmax);
 
@@ -152,54 +171,54 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     reg["SoftmaxCrossEntropyGrad"] = Binary(&SoftmaxCrossEntropyGrad);
 
     // Reductions.
-    reg["ReduceSum"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["ReduceSum"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(ReduceSum(AsTensor(in[0]), AttrAxis(n),
                            n.HasAttr("keepdims") &&
                                n.attr<int64_t>("keepdims") != 0));
     };
     reg["ReduceMean"] = [](const Node& n,
-                           const std::vector<RuntimeValue>& in) {
+                           std::vector<RuntimeValue>& in) {
       return One(ReduceMean(AsTensor(in[0]), AttrAxis(n),
                             n.HasAttr("keepdims") &&
                                 n.attr<int64_t>("keepdims") != 0));
     };
-    reg["ReduceMax"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["ReduceMax"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(ReduceMax(AsTensor(in[0]), AttrAxis(n),
                            n.HasAttr("keepdims") &&
                                n.attr<int64_t>("keepdims") != 0));
     };
-    reg["ReduceMin"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["ReduceMin"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(ReduceMin(AsTensor(in[0]), AttrAxis(n),
                            n.HasAttr("keepdims") &&
                                n.attr<int64_t>("keepdims") != 0));
     };
-    reg["ArgMax"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["ArgMax"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(ArgMax(AsTensor(in[0]),
                         static_cast<int>(n.attr<int64_t>("axis"))));
     };
 
     // Shape manipulation.
-    reg["Reshape"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["Reshape"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       const std::vector<int>& dims = n.attr<std::vector<int>>("dims");
       std::vector<int64_t> d64(dims.begin(), dims.end());
       return One(Reshape(AsTensor(in[0]), Shape(std::move(d64))));
     };
-    reg["Transpose"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["Transpose"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(Transpose(AsTensor(in[0]), n.attr<std::vector<int>>("perm")));
     };
-    reg["Concat"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["Concat"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       std::vector<Tensor> parts;
       parts.reserve(in.size());
       for (const RuntimeValue& v : in) parts.push_back(AsTensor(v));
       return One(Concat(parts, static_cast<int>(n.attr<int64_t>("axis"))));
     };
-    reg["Pack"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Pack"] = [](const Node&, std::vector<RuntimeValue>& in) {
       std::vector<Tensor> parts;
       parts.reserve(in.size());
       for (const RuntimeValue& v : in) parts.push_back(AsTensor(v));
       return One(Stack(parts));
     };
-    reg["Shape"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Shape"] = [](const Node&, std::vector<RuntimeValue>& in) {
       const Shape& s = AsTensor(in[0]).shape();
       std::vector<float> dims;
       dims.reserve(static_cast<size_t>(s.rank()));
@@ -207,37 +226,38 @@ const std::unordered_map<std::string, Kernel>& Registry() {
       return One(Tensor::FromVector(std::move(dims), Shape({s.rank()}),
                                     DType::kInt32));
     };
-    reg["Size"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Size"] = [](const Node&, std::vector<RuntimeValue>& in) {
       return One(Tensor::ScalarInt(AsTensor(in[0]).num_elements()));
     };
-    reg["Dim0"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Dim0"] = [](const Node&, std::vector<RuntimeValue>& in) {
       const Tensor& t = AsTensor(in[0]);
       if (t.rank() < 1) throw RuntimeError("Dim0 of a scalar tensor");
       return One(Tensor::ScalarInt(t.shape().dim(0)));
     };
-    reg["Assert"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["Assert"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       if (!AsTensor(in[0]).scalar_bool()) {
         throw RuntimeError("assertion failed: " +
                            (n.HasAttr("message")
                                 ? n.attr<std::string>("message")
                                 : std::string("<no message>")));
       }
-      return std::vector<RuntimeValue>{in[0]};
+      return std::vector<RuntimeValue>{std::move(in[0])};
     };
-    reg["Cast"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
-      return One(AsTensor(in[0]).Cast(n.attr<DType>("dtype")));
+    reg["Cast"] = [](const Node& n, std::vector<RuntimeValue>& in) {
+      // Rvalue Cast: rewrites the buffer in place when sole-owned.
+      return One(TakeTensor(in[0]).Cast(n.attr<DType>("dtype")));
     };
-    reg["ZerosLike"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["ZerosLike"] = [](const Node&, std::vector<RuntimeValue>& in) {
       const Tensor& t = AsTensor(in[0]);
       return One(Tensor::Zeros(t.shape(), t.dtype()));
     };
-    reg["OnesLike"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["OnesLike"] = [](const Node&, std::vector<RuntimeValue>& in) {
       const Tensor& t = AsTensor(in[0]);
       return One(Tensor::Ones(t.shape(), t.dtype()));
     };
 
     reg["ExpandDims"] = [](const Node& n,
-                           const std::vector<RuntimeValue>& in) {
+                           std::vector<RuntimeValue>& in) {
       const Tensor& t = AsTensor(in[0]);
       auto axis = static_cast<int>(n.attr<int64_t>("axis"));
       std::vector<int64_t> dims = t.shape().dims();
@@ -247,27 +267,30 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     };
     // Reshapes input 0 to the shape of input 1 (same element count).
     reg["ReshapeLike"] = [](const Node&,
-                            const std::vector<RuntimeValue>& in) {
+                            std::vector<RuntimeValue>& in) {
       return One(AsTensor(in[0]).Reshaped(AsTensor(in[1]).shape()));
     };
     // Reduce-sums input 0 down to the shape of input 1 (gradient routing
     // for broadcasting binary ops; see autodiff/graph_grad.cc).
     reg["SumToShapeOf"] = [](const Node&,
-                             const std::vector<RuntimeValue>& in) {
+                             std::vector<RuntimeValue>& in) {
       return One(SumToShape(AsTensor(in[0]), AsTensor(in[1]).shape()));
     };
 
     // Indexing / selection.
-    reg["IndexAxis0"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["IndexAxis0"] = [](const Node&, std::vector<RuntimeValue>& in) {
       return One(IndexAxis0(AsTensor(in[0]), AsTensor(in[1]).scalar_int()));
     };
     reg["SetItemAxis0"] = [](const Node&,
-                             const std::vector<RuntimeValue>& in) {
-      return One(SetItemAxis0(AsTensor(in[0]), AsTensor(in[1]).scalar_int(),
-                              AsTensor(in[2])));
+                             std::vector<RuntimeValue>& in) {
+      // Read index before consuming in[0] (distinct slots, but keep the
+      // order obvious); the rvalue overload patches just the row when
+      // the target is sole-owned.
+      const int64_t index = AsTensor(in[1]).scalar_int();
+      return One(SetItemAxis0(TakeTensor(in[0]), index, AsTensor(in[2])));
     };
     // Contiguous row slice [start, start+len) along axis 0.
-    reg["SliceRows"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["SliceRows"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       const Tensor& x = AsTensor(in[0]);
       const auto start = n.attr<int64_t>("start");
       const auto len = n.attr<int64_t>("len");
@@ -283,16 +306,16 @@ const std::unordered_map<std::string, Kernel>& Registry() {
                                     x.dtype()));
     };
     reg["Gather"] = Binary(&Gather);
-    reg["Where"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Where"] = [](const Node&, std::vector<RuntimeValue>& in) {
       return One(Where(AsTensor(in[0]), AsTensor(in[1]), AsTensor(in[2])));
     };
-    reg["OneHot"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["OneHot"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       return One(OneHot(AsTensor(in[0]), n.attr<int64_t>("depth")));
     };
-    reg["Range"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Range"] = [](const Node&, std::vector<RuntimeValue>& in) {
       return One(Range(AsTensor(in[0]).scalar_int()));
     };
-    reg["TopK"] = [](const Node& n, const std::vector<RuntimeValue>& in) {
+    reg["TopK"] = [](const Node& n, std::vector<RuntimeValue>& in) {
       auto [values, indices] = TopK(AsTensor(in[0]), n.attr<int64_t>("k"));
       return std::vector<RuntimeValue>{std::move(values), std::move(indices)};
     };
@@ -301,19 +324,19 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     // Counter-based: each node has its own stream, advanced once per
     // invocation per run, so parallel == sequential bit-for-bit.
     reg["RandomNormal"] = [](const Node& n,
-                             const std::vector<RuntimeValue>&) {
+                             std::vector<RuntimeValue>&) {
       return One(FillRandom(n, /*salt=*/12345,
                             std::normal_distribution<float>(0.0f, 1.0f)));
     };
     reg["RandomUniform"] = [](const Node& n,
-                              const std::vector<RuntimeValue>&) {
+                              std::vector<RuntimeValue>&) {
       return One(FillRandom(
           n, /*salt=*/54321,
           std::uniform_real_distribution<float>(0.0f, 1.0f)));
     };
 
     // Print: logs at graph runtime (the staged form of `print`).
-    reg["Print"] = [](const Node&, const std::vector<RuntimeValue>& in) {
+    reg["Print"] = [](const Node&, std::vector<RuntimeValue>& in) {
       for (const RuntimeValue& v : in) {
         if (IsTensor(v)) {
           std::cout << AsTensor(v).DebugString() << " ";
@@ -323,25 +346,28 @@ const std::unordered_map<std::string, Kernel>& Registry() {
       }
       std::cout << "\n";
       return std::vector<RuntimeValue>{in.empty() ? RuntimeValue(Tensor())
-                                                  : in[0]};
+                                                  : std::move(in[0])};
     };
 
     // TensorList ops.
-    reg["TensorListNew"] = [](const Node&, const std::vector<RuntimeValue>&) {
+    reg["TensorListNew"] = [](const Node&, std::vector<RuntimeValue>&) {
       return std::vector<RuntimeValue>{std::make_shared<TensorList>()};
     };
     reg["TensorListPushBack"] = [](const Node&,
-                                   const std::vector<RuntimeValue>& in) {
+                                   std::vector<RuntimeValue>& in) {
+      // Consume the incoming handle: when the executor moved the last
+      // live reference in (the staged While append idiom), PushBackMove
+      // appends in place instead of copying the whole list.
       return std::vector<RuntimeValue>{
-          AsList(in[0])->PushBack(AsTensor(in[1]))};
+          TensorList::PushBackMove(TakeList(in[0]), TakeTensor(in[1]))};
     };
     reg["TensorListPopBack"] = [](const Node&,
-                                  const std::vector<RuntimeValue>& in) {
+                                  std::vector<RuntimeValue>& in) {
       auto [list, last] = AsList(in[0])->PopBack();
       return std::vector<RuntimeValue>{std::move(list), std::move(last)};
     };
     reg["TensorListStack"] = [](const Node&,
-                                const std::vector<RuntimeValue>& in) {
+                                std::vector<RuntimeValue>& in) {
       const TensorListPtr& list = AsList(in[0]);
       if (list->size() == 0) {
         throw RuntimeError("cannot stack an empty TensorList");
@@ -349,16 +375,16 @@ const std::unordered_map<std::string, Kernel>& Registry() {
       return One(Stack(list->items()));
     };
     reg["TensorListGet"] = [](const Node&,
-                              const std::vector<RuntimeValue>& in) {
+                              std::vector<RuntimeValue>& in) {
       return One(AsList(in[0])->at(AsTensor(in[1]).scalar_int()));
     };
     reg["TensorListSet"] = [](const Node&,
-                              const std::vector<RuntimeValue>& in) {
+                              std::vector<RuntimeValue>& in) {
       return std::vector<RuntimeValue>{AsList(in[0])->Set(
           AsTensor(in[1]).scalar_int(), AsTensor(in[2]))};
     };
     reg["TensorListLen"] = [](const Node&,
-                              const std::vector<RuntimeValue>& in) {
+                              std::vector<RuntimeValue>& in) {
       return One(Tensor::ScalarInt(AsList(in[0])->size()));
     };
 

@@ -14,8 +14,14 @@
 
 namespace ag::exec {
 
+// Kernels receive their inputs by mutable reference and may consume
+// (move out of) any element: the executor hands each kernel the last
+// live handle to an edge value whenever the plan's liveness pass proved
+// this step is its final consumer, which is what lets the elementwise
+// kernels write in place and the list kernels append without copying.
+// A kernel must not assume inputs are intact after it returns.
 using Kernel = std::function<std::vector<RuntimeValue>(
-    const graph::Node&, const std::vector<RuntimeValue>&)>;
+    const graph::Node&, std::vector<RuntimeValue>&)>;
 
 // Invocation counters for the stateful random ops. Each random node
 // draws from its own stream, seeded by (node name, invocation index) —

@@ -10,6 +10,7 @@
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "support/error.h"
+#include "tensor/allocator.h"
 
 namespace ag::exec {
 
@@ -149,6 +150,7 @@ std::vector<RuntimeValue> Session::Run(
     ctx.inter_op_threads = options->inter_op_threads;
     ctx.intra_op_threads = options->intra_op_threads;
     ctx.max_while_iterations = options->max_while_iterations;
+    ctx.buffer_pool = options->buffer_pool;
     if (options->cancellable()) {
       cancel.emplace(options->cancel_token, options->deadline_ms,
                      options->inject_cancel_after_kernels);
@@ -171,6 +173,24 @@ std::vector<RuntimeValue> Session::Run(
   if (ctx.cancel != nullptr) cancel_scope.emplace(ctx.cancel);
   std::optional<runtime::IntraOpScope> intra;
   if (ctx.intra_op_threads > 0) intra.emplace(ctx.intra_op_threads);
+  // RunOptions::buffer_pool=false restores the unpooled allocation path
+  // for this run (helpers mirror the scope per drain).
+  std::optional<tensor::PoolDisableScope> pool_off;
+  if (!ctx.buffer_pool) pool_off.emplace();
+
+  // Allocator counters are process-wide monotonic; an instrumented run
+  // reports its own activity as a before/after delta.
+  const tensor::PoolStats pool0 =
+      instrument ? tensor::BufferPool::Global().stats() : tensor::PoolStats{};
+  auto stamp_alloc = [&](obs::RunMetadata* meta_out) {
+    if (meta_out == nullptr) return;
+    const tensor::PoolStats p = tensor::BufferPool::Global().stats();
+    meta_out->alloc_count += p.alloc_count - pool0.alloc_count;
+    meta_out->alloc_bytes += p.alloc_bytes - pool0.alloc_bytes;
+    meta_out->pool_hit_count += p.pool_hit_count - pool0.pool_hit_count;
+    meta_out->peak_live_bytes =
+        std::max(meta_out->peak_live_bytes, p.peak_live_bytes);
+  };
 
   std::vector<RuntimeValue> results;
   try {
@@ -198,6 +218,7 @@ std::vector<RuntimeValue> Session::Run(
       if (metadata != nullptr) {
         metadata->runs += 1;
         metadata->run_wall_ns += now - t0;
+        stamp_alloc(metadata);
         if (e.kind() == ErrorKind::kCancelled ||
             e.kind() == ErrorKind::kDeadlineExceeded) {
           metadata->interrupted_runs += 1;
@@ -206,6 +227,8 @@ std::vector<RuntimeValue> Session::Run(
                                          : "deadline_exceeded";
           if (cancel.has_value() && cancel->tripped_at_ns() > 0) {
             metadata->unwind_ns += now - cancel->tripped_at_ns();
+            metadata->unwind_samples_ns.push_back(now -
+                                                  cancel->tripped_at_ns());
           }
         }
       }
@@ -224,6 +247,7 @@ std::vector<RuntimeValue> Session::Run(
     if (metadata != nullptr) {
       metadata->runs += 1;
       metadata->run_wall_ns += wall;
+      stamp_alloc(metadata);
     }
   }
   return results;
@@ -327,7 +351,7 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     {
       obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (Cond)", "control");
-      outputs = ExecSubgraph(branch, args, ctx);
+      outputs = ExecSubgraph(branch, std::move(args), ctx);
     }
     if (outputs.empty()) outputs = {Tensor()};  // 0-output cond placeholder
   } else if (op == "While") {
@@ -359,10 +383,15 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     try {
       for (;; ++iter) {
         if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
+        // The condition sees copies (loop vars survive it); the body
+        // consumes the loop vars themselves, so after the first
+        // iteration each carried value enters the body sole-owned and
+        // the in-place kernel paths can recycle its buffer.
         std::vector<RuntimeValue> cond_args = loop_vars;
         cond_args.insert(cond_args.end(), cond_caps.begin(),
                          cond_caps.end());
-        std::vector<RuntimeValue> test = ExecSubgraph(cond_g, cond_args, ctx);
+        std::vector<RuntimeValue> test =
+            ExecSubgraph(cond_g, std::move(cond_args), ctx);
         if (test.size() != 1) {
           throw RuntimeError("while condition must produce a single value");
         }
@@ -376,10 +405,10 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
                              "); runaway staged loop?");
         }
         if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
-        std::vector<RuntimeValue> body_args = loop_vars;
+        std::vector<RuntimeValue> body_args = std::move(loop_vars);
         body_args.insert(body_args.end(), body_caps.begin(),
                          body_caps.end());
-        loop_vars = ExecSubgraph(body_g, body_args, ctx);
+        loop_vars = ExecSubgraph(body_g, std::move(body_args), ctx);
       }
     } catch (const Error& e) {
       RethrowWithWhileContext(e, node->name(), iter);
@@ -396,6 +425,8 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     if (ctx.cancel != nullptr) ctx.cancel->PollKernel(node->name());
     ++stats_.kernel_invocations;
     const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+    const int64_t alloc0 =
+        ctx.rec != nullptr ? tensor::ThreadAllocCount() : 0;
     try {
       outputs = kernel(*node, inputs);
     } catch (const Error& e) {
@@ -405,7 +436,8 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     }
     if (ctx.rec != nullptr) {
       ctx.rec->RecordNode(node->name(), op, t0, obs::NowNs(),
-                          OutputBytes(outputs));
+                          OutputBytes(outputs),
+                          tensor::ThreadAllocCount() - alloc0);
     }
   }
 
@@ -414,8 +446,9 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
   return ins->second;
 }
 
-std::vector<RuntimeValue> Session::ExecSubgraph(
-    const FuncGraph& fg, const std::vector<RuntimeValue>& args, RunCtx& ctx) {
+std::vector<RuntimeValue> Session::ExecSubgraph(const FuncGraph& fg,
+                                                std::vector<RuntimeValue> args,
+                                                RunCtx& ctx) {
   std::vector<std::vector<RuntimeValue>> scratch;
   return RunPlan(PlanFor(fg, ctx), args, &scratch, ctx);
 }
@@ -544,6 +577,61 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
     }
     prev = i;
   }
+
+  // Last-use liveness over the finalized schedule: flag, per step input,
+  // whether the executor may hand the step the slot's own value handle
+  // instead of a copy. kMoveSeq marks a value's final consumer in plan
+  // order — valid for the sequential engine, where plan order is
+  // execution order and the flagged occurrence is the last of possibly
+  // many (a within-step duplicate like Mul(x, x) moves only its second
+  // reference; the kernel still sees a shared buffer and copies).
+  // kMoveAlways additionally requires that reference to be the value's
+  // only one anywhere in the plan, which is the condition under which
+  // the parallel drain may move too: the producer's pending-count
+  // release/acquire orders its slot write before the sole consumer's
+  // read, and no other step — whatever order the scheduler picks —
+  // ever touches the slot. Values fetched by plan.returns are excluded
+  // from consumer moves entirely; returns_move instead releases each
+  // from its slot at its final fetch, so While loop-carried values
+  // re-enter the next iteration sole-owned and eligible for in-place
+  // reuse. The stateful chain contributes ordering edges, not data
+  // reads, so it is invisible here. Cond/While sub-plans are compiled
+  // separately and analyzed on their own: a capture crossing the
+  // boundary is an ordinary step input here and an ordinary arg there,
+  // each moved only at its own last use (conservative both sides).
+  struct Use {
+    int count = 0;
+    int step = -1;
+    int input = -1;
+  };
+  std::map<std::pair<int, int>, Use> uses;
+  for (int i = 0; i < num_steps; ++i) {
+    Plan::Step& s = plan.steps[i];
+    s.input_move.assign(s.inputs.size(), Plan::kKeep);
+    for (size_t j = 0; j < s.inputs.size(); ++j) {
+      Use& u = uses[{s.inputs[j].step, s.inputs[j].output}];
+      ++u.count;
+      u.step = i;
+      u.input = static_cast<int>(j);
+    }
+  }
+  for (const Plan::InputRef& r : plan.returns) {
+    uses.erase({r.step, r.output});
+  }
+  for (const auto& [key, u] : uses) {
+    plan.steps[u.step].input_move[static_cast<size_t>(u.input)] =
+        (u.count == 1 && key.first >= 0) ? Plan::kMoveAlways
+                                         : Plan::kMoveSeq;
+  }
+  plan.returns_move.assign(plan.returns.size(), 0);
+  std::map<std::pair<int, int>, size_t> last_fetch;
+  for (size_t i = 0; i < plan.returns.size(); ++i) {
+    last_fetch[{plan.returns[i].step, plan.returns[i].output}] = i;
+  }
+  for (const auto& [key, i] : last_fetch) {
+    (void)key;
+    plan.returns_move[i] = 1;
+  }
   return plan;
 }
 
@@ -586,7 +674,7 @@ const Session::Plan& Session::TopPlanFor(const std::vector<Output>& fetches,
 }
 
 void Session::ExecStep(const Plan::Step& step,
-                       const std::vector<RuntimeValue>& inputs,
+                       std::vector<RuntimeValue>& inputs,
                        std::vector<RuntimeValue>* out, RunCtx& ctx) {
   ++stats_.nodes_executed;
   const Node* node = step.node;
@@ -595,6 +683,8 @@ void Session::ExecStep(const Plan::Step& step,
       if (ctx.cancel != nullptr) ctx.cancel->PollKernel(node->name());
       ++stats_.kernel_invocations;
       const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+      const int64_t alloc0 =
+          ctx.rec != nullptr ? tensor::ThreadAllocCount() : 0;
       try {
         *out = (*step.kernel)(*node, inputs);
       } catch (const Error& e) {
@@ -604,7 +694,8 @@ void Session::ExecStep(const Plan::Step& step,
       }
       if (ctx.rec != nullptr) {
         ctx.rec->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
-                            OutputBytes(*out));
+                            OutputBytes(*out),
+                            tensor::ThreadAllocCount() - alloc0);
       }
       break;
     }
@@ -618,10 +709,14 @@ void Session::ExecStep(const Plan::Step& step,
           node->attr<std::shared_ptr<graph::Graph>>(
               taken ? "then_branch" : "else_branch"));
       const size_t offset = taken ? 1 : 1 + then_ncaps;
+      // The taken branch consumes its captures (the untaken branch's die
+      // with `inputs`); moved-in handles flow through to branch kernels.
       std::vector<RuntimeValue> branch_args(
-          inputs.begin() + static_cast<std::ptrdiff_t>(offset),
-          inputs.begin() +
-              static_cast<std::ptrdiff_t>(offset + branch.captures.size()));
+          std::make_move_iterator(inputs.begin() +
+                                  static_cast<std::ptrdiff_t>(offset)),
+          std::make_move_iterator(
+              inputs.begin() +
+              static_cast<std::ptrdiff_t>(offset + branch.captures.size())));
       std::vector<std::vector<RuntimeValue>> branch_scratch;
       obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (Cond)", "control");
@@ -639,13 +734,18 @@ void Session::ExecStep(const Plan::Step& step,
       const auto& body_g = *std::static_pointer_cast<FuncGraph>(
           node->attr<std::shared_ptr<graph::Graph>>("body"));
       std::vector<RuntimeValue> loop_vars(
-          inputs.begin(), inputs.begin() + static_cast<std::ptrdiff_t>(n));
+          std::make_move_iterator(inputs.begin()),
+          std::make_move_iterator(inputs.begin() +
+                                  static_cast<std::ptrdiff_t>(n)));
       std::vector<RuntimeValue> cond_caps(
-          inputs.begin() + static_cast<std::ptrdiff_t>(n),
-          inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps));
+          std::make_move_iterator(inputs.begin() +
+                                  static_cast<std::ptrdiff_t>(n)),
+          std::make_move_iterator(
+              inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps)));
       std::vector<RuntimeValue> body_caps(
-          inputs.begin() + static_cast<std::ptrdiff_t>(n + cond_ncaps),
-          inputs.end());
+          std::make_move_iterator(inputs.begin() +
+                                  static_cast<std::ptrdiff_t>(n + cond_ncaps)),
+          std::make_move_iterator(inputs.end()));
       const Plan& cond_plan = PlanFor(cond_g, ctx);
       const Plan& body_plan = PlanFor(body_g, ctx);
       std::vector<std::vector<RuntimeValue>> cond_scratch;
@@ -658,11 +758,16 @@ void Session::ExecStep(const Plan::Step& step,
       try {
         for (;; ++iter) {
           if (ctx.cancel != nullptr) ctx.cancel->Poll("loop head", iter);
+          // The condition runs on copies; dropping them right after
+          // keeps each carried value sole-owned when the body consumes
+          // it below, which is what lets the body's kernels recycle the
+          // previous iteration's buffers in place.
           cond_args.assign(loop_vars.begin(), loop_vars.end());
           cond_args.insert(cond_args.end(), cond_caps.begin(),
                            cond_caps.end());
           std::vector<RuntimeValue> test =
               RunPlan(cond_plan, cond_args, &cond_scratch, ctx);
+          cond_args.clear();
           if (test.size() != 1) {
             throw RuntimeError(
                 "while condition must produce a single value");
@@ -677,7 +782,11 @@ void Session::ExecStep(const Plan::Step& step,
                                "); runaway staged loop?");
           }
           if (ctx.rec != nullptr) ctx.rec->CountWhileIteration();
-          body_args.assign(loop_vars.begin(), loop_vars.end());
+          body_args.clear();
+          body_args.reserve(loop_vars.size() + body_caps.size());
+          for (RuntimeValue& lv : loop_vars) {
+            body_args.push_back(std::move(lv));
+          }
           body_args.insert(body_args.end(), body_caps.begin(),
                            body_caps.end());
           loop_vars = RunPlan(body_plan, body_args, &body_scratch, ctx);
@@ -708,6 +817,9 @@ void Session::ExecStep(const Plan::Step& step,
     case Plan::Kind::kAssign: {
       const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
       {
+        // The store keeps its own handle; the extra refcount is what
+        // protects the variable from in-place mutation by downstream
+        // consumers of the Assign's output.
         std::lock_guard<std::mutex> lock(var_mu_);
         variables_[node->attr<std::string>("var_name")] =
             AsTensor(inputs[0]);
@@ -716,7 +828,7 @@ void Session::ExecStep(const Plan::Step& step,
         ctx.rec->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
                             OutputBytes({inputs[0]}));
       }
-      *out = {inputs[0]};
+      *out = {std::move(inputs[0])};
       break;
     }
     case Plan::Kind::kArg:
@@ -725,34 +837,48 @@ void Session::ExecStep(const Plan::Step& step,
 }
 
 std::vector<RuntimeValue> Session::RunPlan(
-    const Plan& plan, const std::vector<RuntimeValue>& args,
+    const Plan& plan, std::vector<RuntimeValue>& args,
     std::vector<std::vector<RuntimeValue>>* scratch, RunCtx& ctx) {
   // One output vector per step (steps are in execution order). The
   // caller-provided scratch lets While bodies reuse storage across
   // iterations instead of reallocating.
   std::vector<std::vector<RuntimeValue>>& slots = *scratch;
   if (slots.size() < plan.steps.size()) slots.resize(plan.steps.size());
-  auto resolve = [&](const Plan::InputRef& ref) -> const RuntimeValue& {
+  auto resolve = [&](const Plan::InputRef& ref) -> RuntimeValue& {
     if (ref.step < 0) return args[static_cast<size_t>(ref.output)];
     return slots[static_cast<size_t>(ref.step)]
                 [static_cast<size_t>(ref.output)];
   };
 
+  // Plan order is execution order here, so any input_move flag (last
+  // use in plan order) licenses handing the step the stored handle
+  // itself: the value's buffer becomes sole-owned inside the kernel
+  // and the in-place tensor_ops paths can recycle it.
   std::vector<RuntimeValue> inputs;
   for (size_t s = 0; s < plan.steps.size(); ++s) {
     const Plan::Step& step = plan.steps[s];
     inputs.clear();
     inputs.reserve(step.inputs.size());
-    for (const Plan::InputRef& ref : step.inputs) {
-      inputs.push_back(resolve(ref));
+    for (size_t j = 0; j < step.inputs.size(); ++j) {
+      RuntimeValue& src = resolve(step.inputs[j]);
+      if (step.input_move[j] != Plan::kKeep) {
+        inputs.push_back(std::move(src));
+      } else {
+        inputs.push_back(src);
+      }
     }
     ExecStep(step, inputs, &slots[s], ctx);
   }
 
   std::vector<RuntimeValue> results;
   results.reserve(plan.returns.size());
-  for (const Plan::InputRef& ref : plan.returns) {
-    results.push_back(resolve(ref));
+  for (size_t i = 0; i < plan.returns.size(); ++i) {
+    RuntimeValue& src = resolve(plan.returns[i]);
+    if (plan.returns_move[i] != 0) {
+      results.push_back(std::move(src));
+    } else {
+      results.push_back(src);
+    }
   }
   return results;
 }
@@ -792,11 +918,22 @@ std::vector<RuntimeValue> Session::RunPlanParallel(
   }
   std::vector<RuntimeValue> results;
   results.reserve(plan.returns.size());
-  for (const Plan::InputRef& ref : plan.returns) {
-    results.push_back(ref.step < 0
-                          ? args[static_cast<size_t>(ref.output)]
-                          : run->slots[static_cast<size_t>(ref.step)]
-                                      [static_cast<size_t>(ref.output)]);
+  for (size_t i = 0; i < plan.returns.size(); ++i) {
+    const Plan::InputRef& ref = plan.returns[i];
+    if (ref.step < 0) {
+      results.push_back(args[static_cast<size_t>(ref.output)]);
+    } else {
+      // Single-threaded epilogue (every claimed step has finished, and
+      // helpers touch slots only through claimed steps), so the final
+      // fetch may release each value from its slot.
+      RuntimeValue& src = run->slots[static_cast<size_t>(ref.step)]
+                                    [static_cast<size_t>(ref.output)];
+      if (plan.returns_move[i] != 0) {
+        results.push_back(std::move(src));
+      } else {
+        results.push_back(src);
+      }
+    }
   }
   return results;
 }
@@ -836,12 +973,22 @@ void Session::Drain(const std::shared_ptr<ParallelRun>& run,
       }
       std::vector<RuntimeValue> inputs;
       inputs.reserve(step.inputs.size());
-      for (const Plan::InputRef& ref : step.inputs) {
-        inputs.push_back(
-            ref.step < 0
-                ? (*run->args)[static_cast<size_t>(ref.output)]
-                : run->slots[static_cast<size_t>(ref.step)]
-                            [static_cast<size_t>(ref.output)]);
+      for (size_t j = 0; j < step.inputs.size(); ++j) {
+        const Plan::InputRef& ref = step.inputs[j];
+        if (ref.step < 0) {
+          inputs.push_back((*run->args)[static_cast<size_t>(ref.output)]);
+        } else if (step.input_move[j] == Plan::kMoveAlways) {
+          // Sole consumer: the producer's pending-count release/acquire
+          // ordered its slot write before this read, and no other step
+          // — in any schedule — touches the slot, so this claim may
+          // take the handle itself and unlock in-place kernel reuse.
+          inputs.push_back(
+              std::move(run->slots[static_cast<size_t>(ref.step)]
+                                  [static_cast<size_t>(ref.output)]));
+        } else {
+          inputs.push_back(run->slots[static_cast<size_t>(ref.step)]
+                                     [static_cast<size_t>(ref.output)]);
+        }
       }
       run->session->ExecStep(step, inputs,
                              &run->slots[static_cast<size_t>(s)], run->ctx);
@@ -912,6 +1059,8 @@ void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
       runtime::CancelCheckScope cancel(run->ctx.cancel);
       runtime::IntraOpScope intra(
           run->ctx.intra_op_threads > 0 ? run->ctx.intra_op_threads : 1);
+      std::optional<tensor::PoolDisableScope> pool_off;
+      if (!run->ctx.buffer_pool) pool_off.emplace();
       Drain(run, /*is_caller=*/false);
       std::lock_guard<std::mutex> lock(run->mu);
       --run->active_helpers;

@@ -141,6 +141,10 @@ class Session {
     runtime::CancelCheck* cancel = nullptr;
     // Finite runaway-loop guard (RunOptions::max_while_iterations).
     int64_t max_while_iterations = int64_t{1} << 31;
+    // RunOptions::buffer_pool: false pins a tensor::PoolDisableScope for
+    // the whole run (including pool helpers), restoring the unpooled
+    // allocation path.
+    bool buffer_pool = true;
   };
 
   struct Frame {
@@ -171,11 +175,24 @@ class Session {
       int step;    // producing step index (-1: function argument)
       int output;  // producer output index, or arg index when step < 0
     };
+    // Per-input liveness verdicts from CompilePlan's last-use pass.
+    // kMoveSeq: this step is the value's final consumer in plan order —
+    // the sequential executor hands the kernel the slot's own handle
+    // (enabling in-place buffer reuse) instead of a copy. kMoveAlways:
+    // additionally the value's only consumer anywhere in the plan, so
+    // the parallel drain may move too (no other step ever reads the
+    // slot). Values fetched by plan.returns are never moved into
+    // consumers; returns_move releases those at the final fetch.
+    static constexpr uint8_t kKeep = 0;
+    static constexpr uint8_t kMoveSeq = 1;
+    static constexpr uint8_t kMoveAlways = 2;
     struct Step {
       const graph::Node* node;
       Kind kind;
       const Kernel* kernel = nullptr;  // kKernel only
       std::vector<InputRef> inputs;
+      // Parallel to `inputs`: kKeep / kMoveSeq / kMoveAlways.
+      std::vector<uint8_t> input_move;
       // Consumer steps (deduped; includes the stateful-order chain).
       std::vector<int> successors;
       // Number of distinct producer steps that must finish first.
@@ -183,6 +200,10 @@ class Session {
     };
     std::vector<Step> steps;
     std::vector<InputRef> returns;
+    // Parallel to `returns`: 1 = move the value out of its slot at this
+    // (final) fetch, so e.g. While loop-carried values re-enter the
+    // next iteration sole-owned and eligible for in-place reuse.
+    std::vector<uint8_t> returns_move;
   };
 
   // Shared run state of one parallel plan execution (defined in the
@@ -194,8 +215,10 @@ class Session {
                           RunCtx& ctx);
   const std::vector<RuntimeValue>& EvalNode(const graph::Node* node,
                                             Frame& frame, RunCtx& ctx);
+  // Takes args by value: RunPlan may move individual args into their
+  // final consumers (the liveness pass flags arg refs kMoveSeq too).
   std::vector<RuntimeValue> ExecSubgraph(const graph::FuncGraph& fg,
-                                         const std::vector<RuntimeValue>& args,
+                                         std::vector<RuntimeValue> args,
                                          RunCtx& ctx);
   Plan CompilePlan(const std::vector<graph::Output>& returns,
                    bool allow_args);
@@ -206,13 +229,17 @@ class Session {
                          RunCtx& ctx);
   // Executes one plan step given its resolved inputs, writing the step's
   // outputs to `out`. Shared by the sequential and parallel engines.
-  void ExecStep(const Plan::Step& step,
-                const std::vector<RuntimeValue>& inputs,
+  // `inputs` is consumed: elements the gather loop moved in are the last
+  // live handles to their values, and the step forwards them into
+  // kernels / sub-plan args so in-place reuse can trigger.
+  void ExecStep(const Plan::Step& step, std::vector<RuntimeValue>& inputs,
                 std::vector<RuntimeValue>* out, RunCtx& ctx);
   // `scratch` (step output storage) may be reused across calls to avoid
-  // reallocating per While iteration; it is resized as needed.
+  // reallocating per While iteration; it is resized as needed. `args` is
+  // mutable so flagged arg references can be moved into their final
+  // consumers; callers own the vector and expect it consumed.
   std::vector<RuntimeValue> RunPlan(
-      const Plan& plan, const std::vector<RuntimeValue>& args,
+      const Plan& plan, std::vector<RuntimeValue>& args,
       std::vector<std::vector<RuntimeValue>>* scratch, RunCtx& ctx);
   // Ready-queue parallel engine: the caller drains alongside up to
   // (ctx.inter_op_threads - 1) pool helpers.

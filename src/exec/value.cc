@@ -1,8 +1,17 @@
 #include "exec/value.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "support/error.h"
 
 namespace ag::exec {
+
+namespace {
+// Elements copied by list append paths (relaxed: a monotonic counter
+// read only by the O(n) append regression test).
+std::atomic<int64_t> g_element_copies{0};
+}  // namespace
 
 const Tensor& TensorList::at(int64_t i) const {
   if (i < 0) i += size();
@@ -14,9 +23,37 @@ const Tensor& TensorList::at(int64_t i) const {
 }
 
 TensorListPtr TensorList::PushBack(Tensor value) const {
-  auto out = std::make_shared<TensorList>(items_);
+  auto out = std::make_shared<TensorList>();
+  // Reserve past the copy so the push_back never reallocates what was
+  // just copied; headroom is geometric for repeated copy-appends.
+  out->items_.reserve(std::max<size_t>(4, items_.size() * 2));
+  out->items_.insert(out->items_.end(), items_.begin(), items_.end());
+  g_element_copies.fetch_add(static_cast<int64_t>(items_.size()),
+                             std::memory_order_relaxed);
   out->items_.push_back(std::move(value));
   return out;
+}
+
+TensorListPtr TensorList::PushBackMove(TensorListPtr list, Tensor value) {
+  if (list == nullptr) {
+    auto out = std::make_shared<TensorList>();
+    out->items_.push_back(std::move(value));
+    return out;
+  }
+  if (list.use_count() == 1) {
+    // Sole owner: append in place. vector's geometric growth makes n
+    // staged appends O(n) element moves total.
+    if (list->items_.size() == list->items_.capacity()) {
+      list->items_.reserve(std::max<size_t>(4, list->items_.size() * 2));
+    }
+    list->items_.push_back(std::move(value));
+    return list;
+  }
+  return list->PushBack(std::move(value));
+}
+
+int64_t TensorList::ElementCopyCount() {
+  return g_element_copies.load(std::memory_order_relaxed);
 }
 
 std::pair<TensorListPtr, Tensor> TensorList::PopBack() const {
@@ -53,6 +90,22 @@ const TensorListPtr& AsList(const RuntimeValue& v) {
     throw RuntimeError("expected a TensorList value, got a Tensor");
   }
   return *l;
+}
+
+Tensor TakeTensor(RuntimeValue& v) {
+  Tensor* t = std::get_if<Tensor>(&v);
+  if (t == nullptr) {
+    throw RuntimeError("expected a Tensor value, got a TensorList");
+  }
+  return std::move(*t);
+}
+
+TensorListPtr TakeList(RuntimeValue& v) {
+  TensorListPtr* l = std::get_if<TensorListPtr>(&v);
+  if (l == nullptr) {
+    throw RuntimeError("expected a TensorList value, got a Tensor");
+  }
+  return std::move(*l);
 }
 
 }  // namespace ag::exec

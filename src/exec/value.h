@@ -33,6 +33,18 @@ class TensorList {
   [[nodiscard]] std::pair<std::shared_ptr<TensorList>, Tensor> PopBack() const;
   [[nodiscard]] std::shared_ptr<TensorList> Set(int64_t i, Tensor value) const;
 
+  // Append that mutates `list` when the caller holds the only reference
+  // (the staged While append idiom: the kernel consumes the incoming
+  // list handle, so n appends cost amortized O(1) element moves each
+  // instead of the O(n) copy-the-whole-list PushBack pays). Falls back
+  // to a geometric-reserve copy when the list is shared.
+  [[nodiscard]] static std::shared_ptr<TensorList> PushBackMove(
+      std::shared_ptr<TensorList> list, Tensor value);
+
+  // Total elements copied across PushBack/PushBackMove since process
+  // start — the regression test for near-linear append cost reads it.
+  [[nodiscard]] static int64_t ElementCopyCount();
+
  private:
   std::vector<Tensor> items_;
 };
@@ -45,5 +57,12 @@ using RuntimeValue = std::variant<Tensor, TensorListPtr>;
 }
 [[nodiscard]] const Tensor& AsTensor(const RuntimeValue& v);
 [[nodiscard]] const TensorListPtr& AsList(const RuntimeValue& v);
+
+// Move the payload out of a RuntimeValue the caller owns. Kernels take
+// their inputs this way: when the plan's liveness pass moved the last
+// live handle into the kernel, the moved-out tensor is sole owner of
+// its buffer and the in-place tensor_ops overloads can reuse it.
+[[nodiscard]] Tensor TakeTensor(RuntimeValue& v);
+[[nodiscard]] TensorListPtr TakeList(RuntimeValue& v);
 
 }  // namespace ag::exec

@@ -26,7 +26,8 @@ std::string FormatNs(int64_t ns) {
 std::string NodeStats::DebugString() const {
   std::ostringstream os;
   os << name << " (" << op << "): count=" << count
-     << " total=" << FormatNs(total_ns) << " bytes=" << output_bytes;
+     << " total=" << FormatNs(total_ns) << " bytes=" << output_bytes
+     << " allocs=" << alloc_count;
   return os.str();
 }
 
@@ -58,6 +59,7 @@ void RunMetadata::Merge(const RunMetadata& other) {
       mine.count += n.count;
       mine.total_ns += n.total_ns;
       mine.output_bytes += n.output_bytes;
+      mine.alloc_count += n.alloc_count;
     }
   }
   trace_events.insert(trace_events.end(), other.trace_events.begin(),
@@ -71,6 +73,13 @@ void RunMetadata::Merge(const RunMetadata& other) {
   interrupted_runs += other.interrupted_runs;
   if (!other.interrupt_kind.empty()) interrupt_kind = other.interrupt_kind;
   unwind_ns += other.unwind_ns;
+  unwind_samples_ns.insert(unwind_samples_ns.end(),
+                           other.unwind_samples_ns.begin(),
+                           other.unwind_samples_ns.end());
+  alloc_count += other.alloc_count;
+  alloc_bytes += other.alloc_bytes;
+  pool_hit_count += other.pool_hit_count;
+  peak_live_bytes = std::max(peak_live_bytes, other.peak_live_bytes);
 }
 
 std::string RunMetadata::DebugString() const {
@@ -82,6 +91,13 @@ std::string RunMetadata::DebugString() const {
   if (interrupted_runs > 0) {
     os << "interrupted: " << interrupted_runs << " run(s), last="
        << interrupt_kind << " unwind=" << FormatNs(unwind_ns) << "\n";
+  }
+  if (alloc_count > 0 || pool_hit_count > 0) {
+    const int64_t requests = alloc_count + pool_hit_count;
+    os << "alloc: fresh=" << alloc_count << " (" << alloc_bytes
+       << " bytes) pool_hits=" << pool_hit_count << " hit_rate="
+       << (requests > 0 ? (100 * pool_hit_count + requests / 2) / requests : 0)
+       << "% peak_live=" << peak_live_bytes << " bytes\n";
   }
   if (!phase_ns.empty()) {
     os << "phases:";
@@ -102,7 +118,7 @@ std::string RunMetadata::DebugString() const {
     os << std::left << std::setw(28) << "node" << std::setw(20) << "op"
        << std::right << std::setw(10) << "count" << std::setw(14) << "total"
        << std::setw(12) << "avg" << std::setw(8) << "%" << std::setw(14)
-       << "bytes" << "\n";
+       << "bytes" << std::setw(10) << "allocs" << "\n";
     for (const NodeStats* n : sorted) {
       std::string name = n->name.size() > 26 ? n->name.substr(0, 26) : n->name;
       os << std::left << std::setw(28) << name << std::setw(20) << n->op
@@ -111,7 +127,7 @@ std::string RunMetadata::DebugString() const {
          << FormatNs(n->count > 0 ? n->total_ns / n->count : 0)
          << std::setw(7)
          << (100 * n->total_ns + total / 2) / total << "%" << std::setw(14)
-         << n->output_bytes << "\n";
+         << n->output_bytes << std::setw(10) << n->alloc_count << "\n";
     }
   }
   return os.str();
@@ -141,7 +157,7 @@ void AggregateEvents(const std::vector<TraceEvent>& events,
 
 void RunRecorder::RecordNode(const std::string& name, const std::string& op,
                              int64_t start_ns, int64_t end_ns,
-                             int64_t output_bytes) {
+                             int64_t output_bytes, int64_t alloc_count) {
   if (options_.trace) {
     tracer_.AddComplete(name + " (" + op + ")", "op", start_ns, end_ns);
   }
@@ -159,6 +175,7 @@ void RunRecorder::RecordNode(const std::string& name, const std::string& op,
   ++n.count;
   n.total_ns += end_ns - start_ns;
   n.output_bytes += output_bytes;
+  n.alloc_count += alloc_count;
 }
 
 void RunRecorder::RecordPhase(const std::string& phase, int64_t dur_ns) {

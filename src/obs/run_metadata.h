@@ -53,6 +53,15 @@ struct RunOptions {
   // 0 or 1 = unsharded. Honoured by both Session and lantern::Executor.
   int intra_op_threads = 0;
 
+  // Memory knob: route tensor buffers through the process-wide
+  // tensor::BufferPool (recycled power-of-two blocks + in-place kernel
+  // reuse). false restores the seed allocation path byte-for-byte —
+  // every buffer is a fresh heap allocation freed on last release —
+  // which is the A/B lever bench_memory and the aliasing tests use.
+  // The AG_BUFFER_POOL=0 env var disables pooling process-wide
+  // regardless of this flag.
+  bool buffer_pool = true;
+
   // Interruption knobs (the analog of TF's RunOptions timeout +
   // CancellationManager). Every engine polls these cooperatively at
   // kernel/iteration/shard boundaries — see runtime/cancellation.h.
@@ -106,6 +115,9 @@ struct NodeStats {
   int64_t count = 0;   // number of executions merged into this record
   int64_t total_ns = 0;
   int64_t output_bytes = 0;  // cumulative bytes produced
+  // Fresh buffer-pool allocations (pool misses) attributed to this
+  // node's kernel executions; 0 for steady-state in-place/pooled ops.
+  int64_t alloc_count = 0;
 
   [[nodiscard]] std::string DebugString() const;
 };
@@ -142,6 +154,18 @@ struct RunMetadata {
   int64_t interrupted_runs = 0;
   std::string interrupt_kind;
   int64_t unwind_ns = 0;
+  // Per-interruption unwind latencies (one sample per interrupted run
+  // merged in); agprof reports p50/p90/p99/max over these.
+  std::vector<int64_t> unwind_samples_ns;
+
+  // Allocator counters for the merged runs, snapshotted from
+  // tensor::BufferPool around each Run(): fresh heap allocations, bytes
+  // they requested, pool hits (recycled blocks), and the high-water mark
+  // of live tensor bytes observed during the runs.
+  int64_t alloc_count = 0;
+  int64_t alloc_bytes = 0;
+  int64_t pool_hit_count = 0;
+  int64_t peak_live_bytes = 0;
 
   // Folds `other` into this metadata (NodeStats merged by (name, op)).
   void Merge(const RunMetadata& other);
@@ -169,8 +193,11 @@ class RunRecorder {
   }
 
   // Records one node/op execution over [start_ns, end_ns].
+  // `alloc_count` is the number of fresh pool allocations the executing
+  // thread performed inside the kernel (tensor::ThreadAllocCount delta).
   void RecordNode(const std::string& name, const std::string& op,
-                  int64_t start_ns, int64_t end_ns, int64_t output_bytes);
+                  int64_t start_ns, int64_t end_ns, int64_t output_bytes,
+                  int64_t alloc_count = 0);
   void RecordPhase(const std::string& phase, int64_t dur_ns);
   void CountWhileIteration();
   void CountCondBranch(bool taken);

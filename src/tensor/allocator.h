@@ -1,0 +1,184 @@
+// Pooled buffer allocator — the tensor memory subsystem (DESIGN.md §4g).
+//
+// Every Tensor owns its storage through a PooledBuffer: an intrusive
+// refcounted handle over a heap block (header + std::vector<float>)
+// recycled *whole* through a process-wide, size-bucketed BufferPool.
+// Steady-state graph loops (the staged While workloads of Tables 1-3)
+// therefore stop paying a malloc/free pair per edge per iteration: once
+// warm, every kernel output is a pool hit — one atomic pop, zero heap
+// traffic — which is what lets the runtime amortize allocator churn the
+// same way the graph amortizes per-op dispatch (AutoGraph §1, §6).
+//
+// Design:
+//   - Power-of-two buckets. A block whose vector capacity is c lives in
+//     bucket floor(log2(c)); Acquire(n) looks in bucket ceil(log2(n)),
+//     whose every block has capacity >= 2^ceil >= n. Fresh allocations
+//     reserve the rounded-up bucket capacity so a same-size re-acquire
+//     after release always hits.
+//   - Per-thread free-list caches (mirroring runtime::IntraOpScope's
+//     thread-scoped budget idiom): release pushes into a small
+//     thread-local cache, overflowing to the global mutex-protected
+//     buckets; acquire checks the local cache first. The hot
+//     same-thread reuse path touches no lock.
+//   - Bounded retention with LRU trim: global buckets carry a release
+//     tick; when retained bytes exceed the cap (AG_BUFFER_POOL_CAP_MB,
+//     default 256), the oldest-released blocks are freed first.
+//   - Escape hatch: AG_BUFFER_POOL=0 disables pooling process-wide and
+//     obs::RunOptions::buffer_pool=false disables it for one Run (a
+//     thread-local scope inherited by that run's pool helpers). Disabled
+//     means the seed allocation path byte-for-byte: fresh heap vector
+//     per output, free on release, and no in-place buffer reuse.
+//
+// Thread safety: refcounts are atomic; the global buckets are
+// mutex-protected; thread caches are, by construction, single-thread.
+// Stats counters are relaxed atomics (monotonic, read for reporting).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ag::tensor {
+
+namespace detail {
+
+// One heap allocation per buffer: refcount header + the vector. The
+// block (header *and* vector) is recycled as a unit, so a pool hit
+// costs zero mallocs — not even a shared_ptr control block.
+struct BufferBlock {
+  std::atomic<int64_t> refs{1};
+  int bucket = 0;       // floor(log2(storage.capacity()))
+  int64_t tick = 0;     // release tick, for LRU trim (global lists only)
+  std::vector<float> storage;
+};
+
+// Decrements and recycles/frees on last release (defined in the .cc so
+// the pool internals stay private).
+void ReleaseBlock(BufferBlock* block);
+
+}  // namespace detail
+
+// Refcounted handle over a BufferBlock — what Tensor stores in place of
+// shared_ptr<vector<float>>. Copy bumps the count; destruction of the
+// last handle returns the block to the pool (or frees it when pooling
+// is disabled).
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  explicit PooledBuffer(detail::BufferBlock* block) : block_(block) {}
+
+  PooledBuffer(const PooledBuffer& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  PooledBuffer& operator=(const PooledBuffer& other) {
+    if (this == &other) return *this;
+    if (other.block_ != nullptr) {
+      other.block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    Reset();
+    block_ = other.block_;
+    return *this;
+  }
+  PooledBuffer(PooledBuffer&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    Reset();
+    block_ = other.block_;
+    other.block_ = nullptr;
+    return *this;
+  }
+  ~PooledBuffer() { Reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return block_ != nullptr; }
+  [[nodiscard]] const float* data() const {
+    return block_->storage.data();
+  }
+  [[nodiscard]] float* mutable_data() { return block_->storage.data(); }
+  [[nodiscard]] size_t size() const { return block_->storage.size(); }
+
+  // True when this handle is the only reference — the precondition for
+  // in-place kernel writes (checked together with PoolingEnabled() by
+  // detail::TensorAccess; see tensor.h).
+  [[nodiscard]] bool unique() const {
+    return block_ != nullptr &&
+           block_->refs.load(std::memory_order_acquire) == 1;
+  }
+
+ private:
+  void Reset() {
+    if (block_ != nullptr) {
+      detail::ReleaseBlock(block_);
+      block_ = nullptr;
+    }
+  }
+
+  detail::BufferBlock* block_ = nullptr;
+};
+
+// Monotonic process-wide allocation counters (relaxed atomics), plus the
+// live high-water mark. alloc_count/alloc_bytes count fresh heap buffer
+// allocations entering the system (pool misses and adopted vectors);
+// pool_hit_count counts acquires served from the free lists — so
+// hit / (hit + alloc) is the steady-state reuse ratio bench_memory
+// reports and the >= 90% acceptance bar measures.
+struct PoolStats {
+  int64_t alloc_count = 0;
+  int64_t alloc_bytes = 0;
+  int64_t pool_hit_count = 0;
+  int64_t live_bytes = 0;       // capacity bytes held by live handles
+  int64_t peak_live_bytes = 0;  // high-water mark of live_bytes
+  int64_t retained_bytes = 0;   // capacity bytes parked in global lists
+};
+
+class BufferPool {
+ public:
+  // The process-wide pool (leaked singleton: thread caches flush into it
+  // at thread exit, so it must outlive every thread).
+  static BufferPool& Global();
+
+  // A buffer with size() == n; contents unspecified (stale on reuse).
+  // Served from the thread cache, then the global bucket, then a fresh
+  // heap allocation rounded up to the bucket capacity.
+  PooledBuffer Acquire(int64_t n);
+  // Wraps an existing vector without copying (Tensor::FromVector's
+  // zero-copy path). Adopted blocks join the pool on release.
+  PooledBuffer Adopt(std::vector<float> values);
+
+  [[nodiscard]] PoolStats stats() const;
+  // Frees every retained block (global lists only; tests use this to
+  // start from a cold pool). Live handles are unaffected.
+  void TrimAll();
+  // Retained-bytes cap for the global lists (tests lower it to force
+  // LRU eviction).
+  void set_retained_cap_bytes(int64_t cap);
+  [[nodiscard]] int64_t retained_cap_bytes() const;
+
+ private:
+  BufferPool() = default;
+};
+
+// Whether pooling (and with it, in-place buffer reuse) is active on this
+// thread: the AG_BUFFER_POOL env knob AND no disable scope installed.
+[[nodiscard]] bool PoolingEnabled();
+
+// Disables pooling on this thread for the scope's lifetime (nests).
+// Session::Run installs one when RunOptions::buffer_pool is false, and
+// its parallel helpers mirror it per drain.
+class PoolDisableScope {
+ public:
+  PoolDisableScope();
+  ~PoolDisableScope();
+  PoolDisableScope(const PoolDisableScope&) = delete;
+  PoolDisableScope& operator=(const PoolDisableScope&) = delete;
+};
+
+// This thread's count of fresh buffer allocations (pool misses +
+// adoptions). The executors snapshot it around each kernel invocation to
+// attribute allocations per op in RunMetadata's step stats.
+[[nodiscard]] int64_t ThreadAllocCount();
+
+}  // namespace ag::tensor

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/cancellation.h"
 #include "runtime/parallel_for.h"
 #include "support/error.h"
 
 namespace ag {
 namespace {
+
+using detail::TensorAccess;
 
 // Minimum elements per intra-op shard: below this, shipping work to
 // another thread costs more than the loop. Each output element is
@@ -32,41 +35,67 @@ DType PromoteDType(DType a, DType b) {
   return DType::kBool;
 }
 
-// Broadcast-aware elementwise binary kernel.
+// Output tensor over a pool-acquired (contents-unspecified) buffer.
+Tensor NewOut(Shape shape, DType dtype) {
+  return TensorAccess::Uninitialized(std::move(shape), dtype);
+}
+
+// Broadcast-aware elementwise binary kernel. `ra`/`rb` are non-null when
+// the caller owns that operand as an rvalue: if its buffer is sole-owned
+// (and pooling is on) the op writes the result into it instead of
+// allocating. Only the exact-index fast paths reuse — element i is read
+// before it is written, never across indices — so in-place results are
+// identical to the copying path. The strided broadcast path never
+// reuses (output index != input index).
 template <typename F>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f) {
+Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f,
+                Tensor* ra = nullptr, Tensor* rb = nullptr) {
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
   const int64_t n = out_shape.num_elements();
-  std::vector<float> out(static_cast<size_t>(n));
 
   // Fast paths: same shape, or one side scalar. Sharded above the flop
   // threshold: every out[i] is written by exactly one shard.
   if (a.shape() == b.shape()) {
+    Tensor* reuse = (ra != nullptr && TensorAccess::CanReuse(*ra)) ? ra
+                    : (rb != nullptr && TensorAccess::CanReuse(*rb)) ? rb
+                                                                     : nullptr;
+    // Capture sources before the move below: `a`/`b` alias `*ra`/`*rb`,
+    // and moving one into `out` nulls its handle (the storage itself
+    // stays alive inside `out`, so the pointers remain valid).
     const float* pa = a.data();
     const float* pb = b.data();
-    float* po = out.data();
+    Tensor out = reuse != nullptr ? std::move(*reuse)
+                                  : NewOut(out_shape, out_dtype);
+    float* po = TensorAccess::data(out);
     runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i], pb[i]);
     });
-    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+    return reuse != nullptr ? TensorAccess::Retag(std::move(out), out_dtype)
+                            : out;
   }
   if (a.num_elements() == 1) {
+    const bool reuse = rb != nullptr && TensorAccess::CanReuse(*rb);
+    // Read the scalar and capture pb before the move: with reuse, `b`
+    // aliases `*rb` and po aliases pb.
     const float va = a.data()[0];
     const float* pb = b.data();
-    float* po = out.data();
+    Tensor out = reuse ? std::move(*rb) : NewOut(out_shape, out_dtype);
+    float* po = TensorAccess::data(out);
     runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) po[i] = f(va, pb[i]);
     });
-    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+    return reuse ? TensorAccess::Retag(std::move(out), out_dtype) : out;
   }
   if (b.num_elements() == 1) {
-    const float* pa = a.data();
+    const bool reuse = ra != nullptr && TensorAccess::CanReuse(*ra);
     const float vb = b.data()[0];
-    float* po = out.data();
+    const float* pa = a.data();
+    Tensor out = reuse ? std::move(*ra) : NewOut(out_shape, out_dtype);
+    float* po = TensorAccess::data(out);
     runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i], vb);
     });
-    return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+    return reuse ? TensorAccess::Retag(std::move(out), out_dtype) : out;
   }
 
   // General broadcast: per-dimension strides, 0 where broadcasting.
@@ -87,6 +116,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f) {
   const std::vector<int64_t> sb = padded_strides(b);
   const std::vector<int64_t>& out_dims = out_shape.dims();
 
+  Tensor out_t = NewOut(out_shape, out_dtype);
+  float* out = TensorAccess::data(out_t);
   std::vector<int64_t> idx(static_cast<size_t>(r), 0);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -106,19 +137,21 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, DType out_dtype, F&& f) {
       idx[du] = 0;
     }
   }
-  return Tensor::FromVector(std::move(out), out_shape, out_dtype);
+  return out_t;
 }
 
 template <typename F>
-Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f) {
+Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f, Tensor* ra = nullptr) {
   const int64_t n = a.num_elements();
-  std::vector<float> out(static_cast<size_t>(n));
+  const bool reuse = ra != nullptr && TensorAccess::CanReuse(*ra);
+  // Capture before the move: `a` aliases `*ra` (see BinaryOp).
   const float* pa = a.data();
-  float* po = out.data();
+  Tensor out = reuse ? std::move(*ra) : NewOut(a.shape(), out_dtype);
+  float* po = TensorAccess::data(out);
   runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
   });
-  return Tensor::FromVector(std::move(out), a.shape(), out_dtype);
+  return reuse ? TensorAccess::Retag(std::move(out), out_dtype) : out;
 }
 
 // Shared reduction machinery: reduces `axis` of `a` with accumulator F,
@@ -151,7 +184,9 @@ Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
     }
     if (keepdims) {
       std::vector<int64_t> dims(static_cast<size_t>(a.rank()), 1);
-      return Tensor::FromVector({acc}, Shape(std::move(dims)), a.dtype());
+      Tensor out = NewOut(Shape(std::move(dims)), a.dtype());
+      TensorAccess::data(out)[0] = acc;
+      return out;
     }
     return Tensor::Scalar(acc, a.dtype());
   }
@@ -163,9 +198,18 @@ Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
   for (int i = ax + 1; i < a.rank(); ++i) inner *= dims[static_cast<size_t>(i)];
   const int64_t mid = dims[static_cast<size_t>(ax)];
 
-  std::vector<float> out(static_cast<size_t>(outer * inner), init);
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < a.rank(); ++i) {
+    if (i == ax) {
+      if (keepdims) out_dims.push_back(1);
+    } else {
+      out_dims.push_back(dims[static_cast<size_t>(i)]);
+    }
+  }
+  Tensor out_t = NewOut(Shape(std::move(out_dims)), a.dtype());
   const float* p = a.data();
-  float* po = out.data();
+  float* po = TensorAccess::data(out_t);
+  std::fill(po, po + outer * inner, init);
   // Shard over the non-reduced outer axis: each output row accumulates
   // over `mid` in the same order regardless of sharding.
   const int64_t outer_grain =
@@ -179,16 +223,7 @@ Tensor Reduce(const Tensor& a, int axis, bool keepdims, float init, F&& f) {
       }
     }
   });
-  std::vector<int64_t> out_dims;
-  for (int i = 0; i < a.rank(); ++i) {
-    if (i == ax) {
-      if (keepdims) out_dims.push_back(1);
-    } else {
-      out_dims.push_back(dims[static_cast<size_t>(i)]);
-    }
-  }
-  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
-                            a.dtype());
+  return out_t;
 }
 
 }  // namespace
@@ -198,9 +233,19 @@ Tensor Add(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return x + y; });
 }
 
+Tensor Add(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x + y; }, &a, &b);
+}
+
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
                   [](float x, float y) { return x - y; });
+}
+
+Tensor Sub(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x - y; }, &a, &b);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
@@ -208,9 +253,19 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return x * y; });
 }
 
+Tensor Mul(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return x * y; }, &a, &b);
+}
+
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kFloat32,
                   [](float x, float y) { return x / y; });
+}
+
+Tensor Div(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kFloat32,
+                  [](float x, float y) { return x / y; }, &a, &b);
 }
 
 Tensor FloorDiv(const Tensor& a, const Tensor& b) {
@@ -218,10 +273,22 @@ Tensor FloorDiv(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return std::floor(x / y); });
 }
 
+Tensor FloorDiv(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::floor(x / y); }, &a, &b);
+}
+
+namespace {
+// Python modulo semantics.
+inline float PyMod(float x, float y) { return x - std::floor(x / y) * y; }
+}  // namespace
+
 Tensor Mod(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()), [](float x, float y) {
-    return x - std::floor(x / y) * y;  // Python modulo semantics
-  });
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()), &PyMod);
+}
+
+Tensor Mod(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()), &PyMod, &a, &b);
 }
 
 Tensor Pow(const Tensor& a, const Tensor& b) {
@@ -229,9 +296,19 @@ Tensor Pow(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return std::pow(x, y); });
 }
 
+Tensor Pow(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kFloat32,
+                  [](float x, float y) { return std::pow(x, y); }, &a, &b);
+}
+
 Tensor Maximum(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
                   [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor Maximum(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::max(x, y); }, &a, &b);
 }
 
 Tensor Minimum(const Tensor& a, const Tensor& b) {
@@ -239,9 +316,19 @@ Tensor Minimum(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return std::min(x, y); });
 }
 
+Tensor Minimum(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, PromoteDType(a.dtype(), b.dtype()),
+                  [](float x, float y) { return std::min(x, y); }, &a, &b);
+}
+
 Tensor Less(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kBool,
                   [](float x, float y) { return x < y ? 1.0f : 0.0f; });
+}
+
+Tensor Less(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x < y ? 1.0f : 0.0f; }, &a, &b);
 }
 
 Tensor LessEqual(const Tensor& a, const Tensor& b) {
@@ -249,9 +336,20 @@ Tensor LessEqual(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return x <= y ? 1.0f : 0.0f; });
 }
 
+Tensor LessEqual(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x <= y ? 1.0f : 0.0f; }, &a,
+                  &b);
+}
+
 Tensor Greater(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kBool,
                   [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+}
+
+Tensor Greater(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x > y ? 1.0f : 0.0f; }, &a, &b);
 }
 
 Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
@@ -259,14 +357,32 @@ Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
                   [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
 }
 
+Tensor GreaterEqual(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x >= y ? 1.0f : 0.0f; }, &a,
+                  &b);
+}
+
 Tensor Equal(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kBool,
                   [](float x, float y) { return x == y ? 1.0f : 0.0f; });
 }
 
+Tensor Equal(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x == y ? 1.0f : 0.0f; }, &a,
+                  &b);
+}
+
 Tensor NotEqual(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kBool,
                   [](float x, float y) { return x != y ? 1.0f : 0.0f; });
+}
+
+Tensor NotEqual(Tensor&& a, Tensor&& b) {
+  return BinaryOp(a, b, DType::kBool,
+                  [](float x, float y) { return x != y ? 1.0f : 0.0f; }, &a,
+                  &b);
 }
 
 Tensor LogicalAnd(const Tensor& a, const Tensor& b) {
@@ -275,10 +391,24 @@ Tensor LogicalAnd(const Tensor& a, const Tensor& b) {
   });
 }
 
+Tensor LogicalAnd(Tensor&& a, Tensor&& b) {
+  return BinaryOp(
+      a, b, DType::kBool,
+      [](float x, float y) { return (x != 0.0f && y != 0.0f) ? 1.0f : 0.0f; },
+      &a, &b);
+}
+
 Tensor LogicalOr(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, DType::kBool, [](float x, float y) {
     return (x != 0.0f || y != 0.0f) ? 1.0f : 0.0f;
   });
+}
+
+Tensor LogicalOr(Tensor&& a, Tensor&& b) {
+  return BinaryOp(
+      a, b, DType::kBool,
+      [](float x, float y) { return (x != 0.0f || y != 0.0f) ? 1.0f : 0.0f; },
+      &a, &b);
 }
 
 Tensor LogicalNot(const Tensor& a) {
@@ -286,20 +416,41 @@ Tensor LogicalNot(const Tensor& a) {
                  [](float x) { return x == 0.0f ? 1.0f : 0.0f; });
 }
 
+Tensor LogicalNot(Tensor&& a) {
+  return UnaryOp(a, DType::kBool,
+                 [](float x) { return x == 0.0f ? 1.0f : 0.0f; }, &a);
+}
+
 Tensor Neg(const Tensor& a) {
   return UnaryOp(a, a.dtype(), [](float x) { return -x; });
+}
+
+Tensor Neg(Tensor&& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return -x; }, &a);
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::exp(x); });
 }
 
+Tensor Exp(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::exp(x); }, &a);
+}
+
 Tensor Log(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::log(x); });
 }
 
+Tensor Log(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::log(x); }, &a);
+}
+
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::tanh(x); });
+}
+
+Tensor Tanh(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::tanh(x); }, &a);
 }
 
 Tensor Sigmoid(const Tensor& a) {
@@ -307,17 +458,35 @@ Tensor Sigmoid(const Tensor& a) {
                  [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 
+Tensor Sigmoid(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32,
+                 [](float x) { return 1.0f / (1.0f + std::exp(-x)); }, &a);
+}
+
 Tensor Relu(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32,
                  [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Relu(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32,
+                 [](float x) { return x > 0.0f ? x : 0.0f; }, &a);
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::sqrt(x); });
 }
 
+Tensor Sqrt(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::sqrt(x); }, &a);
+}
+
 Tensor Abs(const Tensor& a) {
   return UnaryOp(a, a.dtype(), [](float x) { return std::fabs(x); });
+}
+
+Tensor Abs(Tensor&& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return std::fabs(x); }, &a);
 }
 
 Tensor Sign(const Tensor& a) {
@@ -326,16 +495,34 @@ Tensor Sign(const Tensor& a) {
   });
 }
 
+Tensor Sign(Tensor&& a) {
+  return UnaryOp(
+      a, a.dtype(),
+      [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }, &a);
+}
+
 Tensor Square(const Tensor& a) {
   return UnaryOp(a, a.dtype(), [](float x) { return x * x; });
+}
+
+Tensor Square(Tensor&& a) {
+  return UnaryOp(a, a.dtype(), [](float x) { return x * x; }, &a);
 }
 
 Tensor Sin(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::sin(x); });
 }
 
+Tensor Sin(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::sin(x); }, &a);
+}
+
 Tensor Cos(const Tensor& a) {
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::cos(x); });
+}
+
+Tensor Cos(Tensor&& a) {
+  return UnaryOp(a, DType::kFloat32, [](float x) { return std::cos(x); }, &a);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -351,10 +538,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     throw ValueError("MatMul inner dims mismatch: " + a.shape().str() +
                      " x " + b.shape().str());
   }
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  Tensor out_t = NewOut(Shape({m, n}), DType::kFloat32);
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
+  float* po = TensorAccess::data(out_t);
+  std::fill(po, po + m * n, 0.0f);
+  // Cancellation is polled once per k-panel per shard so a cancel or
+  // deadline unwinds within a panel's worth of work, not a whole
+  // kernel. The pointer is captured on the calling thread because the
+  // shard bodies may run on pool threads that have no scope installed;
+  // CancelCheck itself is thread-safe. ParallelFor rethrows the
+  // CancelledError on the calling thread (DESIGN.md §4f).
+  runtime::CancelCheck* cancel = runtime::CurrentCancelCheck();
   // Row-band parallel, cache-blocked over k so a panel of B rows stays
   // resident while a band of A rows streams over it. Each output row is
   // produced by one shard with k accumulated in ascending order, so the
@@ -365,6 +560,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, k * n));
   runtime::ParallelFor(m, rows_grain, [&](int64_t i0, int64_t i1) {
     for (int64_t k0 = 0; k0 < k; k0 += kPanel) {
+      if (cancel != nullptr) cancel->Poll("MatMul panel");
       const int64_t k1 = std::min(k, k0 + kPanel);
       for (int64_t i = i0; i < i1; ++i) {
         float* orow = po + i * n;
@@ -378,7 +574,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     }
   });
-  return Tensor::FromVector(std::move(out), Shape({m, n}), DType::kFloat32);
+  return out_t;
 }
 
 Tensor ReduceSum(const Tensor& a, int axis, bool keepdims) {
@@ -391,7 +587,7 @@ Tensor ReduceMean(const Tensor& a, int axis, bool keepdims) {
   const int64_t count = axis == kAllAxes
                             ? a.num_elements()
                             : a.shape().dim(a.shape().ResolveAxis(axis));
-  return Div(sum, Tensor::Scalar(static_cast<float>(count)));
+  return Div(std::move(sum), Tensor::Scalar(static_cast<float>(count)));
 }
 
 Tensor ReduceMax(const Tensor& a, int axis, bool keepdims) {
@@ -413,12 +609,20 @@ Tensor ArgMax(const Tensor& a, int axis) {
   for (int i = ax + 1; i < a.rank(); ++i) inner *= dims[static_cast<size_t>(i)];
   const int64_t mid = dims[static_cast<size_t>(ax)];
 
-  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
-  std::vector<float> best(static_cast<size_t>(outer * inner),
-                          -std::numeric_limits<float>::infinity());
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < a.rank(); ++i) {
+    if (i != ax) out_dims.push_back(dims[static_cast<size_t>(i)]);
+  }
+  Tensor out_t = NewOut(Shape(std::move(out_dims)), DType::kInt32);
+  // Running-max scratch, pool-recycled like any output buffer.
+  tensor::PooledBuffer best =
+      tensor::BufferPool::Global().Acquire(outer * inner);
   const float* p = a.data();
-  float* pout = out.data();
-  float* pbest = best.data();
+  float* pout = TensorAccess::data(out_t);
+  float* pbest = best.mutable_data();
+  std::fill(pout, pout + outer * inner, 0.0f);
+  std::fill(pbest, pbest + outer * inner,
+            -std::numeric_limits<float>::infinity());
   const int64_t outer_grain =
       std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, mid * inner));
   runtime::ParallelFor(outer, outer_grain, [&](int64_t o0, int64_t o1) {
@@ -435,12 +639,7 @@ Tensor ArgMax(const Tensor& a, int axis) {
       }
     }
   });
-  std::vector<int64_t> out_dims;
-  for (int i = 0; i < a.rank(); ++i) {
-    if (i != ax) out_dims.push_back(dims[static_cast<size_t>(i)]);
-  }
-  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
-                            DType::kInt32);
+  return out_t;
 }
 
 Tensor Reshape(const Tensor& a, Shape shape) {
@@ -479,9 +678,10 @@ Tensor Transpose(const Tensor& a, std::vector<int> perm) {
     src_strides[i] = strides[static_cast<size_t>(perm[i])];
   }
   const int64_t n = a.num_elements();
-  std::vector<float> out(static_cast<size_t>(n));
-  const float* p = a.data();
   const int r = a.rank();
+  Tensor out_t = NewOut(Shape(std::vector<int64_t>(out_dims)), a.dtype());
+  float* out = TensorAccess::data(out_t);
+  const float* p = a.data();
   std::vector<int64_t> idx(static_cast<size_t>(r), 0);
   int64_t src = 0;
   for (int64_t i = 0; i < n; ++i) {
@@ -495,8 +695,7 @@ Tensor Transpose(const Tensor& a, std::vector<int> perm) {
       idx[du] = 0;
     }
   }
-  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
-                            a.dtype());
+  return out_t;
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -516,39 +715,39 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     }
     total_mid += t.shape().dim(ax);
   }
-  std::vector<float> out(static_cast<size_t>(outer * total_mid * inner));
+  std::vector<int64_t> out_dims = base_dims;
+  out_dims[static_cast<size_t>(ax)] = total_mid;
+  Tensor out_t = NewOut(Shape(std::move(out_dims)), parts[0].dtype());
+  float* out = TensorAccess::data(out_t);
   for (int64_t o = 0; o < outer; ++o) {
     int64_t written = 0;
     for (const Tensor& t : parts) {
       const int64_t mid = t.shape().dim(ax);
       const float* src = t.data() + o * mid * inner;
       std::copy(src, src + mid * inner,
-                out.data() + (o * total_mid + written) * inner);
+                out + (o * total_mid + written) * inner);
       written += mid;
     }
   }
-  std::vector<int64_t> out_dims = base_dims;
-  out_dims[static_cast<size_t>(ax)] = total_mid;
-  return Tensor::FromVector(std::move(out), Shape(std::move(out_dims)),
-                            parts[0].dtype());
+  return out_t;
 }
 
 Tensor Stack(const std::vector<Tensor>& parts) {
   if (parts.empty()) throw ValueError("Stack: empty input");
   const int64_t per = parts[0].num_elements();
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(per) * parts.size());
-  for (const Tensor& t : parts) {
+  std::vector<int64_t> dims = parts[0].shape().dims();
+  dims.insert(dims.begin(), static_cast<int64_t>(parts.size()));
+  Tensor out_t = NewOut(Shape(std::move(dims)), parts[0].dtype());
+  float* out = TensorAccess::data(out_t);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const Tensor& t = parts[i];
     if (t.shape() != parts[0].shape()) {
       throw ValueError("Stack: shape mismatch " + t.shape().str() + " vs " +
                        parts[0].shape().str());
     }
-    out.insert(out.end(), t.data(), t.data() + per);
+    std::copy(t.data(), t.data() + per, out + static_cast<int64_t>(i) * per);
   }
-  std::vector<int64_t> dims = parts[0].shape().dims();
-  dims.insert(dims.begin(), static_cast<int64_t>(parts.size()));
-  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
-                            parts[0].dtype());
+  return out_t;
 }
 
 std::vector<Tensor> Unstack(const Tensor& a) {
@@ -569,11 +768,12 @@ Tensor IndexAxis0(const Tensor& a, int64_t index) {
                      " out of range for shape " + a.shape().str());
   }
   const int64_t inner = a.num_elements() / n0;
-  std::vector<float> out(a.data() + i * inner, a.data() + (i + 1) * inner);
   std::vector<int64_t> dims(a.shape().dims().begin() + 1,
                             a.shape().dims().end());
-  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
-                            a.dtype());
+  Tensor out_t = NewOut(Shape(std::move(dims)), a.dtype());
+  std::copy(a.data() + i * inner, a.data() + (i + 1) * inner,
+            TensorAccess::data(out_t));
+  return out_t;
 }
 
 Tensor SetItemAxis0(const Tensor& a, int64_t index, const Tensor& value) {
@@ -589,9 +789,35 @@ Tensor SetItemAxis0(const Tensor& a, int64_t index, const Tensor& value) {
     throw ValueError("SetItemAxis0: value shape " + value.shape().str() +
                      " does not fit row of " + a.shape().str());
   }
-  std::vector<float> out(a.data(), a.data() + a.num_elements());
-  std::copy(value.data(), value.data() + inner, out.data() + i * inner);
-  return Tensor::FromVector(std::move(out), a.shape(), a.dtype());
+  Tensor out_t = NewOut(a.shape(), a.dtype());
+  float* out = TensorAccess::data(out_t);
+  std::copy(a.data(), a.data() + a.num_elements(), out);
+  std::copy(value.data(), value.data() + inner, out + i * inner);
+  return out_t;
+}
+
+Tensor SetItemAxis0(Tensor&& a, int64_t index, const Tensor& value) {
+  // In-place row write: only the updated row is touched, so `a` must be
+  // sole-owned (a `value` aliasing a's buffer pins the refcount and
+  // routes to the copying overload automatically).
+  if (!TensorAccess::CanReuse(a)) {
+    return SetItemAxis0(static_cast<const Tensor&>(a), index, value);
+  }
+  if (a.rank() < 1) throw ValueError("SetItemAxis0: scalar target");
+  const int64_t n0 = a.shape().dim(0);
+  int64_t i = index < 0 ? index + n0 : index;
+  if (i < 0 || i >= n0) {
+    throw ValueError("index " + std::to_string(index) +
+                     " out of range for shape " + a.shape().str());
+  }
+  const int64_t inner = a.num_elements() / n0;
+  if (value.num_elements() != inner) {
+    throw ValueError("SetItemAxis0: value shape " + value.shape().str() +
+                     " does not fit row of " + a.shape().str());
+  }
+  std::copy(value.data(), value.data() + inner,
+            TensorAccess::data(a) + i * inner);
+  return std::move(a);
 }
 
 Tensor Gather(const Tensor& params, const Tensor& indices) {
@@ -599,7 +825,12 @@ Tensor Gather(const Tensor& params, const Tensor& indices) {
   const int64_t n0 = params.shape().dim(0);
   const int64_t inner = params.num_elements() / n0;
   const int64_t ni = indices.num_elements();
-  std::vector<float> out(static_cast<size_t>(ni * inner));
+  std::vector<int64_t> dims = indices.shape().dims();
+  for (int i = 1; i < params.rank(); ++i) {
+    dims.push_back(params.shape().dim(i));
+  }
+  Tensor out_t = NewOut(Shape(std::move(dims)), params.dtype());
+  float* out = TensorAccess::data(out_t);
   for (int64_t i = 0; i < ni; ++i) {
     const int64_t idx = static_cast<int64_t>(std::llround(indices.at(i)));
     if (idx < 0 || idx >= n0) {
@@ -607,14 +838,9 @@ Tensor Gather(const Tensor& params, const Tensor& indices) {
                        " out of range [0, " + std::to_string(n0) + ")");
     }
     std::copy(params.data() + idx * inner, params.data() + (idx + 1) * inner,
-              out.data() + i * inner);
+              out + i * inner);
   }
-  std::vector<int64_t> dims = indices.shape().dims();
-  for (int i = 1; i < params.rank(); ++i) {
-    dims.push_back(params.shape().dim(i));
-  }
-  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
-                            params.dtype());
+  return out_t;
 }
 
 Tensor Where(const Tensor& cond, const Tensor& x, const Tensor& y) {
@@ -623,13 +849,14 @@ Tensor Where(const Tensor& cond, const Tensor& x, const Tensor& y) {
                      " vs " + y.shape().str());
   }
   const int64_t n = x.num_elements();
-  std::vector<float> out(static_cast<size_t>(n));
+  Tensor out_t = NewOut(x.shape(), x.dtype());
+  float* out = TensorAccess::data(out_t);
   const float* px = x.data();
   const float* py = y.data();
   if (cond.num_elements() == 1) {
     const bool c = cond.data()[0] != 0.0f;
     const float* src = c ? px : py;
-    std::copy(src, src + n, out.data());
+    std::copy(src, src + n, out);
   } else if (cond.num_elements() == n) {
     const float* pc = cond.data();
     for (int64_t i = 0; i < n; ++i) {
@@ -646,24 +873,25 @@ Tensor Where(const Tensor& cond, const Tensor& x, const Tensor& y) {
     const float* pc = cond.data();
     for (int64_t r = 0; r < rows; ++r) {
       const float* src = (pc[r] != 0.0f ? px : py) + r * inner;
-      std::copy(src, src + inner, out.data() + r * inner);
+      std::copy(src, src + inner, out + r * inner);
     }
   }
-  return Tensor::FromVector(std::move(out), x.shape(), x.dtype());
+  return out_t;
 }
 
 Tensor Softmax(const Tensor& logits) {
   Tensor m = ReduceMax(logits, -1, /*keepdims=*/true);
   Tensor e = Exp(Sub(logits, m));
   Tensor s = ReduceSum(e, -1, /*keepdims=*/true);
-  return Div(e, s);
+  return Div(std::move(e), std::move(s));
 }
 
 Tensor LogSoftmax(const Tensor& logits) {
   Tensor m = ReduceMax(logits, -1, /*keepdims=*/true);
   Tensor shifted = Sub(logits, m);
+  // `shifted` is read again below, so Exp sees an lvalue and copies.
   Tensor lse = Log(ReduceSum(Exp(shifted), -1, /*keepdims=*/true));
-  return Sub(shifted, lse);
+  return Sub(std::move(shifted), std::move(lse));
 }
 
 Tensor SoftmaxCrossEntropy(const Tensor& logits, const Tensor& labels) {
@@ -691,36 +919,43 @@ Tensor SoftmaxCrossEntropyGrad(const Tensor& logits, const Tensor& labels) {
   const int64_t batch = logits.shape().dim(0);
   const int64_t classes = logits.shape().dim(1);
   Tensor sm = Softmax(logits);
-  std::vector<float> out(sm.data(), sm.data() + sm.num_elements());
+  // `sm` is a freshly produced local, so when pooling is on it is
+  // sole-owned and the gradient rewrites its buffer directly.
+  const bool reuse = TensorAccess::CanReuse(sm);
+  Tensor out_t = reuse ? TensorAccess::Retag(std::move(sm), DType::kFloat32)
+                       : NewOut(logits.shape(), DType::kFloat32);
+  float* out = TensorAccess::data(out_t);
+  if (!reuse) std::copy(sm.data(), sm.data() + sm.num_elements(), out);
   for (int64_t i = 0; i < batch; ++i) {
     const int64_t c = static_cast<int64_t>(std::llround(labels.at(i)));
     out[static_cast<size_t>(i * classes + c)] -= 1.0f;
   }
   const float inv_batch = 1.0f / static_cast<float>(batch);
-  for (float& v : out) v *= inv_batch;
-  return Tensor::FromVector(std::move(out), logits.shape(), DType::kFloat32);
+  const int64_t n = batch * classes;
+  for (int64_t i = 0; i < n; ++i) out[i] *= inv_batch;
+  return out_t;
 }
 
 Tensor Range(int64_t n) {
-  std::vector<float> out(static_cast<size_t>(std::max<int64_t>(n, 0)));
-  for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] = static_cast<float>(i);
-  }
-  return Tensor::FromVector(std::move(out), Shape({std::max<int64_t>(n, 0)}),
-                            DType::kInt32);
+  const int64_t len = std::max<int64_t>(n, 0);
+  Tensor out_t = NewOut(Shape({len}), DType::kInt32);
+  float* out = TensorAccess::data(out_t);
+  for (int64_t i = 0; i < len; ++i) out[i] = static_cast<float>(i);
+  return out_t;
 }
 
 Tensor OneHot(const Tensor& indices, int64_t depth) {
   const int64_t n = indices.num_elements();
-  std::vector<float> out(static_cast<size_t>(n * depth), 0.0f);
+  std::vector<int64_t> dims = indices.shape().dims();
+  dims.push_back(depth);
+  Tensor out_t = NewOut(Shape(std::move(dims)), DType::kFloat32);
+  float* out = TensorAccess::data(out_t);
+  std::fill(out, out + n * depth, 0.0f);
   for (int64_t i = 0; i < n; ++i) {
     const int64_t c = static_cast<int64_t>(std::llround(indices.at(i)));
     if (c >= 0 && c < depth) out[static_cast<size_t>(i * depth + c)] = 1.0f;
   }
-  std::vector<int64_t> dims = indices.shape().dims();
-  dims.push_back(depth);
-  return Tensor::FromVector(std::move(out), Shape(std::move(dims)),
-                            DType::kFloat32);
+  return out_t;
 }
 
 std::pair<Tensor, Tensor> TopK(const Tensor& a, int64_t k) {
@@ -731,8 +966,13 @@ std::pair<Tensor, Tensor> TopK(const Tensor& a, int64_t k) {
                      " out of range for last dim " + std::to_string(last));
   }
   const int64_t rows = a.num_elements() / last;
-  std::vector<float> values(static_cast<size_t>(rows * k));
-  std::vector<float> indices(static_cast<size_t>(rows * k));
+  std::vector<int64_t> dims = a.shape().dims();
+  dims.back() = k;
+  Shape out_shape(std::move(dims));
+  Tensor values_t = NewOut(out_shape, a.dtype());
+  Tensor indices_t = NewOut(out_shape, DType::kInt32);
+  float* values = TensorAccess::data(values_t);
+  float* indices = TensorAccess::data(indices_t);
   std::vector<int64_t> order(static_cast<size_t>(last));
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = a.data() + r * last;
@@ -745,11 +985,7 @@ std::pair<Tensor, Tensor> TopK(const Tensor& a, int64_t k) {
           static_cast<float>(order[static_cast<size_t>(j)]);
     }
   }
-  std::vector<int64_t> dims = a.shape().dims();
-  dims.back() = k;
-  Shape out_shape(std::move(dims));
-  return {Tensor::FromVector(std::move(values), out_shape, a.dtype()),
-          Tensor::FromVector(std::move(indices), out_shape, DType::kInt32)};
+  return {std::move(values_t), std::move(indices_t)};
 }
 
 Tensor SumToShape(const Tensor& grad, const Shape& target) {

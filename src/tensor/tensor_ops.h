@@ -19,42 +19,77 @@ namespace ag {
 inline constexpr int kAllAxes = INT32_MIN;
 
 // ---- Elementwise binary (broadcasting) ----
+// Each op also has an rvalue overload that writes in place when one of
+// the operands is the sole owner of its buffer (and pooling is on) —
+// the destination-passing path graph executors use once liveness says
+// an edge value is dead after this consumer. Lvalue calls always copy;
+// a Reshaped alias or a second live handle blocks reuse via refcount.
 [[nodiscard]] Tensor Add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Add(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Sub(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mul(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Div(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Div(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor FloorDiv(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor FloorDiv(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Mod(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mod(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Pow(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Pow(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Maximum(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Maximum(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Minimum(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Minimum(Tensor&& a, Tensor&& b);
 
 // ---- Comparisons (result dtype kBool) ----
 [[nodiscard]] Tensor Less(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Less(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor LessEqual(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LessEqual(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Greater(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Greater(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor GreaterEqual(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor GreaterEqual(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor Equal(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Equal(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor NotEqual(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor NotEqual(Tensor&& a, Tensor&& b);
 
 // ---- Logical (operands interpreted as truthy; result kBool) ----
 [[nodiscard]] Tensor LogicalAnd(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LogicalAnd(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor LogicalOr(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor LogicalOr(Tensor&& a, Tensor&& b);
 [[nodiscard]] Tensor LogicalNot(const Tensor& a);
+[[nodiscard]] Tensor LogicalNot(Tensor&& a);
 
 // ---- Elementwise unary ----
 [[nodiscard]] Tensor Neg(const Tensor& a);
+[[nodiscard]] Tensor Neg(Tensor&& a);
 [[nodiscard]] Tensor Exp(const Tensor& a);
+[[nodiscard]] Tensor Exp(Tensor&& a);
 [[nodiscard]] Tensor Log(const Tensor& a);
+[[nodiscard]] Tensor Log(Tensor&& a);
 [[nodiscard]] Tensor Tanh(const Tensor& a);
+[[nodiscard]] Tensor Tanh(Tensor&& a);
 [[nodiscard]] Tensor Sigmoid(const Tensor& a);
+[[nodiscard]] Tensor Sigmoid(Tensor&& a);
 [[nodiscard]] Tensor Relu(const Tensor& a);
+[[nodiscard]] Tensor Relu(Tensor&& a);
 [[nodiscard]] Tensor Sqrt(const Tensor& a);
+[[nodiscard]] Tensor Sqrt(Tensor&& a);
 [[nodiscard]] Tensor Abs(const Tensor& a);
+[[nodiscard]] Tensor Abs(Tensor&& a);
 [[nodiscard]] Tensor Sign(const Tensor& a);
+[[nodiscard]] Tensor Sign(Tensor&& a);
 [[nodiscard]] Tensor Square(const Tensor& a);
+[[nodiscard]] Tensor Square(Tensor&& a);
 [[nodiscard]] Tensor Sin(const Tensor& a);
+[[nodiscard]] Tensor Sin(Tensor&& a);
 [[nodiscard]] Tensor Cos(const Tensor& a);
+[[nodiscard]] Tensor Cos(Tensor&& a);
 
 // ---- Linear algebra ----
 // 2-D matrix product: [m, k] x [k, n] -> [m, n].
@@ -86,7 +121,11 @@ inline constexpr int kAllAxes = INT32_MIN;
 // x[index] along axis 0 (one row / sub-tensor).
 [[nodiscard]] Tensor IndexAxis0(const Tensor& a, int64_t index);
 // Value-semantics update: returns a copy of `a` with a[index] = value.
+// The rvalue overload overwrites just the row when `a` is sole-owned
+// (turning the staged read-modify-write idiom from O(n) copy to O(row)).
 [[nodiscard]] Tensor SetItemAxis0(const Tensor& a, int64_t index,
+                                  const Tensor& value);
+[[nodiscard]] Tensor SetItemAxis0(Tensor&& a, int64_t index,
                                   const Tensor& value);
 // Gathers rows of `params` (axis 0) by integer `indices` (any shape);
 // result shape = indices.shape + params.shape[1:].

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...]
-//          [--deadline-ms=N] [--trace-out=FILE] [--eager] <file.pym>
+//          [--deadline-ms=N] [--trace-out=FILE] [--eager]
+//          [--alloc-stats] <file.pym>
 //
 // The file is loaded, the chosen function (default: the first function
 // defined in the file) is staged with one float32 placeholder per
@@ -13,10 +14,14 @@
 // same feeds, making the paper's eager-vs-staged overhead visible.
 // --deadline-ms bounds each profiled Run(); a function that loops
 // forever exits with status 1 and a DeadlineExceededError instead of
-// hanging the tool.
+// hanging the tool. When any profiled run was interrupted, per-run
+// unwind latency percentiles (p50/p90/p99/max) are reported.
+// --alloc-stats prints the buffer-pool section: fresh allocations,
+// pool hits and hit rate, peak live bytes, and current retained bytes.
 //
 // Exit status: 0 on success, 1 on execution failure, 2 on usage / IO
 // problems.
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <fstream>
@@ -29,6 +34,7 @@
 #include "lang/parser.h"
 #include "obs/chrome_trace.h"
 #include "obs/run_metadata.h"
+#include "tensor/allocator.h"
 
 namespace {
 
@@ -48,7 +54,45 @@ void PrintUsage() {
                "instead of hanging\n"
                "  --trace-out=FILE write Chrome trace-event JSON\n"
                "  --eager          also profile the eager (unstaged) "
-               "path\n";
+               "path\n"
+               "  --alloc-stats    print buffer-pool allocator counters\n";
+}
+
+// Nearest-rank percentile over the (sorted) samples.
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// Unwind latency distribution over every interrupted run merged into
+// `meta` — how fast cancelled/timed-out runs let go of the engine.
+void PrintUnwindPercentiles(const ag::obs::RunMetadata& meta) {
+  if (meta.unwind_samples_ns.empty()) return;
+  std::vector<int64_t> sorted = meta.unwind_samples_ns;
+  std::sort(sorted.begin(), sorted.end());
+  std::cout << "unwind latency over " << sorted.size()
+            << " interrupted run(s), us: p50="
+            << Percentile(sorted, 50) / 1000
+            << " p90=" << Percentile(sorted, 90) / 1000
+            << " p99=" << Percentile(sorted, 99) / 1000
+            << " max=" << sorted.back() / 1000 << "\n";
+}
+
+void PrintAllocStats(const ag::obs::RunMetadata& meta) {
+  const int64_t requests = meta.alloc_count + meta.pool_hit_count;
+  const ag::tensor::PoolStats pool = ag::tensor::BufferPool::Global().stats();
+  std::cout << "== alloc stats (buffer pool) ==\n"
+            << "fresh_allocs=" << meta.alloc_count << " alloc_bytes="
+            << meta.alloc_bytes << "\n"
+            << "pool_hits=" << meta.pool_hit_count << " hit_rate="
+            << (requests > 0
+                    ? (100 * meta.pool_hit_count + requests / 2) / requests
+                    : 0)
+            << "%\n"
+            << "peak_live_bytes=" << meta.peak_live_bytes
+            << " retained_bytes=" << pool.retained_bytes << "\n";
 }
 
 // Strict positive-integer flag parse. std::stoi would throw (and
@@ -116,6 +160,7 @@ int main(int argc, char** argv) {
   int64_t runs = 10;
   int64_t deadline_ms = 0;
   bool eager = false;
+  bool alloc_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +185,8 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg == "--eager") {
       eager = true;
+    } else if (arg == "--alloc-stats") {
+      alloc_stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "agprof: unknown option '" << arg << "'\n";
       PrintUsage();
@@ -165,6 +212,7 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   const std::string source = buffer.str();
 
+  ag::obs::RunMetadata meta;
   try {
     if (fn_name.empty()) {
       fn_name = FirstFunctionName(ag::lang::ParseStr(source, path));
@@ -207,7 +255,6 @@ int main(int argc, char** argv) {
     options.trace = true;
     options.step_stats = true;
     options.deadline_ms = deadline_ms;  // 0 = unbounded
-    ag::obs::RunMetadata meta;
     for (int64_t i = 0; i < runs; ++i) {
       (void)staged.Run(feeds, &options, &meta);
     }
@@ -216,6 +263,7 @@ int main(int argc, char** argv) {
               << runs << " run(s) ==\n"
               << staged.optimize_stats.DebugString() << "\n"
               << meta.DebugString();
+    PrintUnwindPercentiles(meta);
 
     if (eager) {
       ag::obs::RunMetadata eager_meta;
@@ -231,6 +279,8 @@ int main(int argc, char** argv) {
                 << eager_meta.DebugString();
       meta.Merge(eager_meta);
     }
+
+    if (alloc_stats) PrintAllocStats(meta);
 
     if (!trace_out.empty()) {
       const std::string json = ag::obs::ToChromeTraceJson(meta);
@@ -252,6 +302,10 @@ int main(int argc, char** argv) {
     }
   } catch (const ag::Error& e) {
     std::cerr << "agprof: " << e.what() << "\n";
+    // An interrupted profile still reports what it measured — notably
+    // the unwind latency of the run(s) that died.
+    PrintUnwindPercentiles(meta);
+    if (alloc_stats) PrintAllocStats(meta);
     return 1;
   }
   return 0;
