@@ -6,6 +6,7 @@
 #include "analysis/activity.h"
 #include "analysis/callgraph.h"
 #include "analysis/cfg.h"
+#include "analysis/liveness.h"
 #include "analysis/reaching_definitions.h"
 #include "analysis/shape_infer.h"
 #include "support/strings.h"
@@ -320,6 +321,43 @@ void CheckUnreachable(const StmtList& body, std::vector<Diagnostic>* out) {
   }
 }
 
+// ---- AG007: dead stores ----------------------------------------------
+
+void CheckDeadStores(const lang::FunctionDefStmt& fn,
+                     std::vector<Diagnostic>* out) {
+  ControlFlowGraph cfg = ControlFlowGraph::Build(fn.body, fn.params);
+  Liveness liveness(cfg);
+
+  std::vector<const lang::Stmt*> stmts;
+  CollectStmts(fn.body, &stmts);
+  for (const lang::Stmt* stmt : stmts) {
+    if (stmt->kind != StmtKind::kAssign &&
+        stmt->kind != StmtKind::kAugAssign) {
+      continue;
+    }
+    const CfgNode& node =
+        cfg.nodes()[static_cast<size_t>(cfg.NodeFor(stmt))];
+    const std::set<std::string>& live_out = liveness.LiveOut(stmt);
+    for (const std::string& w : node.writes) {
+      // Compound targets (`a.b`, `a[i]`) are side effects, not stores to
+      // a local; `_`-prefixed names are the discard convention.
+      if (!IsPlainUserName(w) || StartsWith(w, "_")) continue;
+      if (live_out.count(w) > 0) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.code = "AG007";
+      d.message = "dead store: the value assigned to '" + w +
+                  "' is never used — every path rewrites or discards it "
+                  "before any read";
+      d.location = Loc(stmt);
+      d.note = "remove the assignment (the discarded expression still "
+               "traces graph ops at staging time), or rename to '_" + w +
+               "' if the discard is intentional";
+      out->push_back(std::move(d));
+    }
+  }
+}
+
 void SortDiagnostics(std::vector<Diagnostic>* out) {
   std::stable_sort(out->begin(), out->end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
@@ -343,6 +381,7 @@ void LintFunctionInto(const std::shared_ptr<lang::FunctionDefStmt>& fn,
     CheckRecursion(StmtList{fn}, options, out);
   }
   CheckUnreachable(fn->body, out);
+  CheckDeadStores(*fn, out);
 }
 
 }  // namespace

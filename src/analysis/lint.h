@@ -23,9 +23,15 @@
 //          graph IR cannot express re-entrant staged functions; the
 //          Lantern backend can.
 //   AG006  unreachable code after return/break/continue.
+//   AG007  dead store: a value assigned to a plain local that no path
+//          reads before it is rewritten or the function exits — at
+//          staging time the discarded expression still traces graph
+//          ops, and it usually marks a logic slip (e.g. computing a
+//          new loop state and forgetting to thread it).
 //
-// Severities: AG001-AG003 and AG005-on-TF are errors; AG004 and AG006
-// are warnings; AG005 on a re-entrant backend is an informational note.
+// Severities: AG001-AG003 and AG005-on-TF are errors; AG004, AG006 and
+// AG007 are warnings; AG005 on a re-entrant backend is an informational
+// note.
 #pragma once
 
 #include <cstdint>

@@ -302,6 +302,15 @@ StagedFunction AutoGraph::Stage(const Value& fn,
     out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
                                          &exec::EvaluatePureNode);
     out.metadata.phase_ns["optimize"] = obs::NowNs() - t;
+    // With OptimizeOptions::verify_each_pass (AG_VERIFY_EACH_PASS=1),
+    // a pass that broke a graph invariant must not reach execution:
+    // the staged function would silently compute the wrong thing.
+    if (!out.optimize_stats.broken_pass.empty()) {
+      throw InternalError("optimization pass '" +
+                          out.optimize_stats.broken_pass +
+                          "' broke a graph invariant: " +
+                          out.optimize_stats.broken_finding);
+    }
   }
   out.session = std::make_unique<exec::Session>(out.graph.get());
   return out;

@@ -749,7 +749,7 @@ Value WhileStmt(Interpreter& in, const Value& test_fn, const Value& body_fn,
                            : std::vector<Value>{init_state};
   const size_t n = state.size();
 
-  const bool staged = [&state] {
+  bool staged = [&state] {
     for (const Value& s : state) {
       if (s.IsGraphTensor()) return true;
     }
@@ -757,13 +757,21 @@ Value WhileStmt(Interpreter& in, const Value& test_fn, const Value& body_fn,
   }();
 
   if (!staged) {
-    while (true) {
-      Value test = in.CallCallable(test_fn, state);
-      if (!Truthy(test)) break;
-      Value next = in.CallCallable(body_fn, state);
-      state = UnpackState(next, n, "while loop body");
+    // The loop state alone does not decide staging: `i = 0; while i < n:`
+    // with a symbolic `n` carries only Python ints but still needs a
+    // graph While. Probe the condition once — a symbolic test forces the
+    // staged path (the probe node, if any, is dead and removed by DCE).
+    Value test = in.CallCallable(test_fn, state);
+    if (test.IsGraphTensor()) {
+      staged = true;
+    } else {
+      while (Truthy(test)) {
+        Value next = in.CallCallable(body_fn, state);
+        state = UnpackState(next, n, "while loop body");
+        test = in.CallCallable(test_fn, state);
+      }
+      return PackState(std::move(state));
     }
-    return PackState(std::move(state));
   }
 
   GraphContext& ctx = RequireStaging(in, "while");

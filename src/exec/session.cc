@@ -11,6 +11,7 @@
 #include "runtime/thread_pool.h"
 #include "support/error.h"
 #include "tensor/allocator.h"
+#include "verify/plan_verify.h"
 
 namespace ag::exec {
 
@@ -632,6 +633,25 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
     (void)key;
     plan.returns_move[i] = 1;
   }
+
+#if !defined(NDEBUG) || defined(AG_VERIFY)
+  // Self-audit (debug and -DAG_VERIFY=ON builds): every invariant the
+  // drain assumes — pending counts, edge structure, stateful chain,
+  // move soundness, schedule races — is proved before the plan is ever
+  // executed. Release builds skip this; tools/agverify and the fault-
+  // injection tests call verify::VerifyPlan explicitly instead.
+  {
+    verify::PlanVerifyOptions vopts;
+    vopts.allow_args = allow_args;
+    const std::vector<verify::VerifyDiagnostic> findings =
+        verify::VerifyPlan(plan, vopts);
+    if (!findings.empty()) {
+      throw InternalError("CompilePlan produced an invalid plan (" +
+                          std::to_string(findings.size()) +
+                          " finding(s)); first: " + findings.front().str());
+    }
+  }
+#endif
   return plan;
 }
 

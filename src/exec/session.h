@@ -126,32 +126,6 @@ class Session {
 
   [[nodiscard]] const SessionStats& stats() const { return stats_; }
 
- private:
-  // Per-Run execution context, threaded through the call tree instead of
-  // living in session members so concurrent Runs never share it.
-  struct RunCtx {
-    const std::map<std::string, RuntimeValue>* feeds = nullptr;
-    obs::RunRecorder* rec = nullptr;  // null on the fast path
-    int inter_op_threads = 0;
-    int intra_op_threads = 0;
-    // Cooperative cancellation/deadline poll point for this run (null
-    // when the options request none — the zero-overhead default).
-    // Polled at kernel launches, While iterations, and the parallel
-    // drain's claim path; owned by Run()'s stack frame.
-    runtime::CancelCheck* cancel = nullptr;
-    // Finite runaway-loop guard (RunOptions::max_while_iterations).
-    int64_t max_while_iterations = int64_t{1} << 31;
-    // RunOptions::buffer_pool: false pins a tensor::PoolDisableScope for
-    // the whole run (including pool helpers), restoring the unpooled
-    // allocation path.
-    bool buffer_pool = true;
-  };
-
-  struct Frame {
-    std::unordered_map<const graph::Node*, std::vector<RuntimeValue>> memo;
-    const std::vector<RuntimeValue>* args = nullptr;
-  };
-
   // Precompiled execution plan for a fetched subgraph (FuncGraphs inside
   // While/Cond, and — for the parallel engine — the top-level graph):
   // nodes in topological order with pre-resolved input slot indices and
@@ -161,6 +135,10 @@ class Session {
   // For the parallel engine each step also carries its consumer list and
   // initial pending-input count, both computed here at compile time so
   // the scheduler does nothing but atomic decrements at run time.
+  //
+  // Public (with CompilePlan) so verify/plan_verify.h can statically
+  // audit plans and tools/agverify can compile them standalone; the
+  // executors only ever consume plans built here.
   struct Plan {
     enum class Kind : uint8_t {
       kKernel,
@@ -206,6 +184,39 @@ class Session {
     std::vector<uint8_t> returns_move;
   };
 
+  // Compiles the subgraph reachable from `returns` into a Plan. Pure
+  // (no session state mutated); `allow_args` permits Arg references
+  // (FuncGraph sub-plans). In debug or -DAG_VERIFY=ON builds the result
+  // is audited by verify::VerifyPlan before being returned.
+  Plan CompilePlan(const std::vector<graph::Output>& returns,
+                   bool allow_args);
+
+ private:
+  // Per-Run execution context, threaded through the call tree instead of
+  // living in session members so concurrent Runs never share it.
+  struct RunCtx {
+    const std::map<std::string, RuntimeValue>* feeds = nullptr;
+    obs::RunRecorder* rec = nullptr;  // null on the fast path
+    int inter_op_threads = 0;
+    int intra_op_threads = 0;
+    // Cooperative cancellation/deadline poll point for this run (null
+    // when the options request none — the zero-overhead default).
+    // Polled at kernel launches, While iterations, and the parallel
+    // drain's claim path; owned by Run()'s stack frame.
+    runtime::CancelCheck* cancel = nullptr;
+    // Finite runaway-loop guard (RunOptions::max_while_iterations).
+    int64_t max_while_iterations = int64_t{1} << 31;
+    // RunOptions::buffer_pool: false pins a tensor::PoolDisableScope for
+    // the whole run (including pool helpers), restoring the unpooled
+    // allocation path.
+    bool buffer_pool = true;
+  };
+
+  struct Frame {
+    std::unordered_map<const graph::Node*, std::vector<RuntimeValue>> memo;
+    const std::vector<RuntimeValue>* args = nullptr;
+  };
+
   // Shared run state of one parallel plan execution (defined in the
   // .cc); shared_ptr-owned so pool helpers may outlive the caller's
   // epilogue safely.
@@ -220,8 +231,6 @@ class Session {
   std::vector<RuntimeValue> ExecSubgraph(const graph::FuncGraph& fg,
                                          std::vector<RuntimeValue> args,
                                          RunCtx& ctx);
-  Plan CompilePlan(const std::vector<graph::Output>& returns,
-                   bool allow_args);
   const Plan& PlanFor(const graph::FuncGraph& fg, RunCtx& ctx);
   // Plan for a top-level fetch list (parallel engine), cached per fetch
   // signature.

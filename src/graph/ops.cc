@@ -34,38 +34,59 @@ Output GraphContext::Resolve(Output o) {
   return cur;
 }
 
+namespace {
+
+bool IsBoolProducer(const std::string& op) {
+  return op == "Less" || op == "LessEqual" || op == "Greater" ||
+         op == "GreaterEqual" || op == "Equal" || op == "NotEqual" ||
+         op == "LogicalAnd" || op == "LogicalOr" || op == "LogicalNot";
+}
+
+bool IsIntProducer(const std::string& op) {
+  return op == "ArgMax" || op == "Range" || op == "Shape" || op == "Size" ||
+         op == "TensorListLen" || op == "Dim0";
+}
+
+// Float producers regardless of input dtype.
+bool IsFloatProducer(const std::string& op) {
+  return op == "Div" || op == "Exp" || op == "Log" || op == "Tanh" ||
+         op == "Sigmoid" || op == "Relu" || op == "Sqrt" ||
+         op == "Softmax" || op == "LogSoftmax" ||
+         op == "SoftmaxCrossEntropy" || op == "SoftmaxCrossEntropyGrad" ||
+         op == "OneHot" || op == "Sin" || op == "Cos" || op == "Pow" ||
+         op == "RandomNormal" || op == "RandomUniform";
+}
+
+}  // namespace
+
 DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
                  const AttrMap& attrs) {
-  // Boolean producers.
-  if (op == "Less" || op == "LessEqual" || op == "Greater" ||
-      op == "GreaterEqual" || op == "Equal" || op == "NotEqual" ||
-      op == "LogicalAnd" || op == "LogicalOr" || op == "LogicalNot") {
-    return DType::kBool;
-  }
-  // Integer producers.
-  if (op == "ArgMax" || op == "Range" || op == "Shape" || op == "Size" ||
-      op == "TensorListLen" || op == "Dim0") {
-    return DType::kInt32;
-  }
+  if (IsBoolProducer(op)) return DType::kBool;
+  if (IsIntProducer(op)) return DType::kInt32;
   if (op == "Cast") {
     auto it = attrs.find("dtype");
     if (it != attrs.end()) return std::get<DType>(it->second);
     return DType::kFloat32;
   }
-  // Float producers regardless of input dtype.
-  if (op == "Div" || op == "Exp" || op == "Log" || op == "Tanh" ||
-      op == "Sigmoid" || op == "Relu" || op == "Sqrt" || op == "Softmax" ||
-      op == "LogSoftmax" || op == "SoftmaxCrossEntropy" ||
-      op == "SoftmaxCrossEntropyGrad" || op == "OneHot" || op == "Sin" ||
-      op == "Cos" || op == "Pow" || op == "RandomNormal" ||
-      op == "RandomUniform") {
-    return DType::kFloat32;
+  if (IsFloatProducer(op)) return DType::kFloat32;
+  // Where(cond, x, y) selects between x and y: its output carries the
+  // value dtype, not the bool condition in input 0. (Latent bug found
+  // by the AGV105 loop-var invariance check: tf.where on loop state
+  // recorded dtype bool, making every such While loop-carried slot
+  // inconsistent.)
+  if (op == "Where" && inputs.size() >= 2 && inputs[1].valid()) {
+    return inputs[1].node->output_dtype(inputs[1].index);
   }
   // Dtype-propagating ops: use the first tensor input if present.
   if (!inputs.empty() && inputs[0].valid()) {
     return inputs[0].node->output_dtype(inputs[0].index);
   }
   return DType::kFloat32;
+}
+
+bool InferredDtypeIsAuthoritative(const std::string& op) {
+  return IsBoolProducer(op) || IsIntProducer(op) || IsFloatProducer(op) ||
+         op == "Cast";
 }
 
 std::vector<Output> OpN(GraphContext& ctx, const std::string& op,

@@ -75,4 +75,10 @@ std::vector<Output> While(
                                const std::vector<Output>& inputs,
                                const AttrMap& attrs);
 
+// True when InferDtype's answer for `op` is fixed by the op's semantics
+// (comparisons are bool, Range is int, Cast is its attr, ...) rather
+// than propagated from inputs. The graph verifier only enforces AGV104
+// dtype consistency where this holds.
+[[nodiscard]] bool InferredDtypeIsAuthoritative(const std::string& op);
+
 }  // namespace ag::graph

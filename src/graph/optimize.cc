@@ -1,10 +1,13 @@
 #include "graph/optimize.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 #include <unordered_map>
+
+#include "verify/verify.h"
 
 namespace ag::graph {
 namespace {
@@ -224,6 +227,14 @@ int HoistWhileInvariants(Graph* outer, Node* while_node) {
 
 bool IsPureOp(const std::string& op) { return ImpureOps().count(op) == 0; }
 
+bool DefaultVerifyEachPass() {
+  static const bool value = [] {
+    const char* env = std::getenv("AG_VERIFY_EACH_PASS");
+    return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  }();
+  return value;
+}
+
 std::string OptimizeStats::DebugString() const {
   std::ostringstream os;
   os << "OptimizeStats: folded=" << folded << " merged=" << merged
@@ -232,6 +243,13 @@ std::string OptimizeStats::DebugString() const {
     os << "\n  " << p.pass << ": changed=" << p.changed << " nodes "
        << p.nodes_before << " -> " << p.nodes_after << " ("
        << p.wall_ns / 1000 << " us)";
+    if (p.verify_findings > 0) {
+      os << " verify_findings=" << p.verify_findings;
+    }
+  }
+  if (!broken_pass.empty()) {
+    os << "\n  first broken invariant after pass '" << broken_pass
+       << "': " << broken_finding;
   }
   return os.str();
 }
@@ -240,6 +258,22 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
                        const NodeEvaluator& evaluator,
                        const OptimizeOptions& options) {
   OptimizeStats stats;
+
+  // Per-pass validation hook: checks the whole graph (and roots) right
+  // after the pass named by the PassScope just finished. Returns false
+  // — stopping the pipeline — on the first broken invariant, so the
+  // attribution in `broken_pass` names the pass that introduced the
+  // damage rather than one that merely ran over it later.
+  auto verify_after = [&](const char* pass_name) {
+    if (!options.verify_each_pass) return true;
+    const std::vector<verify::VerifyDiagnostic> findings =
+        verify::VerifyGraphAndRoots(*graph, *roots);
+    stats.passes.back().verify_findings = static_cast<int>(findings.size());
+    if (findings.empty()) return true;
+    stats.broken_pass = pass_name;
+    stats.broken_finding = findings.front().str();
+    return false;
+  };
 
   if (options.licm) {
     PassScope pass(&stats, graph, "licm");
@@ -252,6 +286,7 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
       }
     }
     pass.Finish(stats.hoisted);
+    if (!verify_after("licm")) return stats;
   }
 
   if (options.constant_folding && evaluator) {
@@ -300,6 +335,7 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
       }
     }
     pass.Finish(stats.folded);
+    if (!verify_after("constant_folding")) return stats;
   }
 
   if (options.cse) {
@@ -335,6 +371,7 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
       }
     }
     pass.Finish(stats.merged);
+    if (!verify_after("cse")) return stats;
   }
 
   if (options.dce) {
@@ -352,6 +389,7 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
     graph->Prune(keep);
     stats.pruned = static_cast<int>(before - graph->num_nodes());
     pass.Finish(stats.pruned);
+    if (!verify_after("dce")) return stats;
   }
 
   return stats;

@@ -24,6 +24,10 @@ namespace ag::graph {
 using NodeEvaluator = std::function<std::vector<Tensor>(
     const Node&, const std::vector<Tensor>&)>;
 
+// True when the AG_VERIFY_EACH_PASS environment variable is set to a
+// non-empty value other than "0" (read once, cached).
+[[nodiscard]] bool DefaultVerifyEachPass();
+
 struct OptimizeOptions {
   bool constant_folding = true;
   bool cse = true;
@@ -33,6 +37,15 @@ struct OptimizeOptions {
   // graph and re-captured, so they execute once per Run instead of once
   // per iteration (the Grappler optimization TF applies to staged loops).
   bool licm = true;
+  // Per-pass validation: run the graph well-formedness checker
+  // (verify::VerifyGraphAndRoots, AGV1xx) after every executed pass.
+  // The first pass to break an invariant is recorded in
+  // OptimizeStats::broken_pass and the remaining passes are skipped, so
+  // the attribution names the culprit rather than a downstream victim.
+  // Defaults to the AG_VERIFY_EACH_PASS environment variable (unset/0 =
+  // off: the checker walks every subgraph, which is measurable on the
+  // staging path).
+  bool verify_each_pass = DefaultVerifyEachPass();
 };
 
 // Per-pass record: what one optimization pass did to the graph.
@@ -42,6 +55,9 @@ struct OptimizePassStat {
   int nodes_before = 0; // top-level node count entering the pass
   int nodes_after = 0;  // top-level node count leaving the pass
   int64_t wall_ns = 0;
+  // AGV findings the verifier reported right after this pass ran (0 when
+  // clean or when verify_each_pass was off).
+  int verify_findings = 0;
 };
 
 struct OptimizeStats {
@@ -51,6 +67,12 @@ struct OptimizeStats {
   int hoisted = 0;
   // One entry per executed pass, in execution order.
   std::vector<OptimizePassStat> passes;
+  // verify_each_pass attribution: the first pass after which the graph
+  // checker reported findings ("" = clean or not verified), and the
+  // first finding's rendered diagnostic. Callers that must not execute
+  // a broken graph (core::AutoGraph::Stage) throw on non-empty.
+  std::string broken_pass;
+  std::string broken_finding;
 
   [[nodiscard]] std::string DebugString() const;
 };

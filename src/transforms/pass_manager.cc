@@ -18,7 +18,8 @@ namespace {
 // Runs aglint over the unconverted function, so every diagnostic carries
 // the user's original source location. In kError mode the first
 // staging-safety diagnostic (AG001-AG005) aborts conversion; AG006
-// (unreachable code) is never fatal.
+// (unreachable code) and AG007 (dead store) are code-quality hints and
+// never fatal.
 void RunLint(const std::shared_ptr<lang::FunctionDefStmt>& fn,
              const ConversionOptions& options) {
   analysis::LintOptions lint_options;
@@ -27,7 +28,7 @@ void RunLint(const std::shared_ptr<lang::FunctionDefStmt>& fn,
       analysis::LintFunction(fn, lint_options);
   for (const analysis::Diagnostic& d : diagnostics) {
     if (options.lint_mode == LintMode::kError && d.code != "AG006" &&
-        d.severity != analysis::Severity::kInfo) {
+        d.code != "AG007" && d.severity != analysis::Severity::kInfo) {
       throw analysis::ToConversionError(d, fn->name);
     }
     std::cerr << "aglint: " << d.str() << "\n";

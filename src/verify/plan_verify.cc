@@ -1,0 +1,451 @@
+#include "verify/plan_verify.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+
+namespace ag::verify {
+namespace {
+
+using exec::Session;
+using graph::Graph;
+using graph::Node;
+using Plan = Session::Plan;
+
+std::string StepRef(const Plan& plan, int i) {
+  const Node* node = plan.steps[static_cast<size_t>(i)].node;
+  if (node == nullptr) return "step " + std::to_string(i) + " <null node>";
+  return "step " + std::to_string(i) + " '" + node->name() + "' (" +
+         node->op() + ")";
+}
+
+std::string SlotRef(const Plan& plan, const Plan::InputRef& ref) {
+  if (ref.step < 0) return "arg " + std::to_string(ref.output);
+  return "output " + std::to_string(ref.output) + " of " +
+         StepRef(plan, ref.step);
+}
+
+void Add(std::vector<VerifyDiagnostic>* out, std::string code,
+         std::string message, std::string where, std::string note = "") {
+  out->push_back(VerifyDiagnostic{std::move(code), std::move(message),
+                                  std::move(where), std::move(note)});
+}
+
+// Transitive statefulness, mirroring CompilePlan's chain predicate: the
+// executor keeps its copy file-local on purpose (the verifier must not
+// share the code it is auditing), so a drift between the two shows up
+// as AGV204 findings rather than being silently agreed upon.
+bool GraphHasStatefulNode(const Graph& g,
+                          std::unordered_set<const Graph*>& seen);
+
+bool NodeIsStateful(const Node& node,
+                    std::unordered_set<const Graph*>& seen) {
+  const std::string& op = node.op();
+  if (op == "Variable" || op == "Assign" || op == "Print") return true;
+  for (const auto& [key, value] : node.attrs()) {
+    const auto* sub = std::get_if<std::shared_ptr<Graph>>(&value);
+    if (sub != nullptr && *sub != nullptr &&
+        GraphHasStatefulNode(**sub, seen)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GraphHasStatefulNode(const Graph& g,
+                          std::unordered_set<const Graph*>& seen) {
+  if (!seen.insert(&g).second) return false;
+  for (const auto& n : g.nodes()) {
+    if (NodeIsStateful(*n, seen)) return true;
+  }
+  return false;
+}
+
+bool StepIsStateful(const Plan::Step& s) {
+  if (s.node == nullptr) return false;
+  std::unordered_set<const Graph*> seen;
+  return NodeIsStateful(*s.node, seen);
+}
+
+// Every variable name `node` (transitively, through subgraph attrs)
+// reads or writes.
+void CollectVarTouches(const Node& node,
+                       std::unordered_set<const Graph*>& seen,
+                       std::set<std::string>* vars) {
+  if (node.op() == "Variable" || node.op() == "Assign") {
+    auto it = node.attrs().find("var_name");
+    if (it != node.attrs().end()) {
+      if (const std::string* name = std::get_if<std::string>(&it->second)) {
+        vars->insert(*name);
+      }
+    }
+  }
+  for (const auto& [key, value] : node.attrs()) {
+    const auto* sub = std::get_if<std::shared_ptr<Graph>>(&value);
+    if (sub == nullptr || *sub == nullptr) continue;
+    if (!seen.insert(sub->get()).second) continue;
+    for (const auto& n : (*sub)->nodes()) {
+      CollectVarTouches(*n, seen, vars);
+    }
+  }
+}
+
+// True when a successor path leads from step `from` to step `to`.
+// Edges found to be non-forward (AGV202 territory) are ignored so the
+// walk terminates on corrupted plans too.
+bool Reaches(const Plan& plan, int from, int to) {
+  if (from >= to) return false;
+  const int num_steps = static_cast<int>(plan.steps.size());
+  std::vector<char> seen(static_cast<size_t>(num_steps), 0);
+  std::vector<int> stack{from};
+  seen[static_cast<size_t>(from)] = 1;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    for (const int next : plan.steps[static_cast<size_t>(s)].successors) {
+      if (next <= s || next >= num_steps) continue;
+      if (next == to) return true;
+      if (next < to && seen[static_cast<size_t>(next)] == 0) {
+        seen[static_cast<size_t>(next)] = 1;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+Plan::Kind ExpectedKind(const std::string& op) {
+  if (op == "Cond") return Plan::Kind::kCond;
+  if (op == "While") return Plan::Kind::kWhile;
+  if (op == "Placeholder") return Plan::Kind::kPlaceholder;
+  if (op == "Variable") return Plan::Kind::kVariable;
+  if (op == "Assign") return Plan::Kind::kAssign;
+  return Plan::Kind::kKernel;
+}
+
+}  // namespace
+
+bool PlanStepIsStateful(const Plan::Step& step) {
+  return StepIsStateful(step);
+}
+
+std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
+                                         const PlanVerifyOptions& options) {
+  std::vector<VerifyDiagnostic> out;
+  const int num_steps = static_cast<int>(plan.steps.size());
+
+  // ---- AGV205/AGV202: per-step structure ------------------------------
+  for (int i = 0; i < num_steps; ++i) {
+    const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+    if (s.node == nullptr) {
+      Add(&out, "AGV205", "step has a null graph node", StepRef(plan, i));
+    } else {
+      const Plan::Kind expect = ExpectedKind(s.node->op());
+      if (s.kind != expect) {
+        Add(&out, "AGV205",
+            "step kind does not match its node's op", StepRef(plan, i),
+            "ExecStep dispatches on the kind; a mismatch executes the "
+            "wrong interpreter case");
+      } else if (s.kind == Plan::Kind::kKernel && s.kernel == nullptr) {
+        Add(&out, "AGV205", "kernel step has no cached kernel pointer",
+            StepRef(plan, i));
+      }
+    }
+    if (s.input_move.size() != s.inputs.size()) {
+      Add(&out, "AGV205",
+          "input_move has " + std::to_string(s.input_move.size()) +
+              " entries for " + std::to_string(s.inputs.size()) +
+              " input(s)",
+          StepRef(plan, i));
+    }
+    for (size_t j = 0; j < s.input_move.size(); ++j) {
+      if (s.input_move[j] > Plan::kMoveAlways) {
+        Add(&out, "AGV205",
+            "input " + std::to_string(j) + " carries unknown move flag " +
+                std::to_string(static_cast<int>(s.input_move[j])),
+            StepRef(plan, i));
+      }
+    }
+    for (size_t j = 0; j < s.inputs.size(); ++j) {
+      const Plan::InputRef& ref = s.inputs[j];
+      if (ref.step < -1 || ref.step >= i) {
+        Add(&out, "AGV205",
+            "input " + std::to_string(j) + " references step " +
+                std::to_string(ref.step) +
+                ", which is not an earlier step of the plan",
+            StepRef(plan, i),
+            "steps are scheduled in topological order; inputs must come "
+            "from strictly earlier steps");
+        continue;
+      }
+      if (ref.step == -1) {
+        if (!options.allow_args) {
+          Add(&out, "AGV205",
+              "input " + std::to_string(j) +
+                  " references a function argument in a top-level plan",
+              StepRef(plan, i));
+        } else if (ref.output < 0) {
+          Add(&out, "AGV205",
+              "input " + std::to_string(j) + " references argument " +
+                  std::to_string(ref.output),
+              StepRef(plan, i));
+        }
+        continue;
+      }
+      const Node* producer = plan.steps[static_cast<size_t>(ref.step)].node;
+      if (producer != nullptr &&
+          (ref.output < 0 || ref.output >= producer->num_outputs())) {
+        Add(&out, "AGV205",
+            "input " + std::to_string(j) + " references output " +
+                std::to_string(ref.output) + " of " +
+                StepRef(plan, ref.step) + ", which has " +
+                std::to_string(producer->num_outputs()) + " output(s)",
+            StepRef(plan, i));
+      }
+    }
+    std::set<int> seen_succ;
+    for (const int succ : s.successors) {
+      if (succ <= i || succ >= num_steps) {
+        Add(&out, "AGV202",
+            "successor " + std::to_string(succ) +
+                " is not a later step of the plan",
+            StepRef(plan, i),
+            "a non-forward edge makes the ready-queue cyclic");
+      } else if (!seen_succ.insert(succ).second) {
+        Add(&out, "AGV202",
+            "duplicate successor edge to step " + std::to_string(succ),
+            StepRef(plan, i),
+            "a duplicate edge decrements the consumer's pending count "
+            "twice, launching it before its inputs exist");
+      }
+    }
+  }
+
+  // ---- AGV201: pending counts == distinct in-degree -------------------
+  std::vector<int> indegree(static_cast<size_t>(num_steps), 0);
+  for (int p = 0; p < num_steps; ++p) {
+    std::set<int> distinct;
+    for (const int succ : plan.steps[static_cast<size_t>(p)].successors) {
+      if (succ > p && succ < num_steps && distinct.insert(succ).second) {
+        ++indegree[static_cast<size_t>(succ)];
+      }
+    }
+  }
+  for (int i = 0; i < num_steps; ++i) {
+    const int expect = indegree[static_cast<size_t>(i)];
+    const int got = plan.steps[static_cast<size_t>(i)].pending_init;
+    if (got != expect) {
+      Add(&out, "AGV201",
+          "pending_init is " + std::to_string(got) + " but " +
+              std::to_string(expect) +
+              " distinct predecessor step(s) have an edge to this step",
+          StepRef(plan, i),
+          got < expect
+              ? "the step would launch before all predecessors finished"
+              : "the step's count never reaches zero: scheduler deadlock");
+    }
+  }
+
+  // ---- AGV203: every dataflow input has an ordering edge --------------
+  for (int i = 0; i < num_steps; ++i) {
+    const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+    for (size_t j = 0; j < s.inputs.size(); ++j) {
+      const int p = s.inputs[j].step;
+      if (p < 0 || p >= i) continue;  // args / AGV205 territory
+      const std::vector<int>& succ =
+          plan.steps[static_cast<size_t>(p)].successors;
+      if (std::find(succ.begin(), succ.end(), i) == succ.end()) {
+        Add(&out, "AGV203",
+            "reads " + SlotRef(plan, s.inputs[j]) +
+                " but the producer has no successor edge to this step",
+            StepRef(plan, i),
+            "without the edge the parallel drain may run the consumer "
+            "before the producer's slot is written");
+      }
+    }
+  }
+
+  // ---- AGV204: stateful chain is a direct total order -----------------
+  int prev_stateful = -1;
+  for (int i = 0; i < num_steps; ++i) {
+    if (!StepIsStateful(plan.steps[static_cast<size_t>(i)])) continue;
+    if (prev_stateful >= 0) {
+      const std::vector<int>& succ =
+          plan.steps[static_cast<size_t>(prev_stateful)].successors;
+      if (std::find(succ.begin(), succ.end(), i) == succ.end()) {
+        Add(&out, "AGV204",
+            "stateful " + StepRef(plan, i) +
+                " is not chained to the previous stateful " +
+                StepRef(plan, prev_stateful),
+            StepRef(plan, i),
+            "side effects must execute in sequential plan order; an "
+            "unchained pair lets the parallel engine reorder them");
+      }
+    }
+    prev_stateful = i;
+  }
+
+  // ---- AGV206: returns shape ------------------------------------------
+  if (plan.returns_move.size() != plan.returns.size()) {
+    Add(&out, "AGV206",
+        "returns_move has " + std::to_string(plan.returns_move.size()) +
+            " entries for " + std::to_string(plan.returns.size()) +
+            " return(s)",
+        "plan returns");
+  }
+  std::set<std::pair<int, int>> fetched;
+  for (size_t i = 0; i < plan.returns.size(); ++i) {
+    const Plan::InputRef& r = plan.returns[i];
+    bool ok = true;
+    if (r.step < -1 || r.step >= num_steps) {
+      ok = false;
+    } else if (r.step == -1) {
+      ok = options.allow_args && r.output >= 0;
+    } else {
+      const Node* producer = plan.steps[static_cast<size_t>(r.step)].node;
+      ok = producer == nullptr ||
+           (r.output >= 0 && r.output < producer->num_outputs());
+    }
+    if (!ok) {
+      Add(&out, "AGV206",
+          "return " + std::to_string(i) + " references " +
+              (r.step >= 0 && r.step < num_steps
+                   ? SlotRef(plan, r)
+                   : "step " + std::to_string(r.step) + " output " +
+                         std::to_string(r.output)) +
+              ", which does not exist in this plan",
+          "plan returns");
+      continue;
+    }
+    fetched.insert({r.step, r.output});
+  }
+
+  // ---- AGV210/AGV211/AGV212: move soundness ---------------------------
+  // All references to each slot, in plan order; (step, input index).
+  std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> refs;
+  for (int i = 0; i < num_steps; ++i) {
+    const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+    for (size_t j = 0; j < s.inputs.size(); ++j) {
+      if (s.inputs[j].step < -1 || s.inputs[j].step >= i) continue;
+      refs[{s.inputs[j].step, s.inputs[j].output}].emplace_back(
+          i, static_cast<int>(j));
+    }
+  }
+  for (int i = 0; i < num_steps; ++i) {
+    const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+    const size_t nmove = std::min(s.input_move.size(), s.inputs.size());
+    for (size_t j = 0; j < nmove; ++j) {
+      if (s.input_move[j] == Plan::kKeep) continue;
+      if (s.inputs[j].step < -1 || s.inputs[j].step >= i) continue;
+      const std::pair<int, int> slot{s.inputs[j].step, s.inputs[j].output};
+      const char* flag =
+          s.input_move[j] == Plan::kMoveAlways ? "kMoveAlways" : "kMoveSeq";
+      if (fetched.count(slot) > 0) {
+        Add(&out, "AGV212",
+            "input " + std::to_string(j) + " moves fetched " +
+                SlotRef(plan, s.inputs[j]) + " (" + flag + ")",
+            StepRef(plan, i),
+            "returns read slots after all steps ran; a consumer move "
+            "hands the fetch a moved-from value");
+        continue;
+      }
+      const std::vector<std::pair<int, int>>& all = refs[slot];
+      for (const auto& [k, l] : all) {
+        if (k > i || (k == i && l > static_cast<int>(j))) {
+          Add(&out, "AGV210",
+              "input " + std::to_string(j) + " moves " +
+                  SlotRef(plan, s.inputs[j]) + " (" + flag +
+                  ") but step " + std::to_string(k) + " input " +
+                  std::to_string(l) + " reads the slot later",
+              StepRef(plan, i),
+              "only a value's final reference in plan order may move it");
+          break;
+        }
+      }
+      if (s.input_move[j] == Plan::kMoveAlways) {
+        if (slot.first < 0) {
+          Add(&out, "AGV211",
+              "input " + std::to_string(j) + " marks caller-owned " +
+                  SlotRef(plan, s.inputs[j]) + " kMoveAlways",
+              StepRef(plan, i),
+              "the parallel drain reads args from the caller's vector "
+              "without per-arg ordering; only kMoveSeq is sound there");
+        } else if (all.size() != 1) {
+          Add(&out, "AGV211",
+              "input " + std::to_string(j) + " marks " +
+                  SlotRef(plan, s.inputs[j]) + " kMoveAlways but the slot "
+                  "has " + std::to_string(all.size()) + " reference(s)",
+              StepRef(plan, i),
+              "kMoveAlways lets the parallel drain move with no ordering "
+              "against other readers, so the reference must be the "
+              "slot's only one");
+        }
+      }
+    }
+  }
+
+  // ---- AGV213: returns_move exactly at each slot's final fetch --------
+  if (plan.returns_move.size() == plan.returns.size()) {
+    std::map<std::pair<int, int>, size_t> last_fetch;
+    for (size_t i = 0; i < plan.returns.size(); ++i) {
+      last_fetch[{plan.returns[i].step, plan.returns[i].output}] = i;
+    }
+    for (size_t i = 0; i < plan.returns.size(); ++i) {
+      const bool is_last =
+          last_fetch[{plan.returns[i].step, plan.returns[i].output}] == i;
+      const bool moves = plan.returns_move[i] != 0;
+      if (moves && !is_last) {
+        Add(&out, "AGV213",
+            "return " + std::to_string(i) + " moves " +
+                SlotRef(plan, plan.returns[i]) +
+                " although a later fetch reads the same slot",
+            "plan returns");
+      } else if (!moves && is_last) {
+        Add(&out, "AGV213",
+            "return " + std::to_string(i) + " is the final fetch of " +
+                SlotRef(plan, plan.returns[i]) +
+                " but does not release the slot",
+            "plan returns",
+            "the final fetch must move the value so loop-carried slots "
+            "re-enter the next iteration sole-owned");
+      }
+    }
+  }
+
+  // ---- AGV214: same-variable steps are totally ordered ----------------
+  if (options.race_audit) {
+    std::map<std::string, std::vector<int>> var_steps;
+    for (int i = 0; i < num_steps; ++i) {
+      const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+      if (s.node == nullptr) continue;
+      std::set<std::string> vars;
+      std::unordered_set<const Graph*> seen;
+      CollectVarTouches(*s.node, seen, &vars);
+      for (const std::string& v : vars) var_steps[v].push_back(i);
+    }
+    for (const auto& [var, steps] : var_steps) {
+      for (size_t k = 1; k < steps.size(); ++k) {
+        // Step lists are in plan order; pairwise-consecutive
+        // reachability gives a total order by transitivity.
+        if (!Reaches(plan, steps[k - 1], steps[k])) {
+          Add(&out, "AGV214",
+              StepRef(plan, steps[k - 1]) + " and " +
+                  StepRef(plan, steps[k]) + " both touch variable '" +
+                  var + "' but no successor path orders them",
+              StepRef(plan, steps[k]),
+              "the parallel scheduler may interleave unordered "
+              "same-variable steps: a schedule race");
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ag::verify

@@ -1,4 +1,4 @@
-// Golden tests for the aglint staging-safety diagnostics (AG001-AG006):
+// Golden tests for the aglint staging-safety diagnostics (AG001-AG007):
 // one positive and one negative case per code, asserting code, severity,
 // and the 1-based user-source line/column, plus the ConversionOptions
 // lint_mode wiring and SourceMap round-tripping of diagnostic locations.
@@ -296,6 +296,93 @@ TEST(LintAG006, CleanWhenReturnIsLast) {
       "    return x\n"
       "  return 0\n");
   EXPECT_FALSE(HasCode(diags, "AG006"));
+}
+
+// ---- AG007: dead stores ----------------------------------------------
+
+TEST(LintAG007, FlagsStoreOverwrittenBeforeAnyRead) {
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  y = x * 2\n"
+      "  y = x + 1\n"
+      "  return y\n");
+  Diagnostic d = Only(diags, "AG007");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.location.line, 2);    // the first, shadowed store
+  EXPECT_EQ(d.location.column, 3);
+  EXPECT_NE(d.message.find("'y'"), std::string::npos);
+}
+
+TEST(LintAG007, FlagsResultNeverUsed) {
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  unused = x * x\n"
+      "  return x\n");
+  Diagnostic d = Only(diags, "AG007");
+  EXPECT_EQ(d.location.line, 2);
+  EXPECT_NE(d.message.find("'unused'"), std::string::npos);
+}
+
+TEST(LintAG007, FlagsDeadAugmentedAssign) {
+  // `y = x` is read by the augmented assign, so only the `y += 1`
+  // result is dead.
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  y = x\n"
+      "  y += 1\n"
+      "  return x\n");
+  Diagnostic d = Only(diags, "AG007");
+  EXPECT_EQ(d.location.line, 3);
+}
+
+TEST(LintAG007, FlagsInitOverwrittenOnEveryBranch) {
+  // Unlike the AG001 remedy (initialize before an `if` that assigns on
+  // only some paths), here *both* branches rewrite `y`: the init can
+  // never be read.
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  y = 0\n"
+      "  if x > 0:\n"
+      "    y = x\n"
+      "  else:\n"
+      "    y = 0 - x\n"
+      "  return y\n");
+  Diagnostic d = Only(diags, "AG007");
+  EXPECT_EQ(d.location.line, 2);
+}
+
+TEST(LintAG007, CleanWhenReadOnLoopBackEdge) {
+  // `i = i + 1` is read by the next iteration's test; `total` by the
+  // `return`. Liveness flows around the back edge, so nothing is dead.
+  auto diags = LintSource(
+      "def f(n):\n"
+      "  i = 0\n"
+      "  total = 0\n"
+      "  while i < n:\n"
+      "    total = total + i\n"
+      "    i = i + 1\n"
+      "  return total\n");
+  EXPECT_FALSE(HasCode(diags, "AG007"));
+}
+
+TEST(LintAG007, CleanWhenInitReadOnFallThroughPath) {
+  // The AG001 remedy pattern: the `else` path falls through and reads
+  // the init, so it is not a dead store.
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  y = 0\n"
+      "  if x > 0:\n"
+      "    y = x * 2\n"
+      "  return y\n");
+  EXPECT_FALSE(HasCode(diags, "AG007"));
+}
+
+TEST(LintAG007, CleanForUnderscoreDiscard) {
+  auto diags = LintSource(
+      "def f(x):\n"
+      "  _ignored = x * x\n"
+      "  return x\n");
+  EXPECT_FALSE(HasCode(diags, "AG007"));
 }
 
 // ---- conversion wiring (ConversionOptions::lint_mode) ----------------

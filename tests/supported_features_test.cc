@@ -81,6 +81,31 @@ def f(x):
   EXPECT_FLOAT_EQ(sf.Run1({Tensor::Scalar(1.0f)}).scalar(), 6.0f);
 }
 
+TEST(FeatureMatrix, WhileWithSymbolicConditionOnlyStages) {
+  // The loop state is all-Python (plain ints); only the condition reads
+  // the symbolic argument. Staging must still produce a graph While —
+  // deciding from the carried values alone would take the Python path
+  // and crash on the tensor-valued test.
+  AutoGraph agc;
+  agc.LoadSource(R"(
+def f(n):
+  total = 0
+  i = 0
+  while i < n:
+    total = total + i * i
+    i = i + 1
+  return total
+)");
+  StagedFunction sf = StageF(agc, "f", {StageArg::Placeholder("n")});
+  int whiles = 0;
+  for (const auto& n : sf.graph->nodes()) {
+    if (n->op() == "While") ++whiles;
+  }
+  EXPECT_EQ(whiles, 1);
+  EXPECT_FLOAT_EQ(sf.Run1({Tensor::Scalar(4.0f)}).scalar(), 14.0f);
+  EXPECT_FLOAT_EQ(sf.Run1({Tensor::Scalar(0.0f)}).scalar(), 0.0f);
+}
+
 TEST(FeatureMatrix, WhileConsistencyErrorOnDtypeChange) {
   // "all code paths must produce consistent value": a loop body that
   // turns an int into a float is rejected at staging time.
