@@ -17,6 +17,9 @@ for b in "${BUILD_DIR}"/bench/bench_*; do
   elif [ "$(basename "$b")" = "bench_memory" ]; then
     # Machine-readable allocator numbers (allocs/run, hit rate, peak live).
     extra="--benchmark_out=${BUILD_DIR}/BENCH_memory.json --benchmark_out_format=json"
+  elif [ "$(basename "$b")" = "bench_fusion" ]; then
+    # Machine-readable fusion A/B numbers (kernels/run, allocs/run).
+    extra="--benchmark_out=${BUILD_DIR}/BENCH_fusion.json --benchmark_out_format=json"
   fi
   "$b" --benchmark_min_time=0.2 ${extra} 2>&1
   echo

@@ -384,7 +384,39 @@ void LintFunctionInto(const std::shared_ptr<lang::FunctionDefStmt>& fn,
   CheckDeadStores(*fn, out);
 }
 
+// Drops diagnostics whose code the spec deselects. Checks still *run*
+// (several share one AST walk); the spec filters what is reported.
+void ApplyChecksSpec(const LintOptions& options,
+                     std::vector<Diagnostic>* out) {
+  ValidateChecksSpec(options.checks);
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&options](const Diagnostic& d) {
+                              return !options.checks.Selects(d.code, true);
+                            }),
+             out->end());
+}
+
 }  // namespace
+
+void ValidateChecksSpec(const PipelineSpec& checks) {
+  auto known = [](const std::string& name) {
+    if (name == "default") return true;
+    if (name.size() != 5 || name.compare(0, 2, "AG") != 0) return false;
+    return name >= "AG001" && name <= "AG007";
+  };
+  for (const std::string& name : checks.include) {
+    if (!known(name)) {
+      throw ValueError("aglint: unknown check '" + name +
+                       "' in spec (known: AG001..AG007)");
+    }
+  }
+  for (const std::string& name : checks.exclude) {
+    if (!known(name)) {
+      throw ValueError("aglint: unknown check '" + name +
+                       "' in spec (known: AG001..AG007)");
+    }
+  }
+}
 
 std::vector<Diagnostic> LintFunction(
     const std::shared_ptr<lang::FunctionDefStmt>& fn,
@@ -392,6 +424,7 @@ std::vector<Diagnostic> LintFunction(
   std::vector<Diagnostic> out;
   LintFunctionInto(fn, options, /*with_recursion=*/true, &out);
   SortDiagnostics(&out);
+  ApplyChecksSpec(options, &out);
   return out;
 }
 
@@ -407,6 +440,7 @@ std::vector<Diagnostic> LintModule(const lang::ModulePtr& module,
   // functions is caught and each cycle is reported exactly once.
   CheckRecursion(module->body, options, &out);
   SortDiagnostics(&out);
+  ApplyChecksSpec(options, &out);
   return out;
 }
 

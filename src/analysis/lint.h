@@ -40,6 +40,7 @@
 
 #include "lang/ast.h"
 #include "support/error.h"
+#include "support/pass_pipeline.h"
 
 namespace ag::analysis {
 
@@ -65,7 +66,16 @@ enum class LintBackend : std::uint8_t { kTF, kLantern };
 
 struct LintOptions {
   LintBackend backend = LintBackend::kTF;
+  // Which AG checks run, as a pipeline spec over the diagnostic codes —
+  // the same grammar as --passes= at the other tools ("-AG007" drops
+  // dead-store hints, "AG001,AG004" runs exactly those two). All codes
+  // are default-enabled; unknown codes are a ValueError.
+  PipelineSpec checks;
 };
+
+// Throws ValueError when `checks` names a code outside AG001..AG007
+// (the "default" token is always accepted).
+void ValidateChecksSpec(const PipelineSpec& checks);
 
 // Lints a single function definition: AG001-AG004, AG006, and
 // self-recursion for AG005. Results are ordered by source line.

@@ -251,13 +251,29 @@ std::string AutoGraph::ConvertedSource(const std::string& fn_name,
 
 StagedFunction AutoGraph::Stage(const std::string& fn_name,
                                 const std::vector<StageArg>& args,
+                                const StageOptions& options) {
+  return Stage(GetGlobal(fn_name), args, options);
+}
+
+StagedFunction AutoGraph::Stage(const std::string& fn_name,
+                                const std::vector<StageArg>& args,
                                 bool optimize) {
-  return Stage(GetGlobal(fn_name), args, optimize);
+  StageOptions options;
+  options.optimize = optimize;
+  return Stage(GetGlobal(fn_name), args, options);
 }
 
 StagedFunction AutoGraph::Stage(const Value& fn,
                                 const std::vector<StageArg>& args,
                                 bool optimize) {
+  StageOptions options;
+  options.optimize = optimize;
+  return Stage(fn, args, options);
+}
+
+StagedFunction AutoGraph::Stage(const Value& fn,
+                                const std::vector<StageArg>& args,
+                                const StageOptions& options) {
   int64_t t = obs::NowNs();
   FunctionPtr converted = interpreter_.ConvertFunctionValue(fn.AsFunction());
 
@@ -297,10 +313,11 @@ StagedFunction AutoGraph::Stage(const Value& fn,
   interpreter_.set_graph_ctx(prev_ctx);
   out.metadata.phase_ns["trace"] = obs::NowNs() - t;
 
-  if (optimize) {
+  if (options.optimize) {
     t = obs::NowNs();
-    out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
-                                         &exec::EvaluatePureNode);
+    out.optimize_stats =
+        graph::Optimize(out.graph.get(), &out.fetches,
+                        &exec::EvaluatePureNode, options.optimize_options);
     out.metadata.phase_ns["optimize"] = obs::NowNs() - t;
     // With OptimizeOptions::verify_each_pass (AG_VERIFY_EACH_PASS=1),
     // a pass that broke a graph invariant must not reach execution:

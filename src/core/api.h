@@ -61,6 +61,17 @@ struct StageArg {
   Value value;
 };
 
+// Options for AutoGraph::Stage() — the structured replacement for the
+// legacy trailing `bool optimize` (kept as a forwarding overload).
+struct StageOptions {
+  // When false, the traced graph is executed as-is (no graph passes).
+  bool optimize = true;
+  // Forwarded to graph::Optimize: pass-pipeline spec (e.g.
+  // PipelineSpec::Parse("licm,cse,-dce")), per-pass verification, and
+  // the deprecated per-pass booleans.
+  graph::OptimizeOptions optimize_options;
+};
+
 // A converted, staged, ready-to-run function: graph + session.
 //
 // Run() accepts feeds either positionally (in feed_names order) or
@@ -176,6 +187,13 @@ class AutoGraph {
       const analysis::LintOptions& options = {}) const;
 
   // Converts + traces + optimizes + builds a Session.
+  [[nodiscard]] StagedFunction Stage(const std::string& fn_name,
+                                     const std::vector<StageArg>& args,
+                                     const StageOptions& options);
+  [[nodiscard]] StagedFunction Stage(const Value& fn,
+                                     const std::vector<StageArg>& args,
+                                     const StageOptions& options);
+  // Legacy surface: `optimize` forwards into StageOptions::optimize.
   [[nodiscard]] StagedFunction Stage(const std::string& fn_name,
                                      const std::vector<StageArg>& args,
                                      bool optimize = true);

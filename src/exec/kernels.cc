@@ -1,9 +1,12 @@
 #include "exec/kernels.h"
 
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <unordered_map>
 
+#include "graph/fusion.h"
 #include "support/error.h"
 #include "tensor/tensor_ops.h"
 
@@ -115,6 +118,39 @@ int AttrAxis(const Node& node) {
              : kAllAxes;
 }
 
+// Compiled-body cache for FusedElementwise. Keyed by node address and
+// revalidated against the body graph (weak_ptr): node storage can be
+// freed and reused across graphs, so a hit with a different (or dead)
+// body recompiles instead of replaying a stale program.
+std::shared_ptr<const FusedProgram> FusedProgramFor(const Node& n) {
+  struct Entry {
+    std::weak_ptr<const graph::Graph> body;
+    std::shared_ptr<const FusedProgram> program;
+  };
+  static auto* mu = new std::mutex();
+  static auto* cache = new std::unordered_map<const Node*, Entry>();
+
+  const auto& body = n.attr<std::shared_ptr<graph::Graph>>("body");
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = cache->find(&n);
+  if (it != cache->end() && it->second.body.lock() == body) {
+    return it->second.program;
+  }
+  if (cache->size() > 1024) {  // drop entries whose graphs are gone
+    for (auto e = cache->begin(); e != cache->end();) {
+      e = e->second.body.expired() ? cache->erase(e) : std::next(e);
+    }
+  }
+  const auto* fg = dynamic_cast<const graph::FuncGraph*>(body.get());
+  if (fg == nullptr) {
+    throw RuntimeError("FusedElementwise body is not a FuncGraph");
+  }
+  auto program =
+      std::make_shared<const FusedProgram>(graph::CompileFusedBody(*fg));
+  (*cache)[&n] = Entry{body, program};
+  return program;
+}
+
 const std::unordered_map<std::string, Kernel>& Registry() {
   static const auto* kRegistry = [] {
     auto* r = new std::unordered_map<std::string, Kernel>();
@@ -165,6 +201,18 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     reg["LogicalNot"] = UnaryM(&LogicalNot);
     reg["Softmax"] = Unary(&Softmax);
     reg["LogSoftmax"] = Unary(&LogSoftmax);
+
+    // Whole elementwise chains collapsed by the fusion pass: one kernel
+    // invocation, zero intermediate tensors. Inputs are taken by value
+    // so a dead full-shape operand's buffer becomes the output.
+    reg["FusedElementwise"] = [](const Node& n,
+                                 std::vector<RuntimeValue>& in) {
+      const std::shared_ptr<const FusedProgram> program = FusedProgramFor(n);
+      std::vector<Tensor> inputs;
+      inputs.reserve(in.size());
+      for (RuntimeValue& v : in) inputs.push_back(TakeTensor(v));
+      return One(FusedEval(*program, std::move(inputs)));
+    };
 
     reg["MatMul"] = Binary(&MatMul);
     reg["SoftmaxCrossEntropy"] = Binary(&SoftmaxCrossEntropy);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <unordered_set>
 
@@ -349,6 +351,13 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     for (size_t i = 0; i < branch.captures.size(); ++i) {
       args.push_back(EvalOutput(node->inputs()[offset + i], frame, ctx));
     }
+    // Cross-boundary liveness: captures the branch's plan never reads
+    // are evaluated (side effects and memoization intact) but their
+    // handles are dropped before entering the sub-plan.
+    const Plan& branch_plan = PlanFor(branch, ctx);
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!branch_plan.ArgUsed(i)) args[i] = RuntimeValue{};
+    }
     {
       obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (Cond)", "control");
@@ -376,6 +385,20 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     std::vector<RuntimeValue> body_caps;
     for (size_t i = n + cond_ncaps; i < node->inputs().size(); ++i) {
       body_caps.push_back(EvalOutput(node->inputs()[i], frame, ctx));
+    }
+    // Cross-boundary liveness (Plan::args_used): dead captures are
+    // still evaluated (side effects and memoization intact) but their
+    // handles are dropped at loop entry rather than copied into every
+    // iteration.
+    {
+      const Plan& cond_plan = PlanFor(cond_g, ctx);
+      const Plan& body_plan = PlanFor(body_g, ctx);
+      for (size_t i = 0; i < cond_caps.size(); ++i) {
+        if (!cond_plan.ArgUsed(n + i)) cond_caps[i] = RuntimeValue{};
+      }
+      for (size_t i = 0; i < body_caps.size(); ++i) {
+        if (!body_plan.ArgUsed(n + i)) body_caps[i] = RuntimeValue{};
+      }
     }
 
     obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
@@ -454,8 +477,37 @@ std::vector<RuntimeValue> Session::ExecSubgraph(const FuncGraph& fg,
   return RunPlan(PlanFor(fg, ctx), args, &scratch, ctx);
 }
 
+namespace {
+
+bool EnvFlagEnabled(const char* name, bool default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+// Plans past this size skip the quadratic/bitset plan optimizations;
+// compile time stays linear and the drain just pays the extra edges.
+constexpr int kMaxStepsForPlanOpt = 4096;
+
+}  // namespace
+
+Session::PlanCompileOptions Session::PlanCompileOptions::FromEnv() {
+  PlanCompileOptions options;
+  options.schedule = EnvFlagEnabled("AG_PLAN_SCHEDULE", true);
+  options.transitive_reduction =
+      EnvFlagEnabled("AG_PLAN_TRANSITIVE_REDUCTION", true);
+  return options;
+}
+
 Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
                                    bool allow_args) {
+  return CompilePlan(returns, allow_args, PlanCompileOptions::FromEnv());
+}
+
+Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
+                                   bool allow_args,
+                                   const PlanCompileOptions& options) {
   Plan plan;
   std::unordered_map<const Node*, int> step_of;
   // Post-order DFS from the returns gives a topological schedule over
@@ -528,6 +580,149 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
     }
   }
 
+  auto stateful = [](const Plan::Step& s) {
+    if (s.kind == Plan::Kind::kVariable || s.kind == Plan::Kind::kAssign) {
+      return true;
+    }
+    if (s.kind == Plan::Kind::kKernel) return s.node->op() == "Print";
+    if (s.kind == Plan::Kind::kCond || s.kind == Plan::Kind::kWhile) {
+      std::unordered_set<const graph::Graph*> seen;
+      return NodeIsStateful(*s.node, seen);
+    }
+    return false;
+  };
+
+  // ---- Memory-aware scheduling ---------------------------------------
+  // The DFS above produced one valid topological order; this greedy
+  // re-placement folds plan-time liveness into step placement: at every
+  // position it picks a dependency-ready step that retires the most
+  // live slots (a slot retires when its final consumer runs), tie-broken
+  // by original position so the schedule stays close to the sequential
+  // one when nothing is gained. Values then die as early as the
+  // dependencies allow, shrinking concurrent-liveness peaks and handing
+  // the buffer pool a smaller, hotter working set. Reordering pure
+  // steps is value-exact — kernels are deterministic functions of their
+  // inputs and RNG draws are per-node counter streams — and stateful
+  // steps keep their relative order, preserving the sequential effect
+  // interleaving both engines promise.
+  if (options.schedule && plan.steps.size() > 2 &&
+      plan.steps.size() <= static_cast<size_t>(kMaxStepsForPlanOpt)) {
+    const int n = static_cast<int>(plan.steps.size());
+    // Compressed slot ids for every (producer step, output) endpoint.
+    std::map<std::pair<int, int>, int> slot_id;
+    auto id_of = [&slot_id](const Plan::InputRef& ref) {
+      return slot_id.emplace(std::make_pair(ref.step, ref.output),
+                             static_cast<int>(slot_id.size()))
+          .first->second;
+    };
+    std::vector<std::vector<int>> reads(static_cast<size_t>(n));
+    std::vector<std::vector<int>> consumers(static_cast<size_t>(n));
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> prod;
+      for (const Plan::InputRef& ref : plan.steps[static_cast<size_t>(i)]
+                                           .inputs) {
+        if (ref.step < 0) continue;
+        const int id = id_of(ref);
+        auto& r = reads[static_cast<size_t>(i)];
+        if (std::find(r.begin(), r.end(), id) == r.end()) r.push_back(id);
+        if (std::find(prod.begin(), prod.end(), ref.step) == prod.end()) {
+          prod.push_back(ref.step);
+        }
+      }
+      for (int p : prod) consumers[static_cast<size_t>(p)].push_back(i);
+      indeg[static_cast<size_t>(i)] = static_cast<int>(prod.size());
+    }
+    // Readers left per slot; fetched slots get a sentinel extra reader
+    // so they never count as retired. Return slots may be new to the
+    // id map (a fetch nobody consumes), so intern them before sizing.
+    std::vector<int> return_ids;
+    for (const Plan::InputRef& r : plan.returns) {
+      if (r.step >= 0) return_ids.push_back(id_of(r));
+    }
+    std::vector<int> readers(slot_id.size(), 0);
+    for (int i = 0; i < n; ++i) {
+      for (int id : reads[static_cast<size_t>(i)]) {
+        ++readers[static_cast<size_t>(id)];
+      }
+    }
+    for (int id : return_ids) ++readers[static_cast<size_t>(id)];
+    std::vector<char> is_stateful(static_cast<size_t>(n), 0);
+    std::vector<int> stateful_order;
+    for (int i = 0; i < n; ++i) {
+      if (stateful(plan.steps[static_cast<size_t>(i)])) {
+        is_stateful[static_cast<size_t>(i)] = 1;
+        stateful_order.push_back(i);
+      }
+    }
+    size_t next_stateful = 0;
+    std::vector<char> scheduled(static_cast<size_t>(n), 0);
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(n));
+    for (int picked = 0; picked < n; ++picked) {
+      int best = -1;
+      int best_retired = -1;
+      for (int i = 0; i < n; ++i) {
+        if (scheduled[static_cast<size_t>(i)] != 0 ||
+            indeg[static_cast<size_t>(i)] > 0) {
+          continue;
+        }
+        // A stateful step is eligible only in its turn; the next one in
+        // line always becomes dependency-ready (its producers precede
+        // it in the original topological order), so no deadlock.
+        if (is_stateful[static_cast<size_t>(i)] != 0 &&
+            i != stateful_order[next_stateful]) {
+          continue;
+        }
+        int retired = 0;
+        for (int id : reads[static_cast<size_t>(i)]) {
+          if (readers[static_cast<size_t>(id)] == 1) ++retired;
+        }
+        if (retired > best_retired) {  // ascending scan: ties keep the
+          best = i;                    // smallest original index
+          best_retired = retired;
+        }
+      }
+      scheduled[static_cast<size_t>(best)] = 1;
+      order.push_back(best);
+      if (is_stateful[static_cast<size_t>(best)] != 0) ++next_stateful;
+      for (int id : reads[static_cast<size_t>(best)]) {
+        --readers[static_cast<size_t>(id)];
+      }
+      for (int c : consumers[static_cast<size_t>(best)]) {
+        --indeg[static_cast<size_t>(c)];
+      }
+    }
+    bool identity = true;
+    for (int i = 0; i < n; ++i) {
+      if (order[static_cast<size_t>(i)] != i) identity = false;
+    }
+    if (!identity) {
+      std::vector<int> new_index(static_cast<size_t>(n));
+      for (int pos = 0; pos < n; ++pos) {
+        new_index[static_cast<size_t>(order[static_cast<size_t>(pos)])] =
+            pos;
+      }
+      std::vector<Plan::Step> steps;
+      steps.reserve(static_cast<size_t>(n));
+      for (int pos = 0; pos < n; ++pos) {
+        steps.push_back(std::move(
+            plan.steps[static_cast<size_t>(order[static_cast<size_t>(pos)])]));
+      }
+      plan.steps = std::move(steps);
+      for (Plan::Step& s : plan.steps) {
+        for (Plan::InputRef& ref : s.inputs) {
+          if (ref.step >= 0) {
+            ref.step = new_index[static_cast<size_t>(ref.step)];
+          }
+        }
+      }
+      for (Plan::InputRef& r : plan.returns) {
+        if (r.step >= 0) r.step = new_index[static_cast<size_t>(r.step)];
+      }
+    }
+  }
+
   // Dataflow edges for the parallel engine: one deduped edge per
   // (producer, consumer) pair; pending_init counts distinct producers.
   const int num_steps = static_cast<int>(plan.steps.size());
@@ -554,22 +749,14 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
   // is stateful — its branch/body runs inside the step, so it must not
   // overlap other stateful steps. Random ops need no chaining — their
   // draws are per-node counter streams, independent of cross-node
-  // execution order.
-  auto stateful = [](const Plan::Step& s) {
-    if (s.kind == Plan::Kind::kVariable || s.kind == Plan::Kind::kAssign) {
-      return true;
-    }
-    if (s.kind == Plan::Kind::kKernel) return s.node->op() == "Print";
-    if (s.kind == Plan::Kind::kCond || s.kind == Plan::Kind::kWhile) {
-      std::unordered_set<const graph::Graph*> seen;
-      return NodeIsStateful(*s.node, seen);
-    }
-    return false;
-  };
+  // execution order. The chain's edges are recorded so the transitive
+  // reduction below never drops them (AGV204 wants them direct).
+  std::set<std::pair<int, int>> chain_edges;
   int prev = -1;
   for (int i = 0; i < num_steps; ++i) {
     if (!stateful(plan.steps[i])) continue;
     if (prev >= 0) {
+      chain_edges.emplace(prev, i);
       std::vector<int>& succ = plan.steps[prev].successors;
       if (std::find(succ.begin(), succ.end(), i) == succ.end()) {
         succ.push_back(i);
@@ -578,6 +765,78 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
     }
     prev = i;
   }
+
+  // ---- Transitive reduction of successor edges ------------------------
+  // An edge (p, c) already implied by a longer path p -> s -> ... -> c
+  // adds no ordering — the drain's acq_rel pending-count decrements
+  // form a release sequence along the path, so the producer's slot
+  // write stays ordered before the consumer's read transitively — but
+  // costs one atomic decrement every execution. Dropping such edges
+  // shrinks pending-count traffic on wide fan-in plans. Redundancy is
+  // judged on the original edge set (the unique DAG reduction), so
+  // simultaneous removal preserves reachability; pending_init is
+  // rebalanced per removed edge (AGV201) and consecutive-stateful chain
+  // edges are exempt (AGV204 checks them directly, and verify's AGV203
+  // accepts path reachability for dataflow inputs).
+  if (options.transitive_reduction && num_steps > 2 &&
+      num_steps <= kMaxStepsForPlanOpt) {
+    const size_t words = (static_cast<size_t>(num_steps) + 63) / 64;
+    // reach[i*words..] = bitset of steps reachable from i (edges all
+    // point forward, so a reverse sweep sees successors finished).
+    std::vector<uint64_t> reach(static_cast<size_t>(num_steps) * words, 0);
+    for (int i = num_steps - 1; i >= 0; --i) {
+      uint64_t* row = &reach[static_cast<size_t>(i) * words];
+      for (int s : plan.steps[i].successors) {
+        row[static_cast<size_t>(s) / 64] |= uint64_t{1} << (s % 64);
+        const uint64_t* srow = &reach[static_cast<size_t>(s) * words];
+        for (size_t w = 0; w < words; ++w) row[w] |= srow[w];
+      }
+    }
+    for (int p = 0; p < num_steps; ++p) {
+      std::vector<int>& succ = plan.steps[p].successors;
+      if (succ.size() < 2) continue;
+      std::vector<int> kept;
+      kept.reserve(succ.size());
+      for (int c : succ) {
+        bool redundant = false;
+        if (chain_edges.count({p, c}) == 0) {
+          for (int s : succ) {
+            if (s == c) continue;
+            if ((reach[static_cast<size_t>(s) * words +
+                       static_cast<size_t>(c) / 64] >>
+                 (c % 64)) &
+                1) {
+              redundant = true;
+              break;
+            }
+          }
+        }
+        if (redundant) {
+          --plan.steps[c].pending_init;
+        } else {
+          kept.push_back(c);
+        }
+      }
+      succ = std::move(kept);
+    }
+  }
+
+  // Caller-arg usage mask (cross-boundary liveness): every arg index
+  // this plan can ever read, from step inputs and direct arg returns.
+  // While/Cond executors consult the sub-plan's mask to release
+  // captures it provably never consumes — e.g. one feeding only nodes
+  // LICM hoisted out of a loop body — at loop entry instead of copying
+  // them into every iteration.
+  auto mark_arg = [&plan](const Plan::InputRef& ref) {
+    if (ref.step >= 0 || ref.output < 0) return;
+    const auto index = static_cast<size_t>(ref.output);
+    if (plan.args_used.size() <= index) plan.args_used.resize(index + 1, 0);
+    plan.args_used[index] = 1;
+  };
+  for (const Plan::Step& s : plan.steps) {
+    for (const Plan::InputRef& ref : s.inputs) mark_arg(ref);
+  }
+  for (const Plan::InputRef& r : plan.returns) mark_arg(r);
 
   // Last-use liveness over the finalized schedule: flag, per step input,
   // whether the executor may hand the step the slot's own value handle
@@ -737,10 +996,17 @@ void Session::ExecStep(const Plan::Step& step,
           std::make_move_iterator(
               inputs.begin() +
               static_cast<std::ptrdiff_t>(offset + branch.captures.size())));
+      const Plan& branch_plan = PlanFor(branch, ctx);
+      // Cross-boundary liveness: a capture the branch's plan provably
+      // never reads is released before the branch runs, so its buffer
+      // dies here instead of surviving the whole sub-plan.
+      for (size_t i = 0; i < branch_args.size(); ++i) {
+        if (!branch_plan.ArgUsed(i)) branch_args[i] = RuntimeValue{};
+      }
       std::vector<std::vector<RuntimeValue>> branch_scratch;
       obs::TraceScope scope(ctx.rec != nullptr ? ctx.rec->tracer() : nullptr,
                             node->name() + " (Cond)", "control");
-      *out = RunPlan(PlanFor(branch, ctx), branch_args, &branch_scratch, ctx);
+      *out = RunPlan(branch_plan, branch_args, &branch_scratch, ctx);
       if (out->empty()) *out = {Tensor()};
       break;
     }
@@ -768,6 +1034,17 @@ void Session::ExecStep(const Plan::Step& step,
           std::make_move_iterator(inputs.end()));
       const Plan& cond_plan = PlanFor(cond_g, ctx);
       const Plan& body_plan = PlanFor(body_g, ctx);
+      // Cross-boundary liveness (Plan::args_used): a capture the cond
+      // or body plan provably never reads — e.g. one feeding only nodes
+      // LICM hoisted out of the loop — is released once at loop entry,
+      // instead of being copied into (and kept alive across) every
+      // iteration.
+      for (size_t i = 0; i < cond_caps.size(); ++i) {
+        if (!cond_plan.ArgUsed(n + i)) cond_caps[i] = RuntimeValue{};
+      }
+      for (size_t i = 0; i < body_caps.size(); ++i) {
+        if (!body_plan.ArgUsed(n + i)) body_caps[i] = RuntimeValue{};
+      }
       std::vector<std::vector<RuntimeValue>> cond_scratch;
       std::vector<std::vector<RuntimeValue>> body_scratch;
       std::vector<RuntimeValue> cond_args;

@@ -182,14 +182,48 @@ class Session {
     // (final) fetch, so e.g. While loop-carried values re-enter the
     // next iteration sole-owned and eligible for in-place reuse.
     std::vector<uint8_t> returns_move;
+    // Cross-boundary liveness: which caller-arg indices any step input
+    // or return actually reads, indexed by arg index (indices at or
+    // past the vector's end were never referenced). Meaningful for
+    // plans compiled with allow_args; the While/Cond executors consult
+    // the sub-plan's mask to release captures it provably never
+    // consumes instead of keeping them alive across every iteration.
+    std::vector<char> args_used;
+    [[nodiscard]] bool ArgUsed(size_t index) const {
+      return index < args_used.size() && args_used[index] != 0;
+    }
+  };
+
+  // Plan-compile tuning. Defaults come from the environment
+  // (AG_PLAN_SCHEDULE=0 / AG_PLAN_TRANSITIVE_REDUCTION=0 disable) via
+  // FromEnv(); both transforms preserve results bit-exactly in both
+  // engines and are skipped for very large plans.
+  struct PlanCompileOptions {
+    // Memory-aware scheduling: greedily re-place the topological order
+    // so each position retires as many live slots as the dependencies
+    // allow, shrinking concurrent-liveness peaks (smaller working set
+    // for the buffer pool). Stateful steps keep their relative
+    // (sequential-effect) order; pure steps reorder freely — kernels
+    // are deterministic and RNG draws are per-node counter streams.
+    bool schedule = true;
+    // Transitive reduction of successor edges: drop every dataflow edge
+    // already implied by a longer path, shrinking the parallel drain's
+    // pending-count traffic on wide plans. Edges between consecutive
+    // stateful steps are never dropped (AGV204 keeps the effect chain
+    // direct); verify's AGV203 accepts path reachability.
+    bool transitive_reduction = true;
+    [[nodiscard]] static PlanCompileOptions FromEnv();
   };
 
   // Compiles the subgraph reachable from `returns` into a Plan. Pure
   // (no session state mutated); `allow_args` permits Arg references
   // (FuncGraph sub-plans). In debug or -DAG_VERIFY=ON builds the result
-  // is audited by verify::VerifyPlan before being returned.
+  // is audited by verify::VerifyPlan before being returned. The
+  // two-argument overload compiles with PlanCompileOptions::FromEnv().
   Plan CompilePlan(const std::vector<graph::Output>& returns,
                    bool allow_args);
+  Plan CompilePlan(const std::vector<graph::Output>& returns, bool allow_args,
+                   const PlanCompileOptions& options);
 
  private:
   // Per-Run execution context, threaded through the call tree instead of

@@ -17,6 +17,18 @@ Node* Graph::AddNode(const std::string& op, std::vector<Output> inputs,
   return raw;
 }
 
+Node* Graph::AddNamedNode(const std::string& name, const std::string& op,
+                          std::vector<Output> inputs, AttrMap attrs,
+                          int num_outputs) {
+  auto node = std::make_unique<Node>(next_id_++, UniqueName(name), op,
+                                     std::move(inputs), std::move(attrs),
+                                     num_outputs);
+  Node* raw = node.get();
+  raw->set_owner(this);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
 Node* Graph::FindNode(const std::string& name) const {
   for (const auto& n : nodes_) {
     if (n->name() == name) return n.get();

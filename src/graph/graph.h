@@ -128,6 +128,13 @@ class Graph {
   Node* AddNode(const std::string& op, std::vector<Output> inputs,
                 AttrMap attrs = {}, int num_outputs = 1);
 
+  // Like AddNode but requests a specific name (uniquified if taken).
+  // Used by passes that clone nodes across graphs so the rendered graph
+  // keeps the original name-scope paths.
+  Node* AddNamedNode(const std::string& name, const std::string& op,
+                     std::vector<Output> inputs, AttrMap attrs = {},
+                     int num_outputs = 1);
+
   [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const {
     return nodes_;
   }

@@ -69,6 +69,19 @@ DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
     return DType::kFloat32;
   }
   if (IsFloatProducer(op)) return DType::kFloat32;
+  // A fused chain's dtype is whatever its body returns.
+  if (op == "FusedElementwise") {
+    auto it = attrs.find("body");
+    if (it != attrs.end()) {
+      const auto* fg = dynamic_cast<const FuncGraph*>(
+          std::get<std::shared_ptr<Graph>>(it->second).get());
+      if (fg != nullptr && fg->returns.size() == 1 &&
+          fg->returns[0].valid()) {
+        return fg->returns[0].node->output_dtype(fg->returns[0].index);
+      }
+    }
+    return DType::kFloat32;
+  }
   // Where(cond, x, y) selects between x and y: its output carries the
   // value dtype, not the bool condition in input 0. (Latent bug found
   // by the AGV105 loop-var invariance check: tf.where on loop state
@@ -86,7 +99,7 @@ DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
 
 bool InferredDtypeIsAuthoritative(const std::string& op) {
   return IsBoolProducer(op) || IsIntProducer(op) || IsFloatProducer(op) ||
-         op == "Cast";
+         op == "Cast" || op == "FusedElementwise";
 }
 
 std::vector<Output> OpN(GraphContext& ctx, const std::string& op,

@@ -1,46 +1,17 @@
 #include "graph/optimize.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
-#include "verify/verify.h"
+#include "graph/fusion.h"
+#include "graph/pass_manager.h"
+#include "support/error.h"
 
 namespace ag::graph {
 namespace {
-
-int64_t MonotonicNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-// Records one pass's node-count delta and wall time into the stats.
-class PassScope {
- public:
-  PassScope(OptimizeStats* stats, const Graph* graph, const char* name)
-      : stats_(stats), graph_(graph) {
-    stat_.pass = name;
-    stat_.nodes_before = static_cast<int>(graph->num_nodes());
-    start_ns_ = MonotonicNs();
-  }
-  // `changed` is the pass's own work metric (hoisted/folded/merged/...).
-  void Finish(int changed) {
-    stat_.changed = changed;
-    stat_.nodes_after = static_cast<int>(graph_->num_nodes());
-    stat_.wall_ns = MonotonicNs() - start_ns_;
-    stats_->passes.push_back(std::move(stat_));
-  }
-
- private:
-  OptimizeStats* stats_;
-  const Graph* graph_;
-  OptimizePassStat stat_;
-  int64_t start_ns_ = 0;
-};
 
 // Ops excluded from folding/CSE: stateful, control-flow, or I/O.
 const std::set<std::string>& ImpureOps() {
@@ -88,26 +59,6 @@ std::string NodeSignature(const Node& node) {
     }
   }
   return os.str();
-}
-
-// Rewrites every input edge (and subgraph capture) according to `remap`.
-void RemapEdges(Graph* graph,
-                const std::unordered_map<const Node*, Node*>& remap) {
-  auto fix = [&remap](Output& o) {
-    auto it = remap.find(o.node);
-    if (it != remap.end()) o.node = it->second;
-  };
-  for (const auto& n : graph->nodes()) {
-    for (Output& in : *n->mutable_inputs()) fix(in);
-    for (const auto& [key, attr] : n->attrs()) {
-      if (const auto* sub = std::get_if<std::shared_ptr<Graph>>(&attr)) {
-        auto* fg = dynamic_cast<FuncGraph*>(sub->get());
-        if (fg != nullptr) {
-          for (Output& c : fg->captures) fix(c);
-        }
-      }
-    }
-  }
 }
 
 // Hoists loop-invariant pure ops out of one While node's body. Returns
@@ -223,6 +174,133 @@ int HoistWhileInvariants(Graph* outer, Node* while_node) {
   return count;
 }
 
+// ---- Pass bodies (registered by RegisterBuiltinGraphPasses) ----------
+
+// Loop-invariant code motion: pure ops inside a While body that depend
+// only on loop-invariant captures/constants are hoisted into the outer
+// graph and re-captured, so they execute once per Run instead of once
+// per iteration (the Grappler optimization TF applies to staged loops).
+int RunLicm(PassContext& ctx) {
+  Graph* graph = ctx.graph;
+  int hoisted = 0;
+  // Hoist over the node list snapshot: hoisting appends clones.
+  const size_t original = graph->num_nodes();
+  for (size_t i = 0; i < original; ++i) {
+    Node* n = graph->nodes()[i].get();
+    if (n->op() == "While") {
+      hoisted += HoistWhileInvariants(graph, n);
+    }
+  }
+  ctx.stats->hoisted += hoisted;
+  return hoisted;
+}
+
+int RunConstantFolding(PassContext& ctx) {
+  Graph* graph = ctx.graph;
+  const NodeEvaluator& evaluator = *ctx.evaluator;
+  int folded_count = 0;
+  // One forward sweep folds chains: nodes are appended after their
+  // inputs, so insertion order is topological. Index-based iteration
+  // over the original extent — folding appends new Const nodes, which
+  // both invalidates iterators and needs no scanning.
+  std::unordered_map<const Node*, Node*> remap;
+  const size_t original_count = graph->num_nodes();
+  for (size_t node_index = 0; node_index < original_count; ++node_index) {
+    const auto& n = graph->nodes()[node_index];
+    if (!IsPureOp(n->op()) || n->op() == "Const" || n->num_outputs() != 1) {
+      continue;
+    }
+    bool all_const = !n->inputs().empty();
+    std::vector<Tensor> in_values;
+    for (Output in : n->inputs()) {
+      auto it = remap.find(in.node);
+      const Node* src = it != remap.end() ? it->second : in.node;
+      if (src->op() != "Const" || in.index != 0) {
+        all_const = false;
+        break;
+      }
+      in_values.push_back(src->attr<Tensor>("value"));
+    }
+    if (!all_const) continue;
+    std::vector<Tensor> result;
+    try {
+      result = evaluator(*n, in_values);
+    } catch (const Error&) {
+      continue;  // shape errors etc. surface at run time, as in TF
+    }
+    if (result.size() != 1) continue;
+    Node* folded =
+        graph->AddNode("Const", {}, {{"value", std::move(result[0])}});
+    folded->set_output_dtype(0, n->output_dtype(0));
+    remap[n.get()] = folded;
+    ++folded_count;
+  }
+  if (!remap.empty()) {
+    RemapNodeRefs(graph, remap);
+    for (Output& r : *ctx.roots) {
+      auto it = remap.find(r.node);
+      if (it != remap.end()) r.node = it->second;
+    }
+  }
+  ctx.stats->folded += folded_count;
+  return folded_count;
+}
+
+int RunCse(PassContext& ctx) {
+  Graph* graph = ctx.graph;
+  int merged = 0;
+  std::map<std::string, Node*> seen;
+  std::unordered_map<const Node*, Node*> remap;
+  for (const auto& n : graph->nodes()) {
+    if (!IsPureOp(n->op())) continue;
+    bool has_subgraph = false;
+    for (const auto& [key, attr] : n->attrs()) {
+      if (std::holds_alternative<std::shared_ptr<Graph>>(attr)) {
+        has_subgraph = true;
+      }
+    }
+    if (has_subgraph) continue;
+    // Resolve inputs through prior merges so chains collapse.
+    for (Output& in : *n->mutable_inputs()) {
+      auto it = remap.find(in.node);
+      if (it != remap.end()) in.node = it->second;
+    }
+    const std::string sig = NodeSignature(*n);
+    auto [it, inserted] = seen.emplace(sig, n.get());
+    if (!inserted) {
+      remap[n.get()] = it->second;
+      ++merged;
+    }
+  }
+  if (!remap.empty()) {
+    RemapNodeRefs(graph, remap);
+    for (Output& r : *ctx.roots) {
+      auto it = remap.find(r.node);
+      if (it != remap.end()) r.node = it->second;
+    }
+  }
+  ctx.stats->merged += merged;
+  return merged;
+}
+
+int RunDce(PassContext& ctx) {
+  Graph* graph = ctx.graph;
+  const size_t before = graph->num_nodes();
+  // Side-effecting ops stay alive even when no fetch depends on them
+  // (they still only *execute* when on a fetched path, like TF ops
+  // without control dependencies).
+  std::vector<Output> keep = *ctx.roots;
+  for (const auto& n : graph->nodes()) {
+    if (n->op() == "Print" || n->op() == "Assert" || n->op() == "Assign") {
+      keep.push_back(Output{n.get(), 0});
+    }
+  }
+  graph->Prune(keep);
+  const int pruned = static_cast<int>(before - graph->num_nodes());
+  ctx.stats->pruned += pruned;
+  return pruned;
+}
+
 }  // namespace
 
 bool IsPureOp(const std::string& op) { return ImpureOps().count(op) == 0; }
@@ -235,10 +313,68 @@ bool DefaultVerifyEachPass() {
   return value;
 }
 
+void RegisterBuiltinGraphPasses(PassRegistry& registry) {
+  PassInfo licm;
+  licm.name = "licm";
+  licm.phase = PassPhase::kHoist;
+  licm.run = RunLicm;
+  registry.Register(licm);
+
+  PassInfo folding;
+  folding.name = "constant_folding";
+  folding.phase = PassPhase::kSimplify;
+  folding.needs_evaluator = true;
+  folding.run = RunConstantFolding;
+  registry.Register(folding);
+
+  PassInfo cse;
+  cse.name = "cse";
+  cse.phase = PassPhase::kSimplify;
+  cse.after = {"constant_folding"};
+  cse.run = RunCse;
+  registry.Register(cse);
+
+  PassInfo fusion;
+  fusion.name = "fusion";
+  fusion.phase = PassPhase::kFuse;
+  fusion.after = {"cse"};
+  fusion.run = FuseElementwiseChains;
+  registry.Register(fusion);
+
+  PassInfo dce;
+  dce.name = "dce";
+  dce.phase = PassPhase::kCleanup;
+  dce.after = {"fusion"};
+  dce.run = RunDce;
+  registry.Register(dce);
+}
+
+PipelineSpec EffectivePipeline(const OptimizeOptions& options) {
+  PipelineSpec spec = options.pipeline;
+  if (!spec.specified) {
+    // Read per call, not cached: AG_PASSES is a debugging knob and
+    // tests flip it between Stage calls.
+    const char* env = std::getenv("AG_PASSES");
+    if (env != nullptr && env[0] != '\0') {
+      spec = PipelineSpec::Parse(env);
+    }
+  }
+  // Deprecated boolean toggles forward into the spec as exclusions.
+  auto exclude_if_off = [&spec](bool enabled, const char* name) {
+    if (!enabled) spec.exclude.emplace_back(name);
+  };
+  exclude_if_off(options.licm, "licm");
+  exclude_if_off(options.constant_folding, "constant_folding");
+  exclude_if_off(options.cse, "cse");
+  exclude_if_off(options.dce, "dce");
+  return spec;
+}
+
 std::string OptimizeStats::DebugString() const {
   std::ostringstream os;
   os << "OptimizeStats: folded=" << folded << " merged=" << merged
-     << " pruned=" << pruned << " hoisted=" << hoisted;
+     << " pruned=" << pruned << " hoisted=" << hoisted
+     << " fused=" << fused;
   for (const OptimizePassStat& p : passes) {
     os << "\n  " << p.pass << ": changed=" << p.changed << " nodes "
        << p.nodes_before << " -> " << p.nodes_after << " ("
@@ -257,142 +393,8 @@ std::string OptimizeStats::DebugString() const {
 OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
                        const NodeEvaluator& evaluator,
                        const OptimizeOptions& options) {
-  OptimizeStats stats;
-
-  // Per-pass validation hook: checks the whole graph (and roots) right
-  // after the pass named by the PassScope just finished. Returns false
-  // — stopping the pipeline — on the first broken invariant, so the
-  // attribution in `broken_pass` names the pass that introduced the
-  // damage rather than one that merely ran over it later.
-  auto verify_after = [&](const char* pass_name) {
-    if (!options.verify_each_pass) return true;
-    const std::vector<verify::VerifyDiagnostic> findings =
-        verify::VerifyGraphAndRoots(*graph, *roots);
-    stats.passes.back().verify_findings = static_cast<int>(findings.size());
-    if (findings.empty()) return true;
-    stats.broken_pass = pass_name;
-    stats.broken_finding = findings.front().str();
-    return false;
-  };
-
-  if (options.licm) {
-    PassScope pass(&stats, graph, "licm");
-    // Hoist over the node list snapshot: hoisting appends clones.
-    const size_t original = graph->num_nodes();
-    for (size_t i = 0; i < original; ++i) {
-      Node* n = graph->nodes()[i].get();
-      if (n->op() == "While") {
-        stats.hoisted += HoistWhileInvariants(graph, n);
-      }
-    }
-    pass.Finish(stats.hoisted);
-    if (!verify_after("licm")) return stats;
-  }
-
-  if (options.constant_folding && evaluator) {
-    PassScope pass(&stats, graph, "constant_folding");
-    // One forward sweep folds chains: nodes are appended after their
-    // inputs, so insertion order is topological. Index-based iteration
-    // over the original extent — folding appends new Const nodes, which
-    // both invalidates iterators and needs no scanning.
-    std::unordered_map<const Node*, Node*> remap;
-    const size_t original_count = graph->num_nodes();
-    for (size_t node_index = 0; node_index < original_count; ++node_index) {
-      const auto& n = graph->nodes()[node_index];
-      if (!IsPureOp(n->op()) || n->op() == "Const" || n->num_outputs() != 1) {
-        continue;
-      }
-      bool all_const = !n->inputs().empty();
-      std::vector<Tensor> in_values;
-      for (Output in : n->inputs()) {
-        auto it = remap.find(in.node);
-        const Node* src = it != remap.end() ? it->second : in.node;
-        if (src->op() != "Const" || in.index != 0) {
-          all_const = false;
-          break;
-        }
-        in_values.push_back(src->attr<Tensor>("value"));
-      }
-      if (!all_const) continue;
-      std::vector<Tensor> result;
-      try {
-        result = evaluator(*n, in_values);
-      } catch (const Error&) {
-        continue;  // shape errors etc. surface at run time, as in TF
-      }
-      if (result.size() != 1) continue;
-      Node* folded =
-          graph->AddNode("Const", {}, {{"value", std::move(result[0])}});
-      folded->set_output_dtype(0, n->output_dtype(0));
-      remap[n.get()] = folded;
-      ++stats.folded;
-    }
-    if (!remap.empty()) {
-      RemapEdges(graph, remap);
-      for (Output& r : *roots) {
-        auto it = remap.find(r.node);
-        if (it != remap.end()) r.node = it->second;
-      }
-    }
-    pass.Finish(stats.folded);
-    if (!verify_after("constant_folding")) return stats;
-  }
-
-  if (options.cse) {
-    PassScope pass(&stats, graph, "cse");
-    std::map<std::string, Node*> seen;
-    std::unordered_map<const Node*, Node*> remap;
-    for (const auto& n : graph->nodes()) {
-      if (!IsPureOp(n->op())) continue;
-      bool has_subgraph = false;
-      for (const auto& [key, attr] : n->attrs()) {
-        if (std::holds_alternative<std::shared_ptr<Graph>>(attr)) {
-          has_subgraph = true;
-        }
-      }
-      if (has_subgraph) continue;
-      // Resolve inputs through prior merges so chains collapse.
-      for (Output& in : *n->mutable_inputs()) {
-        auto it = remap.find(in.node);
-        if (it != remap.end()) in.node = it->second;
-      }
-      const std::string sig = NodeSignature(*n);
-      auto [it, inserted] = seen.emplace(sig, n.get());
-      if (!inserted) {
-        remap[n.get()] = it->second;
-        ++stats.merged;
-      }
-    }
-    if (!remap.empty()) {
-      RemapEdges(graph, remap);
-      for (Output& r : *roots) {
-        auto it = remap.find(r.node);
-        if (it != remap.end()) r.node = it->second;
-      }
-    }
-    pass.Finish(stats.merged);
-    if (!verify_after("cse")) return stats;
-  }
-
-  if (options.dce) {
-    PassScope pass(&stats, graph, "dce");
-    const size_t before = graph->num_nodes();
-    // Side-effecting ops stay alive even when no fetch depends on them
-    // (they still only *execute* when on a fetched path, like TF ops
-    // without control dependencies).
-    std::vector<Output> keep = *roots;
-    for (const auto& n : graph->nodes()) {
-      if (n->op() == "Print" || n->op() == "Assert" || n->op() == "Assign") {
-        keep.push_back(Output{n.get(), 0});
-      }
-    }
-    graph->Prune(keep);
-    stats.pruned = static_cast<int>(before - graph->num_nodes());
-    pass.Finish(stats.pruned);
-    if (!verify_after("dce")) return stats;
-  }
-
-  return stats;
+  return PassManager().Run(EffectivePipeline(options), graph, roots,
+                           evaluator, options.verify_each_pass);
 }
 
 }  // namespace ag::graph

@@ -1,13 +1,17 @@
 // Whole-graph optimization passes — the "whole-program optimization"
 // benefit graph-based systems get over imperative ones (paper §1).
 //
-//   - Constant folding: pure ops whose inputs are all Const are evaluated
-//     at optimization time (via an evaluator callback supplied by the
-//     runtime, so the graph library stays kernel-free).
-//   - Common subexpression elimination: structurally identical pure nodes
-//     are merged.
-//   - Dead code elimination: nodes not reachable from the fetch roots are
-//     pruned.
+// The built-in pipeline (see pass_manager.h for the registry that
+// orders it):
+//   - licm: loop-invariant pure ops inside While bodies are hoisted
+//     into the outer graph and re-captured.
+//   - constant_folding: pure ops whose inputs are all Const are
+//     evaluated at optimization time (via an evaluator callback
+//     supplied by the runtime, so the graph library stays kernel-free).
+//   - cse: structurally identical pure nodes are merged.
+//   - fusion: single-consumer chains of elementwise/cast ops collapse
+//     into one FusedElementwise node with a composed kernel (fusion.h).
+//   - dce: nodes not reachable from the fetch roots are pruned.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "support/pass_pipeline.h"
 
 namespace ag::graph {
 
@@ -29,14 +34,22 @@ using NodeEvaluator = std::function<std::vector<Tensor>(
 [[nodiscard]] bool DefaultVerifyEachPass();
 
 struct OptimizeOptions {
+  // Which passes run, as a pipeline spec ("licm,cse,-dce" — see
+  // support/pass_pipeline.h for the grammar). When unspecified, the
+  // effective pipeline is the AG_PASSES environment variable if set,
+  // else the registry's default set. The spec selects; the registry
+  // orders.
+  PipelineSpec pipeline;
+  // Deprecated pass toggles, kept so every pre-pipeline call shape
+  // still compiles. A false value excludes that pass from whatever
+  // pipeline the spec selected; true is the default and adds nothing.
+  // New code should use `pipeline` (or --passes= at the CLIs).
   bool constant_folding = true;
   bool cse = true;
   bool dce = true;
-  // Loop-invariant code motion: pure ops inside a While body that depend
-  // only on loop-invariant captures/constants are hoisted into the outer
-  // graph and re-captured, so they execute once per Run instead of once
-  // per iteration (the Grappler optimization TF applies to staged loops).
   bool licm = true;
+  // Newer passes (fusion, ...) have no legacy bool: select them via
+  // `pipeline` or AG_PASSES.
   // Per-pass validation: run the graph well-formedness checker
   // (verify::VerifyGraphAndRoots, AGV1xx) after every executed pass.
   // The first pass to break an invariant is recorded in
@@ -48,9 +61,15 @@ struct OptimizeOptions {
   bool verify_each_pass = DefaultVerifyEachPass();
 };
 
+// Resolves `options` into the pipeline spec Optimize() will run: the
+// explicit `options.pipeline` if specified, else AG_PASSES (parsed per
+// call — it is a debugging knob), else the default spec; then the
+// deprecated false bools are appended as excludes.
+[[nodiscard]] PipelineSpec EffectivePipeline(const OptimizeOptions& options);
+
 // Per-pass record: what one optimization pass did to the graph.
 struct OptimizePassStat {
-  std::string pass;     // "licm", "constant_folding", "cse", "dce"
+  std::string pass;     // registry name: "licm", "cse", "fusion", ...
   int changed = 0;      // nodes hoisted/folded/merged/pruned by the pass
   int nodes_before = 0; // top-level node count entering the pass
   int nodes_after = 0;  // top-level node count leaving the pass
@@ -65,6 +84,8 @@ struct OptimizeStats {
   int merged = 0;
   int pruned = 0;
   int hoisted = 0;
+  // Elementwise chains collapsed into FusedElementwise nodes (fusion.h).
+  int fused = 0;
   // One entry per executed pass, in execution order.
   std::vector<OptimizePassStat> passes;
   // verify_each_pass attribution: the first pass after which the graph
@@ -79,6 +100,8 @@ struct OptimizeStats {
 
 // Optimizes `graph` in place, preserving the meaning of `roots` (which are
 // remapped if their producers are merged/folded). Returns statistics.
+// A thin shim over PassManager::Run with the global registry and
+// EffectivePipeline(options) — see pass_manager.h.
 OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
                        const NodeEvaluator& evaluator,
                        const OptimizeOptions& options = {});

@@ -1,0 +1,208 @@
+#include "graph/pass_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <unordered_set>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "verify/verify.h"
+
+namespace ag::graph {
+namespace {
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Records one pass's node-count delta and wall time into the stats.
+class PassScope {
+ public:
+  PassScope(OptimizeStats* stats, const Graph* graph, const std::string& name)
+      : stats_(stats), graph_(graph) {
+    stat_.pass = name;
+    stat_.nodes_before = static_cast<int>(graph->num_nodes());
+    start_ns_ = MonotonicNs();
+  }
+  // `changed` is the pass's own work metric (hoisted/folded/merged/...).
+  void Finish(int changed) {
+    stat_.changed = changed;
+    stat_.nodes_after = static_cast<int>(graph_->num_nodes());
+    stat_.wall_ns = MonotonicNs() - start_ns_;
+    stats_->passes.push_back(std::move(stat_));
+  }
+
+ private:
+  OptimizeStats* stats_;
+  const Graph* graph_;
+  OptimizePassStat stat_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace
+
+const char* PassPhaseName(PassPhase phase) {
+  switch (phase) {
+    case PassPhase::kHoist:
+      return "hoist";
+    case PassPhase::kSimplify:
+      return "simplify";
+    case PassPhase::kFuse:
+      return "fuse";
+    case PassPhase::kCleanup:
+      return "cleanup";
+  }
+  return "?";
+}
+
+PassRegistry& PassRegistry::Global() {
+  static PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    RegisterBuiltinGraphPasses(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PassRegistry::Register(PassInfo info) {
+  if (info.name.empty()) {
+    throw ValueError("pass registry: pass name must be non-empty");
+  }
+  if (!info.run) {
+    throw ValueError("pass registry: pass '" + info.name + "' has no body");
+  }
+  if (index_.count(info.name) > 0) {
+    throw ValueError("pass registry: duplicate pass '" + info.name + "'");
+  }
+  index_[info.name] = passes_.size();
+  passes_.push_back(std::make_unique<PassInfo>(std::move(info)));
+}
+
+const PassInfo* PassRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : passes_[it->second].get();
+}
+
+std::vector<std::string> PassRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& p : passes_) names.push_back(p->name);
+  return names;
+}
+
+std::vector<const PassInfo*> PassRegistry::BuildPipeline(
+    const PipelineSpec& spec) const {
+  // Every name the spec mentions must exist — a typo in --passes= is a
+  // structured error, not a silently empty pipeline.
+  auto check_known = [this](const std::vector<std::string>& names,
+                            const char* where) {
+    for (const std::string& name : names) {
+      if (name == "default") continue;
+      if (Find(name) == nullptr) {
+        throw ValueError("pass pipeline: unknown pass '" + name + "' in " +
+                         where + " list (registered: " +
+                         Join(Names(), ", ") + ")");
+      }
+    }
+  };
+  check_known(spec.include, "include");
+  check_known(spec.exclude, "exclude");
+
+  // Selection, in registration order. Constraints naming unregistered
+  // passes are registration bugs and rejected here; constraints naming
+  // unselected passes are vacuous (OrderPasses ignores them).
+  std::vector<size_t> selected;
+  std::vector<PassOrderNode> order_nodes;
+  for (size_t i = 0; i < passes_.size(); ++i) {
+    const PassInfo& p = *passes_[i];
+    for (const std::string& dep : p.after) {
+      if (Find(dep) == nullptr) {
+        throw ValueError("pass registry: pass '" + p.name +
+                         "' has after-constraint on unregistered pass '" +
+                         dep + "'");
+      }
+    }
+    for (const std::string& next : p.before) {
+      if (Find(next) == nullptr) {
+        throw ValueError("pass registry: pass '" + p.name +
+                         "' has before-constraint on unregistered pass '" +
+                         next + "'");
+      }
+    }
+    if (spec.Selects(p.name, p.default_enabled)) {
+      selected.push_back(i);
+      order_nodes.push_back(PassOrderNode{p.name, p.after, p.before,
+                                          static_cast<int>(p.phase)});
+    }
+  }
+
+  // Shared ordering (support/pass_pipeline): hard after/before
+  // constraints, phase as a soft rank, deterministic ties — the same
+  // scheduler transforms::PassRegistry uses for the AST pipeline.
+  std::vector<const PassInfo*> pipeline;
+  pipeline.reserve(selected.size());
+  for (size_t si : OrderPasses(order_nodes)) {
+    pipeline.push_back(passes_[selected[si]].get());
+  }
+  return pipeline;
+}
+
+OptimizeStats PassManager::Run(const PipelineSpec& spec, Graph* graph,
+                               std::vector<Output>* roots,
+                               const NodeEvaluator& evaluator,
+                               bool verify_each_pass) const {
+  const std::vector<const PassInfo*> pipeline =
+      registry_->BuildPipeline(spec);
+  OptimizeStats stats;
+  PassContext ctx;
+  ctx.graph = graph;
+  ctx.roots = roots;
+  ctx.evaluator = evaluator ? &evaluator : nullptr;
+  ctx.stats = &stats;
+
+  for (const PassInfo* pass : pipeline) {
+    if (pass->needs_evaluator && ctx.evaluator == nullptr) continue;
+    PassScope scope(&stats, graph, pass->name);
+    const int changed = pass->run(ctx);
+    scope.Finish(changed);
+    if (!verify_each_pass) continue;
+    // Per-pass validation: the first broken invariant stops the
+    // pipeline so the attribution names the pass that introduced the
+    // damage rather than one that merely ran over it later. The name
+    // comes from the registry entry, so new passes are attributable
+    // with no extra wiring.
+    const std::vector<verify::VerifyDiagnostic> findings =
+        verify::VerifyGraphAndRoots(*graph, *roots);
+    stats.passes.back().verify_findings = static_cast<int>(findings.size());
+    if (!findings.empty()) {
+      stats.broken_pass = pass->name;
+      stats.broken_finding = findings.front().str();
+      break;
+    }
+  }
+  return stats;
+}
+
+void RemapNodeRefs(Graph* graph,
+                   const std::unordered_map<const Node*, Node*>& remap) {
+  auto fix = [&remap](Output& o) {
+    auto it = remap.find(o.node);
+    if (it != remap.end()) o.node = it->second;
+  };
+  for (const auto& n : graph->nodes()) {
+    for (Output& in : *n->mutable_inputs()) fix(in);
+    for (const auto& [key, attr] : n->attrs()) {
+      if (const auto* sub = std::get_if<std::shared_ptr<Graph>>(&attr)) {
+        auto* fg = dynamic_cast<FuncGraph*>(sub->get());
+        if (fg != nullptr) {
+          for (Output& c : fg->captures) fix(c);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ag::graph

@@ -1,0 +1,123 @@
+// Declarative graph-pass pipeline (the graph-level sibling of the AST
+// pass chain in transforms/passes.h — see DESIGN.md's layer-mapping
+// table). Passes self-register with a name, a phase, and ordering
+// constraints; pipelines are built per call from a PipelineSpec
+// ("licm,cse,-dce,fusion"), and every pass runs behind the AGV per-pass
+// verifier with OptimizePassStat accounting. graph::Optimize() is a
+// thin shim over PassManager::Run with the default registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/optimize.h"
+#include "support/pass_pipeline.h"
+
+namespace ag::graph {
+
+// Coarse pipeline stages. The phase is a *preference* used to order
+// passes that have no explicit constraint between them; after/before
+// constraints are hard requirements and win when the two disagree.
+enum class PassPhase : std::uint8_t {
+  kHoist = 0,     // move work out of loops (licm)
+  kSimplify = 1,  // shrink the graph (constant_folding, cse)
+  kFuse = 2,      // combine nodes into larger kernels (fusion)
+  kCleanup = 3,   // remove what the others left behind (dce)
+};
+
+[[nodiscard]] const char* PassPhaseName(PassPhase phase);
+
+// Everything a pass body may touch. `evaluator` is null when the caller
+// supplied none (passes with needs_evaluator are then skipped).
+struct PassContext {
+  Graph* graph = nullptr;
+  std::vector<Output>* roots = nullptr;
+  const NodeEvaluator* evaluator = nullptr;
+  OptimizeStats* stats = nullptr;
+};
+
+struct PassInfo {
+  std::string name;
+  PassPhase phase = PassPhase::kSimplify;
+  // Ordering constraints by pass name; only applied when both sides are
+  // selected by the spec. A constraint cycle is a structured error at
+  // pipeline-build time (naming the passes on the cycle).
+  std::vector<std::string> after;
+  std::vector<std::string> before;
+  // Whether the pass is part of the "default" spec selection.
+  bool default_enabled = true;
+  // Skipped (not failed) when the caller provides no NodeEvaluator.
+  bool needs_evaluator = false;
+  // The pass body. Returns its work metric (nodes hoisted/folded/
+  // merged/pruned/fused) for OptimizePassStat::changed.
+  std::function<int(PassContext&)> run;
+};
+
+// A named collection of passes. Global() holds the built-in pipeline;
+// tests may build private registries to exercise ordering/cycle logic.
+class PassRegistry {
+ public:
+  // The process-wide registry, populated with the built-in passes
+  // (RegisterBuiltinGraphPasses) on first use.
+  static PassRegistry& Global();
+
+  // Throws ValueError on an empty/duplicate name or missing body.
+  void Register(PassInfo info);
+
+  [[nodiscard]] const PassInfo* Find(const std::string& name) const;
+  // All registered pass names, in registration order.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  // Resolves `spec` into an ordered pipeline: selection per
+  // PipelineSpec::Selects, then phase-preferring topological order over
+  // the after/before constraints (stable by registration order).
+  // Throws ValueError on an unknown pass name or a constraint cycle.
+  [[nodiscard]] std::vector<const PassInfo*> BuildPipeline(
+      const PipelineSpec& spec) const;
+
+ private:
+  std::vector<std::unique_ptr<PassInfo>> passes_;  // stable addresses
+  std::unordered_map<std::string, size_t> index_;
+};
+
+// Registers licm, constant_folding, cse, fusion, and dce into
+// `registry`. Called once by PassRegistry::Global(); exposed so tests
+// can build private registries with the real passes. (An explicit call,
+// not static registrar objects: static-library TUs without referenced
+// symbols are dropped by the linker, taking their registrars with
+// them.)
+void RegisterBuiltinGraphPasses(PassRegistry& registry);
+
+// Runs a pipeline against a registry. Per-pass accounting and
+// verify-each-pass attribution pull names from the registry, so new
+// passes are attributable with no extra wiring.
+class PassManager {
+ public:
+  explicit PassManager(const PassRegistry* registry = &PassRegistry::Global())
+      : registry_(registry) {}
+
+  // Builds the pipeline for `spec` and runs it over `graph`/`roots`.
+  // With verify_each_pass, the graph checker runs after every pass and
+  // the first broken invariant stops the pipeline with
+  // OptimizeStats::broken_pass naming the culprit.
+  OptimizeStats Run(const PipelineSpec& spec, Graph* graph,
+                    std::vector<Output>* roots, const NodeEvaluator& evaluator,
+                    bool verify_each_pass) const;
+
+  [[nodiscard]] const PassRegistry& registry() const { return *registry_; }
+
+ private:
+  const PassRegistry* registry_;
+};
+
+// Rewrites every input edge (and direct subgraph capture) of `graph`
+// according to `remap`. Shared by passes that replace nodes (constant
+// folding, cse, fusion); callers must remap roots/returns themselves.
+void RemapNodeRefs(Graph* graph,
+                   const std::unordered_map<const Node*, Node*>& remap);
+
+}  // namespace ag::graph

@@ -1014,4 +1014,324 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol) {
   return true;
 }
 
+// ---- Fused elementwise programs ----
+
+bool FusedOpForName(const std::string& name, FusedOp* op, bool* is_binary) {
+  struct Entry {
+    const char* name;
+    FusedOp op;
+    bool binary;
+  };
+  static constexpr Entry kTable[] = {
+      {"Add", FusedOp::kAdd, true},
+      {"Sub", FusedOp::kSub, true},
+      {"Mul", FusedOp::kMul, true},
+      {"Div", FusedOp::kDiv, true},
+      {"FloorDiv", FusedOp::kFloorDiv, true},
+      {"Mod", FusedOp::kMod, true},
+      {"Pow", FusedOp::kPow, true},
+      {"Maximum", FusedOp::kMaximum, true},
+      {"Minimum", FusedOp::kMinimum, true},
+      {"Less", FusedOp::kLess, true},
+      {"LessEqual", FusedOp::kLessEqual, true},
+      {"Greater", FusedOp::kGreater, true},
+      {"GreaterEqual", FusedOp::kGreaterEqual, true},
+      {"Equal", FusedOp::kEqual, true},
+      {"NotEqual", FusedOp::kNotEqual, true},
+      {"LogicalAnd", FusedOp::kLogicalAnd, true},
+      {"LogicalOr", FusedOp::kLogicalOr, true},
+      {"LogicalNot", FusedOp::kLogicalNot, false},
+      {"Neg", FusedOp::kNeg, false},
+      {"Exp", FusedOp::kExp, false},
+      {"Log", FusedOp::kLog, false},
+      {"Tanh", FusedOp::kTanh, false},
+      {"Sigmoid", FusedOp::kSigmoid, false},
+      {"Relu", FusedOp::kRelu, false},
+      {"Sqrt", FusedOp::kSqrt, false},
+      {"Abs", FusedOp::kAbs, false},
+      {"Sign", FusedOp::kSign, false},
+      {"Square", FusedOp::kSquare, false},
+      {"Sin", FusedOp::kSin, false},
+      {"Cos", FusedOp::kCos, false},
+  };
+  for (const Entry& e : kTable) {
+    if (name == e.name) {
+      *op = e.op;
+      *is_binary = e.binary;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// One fused step over a block of m elements: op-at-a-time rather than
+// element-at-a-time, so the FusedOp dispatch costs one switch per block
+// per step and each case body is a tight loop the compiler can
+// vectorize. Every case computes the same per-element expression as the
+// corresponding unfused functor above (and kCast mirrors CastInPlace in
+// tensor.cc); elements are independent, so the loop-nesting change
+// cannot alter any value — that is what makes fused output bit-identical
+// to the unfused chain.
+inline void FusedApplyBlock(const FusedStep& s, const float* a,
+                            const float* b, float* dst, int64_t m) {
+#define AG_FUSED_LOOP(expr)                     \
+  for (int64_t j = 0; j < m; ++j) {             \
+    const float x = a[j];                       \
+    dst[j] = (expr);                            \
+  }                                             \
+  break
+#define AG_FUSED_LOOP2(expr)                    \
+  for (int64_t j = 0; j < m; ++j) {             \
+    const float x = a[j];                       \
+    const float y = b[j];                       \
+    dst[j] = (expr);                            \
+  }                                             \
+  break
+  switch (s.op) {
+    case FusedOp::kAdd: AG_FUSED_LOOP2(x + y);
+    case FusedOp::kSub: AG_FUSED_LOOP2(x - y);
+    case FusedOp::kMul: AG_FUSED_LOOP2(x * y);
+    case FusedOp::kDiv: AG_FUSED_LOOP2(x / y);
+    case FusedOp::kFloorDiv: AG_FUSED_LOOP2(std::floor(x / y));
+    case FusedOp::kMod: AG_FUSED_LOOP2(PyMod(x, y));
+    case FusedOp::kPow: AG_FUSED_LOOP2(std::pow(x, y));
+    case FusedOp::kMaximum: AG_FUSED_LOOP2(std::max(x, y));
+    case FusedOp::kMinimum: AG_FUSED_LOOP2(std::min(x, y));
+    case FusedOp::kLess: AG_FUSED_LOOP2(x < y ? 1.0f : 0.0f);
+    case FusedOp::kLessEqual: AG_FUSED_LOOP2(x <= y ? 1.0f : 0.0f);
+    case FusedOp::kGreater: AG_FUSED_LOOP2(x > y ? 1.0f : 0.0f);
+    case FusedOp::kGreaterEqual: AG_FUSED_LOOP2(x >= y ? 1.0f : 0.0f);
+    case FusedOp::kEqual: AG_FUSED_LOOP2(x == y ? 1.0f : 0.0f);
+    case FusedOp::kNotEqual: AG_FUSED_LOOP2(x != y ? 1.0f : 0.0f);
+    case FusedOp::kLogicalAnd:
+      AG_FUSED_LOOP2((x != 0.0f && y != 0.0f) ? 1.0f : 0.0f);
+    case FusedOp::kLogicalOr:
+      AG_FUSED_LOOP2((x != 0.0f || y != 0.0f) ? 1.0f : 0.0f);
+    case FusedOp::kLogicalNot: AG_FUSED_LOOP(x == 0.0f ? 1.0f : 0.0f);
+    case FusedOp::kNeg: AG_FUSED_LOOP(-x);
+    case FusedOp::kExp: AG_FUSED_LOOP(std::exp(x));
+    case FusedOp::kLog: AG_FUSED_LOOP(std::log(x));
+    case FusedOp::kTanh: AG_FUSED_LOOP(std::tanh(x));
+    case FusedOp::kSigmoid: AG_FUSED_LOOP(1.0f / (1.0f + std::exp(-x)));
+    case FusedOp::kRelu: AG_FUSED_LOOP(x > 0.0f ? x : 0.0f);
+    case FusedOp::kSqrt: AG_FUSED_LOOP(std::sqrt(x));
+    case FusedOp::kAbs: AG_FUSED_LOOP(std::fabs(x));
+    case FusedOp::kSign:
+      AG_FUSED_LOOP(x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f));
+    case FusedOp::kSquare: AG_FUSED_LOOP(x * x);
+    case FusedOp::kSin: AG_FUSED_LOOP(std::sin(x));
+    case FusedOp::kCos: AG_FUSED_LOOP(std::cos(x));
+    case FusedOp::kCast:
+      switch (s.cast_to) {
+        case DType::kBool: AG_FUSED_LOOP((x != 0.0f) ? 1.0f : 0.0f);
+        case DType::kInt32: AG_FUSED_LOOP(std::trunc(x));
+        default: AG_FUSED_LOOP(x);
+      }
+      break;
+  }
+#undef AG_FUSED_LOOP
+#undef AG_FUSED_LOOP2
+}
+
+}  // namespace
+
+Tensor FusedEval(const FusedProgram& program, std::vector<Tensor> inputs) {
+  if (static_cast<int>(inputs.size()) != program.num_inputs ||
+      program.steps.empty()) {
+    throw InternalError("FusedEval: program/input arity mismatch");
+  }
+  Shape out_shape = inputs[0].shape();
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    out_shape = Shape::Broadcast(out_shape, inputs[i].shape());
+  }
+  const int64_t n = out_shape.num_elements();
+  const int r = out_shape.rank();
+  const std::vector<int64_t>& out_dims = out_shape.dims();
+
+  // Per-input addressing: full-shape operands read at the output index,
+  // scalars at 0, everything else through broadcast strides (0 where the
+  // input dim is 1 — the same padded-strides scheme as BinaryOp).
+  enum class Mode : uint8_t { kDirect, kScalar, kStrided };
+  struct In {
+    const float* p;
+    Mode mode;
+    std::vector<int64_t> strides;  // kStrided only, length r
+  };
+  std::vector<In> ins;
+  ins.reserve(inputs.size());
+  bool any_strided = false;
+  for (const Tensor& t : inputs) {
+    In in;
+    in.p = t.data();
+    if (t.shape() == out_shape) {
+      in.mode = Mode::kDirect;
+    } else if (t.num_elements() == 1) {
+      in.mode = Mode::kScalar;
+    } else {
+      in.mode = Mode::kStrided;
+      any_strided = true;
+      in.strides.assign(static_cast<size_t>(r), 0);
+      const auto& dims = t.shape().dims();
+      const auto strides = t.shape().strides();
+      const int rt = t.rank();
+      for (int i = 0; i < rt; ++i) {
+        const int out_axis = r - rt + i;
+        in.strides[static_cast<size_t>(out_axis)] =
+            dims[static_cast<size_t>(i)] == 1
+                ? 0
+                : strides[static_cast<size_t>(i)];
+      }
+    }
+    ins.push_back(std::move(in));
+  }
+  std::vector<size_t> strided;
+  for (size_t k = 0; k < ins.size(); ++k) {
+    if (ins[k].mode == Mode::kStrided) strided.push_back(k);
+  }
+
+  // Output buffer: steal the first sole-owned full-shape operand (its
+  // element i is consumed before element i is written — the exact-index
+  // reuse rule from BinaryOp; a shared buffer fails CanReuse, including
+  // the same tensor passed twice).
+  Tensor* reuse = nullptr;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (ins[i].mode == Mode::kDirect && TensorAccess::CanReuse(inputs[i])) {
+      reuse = &inputs[i];
+      break;
+    }
+  }
+  Tensor out = reuse != nullptr ? std::move(*reuse)
+                                : NewOut(out_shape, program.out_dtype);
+  float* po = TensorAccess::data(out);
+
+  const FusedStep* steps = program.steps.data();
+  const size_t num_steps = program.steps.size();
+  const int num_inputs = program.num_inputs;
+  // Block evaluation: registers are rows of kFusedBlock elements (one
+  // per input and per step) in a single scratch vector — a 2-input,
+  // 3-step chain costs ~10 KB, still zero tensor intermediates — and
+  // FusedApplyBlock runs each step op-at-a-time over the row, so the
+  // per-element FusedOp dispatch of the naive interpreter becomes one
+  // switch per block per step with vectorizable loop bodies. Elements
+  // stay independent, so sharding and blocking cannot change any value
+  // (the kernel determinism contract).
+  constexpr int64_t kFusedBlock = 512;
+  runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+    // Scratch is thread-local and reused across calls: a fused node in
+    // a While body runs every iteration, and a per-call heap
+    // allocation here would rival the saved intermediate-tensor
+    // allocations it exists to remove. Safe because the scratch's live
+    // range is one shard body (no nested ParallelFor inside) and
+    // shards on one thread run sequentially.
+    thread_local std::vector<float> regs;
+    thread_local std::vector<int64_t> idx;
+    thread_local std::vector<int64_t> off;
+    thread_local std::vector<const float*> arg;
+    regs.resize((static_cast<size_t>(num_inputs) + num_steps) *
+                static_cast<size_t>(kFusedBlock));
+    const auto row = [&](int64_t reg) {
+      return regs.data() + reg * kFusedBlock;
+    };
+    // Strided inputs walk a shared odometer over the output
+    // coordinates, seeded from `begin`; scalars are splatted once per
+    // shard; direct inputs are read in place, no copy.
+    idx.assign(static_cast<size_t>(r), 0);
+    off.assign(ins.size(), 0);
+    if (any_strided) {
+      int64_t rem = begin;
+      for (int d = r - 1; d >= 0; --d) {
+        const auto du = static_cast<size_t>(d);
+        idx[du] = rem % out_dims[du];
+        rem /= out_dims[du];
+      }
+      for (size_t k = 0; k < ins.size(); ++k) {
+        if (ins[k].mode != Mode::kStrided) continue;
+        for (int d = 0; d < r; ++d) {
+          off[k] += ins[k].strides[static_cast<size_t>(d)] *
+                    idx[static_cast<size_t>(d)];
+        }
+      }
+    }
+    arg.assign(ins.size(), nullptr);
+    for (size_t k = 0; k < ins.size(); ++k) {
+      if (ins[k].mode == Mode::kDirect) continue;
+      // Scalar and strided operands both live in their register row.
+      float* rk = row(static_cast<int64_t>(k));
+      arg[k] = rk;
+      if (ins[k].mode == Mode::kScalar) {
+        std::fill(rk, rk + kFusedBlock, ins[k].p[0]);
+      }
+    }
+    for (int64_t b0 = begin; b0 < end; b0 += kFusedBlock) {
+      const int64_t m = std::min<int64_t>(kFusedBlock, end - b0);
+      for (size_t k = 0; k < ins.size(); ++k) {
+        if (ins[k].mode == Mode::kDirect) arg[k] = ins[k].p + b0;
+      }
+      if (any_strided) {
+        // Run-based gather: the odometer advances in whole runs of the
+        // innermost output dimension, so a bias-style broadcast
+        // (innermost stride 0 or 1) gathers as a fill/copy per run
+        // instead of paying per-element odometer arithmetic.
+        const auto rl = static_cast<size_t>(r - 1);
+        int64_t j = 0;
+        while (j < m) {
+          const int64_t run = std::min(m - j, out_dims[rl] - idx[rl]);
+          for (size_t k : strided) {
+            const int64_t s = ins[k].strides[rl];
+            float* dst = row(static_cast<int64_t>(k)) + j;
+            const float* src = ins[k].p + off[k];
+            if (s == 0) {
+              std::fill(dst, dst + run, *src);
+            } else if (s == 1) {
+              std::copy(src, src + run, dst);
+            } else {
+              for (int64_t t = 0; t < run; ++t) dst[t] = src[t * s];
+            }
+            off[k] += s * run;
+          }
+          j += run;
+          idx[rl] += run;
+          // Ripple the carry into outer dimensions.
+          for (int d = r - 1;
+               d >= 0 && idx[static_cast<size_t>(d)] ==
+                             out_dims[static_cast<size_t>(d)];
+               --d) {
+            const auto du = static_cast<size_t>(d);
+            idx[du] = 0;
+            for (size_t k : strided) {
+              off[k] -= ins[k].strides[du] * out_dims[du];
+            }
+            if (d == 0) break;
+            idx[du - 1] += 1;
+            for (size_t k : strided) off[k] += ins[k].strides[du - 1];
+          }
+        }
+      }
+      for (size_t s = 0; s < num_steps; ++s) {
+        const FusedStep& st = steps[s];
+        const float* av = st.a < num_inputs
+                              ? arg[static_cast<size_t>(st.a)]
+                              : row(st.a);
+        const float* bv =
+            st.b < 0 ? nullptr
+                     : (st.b < num_inputs ? arg[static_cast<size_t>(st.b)]
+                                          : row(st.b));
+        // The last step writes the output range directly. If `out`
+        // stole a direct operand's buffer, av/dst are the *same*
+        // pointer (never shifted), and each element is read before it
+        // is written — the exact-index reuse rule from BinaryOp.
+        float* dst = s + 1 == num_steps
+                         ? po + b0
+                         : row(num_inputs + static_cast<int64_t>(s));
+        FusedApplyBlock(st, av, bv, dst, m);
+      }
+    }
+  });
+  return reuse != nullptr
+             ? TensorAccess::Retag(std::move(out), program.out_dtype)
+             : out;
+}
+
 }  // namespace ag

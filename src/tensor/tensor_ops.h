@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,61 @@
 namespace ag {
 
 inline constexpr int kAllAxes = INT32_MIN;
+
+// ---- Fused elementwise programs ----
+// A FusedProgram is a straight-line scalar recipe compiled from the body
+// of a FusedElementwise graph node (graph/fusion.h): registers
+// [0, num_inputs) hold the external operands, each step applies one
+// elementwise functor to earlier registers, and the last step's register
+// is the output. FusedEval evaluates the recipe block-wise — registers
+// are small fixed-size rows of elements, each step runs op-at-a-time
+// over its row in a tight vectorizable loop — so the chain's
+// intermediates live in a few KB of scratch instead of materialized
+// tensors, eliminating every intermediate allocation.
+//
+// Bit-identity contract: each FusedOp case in the interpreter is the
+// *same expression* as the corresponding unfused functor below, compiled
+// in this same translation unit, and every unfused intermediate is a
+// float32 buffer (tensor.h stores all dtypes as float32), so a value
+// round-tripped through memory equals the register value exactly.
+
+enum class FusedOp : uint8_t {
+  // Binary (two register operands).
+  kAdd, kSub, kMul, kDiv, kFloorDiv, kMod, kPow, kMaximum, kMinimum,
+  kLess, kLessEqual, kGreater, kGreaterEqual, kEqual, kNotEqual,
+  kLogicalAnd, kLogicalOr,
+  // Unary (one register operand).
+  kLogicalNot, kNeg, kExp, kLog, kTanh, kSigmoid, kRelu, kSqrt, kAbs,
+  kSign, kSquare, kSin, kCos,
+  // Dtype-semantics boundary: applies the CastInPlace value transform
+  // for `cast_to` (kBool -> 0/1, kInt32 -> trunc, float -> identity).
+  kCast,
+};
+
+// Maps a graph op name ("Add", "Tanh", ...) to its FusedOp. Returns
+// false for ops with no fused form ("Cast" included — the fusion pass
+// lowers it to kCast itself, driven by the node's dtype attr).
+[[nodiscard]] bool FusedOpForName(const std::string& name, FusedOp* op,
+                                  bool* is_binary);
+
+struct FusedStep {
+  FusedOp op = FusedOp::kAdd;
+  int a = 0;       // first operand register
+  int b = -1;      // second operand register (binary ops only)
+  DType cast_to = DType::kFloat32;  // kCast only
+};
+
+struct FusedProgram {
+  int num_inputs = 0;
+  std::vector<FusedStep> steps;  // at least one; last step is the output
+  DType out_dtype = DType::kFloat32;
+};
+
+// Evaluates `program` over broadcast inputs in one pass. Takes the
+// inputs by value so a sole-owned full-shape operand's buffer can be
+// reused for the output (same refcount rule as the rvalue ops below).
+[[nodiscard]] Tensor FusedEval(const FusedProgram& program,
+                               std::vector<Tensor> inputs);
 
 // ---- Elementwise binary (broadcasting) ----
 // Each op also has an rvalue overload that writes in place when one of

@@ -1,15 +1,21 @@
-// The conversion pipeline (paper §6, "General Approach" steps 3-4): runs
-// every pass in order on a cloned AST. Also implements the Function
-// Wrappers pass: the converted function is tagged with the
-// "ag__converted" decorator, which the runtime uses to (a) skip
-// re-conversion in converted_call and (b) open a graph name scope around
-// the function's ops while staging.
-#include "transforms/passes.h"
+// The conversion pipeline (paper §6, "General Approach" steps 3-4),
+// driven by the AST-level PassRegistry: every built-in pass registers
+// with a name and ordering constraints, ConvertFunctionAst builds the
+// pipeline from ConversionOptions::pipeline and runs it over a cloned
+// AST. Also implements the Function Wrappers pass: the converted
+// function is tagged with the "ag__converted" decorator, which the
+// runtime uses to (a) skip re-conversion in converted_call and (b) open
+// a graph name scope around the function's ops while staging.
+#include "transforms/pass_manager.h"
 
 #include <iostream>
+#include <utility>
 
 #include "analysis/lint.h"
 #include "lang/unparser.h"
+#include "support/error.h"
+#include "support/strings.h"
+#include "transforms/passes.h"
 
 namespace ag::transforms {
 
@@ -37,6 +43,132 @@ void RunLint(const std::shared_ptr<lang::FunctionDefStmt>& fn,
 
 }  // namespace
 
+PassRegistry& PassRegistry::Global() {
+  static PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    RegisterBuiltinAstPasses(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PassRegistry::Register(PassInfo info) {
+  if (info.name.empty()) {
+    throw ValueError("pass registry: pass name must be non-empty");
+  }
+  if (!info.run) {
+    throw ValueError("pass registry: pass '" + info.name + "' has no body");
+  }
+  if (index_.count(info.name) > 0) {
+    throw ValueError("pass registry: duplicate pass '" + info.name + "'");
+  }
+  index_[info.name] = passes_.size();
+  passes_.push_back(std::make_unique<PassInfo>(std::move(info)));
+}
+
+const PassInfo* PassRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : passes_[it->second].get();
+}
+
+std::vector<std::string> PassRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& p : passes_) names.push_back(p->name);
+  return names;
+}
+
+std::vector<const PassInfo*> PassRegistry::BuildPipeline(
+    const PipelineSpec& spec) const {
+  // Every name the spec mentions must exist — a typo is a structured
+  // error, not a silently empty pipeline.
+  auto check_known = [this](const std::vector<std::string>& names,
+                            const char* where) {
+    for (const std::string& name : names) {
+      if (name == "default") continue;
+      if (Find(name) == nullptr) {
+        throw ValueError("pass pipeline: unknown pass '" + name + "' in " +
+                         where + " list (registered: " +
+                         Join(Names(), ", ") + ")");
+      }
+    }
+  };
+  check_known(spec.include, "include");
+  check_known(spec.exclude, "exclude");
+
+  std::vector<size_t> selected;
+  std::vector<PassOrderNode> order_nodes;
+  for (size_t i = 0; i < passes_.size(); ++i) {
+    const PassInfo& p = *passes_[i];
+    for (const std::string& dep : p.after) {
+      if (Find(dep) == nullptr) {
+        throw ValueError("pass registry: pass '" + p.name +
+                         "' has after-constraint on unregistered pass '" +
+                         dep + "'");
+      }
+    }
+    for (const std::string& next : p.before) {
+      if (Find(next) == nullptr) {
+        throw ValueError("pass registry: pass '" + p.name +
+                         "' has before-constraint on unregistered pass '" +
+                         next + "'");
+      }
+    }
+    if (spec.Selects(p.name, p.default_enabled)) {
+      selected.push_back(i);
+      // Rank 0 everywhere: AST passes have no phases; registration
+      // order is the tiebreak, after/before the hard constraints.
+      order_nodes.push_back(PassOrderNode{p.name, p.after, p.before, 0});
+    }
+  }
+
+  std::vector<const PassInfo*> pipeline;
+  pipeline.reserve(selected.size());
+  for (size_t si : OrderPasses(order_nodes)) {
+    pipeline.push_back(passes_[selected[si]].get());
+  }
+  return pipeline;
+}
+
+void RegisterBuiltinAstPasses(PassRegistry& registry) {
+  // Each pass constrains itself after its predecessor, making the
+  // paper's fixed order explicit and machine-checked — a spec that
+  // drops passes keeps the survivors in this relative order.
+  const char* prev = nullptr;
+  auto add = [&registry, &prev](
+                 const char* name,
+                 std::function<lang::StmtList(const lang::StmtList&,
+                                              PassContext&)> run) {
+    PassInfo info;
+    info.name = name;
+    if (prev != nullptr) info.after = {prev};
+    info.run = std::move(run);
+    registry.Register(info);
+    prev = name;
+  };
+  auto body_pass = [](lang::StmtList (*fn)(const lang::StmtList&)) {
+    return [fn](const lang::StmtList& body, PassContext&) {
+      return fn(body);
+    };
+  };
+  add("desugar", body_pass(&DesugarPass));
+  add("directives", body_pass(&DirectivesPass));
+  add("break", body_pass(&BreakPass));
+  add("continue", body_pass(&ContinuePass));
+  add("return", body_pass(&ReturnPass));
+  add("assert", body_pass(&AssertPass));
+  add("lists", body_pass(&ListsPass));
+  add("slices", body_pass(&SlicesPass));
+  add("call_trees", [](const lang::StmtList& body, PassContext& ctx) {
+    return CallTreesPass(body, *ctx.options);
+  });
+  add("control_flow", [](const lang::StmtList& body, PassContext& ctx) {
+    return ControlFlowPass(body, *ctx.params);
+  });
+  add("ternary", body_pass(&TernaryPass));
+  add("logical", body_pass(&LogicalPass));
+}
+
 std::shared_ptr<lang::FunctionDefStmt> ConvertFunctionAst(
     const std::shared_ptr<lang::FunctionDefStmt>& fn,
     const ConversionOptions& options) {
@@ -46,21 +178,18 @@ std::shared_ptr<lang::FunctionDefStmt> ConvertFunctionAst(
   auto out = lang::Cast<lang::FunctionDefStmt>(
       lang::CloneStmt(std::static_pointer_cast<lang::Stmt>(fn)));
 
+  // The deprecated `recursive` bool forwards into the spec (same shim
+  // pattern as graph::EffectivePipeline's legacy booleans).
+  PipelineSpec spec = options.pipeline;
+  if (!options.recursive) spec.exclude.push_back("call_trees");
+
+  PassContext ctx;
+  ctx.options = &options;
+  ctx.params = &out->params;
   lang::StmtList body = std::move(out->body);
-  body = DesugarPass(body);
-  body = DirectivesPass(body);
-  body = BreakPass(body);
-  body = ContinuePass(body);
-  body = ReturnPass(body);
-  body = AssertPass(body);
-  body = ListsPass(body);
-  body = SlicesPass(body);
-  if (options.recursive) {
-    body = CallTreesPass(body, options);
+  for (const PassInfo* pass : PassRegistry::Global().BuildPipeline(spec)) {
+    body = pass->run(body, ctx);
   }
-  body = ControlFlowPass(body, out->params);
-  body = TernaryPass(body);
-  body = LogicalPass(body);
   out->body = std::move(body);
 
   // Function Wrappers: tag as converted (runtime opens a name scope and

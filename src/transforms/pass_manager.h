@@ -1,0 +1,78 @@
+// AST-level pass manager — the transforms:: counterpart of
+// graph::PassRegistry (src/graph/pass_manager.h). Both layers share one
+// registration idiom: passes self-describe with a name, hard
+// after/before ordering constraints, and a default-enabled flag; a
+// PipelineSpec (support/pass_pipeline.h) selects which passes run and
+// the shared OrderPasses scheduler places them. The difference is the
+// artifact: an AST pass rewrites a statement list, a graph pass
+// rewrites a dataflow graph.
+//
+// DESIGN.md §4i carries the table mapping the two layers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/pass_pipeline.h"
+
+namespace ag::transforms {
+
+struct ConversionOptions;  // passes.h
+
+// Read-only conversion state handed to every AST pass.
+struct PassContext {
+  const ConversionOptions* options = nullptr;
+  // Parameters of the function being converted (control_flow uses them
+  // to seed its symbol analysis).
+  const std::vector<std::string>* params = nullptr;
+};
+
+// One registered AST pass. `run` takes the current function body and
+// returns the rewritten one.
+struct PassInfo {
+  std::string name;  // e.g. "control_flow" — PipelineSpec token
+  // Ordering constraints, by pass name (hard; cycles are a ValueError
+  // at pipeline-build time). Constraints may name deselected passes
+  // (vacuous) but never unregistered ones.
+  std::vector<std::string> after;
+  std::vector<std::string> before;
+  // Whether an unqualified "default" pipeline includes this pass.
+  bool default_enabled = true;
+  std::function<lang::StmtList(const lang::StmtList&, PassContext&)> run;
+};
+
+// Name-indexed pass registry; same surface as graph::PassRegistry.
+class PassRegistry {
+ public:
+  // Process-wide registry preloaded with the built-in conversion passes
+  // (explicit registration — no static-initializer registrars, which
+  // static libraries drop).
+  static PassRegistry& Global();
+
+  // Throws ValueError on an empty name, a missing body, or a duplicate.
+  void Register(PassInfo info);
+
+  [[nodiscard]] const PassInfo* Find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  // Selects passes per `spec` and orders them (registration order as
+  // the soft rank, after/before as hard constraints). Throws ValueError
+  // for unknown spec names and constraint cycles.
+  [[nodiscard]] std::vector<const PassInfo*> BuildPipeline(
+      const PipelineSpec& spec) const;
+
+ private:
+  std::vector<std::unique_ptr<PassInfo>> passes_;
+  std::map<std::string, size_t> index_;
+};
+
+// Registers the built-in conversion pipeline (paper §7.2 order):
+// desugar -> directives -> break -> continue -> return -> assert ->
+// lists -> slices -> call_trees -> control_flow -> ternary -> logical.
+void RegisterBuiltinAstPasses(PassRegistry& registry);
+
+}  // namespace ag::transforms

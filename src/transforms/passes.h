@@ -19,6 +19,7 @@
 
 #include "analysis/lint.h"
 #include "lang/ast.h"
+#include "support/pass_pipeline.h"
 
 namespace ag::transforms {
 
@@ -35,8 +36,13 @@ struct ConversionOptions {
   // converted_call (the paper's whitelisted modules: TF itself, and the
   // AutoGraph operators).
   std::set<std::string> whitelist{"tf", "ag", "ag__"};
-  // When false, skips the Function Calls pass entirely (non-recursive
-  // conversion).
+  // Which conversion passes run (see transforms::PassRegistry for the
+  // registered names and support/pass_pipeline.h for the grammar). An
+  // unspecified spec runs the default pipeline.
+  PipelineSpec pipeline;
+  // Deprecated shim: when false, excludes the "call_trees" pass
+  // (non-recursive conversion) — equivalent to a "-call_trees" token in
+  // `pipeline`, which new code should use instead.
   bool recursive = true;
   // Staging-safety diagnostics run over the *original* function before
   // any pass, so locations always point at user source.

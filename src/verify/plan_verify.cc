@@ -251,20 +251,23 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
     }
   }
 
-  // ---- AGV203: every dataflow input has an ordering edge --------------
+  // ---- AGV203: every dataflow input is path-ordered -------------------
+  // A direct producer edge is not required: CompilePlan's transitive
+  // reduction drops edges a longer path implies, and the drain's
+  // acq_rel pending-count decrements form a release sequence along any
+  // path, so path reachability is the sound requirement.
   for (int i = 0; i < num_steps; ++i) {
     const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
     for (size_t j = 0; j < s.inputs.size(); ++j) {
       const int p = s.inputs[j].step;
       if (p < 0 || p >= i) continue;  // args / AGV205 territory
-      const std::vector<int>& succ =
-          plan.steps[static_cast<size_t>(p)].successors;
-      if (std::find(succ.begin(), succ.end(), i) == succ.end()) {
+      if (!Reaches(plan, p, i)) {
         Add(&out, "AGV203",
             "reads " + SlotRef(plan, s.inputs[j]) +
-                " but the producer has no successor edge to this step",
+                " but no successor path orders this step after the "
+                "producer",
             StepRef(plan, i),
-            "without the edge the parallel drain may run the consumer "
+            "without a path the parallel drain may run the consumer "
             "before the producer's slot is written");
       }
     }

@@ -14,9 +14,11 @@
 //           deadlocks the drain.
 //   AGV202  malformed successor list: duplicate or non-forward edges
 //           double-decrement or cyclically deadlock the ready-queue.
-//   AGV203  missing dataflow edge: a consumer reading a producer's slot
-//           without an ordering edge races the producer's write in the
-//           parallel engine.
+//   AGV203  missing dataflow ordering: a consumer reading a producer's
+//           slot without a successor *path* from the producer races the
+//           write in the parallel engine. A direct edge is not required
+//           — CompilePlan's transitive reduction drops edges implied by
+//           longer paths, and ordering is transitive along them.
 //   AGV204  stateful chain broken: consecutive stateful steps (Variable/
 //           Assign/Print, plus Cond/While whose subgraphs transitively
 //           contain one) must be linked by a direct edge so side effects

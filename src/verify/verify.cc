@@ -8,6 +8,7 @@
 #include <utility>
 #include <variant>
 
+#include "graph/fusion.h"
 #include "graph/ops.h"
 
 namespace ag::verify {
@@ -523,6 +524,43 @@ void VerifyGraphInto(const Graph& g, std::vector<GraphScope>* ancestors,
             Where(node, path),
             "kernels and downstream dtype inference trust the recorded "
             "dtype");
+      }
+    }
+
+    if (node.op() == "FusedElementwise") {
+      // AGV106: the body must compile into a scalar recipe — no
+      // captures, one return naming the last op, only fusable ops.
+      // CompileFusedBody is the executor's own compiler, so passing
+      // here means the kernel cannot reject the node at run time.
+      auto it = node.attrs().find("body");
+      const auto* sub =
+          it != node.attrs().end()
+              ? std::get_if<std::shared_ptr<Graph>>(&it->second)
+              : nullptr;
+      const auto* body =
+          sub != nullptr ? dynamic_cast<const FuncGraph*>(sub->get())
+                         : nullptr;
+      if (body == nullptr) {
+        Add(out, "AGV106",
+            "FusedElementwise node has no FuncGraph 'body' attr",
+            Where(node, path));
+      } else {
+        if (static_cast<int>(node.inputs().size()) !=
+            body->num_explicit_args()) {
+          Add(out, "AGV106",
+              NodeRef(node) + " has " +
+                  std::to_string(node.inputs().size()) +
+                  " inputs but its body takes " +
+                  std::to_string(body->num_explicit_args()) + " args",
+              Where(node, path));
+        }
+        try {
+          (void)graph::CompileFusedBody(*body);
+        } catch (const Error& e) {
+          Add(out, "AGV106",
+              NodeRef(node) + " body does not compile: " + e.what(),
+              Where(node, path));
+        }
       }
     }
 

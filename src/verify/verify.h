@@ -34,6 +34,13 @@
 //           and a While body must preserve loop-variable dtypes — the
 //           graph-level analog of aglint's AG002/AG003, enforced after
 //           passes rewrite subgraphs.
+//   AGV106  fused-body compilability: a FusedElementwise body must
+//           compile into the executor's scalar recipe (no captures, one
+//           return naming the last op, only fusable elementwise/cast
+//           ops, input count matching the body's args) — checked with
+//           the kernel's own compiler (graph::CompileFusedBody), so a
+//           pass that emits a malformed fusion fails verification here
+//           instead of at dispatch.
 //
 // Plan invariants (AGV2xx) live in verify/plan_verify.h. The agverify
 // CLI (tools/agverify.cc) stages a .pym and runs every checker at every
@@ -68,7 +75,7 @@ struct GraphVerifyOptions {
   bool check_dtypes = true;
 };
 
-// Verifies one graph (recursing into Cond/While subgraphs): AGV101-105.
+// Verifies one graph (recursing into Cond/While subgraphs): AGV101-106.
 // Results are ordered by node id within each graph, outer graph first.
 [[nodiscard]] std::vector<VerifyDiagnostic> VerifyGraph(
     const graph::Graph& graph, const GraphVerifyOptions& options = {});

@@ -60,6 +60,11 @@ def train_loop(x, y, w, b, lr, steps):
 
 core::StagedFunction BuildHandwrittenTrainingGraph(
     const MnistConfig& config) {
+  return BuildHandwrittenTrainingGraph(config, graph::OptimizeOptions{});
+}
+
+core::StagedFunction BuildHandwrittenTrainingGraph(
+    const MnistConfig& config, const graph::OptimizeOptions& options) {
   using graph::Op;
   using graph::Output;
 
@@ -103,7 +108,7 @@ core::StagedFunction BuildHandwrittenTrainingGraph(
   out.fetches = {results[1], results[2]};
   out.fetch_was_tuple = true;
   out.optimize_stats = graph::Optimize(out.graph.get(), &out.fetches,
-                                       &exec::EvaluatePureNode);
+                                       &exec::EvaluatePureNode, options);
   out.session = std::make_unique<exec::Session>(out.graph.get());
   return out;
 }

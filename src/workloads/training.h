@@ -46,7 +46,11 @@ struct MnistData {
 
 // Handwritten in-graph training loop (While + symbolic gradients built
 // directly on the graph API). Placeholders: x, y, w, b; fetches (w, b).
+// The second overload controls the optimization pipeline (fusion A/B
+// in tests/fusion_test.cc and bench/bench_fusion.cc).
 [[nodiscard]] core::StagedFunction BuildHandwrittenTrainingGraph(
     const MnistConfig& config);
+[[nodiscard]] core::StagedFunction BuildHandwrittenTrainingGraph(
+    const MnistConfig& config, const graph::OptimizeOptions& options);
 
 }  // namespace ag::workloads

@@ -1,0 +1,252 @@
+// Elementwise-chain fusion A/B suite (DESIGN.md §4i): the fused
+// pipeline must be bit-identical to the unfused one — not "close", the
+// same bits — across sequential vs parallel engines and buffer pool
+// on/off, while strictly reducing kernel invocations. A FusedProgram
+// replays the chain's scalar ops in the original order inside one
+// kernel, so any numeric divergence is a fusion bug, never tolerance.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "exec/kernels.h"
+#include "exec/session.h"
+#include "exec/value.h"
+#include "graph/fusion.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "graph/optimize.h"
+#include "obs/run_metadata.h"
+#include "support/pass_pipeline.h"
+#include "tensor/tensor.h"
+#include "workloads/rnn.h"
+#include "workloads/training.h"
+
+namespace ag {
+namespace {
+
+using exec::RuntimeValue;
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.num_elements(), b.num_elements());
+  ASSERT_EQ(a.dtype(), b.dtype());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.num_elements()) * sizeof(float)),
+            0);
+}
+
+core::StageOptions WithPasses(const std::string& spec) {
+  core::StageOptions options;
+  options.optimize_options.pipeline = PipelineSpec::Parse(spec);
+  return options;
+}
+
+// --- Graph-level fusion mechanics ----------------------------------------
+
+TEST(Fusion, CollapsesSingleConsumerChain) {
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  graph::Node* ph =
+      g.AddNode("Placeholder", {}, {{"name", std::string("x")}});
+  graph::Output x = ph->out(0);
+  graph::Output c = graph::Const(ctx, Tensor::Scalar(0.5f));
+  graph::Output chain =
+      graph::Op(ctx, "Tanh", {graph::Op(ctx, "Mul", {x, c})});
+  std::vector<graph::Output> roots{chain};
+  graph::OptimizeOptions options;
+  options.pipeline = PipelineSpec::Parse("fusion,dce");
+  const graph::OptimizeStats stats =
+      graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+  EXPECT_GE(stats.fused, 1);
+  EXPECT_EQ(roots[0].node->op(), "FusedElementwise");
+}
+
+TEST(Fusion, MultiConsumerInteriorValueBlocksTheChain) {
+  // The Mul feeds both the Tanh and the final Add: fusing the
+  // Mul->Tanh chain would recompute or capture it, so the pass must
+  // leave the Mul outside any fused body it builds.
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  graph::Node* ph =
+      g.AddNode("Placeholder", {}, {{"name", std::string("x")}});
+  graph::Output x = ph->out(0);
+  graph::Output c = graph::Const(ctx, Tensor::Scalar(0.5f));
+  graph::Output m = graph::Op(ctx, "Mul", {x, c});
+  graph::Output t = graph::Op(ctx, "Tanh", {m});
+  graph::Output sum = graph::Op(ctx, "Add", {t, m});
+  std::vector<graph::Output> roots{sum};
+  graph::OptimizeOptions options;
+  options.pipeline = PipelineSpec::Parse("fusion,dce");
+  (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+  // The multi-use Mul survives as a standalone node.
+  bool mul_alive = false;
+  for (const auto& n : g.nodes()) mul_alive |= n->op() == "Mul";
+  EXPECT_TRUE(mul_alive);
+}
+
+TEST(Fusion, FusedChainIsBitIdenticalToUnfused) {
+  // Same chain, fused and unfused, evaluated through a Session.
+  auto build = [](const std::string& passes, Tensor* out) {
+    auto g = std::make_shared<graph::Graph>();
+    graph::GraphContext ctx(g.get());
+    graph::Output x = graph::Const(
+        ctx, Tensor::FromVector({0.25f, -1.5f, 3.0f, 0.0f}, {4}));
+    graph::Output c = graph::Const(ctx, Tensor::Scalar(0.5f));
+    graph::Output y = graph::Op(
+        ctx, "Exp",
+        {graph::Op(ctx, "Tanh", {graph::Op(ctx, "Mul", {x, c})})});
+    std::vector<graph::Output> roots{y};
+    graph::OptimizeOptions options;
+    options.pipeline = PipelineSpec::Parse(passes);
+    (void)graph::Optimize(g.get(), &roots, nullptr, options);
+    exec::Session session(g.get());
+    *out = session.RunTensor({}, roots[0]);
+  };
+  Tensor fused;
+  Tensor unfused;
+  build("fusion", &fused);
+  build("licm", &unfused);  // no fusion, no folding
+  ExpectBitIdentical(fused, unfused);
+}
+
+// --- Staged A/B: engines x pool x fusion ----------------------------------
+
+struct StagedRnn {
+  core::AutoGraph agc;
+  core::StagedFunction staged;
+  std::vector<RuntimeValue> feeds;
+};
+
+void StageRnn(const workloads::RnnInputs& inputs,
+              const core::StageOptions& options, StagedRnn* out) {
+  workloads::InstallRnn(out->agc, inputs);
+  out->staged = out->agc.Stage(
+      "dynamic_rnn",
+      {core::StageArg::Placeholder("input_data"),
+       core::StageArg::Placeholder("initial_state"),
+       core::StageArg::Placeholder("sequence_len", DType::kInt32)},
+      options);
+  out->feeds = {inputs.input_data, inputs.initial_state,
+                inputs.sequence_len};
+}
+
+TEST(FusionAB, RnnBitIdenticalAcrossEnginesAndPool) {
+  workloads::RnnConfig config;
+  config.batch = 4;
+  config.seq_len = 8;
+  config.input_size = 8;
+  config.hidden = 16;
+  const workloads::RnnInputs inputs = workloads::MakeRnnInputs(config);
+
+  StagedRnn fused;
+  StageRnn(inputs, WithPasses("default"), &fused);
+  EXPECT_GE(fused.staged.optimize_stats.fused, 1)
+      << "RNN cell should contain at least one fusable chain";
+
+  StagedRnn unfused;
+  StageRnn(inputs, WithPasses("-fusion"), &unfused);
+  EXPECT_EQ(unfused.staged.optimize_stats.fused, 0);
+
+  std::vector<RuntimeValue> reference;
+  for (int threads : {0, 4}) {          // 0 = sequential engine
+    for (bool pool : {true, false}) {
+      obs::RunOptions opts;
+      opts.inter_op_threads = threads;
+      opts.buffer_pool = pool;
+      const std::vector<RuntimeValue> a =
+          fused.staged.Run(fused.feeds, &opts);
+      const std::vector<RuntimeValue> b =
+          unfused.staged.Run(unfused.feeds, &opts);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " pool=" + std::to_string(pool));
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        ExpectBitIdentical(exec::AsTensor(a[i]), exec::AsTensor(b[i]));
+      }
+      if (reference.empty()) {
+        reference = a;
+      } else {
+        // Also identical across engine/pool configurations.
+        for (size_t i = 0; i < a.size(); ++i) {
+          ExpectBitIdentical(exec::AsTensor(a[i]),
+                             exec::AsTensor(reference[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(FusionAB, FusionStrictlyReducesKernelInvocations) {
+  workloads::RnnConfig config;
+  config.batch = 4;
+  config.seq_len = 8;
+  config.input_size = 8;
+  config.hidden = 16;
+  const workloads::RnnInputs inputs = workloads::MakeRnnInputs(config);
+
+  auto kernels_for = [&inputs](const std::string& passes) {
+    StagedRnn r;
+    StageRnn(inputs, WithPasses(passes), &r);
+    const int64_t before = r.staged.session->stats().kernel_invocations;
+    (void)r.staged.Run(r.feeds);
+    return r.staged.session->stats().kernel_invocations - before;
+  };
+  const int64_t fused = kernels_for("default");
+  const int64_t unfused = kernels_for("-fusion");
+  EXPECT_LT(fused, unfused)
+      << "fused=" << fused << " unfused=" << unfused;
+}
+
+TEST(FusionAB, TrainingLoopBitIdentical) {
+  workloads::MnistConfig config;
+  config.batch = 8;
+  config.features = 8;
+  config.classes = 4;
+  config.steps = 4;
+  const workloads::MnistData data = workloads::MakeMnistData(config);
+  const std::vector<RuntimeValue> feeds{data.images, data.labels, data.w0,
+                                        data.b0};
+
+  core::StagedFunction fused = workloads::BuildHandwrittenTrainingGraph(
+      config, WithPasses("default").optimize_options);
+  core::StagedFunction unfused = workloads::BuildHandwrittenTrainingGraph(
+      config, WithPasses("-fusion").optimize_options);
+
+  for (int threads : {0, 4}) {
+    obs::RunOptions opts;
+    opts.inter_op_threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::vector<RuntimeValue> a = fused.Run(feeds, &opts);
+    const std::vector<RuntimeValue> b = unfused.Run(feeds, &opts);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ExpectBitIdentical(exec::AsTensor(a[i]), exec::AsTensor(b[i]));
+    }
+  }
+}
+
+TEST(FusionAB, VerifyEachPassCleanWithFusionInPipeline) {
+  // AGV must accept the graph after every pass of the full pipeline,
+  // FusedElementwise nodes included (AGV106 checks their bodies).
+  workloads::RnnConfig config;
+  config.batch = 2;
+  config.seq_len = 4;
+  config.input_size = 4;
+  config.hidden = 8;
+  const workloads::RnnInputs inputs = workloads::MakeRnnInputs(config);
+  core::StageOptions options = WithPasses("default");
+  options.optimize_options.verify_each_pass = true;
+  StagedRnn r;
+  StageRnn(inputs, options, &r);
+  EXPECT_TRUE(r.staged.optimize_stats.broken_pass.empty())
+      << r.staged.optimize_stats.broken_pass << ": "
+      << r.staged.optimize_stats.broken_finding;
+  for (const graph::OptimizePassStat& p : r.staged.optimize_stats.passes) {
+    EXPECT_EQ(p.verify_findings, 0) << p.pass;
+  }
+}
+
+}  // namespace
+}  // namespace ag

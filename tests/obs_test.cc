@@ -239,7 +239,11 @@ TEST(StagedObs, OptimizePassStatsRecorded) {
   ASSERT_FALSE(staged.optimize_stats.passes.empty());
   for (const graph::OptimizePassStat& p : staged.optimize_stats.passes) {
     EXPECT_FALSE(p.pass.empty());
-    EXPECT_GE(p.nodes_before, p.nodes_after);  // passes only shrink here
+    if (p.pass != "fusion") {
+      // Only fusion may grow the count (it adds the FusedElementwise
+      // node and leaves the originals for dce); everything else shrinks.
+      EXPECT_GE(p.nodes_before, p.nodes_after);
+    }
     EXPECT_GE(p.wall_ns, 0);
   }
   EXPECT_NE(staged.optimize_stats.DebugString().find("licm"),

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 
 #include "core/api.h"
 #include "tensor/tensor_ops.h"
@@ -346,10 +347,23 @@ def outer(x):
   return inner(x) * 2.0
 )");
   StagedFunction sf = StageF(agc, "outer", {StageArg::Placeholder("x")});
+  // The fusion pass may collapse the scoped ops into a FusedElementwise
+  // node; clones keep their original names, so the scope path survives
+  // inside the fused body.
   bool nested_scope = false;
-  for (const auto& n : sf.graph->nodes()) {
-    if (n->name().rfind("outer/inner/", 0) == 0) nested_scope = true;
-  }
+  std::function<void(const graph::Graph&)> scan =
+      [&](const graph::Graph& g) {
+        for (const auto& n : g.nodes()) {
+          if (n->name().rfind("outer/inner/", 0) == 0) nested_scope = true;
+          for (const auto& [key, attr] : n->attrs()) {
+            if (const auto* sub =
+                    std::get_if<std::shared_ptr<graph::Graph>>(&attr)) {
+              if (*sub != nullptr) scan(**sub);
+            }
+          }
+        }
+      };
+  scan(*sf.graph);
   EXPECT_TRUE(nested_scope) << sf.graph->DebugString();
 }
 

@@ -1,11 +1,15 @@
 // aglint — standalone staging-safety linter for PyMini sources.
 //
 // Usage:
-//   aglint [--backend=tf|lantern] [--werror] [-q] <file.pym|dir>...
+//   aglint [--backend=tf|lantern] [--passes=SPEC] [--werror] [-q]
+//          <file.pym|dir>...
 //
 // Directories are searched recursively for *.pym files. Each file is
 // parsed as a PyMini module and every function in it is checked for the
-// AG001-AG006 staging hazards (see src/analysis/lint.h).
+// AG001-AG007 staging hazards (see src/analysis/lint.h). --passes=
+// selects which checks report, using the same spec grammar as agprof
+// and agverify but over diagnostic codes: "--passes=-AG007" drops
+// dead-store hints, "--passes=AG001,AG004" reports exactly those two.
 //
 // Exit status: 0 when no error-severity diagnostics were produced,
 // 1 when at least one error was found (or a file failed to parse),
@@ -33,10 +37,12 @@ struct Counters {
 };
 
 void PrintUsage() {
-  std::cerr << "usage: aglint [--backend=tf|lantern] [--werror] [-q] "
-               "<file.pym|dir>...\n"
+  std::cerr << "usage: aglint [--backend=tf|lantern] [--passes=SPEC] "
+               "[--werror] [-q] <file.pym|dir>...\n"
                "  --backend=tf|lantern  target staging backend for AG005 "
                "(default tf)\n"
+               "  --passes=SPEC         check spec over AG001..AG007 "
+               "(e.g. --passes=-AG007 or --passes=AG001,AG004)\n"
                "  --werror              treat warnings as errors\n"
                "  -q                    only print error diagnostics\n";
 }
@@ -102,6 +108,14 @@ int main(int argc, char** argv) {
       options.backend = ag::analysis::LintBackend::kTF;
     } else if (arg == "--backend=lantern") {
       options.backend = ag::analysis::LintBackend::kLantern;
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      try {
+        options.checks = ag::PipelineSpec::Parse(arg.substr(9));
+        ag::analysis::ValidateChecksSpec(options.checks);
+      } catch (const ag::Error& e) {
+        std::cerr << "aglint: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--werror") {
       werror = true;
     } else if (arg == "-q") {

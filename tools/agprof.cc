@@ -1,7 +1,7 @@
 // agprof — stage a PyMini function and profile its graph execution.
 //
 // Usage:
-//   agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...]
+//   agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...] [--passes=SPEC]
 //          [--deadline-ms=N] [--trace-out=FILE] [--eager]
 //          [--alloc-stats] <file.pym>
 //
@@ -18,6 +18,11 @@
 // unwind latency percentiles (p50/p90/p99/max) are reported.
 // --alloc-stats prints the buffer-pool section: fresh allocations,
 // pool hits and hit rate, peak live bytes, and current retained bytes.
+// --passes selects the graph optimization pipeline (same grammar
+// everywhere: "licm,cse,-dce", "-fusion", "default,-fusion"); the
+// per-pass section of the report shows exactly the passes that ran, so
+// A/B profiling a pass is `agprof --passes=default` vs
+// `agprof --passes=-fusion`.
 //
 // Exit status: 0 on success, 1 on execution failure, 2 on usage / IO
 // problems.
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "core/api.h"
+#include "graph/pass_manager.h"
 #include "lang/parser.h"
 #include "obs/chrome_trace.h"
 #include "obs/run_metadata.h"
@@ -40,10 +46,15 @@ namespace {
 
 void PrintUsage() {
   std::cerr << "usage: agprof [--fn=NAME] [--runs=N] [--feeds=v1,v2,...]\n"
-               "              [--deadline-ms=N] [--trace-out=FILE] "
-               "[--eager] <file.pym>\n"
+               "              [--passes=SPEC] [--deadline-ms=N] "
+               "[--trace-out=FILE]\n"
+               "              [--eager] <file.pym>\n"
                "  --fn=NAME        function to profile (default: first "
                "def in the file)\n"
+               "  --passes=SPEC    graph pass pipeline spec (e.g. "
+               "--passes=-fusion\n"
+               "                   or --passes=licm,cse,-dce); default: "
+               "full pipeline\n"
                "  --runs=N         number of instrumented Run() calls "
                "(default 10)\n"
                "  --feeds=v1,...   scalar float feed per parameter "
@@ -157,6 +168,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string feeds_spec;
   std::string path;
+  ag::core::StageOptions stage_options;
   int64_t runs = 10;
   int64_t deadline_ms = 0;
   bool eager = false;
@@ -177,6 +189,18 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       if (!ParseIntFlag("--deadline-ms", arg.substr(14), 1, &deadline_ms)) {
         PrintUsage();
+        return 2;
+      }
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      try {
+        stage_options.optimize_options.pipeline =
+            ag::PipelineSpec::Parse(arg.substr(9));
+        // Validate names against the registry now so a typo is a usage
+        // error (2), not a per-file staging failure.
+        (void)ag::graph::PassRegistry::Global().BuildPipeline(
+            stage_options.optimize_options.pipeline);
+      } catch (const ag::Error& e) {
+        std::cerr << "agprof: " << e.what() << "\n";
         return 2;
       }
     } else if (arg.rfind("--feeds=", 0) == 0) {
@@ -249,7 +273,8 @@ int main(int argc, char** argv) {
       feeds.emplace_back(ag::Tensor::Scalar(feed_values[i]));
     }
 
-    ag::core::StagedFunction staged = agc.Stage(fn_name, stage_args);
+    ag::core::StagedFunction staged =
+        agc.Stage(fn_name, stage_args, stage_options);
 
     ag::obs::RunOptions options;
     options.trace = true;

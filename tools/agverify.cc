@@ -1,7 +1,8 @@
 // agverify — static verifier for staged PyMini programs.
 //
 // Usage:
-//   agverify [--fn=NAME] [--inject=FAULT] [-q] <file.pym|dir>...
+//   agverify [--fn=NAME] [--passes=SPEC] [--inject=FAULT] [-q]
+//            <file.pym|dir>...
 //
 // Directories are searched recursively for *.pym files. Every top-level
 // function (or just --fn) is staged with one float32 placeholder per
@@ -11,7 +12,12 @@
 //   1. traced     — graph well-formedness right after tracing
 //                   (AGV101-105, see src/verify/verify.h);
 //   2. per-pass   — graph::Optimize with verify_each_pass on, so the
-//                   first pass to break an invariant is named;
+//                   first pass to break an invariant is named; --passes
+//                   selects the pipeline (same grammar as agprof:
+//                   "licm,cse,-dce", "-fusion"), default: full pipeline.
+//                   Pass names in the summary and in [pass:NAME]
+//                   attributions come from the registry, so passes
+//                   added later are attributable with no tool change;
 //   3. optimized  — the full graph checker again on the final graph;
 //   4. plans      — Session::CompilePlan for the fetches and for every
 //                   Cond/While subgraph, audited for structure, move
@@ -47,6 +53,7 @@
 #include "core/api.h"
 #include "exec/kernels.h"
 #include "graph/optimize.h"
+#include "graph/pass_manager.h"
 #include "lang/parser.h"
 #include "verify/plan_verify.h"
 #include "verify/verify.h"
@@ -67,10 +74,14 @@ struct Counters {
 
 void PrintUsage() {
   std::cerr
-      << "usage: agverify [--fn=NAME] [--inject=FAULT] [-q] "
-         "<file.pym|dir>...\n"
+      << "usage: agverify [--fn=NAME] [--passes=SPEC] [--inject=FAULT] "
+         "[-q] <file.pym|dir>...\n"
          "  --fn=NAME       verify only this function (default: every\n"
          "                  top-level def)\n"
+         "  --passes=SPEC   pass pipeline to verify (e.g. "
+         "--passes=-fusion\n"
+         "                  or --passes=licm,cse,-dce); default: full "
+         "pipeline\n"
          "  --inject=FAULT  corrupt the staged artifact, then expect the\n"
          "                  verifier to catch it; FAULT is one of\n"
          "                  pending|chain|move|capture|dtype\n"
@@ -116,7 +127,8 @@ void CollectFuncGraphs(const ag::graph::Graph& g,
 // Stages `fn_name` and runs every checker at every stage. Returns false
 // when staging failed (the function is skipped, not failed).
 bool VerifyFunction(ag::core::AutoGraph& agc, const std::string& context,
-                    const std::string& fn_name, bool quiet,
+                    const std::string& fn_name,
+                    const ag::PipelineSpec& pipeline, bool quiet,
                     Counters* counters) {
   ag::core::StagedFunction staged;
   try {
@@ -144,6 +156,7 @@ bool VerifyFunction(ag::core::AutoGraph& agc, const std::string& context,
   // Stage 2: per-pass validation — the first broken invariant is
   // attributed to the pass that introduced it and reported here.
   ag::graph::OptimizeOptions opts;
+  opts.pipeline = pipeline;
   opts.verify_each_pass = true;
   const ag::graph::OptimizeStats stats =
       ag::graph::Optimize(staged.graph.get(), &staged.fetches,
@@ -306,6 +319,7 @@ int InjectAndVerify(ag::core::AutoGraph& agc, const std::string& context,
 int main(int argc, char** argv) {
   std::string fn_name;
   std::string inject;
+  ag::PipelineSpec pipeline;
   bool quiet = false;
   std::vector<fs::path> inputs;
 
@@ -316,6 +330,16 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg.rfind("--fn=", 0) == 0) {
       fn_name = arg.substr(5);
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      try {
+        pipeline = ag::PipelineSpec::Parse(arg.substr(9));
+        // Validate names against the registry now so a typo is a usage
+        // error (2), not a per-file verification failure.
+        (void)ag::graph::PassRegistry::Global().BuildPipeline(pipeline);
+      } catch (const ag::Error& e) {
+        std::cerr << "agverify: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg.rfind("--inject=", 0) == 0) {
       inject = arg.substr(9);
     } else if (arg == "-q") {
@@ -400,8 +424,8 @@ int main(int argc, char** argv) {
       }
 
       for (const std::string& name : names) {
-        VerifyFunction(agc, path.string() + ": " + name, name, quiet,
-                       &counters);
+        VerifyFunction(agc, path.string() + ": " + name, name, pipeline,
+                       quiet, &counters);
       }
     } catch (const ag::Error& e) {
       std::cerr << path.string() << ": " << e.what() << "\n";
