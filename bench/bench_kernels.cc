@@ -1,0 +1,217 @@
+// Kernel-backend A/B: what the runtime-dispatched SIMD layer (DESIGN.md
+// §4j) buys on the hot tensor kernels, and what int8 buys on top.
+//
+// Three kernel families, each swept over backend × threads {1, 4, 8}:
+//   MatMul        square sizes 64..512 (512^3 is the acceptance gate:
+//                 AVX2 >= 2x scalar single-thread GFLOP/s, int8 >= 1.5x
+//                 over float AVX2), float backends plus the int8
+//                 quantized path (weights pre-quantized offline, like
+//                 the quantize_weights pass leaves them);
+//   FusedChain    a staged exp(tanh(x*y)+x) elementwise chain through
+//                 the fusion pipeline — exercises the vectorized
+//                 FusedProgram row loop;
+//   Softmax       rowwise softmax over [batch, vocab] logits — the
+//                 vexpf-backed reduction path (beam search's inner op).
+//
+// Each benchmark reports GFLOP/s (GFLOPS counter; nominal flop counts:
+// 2mkn for matmul, ops-per-element for the chain, 4 flops/element for
+// softmax) and GB/s over the streamed inputs, so backend wins read as
+// roofline movement rather than raw milliseconds. The A/B numerics
+// contract behind the comparison — scalar bit-stable, AVX2 within the
+// documented ULP bounds, int8 backend-bit-identical — is enforced by
+// tests/simd_test.cc and tests/quantize_test.cc; this file measures
+// the same kernels.
+//
+// CI smoke-runs this binary and archives the JSON as BENCH_kernels.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/kernels.h"
+#include "exec/session.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "graph/optimize.h"
+#include "obs/run_metadata.h"
+#include "runtime/parallel_for.h"
+#include "tensor/quant.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace ag {
+namespace {
+
+using tensor::simd::KernelBackend;
+using tensor::simd::KernelBackendScope;
+
+// Backend axis: 0 = scalar, 1 = avx2 (degrades to scalar off-AVX2
+// machines, by the dispatch contract), 2 = int8 (quantized kernel
+// under the avx2 table; MatMul only).
+constexpr int64_t kScalar = 0;
+constexpr int64_t kAvx2 = 1;
+constexpr int64_t kInt8 = 2;
+
+KernelBackend BackendFor(int64_t axis) {
+  return axis == kScalar ? KernelBackend::kScalar : KernelBackend::kAvx2;
+}
+
+Tensor RandomTensor(Shape shape, std::uint64_t seed) {
+  std::vector<float> vals(static_cast<size_t>(shape.num_elements()));
+  std::uint64_t s = seed;
+  for (auto& v : vals) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<float>((s >> 33) & 0xFFFFFF) /
+            static_cast<float>(0x7FFFFF) -
+        1.0f;
+  }
+  return Tensor::FromVector(std::move(vals), std::move(shape));
+}
+
+void RateCounters(benchmark::State& state, double flops_per_iter,
+                  double bytes_per_iter) {
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops_per_iter, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.counters["GBS"] =
+      benchmark::Counter(bytes_per_iter, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+
+// ---- MatMul sweep ---------------------------------------------------------
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t backend = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
+  Tensor a = RandomTensor(Shape({n, n}), 1);
+  Tensor b = RandomTensor(Shape({n, n}), 2);
+  const QuantParams qp = ChooseQuantParams(b);
+  Tensor bq = Quantize(b, qp.scale, qp.zero_point);
+
+  runtime::IntraOpScope intra(threads == 1 ? 0 : threads);
+  KernelBackendScope scope(BackendFor(backend));
+  for (auto _ : state) {
+    Tensor out = backend == kInt8
+                     ? QuantizedMatMul(a, bq, qp.scale, qp.zero_point)
+                     : MatMul(a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  RateCounters(state, 2.0 * n * n * n,
+               // int8 streams the weight matrix at 1 byte/element
+               // logically, but storage is the shared float buffer, so
+               // report the float traffic for both paths.
+               2.0 * n * n * sizeof(float));
+}
+
+// ---- Fused elementwise chain ---------------------------------------------
+
+struct FusedChain {
+  graph::Graph g;
+  std::vector<graph::Output> roots;
+  std::map<std::string, exec::RuntimeValue> feeds;
+  std::unique_ptr<exec::Session> session;
+  int64_t elems = 0;
+  int64_t flops_per_elem = 0;
+};
+
+void BuildFusedChain(int64_t elems, FusedChain* out) {
+  FusedChain& c = *out;
+  c.elems = elems;
+  graph::GraphContext ctx(&c.g);
+  graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  graph::Output y = graph::Placeholder(ctx, "y", DType::kFloat32);
+  // exp(tanh(x*y) + x): 4 fusable ops per element.
+  graph::Output mul = graph::Op(ctx, "Mul", {x, y});
+  graph::Output tanh = graph::Op(ctx, "Tanh", {mul});
+  graph::Output add = graph::Op(ctx, "Add", {tanh, x});
+  c.roots = {graph::Op(ctx, "Exp", {add})};
+  c.flops_per_elem = 4;
+  (void)graph::Optimize(&c.g, &c.roots, &exec::EvaluatePureNode, {});
+  c.feeds = {{"x", RandomTensor(Shape({elems}), 3)},
+             {"y", RandomTensor(Shape({elems}), 4)}};
+  c.session = std::make_unique<exec::Session>(&c.g);
+}
+
+void BM_FusedChain(benchmark::State& state) {
+  const int64_t elems = state.range(0);
+  const int64_t backend = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
+  FusedChain c;
+  BuildFusedChain(elems, &c);
+  obs::RunOptions opts;
+  opts.step_stats = false;
+  opts.kernel_backend =
+      tensor::simd::KernelBackendName(BackendFor(backend));
+  runtime::IntraOpScope intra(threads == 1 ? 0 : threads);
+  for (auto _ : state) {
+    auto out = c.session->Run(c.feeds, c.roots, &opts, nullptr);
+    benchmark::DoNotOptimize(out);
+  }
+  RateCounters(state, static_cast<double>(c.flops_per_elem * elems),
+               2.0 * elems * sizeof(float));
+}
+
+// ---- Softmax --------------------------------------------------------------
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t vocab = state.range(1);
+  const int64_t backend = state.range(2);
+  const int threads = static_cast<int>(state.range(3));
+  Tensor logits = RandomTensor(Shape({batch, vocab}), 5);
+  runtime::IntraOpScope intra(threads == 1 ? 0 : threads);
+  KernelBackendScope scope(BackendFor(backend));
+  for (auto _ : state) {
+    Tensor out = Softmax(logits);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // max + sub/exp + sum + div: nominal 4 flops per element.
+  RateCounters(state, 4.0 * batch * vocab,
+               static_cast<double>(batch * vocab) * sizeof(float));
+}
+
+void MatMulArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"n", "backend", "threads"});
+  for (int64_t n : {64, 128, 256, 512}) {
+    for (int64_t backend : {kScalar, kAvx2, kInt8}) {
+      for (int64_t threads : {1, 4, 8}) {
+        b->Args({n, backend, threads});
+      }
+    }
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+void FusedChainArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"elems", "backend", "threads"});
+  for (int64_t elems : {1 << 12, 1 << 16, 1 << 20}) {
+    for (int64_t backend : {kScalar, kAvx2}) {
+      for (int64_t threads : {1, 4, 8}) {
+        b->Args({elems, backend, threads});
+      }
+    }
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+void SoftmaxArgs(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"batch", "vocab", "backend", "threads"});
+  for (int64_t backend : {kScalar, kAvx2}) {
+    for (int64_t threads : {1, 4, 8}) {
+      b->Args({64, 4096, backend, threads});
+      b->Args({1024, 256, backend, threads});
+    }
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_MatMul)->Apply(MatMulArgs);
+BENCHMARK(BM_FusedChain)->Apply(FusedChainArgs);
+BENCHMARK(BM_Softmax)->Apply(SoftmaxArgs);
+
+}  // namespace
+}  // namespace ag

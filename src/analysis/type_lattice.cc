@@ -26,6 +26,9 @@ DTypeFact DTypeFactOf(DType dtype) {
     case DType::kFloat32: return DTypeFact::kFloat32;
     case DType::kInt32: return DTypeFact::kInt32;
     case DType::kBool: return DTypeFact::kBoolDType;
+    // int8 only exists post-staging (the quantize_weights pass); PyMini
+    // programs never see it, so the abstract interpreter has no fact.
+    case DType::kInt8: return DTypeFact::kTop;
   }
   return DTypeFact::kTop;
 }

@@ -5,6 +5,7 @@
 
 #include "core/operators.h"
 #include "runtime/cancellation.h"
+#include "tensor/simd/dispatch.h"
 
 namespace ag::core {
 
@@ -180,6 +181,15 @@ Value AutoGraph::CallEager(const std::string& fn_name,
                    options->inject_cancel_after_kernels,
                    options->max_while_iterations);
     cancel_scope.emplace(&*cancel);
+  }
+  // RunOptions::kernel_backend applies to eager dispatch too: the
+  // scope pins every tensor kernel the interpreted body calls (and is
+  // inherited by staged calls made from inside it).
+  std::optional<tensor::simd::KernelBackendScope> backend_scope;
+  if (options != nullptr && !options->kernel_backend.empty()) {
+    backend_scope.emplace(tensor::simd::ResolveBackend(
+        tensor::simd::ParseKernelBackend(options->kernel_backend),
+        tensor::simd::Avx2Available()));
   }
   if (options == nullptr || !options->enabled()) {
     return interpreter_.CallCallable(fn, std::move(args));

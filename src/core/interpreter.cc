@@ -36,6 +36,43 @@ class CallGuard {
   int* depth_;
 };
 
+// Frame-exit collector for def-created closure cycles. A `def` inside a
+// function binds a FunctionValue whose closure is the defining frame's
+// Env, while the Env holds the function Value: a shared_ptr cycle no
+// refcount can free (the LeakSanitizer leak on every AutoGraph staging
+// path before this existed). On frame exit, if every such cyclic
+// function is referenced only by its own binding and the Env is
+// referenced only by `env` here plus those closure back-edges, nothing
+// outside the cycle can reach the frame any more — drop the bindings.
+// A closure that was returned or stored elsewhere raises one of the
+// use_counts and the frame is (correctly) kept alive.
+void ReleaseFrameCycles(const EnvPtr& env) {
+  long cyclic = 0;
+  for (const auto& [name, value] : env->bindings()) {
+    if (!value.IsFunction()) continue;
+    const FunctionPtr& fn = value.AsFunction();
+    if (fn->closure == env) {
+      if (fn.use_count() != 1) return;  // aliased or escaped: keep
+      ++cyclic;
+    }
+  }
+  if (cyclic == 0) return;  // no cycle, plain refcounting suffices
+  if (env.use_count() != 1 + cyclic) return;  // frame escaped: keep
+  env->ClearBindings();
+}
+
+// RAII so the collector runs on the exception path too.
+class FrameCycleGuard {
+ public:
+  explicit FrameCycleGuard(const EnvPtr& env) : env_(env) {}
+  ~FrameCycleGuard() { ReleaseFrameCycles(env_); }
+  FrameCycleGuard(const FrameCycleGuard&) = delete;
+  FrameCycleGuard& operator=(const FrameCycleGuard&) = delete;
+
+ private:
+  const EnvPtr& env_;
+};
+
 }  // namespace
 
 Value Interpreter::CallCallable(const Value& fn, std::vector<Value> args,
@@ -66,6 +103,9 @@ Value Interpreter::CallFunctionValue(const FunctionPtr& fn,
   CallGuard guard(&call_depth_, options_.max_call_depth);
 
   auto env = std::make_shared<Env>(fn->closure);
+  // Declared after `env` so it runs before env's destructor, on normal
+  // return and unwind alike.
+  FrameCycleGuard cycle_guard(env);
   if (args.size() > fn->params.size()) {
     throw ValueError(fn->name + "() takes " +
                      std::to_string(fn->params.size()) + " arguments but " +

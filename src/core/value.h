@@ -200,6 +200,19 @@ class Env {
 
   [[nodiscard]] const EnvPtr& parent() const { return parent_; }
 
+  // The bindings of THIS scope (no parent walk). Used by the frame-exit
+  // cycle collector (interpreter.cc) to find def-created functions whose
+  // closure points back at this Env.
+  [[nodiscard]] const std::map<std::string, Value>& bindings() const {
+    return vars_;
+  }
+  // Drops every binding. A `def` inside a frame creates a shared_ptr
+  // cycle (env holds the function Value, fn->closure holds env) that
+  // plain refcounting can never free; the interpreter breaks it here
+  // when it can prove the frame did not escape, and ~AutoGraph breaks
+  // the same cycle for top-level defs in the globals.
+  void ClearBindings() { vars_.clear(); }
+
  private:
   std::map<std::string, Value> vars_;
   EnvPtr parent_;

@@ -8,6 +8,7 @@
 
 #include "graph/fusion.h"
 #include "support/error.h"
+#include "tensor/quant.h"
 #include "tensor/tensor_ops.h"
 
 namespace ag::exec {
@@ -215,6 +216,23 @@ const std::unordered_map<std::string, Kernel>& Registry() {
     };
 
     reg["MatMul"] = Binary(&MatMul);
+    reg["Quantize"] = [](const Node& n, std::vector<RuntimeValue>& in) {
+      return One(Quantize(AsTensor(in[0]),
+                          static_cast<float>(n.attr<double>("scale")),
+                          static_cast<int32_t>(n.attr<int64_t>("zero_point"))));
+    };
+    reg["Dequantize"] = [](const Node& n, std::vector<RuntimeValue>& in) {
+      return One(Dequantize(
+          AsTensor(in[0]), static_cast<float>(n.attr<double>("scale")),
+          static_cast<int32_t>(n.attr<int64_t>("zero_point"))));
+    };
+    reg["QuantizedMatMul"] = [](const Node& n,
+                                std::vector<RuntimeValue>& in) {
+      return One(QuantizedMatMul(
+          AsTensor(in[0]), AsTensor(in[1]),
+          static_cast<float>(n.attr<double>("w_scale")),
+          static_cast<int32_t>(n.attr<int64_t>("w_zero_point"))));
+    };
     reg["SoftmaxCrossEntropy"] = Binary(&SoftmaxCrossEntropy);
     reg["SoftmaxCrossEntropyGrad"] = Binary(&SoftmaxCrossEntropyGrad);
 

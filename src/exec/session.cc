@@ -13,6 +13,7 @@
 #include "runtime/thread_pool.h"
 #include "support/error.h"
 #include "tensor/allocator.h"
+#include "tensor/simd/dispatch.h"
 #include "verify/plan_verify.h"
 
 namespace ag::exec {
@@ -31,6 +32,7 @@ int64_t OutputBytes(const std::vector<RuntimeValue>& outputs) {
   for (const RuntimeValue& v : outputs) {
     if (IsTensor(v)) {
       const Tensor& t = AsTensor(v);
+      if (!t.defined()) continue;  // stolen by an in-place kernel
       total += t.num_elements() * DTypeBytes(t.dtype());
     } else if (const TensorListPtr& list = AsList(v); list != nullptr) {
       for (const Tensor& t : list->items()) {
@@ -39,6 +41,57 @@ int64_t OutputBytes(const std::vector<RuntimeValue>& outputs) {
     }
   }
   return total;
+}
+
+// Roofline flop estimates for one node execution, feeding the gflops
+// column in the per-op table. An estimate, not a measurement. Split in
+// two because in-place kernels may steal (move out of) their input
+// tensors: anything derived from input shapes must be computed BEFORE
+// the kernel runs, anything derived from outputs after.
+//
+// MatMulFlops: 2·m·k·n for the matmul family; 0 otherwise. Pre-kernel.
+int64_t MatMulFlops(const Node& node,
+                    const std::vector<RuntimeValue>& inputs) {
+  const std::string& op = node.op();
+  if (op != "MatMul" && op != "QuantizedMatMul") return 0;
+  if (inputs.size() < 2 || !IsTensor(inputs[0]) || !IsTensor(inputs[1])) {
+    return 0;
+  }
+  const Tensor& a = AsTensor(inputs[0]);
+  const Tensor& b = AsTensor(inputs[1]);
+  if (!a.defined() || !b.defined() || a.rank() != 2 || b.rank() != 2) {
+    return 0;
+  }
+  return 2 * a.shape().dim(0) * a.shape().dim(1) * b.shape().dim(1);
+}
+
+// ElementwiseFlops: ~1 flop per output element per step for fused
+// chains and plain elementwise/reduction math; 0 for the matmul family
+// (counted above) and for ops with no meaningful flop count
+// (shape/data movement, control flow). Post-kernel.
+int64_t ElementwiseFlops(const Node& node,
+                         const std::vector<RuntimeValue>& outputs) {
+  const std::string& op = node.op();
+  if (outputs.empty() || !IsTensor(outputs[0]) ||
+      !AsTensor(outputs[0]).defined()) {
+    return 0;
+  }
+  const int64_t elems = AsTensor(outputs[0]).num_elements();
+  if (op == "FusedElementwise") {
+    const auto& body = *node.attr<std::shared_ptr<graph::Graph>>("body");
+    int64_t steps = 0;
+    for (const auto& n : body.nodes()) {
+      if (n->op() != "Arg") ++steps;
+    }
+    return steps * elems;
+  }
+  static const std::unordered_set<std::string> kUnitFlopOps = {
+      "Add",     "Sub",     "Mul",   "Div",  "Neg",  "Abs",   "Square",
+      "Sqrt",    "Exp",     "Log",   "Tanh", "Sigmoid", "Relu", "Pow",
+      "Maximum", "Minimum", "Sum",   "Mean", "Max",  "Min",   "Softmax",
+      "Quantize", "Dequantize"};
+  if (kUnitFlopOps.count(op) > 0) return elems;
+  return 0;
 }
 
 bool GraphHasStatefulNode(const graph::Graph& g,
@@ -154,6 +207,14 @@ std::vector<RuntimeValue> Session::Run(
     ctx.intra_op_threads = options->intra_op_threads;
     ctx.max_while_iterations = options->max_while_iterations;
     ctx.buffer_pool = options->buffer_pool;
+    if (!options->kernel_backend.empty()) {
+      // ParseKernelBackend throws ValueError on unknown names (before
+      // any kernel runs); an unavailable-but-valid backend degrades to
+      // scalar inside ResolveBackend.
+      ctx.kernel_backend = tensor::simd::ResolveBackend(
+          tensor::simd::ParseKernelBackend(options->kernel_backend),
+          tensor::simd::Avx2Available());
+    }
     if (options->cancellable()) {
       cancel.emplace(options->cancel_token, options->deadline_ms,
                      options->inject_cancel_after_kernels);
@@ -180,6 +241,12 @@ std::vector<RuntimeValue> Session::Run(
   // for this run (helpers mirror the scope per drain).
   std::optional<tensor::PoolDisableScope> pool_off;
   if (!ctx.buffer_pool) pool_off.emplace();
+  // RunOptions::kernel_backend pins the kernel dispatch table for this
+  // run (helpers mirror the scope per drain).
+  std::optional<tensor::simd::KernelBackendScope> backend_scope;
+  if (ctx.kernel_backend.has_value()) {
+    backend_scope.emplace(*ctx.kernel_backend);
+  }
 
   // Allocator counters are process-wide monotonic; an instrumented run
   // reports its own activity as a before/after delta.
@@ -451,6 +518,11 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
     const int64_t alloc0 =
         ctx.rec != nullptr ? tensor::ThreadAllocCount() : 0;
+    // Input-derived stats are snapshotted before the kernel: in-place
+    // kernels may steal (move out of) uniquely-owned inputs.
+    const int64_t in_bytes = ctx.rec != nullptr ? OutputBytes(inputs) : 0;
+    const int64_t mm_flops =
+        ctx.rec != nullptr ? MatMulFlops(*node, inputs) : 0;
     try {
       outputs = kernel(*node, inputs);
     } catch (const Error& e) {
@@ -461,7 +533,11 @@ const std::vector<RuntimeValue>& Session::EvalNode(const Node* node,
     if (ctx.rec != nullptr) {
       ctx.rec->RecordNode(node->name(), op, t0, obs::NowNs(),
                           OutputBytes(outputs),
-                          tensor::ThreadAllocCount() - alloc0);
+                          tensor::ThreadAllocCount() - alloc0,
+                          mm_flops + ElementwiseFlops(*node, outputs),
+                          in_bytes,
+                          tensor::simd::KernelBackendName(
+                              tensor::simd::ActiveBackend()));
     }
   }
 
@@ -964,6 +1040,11 @@ void Session::ExecStep(const Plan::Step& step,
       const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
       const int64_t alloc0 =
           ctx.rec != nullptr ? tensor::ThreadAllocCount() : 0;
+      // Input-derived stats are snapshotted before the kernel: in-place
+      // kernels may steal (move out of) uniquely-owned inputs.
+      const int64_t in_bytes = ctx.rec != nullptr ? OutputBytes(inputs) : 0;
+      const int64_t mm_flops =
+          ctx.rec != nullptr ? MatMulFlops(*node, inputs) : 0;
       try {
         *out = (*step.kernel)(*node, inputs);
       } catch (const Error& e) {
@@ -974,7 +1055,11 @@ void Session::ExecStep(const Plan::Step& step,
       if (ctx.rec != nullptr) {
         ctx.rec->RecordNode(node->name(), node->op(), t0, obs::NowNs(),
                             OutputBytes(*out),
-                            tensor::ThreadAllocCount() - alloc0);
+                            tensor::ThreadAllocCount() - alloc0,
+                            mm_flops + ElementwiseFlops(*node, *out),
+                            in_bytes,
+                            tensor::simd::KernelBackendName(
+                                tensor::simd::ActiveBackend()));
       }
       break;
     }
@@ -1358,6 +1443,10 @@ void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
           run->ctx.intra_op_threads > 0 ? run->ctx.intra_op_threads : 1);
       std::optional<tensor::PoolDisableScope> pool_off;
       if (!run->ctx.buffer_pool) pool_off.emplace();
+      std::optional<tensor::simd::KernelBackendScope> backend_scope;
+      if (run->ctx.kernel_backend.has_value()) {
+        backend_scope.emplace(*run->ctx.kernel_backend);
+      }
       Drain(run, /*is_caller=*/false);
       std::lock_guard<std::mutex> lock(run->mu);
       --run->active_helpers;

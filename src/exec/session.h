@@ -45,6 +45,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -56,6 +57,7 @@
 #include "graph/graph.h"
 #include "obs/run_metadata.h"
 #include "runtime/cancellation.h"
+#include "tensor/simd/dispatch.h"
 
 namespace ag::exec {
 
@@ -244,6 +246,11 @@ class Session {
     // the whole run (including pool helpers), restoring the unpooled
     // allocation path.
     bool buffer_pool = true;
+    // RunOptions::kernel_backend, resolved at Run() entry. When set, a
+    // tensor::simd::KernelBackendScope pins this backend for the whole
+    // run (pool helpers mirror the scope per drain); unset runs under
+    // the process default.
+    std::optional<tensor::simd::KernelBackend> kernel_backend;
   };
 
   struct Frame {

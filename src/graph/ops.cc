@@ -63,6 +63,9 @@ DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
                  const AttrMap& attrs) {
   if (IsBoolProducer(op)) return DType::kBool;
   if (IsIntProducer(op)) return DType::kInt32;
+  // Quantization boundary ops (inserted by the quantize_weights pass).
+  if (op == "Quantize") return DType::kInt8;
+  if (op == "Dequantize" || op == "QuantizedMatMul") return DType::kFloat32;
   if (op == "Cast") {
     auto it = attrs.find("dtype");
     if (it != attrs.end()) return std::get<DType>(it->second);
@@ -99,7 +102,8 @@ DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
 
 bool InferredDtypeIsAuthoritative(const std::string& op) {
   return IsBoolProducer(op) || IsIntProducer(op) || IsFloatProducer(op) ||
-         op == "Cast" || op == "FusedElementwise";
+         op == "Cast" || op == "FusedElementwise" || op == "Quantize" ||
+         op == "Dequantize" || op == "QuantizedMatMul";
 }
 
 std::vector<Output> OpN(GraphContext& ctx, const std::string& op,

@@ -8,6 +8,7 @@
 
 #include "graph/fusion.h"
 #include "graph/pass_manager.h"
+#include "graph/quantize.h"
 #include "support/error.h"
 
 namespace ag::graph {
@@ -341,6 +342,17 @@ void RegisterBuiltinGraphPasses(PassRegistry& registry) {
   fusion.run = FuseElementwiseChains;
   registry.Register(fusion);
 
+  // Default-off: int8 trades accuracy for throughput, so it must be an
+  // explicit caller choice ("default,+quantize_weights"). After
+  // constant_folding so folded weight expressions quantize as Consts.
+  PassInfo quantize;
+  quantize.name = "quantize_weights";
+  quantize.phase = PassPhase::kFuse;
+  quantize.after = {"constant_folding"};
+  quantize.default_enabled = false;
+  quantize.run = QuantizeWeights;
+  registry.Register(quantize);
+
   PassInfo dce;
   dce.name = "dce";
   dce.phase = PassPhase::kCleanup;
@@ -394,7 +406,8 @@ OptimizeStats Optimize(Graph* graph, std::vector<Output>* roots,
                        const NodeEvaluator& evaluator,
                        const OptimizeOptions& options) {
   return PassManager().Run(EffectivePipeline(options), graph, roots,
-                           evaluator, options.verify_each_pass);
+                           evaluator, options.verify_each_pass,
+                           options.variable_snapshot);
 }
 
 }  // namespace ag::graph

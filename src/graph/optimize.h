@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ struct OptimizeOptions {
   // off: the checker walks every subgraph, which is measurable on the
   // staging path).
   bool verify_each_pass = DefaultVerifyEachPass();
+  // Calibration data for the quantize_weights pass: variable name ->
+  // value at staging time. The Session that will run the graph is
+  // created after Optimize, so the caller supplies the snapshot (must
+  // outlive the Optimize call). Null disables Variable quantization;
+  // Const weights quantize regardless.
+  const std::map<std::string, Tensor>* variable_snapshot = nullptr;
 };
 
 // Resolves `options` into the pipeline spec Optimize() will run: the

@@ -150,10 +150,10 @@ std::vector<const PassInfo*> PassRegistry::BuildPipeline(
   return pipeline;
 }
 
-OptimizeStats PassManager::Run(const PipelineSpec& spec, Graph* graph,
-                               std::vector<Output>* roots,
-                               const NodeEvaluator& evaluator,
-                               bool verify_each_pass) const {
+OptimizeStats PassManager::Run(
+    const PipelineSpec& spec, Graph* graph, std::vector<Output>* roots,
+    const NodeEvaluator& evaluator, bool verify_each_pass,
+    const std::map<std::string, Tensor>* variable_snapshot) const {
   const std::vector<const PassInfo*> pipeline =
       registry_->BuildPipeline(spec);
   OptimizeStats stats;
@@ -162,6 +162,7 @@ OptimizeStats PassManager::Run(const PipelineSpec& spec, Graph* graph,
   ctx.roots = roots;
   ctx.evaluator = evaluator ? &evaluator : nullptr;
   ctx.stats = &stats;
+  ctx.variable_snapshot = variable_snapshot;
 
   for (const PassInfo* pass : pipeline) {
     if (pass->needs_evaluator && ctx.evaluator == nullptr) continue;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,10 @@ struct PassContext {
   std::vector<Output>* roots = nullptr;
   const NodeEvaluator* evaluator = nullptr;
   OptimizeStats* stats = nullptr;
+  // Calibration data for quantize_weights: variable name -> value at
+  // staging time (OptimizeOptions::variable_snapshot). Null when the
+  // caller supplied none; Variables without an entry are left in float.
+  const std::map<std::string, Tensor>* variable_snapshot = nullptr;
 };
 
 struct PassInfo {
@@ -106,7 +111,9 @@ class PassManager {
   // OptimizeStats::broken_pass naming the culprit.
   OptimizeStats Run(const PipelineSpec& spec, Graph* graph,
                     std::vector<Output>* roots, const NodeEvaluator& evaluator,
-                    bool verify_each_pass) const;
+                    bool verify_each_pass,
+                    const std::map<std::string, Tensor>* variable_snapshot =
+                        nullptr) const;
 
   [[nodiscard]] const PassRegistry& registry() const { return *registry_; }
 

@@ -123,6 +123,7 @@ DType ParseDType(const std::string& s) {
   if (s == "float32") return DType::kFloat32;
   if (s == "int32") return DType::kInt32;
   if (s == "bool") return DType::kBool;
+  if (s == "int8") return DType::kInt8;
   throw ValueError("serialize: unknown dtype '" + s + "'");
 }
 

@@ -21,13 +21,28 @@ std::string FormatNs(int64_t ns) {
   return os.str();
 }
 
+// Roofline rates from cumulative counters: bytes/ns is exactly GB/s and
+// flops/ns exactly GFLOP/s, so no unit constant is needed. Returns "-"
+// when the numerator is unknown (0) so absent estimates don't print as
+// an impossibly slow kernel.
+std::string FormatRate(int64_t amount, int64_t total_ns) {
+  if (amount <= 0 || total_ns <= 0) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2)
+     << static_cast<double>(amount) / static_cast<double>(total_ns);
+  return os.str();
+}
+
 }  // namespace
 
 std::string NodeStats::DebugString() const {
   std::ostringstream os;
   os << name << " (" << op << "): count=" << count
      << " total=" << FormatNs(total_ns) << " bytes=" << output_bytes
-     << " allocs=" << alloc_count;
+     << " allocs=" << alloc_count
+     << " gflops=" << FormatRate(flops, total_ns)
+     << " gbs=" << FormatRate(input_bytes + output_bytes, total_ns);
+  if (!backend.empty()) os << " backend=" << backend;
   return os.str();
 }
 
@@ -60,6 +75,9 @@ void RunMetadata::Merge(const RunMetadata& other) {
       mine.total_ns += n.total_ns;
       mine.output_bytes += n.output_bytes;
       mine.alloc_count += n.alloc_count;
+      mine.flops += n.flops;
+      mine.input_bytes += n.input_bytes;
+      if (!n.backend.empty()) mine.backend = n.backend;
     }
   }
   trace_events.insert(trace_events.end(), other.trace_events.begin(),
@@ -118,7 +136,8 @@ std::string RunMetadata::DebugString() const {
     os << std::left << std::setw(28) << "node" << std::setw(20) << "op"
        << std::right << std::setw(10) << "count" << std::setw(14) << "total"
        << std::setw(12) << "avg" << std::setw(8) << "%" << std::setw(14)
-       << "bytes" << std::setw(10) << "allocs" << "\n";
+       << "bytes" << std::setw(10) << "allocs" << std::setw(10) << "gflops"
+       << std::setw(9) << "gbs" << "  " << std::left << "backend" << "\n";
     for (const NodeStats* n : sorted) {
       std::string name = n->name.size() > 26 ? n->name.substr(0, 26) : n->name;
       os << std::left << std::setw(28) << name << std::setw(20) << n->op
@@ -127,7 +146,10 @@ std::string RunMetadata::DebugString() const {
          << FormatNs(n->count > 0 ? n->total_ns / n->count : 0)
          << std::setw(7)
          << (100 * n->total_ns + total / 2) / total << "%" << std::setw(14)
-         << n->output_bytes << std::setw(10) << n->alloc_count << "\n";
+         << n->output_bytes << std::setw(10) << n->alloc_count
+         << std::setw(10) << FormatRate(n->flops, n->total_ns) << std::setw(9)
+         << FormatRate(n->input_bytes + n->output_bytes, n->total_ns) << "  "
+         << std::left << (n->backend.empty() ? "-" : n->backend) << "\n";
     }
   }
   return os.str();
@@ -157,7 +179,9 @@ void AggregateEvents(const std::vector<TraceEvent>& events,
 
 void RunRecorder::RecordNode(const std::string& name, const std::string& op,
                              int64_t start_ns, int64_t end_ns,
-                             int64_t output_bytes, int64_t alloc_count) {
+                             int64_t output_bytes, int64_t alloc_count,
+                             int64_t flops, int64_t input_bytes,
+                             const std::string& backend) {
   if (options_.trace) {
     tracer_.AddComplete(name + " (" + op + ")", "op", start_ns, end_ns);
   }
@@ -176,6 +200,9 @@ void RunRecorder::RecordNode(const std::string& name, const std::string& op,
   n.total_ns += end_ns - start_ns;
   n.output_bytes += output_bytes;
   n.alloc_count += alloc_count;
+  n.flops += flops;
+  n.input_bytes += input_bytes;
+  if (!backend.empty()) n.backend = backend;
 }
 
 void RunRecorder::RecordPhase(const std::string& phase, int64_t dur_ns) {

@@ -62,6 +62,15 @@ struct RunOptions {
   // regardless of this flag.
   bool buffer_pool = true;
 
+  // Kernel-backend knob: which tensor::simd backend the kernels of this
+  // run dispatch to. "" (default) = process default (the
+  // AG_KERNEL_BACKEND env var if set, else "auto"); "auto" = best
+  // available; "scalar" = the seed scalar loops, byte-for-byte — the
+  // A/B lever the tolerance tests and bench_kernels use; "avx2" = the
+  // vectorized paths (degrades to scalar when the CPU or build lacks
+  // AVX2/FMA). Any other value raises ValueError at Run() entry.
+  std::string kernel_backend;
+
   // Interruption knobs (the analog of TF's RunOptions timeout +
   // CancellationManager). Every engine polls these cooperatively at
   // kernel/iteration/shard boundaries — see runtime/cancellation.h.
@@ -118,6 +127,16 @@ struct NodeStats {
   // Fresh buffer-pool allocations (pool misses) attributed to this
   // node's kernel executions; 0 for steady-state in-place/pooled ops.
   int64_t alloc_count = 0;
+  // Roofline inputs: cumulative floating-point work (estimated from op
+  // type and shapes — 2·m·k·n for matmuls, ~1 flop/element for
+  // elementwise; 0 for ops with no meaningful count) and cumulative
+  // bytes read. GFLOP/s = flops/total_ns; GB/s =
+  // (input_bytes+output_bytes)/total_ns.
+  int64_t flops = 0;
+  int64_t input_bytes = 0;
+  // Kernel backend that executed this node ("scalar"/"avx2"); "" for
+  // layers that don't record one. Last writer wins on merge.
+  std::string backend;
 
   [[nodiscard]] std::string DebugString() const;
 };
@@ -197,7 +216,8 @@ class RunRecorder {
   // thread performed inside the kernel (tensor::ThreadAllocCount delta).
   void RecordNode(const std::string& name, const std::string& op,
                   int64_t start_ns, int64_t end_ns, int64_t output_bytes,
-                  int64_t alloc_count = 0);
+                  int64_t alloc_count = 0, int64_t flops = 0,
+                  int64_t input_bytes = 0, const std::string& backend = "");
   void RecordPhase(const std::string& phase, int64_t dur_ns);
   void CountWhileIteration();
   void CountCondBranch(bool taken);

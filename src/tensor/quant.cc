@@ -1,0 +1,188 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "runtime/cancellation.h"
+#include "runtime/parallel_for.h"
+#include "support/error.h"
+#include "tensor/simd/dispatch.h"
+
+namespace ag {
+namespace {
+
+using detail::TensorAccess;
+
+constexpr int64_t kElementGrain = 16384;  // matches tensor_ops.cc
+
+inline float ClampQ(float q, float lo) {
+  return std::min(127.0f, std::max(lo, q));
+}
+
+// Exact int8 x int8 -> int32 reference kernel; the AVX2 qmatmul must
+// match it bit-for-bit (integer arithmetic, order-free). Row-sharded
+// with the MatMul grain formula; zero-skip mirrors the float kernel.
+void ScalarQMatMul(const int8_t* qa, const int8_t* qw, int32_t* acc,
+                   int64_t m, int64_t k, int64_t n) {
+  runtime::CancelCheck* cancel = runtime::CurrentCancelCheck();
+  const int64_t rows_grain =
+      std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, k * n));
+  runtime::ParallelFor(m, rows_grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      if (cancel != nullptr) cancel->Poll("QuantizedMatMul row");
+      int32_t* orow = acc + i * n;
+      std::fill(orow, orow + n, 0);
+      const int8_t* arow = qa + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int32_t av = arow[kk];
+        if (av == 0) continue;
+        const int8_t* wrow = qw + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * wrow[j];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+QuantParams ChooseQuantParams(const Tensor& w) {
+  const float* p = w.data();
+  const int64_t n = w.num_elements();
+  float amax = 0.0f;
+  for (int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(p[i]));
+  QuantParams params;
+  params.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  params.zero_point = 0;
+  return params;
+}
+
+Tensor Quantize(const Tensor& x, float scale, int32_t zero_point) {
+  if (scale <= 0.0f) {
+    throw ValueError("Quantize: scale must be positive");
+  }
+  const int64_t n = x.num_elements();
+  const float* px = x.data();
+  Tensor out = TensorAccess::Uninitialized(x.shape(), DType::kInt8);
+  float* po = TensorAccess::data(out);
+  const float inv = 1.0f / scale;
+  const float zp = static_cast<float>(zero_point);
+  runtime::ParallelFor(n, kElementGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      po[i] = ClampQ(std::nearbyintf(px[i] * inv) + zp, -128.0f);
+    }
+  });
+  return out;
+}
+
+Tensor Dequantize(const Tensor& q, float scale, int32_t zero_point) {
+  if (q.dtype() != DType::kInt8) {
+    throw ValueError("Dequantize: expected an int8 tensor, got " +
+                     std::string(DTypeName(q.dtype())));
+  }
+  const int64_t n = q.num_elements();
+  const float* pq = q.data();
+  Tensor out = TensorAccess::Uninitialized(q.shape(), DType::kFloat32);
+  float* po = TensorAccess::data(out);
+  const float zp = static_cast<float>(zero_point);
+  runtime::ParallelFor(n, kElementGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) po[i] = (pq[i] - zp) * scale;
+  });
+  return out;
+}
+
+Tensor QuantizedMatMul(const Tensor& x, const Tensor& wq, float w_scale,
+                       int32_t w_zero_point) {
+  if (x.rank() != 2 || wq.rank() != 2) {
+    throw ValueError("QuantizedMatMul requires rank-2 tensors, got " +
+                     x.shape().str() + " x " + wq.shape().str());
+  }
+  if (wq.dtype() != DType::kInt8) {
+    throw ValueError("QuantizedMatMul: weights must be int8, got " +
+                     std::string(DTypeName(wq.dtype())));
+  }
+  const int64_t m = x.shape().dim(0);
+  const int64_t k = x.shape().dim(1);
+  const int64_t n = wq.shape().dim(1);
+  if (k != wq.shape().dim(0)) {
+    throw ValueError("QuantizedMatMul inner dims mismatch: " +
+                     x.shape().str() + " x " + wq.shape().str());
+  }
+  Tensor out = TensorAccess::Uninitialized(Shape({m, n}), DType::kFloat32);
+  float* po = TensorAccess::data(out);
+
+  // Dynamic symmetric activation quantization, computed sequentially in
+  // this driver so the quantized path is deterministic and backend
+  // independent (the integer kernels below are exact).
+  const float* px = x.data();
+  // 8 partial maxima so the reduction vectorizes; max is associative
+  // and commutative, so the grouping cannot change the result.
+  float amax = 0.0f;
+  {
+    const int64_t total = m * k;
+    float part[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    const int64_t vec_end = total - total % 8;
+    for (int64_t i = 0; i < vec_end; i += 8) {
+      for (int64_t l = 0; l < 8; ++l) {
+        part[l] = std::max(part[l], std::fabs(px[i + l]));
+      }
+    }
+    for (int64_t i = vec_end; i < total; ++i) {
+      amax = std::max(amax, std::fabs(px[i]));
+    }
+    for (float p : part) amax = std::max(amax, p);
+  }
+  if (amax == 0.0f || m == 0 || n == 0) {
+    std::fill(po, po + m * n, 0.0f);
+    return out;
+  }
+  const float a_scale = amax / 127.0f;
+  const float a_inv = 127.0f / amax;
+  std::vector<int8_t> qa(static_cast<size_t>(m * k));
+  std::vector<int32_t> rowsum(static_cast<size_t>(m), 0);
+  // Round-to-nearest-even via the 1.5*2^23 magic constant: exact for
+  // |x| < 2^23 (here |x| <= 127 by construction), bit-identical to
+  // nearbyintf under the default rounding mode, and — unlike the
+  // libcall — auto-vectorizable, which keeps dynamic activation
+  // quantization off the critical path.
+  constexpr float kRoundMagic = 12582912.0f;  // 1.5 * 2^23
+  for (int64_t i = 0; i < m; ++i) {
+    int32_t sum = 0;
+    for (int64_t j = 0; j < k; ++j) {
+      const float r = (px[i * k + j] * a_inv + kRoundMagic) - kRoundMagic;
+      const float q = ClampQ(r, -127.0f);
+      qa[static_cast<size_t>(i * k + j)] = static_cast<int8_t>(q);
+      sum += static_cast<int32_t>(q);
+    }
+    rowsum[static_cast<size_t>(i)] = sum;
+  }
+  std::vector<int8_t> qwv(static_cast<size_t>(k * n));
+  const float* pw = wq.data();
+  for (int64_t i = 0; i < k * n; ++i) {
+    qwv[static_cast<size_t>(i)] = static_cast<int8_t>(
+        ClampQ(pw[i], -128.0f));
+  }
+
+  std::vector<int32_t> acc(static_cast<size_t>(m * n));
+  const tensor::simd::KernelTable& kt = tensor::simd::ActiveKernels();
+  (kt.qmatmul != nullptr ? kt.qmatmul : &ScalarQMatMul)(
+      qa.data(), qwv.data(), acc.data(), m, k, n);
+
+  // acc[i][j] = sum_k qa * (qw). True product needs (qw - w_zp):
+  // subtract w_zp * rowsum(qa_i), then rescale by both scales.
+  const float rescale = a_scale * w_scale;
+  const float wzp = static_cast<float>(w_zero_point);
+  runtime::ParallelFor(m, std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, n)),
+                       [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float corr = wzp * static_cast<float>(rowsum[static_cast<size_t>(i)]);
+      for (int64_t j = 0; j < n; ++j) {
+        po[i * n + j] = rescale *
+            (static_cast<float>(acc[static_cast<size_t>(i * n + j)]) - corr);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace ag

@@ -1,0 +1,44 @@
+// Per-tensor affine quantization (DESIGN.md §4j) — the int8 inference
+// path. Values quantize as q = clamp(round(x / scale) + zero_point,
+// -128, 127); kInt8 tensors hold the integer q in the shared float
+// buffer like every other dtype.
+//
+// QuantizedMatMul keeps the float activations interface: it quantizes
+// the activations on the fly (symmetric, per-call scale from max|x|),
+// runs an exact int8 x int8 -> int32 kernel, and rescales — so only
+// weights need offline calibration (the quantize_weights graph pass).
+// All float-sensitive steps (activation scale, quantization, final
+// rescale) live in the driver here, and the integer kernels are exact,
+// so scalar and AVX2 backends produce bit-identical results for the
+// quantized path.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ag {
+
+struct QuantParams {
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+};
+
+// Symmetric per-tensor calibration: scale = max|w| / 127, zero_point 0
+// (scale 1 for an all-zero tensor).
+[[nodiscard]] QuantParams ChooseQuantParams(const Tensor& w);
+
+// x (any float-valued tensor) -> kInt8 with the affine mapping above.
+[[nodiscard]] Tensor Quantize(const Tensor& x, float scale,
+                              int32_t zero_point);
+
+// kInt8 -> kFloat32: (q - zero_point) * scale.
+[[nodiscard]] Tensor Dequantize(const Tensor& q, float scale,
+                                int32_t zero_point);
+
+// Float activations x [m,k] times pre-quantized weights wq (kInt8,
+// [k,n], calibrated with w_scale/w_zero_point) -> kFloat32 [m,n].
+[[nodiscard]] Tensor QuantizedMatMul(const Tensor& x, const Tensor& wq,
+                                     float w_scale, int32_t w_zero_point);
+
+}  // namespace ag

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -49,6 +50,8 @@ const char* DTypeName(DType dtype) {
       return "int32";
     case DType::kBool:
       return "bool";
+    case DType::kInt8:
+      return "int8";
   }
   return "unknown";
 }
@@ -127,6 +130,10 @@ void CastInPlace(float* data, int64_t n, DType new_dtype) {
     }
   } else if (new_dtype == DType::kInt32) {
     for (int64_t i = 0; i < n; ++i) data[i] = std::trunc(data[i]);
+  } else if (new_dtype == DType::kInt8) {
+    for (int64_t i = 0; i < n; ++i) {
+      data[i] = std::min(127.0f, std::max(-128.0f, std::trunc(data[i])));
+    }
   }
 }
 

@@ -29,7 +29,10 @@ namespace detail {
 struct TensorAccess;
 }  // namespace detail
 
-enum class DType : std::uint8_t { kFloat32, kInt32, kBool };
+// kInt8 is the quantized-inference storage tag (quant.h): values are
+// integers in [-128, 127] held, like every dtype, in the float buffer.
+// It is appended after kBool so serialized dtype codes are stable.
+enum class DType : std::uint8_t { kFloat32, kInt32, kBool, kInt8 };
 
 [[nodiscard]] const char* DTypeName(DType dtype);
 
@@ -56,6 +59,11 @@ class Tensor {
 
   [[nodiscard]] const Shape& shape() const { return *shape_; }
   [[nodiscard]] DType dtype() const { return dtype_; }
+  // False only for a moved-from Tensor (no shape, no buffer); such a
+  // value may only be destroyed or assigned to, so callers that might
+  // see one (e.g. instrumentation over inputs an in-place kernel stole)
+  // must check before touching shape()/data().
+  [[nodiscard]] bool defined() const { return shape_ != nullptr; }
   [[nodiscard]] int64_t num_elements() const {
     return shape_->num_elements();
   }

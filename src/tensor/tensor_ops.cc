@@ -7,6 +7,7 @@
 #include "runtime/cancellation.h"
 #include "runtime/parallel_for.h"
 #include "support/error.h"
+#include "tensor/simd/dispatch.h"
 
 namespace ag {
 namespace {
@@ -150,6 +151,25 @@ Tensor UnaryOp(const Tensor& a, DType out_dtype, F&& f, Tensor* ra = nullptr) {
   float* po = TensorAccess::data(out);
   runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
+  });
+  return reuse ? TensorAccess::Retag(std::move(out), out_dtype) : out;
+}
+
+// UnaryOp variant over a vectorized array kernel (a simd::KernelTable
+// entry): same reuse/Retag structure. The array kernel computes each
+// element position-independently (scalar tails mirror the vector lanes
+// exactly), so shard boundaries cannot change any value, and it
+// tolerates the exact aliasing (dst == src) the reuse path produces.
+Tensor UnaryArrayOp(const Tensor& a, DType out_dtype,
+                    void (*fn)(const float*, float*, int64_t),
+                    Tensor* ra = nullptr) {
+  const int64_t n = a.num_elements();
+  const bool reuse = ra != nullptr && TensorAccess::CanReuse(*ra);
+  const float* pa = a.data();
+  Tensor out = reuse ? std::move(*ra) : NewOut(a.shape(), out_dtype);
+  float* po = TensorAccess::data(out);
+  runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
+    fn(pa + begin, po + begin, end - begin);
   });
   return reuse ? TensorAccess::Retag(std::move(out), out_dtype) : out;
 }
@@ -429,11 +449,21 @@ Tensor Neg(Tensor&& a) {
   return UnaryOp(a, a.dtype(), [](float x) { return -x; }, &a);
 }
 
+// Exp/Tanh/Sigmoid consult the active kernel backend (resolved here, on
+// the calling thread) and route through the vectorized array kernels
+// when present; the scalar backend's table has null entries, keeping
+// the libm path byte-identical to the seed.
 Tensor Exp(const Tensor& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vexp) {
+    return UnaryArrayOp(a, DType::kFloat32, fn);
+  }
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::exp(x); });
 }
 
 Tensor Exp(Tensor&& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vexp) {
+    return UnaryArrayOp(a, DType::kFloat32, fn, &a);
+  }
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::exp(x); }, &a);
 }
 
@@ -446,19 +476,31 @@ Tensor Log(Tensor&& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vtanh) {
+    return UnaryArrayOp(a, DType::kFloat32, fn);
+  }
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::tanh(x); });
 }
 
 Tensor Tanh(Tensor&& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vtanh) {
+    return UnaryArrayOp(a, DType::kFloat32, fn, &a);
+  }
   return UnaryOp(a, DType::kFloat32, [](float x) { return std::tanh(x); }, &a);
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vsigmoid) {
+    return UnaryArrayOp(a, DType::kFloat32, fn);
+  }
   return UnaryOp(a, DType::kFloat32,
                  [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 
 Tensor Sigmoid(Tensor&& a) {
+  if (auto* fn = tensor::simd::ActiveKernels().vsigmoid) {
+    return UnaryArrayOp(a, DType::kFloat32, fn, &a);
+  }
   return UnaryOp(a, DType::kFloat32,
                  [](float x) { return 1.0f / (1.0f + std::exp(-x)); }, &a);
 }
@@ -542,6 +584,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = TensorAccess::data(out_t);
+  // Vector backend: the table's matmul is a complete driver (packing,
+  // sharding, cancellation) writing every element of po. The scalar
+  // path below stays byte-identical to the seed.
+  if (auto* fn = tensor::simd::ActiveKernels().matmul) {
+    fn(pa, pb, po, m, k, n);
+    return out_t;
+  }
   std::fill(po, po + m * n, 0.0f);
   // Cancellation is polled once per k-panel per shard so a cancel or
   // deadline unwinds within a panel's worth of work, not a whole
@@ -1075,7 +1124,15 @@ namespace {
 // cannot alter any value — that is what makes fused output bit-identical
 // to the unfused chain.
 inline void FusedApplyBlock(const FusedStep& s, const float* a,
-                            const float* b, float* dst, int64_t m) {
+                            const float* b, float* dst, int64_t m,
+                            const tensor::simd::KernelTable* kt) {
+  // Vector backend first: fused_step handles only ops whose vector
+  // semantics match the scalar cases below exactly (see simd_avx2.cc),
+  // so fused == unfused bit-identity holds within every backend.
+  if (kt != nullptr && kt->fused_step != nullptr &&
+      kt->fused_step(s, a, b, dst, m)) {
+    return;
+  }
 #define AG_FUSED_LOOP(expr)                     \
   for (int64_t j = 0; j < m; ++j) {             \
     const float x = a[j];                       \
@@ -1218,6 +1275,10 @@ Tensor FusedEval(const FusedProgram& program, std::vector<Tensor> inputs) {
   // stay independent, so sharding and blocking cannot change any value
   // (the kernel determinism contract).
   constexpr int64_t kFusedBlock = 512;
+  // Resolved once on the calling thread: ParallelFor pool helpers carry
+  // no thread-local scopes, so a per-run KernelBackendScope would be
+  // invisible if the table were consulted inside the shard body.
+  const tensor::simd::KernelTable* kt = &tensor::simd::ActiveKernels();
   runtime::ParallelFor(n, kElementGrain, [&](int64_t begin, int64_t end) {
     // Scratch is thread-local and reused across calls: a fused node in
     // a While body runs every iteration, and a per-call heap
@@ -1325,7 +1386,7 @@ Tensor FusedEval(const FusedProgram& program, std::vector<Tensor> inputs) {
         float* dst = s + 1 == num_steps
                          ? po + b0
                          : row(num_inputs + static_cast<int64_t>(s));
-        FusedApplyBlock(st, av, bv, dst, m);
+        FusedApplyBlock(st, av, bv, dst, m, kt);
       }
     }
   });

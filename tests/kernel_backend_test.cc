@@ -1,0 +1,273 @@
+// Kernel-backend dispatch units (DESIGN.md §4j): name parsing, the
+// pure resolution rule, scope nesting, and the RunOptions plumbing that
+// makes a run's backend observable in its step stats. The CI dispatch
+// smoke runs this binary under AG_KERNEL_BACKEND=scalar and relies on
+// KernelBackendEnv.* to assert the process default followed the env.
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/session.h"
+#include "exec/value.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "obs/run_metadata.h"
+#include "support/error.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/tensor.h"
+
+namespace ag {
+namespace {
+
+using tensor::simd::ActiveBackend;
+using tensor::simd::Avx2Available;
+using tensor::simd::KernelBackend;
+using tensor::simd::KernelBackendName;
+using tensor::simd::KernelBackendScope;
+using tensor::simd::ParseKernelBackend;
+using tensor::simd::ProcessDefaultBackend;
+using tensor::simd::ResolveBackend;
+using tensor::simd::TableFor;
+
+TEST(KernelBackendParse, KnownNames) {
+  EXPECT_EQ(ParseKernelBackend("scalar"), KernelBackend::kScalar);
+  EXPECT_EQ(ParseKernelBackend("avx2"), KernelBackend::kAvx2);
+  EXPECT_EQ(ParseKernelBackend("auto"), std::nullopt);
+}
+
+TEST(KernelBackendParse, UnknownNameThrows) {
+  EXPECT_THROW((void)ParseKernelBackend("sse9"), Error);
+  EXPECT_THROW((void)ParseKernelBackend(""), Error);
+  EXPECT_THROW((void)ParseKernelBackend("AVX2"), Error);  // case-sensitive
+}
+
+TEST(KernelBackendResolve, ExplicitScalarAlwaysWins) {
+  EXPECT_EQ(ResolveBackend(KernelBackend::kScalar, true),
+            KernelBackend::kScalar);
+  EXPECT_EQ(ResolveBackend(KernelBackend::kScalar, false),
+            KernelBackend::kScalar);
+}
+
+TEST(KernelBackendResolve, AutoAndAvx2DegradeGracefully) {
+  EXPECT_EQ(ResolveBackend(std::nullopt, true), KernelBackend::kAvx2);
+  EXPECT_EQ(ResolveBackend(std::nullopt, false), KernelBackend::kScalar);
+  EXPECT_EQ(ResolveBackend(KernelBackend::kAvx2, true),
+            KernelBackend::kAvx2);
+  // Requesting avx2 on a machine without it is not an error: the
+  // contract is every backend name runs everywhere.
+  EXPECT_EQ(ResolveBackend(KernelBackend::kAvx2, false),
+            KernelBackend::kScalar);
+}
+
+TEST(KernelBackendTable, ScalarTableIsAllNull) {
+  const tensor::simd::KernelTable& t = TableFor(KernelBackend::kScalar);
+  EXPECT_EQ(t.backend, KernelBackend::kScalar);
+  EXPECT_EQ(t.matmul, nullptr);
+  EXPECT_EQ(t.vexp, nullptr);
+  EXPECT_EQ(t.vtanh, nullptr);
+  EXPECT_EQ(t.vsigmoid, nullptr);
+  EXPECT_EQ(t.fused_step, nullptr);
+  EXPECT_EQ(t.qmatmul, nullptr);
+}
+
+TEST(KernelBackendTable, Avx2TableMatchesAvailability) {
+  const tensor::simd::KernelTable& t = TableFor(KernelBackend::kAvx2);
+  if (Avx2Available()) {
+    EXPECT_EQ(t.backend, KernelBackend::kAvx2);
+    EXPECT_NE(t.matmul, nullptr);
+    EXPECT_NE(t.vexp, nullptr);
+    EXPECT_NE(t.qmatmul, nullptr);
+  } else {
+    // Graceful fallback: the scalar table, not a crash.
+    EXPECT_EQ(t.backend, KernelBackend::kScalar);
+    EXPECT_EQ(t.matmul, nullptr);
+  }
+}
+
+TEST(KernelBackendScopeTest, NestsAndRestores) {
+  const KernelBackend base = ActiveBackend();
+  {
+    KernelBackendScope outer(KernelBackend::kScalar);
+    EXPECT_EQ(ActiveBackend(), KernelBackend::kScalar);
+    {
+      KernelBackendScope inner(KernelBackend::kAvx2);
+      EXPECT_EQ(ActiveBackend(),
+                Avx2Available() ? KernelBackend::kAvx2
+                                : KernelBackend::kScalar);
+    }
+    EXPECT_EQ(ActiveBackend(), KernelBackend::kScalar);
+  }
+  EXPECT_EQ(ActiveBackend(), base);
+}
+
+TEST(KernelBackendEnv, ProcessDefaultHonorsEnv) {
+  // AG_KERNEL_BACKEND is read once per process, so this test can only
+  // assert when the harness set it before the binary started (the CI
+  // dispatch smoke does exactly that).
+  const char* env = std::getenv("AG_KERNEL_BACKEND");
+  if (env == nullptr || std::string(env).empty()) {
+    GTEST_SKIP() << "AG_KERNEL_BACKEND not set";
+  }
+  const std::string want(env);
+  if (want != "scalar" && want != "avx2" && want != "auto") {
+    // Invalid values are ignored (auto semantics), by contract.
+    EXPECT_EQ(ProcessDefaultBackend(),
+              ResolveBackend(std::nullopt, Avx2Available()));
+    return;
+  }
+  EXPECT_EQ(ProcessDefaultBackend(),
+            ResolveBackend(want == "auto"
+                               ? std::nullopt
+                               : ParseKernelBackend(want),
+                           Avx2Available()));
+}
+
+// --- RunOptions plumbing --------------------------------------------------
+
+struct MatMulSession {
+  graph::Graph g;
+  std::vector<graph::Output> roots;
+  std::map<std::string, exec::RuntimeValue> feeds;
+};
+
+void BuildMatMul(MatMulSession* s) {
+  graph::GraphContext ctx(&s->g);
+  graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  std::vector<float> wv(8 * 8);
+  for (size_t i = 0; i < wv.size(); ++i) {
+    wv[i] = 0.25f * static_cast<float>(i % 7) - 0.5f;
+  }
+  graph::Output w = graph::Const(ctx, Tensor::FromVector(wv, Shape({8, 8})));
+  s->roots = {graph::Op(ctx, "MatMul", {x, w})};
+  std::vector<float> xv(4 * 8);
+  for (size_t i = 0; i < xv.size(); ++i) {
+    xv[i] = 0.125f * static_cast<float>(i) - 2.0f;
+  }
+  s->feeds = {{"x", Tensor::FromVector(xv, Shape({4, 8}))}};
+}
+
+std::string BackendTagOf(const obs::RunMetadata& meta) {
+  for (const obs::NodeStats& n : meta.step_stats.nodes) {
+    if (n.op == "MatMul") return n.backend;
+  }
+  return "<no MatMul in step stats>";
+}
+
+TEST(KernelBackendRunOptions, BackendTagAppearsInStepStats) {
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+
+  obs::RunOptions opts;
+  opts.kernel_backend = "scalar";
+  obs::RunMetadata meta;
+  (void)session.Run(s.feeds, s.roots, &opts, &meta);
+  EXPECT_EQ(BackendTagOf(meta), "scalar");
+
+  obs::RunOptions opts2;
+  opts2.kernel_backend = "avx2";
+  obs::RunMetadata meta2;
+  (void)session.Run(s.feeds, s.roots, &opts2, &meta2);
+  EXPECT_EQ(BackendTagOf(meta2), Avx2Available() ? "avx2" : "scalar");
+}
+
+TEST(KernelBackendRunOptions, EmptyBackendUsesProcessDefault) {
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+  obs::RunOptions opts;  // kernel_backend = ""
+  obs::RunMetadata meta;
+  (void)session.Run(s.feeds, s.roots, &opts, &meta);
+  EXPECT_EQ(BackendTagOf(meta), KernelBackendName(ProcessDefaultBackend()));
+}
+
+TEST(KernelBackendRunOptions, InvalidBackendThrowsBeforeExecuting) {
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+  obs::RunOptions opts;
+  opts.kernel_backend = "turbo";
+  EXPECT_THROW((void)session.Run(s.feeds, s.roots, &opts, nullptr), Error);
+  // The session stays usable after the rejected options.
+  obs::RunOptions ok;
+  ok.kernel_backend = "scalar";
+  (void)session.Run(s.feeds, s.roots, &ok, nullptr);
+}
+
+TEST(KernelBackendRunOptions, ScopedRunsAgreeWithScopedScalar) {
+  // A scalar-pinned run must produce bytes identical to evaluating the
+  // same graph under a thread-local scalar scope — RunOptions and the
+  // scope are the same mechanism.
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+  obs::RunOptions opts;
+  opts.kernel_backend = "scalar";
+  const Tensor via_options =
+      exec::AsTensor(session.Run(s.feeds, s.roots, &opts, nullptr)[0]);
+  Tensor via_scope;
+  {
+    KernelBackendScope scope(KernelBackend::kScalar);
+    via_scope = exec::AsTensor(session.Run(s.feeds, s.roots)[0]);
+  }
+  ASSERT_EQ(via_options.num_elements(), via_scope.num_elements());
+  for (int64_t i = 0; i < via_options.num_elements(); ++i) {
+    EXPECT_EQ(via_options.at(i), via_scope.at(i)) << "element " << i;
+  }
+}
+
+TEST(KernelBackendRunOptions, ParallelEngineHonorsBackend) {
+  // Pool helpers must mirror the scope: run the parallel plan engine
+  // with a pinned backend and check the tag (and the numbers) agree
+  // with the sequential engine.
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+  for (const char* backend : {"scalar", "avx2"}) {
+    obs::RunOptions seq;
+    seq.kernel_backend = backend;
+    obs::RunOptions par = seq;
+    par.inter_op_threads = 4;
+    obs::RunMetadata seq_meta;
+    obs::RunMetadata par_meta;
+    const Tensor a =
+        exec::AsTensor(session.Run(s.feeds, s.roots, &seq, &seq_meta)[0]);
+    const Tensor b =
+        exec::AsTensor(session.Run(s.feeds, s.roots, &par, &par_meta)[0]);
+    SCOPED_TRACE(backend);
+    EXPECT_EQ(BackendTagOf(seq_meta), BackendTagOf(par_meta));
+    ASSERT_EQ(a.num_elements(), b.num_elements());
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      EXPECT_EQ(a.at(i), b.at(i)) << "element " << i;
+    }
+  }
+}
+
+TEST(KernelBackendStepStats, RooflineColumnsPopulated) {
+  MatMulSession s;
+  BuildMatMul(&s);
+  exec::Session session(&s.g);
+  obs::RunOptions opts;
+  obs::RunMetadata meta;
+  (void)session.Run(s.feeds, s.roots, &opts, &meta);
+  bool found = false;
+  for (const obs::NodeStats& n : meta.step_stats.nodes) {
+    if (n.op != "MatMul") continue;
+    found = true;
+    EXPECT_EQ(n.flops, 2 * 4 * 8 * 8);  // 2·m·k·n
+    EXPECT_EQ(n.input_bytes, (4 * 8 + 8 * 8) * 4);
+    EXPECT_FALSE(n.backend.empty());
+  }
+  EXPECT_TRUE(found);
+  // The rendered table carries the new columns.
+  const std::string table = meta.DebugString();
+  EXPECT_NE(table.find("gflops"), std::string::npos);
+  EXPECT_NE(table.find("gbs"), std::string::npos);
+  EXPECT_NE(table.find("backend"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ag

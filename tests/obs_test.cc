@@ -61,11 +61,11 @@ TEST(Tracer, InstallScopeRestoresPrevious) {
 
 TEST(RunMetadata, MergeCombinesNodeStatsByNameAndOp) {
   RunMetadata a;
-  a.step_stats.nodes.push_back({"n1", "Add", 2, 100, 8});
+  a.step_stats.nodes.push_back({"n1", "Add", 2, 100, 8, 0, 0, 0, ""});
   a.runs = 1;
   RunMetadata b;
-  b.step_stats.nodes.push_back({"n1", "Add", 3, 50, 4});
-  b.step_stats.nodes.push_back({"n2", "Mul", 1, 10, 4});
+  b.step_stats.nodes.push_back({"n1", "Add", 3, 50, 4, 0, 0, 0, ""});
+  b.step_stats.nodes.push_back({"n2", "Mul", 1, 10, 4, 0, 0, 0, ""});
   b.runs = 2;
   a.Merge(b);
   ASSERT_EQ(a.step_stats.nodes.size(), 2u);

@@ -1,0 +1,329 @@
+// int8 quantized inference (DESIGN.md §4j): tensor-level quantization
+// primitives, cross-backend bit-identity of the quantized matmul (the
+// float-sensitive steps live in one shared driver, so scalar and AVX2
+// must agree to the bit, not a tolerance), accuracy vs float, the
+// quantize_weights graph pass for both Const and Variable weights, and
+// dtype honesty (AGV104) through the new ops.
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/kernels.h"
+#include "exec/session.h"
+#include "exec/value.h"
+#include "graph/graph.h"
+#include "graph/ops.h"
+#include "graph/optimize.h"
+#include "obs/run_metadata.h"
+#include "support/error.h"
+#include "support/pass_pipeline.h"
+#include "tensor/quant.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "verify/verify.h"
+
+namespace ag {
+namespace {
+
+using tensor::simd::Avx2Available;
+using tensor::simd::KernelBackend;
+using tensor::simd::KernelBackendScope;
+
+std::vector<float> DeterministicUniform(int64_t n, std::uint64_t seed,
+                                        float lo = -1.0f, float hi = 1.0f) {
+  std::vector<float> out(static_cast<size_t>(n));
+  std::uint64_t s = seed;
+  for (auto& v : out) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto frac =
+        static_cast<float>((s >> 33) & 0xFFFFFF) / static_cast<float>(0xFFFFFF);
+    v = lo + (hi - lo) * frac;
+  }
+  return out;
+}
+
+// --- Tensor-level primitives ----------------------------------------------
+
+TEST(QuantParams, SymmetricScaleFromAbsMax) {
+  Tensor w = Tensor::FromVector({0.5f, -2.54f, 1.0f, 0.0f}, Shape({2, 2}));
+  const QuantParams qp = ChooseQuantParams(w);
+  EXPECT_FLOAT_EQ(qp.scale, 2.54f / 127.0f);
+  EXPECT_EQ(qp.zero_point, 0);
+}
+
+TEST(QuantParams, AllZeroWeightsGetUnitScale) {
+  Tensor w = Tensor::Zeros(Shape({3, 3}));
+  const QuantParams qp = ChooseQuantParams(w);
+  EXPECT_FLOAT_EQ(qp.scale, 1.0f);
+  EXPECT_EQ(qp.zero_point, 0);
+}
+
+TEST(Quantize, RoundTripWithinHalfScale) {
+  const std::vector<float> vals = DeterministicUniform(1000, 99, -3.0f, 3.0f);
+  Tensor w = Tensor::FromVector(vals, Shape({1000}));
+  const QuantParams qp = ChooseQuantParams(w);
+  Tensor q = Quantize(w, qp.scale, qp.zero_point);
+  EXPECT_EQ(q.dtype(), DType::kInt8);
+  Tensor back = Dequantize(q, qp.scale, qp.zero_point);
+  EXPECT_EQ(back.dtype(), DType::kFloat32);
+  for (int64_t i = 0; i < w.num_elements(); ++i) {
+    EXPECT_NEAR(back.at(i), w.at(i), qp.scale * 0.5f + 1e-7f)
+        << "element " << i;
+  }
+}
+
+TEST(Quantize, RejectsBadArguments) {
+  Tensor w = Tensor::Ones(Shape({4}));
+  EXPECT_THROW((void)Quantize(w, 0.0f, 0), Error);
+  EXPECT_THROW((void)Quantize(w, -1.0f, 0), Error);
+  EXPECT_THROW((void)Dequantize(w, 1.0f, 0), Error);  // not int8
+}
+
+TEST(Quantize, SaturatesToInt8Range) {
+  Tensor w = Tensor::FromVector({1000.0f, -1000.0f}, Shape({2}));
+  Tensor q = Quantize(w, 1.0f, 0);
+  EXPECT_EQ(q.at(0), 127.0f);
+  EXPECT_EQ(q.at(1), -128.0f);
+}
+
+// --- Quantized matmul: cross-backend bit-identity + accuracy --------------
+
+TEST(QuantizedMatMulTest, ScalarAndAvx2AreBitIdentical) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  for (int64_t k : {1, 7, 16, 31, 64, 100}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const int64_t m = 9;
+    const int64_t n = 21;
+    Tensor a =
+        Tensor::FromVector(DeterministicUniform(m * k, 7 + k), Shape({m, k}));
+    Tensor w =
+        Tensor::FromVector(DeterministicUniform(k * n, 13 + k), Shape({k, n}));
+    const QuantParams qp = ChooseQuantParams(w);
+    Tensor wq = Quantize(w, qp.scale, qp.zero_point);
+    Tensor scalar_out;
+    Tensor avx2_out;
+    {
+      KernelBackendScope scope(KernelBackend::kScalar);
+      scalar_out = QuantizedMatMul(a, wq, qp.scale, qp.zero_point);
+    }
+    {
+      KernelBackendScope scope(KernelBackend::kAvx2);
+      avx2_out = QuantizedMatMul(a, wq, qp.scale, qp.zero_point);
+    }
+    ASSERT_EQ(scalar_out.num_elements(), avx2_out.num_elements());
+    // Integer accumulation is exact and the float rescale is shared, so
+    // the two backends must agree to the BIT.
+    EXPECT_EQ(std::memcmp(scalar_out.data(), avx2_out.data(),
+                          static_cast<size_t>(scalar_out.num_elements()) *
+                              sizeof(float)),
+              0);
+  }
+}
+
+TEST(QuantizedMatMulTest, AccuracyVsFloatWithinQuantizationNoise) {
+  // Per-tensor symmetric int8: the Frobenius-relative error against the
+  // float matmul for uniform random operands measures ~0.6% (both
+  // operands quantized, worst case ~1/127 each). Bound at 2%.
+  for (int64_t k : {16, 64, 256}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const int64_t m = 32;
+    const int64_t n = 32;
+    Tensor a =
+        Tensor::FromVector(DeterministicUniform(m * k, 3 + k), Shape({m, k}));
+    Tensor w =
+        Tensor::FromVector(DeterministicUniform(k * n, 5 + k), Shape({k, n}));
+    const Tensor f = MatMul(a, w);
+    const QuantParams qp = ChooseQuantParams(w);
+    Tensor wq = Quantize(w, qp.scale, qp.zero_point);
+    const Tensor q = QuantizedMatMul(a, wq, qp.scale, qp.zero_point);
+    double num = 0.0;
+    double den = 0.0;
+    for (int64_t i = 0; i < f.num_elements(); ++i) {
+      const double d = q.at(i) - f.at(i);
+      num += d * d;
+      den += static_cast<double>(f.at(i)) * f.at(i);
+    }
+    EXPECT_LT(std::sqrt(num / den), 0.02);
+  }
+}
+
+TEST(QuantizedMatMulTest, ZeroActivationsShortCircuit) {
+  Tensor a = Tensor::Zeros(Shape({3, 8}));
+  Tensor w = Tensor::FromVector(DeterministicUniform(8 * 5, 1), Shape({8, 5}));
+  const QuantParams qp = ChooseQuantParams(w);
+  Tensor wq = Quantize(w, qp.scale, qp.zero_point);
+  const Tensor out = QuantizedMatMul(a, wq, qp.scale, qp.zero_point);
+  for (int64_t i = 0; i < out.num_elements(); ++i) {
+    EXPECT_EQ(out.at(i), 0.0f);
+  }
+}
+
+// --- The quantize_weights pass --------------------------------------------
+
+int CountOp(const graph::Graph& g, const std::string& op) {
+  int n = 0;
+  for (const auto& node : g.nodes()) n += node->op() == op ? 1 : 0;
+  return n;
+}
+
+TEST(QuantizeWeightsPass, RewritesConstWeightMatMul) {
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  Tensor w =
+      Tensor::FromVector(DeterministicUniform(8 * 6, 77), Shape({8, 6}));
+  graph::Output wc = graph::Const(ctx, w);
+  std::vector<graph::Output> roots{graph::Op(ctx, "MatMul", {x, wc})};
+
+  graph::OptimizeOptions options;
+  options.pipeline = PipelineSpec::Parse("quantize_weights,dce");
+  (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+
+  EXPECT_EQ(CountOp(g, "QuantizedMatMul"), 1);
+  EXPECT_EQ(CountOp(g, "MatMul"), 0) << "old MatMul should be dce'd";
+  EXPECT_EQ(roots[0].node->op(), "QuantizedMatMul");
+  EXPECT_EQ(roots[0].node->output_dtype(0), DType::kFloat32);
+
+  // The rewritten graph is dtype-honest (AGV104/AGV105 clean).
+  const auto findings = verify::VerifyGraphAndRoots(g, roots);
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : findings.front().str());
+
+  // And numerically close to the float graph through a Session.
+  exec::Session session(&g);
+  Tensor xa =
+      Tensor::FromVector(DeterministicUniform(4 * 8, 88), Shape({4, 8}));
+  const Tensor qout = session.RunTensor({{"x", xa}}, roots[0]);
+  const Tensor fout = MatMul(xa, w);
+  for (int64_t i = 0; i < fout.num_elements(); ++i) {
+    EXPECT_NEAR(qout.at(i), fout.at(i),
+                0.05f * std::max(1.0f, std::abs(fout.at(i))))
+        << "element " << i;
+  }
+}
+
+TEST(QuantizeWeightsPass, VariableWeightNeedsSnapshot) {
+  auto build = [](std::vector<graph::Output>* roots, graph::Graph* g) {
+    graph::GraphContext ctx(g);
+    graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+    graph::Output w = graph::Variable(ctx, "w", DType::kFloat32);
+    *roots = {graph::Op(ctx, "MatMul", {x, w})};
+  };
+
+  // Without a snapshot the Variable MatMul is left alone.
+  {
+    graph::Graph g;
+    std::vector<graph::Output> roots;
+    build(&roots, &g);
+    graph::OptimizeOptions options;
+    options.pipeline = PipelineSpec::Parse("quantize_weights");
+    (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+    EXPECT_EQ(CountOp(g, "QuantizedMatMul"), 0);
+  }
+
+  // With one, the pass freezes the calibration into attrs and
+  // re-quantizes the live variable per run through a Quantize node.
+  graph::Graph g;
+  std::vector<graph::Output> roots;
+  build(&roots, &g);
+  Tensor wv =
+      Tensor::FromVector(DeterministicUniform(8 * 6, 55), Shape({8, 6}));
+  std::map<std::string, Tensor> snapshot{{"w", wv}};
+  graph::OptimizeOptions options;
+  options.pipeline = PipelineSpec::Parse("quantize_weights,dce");
+  options.variable_snapshot = &snapshot;
+  (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+  EXPECT_EQ(CountOp(g, "QuantizedMatMul"), 1);
+  EXPECT_EQ(CountOp(g, "Quantize"), 1);
+  EXPECT_EQ(CountOp(g, "Variable"), 1) << "live variable still read per run";
+
+  const auto findings = verify::VerifyGraphAndRoots(g, roots);
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : findings.front().str());
+
+  exec::Session session(&g);
+  session.SetVariable("w", wv);
+  Tensor xa =
+      Tensor::FromVector(DeterministicUniform(4 * 8, 66), Shape({4, 8}));
+  const Tensor qout = session.RunTensor({{"x", xa}}, roots[0]);
+  const Tensor fout = MatMul(xa, wv);
+  for (int64_t i = 0; i < fout.num_elements(); ++i) {
+    EXPECT_NEAR(qout.at(i), fout.at(i),
+                0.05f * std::max(1.0f, std::abs(fout.at(i))))
+        << "element " << i;
+  }
+}
+
+TEST(QuantizeWeightsPass, DefaultPipelineLeavesGraphAlone) {
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  Tensor w = Tensor::FromVector(DeterministicUniform(4 * 4, 9), Shape({4, 4}));
+  graph::Output wc = graph::Const(ctx, w);
+  std::vector<graph::Output> roots{graph::Op(ctx, "MatMul", {x, wc})};
+  graph::OptimizeOptions options;  // default pipeline: pass is opt-in
+  (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+  EXPECT_EQ(CountOp(g, "QuantizedMatMul"), 0);
+  EXPECT_EQ(CountOp(g, "MatMul"), 1);
+}
+
+TEST(QuantizeWeightsPass, SelectableOnTopOfDefaultSpec) {
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  graph::Output x = graph::Placeholder(ctx, "x", DType::kFloat32);
+  Tensor w = Tensor::FromVector(DeterministicUniform(4 * 4, 9), Shape({4, 4}));
+  graph::Output wc = graph::Const(ctx, w);
+  std::vector<graph::Output> roots{graph::Op(ctx, "MatMul", {x, wc})};
+  graph::OptimizeOptions options;
+  options.pipeline = PipelineSpec::Parse("default,+quantize_weights");
+  (void)graph::Optimize(&g, &roots, &exec::EvaluatePureNode, options);
+  EXPECT_EQ(CountOp(g, "QuantizedMatMul"), 1);
+}
+
+TEST(QuantizeDtypeHonesty, InjectedWrongDtypeFiresAGV104) {
+  // An int8 Const that claims float32 output must be caught — this is
+  // the dtype-honesty net the new int8 dtype threads through.
+  graph::Graph g;
+  Tensor q = Quantize(Tensor::Ones(Shape({2, 2})), 0.1f, 0);
+  graph::Node* c = g.AddNamedNode("w", "Const", {}, {{"value", q}}, 1);
+  c->set_output_dtype(0, DType::kFloat32);  // lie: the value is int8
+  std::vector<graph::Output> roots{graph::Output{c, 0}};
+  const auto findings = verify::VerifyGraphAndRoots(g, roots);
+  bool agv104 = false;
+  for (const auto& f : findings) agv104 |= f.code == "AGV104";
+  EXPECT_TRUE(agv104);
+}
+
+// --- int8 through eval: dtype flows end to end ----------------------------
+
+TEST(QuantizeGraphOps, KernelsRoundTripThroughSession) {
+  graph::Graph g;
+  graph::GraphContext ctx(&g);
+  Tensor w = Tensor::FromVector(DeterministicUniform(6 * 6, 21), Shape({6, 6}));
+  const QuantParams qp = ChooseQuantParams(w);
+  graph::Output wc = graph::Const(ctx, w);
+  graph::Output q = graph::Op(
+      ctx, "Quantize", {wc},
+      {{"scale", static_cast<double>(qp.scale)},
+       {"zero_point", static_cast<int64_t>(qp.zero_point)}});
+  graph::Output back = graph::Op(
+      ctx, "Dequantize", {q},
+      {{"scale", static_cast<double>(qp.scale)},
+       {"zero_point", static_cast<int64_t>(qp.zero_point)}});
+  exec::Session session(&g);
+  const Tensor qt = session.RunTensor({}, q);
+  EXPECT_EQ(qt.dtype(), DType::kInt8);
+  const Tensor bt = session.RunTensor({}, back);
+  EXPECT_EQ(bt.dtype(), DType::kFloat32);
+  for (int64_t i = 0; i < w.num_elements(); ++i) {
+    EXPECT_NEAR(bt.at(i), w.at(i), qp.scale * 0.5f + 1e-7f);
+  }
+}
+
+}  // namespace
+}  // namespace ag
