@@ -1,0 +1,129 @@
+// Serving throughput/latency: what cross-request dynamic batching buys.
+//
+// An in-process ServerCore stages a small elementwise module once, then
+// each benchmark iteration injects an open-loop burst of requests
+// (arrivals are not gated on completions — all 64 hit the admission
+// queue back-to-back, the way concurrent clients would) and waits for
+// the burst to drain. Per-request latency is stamped submit-side, so
+// queue wait is included — the same clock the deadline contract charges.
+//
+// The A/B axis is ServerOptions::max_batch: 1 (off) vs 8 (coalesce up
+// to 8 compatible requests into one stacked Run). Batching amortizes
+// the per-Run dispatch cost (scheduling, feed binding, output
+// collection) across the group, so it should raise req/s without
+// hurting p99 — the acceptance gate for the serving layer. Results are
+// bit-identical either way; tests/serve_test.cc enforces that contract,
+// this benchmark measures its price.
+//
+// Counters:
+//   req/s       completed requests per second (the QPS headline)
+//   p50_us      median submit-to-completion latency
+//   p99_us      tail submit-to-completion latency
+//   batch_max   largest coalesced group the server actually formed
+//
+// CI smoke-runs this and archives the JSON as BENCH_serving.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+
+namespace ag {
+namespace {
+
+using serve::Reply;
+using serve::Request;
+using serve::ServerCore;
+using serve::ServerOptions;
+
+// Elementwise chain: per-request compute is tiny, so per-Run dispatch
+// overhead dominates — exactly the cost dynamic batching amortizes.
+constexpr const char* kServingModule = R"(def dense(x):
+  h = x * 1.25 + 0.5
+  h = h * 0.75 + 0.25
+  return h * 1.1 + 0.1
+)";
+
+constexpr int kBurst = 64;      // requests per open-loop burst
+constexpr int64_t kRowWidth = 256;
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+void BM_Serve_OpenLoopBurst(benchmark::State& state) {
+  const int max_batch = static_cast<int>(state.range(0));
+
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_depth = 4096;
+  options.max_batch = max_batch;
+  options.batch_linger_us = 100;
+  ServerCore core(options);
+  core.LoadSource(kServingModule, "bench_serving.pym");
+  core.Start();
+
+  const Tensor row = Tensor::Full({1, kRowWidth}, 0.5f);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<double> latencies_us;
+  int64_t total = 0;
+  int64_t errors = 0;
+
+  for (auto _ : state) {
+    int pending = kBurst;
+    for (int i = 0; i < kBurst; ++i) {
+      Request request;
+      request.fn = "dense";
+      request.feeds.push_back(row);
+      const int64_t start_ns = obs::NowNs();
+      core.Submit(std::move(request), [&, start_ns](Reply reply) {
+        const double us =
+            static_cast<double>(obs::NowNs() - start_ns) / 1000.0;
+        std::lock_guard<std::mutex> lock(mu);
+        latencies_us.push_back(us);
+        if (!reply.ok) ++errors;
+        if (--pending == 0) cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+    total += kBurst;
+  }
+  core.Stop();
+
+  const serve::ServeStats stats = core.stats();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = Percentile(latencies_us, 0.50);
+  state.counters["p99_us"] = Percentile(latencies_us, 0.99);
+  state.counters["batch_max"] =
+      static_cast<double>(stats.batch_size_max > 0 ? stats.batch_size_max
+                                                   : 1);
+  state.counters["errors"] = static_cast<double>(errors);
+}
+
+BENCHMARK(BM_Serve_OpenLoopBurst)
+    ->ArgName("batch")
+    ->Arg(1)
+    ->Arg(8)
+    ->MinTime(0.3)
+    // The submitting thread mostly sleeps while dispatch workers serve;
+    // wall clock is the meaningful denominator for QPS.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ag

@@ -23,6 +23,9 @@ for b in "${BUILD_DIR}"/bench/bench_*; do
   elif [ "$(basename "$b")" = "bench_kernels" ]; then
     # Machine-readable kernel-backend A/B numbers (GFLOP/s, GB/s per backend).
     extra="--benchmark_out=${BUILD_DIR}/BENCH_kernels.json --benchmark_out_format=json"
+  elif [ "$(basename "$b")" = "bench_serving" ]; then
+    # Machine-readable serving A/B numbers (QPS, p50/p99, batching on/off).
+    extra="--benchmark_out=${BUILD_DIR}/BENCH_serving.json --benchmark_out_format=json"
   fi
   "$b" --benchmark_min_time=0.2 ${extra} 2>&1
   echo

@@ -179,8 +179,12 @@ Value AutoGraph::CallEager(const std::string& fn_name,
   if (options != nullptr && options->interruptible()) {
     cancel.emplace(options->cancel_token, options->deadline_ms,
                    options->inject_cancel_after_kernels,
-                   options->max_while_iterations);
+                   options->max_while_iterations, options->deadline_ns);
     cancel_scope.emplace(&*cancel);
+    // Admission poll: a call whose absolute deadline already passed (or
+    // whose token is already cancelled) fails before interpreting a
+    // single statement.
+    cancel->Poll("CallEager entry");
   }
   // RunOptions::kernel_backend applies to eager dispatch too: the
   // scope pins every tensor kernel the interpreted body calls (and is

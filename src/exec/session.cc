@@ -1,12 +1,14 @@
 #include "exec/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "runtime/parallel_for.h"
@@ -215,9 +217,11 @@ std::vector<RuntimeValue> Session::Run(
           tensor::simd::ParseKernelBackend(options->kernel_backend),
           tensor::simd::Avx2Available());
     }
+    ctx.inject_compile_delay_ms = options->inject_compile_delay_ms;
     if (options->cancellable()) {
       cancel.emplace(options->cancel_token, options->deadline_ms,
-                     options->inject_cancel_after_kernels);
+                     options->inject_cancel_after_kernels,
+                     /*max_while_iterations=*/0, options->deadline_ns);
       ctx.cancel = &*cancel;
     }
   }
@@ -264,6 +268,11 @@ std::vector<RuntimeValue> Session::Run(
 
   std::vector<RuntimeValue> results;
   try {
+    // Admission poll: a run whose (absolute) deadline already passed —
+    // e.g. one that sat in a serving queue — or whose token is already
+    // cancelled fails here, before compiling a plan or launching a
+    // single kernel, so expired work never occupies the engine.
+    if (ctx.cancel != nullptr) ctx.cancel->Poll("Run entry");
     if (ctx.inter_op_threads > 0) {
       const Plan& plan = TopPlanFor(fetches, ctx);
       const std::vector<RuntimeValue> no_args;
@@ -1000,10 +1009,17 @@ const Session::Plan& Session::PlanFor(const FuncGraph& fg, RunCtx& ctx) {
   // duplicate the work, but try_emplace keeps a single winner and
   // node-based map references stay stable.
   const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+  if (ctx.inject_compile_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(ctx.inject_compile_delay_ms));
+  }
   Plan plan = CompilePlan(fg.returns, /*allow_args=*/true);
   if (ctx.rec != nullptr) {
     ctx.rec->RecordPhase("plan_compile", obs::NowNs() - t0);
   }
+  // Cold-cache compiles count against the run's budget: a deadline that
+  // expired while compiling fires here, before any step executes.
+  if (ctx.cancel != nullptr) ctx.cancel->Poll("plan compile");
   std::lock_guard<std::mutex> lock(plan_mu_);
   return plans_.try_emplace(&fg, std::move(plan)).first->second;
 }
@@ -1019,10 +1035,17 @@ const Session::Plan& Session::TopPlanFor(const std::vector<Output>& fetches,
     if (it != top_plans_.end()) return it->second;
   }
   const int64_t t0 = ctx.rec != nullptr ? obs::NowNs() : 0;
+  if (ctx.inject_compile_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(ctx.inject_compile_delay_ms));
+  }
   Plan plan = CompilePlan(fetches, /*allow_args=*/false);
   if (ctx.rec != nullptr) {
     ctx.rec->RecordPhase("plan_compile", obs::NowNs() - t0);
   }
+  // Cold-cache compiles count against the run's budget: a deadline that
+  // expired while compiling fires here, before any step executes.
+  if (ctx.cancel != nullptr) ctx.cancel->Poll("plan compile");
   std::lock_guard<std::mutex> lock(plan_mu_);
   return top_plans_.try_emplace(std::move(key), std::move(plan))
       .first->second;
@@ -1287,7 +1310,9 @@ std::vector<RuntimeValue> Session::RunPlanParallel(
   }
 
   if (run->max_helpers > 0) {
-    runtime::ThreadPool::Shared()->EnsureWorkers(run->max_helpers);
+    // Worker growth is demand-driven: MaybeScheduleHelpers leases
+    // helpers from the shared pool (process-wide capped), and the lease
+    // path grows the pool to the outstanding lease count.
     MaybeScheduleHelpers(run);
   }
   Drain(run, /*is_caller=*/true);
@@ -1422,6 +1447,7 @@ void Session::Drain(const std::shared_ptr<ParallelRun>& run,
 }
 
 void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
+  runtime::ThreadPool* pool = runtime::ThreadPool::Shared();
   int want = 0;
   {
     std::lock_guard<std::mutex> lock(run->mu);
@@ -1429,11 +1455,29 @@ void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
       want = std::min(static_cast<int>(run->ready.size()),
                       run->max_helpers - run->active_helpers);
       if (want < 0) want = 0;
-      run->active_helpers += want;
     }
   }
-  for (int i = 0; i < want; ++i) {
-    runtime::ThreadPool::Shared()->Schedule([run] {
+  if (want == 0) return;
+  // Lease helpers from the shared pool: the grant is bounded by the
+  // process-wide cap, so a storm of concurrent Runs (one per server
+  // connection) shares the machine instead of each claiming its full
+  // inter_op budget. A grant of 0 is fine — the caller drains alone.
+  int granted = pool->TryLendHelpers(want);
+  if (granted == 0) return;
+  {
+    // Re-commit under the run lock: a concurrent MaybeScheduleHelpers
+    // may have scheduled helpers since `want` was computed; return any
+    // leases that would overshoot the run's own budget.
+    std::lock_guard<std::mutex> lock(run->mu);
+    const int room = run->failed ? 0 : run->max_helpers - run->active_helpers;
+    if (granted > room) {
+      pool->ReturnHelpers(granted - room);
+      granted = room < 0 ? 0 : room;
+    }
+    run->active_helpers += granted;
+  }
+  for (int i = 0; i < granted; ++i) {
+    pool->Schedule([run, pool] {
       // Helpers inherit the run's RNG counters, cancel check, and
       // intra-op budget; nested ParallelFor inside a step degrades
       // inline on pool threads via the pool's own IntraOpScope(1).
@@ -1448,8 +1492,11 @@ void Session::MaybeScheduleHelpers(const std::shared_ptr<ParallelRun>& run) {
         backend_scope.emplace(*run->ctx.kernel_backend);
       }
       Drain(run, /*is_caller=*/false);
-      std::lock_guard<std::mutex> lock(run->mu);
-      --run->active_helpers;
+      {
+        std::lock_guard<std::mutex> lock(run->mu);
+        --run->active_helpers;
+      }
+      pool->ReturnHelpers(1);
     });
   }
 }

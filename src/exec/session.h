@@ -242,6 +242,9 @@ class Session {
     runtime::CancelCheck* cancel = nullptr;
     // Finite runaway-loop guard (RunOptions::max_while_iterations).
     int64_t max_while_iterations = int64_t{1} << 31;
+    // Test-only: RunOptions::inject_compile_delay_ms, applied on cold
+    // plan-cache compiles so deadline-vs-compile accounting is testable.
+    int64_t inject_compile_delay_ms = 0;
     // RunOptions::buffer_pool: false pins a tensor::PoolDisableScope for
     // the whole run (including pool helpers), restoring the unpooled
     // allocation path.

@@ -154,8 +154,12 @@ LValue Executor::Run(const std::vector<LValue>& params,
   std::optional<runtime::CancelCheckScope> cancel_scope;
   if (options != nullptr && options->cancellable()) {
     cancel.emplace(options->cancel_token, options->deadline_ms,
-                   options->inject_cancel_after_kernels);
+                   options->inject_cancel_after_kernels,
+                   /*max_while_iterations=*/0, options->deadline_ns);
     cancel_scope.emplace(&*cancel);
+    // Admission poll: an already-expired absolute deadline (or an
+    // already-cancelled token) fails before any op executes.
+    cancel->Poll("Executor::Run entry");
   }
   cancel_ = runtime::CurrentCancelCheck();
   max_call_depth_ =
@@ -218,8 +222,10 @@ std::pair<Tensor, std::vector<Tensor>> Executor::RunWithGradients(
   std::optional<runtime::CancelCheckScope> cancel_scope;
   if (options != nullptr && options->cancellable()) {
     cancel.emplace(options->cancel_token, options->deadline_ms,
-                   options->inject_cancel_after_kernels);
+                   options->inject_cancel_after_kernels,
+                   /*max_while_iterations=*/0, options->deadline_ns);
     cancel_scope.emplace(&*cancel);
+    cancel->Poll("Executor::RunWithGradients entry");
   }
   cancel_ = runtime::CurrentCancelCheck();
   max_call_depth_ =

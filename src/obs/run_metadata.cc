@@ -94,6 +94,10 @@ void RunMetadata::Merge(const RunMetadata& other) {
   unwind_samples_ns.insert(unwind_samples_ns.end(),
                            other.unwind_samples_ns.begin(),
                            other.unwind_samples_ns.end());
+  queue_wait_ns += other.queue_wait_ns;
+  batched_runs += other.batched_runs;
+  batch_requests += other.batch_requests;
+  batch_size_max = std::max(batch_size_max, other.batch_size_max);
   alloc_count += other.alloc_count;
   alloc_bytes += other.alloc_bytes;
   pool_hit_count += other.pool_hit_count;
@@ -109,6 +113,16 @@ std::string RunMetadata::DebugString() const {
   if (interrupted_runs > 0) {
     os << "interrupted: " << interrupted_runs << " run(s), last="
        << interrupt_kind << " unwind=" << FormatNs(unwind_ns) << "\n";
+  }
+  if (queue_wait_ns > 0 || batched_runs > 0) {
+    os << "serving: queue_wait=" << FormatNs(queue_wait_ns);
+    if (batched_runs > 0) {
+      os << " batched_runs=" << batched_runs
+         << " batch_requests=" << batch_requests << " avg_batch="
+         << (batch_requests + batched_runs / 2) / batched_runs
+         << " max_batch=" << batch_size_max;
+    }
+    os << "\n";
   }
   if (alloc_count > 0 || pool_hit_count > 0) {
     const int64_t requests = alloc_count + pool_hit_count;

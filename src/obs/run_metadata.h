@@ -77,8 +77,21 @@ struct RunOptions {
   //
   // deadline_ms: wall-clock budget for one Run(); when exceeded, the
   // run unwinds with Error(kDeadlineExceeded) naming the node and loop
-  // iteration where it stopped. <= 0 (default) = no deadline.
+  // iteration where it stopped. <= 0 (default) = no deadline. This is a
+  // *relative* convenience: it converts to an absolute instant once, at
+  // Run() entry. A caller that retries, queues, or otherwise spans
+  // several Run() calls must use deadline_ns instead — re-passing a
+  // relative budget grants every attempt a fresh full budget.
   int64_t deadline_ms = 0;
+  // deadline_ns: absolute deadline on the monotonic obs::NowNs() clock.
+  // Stamp it once — before admission queues, retry loops, and plan
+  // compilation — and every attempt and phase is charged against the
+  // same instant; a Run() entered after the instant fails immediately
+  // with kDeadlineExceeded, before any kernel executes. Honored by both
+  // Session engines, the eager interpreter, and lantern. When both
+  // deadline fields are set the earlier effective instant wins.
+  // <= 0 (default) = none.
+  int64_t deadline_ns = 0;
   // cancel_token: external cancellation. The token is copied at Run()
   // entry (tokens are shared_ptr views), so the pointed-to token only
   // needs to outlive the Run() call itself. Null = not cancellable.
@@ -97,6 +110,10 @@ struct RunOptions {
   // have started (any engine, any thread), making cancellation at
   // arbitrary kernel boundaries deterministically testable. -1 = off.
   int64_t inject_cancel_after_kernels = -1;
+  // Test-only fault injection: sleep this long on every cold plan-cache
+  // compile, making "the deadline fires during a slow first compile"
+  // deterministically testable. 0 = off.
+  int64_t inject_compile_delay_ms = 0;
 
   // Whether *instrumentation* is requested; threading knobs are
   // deliberately excluded so parallelism never forces profiling.
@@ -104,7 +121,7 @@ struct RunOptions {
   // Whether this run needs a CancelCheck poll object at all; false for
   // every pre-existing call shape, keeping those runs zero-overhead.
   [[nodiscard]] bool cancellable() const {
-    return deadline_ms > 0 || cancel_token != nullptr ||
+    return deadline_ms > 0 || deadline_ns > 0 || cancel_token != nullptr ||
            inject_cancel_after_kernels >= 0;
   }
   // Whether any interruption knob is set, including a custom loop
@@ -176,6 +193,19 @@ struct RunMetadata {
   // Per-interruption unwind latencies (one sample per interrupted run
   // merged in); agprof reports p50/p90/p99/max over these.
   std::vector<int64_t> unwind_samples_ns;
+
+  // Serving columns (filled by serve::ServerCore; zero elsewhere).
+  // Time the merged requests spent in the admission queue before
+  // dispatch — wall time that is invisible to per-op step stats but
+  // charged against each request's absolute deadline.
+  int64_t queue_wait_ns = 0;
+  // Dynamic batching outcome: how many merged requests executed as part
+  // of a coalesced cross-request batch, the cumulative stacked batch
+  // size over those executions, and the largest batch observed.
+  // avg batch = batch_requests / batched_runs.
+  int64_t batched_runs = 0;
+  int64_t batch_requests = 0;
+  int64_t batch_size_max = 0;
 
   // Allocator counters for the merged runs, snapshotted from
   // tensor::BufferPool around each Run(): fresh heap allocations, bytes

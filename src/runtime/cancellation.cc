@@ -12,9 +12,17 @@ thread_local CancelCheck* g_current_cancel_check = nullptr;
 }  // namespace
 
 std::string CancellationToken::reason() const {
-  if (state_ == nullptr) return {};
-  std::lock_guard<std::mutex> lock(state_->mu);
-  return state_->reason;
+  // Nearest cancelled state on the parent chain wins: a child cancelled
+  // for its own reason reports that reason even when an ancestor also
+  // cancelled later.
+  for (const detail::CancelState* s = state_.get(); s != nullptr;
+       s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      return s->reason;
+    }
+  }
+  return {};
 }
 
 void CancellationSource::Cancel(std::string reason) {
@@ -28,13 +36,22 @@ void CancellationSource::Cancel(std::string reason) {
 
 CancelCheck::CancelCheck(const CancellationToken* token, int64_t deadline_ms,
                          int64_t inject_after_kernels,
-                         int64_t max_while_iterations)
+                         int64_t max_while_iterations,
+                         int64_t absolute_deadline_ns)
     : inject_after_(inject_after_kernels),
       max_while_iterations_(max_while_iterations) {
   if (token != nullptr) token_ = *token;
   if (deadline_ms > 0) {
+    // The one relative→absolute conversion: from here on every poll —
+    // across retries sharing this check, plan compiles, and queue waits
+    // under an enclosing check — compares against the same instant.
     deadline_ms_ = deadline_ms;
     deadline_ns_ = obs::NowNs() + deadline_ms * 1000000;
+  }
+  if (absolute_deadline_ns > 0 &&
+      (deadline_ns_ == 0 || absolute_deadline_ns < deadline_ns_)) {
+    deadline_ns_ = absolute_deadline_ns;
+    deadline_ms_ = 0;  // message reports the absolute form (see below)
   }
 }
 
@@ -78,7 +95,11 @@ void CancelCheck::ThrowTripped(bool deadline, const char* site,
                                       std::memory_order_acq_rel);
   std::string msg;
   if (deadline) {
-    msg = "deadline of " + std::to_string(deadline_ms_) + " ms exceeded";
+    msg = deadline_ms_ > 0
+              ? "deadline of " + std::to_string(deadline_ms_) + " ms exceeded"
+              : "absolute deadline exceeded (" +
+                    std::to_string((obs::NowNs() - deadline_ns_) / 1000000) +
+                    " ms past it)";
   } else if (injected_.load(std::memory_order_relaxed)) {
     msg = "run cancelled: fault injection after " +
           std::to_string(inject_after_) + " kernel(s)";

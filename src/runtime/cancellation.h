@@ -36,11 +36,16 @@ namespace ag::runtime {
 namespace detail {
 // Shared flag+reason cell between one CancellationSource and all of its
 // tokens. The flag is the hot path (polled per kernel); the reason is
-// cold (read once, when building the error message).
+// cold (read once, when building the error message). `parent` links a
+// child source to the state of the source it was minted from: a token
+// is cancelled when any state on its parent chain is, so cancelling a
+// parent fans out to every descendant with no registration or callback
+// lifetime protocol — descendants simply observe it at their next poll.
 struct CancelState {
   std::atomic<bool> cancelled{false};
   mutable std::mutex mu;
   std::string reason;
+  std::shared_ptr<const CancelState> parent;  // null for a root source
 };
 }  // namespace detail
 
@@ -50,11 +55,19 @@ class CancellationToken {
  public:
   CancellationToken() = default;
 
+  // True when this token's source — or any ancestor it was created
+  // under — has been cancelled. The walk is one relaxed-length chain of
+  // acquire loads; hierarchies are shallow (server → connection →
+  // request), so the poll stays cheap.
   [[nodiscard]] bool IsCancelled() const {
-    return state_ != nullptr &&
-           state_->cancelled.load(std::memory_order_acquire);
+    for (const detail::CancelState* s = state_.get(); s != nullptr;
+         s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_acquire)) return true;
+    }
+    return false;
   }
-  // The reason passed to Cancel(); empty while not cancelled.
+  // The reason of the nearest cancelled state on the chain (own source
+  // first, then ancestors); empty while not cancelled.
   [[nodiscard]] std::string reason() const;
 
  private:
@@ -65,17 +78,30 @@ class CancellationToken {
   std::shared_ptr<const detail::CancelState> state_;
 };
 
-// The owning side: Cancel() flips every token minted from this source.
-// Thread-safe; the first Cancel's reason wins, later calls are no-ops.
+// The owning side: Cancel() flips every token minted from this source —
+// and, through the parent chain, every token of every child source
+// created from one of this source's tokens. Thread-safe; the first
+// Cancel's reason wins, later calls are no-ops.
 class CancellationSource {
  public:
   CancellationSource()
       : state_(std::make_shared<detail::CancelState>()) {}
 
-  void Cancel(std::string reason = "cancelled");
-  [[nodiscard]] bool IsCancelled() const {
-    return state_->cancelled.load(std::memory_order_acquire);
+  // Hierarchical child: cancelled when either its own Cancel() fires or
+  // the parent token's source (or any of *its* ancestors) cancels.
+  // Built from a token rather than a source so the fan-out crosses
+  // component boundaries — a server hands each connection a token, the
+  // connection mints one child source per request from it, and dropping
+  // the connection cancels every nested staged/eager call each request
+  // spawned. Cancelling a child never affects its parent or siblings.
+  explicit CancellationSource(const CancellationToken& parent)
+      : state_(std::make_shared<detail::CancelState>()) {
+    state_->parent = parent.state_;
   }
+
+  void Cancel(std::string reason = "cancelled");
+  // True when this source (or an ancestor) is cancelled.
+  [[nodiscard]] bool IsCancelled() const { return token().IsCancelled(); }
   [[nodiscard]] CancellationToken token() const {
     return CancellationToken(state_);
   }
@@ -96,13 +122,19 @@ class CancellationSource {
 // RunMetadata can report time-to-unwind.
 class CancelCheck {
  public:
-  // deadline_ms <= 0 means no deadline; inject_after_kernels < 0 means
-  // no fault injection; max_while_iterations <= 0 means no loop bound.
-  // `token` may be null and is copied (tokens are a shared_ptr), so the
+  // deadline_ms <= 0 means no relative deadline; inject_after_kernels
+  // < 0 means no fault injection; max_while_iterations <= 0 means no
+  // loop bound. absolute_deadline_ns is an already-absolute instant on
+  // the obs::NowNs() clock (RunOptions::deadline_ns), stamped by the
+  // caller *before* queueing/retries so the whole span counts; <= 0
+  // means none. deadline_ms converts to an absolute instant exactly
+  // once, here; when both are given the earlier instant wins. `token`
+  // may be null and is copied (tokens are a shared_ptr), so the
   // caller's RunOptions may die before the check.
   CancelCheck(const CancellationToken* token, int64_t deadline_ms,
               int64_t inject_after_kernels = -1,
-              int64_t max_while_iterations = 0);
+              int64_t max_while_iterations = 0,
+              int64_t absolute_deadline_ns = 0);
 
   // Polls every source. `site` describes the boundary ("While node",
   // "kernel", ...), `name` the node/function involved, `iteration` the

@@ -113,14 +113,19 @@ void ParallelForImpl(int64_t n, int64_t grain, int threads,
   loop->cancel = CurrentCancelCheck();
 
   ThreadPool* pool = ThreadPool::Shared();
-  pool->EnsureWorkers(threads - 1);
-  const int helpers = static_cast<int>(
-      std::min<int64_t>(threads - 1, loop->num_shards - 1));
+  // Lease helpers from the shared pool rather than demanding the full
+  // thread budget: the process-wide lease cap keeps many concurrent
+  // sharded kernels (one per serving request) from oversubscribing the
+  // machine. A grant of 0 leaves the caller draining every shard alone
+  // — slower, never wrong.
+  const int helpers = pool->TryLendHelpers(static_cast<int>(
+      std::min<int64_t>(threads - 1, loop->num_shards - 1)));
   for (int h = 0; h < helpers; ++h) {
-    pool->Schedule([loop] {
+    pool->Schedule([loop, pool] {
       // Helpers shard with a budget of 1: nested ParallelFor runs inline.
       IntraOpScope sequential(1);
       loop->Drain();
+      pool->ReturnHelpers(1);
     });
   }
 

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -43,6 +44,44 @@ void ThreadPool::EnsureWorkers(int n) {
 int ThreadPool::num_workers() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(workers_.size());
+}
+
+int ThreadPool::lent_helper_cap() const {
+  const int override_cap = cap_override_.load(std::memory_order_relaxed);
+  if (override_cap > 0) return std::min(override_cap, kMaxWorkers);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  // Callers self-progress alongside their helpers, so lending hw − 1
+  // saturates the machine without oversubscribing it.
+  return std::max(1, std::min(hw - 1, kMaxWorkers));
+}
+
+int ThreadPool::TryLendHelpers(int want) {
+  if (want <= 0) return 0;
+  const int cap = lent_helper_cap();
+  int lent = lent_.load(std::memory_order_relaxed);
+  int granted = 0;
+  for (;;) {
+    granted = std::min(want, cap - lent);
+    if (granted <= 0) return 0;
+    if (lent_.compare_exchange_weak(lent, lent + granted,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const int outstanding = lent + granted;
+  int peak = lent_peak_.load(std::memory_order_relaxed);
+  while (peak < outstanding &&
+         !lent_peak_.compare_exchange_weak(peak, outstanding,
+                                           std::memory_order_relaxed)) {
+  }
+  // Demand-driven growth: workers exist for the leases outstanding
+  // right now, not for the largest budget any run ever requested.
+  EnsureWorkers(outstanding);
+  return granted;
+}
+
+void ThreadPool::ReturnHelpers(int n) {
+  if (n > 0) lent_.fetch_sub(n, std::memory_order_relaxed);
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {

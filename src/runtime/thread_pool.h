@@ -16,6 +16,7 @@
 //     thread-name registry, so Chrome traces render named thread rows.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -49,6 +50,45 @@ class ThreadPool {
 
   [[nodiscard]] int num_workers() const;
 
+  // Helper leases — the process-wide brake on oversubscription.
+  //
+  // Every waiting composite (the Session's parallel drain, ParallelFor)
+  // is self-progressing: the thread that waits claims work itself, and
+  // pool helpers only add speed. Before this accounting, each composite
+  // sized its helper request from its *own* thread budget, so N
+  // concurrent server requests each asking for k helpers grew the
+  // shared pool monotonically toward kMaxWorkers and oversubscribed the
+  // machine. Composites now *lease* helpers: TryLendHelpers grants at
+  // most (cap − outstanding) and grows the pool only to the outstanding
+  // lease count, so total lent helpers — across every concurrent run,
+  // connection, and nested loop — never exceeds the cap. A grant of 0
+  // is always safe (the caller drains alone).
+  //
+  // Returns the number granted (0..want); the caller must return
+  // exactly that many via ReturnHelpers when its helper tasks finish.
+  int TryLendHelpers(int want);
+  void ReturnHelpers(int n);
+
+  // Cap on simultaneously lent helpers: hardware_concurrency − 1
+  // (callers drain too), clamped to [1, kMaxWorkers].
+  [[nodiscard]] int lent_helper_cap() const;
+  // Currently outstanding leases and their high-water mark — the
+  // oversubscription regression tests read these.
+  [[nodiscard]] int lent_helpers() const {
+    return lent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int lent_helpers_peak() const {
+    return lent_peak_.load(std::memory_order_relaxed);
+  }
+  void ResetLentHelpersPeak() {
+    lent_peak_.store(lent_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  // Test-only: override the cap (0 restores the hardware default).
+  void SetLentHelperCapForTesting(int cap) {
+    cap_override_.store(cap, std::memory_order_relaxed);
+  }
+
   // The process-wide shared pool. Created empty on first use; sized by
   // the threading knobs that reach it (EnsureWorkers).
   [[nodiscard]] static ThreadPool* Shared();
@@ -64,6 +104,13 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool shutdown_ = false;
+
+  // Helper-lease accounting (see TryLendHelpers). Atomics, not mu_:
+  // leases are taken/returned on hot scheduling paths and by pool
+  // workers finishing drain tasks.
+  std::atomic<int> lent_{0};
+  std::atomic<int> lent_peak_{0};
+  std::atomic<int> cap_override_{0};
 };
 
 }  // namespace ag::runtime

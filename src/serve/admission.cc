@@ -1,0 +1,142 @@
+#include "serve/admission.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ag::serve {
+
+namespace {
+
+Reply Interrupted(ErrorKind kind, std::string message, int64_t wait_ns) {
+  Reply reply;
+  reply.ok = false;
+  reply.error_kind = kind;
+  reply.error_message = std::move(message);
+  reply.queue_wait_ns = wait_ns;
+  return reply;
+}
+
+}  // namespace
+
+bool AdmissionQueue::Push(Ticket ticket) {
+  ticket.request.enqueue_ns = obs::NowNs();
+  const char* reject_reason = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_ && queue_.size() < max_depth_) {
+      queue_.push_back(std::move(ticket));
+      cv_.notify_one();
+      return true;
+    }
+    reject_reason = shutdown_ ? "server shutting down"
+                              : "admission queue full";
+    ++rejected_full_;
+  }
+  // Reject outside the lock: completions may do socket writes.
+  ticket.done(Interrupted(ErrorKind::kRuntime, reject_reason, 0));
+  return false;
+}
+
+bool AdmissionQueue::CompleteIfDead(Ticket* ticket, int64_t now_ns) {
+  const Request& req = ticket->request;
+  const int64_t wait_ns = now_ns - req.enqueue_ns;
+  if (req.cancel.IsCancelled()) {
+    ++cancelled_;
+    ticket->done(Interrupted(
+        ErrorKind::kCancelled,
+        "run cancelled before dispatch: " + req.cancel.reason(), wait_ns));
+    return true;
+  }
+  if (req.deadline_ns > 0 && now_ns >= req.deadline_ns) {
+    ++expired_;
+    ticket->done(Interrupted(
+        ErrorKind::kDeadlineExceeded,
+        "deadline expired in admission queue (" +
+            std::to_string((now_ns - req.deadline_ns) / 1000000) +
+            " ms past it, waited " + std::to_string(wait_ns / 1000000) +
+            " ms)",
+        wait_ns));
+    return true;
+  }
+  return false;
+}
+
+bool AdmissionQueue::Pop(Ticket* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    while (!queue_.empty()) {
+      Ticket ticket = std::move(queue_.front());
+      queue_.pop_front();
+      // Dead-on-arrival filtering happens outside the lock — the
+      // completion callback may block on a socket write.
+      lock.unlock();
+      if (!CompleteIfDead(&ticket, obs::NowNs())) {
+        *out = std::move(ticket);
+        return true;
+      }
+      lock.lock();
+    }
+    if (shutdown_) return false;
+  }
+}
+
+bool AdmissionQueue::PopGroup(
+    std::vector<Ticket>* out, int max_batch, int64_t linger_us,
+    const std::function<bool(const Request&, const Request&)>& compatible) {
+  out->clear();
+  Ticket leader;
+  if (!Pop(&leader)) return false;
+  out->push_back(std::move(leader));
+  if (max_batch <= 1) return true;
+
+  const int64_t linger_until_ns = obs::NowNs() + linger_us * 1000;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (static_cast<int>(out->size()) < max_batch) {
+    // Claim the first compatible queued ticket; incompatible ones keep
+    // their position for the next group. Dead tickets are completed
+    // outside the lock and the scan restarts from the (new) front.
+    bool progressed = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!compatible(out->front().request, it->request)) continue;
+      Ticket ticket = std::move(*it);
+      queue_.erase(it);
+      lock.unlock();
+      const bool dead = CompleteIfDead(&ticket, obs::NowNs());
+      if (!dead) out->push_back(std::move(ticket));
+      lock.lock();
+      progressed = true;  // erase invalidated `it` — always rescan
+      break;
+    }
+    if (progressed) continue;
+    // Nothing compatible queued right now — linger for arrivals.
+    const int64_t now_ns = obs::NowNs();
+    if (shutdown_ || linger_us <= 0 || now_ns >= linger_until_ns) break;
+    cv_.wait_for(lock,
+                 std::chrono::nanoseconds(linger_until_ns - now_ns));
+  }
+  return true;
+}
+
+void AdmissionQueue::Shutdown() {
+  std::deque<Ticket> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    drained.swap(queue_);
+    cv_.notify_all();
+  }
+  for (Ticket& ticket : drained) {
+    ticket.done(Interrupted(ErrorKind::kRuntime, "server shutting down",
+                            obs::NowNs() - ticket.request.enqueue_ns));
+  }
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ag::serve

@@ -1,0 +1,118 @@
+// Admission queue — the front door between transports and the shared
+// execution Session.
+//
+// Requests enter stamped with an *absolute* deadline
+// (obs::RunOptions::deadline_ns semantics: monotonic obs::NowNs()
+// clock, stamped when the transport read the request, before any
+// queueing). The queue enforces the serving half of the deadline
+// contract: an entry whose deadline passed while it sat queued — or
+// whose cancellation token tripped (client disconnected) — is
+// completed with kDeadlineExceeded / kCancelled at pop time and never
+// reaches the engine, so a backlog of dead requests costs pops, not
+// kernel time.
+//
+// PopGroup is the dynamic-batching hook: it claims one request, then
+// greedily collects already-queued compatible requests (the batcher's
+// predicate decides compatibility) and optionally lingers up to a small
+// window for more — Triton's dynamic_batching {} semantics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/cancellation.h"
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace ag::serve {
+
+// One serving request, transport-independent.
+struct Request {
+  std::string fn;                    // staged function to run
+  std::vector<Tensor> feeds;         // positional feeds
+  int64_t deadline_ns = 0;           // absolute obs::NowNs(); 0 = none
+  runtime::CancellationToken cancel; // per-request token (child of the
+                                     // connection's source); default =
+                                     // never cancelled
+  uint32_t id = 0;                   // transport correlation tag
+  int64_t enqueue_ns = 0;            // stamped by AdmissionQueue::Push
+};
+
+// Outcome delivered to the transport's completion callback.
+struct Reply {
+  bool ok = false;
+  ErrorKind error_kind = ErrorKind::kInternal;
+  std::string error_message;
+  std::vector<Tensor> outputs;
+  int64_t queue_wait_ns = 0;  // admission-queue residency
+  int32_t batch_size = 1;     // > 1: served from a coalesced batch
+};
+
+using Completion = std::function<void(Reply)>;
+
+struct Ticket {
+  Request request;
+  Completion done;
+};
+
+class AdmissionQueue {
+ public:
+  // max_depth bounds queue residency: a Push beyond it is rejected
+  // immediately (completed with kRuntime "admission queue full") so an
+  // overloaded server sheds load instead of growing an unbounded
+  // backlog of requests it will only time out later.
+  explicit AdmissionQueue(size_t max_depth) : max_depth_(max_depth) {}
+
+  // Enqueues (or rejects) the ticket; always takes ownership and always
+  // eventually completes it. Returns false when rejected.
+  bool Push(Ticket ticket);
+
+  // Blocks for one live ticket; expired/cancelled entries encountered
+  // along the way are completed and skipped. Returns false only after
+  // Shutdown() with the queue fully drained.
+  bool Pop(Ticket* out);
+
+  // Batching pop: like Pop, then claims up to max_batch-1 additional
+  // queued tickets accepted by `compatible` (judged against the first
+  // claimed ticket). When fewer are queued and linger_us > 0, waits up
+  // to that long for compatible arrivals to fill the batch. Expired
+  // entries are completed and skipped, never batched.
+  bool PopGroup(std::vector<Ticket>* out, int max_batch, int64_t linger_us,
+                const std::function<bool(const Request&, const Request&)>&
+                    compatible);
+
+  // Wakes all poppers; queued tickets are completed with kRuntime
+  // "server shutting down". Push after Shutdown rejects.
+  void Shutdown();
+
+  [[nodiscard]] size_t depth() const;
+
+  // Counters (monotonic, for ServeStats).
+  [[nodiscard]] int64_t expired_in_queue() const { return expired_; }
+  [[nodiscard]] int64_t cancelled_in_queue() const { return cancelled_; }
+  [[nodiscard]] int64_t rejected_full() const { return rejected_full_; }
+
+ private:
+  // Completes `ticket` with an interruption outcome if it is expired or
+  // cancelled (true = it was dead and has been completed).
+  bool CompleteIfDead(Ticket* ticket, int64_t now_ns);
+
+  const size_t max_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket> queue_;
+  bool shutdown_ = false;
+  // Atomic: bumped by CompleteIfDead outside mu_ (completions run
+  // unlocked because they may block on socket writes).
+  std::atomic<int64_t> expired_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> rejected_full_{0};
+};
+
+}  // namespace ag::serve

@@ -1,0 +1,93 @@
+#include "serve/batcher.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace ag::serve {
+
+namespace {
+
+// Elements per row (product of trailing dims) — rows are contiguous in
+// the dense row-major layout, so stack/slice are pure memcpy.
+int64_t RowElements(const Tensor& t) {
+  return t.shape().dims()[0] > 0 ? t.num_elements() / t.shape().dims()[0]
+                                 : 0;
+}
+
+}  // namespace
+
+bool BatchCompatible(const Request& a, const Request& b) {
+  if (a.fn != b.fn || a.feeds.size() != b.feeds.size()) return false;
+  for (size_t i = 0; i < a.feeds.size(); ++i) {
+    const Tensor& ta = a.feeds[i];
+    const Tensor& tb = b.feeds[i];
+    if (ta.dtype() != tb.dtype()) return false;
+    if (ta.rank() < 1 || ta.rank() != tb.rank()) return false;
+    const auto& da = ta.shape().dims();
+    const auto& db = tb.shape().dims();
+    // Empty rows stack into nothing recoverable; keep them unbatched.
+    if (da[0] <= 0 || db[0] <= 0) return false;
+    for (size_t d = 1; d < da.size(); ++d) {
+      if (da[d] != db[d]) return false;
+    }
+  }
+  return true;
+}
+
+BatchLayout ComputeLayout(const std::vector<Ticket>& group) {
+  BatchLayout layout;
+  layout.offsets.reserve(group.size());
+  layout.rows.reserve(group.size());
+  for (const Ticket& ticket : group) {
+    const int64_t rows = ticket.request.feeds[0].shape().dims()[0];
+    layout.offsets.push_back(layout.total_rows);
+    layout.rows.push_back(rows);
+    layout.total_rows += rows;
+  }
+  return layout;
+}
+
+Tensor StackFeeds(const std::vector<Ticket>& group, size_t feed_index) {
+  const Tensor& first = group.front().request.feeds[feed_index];
+  const int64_t row_elements = RowElements(first);
+  int64_t total_rows = 0;
+  for (const Ticket& ticket : group) {
+    total_rows += ticket.request.feeds[feed_index].shape().dims()[0];
+  }
+  std::vector<float> stacked(
+      static_cast<size_t>(total_rows * row_elements));
+  size_t cursor = 0;
+  for (const Ticket& ticket : group) {
+    const Tensor& t = ticket.request.feeds[feed_index];
+    const auto n = static_cast<size_t>(t.num_elements());
+    std::memcpy(stacked.data() + cursor, t.data(), n * sizeof(float));
+    cursor += n;
+  }
+  std::vector<int64_t> dims = first.shape().dims();
+  dims[0] = total_rows;
+  return Tensor::FromVector(std::move(stacked), Shape(std::move(dims)),
+                            first.dtype());
+}
+
+Tensor SliceRows(const Tensor& stacked, int64_t offset, int64_t rows,
+                 int64_t total_rows) {
+  if (stacked.rank() < 1 || stacked.shape().dims()[0] != total_rows) {
+    throw ValueError(
+        "batched output is not row-wise: expected dim 0 of " +
+        std::to_string(total_rows) + ", got " +
+        (stacked.rank() < 1 ? std::string("a scalar")
+                            : std::to_string(stacked.shape().dims()[0])) +
+        " — function is not batchable");
+  }
+  const int64_t row_elements = RowElements(stacked);
+  std::vector<float> values(static_cast<size_t>(rows * row_elements));
+  std::memcpy(values.data(), stacked.data() + offset * row_elements,
+              values.size() * sizeof(float));
+  std::vector<int64_t> dims = stacked.shape().dims();
+  dims[0] = rows;
+  return Tensor::FromVector(std::move(values), Shape(std::move(dims)),
+                            stacked.dtype());
+}
+
+}  // namespace ag::serve

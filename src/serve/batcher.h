@@ -1,0 +1,54 @@
+// Cross-request dynamic batching — stack, run once, scatter.
+//
+// Requests for the same staged function whose feeds agree on dtype and
+// trailing dims are coalesced: each feed position is stacked along dim
+// 0 (a request's rows become a contiguous block), the function runs
+// ONCE on the stacked feeds, and each output is scattered back by row
+// ranges.
+//
+// Bit-identity contract: this is only valid for row-wise functions —
+// matmul, elementwise chains, anything where output row i depends only
+// on input row i. For those, the stacked kernels perform the exact
+// same float operations in the exact same order per row, so scattered
+// results are bit-identical to unbatched runs (enforced in
+// serve_test). Functions that reduce across dim 0 would silently mix
+// requests; batching is therefore opt-in per server (--batch) and the
+// scatter step cross-checks that output dim 0 equals the total batched
+// rows, falling back to individual runs on mismatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/admission.h"
+#include "tensor/tensor.h"
+
+namespace ag::serve {
+
+// True when `b` may join a batch led by `a`: same function, same feed
+// count, and every feed pair has the same dtype, rank >= 1, and equal
+// trailing dims (dim 0 — the batch dim — may differ).
+[[nodiscard]] bool BatchCompatible(const Request& a, const Request& b);
+
+// Stacks feed position `feed_index` of all requests along dim 0.
+[[nodiscard]] Tensor StackFeeds(const std::vector<Ticket>& group,
+                                size_t feed_index);
+
+// Row extents of each request's block in the stacked batch:
+// request r owns rows [offsets[r], offsets[r] + rows[r]).
+struct BatchLayout {
+  std::vector<int64_t> offsets;
+  std::vector<int64_t> rows;
+  int64_t total_rows = 0;
+};
+
+[[nodiscard]] BatchLayout ComputeLayout(const std::vector<Ticket>& group);
+
+// Slices rows [offset, offset + rows) of a stacked output back out.
+// Throws Error(kValue) when the output's dim 0 is not the batch total
+// (the function was not row-wise) — the caller falls back to
+// per-request runs.
+[[nodiscard]] Tensor SliceRows(const Tensor& stacked, int64_t offset,
+                               int64_t rows, int64_t total_rows);
+
+}  // namespace ag::serve

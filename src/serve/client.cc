@@ -1,0 +1,95 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "support/error.h"
+
+namespace ag::serve {
+
+Client::Client(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw RuntimeError(std::string("agserve client: socket failed: ") +
+                       std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw RuntimeError("agserve client: cannot connect to 127.0.0.1:" +
+                       std::to_string(port) + ": " + why);
+  }
+  // Requests are single small frames; don't let Nagle hold them back.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+WireResponse Client::Call(const std::string& fn, std::vector<Tensor> feeds,
+                          int64_t deadline_ms) {
+  WireRequest request;
+  request.kind = MessageKind::kRun;
+  request.request_id = next_id_++;
+  request.fn = fn;
+  request.deadline_ms = deadline_ms;
+  request.feeds.reserve(feeds.size());
+  for (Tensor& t : feeds) {
+    request.feeds.push_back(WireFeed{"", std::move(t)});
+  }
+  WriteFrame(fd_, EncodeRequest(request));
+  std::string payload;
+  if (!ReadFrame(fd_, &payload)) {
+    throw RuntimeError("agserve client: server closed the connection");
+  }
+  return DecodeResponse(payload);
+}
+
+bool Client::Ping() {
+  WireRequest request;
+  request.kind = MessageKind::kPing;
+  request.request_id = next_id_++;
+  WriteFrame(fd_, EncodeRequest(request));
+  std::string payload;
+  if (!ReadFrame(fd_, &payload)) return false;
+  return DecodeResponse(payload).ok;
+}
+
+bool Client::RequestShutdown() {
+  WireRequest request;
+  request.kind = MessageKind::kShutdown;
+  request.request_id = next_id_++;
+  WriteFrame(fd_, EncodeRequest(request));
+  std::string payload;
+  if (!ReadFrame(fd_, &payload)) return false;
+  return DecodeResponse(payload).ok;
+}
+
+void Client::Drop() {
+  // shutdown() only: it poisons the socket and wakes any thread blocked
+  // in Call()'s read. close() must wait for the destructor — closing
+  // here would free the fd number for reuse while that reader is still
+  // blocked on it.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace ag::serve

@@ -1,0 +1,242 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ag::serve {
+
+namespace {
+
+// Append/read little-endian scalars through memcpy (alignment-safe; the
+// container targets little-endian hosts, see the header contract).
+template <typename T>
+void Put(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+// Bounds-checked cursor over a decode buffer.
+struct Reader {
+  const std::string& buf;
+  size_t pos = 0;
+
+  template <typename T>
+  T Get() {
+    if (buf.size() - pos < sizeof(T)) {
+      throw ValueError("agserve protocol: truncated frame (need " +
+                       std::to_string(sizeof(T)) + " bytes at offset " +
+                       std::to_string(pos) + " of " +
+                       std::to_string(buf.size()) + ")");
+    }
+    T value;
+    std::memcpy(&value, buf.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+
+  std::string GetString(size_t len) {
+    if (buf.size() - pos < len) {
+      throw ValueError("agserve protocol: truncated string of length " +
+                       std::to_string(len) + " at offset " +
+                       std::to_string(pos));
+    }
+    std::string s = buf.substr(pos, len);
+    pos += len;
+    return s;
+  }
+};
+
+void PutTensor(std::string* out, const Tensor& t) {
+  Put<uint8_t>(out, static_cast<uint8_t>(t.dtype()));
+  Put<uint8_t>(out, static_cast<uint8_t>(t.rank()));
+  for (int64_t dim : t.shape().dims()) Put<int64_t>(out, dim);
+  out->append(reinterpret_cast<const char*>(t.data()),
+              static_cast<size_t>(t.num_elements()) * sizeof(float));
+}
+
+Tensor GetTensor(Reader* r) {
+  const auto dtype_code = r->Get<uint8_t>();
+  if (dtype_code > static_cast<uint8_t>(DType::kInt8)) {
+    throw ValueError("agserve protocol: unknown dtype code " +
+                     std::to_string(dtype_code));
+  }
+  const auto rank = r->Get<uint8_t>();
+  std::vector<int64_t> dims;
+  dims.reserve(rank);
+  const int64_t max_elements =
+      static_cast<int64_t>(kMaxFrameBytes / sizeof(float));
+  int64_t elements = 1;
+  for (int i = 0; i < rank; ++i) {
+    const auto dim = r->Get<int64_t>();
+    if (dim < 0 || dim > max_elements ||
+        (dim > 0 && elements > max_elements / dim)) {
+      throw ValueError("agserve protocol: implausible tensor dimension " +
+                       std::to_string(dim));
+    }
+    elements *= dim;
+    dims.push_back(dim);
+  }
+  std::vector<float> values(static_cast<size_t>(elements));
+  const std::string raw =
+      r->GetString(static_cast<size_t>(elements) * sizeof(float));
+  std::memcpy(values.data(), raw.data(), raw.size());
+  return Tensor::FromVector(std::move(values), Shape(std::move(dims)),
+                            static_cast<DType>(dtype_code));
+}
+
+}  // namespace
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string out;
+  Put<uint8_t>(&out, static_cast<uint8_t>(request.kind));
+  Put<uint32_t>(&out, request.request_id);
+  if (request.kind != MessageKind::kRun) return out;
+  Put<uint16_t>(&out, static_cast<uint16_t>(request.fn.size()));
+  out += request.fn;
+  Put<int64_t>(&out, request.deadline_ms);
+  Put<uint32_t>(&out, static_cast<uint32_t>(request.feeds.size()));
+  for (const WireFeed& feed : request.feeds) {
+    Put<uint16_t>(&out, static_cast<uint16_t>(feed.name.size()));
+    out += feed.name;
+    PutTensor(&out, feed.tensor);
+  }
+  return out;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string out;
+  Put<uint8_t>(&out, response.ok
+                         ? uint8_t{0}
+                         : static_cast<uint8_t>(response.error_kind) + 1);
+  Put<uint32_t>(&out, response.request_id);
+  if (response.ok) {
+    Put<uint32_t>(&out, static_cast<uint32_t>(response.outputs.size()));
+    for (const Tensor& t : response.outputs) PutTensor(&out, t);
+  } else {
+    Put<uint16_t>(&out,
+                  static_cast<uint16_t>(response.error_message.size()));
+    out += response.error_message;
+  }
+  return out;
+}
+
+WireRequest DecodeRequest(const std::string& payload) {
+  Reader r{payload};
+  WireRequest request;
+  const auto kind = r.Get<uint8_t>();
+  if (kind < 1 || kind > 3) {
+    throw ValueError("agserve protocol: unknown request kind " +
+                     std::to_string(kind));
+  }
+  request.kind = static_cast<MessageKind>(kind);
+  request.request_id = r.Get<uint32_t>();
+  if (request.kind != MessageKind::kRun) return request;
+  request.fn = r.GetString(r.Get<uint16_t>());
+  request.deadline_ms = r.Get<int64_t>();
+  const auto num_feeds = r.Get<uint32_t>();
+  if (num_feeds > 4096) {
+    throw ValueError("agserve protocol: implausible feed count " +
+                     std::to_string(num_feeds));
+  }
+  request.feeds.reserve(num_feeds);
+  for (uint32_t i = 0; i < num_feeds; ++i) {
+    WireFeed feed;
+    feed.name = r.GetString(r.Get<uint16_t>());
+    feed.tensor = GetTensor(&r);
+    request.feeds.push_back(std::move(feed));
+  }
+  return request;
+}
+
+WireResponse DecodeResponse(const std::string& payload) {
+  Reader r{payload};
+  WireResponse response;
+  const auto status = r.Get<uint8_t>();
+  response.request_id = r.Get<uint32_t>();
+  if (status == 0) {
+    response.ok = true;
+    const auto num_outputs = r.Get<uint32_t>();
+    if (num_outputs > 4096) {
+      throw ValueError("agserve protocol: implausible output count " +
+                       std::to_string(num_outputs));
+    }
+    response.outputs.reserve(num_outputs);
+    for (uint32_t i = 0; i < num_outputs; ++i) {
+      response.outputs.push_back(GetTensor(&r));
+    }
+  } else {
+    if (status - 1 > static_cast<uint8_t>(ErrorKind::kDeadlineExceeded)) {
+      throw ValueError("agserve protocol: unknown status code " +
+                       std::to_string(status));
+    }
+    response.ok = false;
+    response.error_kind = static_cast<ErrorKind>(status - 1);
+    response.error_message = r.GetString(r.Get<uint16_t>());
+  }
+  return response;
+}
+
+namespace {
+
+bool ReadExactly(int fd, char* out, size_t n, bool* clean_eof) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r == 0) {
+      if (clean_eof != nullptr && got == 0) {
+        *clean_eof = true;
+        return false;
+      }
+      throw RuntimeError("agserve protocol: connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("agserve protocol: read failed: ") +
+                         std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadFrame(int fd, std::string* payload) {
+  uint32_t len = 0;
+  bool clean_eof = false;
+  if (!ReadExactly(fd, reinterpret_cast<char*>(&len), sizeof(len),
+                   &clean_eof)) {
+    return false;  // peer closed between frames
+  }
+  if (len > kMaxFrameBytes) {
+    throw RuntimeError("agserve protocol: frame of " + std::to_string(len) +
+                       " bytes exceeds the " +
+                       std::to_string(kMaxFrameBytes) + " byte limit");
+  }
+  payload->resize(len);
+  if (len > 0) ReadExactly(fd, payload->data(), len, nullptr);
+  return true;
+}
+
+void WriteFrame(int fd, const std::string& payload) {
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::string framed;
+  framed.reserve(sizeof(len) + payload.size());
+  framed.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  framed += payload;
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t w = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeError(std::string("agserve protocol: write failed: ") +
+                         std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace ag::serve

@@ -1,0 +1,81 @@
+// agserve wire protocol — length-prefixed binary frames over TCP.
+//
+// Every message is one frame: a little-endian u32 payload length
+// followed by the payload (tensors are sent as their raw float storage;
+// the protocol is host-endian and intended for same-architecture
+// client/server pairs, like Triton's shared-memory fast path).
+//
+//   Request payload:
+//     u8  kind            (1 = run, 2 = ping, 3 = shutdown)
+//     u32 request_id      (echoed in the response; correlates pipelined
+//                          requests on one connection)
+//     u16 fn_len, bytes   (kRun only: staged function name)
+//     i64 deadline_ms     (kRun only: relative client budget; the server
+//                          stamps it into an absolute deadline at frame
+//                          *read* time, so queue wait counts. 0 = none)
+//     u32 num_feeds       (kRun only), then per feed:
+//       u16 name_len, bytes  (may be empty: positional binding)
+//       u8  dtype            (DType code)
+//       u8  rank, i64 dims[rank]
+//       f32 data[num_elements]
+//
+//   Response payload:
+//     u8  status          (0 = ok, else ErrorKind + 1)
+//     u32 request_id
+//     ok:    u32 num_outputs, then tensors (feed encoding, empty names)
+//     error: u16 msg_len, bytes
+//
+// Encode/Decode work on std::string buffers so they are unit-testable
+// without sockets; ReadFrame/WriteFrame do the blocking fd I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace ag::serve {
+
+enum class MessageKind : uint8_t { kRun = 1, kPing = 2, kShutdown = 3 };
+
+struct WireFeed {
+  std::string name;  // empty = positional
+  Tensor tensor;
+};
+
+struct WireRequest {
+  MessageKind kind = MessageKind::kRun;
+  uint32_t request_id = 0;
+  std::string fn;
+  int64_t deadline_ms = 0;
+  std::vector<WireFeed> feeds;
+};
+
+struct WireResponse {
+  uint32_t request_id = 0;
+  bool ok = false;
+  ErrorKind error_kind = ErrorKind::kInternal;
+  std::string error_message;
+  std::vector<Tensor> outputs;
+};
+
+[[nodiscard]] std::string EncodeRequest(const WireRequest& request);
+[[nodiscard]] std::string EncodeResponse(const WireResponse& response);
+
+// Throw Error(kValue) on malformed payloads (truncated, bad dtype code,
+// oversized counts) — the server must survive garbage bytes.
+[[nodiscard]] WireRequest DecodeRequest(const std::string& payload);
+[[nodiscard]] WireResponse DecodeResponse(const std::string& payload);
+
+// Blocking frame I/O over a connected socket. WriteFrame writes the
+// length prefix + payload; ReadFrame reads one whole frame into
+// `payload`, returning false on clean EOF before any byte of a frame.
+// Both throw Error(kRuntime) on I/O errors or a frame longer than
+// kMaxFrameBytes (a corrupt prefix must not trigger a giant allocation).
+inline constexpr uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+bool ReadFrame(int fd, std::string* payload);
+void WriteFrame(int fd, const std::string& payload);
+
+}  // namespace ag::serve

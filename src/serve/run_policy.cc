@@ -1,0 +1,80 @@
+#include "serve/run_policy.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/trace.h"
+#include "runtime/cancellation.h"
+
+namespace ag::serve {
+
+namespace {
+
+bool Retryable(const Error& e) {
+  return e.kind() == ErrorKind::kDeadlineExceeded ||
+         e.kind() == ErrorKind::kCancelled;
+}
+
+}  // namespace
+
+void RunWithPolicy(const RunPolicy& policy, const obs::RunOptions& base,
+                   const std::function<void(const obs::RunOptions&)>& attempt,
+                   PolicyOutcome* outcome) {
+  // Convert the budget to an absolute instant ONCE — this is the whole
+  // point. deadline_ms would re-arm per attempt; deadline_ns cannot.
+  obs::RunOptions options = base;
+  options.deadline_ms = 0;
+  int64_t budget_deadline_ns = options.deadline_ns;
+  if (policy.total_budget_ms > 0) {
+    const int64_t from_budget =
+        obs::NowNs() + policy.total_budget_ms * 1000000;
+    if (budget_deadline_ns == 0 || from_budget < budget_deadline_ns) {
+      budget_deadline_ns = from_budget;
+    }
+  }
+  if (base.deadline_ms > 0) {
+    const int64_t from_relative = obs::NowNs() + base.deadline_ms * 1000000;
+    if (budget_deadline_ns == 0 || from_relative < budget_deadline_ns) {
+      budget_deadline_ns = from_relative;
+    }
+  }
+  options.deadline_ns = budget_deadline_ns;
+  if (outcome != nullptr) outcome->budget_deadline_ns = budget_deadline_ns;
+
+  const int max_attempts = std::max(1, policy.max_attempts);
+  int64_t backoff_ms = std::max<int64_t>(1, policy.initial_backoff_ms);
+  for (int i = 1;; ++i) {
+    if (outcome != nullptr) outcome->attempts = i;
+    try {
+      attempt(options);
+      return;
+    } catch (const Error& e) {
+      if (!Retryable(e) || i >= max_attempts) throw;
+      // A cancelled token means the caller is gone — retrying would
+      // run work nobody can receive.
+      if (options.cancel_token != nullptr &&
+          options.cancel_token->IsCancelled()) {
+        throw;
+      }
+      if (budget_deadline_ns > 0) {
+        const int64_t left_ns = budget_deadline_ns - obs::NowNs();
+        if (left_ns <= 0) throw;  // budget gone: the failure stands
+        // Clamp the sleep so backoff never outlives the budget. The
+        // clamp is in nanoseconds: truncating to whole milliseconds
+        // turns a sub-millisecond remainder into a zero-length sleep,
+        // and the loop would busy-spin attempts through the budget's
+        // final fraction of a millisecond instead of expiring.
+        const int64_t sleep_ns = std::min(backoff_ms * 1000000, left_ns);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+      backoff_ms = static_cast<int64_t>(
+          static_cast<double>(backoff_ms) *
+          std::max(1.0, policy.backoff_multiplier));
+    }
+  }
+}
+
+}  // namespace ag::serve

@@ -1,0 +1,51 @@
+// RunPolicy — bounded retry with backoff over interruptible runs.
+//
+// The policy exists because of the deadline_ms footgun this PR fixes:
+// a *relative* deadline re-arms on every attempt, so a retry loop
+// passing `deadline_ms` grants each attempt a fresh budget and a
+// 3-attempt policy can burn 3x the client's wall clock. RunWithPolicy
+// instead converts the total budget to an *absolute* deadline_ns
+// exactly once, before attempt 1, and threads that one instant through
+// every attempt's RunOptions — all attempts, and the backoff sleeps
+// between them, are charged against a single wall budget.
+//
+// Only kDeadlineExceeded and kCancelled are retried: these are
+// interruptions of a healthy session (another request's storm, a
+// transient overload), not evidence the computation itself is broken.
+// A cancelled *token* is never retried — the client is gone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/run_metadata.h"
+#include "support/error.h"
+
+namespace ag::serve {
+
+struct RunPolicy {
+  int max_attempts = 1;          // 1 = no retry
+  int64_t total_budget_ms = 0;   // absolute wall budget, 0 = none
+  int64_t initial_backoff_ms = 1;
+  double backoff_multiplier = 2.0;
+};
+
+struct PolicyOutcome {
+  int attempts = 0;              // attempts actually made
+  int64_t budget_deadline_ns = 0;  // the single absolute deadline used
+};
+
+// Invokes `attempt` with RunOptions pre-stamped with the policy's
+// absolute deadline (merged with any deadline already present in
+// `base`: the earlier instant wins). Retries kDeadlineExceeded /
+// kCancelled failures, sleeping the (budget-clamped) backoff between
+// attempts, until an attempt succeeds, a non-retryable error is
+// thrown, attempts are exhausted, or the shared budget has expired —
+// whichever is first. The last error is rethrown unchanged.
+//
+// `attempt` receives the options to pass to Run/CallEager verbatim.
+void RunWithPolicy(const RunPolicy& policy, const obs::RunOptions& base,
+                   const std::function<void(const obs::RunOptions&)>& attempt,
+                   PolicyOutcome* outcome = nullptr);
+
+}  // namespace ag::serve

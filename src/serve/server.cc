@@ -1,0 +1,512 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "lang/parser.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+
+namespace ag::serve {
+
+std::string ServeStats::DebugString() const {
+  std::ostringstream os;
+  os << "serve stats: submitted=" << submitted << " ok=" << succeeded
+     << " failed=" << failed << " expired_in_queue=" << expired_in_queue
+     << " cancelled_in_queue=" << cancelled_in_queue
+     << " rejected_full=" << rejected_full;
+  if (batched_runs > 0) {
+    os << " batched_runs=" << batched_runs
+       << " batch_requests=" << batch_requests
+       << " batch_size_max=" << batch_size_max;
+  }
+  return os.str();
+}
+
+ServerCore::ServerCore(ServerOptions options)
+    : options_(std::move(options)), queue_(options_.queue_depth) {}
+
+ServerCore::~ServerCore() { Stop(); }
+
+void ServerCore::LoadSource(const std::string& source,
+                            const std::string& path) {
+  agc_.LoadSource(source, path);
+  const lang::ModulePtr module = lang::ParseStr(source, path);
+  for (const lang::StmtPtr& stmt : module->body) {
+    if (stmt->kind != lang::StmtKind::kFunctionDef) continue;
+    const std::string name =
+        lang::Cast<lang::FunctionDefStmt>(stmt)->name;
+    try {
+      const size_t num_params =
+          agc_.GetGlobal(name).AsFunction()->params.size();
+      std::vector<core::StageArg> stage_args;
+      stage_args.reserve(num_params);
+      for (size_t i = 0; i < num_params; ++i) {
+        stage_args.push_back(
+            core::StageArg::Placeholder("arg" + std::to_string(i)));
+      }
+      fns_.emplace(name, agc_.Stage(name, stage_args));
+    } catch (const Error& e) {
+      staging_errors_.push_back(name + ": " + e.what());
+    }
+  }
+}
+
+std::vector<std::string> ServerCore::functions() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) names.push_back(name);
+  return names;
+}
+
+void ServerCore::Start() {
+  if (started_) return;
+  started_ = true;
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ServerCore::Stop() {
+  if (!started_) return;
+  queue_.Shutdown();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  started_ = false;
+}
+
+void ServerCore::Submit(Request request, Completion done) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  queue_.Push(Ticket{std::move(request), std::move(done)});
+}
+
+Reply ServerCore::Call(Request request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Reply result;
+  Submit(std::move(request), [&](Reply reply) {
+    std::lock_guard<std::mutex> lock(mu);
+    result = std::move(reply);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return result;
+}
+
+obs::RunOptions ServerCore::OptionsFor(const Request& request) const {
+  obs::RunOptions options;
+  options.trace = false;
+  options.step_stats = false;
+  options.inter_op_threads = options_.inter_op_threads;
+  options.intra_op_threads = options_.intra_op_threads;
+  options.deadline_ns = request.deadline_ns;
+  options.cancel_token = &request.cancel;
+  return options;
+}
+
+void ServerCore::RecordOutcome(const Reply& reply,
+                               obs::RunMetadata run_meta) {
+  run_meta.queue_wait_ns = reply.queue_wait_ns;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (reply.ok) {
+    ++stats_.succeeded;
+  } else {
+    ++stats_.failed;
+  }
+  meta_.Merge(run_meta);
+}
+
+void ServerCore::WorkerLoop() {
+  const bool batching = options_.max_batch > 1;
+  while (true) {
+    std::vector<Ticket> group;
+    if (batching) {
+      if (!queue_.PopGroup(&group, options_.max_batch,
+                           options_.batch_linger_us, BatchCompatible)) {
+        break;
+      }
+    } else {
+      Ticket one;
+      if (!queue_.Pop(&one)) break;
+      group.push_back(std::move(one));
+    }
+    ServeGroup(std::move(group));
+  }
+}
+
+void ServerCore::ServeOne(Ticket ticket, int64_t dispatch_ns) {
+  Reply reply;
+  reply.queue_wait_ns = dispatch_ns - ticket.request.enqueue_ns;
+  obs::RunMetadata run_meta;
+  auto it = fns_.find(ticket.request.fn);
+  if (it == fns_.end()) {
+    reply.error_kind = ErrorKind::kValue;
+    reply.error_message = "unknown function '" + ticket.request.fn + "'";
+    RecordOutcome(reply, std::move(run_meta));
+    ticket.done(std::move(reply));
+    return;
+  }
+  core::StagedFunction& fn = it->second;
+  if (ticket.request.feeds.size() != fn.feed_names.size()) {
+    reply.error_kind = ErrorKind::kValue;
+    reply.error_message =
+        "'" + ticket.request.fn + "' takes " +
+        std::to_string(fn.feed_names.size()) + " feed(s), got " +
+        std::to_string(ticket.request.feeds.size());
+    RecordOutcome(reply, std::move(run_meta));
+    ticket.done(std::move(reply));
+    return;
+  }
+  try {
+    std::vector<exec::RuntimeValue> feeds(ticket.request.feeds.begin(),
+                                          ticket.request.feeds.end());
+    std::vector<exec::RuntimeValue> outputs;
+    RunWithPolicy(options_.policy, OptionsFor(ticket.request),
+                  [&](const obs::RunOptions& run_options) {
+                    outputs = fn.Run(feeds, &run_options, &run_meta);
+                  });
+    reply.ok = true;
+    reply.outputs.reserve(outputs.size());
+    for (exec::RuntimeValue& value : outputs) {
+      const Tensor* t = std::get_if<Tensor>(&value);
+      if (t == nullptr) {
+        throw ValueError("'" + ticket.request.fn +
+                         "' returned a tensor list; agserve serves "
+                         "tensor-valued functions only");
+      }
+      reply.outputs.push_back(*t);
+    }
+  } catch (const Error& e) {
+    reply.ok = false;
+    reply.outputs.clear();
+    reply.error_kind = e.kind();
+    reply.error_message = e.what();
+  }
+  RecordOutcome(reply, std::move(run_meta));
+  ticket.done(std::move(reply));
+}
+
+void ServerCore::ServeGroup(std::vector<Ticket> group) {
+  const int64_t dispatch_ns = obs::NowNs();
+  if (group.size() == 1) {
+    ServeOne(std::move(group.front()), dispatch_ns);
+    return;
+  }
+
+  // Batched path. The stacked run uses the group's *earliest* deadline
+  // so the batch never outlives any member's budget, and no per-request
+  // cancel token (one member's disconnect must not kill its
+  // co-batched neighbours). If the stacked run is interrupted or the
+  // function turns out not to be row-wise, fall back to individual
+  // serves — each with its own deadline and token — so only the
+  // genuinely-over-budget members fail.
+  auto it = fns_.find(group.front().request.fn);
+  const bool feed_count_ok =
+      it != fns_.end() &&
+      group.front().request.feeds.size() == it->second.feed_names.size();
+  if (feed_count_ok) {
+    try {
+      const BatchLayout layout = ComputeLayout(group);
+      std::vector<exec::RuntimeValue> feeds;
+      feeds.reserve(group.front().request.feeds.size());
+      for (size_t f = 0; f < group.front().request.feeds.size(); ++f) {
+        feeds.emplace_back(StackFeeds(group, f));
+      }
+      int64_t earliest_deadline = 0;
+      for (const Ticket& ticket : group) {
+        const int64_t d = ticket.request.deadline_ns;
+        if (d > 0 && (earliest_deadline == 0 || d < earliest_deadline)) {
+          earliest_deadline = d;
+        }
+      }
+      obs::RunOptions options;
+      options.trace = false;
+      options.step_stats = false;
+      options.inter_op_threads = options_.inter_op_threads;
+      options.intra_op_threads = options_.intra_op_threads;
+      options.deadline_ns = earliest_deadline;
+
+      obs::RunMetadata run_meta;
+      std::vector<exec::RuntimeValue> outputs;
+      RunWithPolicy(options_.policy, options,
+                    [&](const obs::RunOptions& run_options) {
+                      outputs = it->second.Run(feeds, &run_options,
+                                               &run_meta);
+                    });
+
+      // Scatter: every output must be row-wise over the stacked batch.
+      std::vector<Reply> replies(group.size());
+      for (size_t r = 0; r < group.size(); ++r) {
+        replies[r].ok = true;
+        replies[r].queue_wait_ns =
+            dispatch_ns - group[r].request.enqueue_ns;
+        replies[r].batch_size = static_cast<int32_t>(group.size());
+      }
+      for (exec::RuntimeValue& value : outputs) {
+        const Tensor* t = std::get_if<Tensor>(&value);
+        if (t == nullptr) {
+          throw ValueError("batched function returned a tensor list");
+        }
+        for (size_t r = 0; r < group.size(); ++r) {
+          replies[r].outputs.push_back(SliceRows(
+              *t, layout.offsets[r], layout.rows[r], layout.total_rows));
+        }
+      }
+      run_meta.batched_runs = 1;
+      run_meta.batch_requests = static_cast<int64_t>(group.size());
+      run_meta.batch_size_max = static_cast<int64_t>(group.size());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.batched_runs;
+        stats_.batch_requests += static_cast<int64_t>(group.size());
+        stats_.batch_size_max = std::max(
+            stats_.batch_size_max, static_cast<int64_t>(group.size()));
+      }
+      for (size_t r = 0; r < group.size(); ++r) {
+        run_meta.queue_wait_ns += replies[r].queue_wait_ns;
+        group[r].done(std::move(replies[r]));
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.succeeded += static_cast<int64_t>(group.size());
+        meta_.Merge(run_meta);
+      }
+      return;
+    } catch (const Error&) {
+      // Fall through to individual serves below.
+    }
+  }
+  for (Ticket& ticket : group) {
+    ServeOne(std::move(ticket), dispatch_ns);
+  }
+}
+
+ServeStats ServerCore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServeStats s = stats_;
+  s.expired_in_queue = queue_.expired_in_queue();
+  s.cancelled_in_queue = queue_.cancelled_in_queue();
+  s.rejected_full = queue_.rejected_full();
+  return s;
+}
+
+obs::RunMetadata ServerCore::metadata() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return meta_;
+}
+
+// ---------------------------------------------------------------------
+// TcpServer
+
+// Shared write-side state of one connection. Responses may be written
+// by dispatch threads (completions) while the reader thread is still
+// alive or already gone — all writes go through `mu`, and `closed`
+// makes completion-after-disconnect a silent no-op instead of a write
+// to a dead fd.
+struct TcpServer::Conn {
+  int fd = -1;
+  std::mutex mu;
+  bool closed = false;
+  runtime::CancellationSource source;  // cancelled on disconnect
+
+  // The fd is ::close()d only here, once the reader thread and every
+  // in-flight completion have dropped their shared_ptr — Shutdown()
+  // below merely wakes/poisons it, so no thread can race a reused fd.
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void SendResponse(const WireResponse& response) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (closed) return;
+    try {
+      WriteFrame(fd, EncodeResponse(response));
+    } catch (const Error&) {
+      closed = true;  // peer went away mid-write; reader will notice
+    }
+  }
+
+  // Poisons the socket (wakes a reader blocked in read()) and stops
+  // further writes. Idempotent.
+  void Shutdown() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!closed) {
+      closed = true;
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+};
+
+TcpServer::TcpServer(ServerCore* core, uint16_t port)
+    : core_(core), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw RuntimeError(std::string("agserve: socket failed: ") +
+                       std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw RuntimeError("agserve: cannot listen on port " +
+                       std::to_string(port_) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen fd closed by Stop()
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { ServeConnection(conn); });
+  }
+}
+
+void TcpServer::ServeConnection(std::shared_ptr<Conn> conn) {
+  try {
+    std::string payload;
+    while (ReadFrame(conn->fd, &payload)) {
+      WireRequest request;
+      try {
+        request = DecodeRequest(payload);
+      } catch (const Error& e) {
+        WireResponse bad;
+        bad.ok = false;
+        bad.error_kind = e.kind();
+        bad.error_message = e.what();
+        conn->SendResponse(bad);
+        break;  // framing is untrustworthy after a bad payload
+      }
+      if (request.kind == MessageKind::kPing) {
+        WireResponse pong;
+        pong.ok = true;
+        pong.request_id = request.request_id;
+        conn->SendResponse(pong);
+        continue;
+      }
+      if (request.kind == MessageKind::kShutdown) {
+        WireResponse ack;
+        ack.ok = true;
+        ack.request_id = request.request_id;
+        conn->SendResponse(ack);
+        {
+          std::lock_guard<std::mutex> lock(shutdown_mu_);
+          shutdown_requested_ = true;
+        }
+        shutdown_cv_.notify_all();
+        break;
+      }
+
+      // kRun: stamp the absolute deadline NOW — at frame read, before
+      // the admission queue — so queue wait is charged against it.
+      Request run;
+      run.fn = request.fn;
+      run.id = request.request_id;
+      if (request.deadline_ms > 0) {
+        run.deadline_ns = obs::NowNs() + request.deadline_ms * 1000000;
+      }
+      run.feeds.reserve(request.feeds.size());
+      for (WireFeed& feed : request.feeds) {
+        run.feeds.push_back(std::move(feed.tensor));
+      }
+      // Per-request child source: the connection token is its parent,
+      // so a disconnect fans out to every request of this connection
+      // (and through RunOptions::cancel_token into every nested run).
+      auto request_source = std::make_shared<runtime::CancellationSource>(
+          conn->source.token());
+      run.cancel = request_source->token();
+      const uint32_t id = request.request_id;
+      core_->Submit(std::move(run),
+                    [conn, request_source, id](Reply reply) {
+                      WireResponse response;
+                      response.request_id = id;
+                      response.ok = reply.ok;
+                      response.error_kind = reply.error_kind;
+                      response.error_message =
+                          std::move(reply.error_message);
+                      response.outputs = std::move(reply.outputs);
+                      conn->SendResponse(response);
+                    });
+    }
+  } catch (const Error&) {
+    // I/O error mid-frame: treat like a disconnect.
+  }
+  // Reader gone: cancel everything this connection started, then
+  // poison the socket (the fd closes when the last completion drops
+  // its reference).
+  conn->source.Cancel("client disconnected");
+  conn->Shutdown();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  std::vector<std::thread> threads;
+  std::vector<std::weak_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+    conns.swap(conns_);
+  }
+  // Wake readers blocked in ReadFrame so their threads can exit.
+  for (const std::weak_ptr<Conn>& weak : conns) {
+    if (auto conn = weak.lock()) conn->Shutdown();
+  }
+  for (std::thread& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void TcpServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+}  // namespace ag::serve

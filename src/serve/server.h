@@ -1,0 +1,167 @@
+// agserve server — stage once, serve many.
+//
+// ServerCore is the transport-free heart: it stages every function of a
+// PyMini module ONCE at startup (each staged function owns one
+// exec::Session, safe for concurrent Run()) and then serves requests
+// through an AdmissionQueue drained by a small pool of dispatch
+// threads. This is the paper's economics applied to serving: all
+// conversion/trace/optimize cost is paid at startup, each request pays
+// only graph execution.
+//
+// Per request the dispatcher:
+//   1. charges queue wait against the request's *absolute* deadline
+//      (an expired request is rejected at pop, before any kernel);
+//   2. optionally coalesces compatible queued requests into one
+//      stacked batch (serve/batcher.h) and runs the function once;
+//   3. runs under a RunPolicy so transient kDeadlineExceeded /
+//      kCancelled interruptions retry against the same wall budget;
+//   4. completes the ticket with outputs or a structured error, and
+//      folds queue-wait/batch columns into the cumulative RunMetadata.
+//
+// TcpServer is the transport: an accept loop, one thread per
+// connection, pipelined request_ids, and a per-connection
+// CancellationSource whose token parents every request's source — a
+// dropped connection cancels all of that connection's in-flight and
+// queued work at the next poll.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "obs/run_metadata.h"
+#include "serve/admission.h"
+#include "serve/run_policy.h"
+
+namespace ag::serve {
+
+struct ServerOptions {
+  int workers = 2;             // dispatch threads draining the queue
+  size_t queue_depth = 256;    // admission bound; beyond it, shed load
+  // Dynamic batching: coalesce up to max_batch compatible requests,
+  // lingering up to batch_linger_us for stragglers. 1 = off.
+  int max_batch = 1;
+  int64_t batch_linger_us = 200;
+  // Engine knobs applied to every served Run.
+  int inter_op_threads = 0;
+  int intra_op_threads = 0;
+  // Retry policy for transient interruptions (default: no retry).
+  RunPolicy policy;
+};
+
+struct ServeStats {
+  int64_t submitted = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;          // engine/validation errors incl. timeouts
+  int64_t expired_in_queue = 0;
+  int64_t cancelled_in_queue = 0;
+  int64_t rejected_full = 0;
+  int64_t batched_runs = 0;    // coalesced executions
+  int64_t batch_requests = 0;  // requests served by those executions
+  int64_t batch_size_max = 0;
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServerOptions options);
+  ~ServerCore();  // implies Stop()
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  // Stages every top-level function of the module with one placeholder
+  // per parameter. Functions that fail to stage are skipped and
+  // reported in `staging_errors()` — the server still serves the rest.
+  // Must be called before Start().
+  void LoadSource(const std::string& source, const std::string& path);
+
+  [[nodiscard]] std::vector<std::string> functions() const;
+  [[nodiscard]] const std::vector<std::string>& staging_errors() const {
+    return staging_errors_;
+  }
+
+  void Start();
+  void Stop();
+
+  // Asynchronous entry: always eventually invokes `done`, possibly
+  // inline (rejection) or from a dispatch thread.
+  void Submit(Request request, Completion done);
+
+  // Synchronous convenience (tests, CLI --call): Submit + wait.
+  Reply Call(Request request);
+
+  [[nodiscard]] ServeStats stats() const;
+  // Copy of the cumulative serving metadata (queue-wait/batch columns
+  // plus every served run's counters merged in).
+  [[nodiscard]] obs::RunMetadata metadata() const;
+
+ private:
+  void WorkerLoop();
+  void ServeGroup(std::vector<Ticket> group);
+  // Serves one ticket individually. `queue_wait_ns` was measured at
+  // dispatch; `options` already carries the request's deadline/token.
+  void ServeOne(Ticket ticket, int64_t dispatch_ns);
+  [[nodiscard]] obs::RunOptions OptionsFor(const Request& request) const;
+  void RecordOutcome(const Reply& reply, obs::RunMetadata run_meta);
+
+  const ServerOptions options_;
+  core::AutoGraph agc_;
+  std::map<std::string, core::StagedFunction> fns_;
+  std::vector<std::string> staging_errors_;
+
+  AdmissionQueue queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+  obs::RunMetadata meta_;
+};
+
+// Length-prefixed TCP transport over a ServerCore (protocol.h framing).
+class TcpServer {
+ public:
+  // port 0 = ephemeral; the bound port is available from port() after
+  // Start(). Listens on 127.0.0.1 only.
+  TcpServer(ServerCore* core, uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  void Start();
+  void Stop();
+  // Blocks until a client sends kShutdown (or Stop() is called).
+  void WaitForShutdown();
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+ private:
+  struct Conn;  // shared write-side state, defined in server.cc
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Conn> conn);
+
+  ServerCore* const core_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace ag::serve

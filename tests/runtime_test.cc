@@ -780,6 +780,273 @@ TEST(Cancellation, ParallelForShardsObserveThreadCancelCheck) {
 }
 
 // ---------------------------------------------------------------------
+// Absolute deadlines (RunOptions::deadline_ns)
+
+// Regression: deadline_ms is *relative* — it re-arms at every Run()
+// entry, so a retry loop re-passing it grants each attempt a fresh
+// budget. deadline_ns is stamped once, before the loop, and every
+// attempt is charged against the same instant: attempt 1 consumes the
+// budget, attempts 2..N must fail in microseconds, not deadline_ms
+// each.
+TEST(AbsoluteDeadline, RetriesShareOneWallBudget) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    constexpr int64_t kBudgetMs = 150;
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.deadline_ns = obs::NowNs() + kBudgetMs * 1000000;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::chrono::milliseconds> attempt_ms;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const auto attempt_start = std::chrono::steady_clock::now();
+      try {
+        (void)session.Run({}, outs, &opts);
+        FAIL() << "endless loop cannot complete";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+      }
+      attempt_ms.push_back(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - attempt_start));
+    }
+    const auto total = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    // With the relative-deadline bug each attempt burned a full budget
+    // (~3x kBudgetMs total). Shared absolute budget: attempts after the
+    // first fail at the Run-entry admission poll, long before a fresh
+    // budget would elapse. Generous slack for CI-loaded machines.
+    EXPECT_LT(attempt_ms[1].count(), kBudgetMs) << "inter=" << inter;
+    EXPECT_LT(attempt_ms[2].count(), kBudgetMs) << "inter=" << inter;
+    EXPECT_LT(total.count(), 3 * kBudgetMs) << "inter=" << inter;
+  }
+}
+
+// A Run() entered with its absolute deadline already in the past fails
+// at the entry admission poll — before any kernel executes.
+TEST(AbsoluteDeadline, PreExpiredRunFailsBeforeAnyKernel) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output assigned = Assign(ctx, "touched", x);
+
+  Session session(&g);
+  for (int inter : {0, 2}) {
+    obs::RunOptions opts = ParallelOptions(inter);
+    opts.deadline_ns = obs::NowNs() - 1;  // already expired
+    try {
+      (void)session.Run({{"x", Tensor::Scalar(1.0f)}}, {assigned}, &opts);
+      FAIL() << "expected the pre-expired deadline to reject the run";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+    }
+    // The variable assignment never executed: no kernel ran.
+    EXPECT_FALSE(session.HasVariable("touched")) << "inter=" << inter;
+  }
+}
+
+// Regression: deadline polls used to start only once kernels began
+// executing, so plan-compile time (and anything else between Run()
+// entry and the first kernel) was invisible to the deadline. With the
+// injected compile delay the deadline passes *during* the cold
+// first-compile; the post-compile poll must fire before any kernel.
+TEST(AbsoluteDeadline, FiresWhenCompileTimeConsumesBudget) {
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output assigned = Assign(ctx, "compiled", x);
+
+  Session session(&g);  // fresh: the plan cache is cold
+  obs::RunOptions opts = ParallelOptions(2);
+  opts.deadline_ns = obs::NowNs() + 20 * 1000000;  // 20 ms budget
+  opts.inject_compile_delay_ms = 200;              // compile takes 200 ms
+  try {
+    (void)session.Run({{"x", Tensor::Scalar(1.0f)}}, {assigned}, &opts);
+    FAIL() << "expected the deadline to fire during the slow compile";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+  }
+  EXPECT_FALSE(session.HasVariable("compiled"));
+
+  // Same session, warm cache, same budget: completes easily — the
+  // expired run left the compiled plan behind and the session usable.
+  obs::RunOptions warm = ParallelOptions(2);
+  warm.deadline_ns = obs::NowNs() + 5000 * 1000000LL;
+  warm.inject_compile_delay_ms = 200;  // no cold compile, so no delay
+  auto results =
+      session.Run({{"x", Tensor::Scalar(9.0f)}}, {assigned}, &warm);
+  EXPECT_FLOAT_EQ(AsTensor(results[0]).scalar(), 9.0f);
+}
+
+// When both deadline fields are set, the earlier effective instant
+// wins.
+TEST(AbsoluteDeadline, EarlierOfBothDeadlineFieldsWins) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  // Generous relative budget, tiny absolute budget: absolute wins.
+  obs::RunOptions opts = ParallelOptions(0);
+  opts.deadline_ms = 60000;
+  opts.deadline_ns = obs::NowNs() + 50 * 1000000;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)session.Run({}, outs, &opts), Error);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(30));
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical cancellation
+
+TEST(Cancellation, ParentCancelFansOutToChildren) {
+  runtime::CancellationSource server;
+  runtime::CancellationSource connection(server.token());
+  runtime::CancellationSource request_a(connection.token());
+  runtime::CancellationSource request_b(connection.token());
+
+  EXPECT_FALSE(request_a.IsCancelled());
+  EXPECT_FALSE(request_b.IsCancelled());
+
+  connection.Cancel("client disconnected");
+  // Both requests observe the connection-level cancel, with its reason.
+  EXPECT_TRUE(request_a.token().IsCancelled());
+  EXPECT_TRUE(request_b.token().IsCancelled());
+  EXPECT_EQ(request_a.token().reason(), "client disconnected");
+  // The fan-out never travels upward.
+  EXPECT_FALSE(server.IsCancelled());
+}
+
+TEST(Cancellation, ChildCancelDoesNotAffectParentOrSiblings) {
+  runtime::CancellationSource parent;
+  runtime::CancellationSource child_a(parent.token());
+  runtime::CancellationSource child_b(parent.token());
+
+  child_a.Cancel("only a");
+  EXPECT_TRUE(child_a.IsCancelled());
+  EXPECT_FALSE(parent.IsCancelled());
+  EXPECT_FALSE(child_b.IsCancelled());
+  // The nearest cancelled state's reason wins on the child itself.
+  EXPECT_EQ(child_a.token().reason(), "only a");
+
+  // Cancelling the parent afterwards reaches the untouched sibling and
+  // leaves child_a's own (earlier, nearer) reason in place.
+  parent.Cancel("root teardown");
+  EXPECT_TRUE(child_b.IsCancelled());
+  EXPECT_EQ(child_b.token().reason(), "root teardown");
+  EXPECT_EQ(child_a.token().reason(), "only a");
+}
+
+TEST(Cancellation, ChildTokenInterruptsARun) {
+  Graph g;
+  GraphContext ctx(&g);
+  std::vector<Output> outs = BuildEndlessWhile(ctx);
+
+  Session session(&g);
+  runtime::CancellationSource connection;
+  runtime::CancellationSource request(connection.token());
+  runtime::CancellationToken token = request.token();
+  obs::RunOptions opts = ParallelOptions(2);
+  opts.cancel_token = &token;
+  // Cancel the *parent*: the run polls only the child's token, and must
+  // still observe the fan-out.
+  std::thread killer([&connection] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    connection.Cancel("connection dropped");
+  });
+  try {
+    (void)session.Run({}, outs, &opts);
+    ADD_FAILURE() << "expected the parent cancel to interrupt the run";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kCancelled) << e.what();
+    EXPECT_NE(e.message().find("connection dropped"), std::string::npos)
+        << e.message();
+  }
+  killer.join();
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool helper leases
+
+TEST(ThreadPool, HelperLeasesHonorTheCap) {
+  runtime::ThreadPool* pool = runtime::ThreadPool::Shared();
+  pool->SetLentHelperCapForTesting(4);
+  EXPECT_EQ(pool->lent_helper_cap(), 4);
+  EXPECT_EQ(pool->lent_helpers(), 0);
+
+  EXPECT_EQ(pool->TryLendHelpers(10), 4);  // clamped to the cap
+  EXPECT_EQ(pool->TryLendHelpers(1), 0);   // exhausted
+  pool->ReturnHelpers(2);
+  EXPECT_EQ(pool->TryLendHelpers(3), 2);   // partial re-grant
+  pool->ReturnHelpers(4);
+  EXPECT_EQ(pool->lent_helpers(), 0);
+
+  pool->SetLentHelperCapForTesting(0);  // restore the hardware default
+  EXPECT_GE(pool->lent_helper_cap(), 1);
+  EXPECT_LE(pool->lent_helper_cap(), runtime::ThreadPool::kMaxWorkers);
+}
+
+// Regression: before helper leasing, every concurrent sharded run asked
+// EnsureWorkers for its own full thread budget, so 32 concurrent Runs
+// on a small machine grew the shared pool toward the 64-worker cap and
+// oversubscribed the host. Leases bound *total* helpers across all
+// concurrent runs by the cap, no matter how many runs race.
+TEST(ThreadPool, ConcurrentShardedRunsShareBoundedHelpers) {
+  runtime::ThreadPool* pool = runtime::ThreadPool::Shared();
+  constexpr int kCap = 3;
+  pool->SetLentHelperCapForTesting(kCap);
+  pool->ResetLentHelpersPeak();
+
+  Graph g;
+  GraphContext ctx(&g);
+  Output x = Placeholder(ctx, "x", DType::kFloat32);
+  Output y = Op(ctx, "MatMul", {x, x});
+
+  Session session(&g);
+  const Tensor a = Tensor::Full(Shape({64, 64}), 0.25f);
+  const Tensor expected =
+      AsTensor(session.Run({{"x", a}}, {y})[0]);  // sequential reference
+
+  constexpr int kRuns = 32;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  threads.reserve(kRuns);
+  for (int t = 0; t < kRuns; ++t) {
+    threads.emplace_back([&] {
+      // Each run demands an 8-thread intra-op budget — 32x8 wants far
+      // more helpers than the cap allows.
+      obs::RunOptions opts = ParallelOptions(0, 8);
+      auto out = session.Run({{"x", a}}, {y}, &opts);
+      const Tensor& got = AsTensor(out[0]);
+      if (std::memcmp(got.data(), expected.data(),
+                      sizeof(float) *
+                          static_cast<size_t>(expected.num_elements())) !=
+          0) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The whole storm never had more than kCap helpers out at once.
+  EXPECT_LE(pool->lent_helpers_peak(), kCap);
+  // Every lease comes back; a helper task scheduled late may still be
+  // between its (empty) drain and its ReturnHelpers, so wait briefly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (pool->lent_helpers() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool->lent_helpers(), 0);
+  pool->SetLentHelperCapForTesting(0);
+}
+
+// ---------------------------------------------------------------------
 // Counter-based random streams
 
 TEST(RandomStreams, BitIdenticalAcrossEngines) {

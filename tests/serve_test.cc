@@ -1,0 +1,663 @@
+// Tests for the serving layer (src/serve/): wire protocol round trips,
+// admission-queue deadline rejection, RunPolicy budget sharing,
+// cross-request dynamic batching bit-identity, and the TcpServer's
+// cancel-on-disconnect fan-out — plus the "session survives a storm of
+// expired requests" contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/admission.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/run_policy.h"
+#include "serve/server.h"
+#include "tensor/tensor.h"
+
+namespace ag {
+namespace {
+
+using serve::AdmissionQueue;
+using serve::Client;
+using serve::Completion;
+using serve::Reply;
+using serve::Request;
+using serve::ServerCore;
+using serve::ServerOptions;
+using serve::TcpServer;
+using serve::Ticket;
+
+// Row-wise functions only (output row i depends only on input row i),
+// so cross-request batching is bit-exact; `spin` burns bounded CPU for
+// cancellation tests (bounded so a broken cancel fails instead of
+// hanging the suite).
+constexpr const char* kServeSource = R"(def affine(x):
+  return x * 2.0 + 1.0
+
+def square(x):
+  return x * x
+
+def spin(x):
+  i = x * 0.0
+  while i < 300000.0:
+    i = i + 1.0
+  return tf.minimum(x, i)
+)";
+
+Tensor RowTensor(std::vector<float> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  return Tensor::FromVector(std::move(values), Shape({1, n}));
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.dtype(), b.dtype());
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.num_elements())),
+            0);
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  serve::WireRequest request;
+  request.kind = serve::MessageKind::kRun;
+  request.request_id = 42;
+  request.fn = "affine";
+  request.deadline_ms = 250;
+  request.feeds.push_back(
+      serve::WireFeed{"x", RowTensor({1.0f, 2.5f, -3.0f})});
+
+  const serve::WireRequest decoded =
+      serve::DecodeRequest(serve::EncodeRequest(request));
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.fn, "affine");
+  EXPECT_EQ(decoded.deadline_ms, 250);
+  ASSERT_EQ(decoded.feeds.size(), 1u);
+  EXPECT_EQ(decoded.feeds[0].name, "x");
+  ExpectBitIdentical(decoded.feeds[0].tensor, request.feeds[0].tensor);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsBothOutcomes) {
+  serve::WireResponse ok;
+  ok.request_id = 7;
+  ok.ok = true;
+  ok.outputs.push_back(RowTensor({4.0f, 6.0f}));
+  const serve::WireResponse ok2 =
+      serve::DecodeResponse(serve::EncodeResponse(ok));
+  EXPECT_TRUE(ok2.ok);
+  EXPECT_EQ(ok2.request_id, 7u);
+  ASSERT_EQ(ok2.outputs.size(), 1u);
+  ExpectBitIdentical(ok2.outputs[0], ok.outputs[0]);
+
+  serve::WireResponse err;
+  err.request_id = 8;
+  err.ok = false;
+  err.error_kind = ErrorKind::kDeadlineExceeded;
+  err.error_message = "too slow";
+  const serve::WireResponse err2 =
+      serve::DecodeResponse(serve::EncodeResponse(err));
+  EXPECT_FALSE(err2.ok);
+  EXPECT_EQ(err2.error_kind, ErrorKind::kDeadlineExceeded);
+  EXPECT_EQ(err2.error_message, "too slow");
+}
+
+TEST(ServeProtocol, RejectsGarbagePayloads) {
+  EXPECT_THROW((void)serve::DecodeRequest(""), Error);
+  EXPECT_THROW((void)serve::DecodeRequest("\xff\xff\xff"), Error);
+  // Truncated mid-tensor.
+  serve::WireRequest request;
+  request.fn = "f";
+  request.feeds.push_back(serve::WireFeed{"", RowTensor({1, 2, 3, 4})});
+  std::string bytes = serve::EncodeRequest(request);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW((void)serve::DecodeRequest(bytes), Error);
+}
+
+// ---------------------------------------------------------------------
+// Admission queue
+
+TEST(AdmissionQueueTest, ExpiredEntriesRejectedAtPopNotDispatched) {
+  AdmissionQueue queue(16);
+  std::atomic<int> expired{0};
+  // One live ticket sandwiched between two already-expired ones.
+  auto expired_ticket = [&] {
+    Request r;
+    r.fn = "f";
+    r.deadline_ns = obs::NowNs() - 1;
+    return Ticket{std::move(r), [&](Reply reply) {
+                    EXPECT_FALSE(reply.ok);
+                    EXPECT_EQ(reply.error_kind,
+                              ErrorKind::kDeadlineExceeded);
+                    ++expired;
+                  }};
+  };
+  queue.Push(expired_ticket());
+  Request live;
+  live.fn = "live";
+  live.deadline_ns = obs::NowNs() + int64_t{60} * 1000000000;
+  queue.Push(Ticket{std::move(live), [](Reply) { FAIL(); }});
+  queue.Push(expired_ticket());
+
+  Ticket out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.request.fn, "live");
+  EXPECT_EQ(expired.load(), 1);  // only the one ahead of the live entry
+  EXPECT_EQ(queue.expired_in_queue(), 1);
+}
+
+TEST(AdmissionQueueTest, CancelledEntriesRejectedAtPop) {
+  AdmissionQueue queue(16);
+  runtime::CancellationSource source;
+  Request r;
+  r.fn = "doomed";
+  r.cancel = source.token();
+  std::atomic<bool> done{false};
+  queue.Push(Ticket{std::move(r), [&](Reply reply) {
+                      EXPECT_FALSE(reply.ok);
+                      EXPECT_EQ(reply.error_kind, ErrorKind::kCancelled);
+                      done = true;
+                    }});
+  Request live;
+  live.fn = "live";
+  queue.Push(Ticket{std::move(live), [](Reply) { FAIL(); }});
+  source.Cancel("gone");
+  // Pop skips (and completes) the cancelled entry, returns the live one.
+  Ticket out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.request.fn, "live");
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(queue.cancelled_in_queue(), 1);
+  queue.Shutdown();
+}
+
+TEST(AdmissionQueueTest, BoundedDepthShedsLoad) {
+  AdmissionQueue queue(2);
+  std::atomic<int> rejected{0};
+  for (int i = 0; i < 5; ++i) {
+    Request r;
+    r.fn = "f";
+    queue.Push(Ticket{std::move(r), [&](Reply reply) {
+                        if (!reply.ok) ++rejected;
+                      }});
+  }
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(rejected.load(), 3);
+  EXPECT_EQ(queue.rejected_full(), 3);
+  queue.Shutdown();
+}
+
+// ---------------------------------------------------------------------
+// RunPolicy
+
+TEST(RunPolicyTest, RetriesTransientInterruptionsThenSucceeds) {
+  serve::RunPolicy policy;
+  policy.max_attempts = 3;
+  // A budget far beyond the test's runtime: it arms deadline_ns
+  // without ever being the reason an attempt stops, so all three
+  // attempts deterministically happen even on a loaded machine.
+  policy.total_budget_ms = 600'000;
+  policy.initial_backoff_ms = 1;
+  int calls = 0;
+  int64_t first_deadline = 0;
+  serve::PolicyOutcome outcome;
+  serve::RunWithPolicy(policy, obs::RunOptions{},
+                       [&](const obs::RunOptions& options) {
+                         // Every attempt sees the SAME absolute
+                         // instant — no per-attempt re-arming.
+                         EXPECT_GT(options.deadline_ns, 0);
+                         EXPECT_EQ(options.deadline_ms, 0);
+                         if (first_deadline == 0) {
+                           first_deadline = options.deadline_ns;
+                         }
+                         EXPECT_EQ(options.deadline_ns, first_deadline);
+                         if (++calls < 3) {
+                           throw DeadlineExceededError("transient");
+                         }
+                       },
+                       &outcome);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.budget_deadline_ns, first_deadline);
+}
+
+TEST(RunPolicyTest, NonRetryableErrorsThrowImmediately) {
+  serve::RunPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  EXPECT_THROW(
+      serve::RunWithPolicy(policy, obs::RunOptions{},
+                           [&](const obs::RunOptions&) {
+                             ++calls;
+                             throw ValueError("bad input");
+                           }),
+      Error);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunPolicyTest, AllAttemptsShareOneAbsoluteBudget) {
+  serve::RunPolicy policy;
+  policy.max_attempts = 100;  // budget, not attempts, must stop us
+  policy.total_budget_ms = 300;
+  policy.initial_backoff_ms = 5;
+  int calls = 0;
+  int64_t first_deadline = 0;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    serve::RunWithPolicy(policy, obs::RunOptions{},
+                         [&](const obs::RunOptions& options) {
+                           ++calls;
+                           // Every attempt sees the SAME absolute
+                           // instant — no per-attempt re-arming.
+                           if (first_deadline == 0) {
+                             first_deadline = options.deadline_ns;
+                           }
+                           EXPECT_EQ(options.deadline_ns, first_deadline);
+                           EXPECT_EQ(options.deadline_ms, 0);
+                           throw DeadlineExceededError("still too slow");
+                         });
+    FAIL() << "expected the budget to run out";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDeadlineExceeded) << e.what();
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // The budget — not max_attempts — ended the loop: exponential
+  // backoff affords ~7 attempts inside 300 ms. A re-arming bug hands
+  // every attempt a fresh budget (~28 s of backoff for 100 attempts),
+  // and a sleep-clamp that truncates a sub-millisecond remainder to 0
+  // busy-spins to exactly 100 — both land far above the bound.
+  // calls >= 2 is NOT asserted: on a loaded machine one descheduling
+  // pause can consume the whole budget before a retry fits (the
+  // retries-deterministically-happen half lives in
+  // RetriesTransientInterruptionsThenSucceeds).
+  EXPECT_GE(calls, 1);
+  EXPECT_LT(calls, 20);
+  EXPECT_LT(elapsed.count(), 10000);
+}
+
+// ---------------------------------------------------------------------
+// Batcher
+
+TEST(BatcherTest, StackAndSliceRoundTrip) {
+  Request a, b;
+  a.fn = b.fn = "affine";
+  a.feeds.push_back(Tensor::FromVector({1, 2, 3, 4, 5, 6}, Shape({2, 3})));
+  b.feeds.push_back(Tensor::FromVector({7, 8, 9}, Shape({1, 3})));
+  EXPECT_TRUE(serve::BatchCompatible(a, b));
+
+  std::vector<Ticket> group;
+  group.push_back(Ticket{a, nullptr});
+  group.push_back(Ticket{b, nullptr});
+  const serve::BatchLayout layout = serve::ComputeLayout(group);
+  EXPECT_EQ(layout.total_rows, 3);
+  const Tensor stacked = serve::StackFeeds(group, 0);
+  ASSERT_EQ(stacked.shape(), Shape({3, 3}));
+
+  ExpectBitIdentical(
+      serve::SliceRows(stacked, layout.offsets[0], layout.rows[0], 3),
+      a.feeds[0]);
+  ExpectBitIdentical(
+      serve::SliceRows(stacked, layout.offsets[1], layout.rows[1], 3),
+      b.feeds[0]);
+  // Non-row-wise output (wrong dim 0) is detected, not mis-scattered.
+  EXPECT_THROW(
+      (void)serve::SliceRows(Tensor::FromVector({1, 2}, Shape({2})), 0, 1, 3),
+      Error);
+}
+
+TEST(BatcherTest, IncompatibleRequestsStayUnbatched) {
+  Request a, b, c, d;
+  a.fn = "affine";
+  a.feeds.push_back(RowTensor({1, 2}));
+  b = a;
+  b.fn = "square";  // different function
+  c = a;
+  c.feeds[0] = Tensor::FromVector({1, 2, 3}, Shape({1, 3}));  // dims
+  d = a;
+  d.feeds[0] = Tensor::Scalar(1.0f);  // rank 0: no batch dim
+  EXPECT_FALSE(serve::BatchCompatible(a, b));
+  EXPECT_FALSE(serve::BatchCompatible(a, c));
+  EXPECT_FALSE(serve::BatchCompatible(a, d));
+}
+
+// ---------------------------------------------------------------------
+// ServerCore
+
+ServerOptions BaseOptions() {
+  ServerOptions options;
+  options.workers = 2;
+  return options;
+}
+
+TEST(ServerCoreTest, StagesOnceAndServes) {
+  ServerCore core(BaseOptions());
+  core.LoadSource(kServeSource, "serve_test.pym");
+  EXPECT_TRUE(core.staging_errors().empty());
+  const auto fns = core.functions();
+  EXPECT_EQ(fns.size(), 3u);
+  core.Start();
+
+  Request request;
+  request.fn = "affine";
+  request.feeds.push_back(RowTensor({1.0f, 2.0f}));
+  const Reply reply = core.Call(std::move(request));
+  ASSERT_TRUE(reply.ok) << reply.error_message;
+  ASSERT_EQ(reply.outputs.size(), 1u);
+  EXPECT_FLOAT_EQ(reply.outputs[0].at(0), 3.0f);
+  EXPECT_FLOAT_EQ(reply.outputs[0].at(1), 5.0f);
+  EXPECT_GE(reply.queue_wait_ns, 0);
+
+  Request unknown;
+  unknown.fn = "nope";
+  const Reply bad = core.Call(std::move(unknown));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error_kind, ErrorKind::kValue);
+  core.Stop();
+}
+
+TEST(ServerCoreTest, ConcurrentMixedDeadlineRequests) {
+  ServerOptions options = BaseOptions();
+  options.workers = 4;
+  ServerCore core(options);
+  core.LoadSource(kServeSource, "serve_test.pym");
+  core.Start();
+
+  constexpr int kPerClass = 8;
+  std::atomic<int> ok{0}, deadline{0}, other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(2 * kPerClass);
+  for (int i = 0; i < 2 * kPerClass; ++i) {
+    const bool tight = (i % 2) == 0;
+    threads.emplace_back([&core, &ok, &deadline, &other, tight] {
+      Request request;
+      // Tight-deadline spins are doomed; generous affines must win.
+      request.fn = tight ? "spin" : "affine";
+      request.feeds.push_back(RowTensor({1.0f, 2.0f}));
+      request.deadline_ns =
+          obs::NowNs() + (tight ? 1 : int64_t{60} * 1000000000);
+      const Reply reply = core.Call(std::move(request));
+      if (reply.ok) {
+        ++ok;
+      } else if (reply.error_kind == ErrorKind::kDeadlineExceeded) {
+        ++deadline;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok.load(), kPerClass);
+  EXPECT_EQ(deadline.load(), kPerClass);
+  EXPECT_EQ(other.load(), 0);
+
+  // The shared sessions survived the storm.
+  Request after;
+  after.fn = "affine";
+  after.feeds.push_back(RowTensor({4.0f}));
+  const Reply reply = core.Call(std::move(after));
+  ASSERT_TRUE(reply.ok) << reply.error_message;
+  EXPECT_FLOAT_EQ(reply.outputs[0].at(0), 9.0f);
+  core.Stop();
+}
+
+TEST(ServerCoreTest, SessionUsableAfterStormOfExpiredRequests) {
+  ServerCore core(BaseOptions());
+  core.LoadSource(kServeSource, "serve_test.pym");
+  core.Start();
+
+  std::atomic<int> expired{0};
+  std::atomic<int> completions{0};
+  constexpr int kStorm = 50;
+  for (int i = 0; i < kStorm; ++i) {
+    Request request;
+    request.fn = "affine";
+    request.feeds.push_back(RowTensor({1.0f}));
+    request.deadline_ns = obs::NowNs() - 1;  // dead on arrival
+    core.Submit(std::move(request), [&](Reply reply) {
+      if (!reply.ok &&
+          reply.error_kind == ErrorKind::kDeadlineExceeded) {
+        ++expired;
+      }
+      ++completions;
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (completions.load() < kStorm &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(completions.load(), kStorm);
+  EXPECT_EQ(expired.load(), kStorm);
+
+  Request live;
+  live.fn = "square";
+  live.feeds.push_back(RowTensor({3.0f}));
+  const Reply reply = core.Call(std::move(live));
+  ASSERT_TRUE(reply.ok) << reply.error_message;
+  EXPECT_FLOAT_EQ(reply.outputs[0].at(0), 9.0f);
+  core.Stop();
+}
+
+TEST(ServerCoreTest, BatchedResultsBitIdenticalToUnbatched) {
+  // Reference: an unbatched server.
+  ServerCore reference(BaseOptions());
+  reference.LoadSource(kServeSource, "serve_test.pym");
+  reference.Start();
+
+  constexpr int kRequests = 6;
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(RowTensor({0.5f + static_cast<float>(i),
+                                -1.25f * static_cast<float>(i), 3.0f}));
+    Request request;
+    request.fn = "affine";
+    request.feeds.push_back(inputs.back());
+    const Reply reply = reference.Call(std::move(request));
+    ASSERT_TRUE(reply.ok) << reply.error_message;
+    EXPECT_EQ(reply.batch_size, 1);
+    expected.push_back(reply.outputs[0]);
+  }
+  reference.Stop();
+
+  // Batched server: submit the whole burst BEFORE starting the workers
+  // so one PopGroup deterministically coalesces all of it.
+  ServerOptions batched_options = BaseOptions();
+  batched_options.workers = 1;
+  batched_options.max_batch = kRequests;
+  batched_options.batch_linger_us = 0;
+  ServerCore batched(batched_options);
+  batched.LoadSource(kServeSource, "serve_test.pym");
+
+  std::vector<Reply> replies(kRequests);
+  std::atomic<int> completions{0};
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.fn = "affine";
+    request.feeds.push_back(inputs[i]);
+    batched.Submit(std::move(request), [&replies, &completions, i](Reply r) {
+      replies[i] = std::move(r);
+      ++completions;
+    });
+  }
+  batched.Start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (completions.load() < kRequests &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(completions.load(), kRequests);
+
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(replies[i].ok) << replies[i].error_message;
+    ASSERT_EQ(replies[i].outputs.size(), 1u);
+    EXPECT_EQ(replies[i].batch_size, kRequests) << "request " << i;
+    // THE contract: batched results are bit-identical to unbatched.
+    ExpectBitIdentical(replies[i].outputs[0], expected[i]);
+  }
+  const serve::ServeStats stats = batched.stats();
+  EXPECT_EQ(stats.batched_runs, 1);
+  EXPECT_EQ(stats.batch_requests, kRequests);
+  EXPECT_EQ(stats.batch_size_max, kRequests);
+  // The serving columns reach the cumulative metadata.
+  const obs::RunMetadata meta = batched.metadata();
+  EXPECT_EQ(meta.batched_runs, 1);
+  EXPECT_EQ(meta.batch_size_max, kRequests);
+  EXPECT_NE(meta.DebugString().find("serving:"), std::string::npos);
+  batched.Stop();
+}
+
+TEST(ServerCoreTest, RetryPolicyGivesTransientFailuresASecondChance) {
+  // A server whose policy retries, against requests whose deadline
+  // leaves no room: the retry must NOT re-arm the budget, so the
+  // request still fails within (roughly) its own budget.
+  ServerOptions options = BaseOptions();
+  options.workers = 1;
+  options.policy.max_attempts = 3;
+  options.policy.initial_backoff_ms = 1;
+  ServerCore core(options);
+  core.LoadSource(kServeSource, "serve_test.pym");
+  core.Start();
+
+  Request doomed;
+  doomed.fn = "spin";
+  doomed.feeds.push_back(RowTensor({1.0f}));
+  doomed.deadline_ns = obs::NowNs() + 100 * 1000000;  // 100 ms
+  const auto start = std::chrono::steady_clock::now();
+  const Reply reply = core.Call(std::move(doomed));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error_kind, ErrorKind::kDeadlineExceeded);
+  // 3 re-armed attempts would spin >= 300 ms; one shared budget keeps
+  // the whole thing near 100 ms (margin for CI-loaded machines).
+  EXPECT_LT(elapsed.count(), 250);
+  core.Stop();
+}
+
+// ---------------------------------------------------------------------
+// TcpServer
+
+struct TestServer {
+  ServerCore core;
+  TcpServer tcp;
+
+  explicit TestServer(ServerOptions options = ServerOptions{})
+      : core(std::move(options)), tcp(&core, 0) {
+    core.LoadSource(kServeSource, "serve_test.pym");
+    core.Start();
+    tcp.Start();
+  }
+  ~TestServer() {
+    tcp.Stop();
+    core.Stop();
+  }
+};
+
+TEST(TcpServerTest, ServesCallsOverTheWire) {
+  TestServer server;
+  Client client(server.tcp.port());
+  EXPECT_TRUE(client.Ping());
+
+  const serve::WireResponse response =
+      client.Call("affine", {RowTensor({1.0f, 2.0f, 3.0f})});
+  ASSERT_TRUE(response.ok) << response.error_message;
+  ASSERT_EQ(response.outputs.size(), 1u);
+  EXPECT_FLOAT_EQ(response.outputs[0].at(0), 3.0f);
+  EXPECT_FLOAT_EQ(response.outputs[0].at(2), 7.0f);
+
+  const serve::WireResponse bad = client.Call("missing", {});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error_kind, ErrorKind::kValue);
+}
+
+TEST(TcpServerTest, DeadlineCoversQueueWait) {
+  // One worker, a slow spin in front: the fast request's deadline
+  // expires while it waits in the queue behind the spin.
+  ServerOptions options;
+  options.workers = 1;
+  TestServer server(options);
+
+  Client slow(server.tcp.port());
+  Client fast(server.tcp.port());
+  std::thread spinner([&slow] {
+    (void)slow.Call("spin", {RowTensor({1.0f})});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const serve::WireResponse response =
+      fast.Call("affine", {RowTensor({1.0f})}, /*deadline_ms=*/20);
+  spinner.join();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_kind, ErrorKind::kDeadlineExceeded)
+      << response.error_message;
+}
+
+TEST(TcpServerTest, DisconnectCancelsInFlightWork) {
+  ServerOptions options;
+  options.workers = 2;
+  TestServer server(options);
+
+  // Issue a long-running spin from a thread, then drop the connection
+  // while it runs.
+  Client doomed(server.tcp.port());
+  std::thread caller([&doomed] {
+    try {
+      (void)doomed.Call("spin", {RowTensor({1.0f})});
+    } catch (const Error&) {
+      // Drop() races the reply; either outcome is fine.
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  doomed.Drop();
+  caller.join();
+
+  // The disconnect fans out: the in-flight spin observes the cancelled
+  // connection token and unwinds instead of burning its full loop.
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool cancelled = false;
+  while (std::chrono::steady_clock::now() < wait_deadline) {
+    const serve::ServeStats stats = server.core.stats();
+    if (stats.failed + stats.cancelled_in_queue >= 1) {
+      cancelled = true;
+      break;
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(cancelled);
+
+  // The server survives and serves the next client normally.
+  Client next(server.tcp.port());
+  const serve::WireResponse response =
+      next.Call("square", {RowTensor({5.0f})});
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_FLOAT_EQ(response.outputs[0].at(0), 25.0f);
+}
+
+TEST(TcpServerTest, ShutdownRequestStopsWaitForShutdown) {
+  TestServer server;
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    server.tcp.WaitForShutdown();
+    released = true;
+  });
+  Client client(server.tcp.port());
+  EXPECT_TRUE(client.RequestShutdown());
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+}  // namespace
+}  // namespace ag
