@@ -1,0 +1,181 @@
+// Cold-start: parse→first-result for a .pym module vs load→first-result
+// for its compiled .agc artifact (tools/agc).
+//
+// The paper's staging pipeline amortizes conversion cost across Run()
+// calls within one process; the artifact amortizes it across processes.
+// Each iteration here is one simulated serving-process start on the
+// Table-1 RNN module. Like agserve, a starting process stages EVERY
+// top-level function of the module (rnn_cell and dynamic_rnn) before it
+// can serve the first request — that is the work the artifact replaces:
+//
+//   BM_ColdStart_Pym  parse + convert + trace + optimize + Session +
+//                     plan compile for both functions + first Run —
+//                     everything a fresh process pays before its first
+//                     result;
+//   BM_ColdStart_Agc  mmap the artifact, checksum + verify, rebuild
+//                     graphs, install the serialized plans for both
+//                     functions, first Run. Counters prove the two
+//                     claims: plans_compiled stays 0 (plan caches are
+//                     pre-populated from the file) and load_allocs
+//                     stays ~0 (weights are served zero-copy from the
+//                     mapping, not re-allocated).
+//
+// Two metrics matter and the ISSUE's 10x target applies to the first:
+//
+//   time_to_ready_us  stage/load the module, no request yet. This is
+//                     where artifact load replaces staging 1:1; the
+//                     ratio grows with module size (staging is ~5-7x
+//                     load per function) and with how much of staging
+//                     the workload exercises (autodiff, bigger loop
+//                     bodies). On this 2-function module it is ~5x;
+//                     BM_ColdStart_TimeToReady_* isolates it.
+//   first-result      the headline Time/iter, includes one Run of
+//                     dynamic_rnn. The first Run costs ~50us of
+//                     engine overhead in BOTH arms, which floors the
+//                     ratio near 4x for a module this small no matter
+//                     how fast the load path gets.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/artifact_io.h"
+#include "tensor/allocator.h"
+#include "workloads/rnn.h"
+
+namespace ag::workloads {
+namespace {
+
+// batch=1 / seq_len=2 keeps the first Run itself cheap, so the measured
+// gap is dominated by the cold-start work the artifact eliminates;
+// hidden=256 keeps the weight payloads realistically sized for the
+// mmap story. (seq_len must be >= 2: the dynamic_rnn loop stacks its
+// TensorList, which must be non-empty.)
+RnnConfig ColdStartConfig() {
+  RnnConfig config;
+  config.batch = 1;
+  config.seq_len = 2;
+  config.input_size = 64;
+  config.hidden = 256;
+  return config;
+}
+
+// Stages every top-level function of the RNN module, exactly as a
+// serving process does at startup. Returns the function the first
+// request will hit.
+core::StagedFunction StageRnnModule(core::AutoGraph& agc,
+                                    core::StagedFunction* cell_out) {
+  core::StagedFunction cell = agc.Stage(
+      "rnn_cell", {core::StageArg::Placeholder("x"),
+                   core::StageArg::Placeholder("h")});
+  core::StagedFunction rnn = agc.Stage(
+      "dynamic_rnn",
+      {core::StageArg::Placeholder("input_data"),
+       core::StageArg::Placeholder("initial_state"),
+       core::StageArg::Placeholder("sequence_len", DType::kInt32)});
+  if (cell_out != nullptr) *cell_out = std::move(cell);
+  return rnn;
+}
+
+std::vector<exec::RuntimeValue> FeedsFor(const RnnInputs& inputs) {
+  return {inputs.input_data, inputs.initial_state, inputs.sequence_len};
+}
+
+std::string ArtifactPath() {
+  return (std::filesystem::temp_directory_path() / "bench_coldstart.agc")
+      .string();
+}
+
+// Compiles the 2-function module artifact once, outside timing.
+void WriteModuleArtifact(const RnnInputs& inputs, const std::string& path) {
+  core::AutoGraph agc;
+  InstallRnn(agc, inputs);
+  core::StagedFunction cell;
+  const core::StagedFunction rnn = StageRnnModule(agc, &cell);
+  core::SaveArtifact(path,
+                     {{"rnn_cell", &cell}, {"dynamic_rnn", &rnn}});
+}
+
+// Cold start from source: everything between "process has the .pym"
+// and "process produced its first result".
+void BM_ColdStart_Pym(benchmark::State& state) {
+  const RnnConfig config = ColdStartConfig();
+  const RnnInputs inputs = MakeRnnInputs(config);
+  const std::vector<exec::RuntimeValue> feeds = FeedsFor(inputs);
+  int64_t plans_compiled = 0;
+  for (auto _ : state) {
+    core::AutoGraph agc;
+    InstallRnn(agc, inputs);
+    core::StagedFunction staged = StageRnnModule(agc, nullptr);
+    benchmark::DoNotOptimize(staged.Run(feeds));
+    plans_compiled = staged.session->stats().plans_compiled.load();
+  }
+  state.counters["plans_compiled"] =
+      static_cast<double>(plans_compiled);
+}
+
+// Cold start from the compiled artifact: mmap + decode + install plans
+// + first Run. No parse/convert/trace/optimize/CompilePlan.
+void BM_ColdStart_Agc(benchmark::State& state) {
+  const RnnConfig config = ColdStartConfig();
+  const RnnInputs inputs = MakeRnnInputs(config);
+  const std::vector<exec::RuntimeValue> feeds = FeedsFor(inputs);
+  const std::string path = ArtifactPath();
+  WriteModuleArtifact(inputs, path);
+
+  int64_t load_allocs = 0;
+  int64_t plans_compiled = 0;
+  for (auto _ : state) {
+    const int64_t alloc0 = tensor::ThreadAllocCount();
+    auto fns = core::StageFromArtifact(path);
+    load_allocs = tensor::ThreadAllocCount() - alloc0;
+    core::StagedFunction& staged = fns.at("dynamic_rnn");
+    benchmark::DoNotOptimize(staged.Run(feeds));
+    plans_compiled = staged.session->stats().plans_compiled.load();
+  }
+  // Fresh buffer-pool allocations during load: ~0, because every weight
+  // tensor wraps the read-only file mapping instead of heap memory.
+  state.counters["load_allocs"] = static_cast<double>(load_allocs);
+  state.counters["plans_compiled"] =
+      static_cast<double>(plans_compiled);
+  std::remove(path.c_str());
+}
+
+// Time-to-ready variants: the module is staged/loaded but no request
+// has run. This isolates exactly the work the artifact replaces.
+void BM_ColdStart_TimeToReady_Pym(benchmark::State& state) {
+  const RnnConfig config = ColdStartConfig();
+  const RnnInputs inputs = MakeRnnInputs(config);
+  for (auto _ : state) {
+    core::AutoGraph agc;
+    InstallRnn(agc, inputs);
+    core::StagedFunction staged = StageRnnModule(agc, nullptr);
+    benchmark::DoNotOptimize(staged.session);
+  }
+}
+
+void BM_ColdStart_TimeToReady_Agc(benchmark::State& state) {
+  const RnnConfig config = ColdStartConfig();
+  const RnnInputs inputs = MakeRnnInputs(config);
+  const std::string path = ArtifactPath();
+  WriteModuleArtifact(inputs, path);
+  for (auto _ : state) {
+    auto fns = core::StageFromArtifact(path);
+    benchmark::DoNotOptimize(fns);
+  }
+  std::remove(path.c_str());
+}
+
+BENCHMARK(BM_ColdStart_Pym)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_ColdStart_Agc)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+BENCHMARK(BM_ColdStart_TimeToReady_Pym)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+BENCHMARK(BM_ColdStart_TimeToReady_Agc)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+}  // namespace
+}  // namespace ag::workloads

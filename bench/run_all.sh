@@ -1,33 +1,22 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary and tees the combined output. Pass a build
-# directory as $1 (default: ./build). Afterwards, emits Chrome traces
-# for the example programs via agprof into ${BUILD_DIR}/traces/ (view in
+# directory as $1 (default: ./build). Every benchmark writes a
+# machine-readable JSON twin to ${BUILD_DIR}/BENCH_<name>.json (CI
+# uploads these for regression diffing), and any benchmark failure fails
+# the whole run. Afterwards, emits Chrome traces for the example
+# programs via agprof into ${BUILD_DIR}/traces/ (view in
 # chrome://tracing or Perfetto).
-set -u
+set -euo pipefail
 BUILD_DIR="${1:-build}"
 for b in "${BUILD_DIR}"/bench/bench_*; do
   [ -x "$b" ] || continue
+  name="$(basename "$b")"
   echo "================================================================="
-  echo "== $(basename "$b")"
+  echo "== ${name}"
   echo "================================================================="
-  extra=""
-  if [ "$(basename "$b")" = "bench_parallel_scaling" ]; then
-    # Machine-readable scaling numbers for CI artifacts / regression diffing.
-    extra="--benchmark_out=${BUILD_DIR}/BENCH_parallel.json --benchmark_out_format=json"
-  elif [ "$(basename "$b")" = "bench_memory" ]; then
-    # Machine-readable allocator numbers (allocs/run, hit rate, peak live).
-    extra="--benchmark_out=${BUILD_DIR}/BENCH_memory.json --benchmark_out_format=json"
-  elif [ "$(basename "$b")" = "bench_fusion" ]; then
-    # Machine-readable fusion A/B numbers (kernels/run, allocs/run).
-    extra="--benchmark_out=${BUILD_DIR}/BENCH_fusion.json --benchmark_out_format=json"
-  elif [ "$(basename "$b")" = "bench_kernels" ]; then
-    # Machine-readable kernel-backend A/B numbers (GFLOP/s, GB/s per backend).
-    extra="--benchmark_out=${BUILD_DIR}/BENCH_kernels.json --benchmark_out_format=json"
-  elif [ "$(basename "$b")" = "bench_serving" ]; then
-    # Machine-readable serving A/B numbers (QPS, p50/p99, batching on/off).
-    extra="--benchmark_out=${BUILD_DIR}/BENCH_serving.json --benchmark_out_format=json"
-  fi
-  "$b" --benchmark_min_time=0.2 ${extra} 2>&1
+  "$b" --benchmark_min_time=0.2 \
+    "--benchmark_out=${BUILD_DIR}/BENCH_${name#bench_}.json" \
+    --benchmark_out_format=json 2>&1
   echo
 done
 

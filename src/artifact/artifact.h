@@ -1,0 +1,161 @@
+// .agc compiled artifacts — AutoGraph's AOT deployment format.
+//
+// The paper's economics ("pay for conversion once, run the graph many
+// times") amortize staging cost across Run() calls within one process;
+// this layer amortizes it across *processes*: `agc compile` serializes
+// everything the staged pipeline produced — the optimized graph, every
+// compiled exec::Plan, the variable snapshot, and the raw tensor
+// payloads — into one self-describing binary container, and a loader
+// reconstructs ready-to-run staged functions with zero parse / convert /
+// trace / optimize / CompilePlan work.
+//
+// Container layout (all integers little-endian):
+//
+//   [header, 32 B]  magic "AGC1" | format_version | flags |
+//                   section_count | file_size u64 | table_crc | pad
+//   [section table] section_count x 24 B:
+//                   id | crc32c | offset u64 | size u64
+//   [sections]      meta, graphs, plans, variables, ...
+//   [tensor data]   written LAST, every payload 64-byte aligned, so a
+//                   loader can mmap the file and serve weights zero-copy
+//                   (Tensor::FromExternal over the mapping; in-place
+//                   kernels see CanReuse()==false for mapped buffers).
+//
+// Every section carries a CRC32C checksum verified at load; graph and
+// plan structures are additionally audited by the AGV1xx/AGV2xx static
+// verifiers (src/verify) before a Session ever executes them — a
+// corrupted or hand-edited artifact fails with a structured
+// Error(kValue), never a segfault. Unknown format versions are refused
+// with a clear error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/session.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace ag::artifact {
+
+// ---- Format constants ----------------------------------------------
+
+inline constexpr uint32_t kMagic = 0x31434741u;  // "AGC1" on disk
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderBytes = 32;
+inline constexpr size_t kSectionEntryBytes = 24;
+inline constexpr size_t kTensorAlignment = 64;
+
+enum class SectionId : uint32_t {
+  kMeta = 1,       // producer, source path, pass pipeline, fn names
+  kGraphs = 2,     // per function: graph table (nodes, attrs, subgraphs)
+  kPlans = 3,      // per function: top plan + one plan per While/Cond body
+  kVariables = 4,  // per function: variable store snapshot
+  kTensorData = 5, // raw float payloads, 64-byte aligned, file tail
+};
+
+// "meta" / "graphs" / ... ("section <id>" for unknown ids).
+[[nodiscard]] const char* SectionName(uint32_t id);
+
+// ---- In-memory module ----------------------------------------------
+
+// One staged function, as serialized: everything StagedFunction needs
+// minus the Session (which the load glue in core/ reconstructs).
+struct ArtifactFunction {
+  std::string name;
+  std::vector<std::string> feed_names;
+  bool fetch_was_tuple = false;
+  std::shared_ptr<graph::Graph> graph;
+  std::vector<graph::Output> fetches;
+  // Top-level plan compiled for `fetches` (allow_args=false).
+  exec::Session::Plan top_plan;
+  // One plan per While/Cond FuncGraph (allow_args=true), keyed by the
+  // subgraph it was compiled from — exactly what Session::PlanFor would
+  // have compiled lazily on first execution.
+  std::vector<std::pair<const graph::Graph*, exec::Session::Plan>> sub_plans;
+  // Variable store snapshot (Session::SnapshotVariables at save time).
+  std::map<std::string, Tensor> variables;
+};
+
+struct ArtifactModule {
+  std::string producer;     // e.g. "agc (autograph-cpp)"
+  std::string source_path;  // original .pym path ("" when unknown)
+  std::string pipeline;     // optimization pass pipeline spec
+  std::vector<ArtifactFunction> functions;
+};
+
+// ---- Write ----------------------------------------------------------
+
+// Serializes `module` to `path`. Tensor payloads referenced from graph
+// Const attributes and variable snapshots are deduplicated by buffer
+// identity. Throws Error(kValue) on IO failure, Error(kInternal) on a
+// module that cannot be encoded (e.g. a plan referencing a node outside
+// its function's graphs).
+void WriteArtifact(const std::string& path, const ArtifactModule& module);
+
+// ---- Read -----------------------------------------------------------
+
+struct ReadOptions {
+  // CRC32C-verify every section against the table (truncation and byte
+  // flips anywhere in a section fail structured).
+  bool verify_checksums = true;
+  // Run the AGV1xx graph checkers and AGV2xx plan checkers over every
+  // loaded graph and plan — the guard against CRC-valid but
+  // semantically corrupt (hand-edited) artifacts.
+  bool verify = true;
+  // Serve tensor payloads zero-copy from the file mapping
+  // (Tensor::FromExternal). false copies every payload onto the heap
+  // (the mapping is released when ReadArtifact returns).
+  bool map_tensors = true;
+};
+
+// Per-section inspection record (agc inspect).
+struct SectionInfo {
+  uint32_t id = 0;
+  std::string name;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  bool crc_ok = false;
+};
+
+struct FunctionInfo {
+  std::string name;
+  size_t feeds = 0;
+  size_t graphs = 0;      // 1 + subgraph count
+  size_t nodes = 0;       // across all graphs
+  size_t top_plan_steps = 0;
+  size_t sub_plans = 0;
+  size_t sub_plan_steps = 0;
+  size_t variables = 0;
+};
+
+struct InspectInfo {
+  uint32_t format_version = 0;
+  uint64_t file_size = 0;
+  std::string producer;
+  std::string source_path;
+  std::string pipeline;
+  std::vector<SectionInfo> sections;
+  std::vector<FunctionInfo> functions;
+  uint64_t tensor_bytes = 0;
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+// Loads `path`, mmap'ing the file when possible (falling back to a heap
+// read). With options.map_tensors, every Tensor in the result borrows
+// the mapping read-only; the mapping lives until the last such Tensor
+// is released. Throws Error(kValue) with a structured message on any
+// malformed input: bad magic, unsupported format version, truncation,
+// checksum mismatch, out-of-bounds reference, or an AGV finding.
+// `info`, when non-null, receives the inspection record.
+[[nodiscard]] ArtifactModule ReadArtifact(const std::string& path,
+                                          const ReadOptions& options = {},
+                                          InspectInfo* info = nullptr);
+
+}  // namespace ag::artifact

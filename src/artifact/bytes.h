@@ -1,0 +1,131 @@
+// Internal byte codecs for the .agc container: explicit little-endian
+// primitives with hard bounds checks on the read side. Every reader
+// failure throws Error(kValue) with a message naming the artifact
+// context — malformed bytes must fail structured, never walk off the
+// end of a mapping.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "support/error.h"
+
+namespace ag::artifact {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void Bytes(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  void PadTo(size_t alignment) {
+    while (out_.size() % alignment != 0) out_.push_back('\0');
+  }
+
+  [[nodiscard]] size_t size() const { return out_.size(); }
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  // `what` names the enclosing context ("meta section", ...) so every
+  // failure message says which part of the file is malformed.
+  ByteReader(const uint8_t* data, size_t size, std::string what)
+      : p_(data), end_(data + size), what_(std::move(what)) {}
+
+  [[nodiscard]] size_t remaining() const {
+    return static_cast<size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool AtEnd() const { return p_ == end_; }
+
+  uint8_t U8() {
+    Need(1);
+    return *p_++;
+  }
+  uint32_t U32() {
+    Need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    Need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    Need(n);
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+  // A count that will be used to size a loop or reserve a container:
+  // bounded by the bytes actually remaining (each element costs at
+  // least `min_elem_bytes`), so a corrupted length can never drive an
+  // allocation beyond the file's own size.
+  uint32_t Count(size_t min_elem_bytes) {
+    const uint32_t n = U32();
+    if (min_elem_bytes > 0 &&
+        static_cast<uint64_t>(n) * min_elem_bytes > remaining()) {
+      Fail("element count " + std::to_string(n) +
+           " exceeds the section's remaining bytes");
+    }
+    return n;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ValueError("artifact: malformed " + what_ + ": " + message);
+  }
+
+ private:
+  void Need(size_t n) const {
+    if (remaining() < n) {
+      Fail("unexpected end of data (need " + std::to_string(n) + " bytes, " +
+           std::to_string(remaining()) + " left)");
+    }
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  std::string what_;
+};
+
+}  // namespace ag::artifact

@@ -1,0 +1,77 @@
+#include "artifact/crc32c.h"
+
+#include <array>
+
+namespace ag::artifact {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+#ifdef AG_ARTIFACT_SSE42
+// Defined in crc32c_sse42.cc (compiled with -msse4.2). Takes and
+// returns the internal (pre-inversion) crc state.
+uint32_t Crc32cSse42(const void* data, size_t n, uint32_t crc);
+
+namespace {
+bool Sse42Available() {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+}  // namespace
+#endif
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+#ifdef AG_ARTIFACT_SSE42
+  // The crc32 instruction computes the same Castagnoli polynomial;
+  // the table path below is the portable fallback and the reference
+  // the hardware path is tested bit-identical against.
+  if (Sse42Available()) {
+    return ~Crc32cSse42(data, n, ~seed);
+  }
+#endif
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Slicing-by-4 over aligned quads; the scalar loop handles the tail.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace ag::artifact

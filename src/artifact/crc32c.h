@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli) — the section checksum of the .agc artifact
+// container. Software slicing-by-4 table implementation: fast enough
+// that verifying every section (including multi-megabyte weight
+// payloads) stays far below the staging cost the artifact amortizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ag::artifact {
+
+// CRC32C of `n` bytes. `seed` chains partial computations:
+// Crc32c(b, n) == Crc32c(b + k, n - k, Crc32c(b, k)).
+[[nodiscard]] uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace ag::artifact

@@ -1,0 +1,111 @@
+// Hardware CRC32C path. This TU is the only one compiled with
+// -msse4.2; it is reached strictly behind a __builtin_cpu_supports
+// runtime check in crc32c.cc, so the binary still runs on CPUs
+// without the instruction. The crc32 instruction implements exactly
+// the reflected Castagnoli polynomial this format specifies, so the
+// result is bit-identical to the table path.
+//
+// The instruction is latency-bound (3 cycles, 8 bytes) on a single
+// dependency chain, which caps one stream near ~8 GB/s. Large buffers
+// are therefore processed as three independent streams whose partial
+// CRCs are merged with a precomputed zero-extension operator (the
+// classic three-way scheme from Intel's CRC note / Adler's crc32c.c),
+// tripling throughput on the weight payloads that dominate .agc files.
+#include <cstddef>
+#include <cstdint>
+
+#ifdef AG_ARTIFACT_SSE42
+#include <nmmintrin.h>
+
+namespace ag::artifact {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+constexpr size_t kBlock = 2048;          // bytes per stream per round
+
+// Applies "append k zero bytes" to a CRC state, one byte at a time —
+// only used at table-build time.
+uint32_t AdvanceZeroBytes(uint32_t crc, size_t k) {
+  for (size_t i = 0; i < k; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+    }
+  }
+  return crc;
+}
+
+// Byte-sliced table of the linear operator "advance the CRC state past
+// kBlock zero bytes": Shift(crc) folds a stream's CRC over the bytes
+// that two later streams consumed.
+struct ShiftTables {
+  uint32_t t[4][256];
+
+  ShiftTables() {
+    uint32_t basis[32];
+    for (int j = 0; j < 32; ++j) {
+      basis[j] = AdvanceZeroBytes(uint32_t{1} << j, kBlock);
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        uint32_t v = 0;
+        for (int bit = 0; bit < 8; ++bit) {
+          if ((b >> bit) & 1u) v ^= basis[i * 8 + bit];
+        }
+        t[i][b] = v;
+      }
+    }
+  }
+
+  [[nodiscard]] uint32_t Shift(uint32_t crc) const {
+    return t[0][crc & 0xFFu] ^ t[1][(crc >> 8) & 0xFFu] ^
+           t[2][(crc >> 16) & 0xFFu] ^ t[3][crc >> 24];
+  }
+};
+
+const ShiftTables& GetShiftTables() {
+  static const ShiftTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cSse42(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  if (n >= 3 * kBlock) {
+    const ShiftTables& shift = GetShiftTables();
+    do {
+      const auto* q0 = reinterpret_cast<const uint8_t*>(p);
+      const auto* q1 = q0 + kBlock;
+      const auto* q2 = q1 + kBlock;
+      uint32_t c0 = crc;
+      uint32_t c1 = 0;
+      uint32_t c2 = 0;
+      for (size_t i = 0; i < kBlock; i += 8) {
+        uint64_t v0, v1, v2;
+        __builtin_memcpy(&v0, q0 + i, 8);
+        __builtin_memcpy(&v1, q1 + i, 8);
+        __builtin_memcpy(&v2, q2 + i, 8);
+        c0 = static_cast<uint32_t>(_mm_crc32_u64(c0, v0));
+        c1 = static_cast<uint32_t>(_mm_crc32_u64(c1, v1));
+        c2 = static_cast<uint32_t>(_mm_crc32_u64(c2, v2));
+      }
+      crc = shift.Shift(shift.Shift(c0) ^ c1) ^ c2;
+      p += 3 * kBlock;
+      n -= 3 * kBlock;
+    } while (n >= 3 * kBlock);
+  }
+  while (n >= 8) {
+    uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, v));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+}  // namespace ag::artifact
+#endif  // AG_ARTIFACT_SSE42

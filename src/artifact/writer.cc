@@ -1,0 +1,364 @@
+// .agc writer — serializes an ArtifactModule into the container format
+// described in artifact.h. Layout decisions that matter:
+//   - Graphs are written in pre-order (outer before subgraphs), nodes in
+//     creation order: input references are always backward, so the
+//     reader can rebuild each graph in one pass and reject forward
+//     references outright.
+//   - Tensor payloads are interned by buffer identity (aliased weights
+//     serialize once) into one section written LAST with every payload
+//     64-byte aligned — the precondition for the reader's zero-copy
+//     mmap path.
+//   - Plans serialize the compiled Step structure verbatim (kind, input
+//     refs, move flags, deduped successors, pending counts, args_used)
+//     so the loader installs them without re-running CompilePlan; only
+//     kernel pointers are re-resolved at load (they are process-local).
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "artifact/bytes.h"
+#include "artifact/crc32c.h"
+#include "support/error.h"
+
+namespace ag::artifact {
+
+const char* SectionName(uint32_t id) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kMeta:
+      return "meta";
+    case SectionId::kGraphs:
+      return "graphs";
+    case SectionId::kPlans:
+      return "plans";
+    case SectionId::kVariables:
+      return "variables";
+    case SectionId::kTensorData:
+      return "tensors";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Pre-order registry of one function's graphs and their nodes. Both the
+// graphs section and the plans section encode (graph index, node index)
+// pairs against this numbering, so writer and reader agree by
+// construction.
+struct GraphIndexer {
+  std::vector<const graph::Graph*> graphs;
+  std::unordered_map<const graph::Graph*, uint32_t> graph_index;
+  // node -> (graph index, node index within that graph)
+  std::unordered_map<const graph::Node*, std::pair<uint32_t, uint32_t>> nodes;
+
+  void Add(const graph::Graph* g) {
+    if (!graph_index.emplace(g, static_cast<uint32_t>(graphs.size()))
+             .second) {
+      return;
+    }
+    graphs.push_back(g);
+    const uint32_t gi = graph_index.at(g);
+    const auto& owned = g->nodes();
+    for (uint32_t ni = 0; ni < owned.size(); ++ni) {
+      nodes.emplace(owned[ni].get(), std::make_pair(gi, ni));
+    }
+    for (const auto& node : owned) {
+      for (const auto& [key, attr] : node->attrs()) {
+        if (const auto* sub =
+                std::get_if<std::shared_ptr<graph::Graph>>(&attr)) {
+          Add(sub->get());
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::pair<uint32_t, uint32_t> IndexOf(
+      const graph::Node* node) const {
+    auto it = nodes.find(node);
+    if (it == nodes.end()) {
+      throw InternalError(
+          "artifact: node '" + node->name() +
+          "' is not owned by any graph of the function being serialized");
+    }
+    return it->second;
+  }
+};
+
+// Interns tensor payloads into the (future) tensor-data section,
+// deduplicating by buffer identity so aliased tensors serialize once.
+struct PayloadPool {
+  ByteWriter blob;
+  std::map<std::pair<const float*, int64_t>, uint64_t> offsets;
+
+  uint64_t Intern(const Tensor& t) {
+    const std::pair<const float*, int64_t> key{t.data(), t.num_elements()};
+    auto it = offsets.find(key);
+    if (it != offsets.end()) return it->second;
+    blob.PadTo(kTensorAlignment);
+    const uint64_t offset = blob.size();
+    blob.Bytes(t.data(),
+               static_cast<size_t>(t.num_elements()) * sizeof(float));
+    offsets.emplace(key, offset);
+    return offset;
+  }
+};
+
+void WriteTensorRef(ByteWriter& w, const Tensor& t, PayloadPool& pool) {
+  w.U8(static_cast<uint8_t>(t.dtype()));
+  const auto& dims = t.shape().dims();
+  w.U32(static_cast<uint32_t>(dims.size()));
+  for (int64_t d : dims) w.I64(d);
+  w.I64(t.num_elements());
+  w.U64(pool.Intern(t));
+}
+
+void WriteOutputRef(ByteWriter& w, const graph::Output& out,
+                    const GraphIndexer& ix) {
+  const auto [gi, ni] = ix.IndexOf(out.node);
+  w.U32(gi);
+  w.U32(ni);
+  w.I32(out.index);
+}
+
+void WriteNode(ByteWriter& w, const graph::Node& node,
+               const GraphIndexer& ix, uint32_t graph_index,
+               PayloadPool& pool) {
+  w.Str(node.name());
+  w.Str(node.op());
+  w.U32(static_cast<uint32_t>(node.num_outputs()));
+  w.U32(static_cast<uint32_t>(node.inputs().size()));
+  for (const graph::Output& in : node.inputs()) {
+    const auto [gi, ni] = ix.IndexOf(in.node);
+    if (gi != graph_index) {
+      throw InternalError("artifact: node '" + node.name() +
+                          "' has a cross-graph input (graph invariant "
+                          "AGV102 violated before save)");
+    }
+    w.U32(ni);
+    w.I32(in.index);
+  }
+  for (int i = 0; i < node.num_outputs(); ++i) {
+    w.U8(static_cast<uint8_t>(node.output_dtype(i)));
+    w.U8(node.output_is_list(i) ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(node.attrs().size()));
+  for (const auto& [key, attr] : node.attrs()) {
+    w.Str(key);
+    if (const auto* v = std::get_if<int64_t>(&attr)) {
+      w.U8(0);
+      w.I64(*v);
+    } else if (const auto* d = std::get_if<double>(&attr)) {
+      w.U8(1);
+      w.F64(*d);
+    } else if (const auto* s = std::get_if<std::string>(&attr)) {
+      w.U8(2);
+      w.Str(*s);
+    } else if (const auto* t = std::get_if<Tensor>(&attr)) {
+      w.U8(3);
+      WriteTensorRef(w, *t, pool);
+    } else if (const auto* dt = std::get_if<DType>(&attr)) {
+      w.U8(4);
+      w.U8(static_cast<uint8_t>(*dt));
+    } else if (const auto* sub =
+                   std::get_if<std::shared_ptr<graph::Graph>>(&attr)) {
+      w.U8(5);
+      w.U32(ix.graph_index.at(sub->get()));
+    } else if (const auto* ints = std::get_if<std::vector<int>>(&attr)) {
+      w.U8(6);
+      w.U32(static_cast<uint32_t>(ints->size()));
+      for (int v : *ints) w.I32(v);
+    } else {
+      throw InternalError("artifact: attr '" + key + "' of node '" +
+                          node.name() + "' has an unserializable type");
+    }
+  }
+}
+
+void WriteGraphTable(ByteWriter& w, const ArtifactFunction& fn,
+                     const GraphIndexer& ix, PayloadPool& pool) {
+  w.Str(fn.name);
+  w.U32(static_cast<uint32_t>(fn.feed_names.size()));
+  for (const std::string& name : fn.feed_names) w.Str(name);
+  w.U8(fn.fetch_was_tuple ? 1 : 0);
+  w.U32(static_cast<uint32_t>(ix.graphs.size()));
+  for (uint32_t gi = 0; gi < ix.graphs.size(); ++gi) {
+    const graph::Graph* g = ix.graphs[gi];
+    const auto* fg = dynamic_cast<const graph::FuncGraph*>(g);
+    w.U8(fg != nullptr ? 1 : 0);
+    if (fg != nullptr) w.I32(fg->num_explicit_args());
+    w.U32(static_cast<uint32_t>(g->nodes().size()));
+    for (const auto& node : g->nodes()) {
+      WriteNode(w, *node, ix, gi, pool);
+    }
+    if (fg != nullptr) {
+      w.U32(static_cast<uint32_t>(fg->captures.size()));
+      for (const graph::Output& c : fg->captures) WriteOutputRef(w, c, ix);
+      w.U32(static_cast<uint32_t>(fg->capture_args.size()));
+      for (const graph::Node* arg : fg->capture_args) {
+        const auto [agi, ani] = ix.IndexOf(arg);
+        if (agi != gi) {
+          throw InternalError(
+              "artifact: capture Arg outside its own subgraph");
+        }
+        w.U32(ani);
+      }
+      w.U32(static_cast<uint32_t>(fg->returns.size()));
+      for (const graph::Output& r : fg->returns) WriteOutputRef(w, r, ix);
+    }
+  }
+  w.U32(static_cast<uint32_t>(fn.fetches.size()));
+  for (const graph::Output& f : fn.fetches) WriteOutputRef(w, f, ix);
+}
+
+void WritePlan(ByteWriter& w, const exec::Session::Plan& plan,
+               const GraphIndexer& ix) {
+  w.U32(static_cast<uint32_t>(plan.steps.size()));
+  for (const auto& step : plan.steps) {
+    const auto [gi, ni] = ix.IndexOf(step.node);
+    w.U32(gi);
+    w.U32(ni);
+    w.U8(static_cast<uint8_t>(step.kind));
+    w.U32(static_cast<uint32_t>(step.inputs.size()));
+    for (const auto& in : step.inputs) {
+      w.I32(in.step);
+      w.I32(in.output);
+    }
+    if (step.input_move.size() != step.inputs.size()) {
+      throw InternalError("artifact: plan step move flags out of sync");
+    }
+    for (uint8_t m : step.input_move) w.U8(m);
+    w.U32(static_cast<uint32_t>(step.successors.size()));
+    for (int s : step.successors) w.I32(s);
+    w.I32(step.pending_init);
+  }
+  w.U32(static_cast<uint32_t>(plan.returns.size()));
+  for (const auto& r : plan.returns) {
+    w.I32(r.step);
+    w.I32(r.output);
+  }
+  if (plan.returns_move.size() != plan.returns.size()) {
+    throw InternalError("artifact: plan returns_move out of sync");
+  }
+  for (uint8_t m : plan.returns_move) w.U8(m);
+  w.U32(static_cast<uint32_t>(plan.args_used.size()));
+  for (char b : plan.args_used) w.U8(static_cast<uint8_t>(b));
+}
+
+}  // namespace
+
+void WriteArtifact(const std::string& path, const ArtifactModule& module) {
+  // Per-function graph numbering, shared by the graphs/plans/variables
+  // encoders.
+  std::vector<GraphIndexer> indexers(module.functions.size());
+  for (size_t i = 0; i < module.functions.size(); ++i) {
+    if (module.functions[i].graph == nullptr) {
+      throw InternalError("artifact: function '" + module.functions[i].name +
+                          "' has no graph");
+    }
+    indexers[i].Add(module.functions[i].graph.get());
+  }
+
+  PayloadPool pool;
+
+  ByteWriter meta;
+  meta.Str(module.producer);
+  meta.Str(module.source_path);
+  meta.Str(module.pipeline);
+  meta.U32(static_cast<uint32_t>(module.functions.size()));
+  for (const ArtifactFunction& fn : module.functions) meta.Str(fn.name);
+
+  ByteWriter graphs;
+  graphs.U32(static_cast<uint32_t>(module.functions.size()));
+  for (size_t i = 0; i < module.functions.size(); ++i) {
+    WriteGraphTable(graphs, module.functions[i], indexers[i], pool);
+  }
+
+  ByteWriter plans;
+  plans.U32(static_cast<uint32_t>(module.functions.size()));
+  for (size_t i = 0; i < module.functions.size(); ++i) {
+    const ArtifactFunction& fn = module.functions[i];
+    WritePlan(plans, fn.top_plan, indexers[i]);
+    plans.U32(static_cast<uint32_t>(fn.sub_plans.size()));
+    for (const auto& [sub_graph, plan] : fn.sub_plans) {
+      auto it = indexers[i].graph_index.find(sub_graph);
+      if (it == indexers[i].graph_index.end()) {
+        throw InternalError("artifact: sub-plan for a graph outside "
+                            "function '" + fn.name + "'");
+      }
+      plans.U32(it->second);
+      WritePlan(plans, plan, indexers[i]);
+    }
+  }
+
+  ByteWriter variables;
+  variables.U32(static_cast<uint32_t>(module.functions.size()));
+  for (const ArtifactFunction& fn : module.functions) {
+    variables.U32(static_cast<uint32_t>(fn.variables.size()));
+    for (const auto& [name, value] : fn.variables) {
+      variables.Str(name);
+      WriteTensorRef(variables, value, pool);
+    }
+  }
+
+  // Assemble: header + table + sections, tensor data last and 64-byte
+  // aligned so the reader can hand out zero-copy views into a mapping.
+  struct Pending {
+    uint32_t id;
+    std::string bytes;
+    size_t alignment;
+  };
+  std::vector<Pending> sections;
+  sections.push_back({static_cast<uint32_t>(SectionId::kMeta), meta.Take(),
+                      8});
+  sections.push_back({static_cast<uint32_t>(SectionId::kGraphs),
+                      graphs.Take(), 8});
+  sections.push_back({static_cast<uint32_t>(SectionId::kPlans), plans.Take(),
+                      8});
+  sections.push_back({static_cast<uint32_t>(SectionId::kVariables),
+                      variables.Take(), 8});
+  sections.push_back({static_cast<uint32_t>(SectionId::kTensorData),
+                      pool.blob.Take(), kTensorAlignment});
+
+  const size_t table_offset = kHeaderBytes;
+  size_t offset = table_offset + sections.size() * kSectionEntryBytes;
+  ByteWriter table;
+  ByteWriter body;
+  for (const Pending& s : sections) {
+    while (offset % s.alignment != 0) {
+      body.U8(0);
+      ++offset;
+    }
+    table.U32(s.id);
+    table.U32(Crc32c(s.bytes.data(), s.bytes.size()));
+    table.U64(offset);
+    table.U64(s.bytes.size());
+    body.Bytes(s.bytes.data(), s.bytes.size());
+    offset += s.bytes.size();
+  }
+
+  ByteWriter header;
+  header.U32(kMagic);
+  header.U32(kFormatVersion);
+  header.U32(0);  // flags
+  header.U32(static_cast<uint32_t>(sections.size()));
+  header.U64(offset);  // total file size
+  header.U32(Crc32c(table.str().data(), table.str().size()));
+  header.U32(0);  // pad to 32 bytes
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw ValueError("artifact: cannot open '" + path + "' for writing");
+  }
+  out.write(header.str().data(),
+            static_cast<std::streamsize>(header.size()));
+  out.write(table.str().data(), static_cast<std::streamsize>(table.size()));
+  out.write(body.str().data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) {
+    throw ValueError("artifact: short write to '" + path + "'");
+  }
+}
+
+}  // namespace ag::artifact

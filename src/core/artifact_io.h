@@ -1,0 +1,49 @@
+// Staged-function <-> .agc artifact glue: the bridge between the
+// public staging API (core::AutoGraph::Stage -> StagedFunction) and the
+// binary artifact container (src/artifact).
+//
+//   SaveArtifact      - snapshot staged functions (optimized graph,
+//                       every compiled plan, variable store, weights)
+//                       into one .agc file;
+//   StageFromArtifact - reconstruct ready-to-run StagedFunctions from
+//                       that file with zero parse / convert / trace /
+//                       optimize / CompilePlan work. The returned
+//                       sessions' plan caches are pre-populated, so
+//                       stats().plans_compiled stays 0 across Runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "core/api.h"
+
+namespace ag::core {
+
+struct SaveArtifactOptions {
+  std::string source_path;  // original .pym path, recorded in meta
+  std::string pipeline;     // optimization pipeline spec, recorded in meta
+};
+
+// Serializes `functions` (name -> staged function) to `path`. Compiles
+// the top-level plan and one sub-plan per While/Cond subgraph — the
+// exact set Session would compile lazily — so the load path never
+// compiles anything. Pointers must outlive the call only.
+void SaveArtifact(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const StagedFunction*>>&
+        functions,
+    const SaveArtifactOptions& options = {});
+
+// Loads `path` and reconstructs one StagedFunction per serialized
+// function, keyed by name (the shape serve::ServerCore registers).
+// Throws Error(kValue) on any malformed artifact — see
+// artifact::ReadArtifact for the validation ladder. `info`, when
+// non-null, receives the artifact's inspection record.
+[[nodiscard]] std::map<std::string, StagedFunction> StageFromArtifact(
+    const std::string& path, const artifact::ReadOptions& options = {},
+    artifact::InspectInfo* info = nullptr);
+
+}  // namespace ag::core

@@ -150,7 +150,8 @@ std::string SessionStats::DebugString() const {
   std::ostringstream os;
   os << "SessionStats: runs=" << runs.load()
      << " nodes_executed=" << nodes_executed.load()
-     << " kernel_invocations=" << kernel_invocations.load();
+     << " kernel_invocations=" << kernel_invocations.load()
+     << " plans_compiled=" << plans_compiled.load();
   return os.str();
 }
 
@@ -593,6 +594,7 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
 Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
                                    bool allow_args,
                                    const PlanCompileOptions& options) {
+  ++stats_.plans_compiled;
   Plan plan;
   std::unordered_map<const Node*, int> step_of;
   // Post-order DFS from the returns gives a topological schedule over
@@ -997,6 +999,24 @@ Session::Plan Session::CompilePlan(const std::vector<Output>& returns,
   }
 #endif
   return plan;
+}
+
+void Session::InstallPlan(const graph::Graph* subgraph, Plan plan) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plans_.try_emplace(subgraph, std::move(plan));
+}
+
+void Session::InstallTopPlan(const std::vector<Output>& fetches, Plan plan) {
+  std::vector<std::pair<const Node*, int>> key;
+  key.reserve(fetches.size());
+  for (const Output& f : fetches) key.emplace_back(f.node, f.index);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  top_plans_.try_emplace(std::move(key), std::move(plan));
+}
+
+std::map<std::string, Tensor> Session::SnapshotVariables() const {
+  std::lock_guard<std::mutex> lock(var_mu_);
+  return variables_;
 }
 
 const Session::Plan& Session::PlanFor(const FuncGraph& fg, RunCtx& ctx) {

@@ -67,6 +67,10 @@ struct SessionStats {
   std::atomic<int64_t> nodes_executed{0};  // node evals incl. control flow
   std::atomic<int64_t> kernel_invocations{0};  // kernel calls (cumulative)
   std::atomic<int64_t> runs{0};
+  // CompilePlan invocations. Stays 0 for sessions whose plan caches were
+  // pre-populated from an .agc artifact — the observable proof that
+  // artifact load skips plan compilation entirely.
+  std::atomic<int64_t> plans_compiled{0};
 
   [[nodiscard]] std::string DebugString() const;
 };
@@ -226,6 +230,20 @@ class Session {
                    bool allow_args);
   Plan CompilePlan(const std::vector<graph::Output>& returns, bool allow_args,
                    const PlanCompileOptions& options);
+
+  // Artifact load support (src/artifact): pre-populate the plan caches
+  // with plans deserialized from an .agc file so PlanFor / TopPlanFor
+  // hit without ever running CompilePlan. First install wins, matching
+  // the compile race policy. The plan must have been compiled for
+  // `subgraph->returns` / `fetches` — verify::VerifyPlan audits
+  // structure, and the artifact reader cross-checks the return
+  // endpoints before installing.
+  void InstallPlan(const graph::Graph* subgraph, Plan plan);
+  void InstallTopPlan(const std::vector<graph::Output>& fetches, Plan plan);
+
+  // Copy of the variable store (artifact save). Tensors share storage,
+  // so this is cheap.
+  [[nodiscard]] std::map<std::string, Tensor> SnapshotVariables() const;
 
  private:
   // Per-Run execution context, threaded through the call tree instead of

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -157,7 +158,7 @@ class Graph {
   [[nodiscard]] std::string UniqueName(const std::string& base);
 
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::map<std::string, int> name_counts_;
+  std::unordered_map<std::string, int> name_counts_;
   std::vector<std::string> name_scopes_;
   int next_id_ = 0;
 };

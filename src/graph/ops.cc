@@ -1,6 +1,8 @@
 #include "graph/ops.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 namespace ag::graph {
 
@@ -36,54 +38,100 @@ Output GraphContext::Resolve(Output o) {
 
 namespace {
 
-bool IsBoolProducer(const std::string& op) {
-  return op == "Less" || op == "LessEqual" || op == "Greater" ||
-         op == "GreaterEqual" || op == "Equal" || op == "NotEqual" ||
-         op == "LogicalAnd" || op == "LogicalOr" || op == "LogicalNot";
-}
+// Ops whose output dtype is fixed by the op's semantics, bucketed by
+// rule so InferDtype / InferredDtypeIsAuthoritative resolve with one
+// hash lookup instead of a chain of ~40 string compares — both sit on
+// hot paths (every OpN during tracing, every node during AGV104
+// verification, including at artifact load).
+enum class DtypeRule : uint8_t {
+  kPropagate,  // not authoritative: dtype follows the inputs
+  kBool,
+  kInt,
+  kFloat,  // float regardless of input dtype
+  kInt8,
+  kCast,
+  kFused,
+};
 
-bool IsIntProducer(const std::string& op) {
-  return op == "ArgMax" || op == "Range" || op == "Shape" || op == "Size" ||
-         op == "TensorListLen" || op == "Dim0";
-}
-
-// Float producers regardless of input dtype.
-bool IsFloatProducer(const std::string& op) {
-  return op == "Div" || op == "Exp" || op == "Log" || op == "Tanh" ||
-         op == "Sigmoid" || op == "Relu" || op == "Sqrt" ||
-         op == "Softmax" || op == "LogSoftmax" ||
-         op == "SoftmaxCrossEntropy" || op == "SoftmaxCrossEntropyGrad" ||
-         op == "OneHot" || op == "Sin" || op == "Cos" || op == "Pow" ||
-         op == "RandomNormal" || op == "RandomUniform";
+DtypeRule RuleFor(const std::string& op) {
+  static const std::unordered_map<std::string_view, DtypeRule> kRules = {
+      {"Less", DtypeRule::kBool},
+      {"LessEqual", DtypeRule::kBool},
+      {"Greater", DtypeRule::kBool},
+      {"GreaterEqual", DtypeRule::kBool},
+      {"Equal", DtypeRule::kBool},
+      {"NotEqual", DtypeRule::kBool},
+      {"LogicalAnd", DtypeRule::kBool},
+      {"LogicalOr", DtypeRule::kBool},
+      {"LogicalNot", DtypeRule::kBool},
+      {"ArgMax", DtypeRule::kInt},
+      {"Range", DtypeRule::kInt},
+      {"Shape", DtypeRule::kInt},
+      {"Size", DtypeRule::kInt},
+      {"TensorListLen", DtypeRule::kInt},
+      {"Dim0", DtypeRule::kInt},
+      {"Div", DtypeRule::kFloat},
+      {"Exp", DtypeRule::kFloat},
+      {"Log", DtypeRule::kFloat},
+      {"Tanh", DtypeRule::kFloat},
+      {"Sigmoid", DtypeRule::kFloat},
+      {"Relu", DtypeRule::kFloat},
+      {"Sqrt", DtypeRule::kFloat},
+      {"Softmax", DtypeRule::kFloat},
+      {"LogSoftmax", DtypeRule::kFloat},
+      {"SoftmaxCrossEntropy", DtypeRule::kFloat},
+      {"SoftmaxCrossEntropyGrad", DtypeRule::kFloat},
+      {"OneHot", DtypeRule::kFloat},
+      {"Sin", DtypeRule::kFloat},
+      {"Cos", DtypeRule::kFloat},
+      {"Pow", DtypeRule::kFloat},
+      {"RandomNormal", DtypeRule::kFloat},
+      {"RandomUniform", DtypeRule::kFloat},
+      // Quantization boundary ops (inserted by the quantize_weights
+      // pass); Dequantize/QuantizedMatMul produce float.
+      {"Quantize", DtypeRule::kInt8},
+      {"Dequantize", DtypeRule::kFloat},
+      {"QuantizedMatMul", DtypeRule::kFloat},
+      {"Cast", DtypeRule::kCast},
+      {"FusedElementwise", DtypeRule::kFused},
+  };
+  auto it = kRules.find(op);
+  return it == kRules.end() ? DtypeRule::kPropagate : it->second;
 }
 
 }  // namespace
 
 DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
                  const AttrMap& attrs) {
-  if (IsBoolProducer(op)) return DType::kBool;
-  if (IsIntProducer(op)) return DType::kInt32;
-  // Quantization boundary ops (inserted by the quantize_weights pass).
-  if (op == "Quantize") return DType::kInt8;
-  if (op == "Dequantize" || op == "QuantizedMatMul") return DType::kFloat32;
-  if (op == "Cast") {
-    auto it = attrs.find("dtype");
-    if (it != attrs.end()) return std::get<DType>(it->second);
-    return DType::kFloat32;
-  }
-  if (IsFloatProducer(op)) return DType::kFloat32;
-  // A fused chain's dtype is whatever its body returns.
-  if (op == "FusedElementwise") {
-    auto it = attrs.find("body");
-    if (it != attrs.end()) {
-      const auto* fg = dynamic_cast<const FuncGraph*>(
-          std::get<std::shared_ptr<Graph>>(it->second).get());
-      if (fg != nullptr && fg->returns.size() == 1 &&
-          fg->returns[0].valid()) {
-        return fg->returns[0].node->output_dtype(fg->returns[0].index);
-      }
+  switch (RuleFor(op)) {
+    case DtypeRule::kBool:
+      return DType::kBool;
+    case DtypeRule::kInt:
+      return DType::kInt32;
+    case DtypeRule::kInt8:
+      return DType::kInt8;
+    case DtypeRule::kFloat:
+      return DType::kFloat32;
+    case DtypeRule::kCast: {
+      auto it = attrs.find("dtype");
+      if (it != attrs.end()) return std::get<DType>(it->second);
+      return DType::kFloat32;
     }
-    return DType::kFloat32;
+    case DtypeRule::kFused: {
+      // A fused chain's dtype is whatever its body returns.
+      auto it = attrs.find("body");
+      if (it != attrs.end()) {
+        const auto* fg = dynamic_cast<const FuncGraph*>(
+            std::get<std::shared_ptr<Graph>>(it->second).get());
+        if (fg != nullptr && fg->returns.size() == 1 &&
+            fg->returns[0].valid()) {
+          return fg->returns[0].node->output_dtype(fg->returns[0].index);
+        }
+      }
+      return DType::kFloat32;
+    }
+    case DtypeRule::kPropagate:
+      break;
   }
   // Where(cond, x, y) selects between x and y: its output carries the
   // value dtype, not the bool condition in input 0. (Latent bug found
@@ -101,9 +149,7 @@ DType InferDtype(const std::string& op, const std::vector<Output>& inputs,
 }
 
 bool InferredDtypeIsAuthoritative(const std::string& op) {
-  return IsBoolProducer(op) || IsIntProducer(op) || IsFloatProducer(op) ||
-         op == "Cast" || op == "FusedElementwise" || op == "Quantize" ||
-         op == "Dequantize" || op == "QuantizedMatMul";
+  return RuleFor(op) != DtypeRule::kPropagate;
 }
 
 std::vector<Output> OpN(GraphContext& ctx, const std::string& op,

@@ -6,10 +6,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "core/artifact_io.h"
 #include "lang/parser.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
@@ -40,23 +43,68 @@ void ServerCore::LoadSource(const std::string& source,
                             const std::string& path) {
   agc_.LoadSource(source, path);
   const lang::ModulePtr module = lang::ParseStr(source, path);
+  std::vector<std::string> names;
   for (const lang::StmtPtr& stmt : module->body) {
     if (stmt->kind != lang::StmtKind::kFunctionDef) continue;
-    const std::string name =
-        lang::Cast<lang::FunctionDefStmt>(stmt)->name;
-    try {
-      const size_t num_params =
-          agc_.GetGlobal(name).AsFunction()->params.size();
-      std::vector<core::StageArg> stage_args;
-      stage_args.reserve(num_params);
-      for (size_t i = 0; i < num_params; ++i) {
-        stage_args.push_back(
-            core::StageArg::Placeholder("arg" + std::to_string(i)));
+    names.push_back(lang::Cast<lang::FunctionDefStmt>(stmt)->name);
+  }
+
+  // Top-level functions are independent, so they stage concurrently.
+  // Tracing mutates interpreter state (the active GraphContext), so
+  // each worker interprets in its own AutoGraph over the same source;
+  // results land in per-function slots, and both fns_ registration and
+  // staging_errors_ keep the deterministic source order.
+  struct Slot {
+    std::optional<core::StagedFunction> staged;
+    std::string error;
+  };
+  std::vector<Slot> slots(names.size());
+  std::atomic<size_t> next{0};
+  auto stage_worker = [&] {
+    core::AutoGraph local;
+    local.LoadSource(source, path);
+    for (size_t i = next.fetch_add(1); i < names.size();
+         i = next.fetch_add(1)) {
+      const std::string& name = names[i];
+      try {
+        const size_t num_params =
+            local.GetGlobal(name).AsFunction()->params.size();
+        std::vector<core::StageArg> stage_args;
+        stage_args.reserve(num_params);
+        for (size_t p = 0; p < num_params; ++p) {
+          stage_args.push_back(
+              core::StageArg::Placeholder("arg" + std::to_string(p)));
+        }
+        slots[i].staged = local.Stage(name, stage_args);
+      } catch (const Error& e) {
+        slots[i].error = name + ": " + e.what();
       }
-      fns_.emplace(name, agc_.Stage(name, stage_args));
-    } catch (const Error& e) {
-      staging_errors_.push_back(name + ": " + e.what());
     }
+  };
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t num_workers = std::max<size_t>(1, std::min(hw, names.size()));
+  if (num_workers <= 1) {
+    stage_worker();
+  } else {
+    std::vector<std::thread> stagers;
+    stagers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      stagers.emplace_back(stage_worker);
+    }
+    for (std::thread& t : stagers) t.join();
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (slots[i].staged.has_value()) {
+      fns_.emplace(names[i], std::move(*slots[i].staged));
+    } else {
+      staging_errors_.push_back(slots[i].error);
+    }
+  }
+}
+
+void ServerCore::LoadArtifact(const std::string& path) {
+  for (auto& [name, staged] : core::StageFromArtifact(path)) {
+    fns_.emplace(name, std::move(staged));
   }
 }
 

@@ -79,10 +79,20 @@ class ServerCore {
   ServerCore& operator=(const ServerCore&) = delete;
 
   // Stages every top-level function of the module with one placeholder
-  // per parameter. Functions that fail to stage are skipped and
+  // per parameter. Functions are staged concurrently (they are
+  // independent — each staging worker traces in its own AutoGraph), and
+  // both registration and error reporting keep the deterministic
+  // source order. Functions that fail to stage are skipped and
   // reported in `staging_errors()` — the server still serves the rest.
   // Must be called before Start().
   void LoadSource(const std::string& source, const std::string& path);
+
+  // Loads pre-staged functions from an .agc compiled artifact
+  // (core::StageFromArtifact): no parse/convert/trace/optimize/
+  // CompilePlan work at startup, weights served zero-copy from the
+  // file mapping. Throws Error(kValue) on a malformed artifact. Must be
+  // called before Start().
+  void LoadArtifact(const std::string& path);
 
   [[nodiscard]] std::vector<std::string> functions() const;
   [[nodiscard]] const std::vector<std::string>& staging_errors() const {

@@ -226,6 +226,18 @@ PooledBuffer BufferPool::Adopt(std::vector<float> values) {
   return PooledBuffer(block);
 }
 
+PooledBuffer BufferPool::WrapExternal(const float* data, int64_t size,
+                                      std::shared_ptr<const void> owner) {
+  auto* block = new detail::BufferBlock();
+  block->external_data = data;
+  block->external_size = std::max<int64_t>(0, size);
+  block->external_owner = std::move(owner);
+  // Not counted as a fresh allocation: no float storage was allocated —
+  // which is exactly what the artifact loader's "~0 fresh weight
+  // allocations" property measures.
+  return PooledBuffer(block);
+}
+
 PoolStats BufferPool::stats() const {
   PoolStats s;
   s.alloc_count = AllocCountA().load(std::memory_order_relaxed);
@@ -268,6 +280,12 @@ namespace detail {
 
 void ReleaseBlock(BufferBlock* block) {
   if (block->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (block->external_data != nullptr) {
+    // External blocks borrowed their storage (no live-bytes accounting,
+    // never pooled); dropping the block releases the owner's mapping ref.
+    delete block;
+    return;
+  }
   LiveBytesA().fetch_sub(CapacityBytes(block), std::memory_order_relaxed);
   if (!PoolingEnabled()) {
     delete block;

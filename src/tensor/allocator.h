@@ -36,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace ag::tensor {
@@ -45,11 +46,20 @@ namespace detail {
 // One heap allocation per buffer: refcount header + the vector. The
 // block (header *and* vector) is recycled as a unit, so a pool hit
 // costs zero mallocs — not even a shared_ptr control block.
+//
+// External blocks (BufferPool::WrapExternal) are the read-only variant
+// backing mmap'd artifact weights: data()/size() come from borrowed
+// memory kept alive by `external_owner`, the block never joins the
+// pool, and unique() is pinned false so no in-place kernel (CanReuse)
+// or structural reuse (SoleOwner) can ever write through the mapping.
 struct BufferBlock {
   std::atomic<int64_t> refs{1};
   int bucket = 0;       // floor(log2(storage.capacity()))
   int64_t tick = 0;     // release tick, for LRU trim (global lists only)
   std::vector<float> storage;
+  const float* external_data = nullptr;  // non-null: read-only external
+  int64_t external_size = 0;
+  std::shared_ptr<const void> external_owner;  // keeps the mapping alive
 };
 
 // Decrements and recycles/frees on last release (defined in the .cc so
@@ -95,16 +105,26 @@ class PooledBuffer {
 
   [[nodiscard]] explicit operator bool() const { return block_ != nullptr; }
   [[nodiscard]] const float* data() const {
-    return block_->storage.data();
+    return block_->external_data != nullptr ? block_->external_data
+                                            : block_->storage.data();
   }
+  // Callers must never reach this for an external (read-only) block;
+  // every mutation path is gated on unique(), which external blocks
+  // pin to false.
   [[nodiscard]] float* mutable_data() { return block_->storage.data(); }
-  [[nodiscard]] size_t size() const { return block_->storage.size(); }
+  [[nodiscard]] size_t size() const {
+    return block_->external_data != nullptr
+               ? static_cast<size_t>(block_->external_size)
+               : block_->storage.size();
+  }
 
   // True when this handle is the only reference — the precondition for
   // in-place kernel writes (checked together with PoolingEnabled() by
-  // detail::TensorAccess; see tensor.h).
+  // detail::TensorAccess; see tensor.h). External (mmap-backed) blocks
+  // report false unconditionally: their storage is read-only no matter
+  // how many handles exist.
   [[nodiscard]] bool unique() const {
-    return block_ != nullptr &&
+    return block_ != nullptr && block_->external_data == nullptr &&
            block_->refs.load(std::memory_order_acquire) == 1;
   }
 
@@ -147,6 +167,13 @@ class BufferPool {
   // Wraps an existing vector without copying (Tensor::FromVector's
   // zero-copy path). Adopted blocks join the pool on release.
   PooledBuffer Adopt(std::vector<float> values);
+  // Wraps read-only external storage (e.g. an mmap'd artifact section)
+  // without copying or counting a fresh allocation. `owner` keeps the
+  // backing memory alive for the block's lifetime; the block is freed —
+  // never pooled — on last release, and unique() is always false so
+  // in-place kernels can never write through it.
+  PooledBuffer WrapExternal(const float* data, int64_t size,
+                            std::shared_ptr<const void> owner);
 
   [[nodiscard]] PoolStats stats() const;
   // Frees every retained block (global lists only; tests use this to

@@ -87,6 +87,17 @@ Tensor Tensor::FromVector(std::vector<float> values, Shape shape,
                 tensor::BufferPool::Global().Adopt(std::move(values)));
 }
 
+Tensor Tensor::FromExternal(const float* data, Shape shape, DType dtype,
+                            std::shared_ptr<const void> owner) {
+  if (data == nullptr && shape.num_elements() > 0) {
+    throw ValueError("FromExternal: null data for shape " + shape.str());
+  }
+  const int64_t n = shape.num_elements();
+  return Tensor(std::move(shape), dtype,
+                tensor::BufferPool::Global().WrapExternal(data, n,
+                                                          std::move(owner)));
+}
+
 Tensor Tensor::Zeros(Shape shape, DType dtype) {
   return Full(std::move(shape), 0.0f, dtype);
 }

@@ -53,6 +53,13 @@ class Tensor {
   // without copying; the storage joins the buffer pool on release.
   static Tensor FromVector(std::vector<float> values, Shape shape,
                            DType dtype = DType::kFloat32);
+  // Wraps read-only external storage without copying — the zero-copy
+  // path for mmap'd artifact weights (src/artifact). `owner` keeps the
+  // backing memory (e.g. the file mapping) alive as long as any handle
+  // to this buffer exists. The result can never be written in place:
+  // detail::TensorAccess::CanReuse()/SoleOwner() are false for it.
+  static Tensor FromExternal(const float* data, Shape shape, DType dtype,
+                             std::shared_ptr<const void> owner);
   static Tensor Zeros(Shape shape, DType dtype = DType::kFloat32);
   static Tensor Ones(Shape shape, DType dtype = DType::kFloat32);
   static Tensor Full(Shape shape, float value, DType dtype = DType::kFloat32);

@@ -1,10 +1,12 @@
 #include "verify/plan_verify.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <variant>
@@ -36,47 +38,96 @@ void Add(std::vector<VerifyDiagnostic>* out, std::string code,
                                   std::move(where), std::move(note)});
 }
 
-// Transitive statefulness, mirroring CompilePlan's chain predicate: the
-// executor keeps its copy file-local on purpose (the verifier must not
-// share the code it is auditing), so a drift between the two shows up
-// as AGV204 findings rather than being silently agreed upon.
-bool GraphHasStatefulNode(const Graph& g,
-                          std::unordered_set<const Graph*>& seen);
+// Forward-edge transitive closure as per-step bitsets, computed once
+// per plan in one backward sweep (O(steps * edges / 64)) and queried
+// by AGV203 (one query per dataflow input) and AGV214 (one per
+// same-variable pair). Edges found to be non-forward (AGV202
+// territory) are ignored, so the sweep terminates on corrupted plans
+// too — matching what the old per-query DFS skipped.
+class Reachability {
+ public:
+  explicit Reachability(const Plan& plan)
+      : num_steps_(static_cast<int>(plan.steps.size())),
+        words_(static_cast<size_t>(num_steps_ + 63) / 64),
+        bits_(static_cast<size_t>(num_steps_) * words_, 0) {
+    for (int s = num_steps_ - 1; s >= 0; --s) {
+      uint64_t* row = Row(s);
+      for (const int next : plan.steps[static_cast<size_t>(s)].successors) {
+        if (next <= s || next >= num_steps_) continue;
+        row[static_cast<size_t>(next) / 64] |=
+            uint64_t{1} << (static_cast<size_t>(next) % 64);
+        const uint64_t* next_row = Row(next);
+        for (size_t w = 0; w < words_; ++w) row[w] |= next_row[w];
+      }
+    }
+  }
 
-bool NodeIsStateful(const Node& node,
-                    std::unordered_set<const Graph*>& seen) {
+  // True when a successor path leads from step `from` to step `to`.
+  [[nodiscard]] bool Reaches(int from, int to) const {
+    if (from >= to || from < 0 || to >= num_steps_) return false;
+    return (Row(from)[static_cast<size_t>(to) / 64] >>
+            (static_cast<size_t>(to) % 64)) &
+           1u;
+  }
+
+ private:
+  uint64_t* Row(int s) { return bits_.data() + static_cast<size_t>(s) * words_; }
+  const uint64_t* Row(int s) const {
+    return bits_.data() + static_cast<size_t>(s) * words_;
+  }
+
+  int num_steps_;
+  size_t words_;
+  std::vector<uint64_t> bits_;
+};
+
+// Memoized per-subgraph audit facts, shared across all steps of one
+// VerifyPlan call: a While step's body graph is walked once, not once
+// per stateful-chain / race-audit query. The statefulness walk
+// mirrors CompilePlan's chain predicate; the executor keeps its copy
+// file-local on purpose (the verifier must not share the code it is
+// auditing), so a drift between the two shows up as AGV204 findings
+// rather than being silently agreed upon. Values of `stateful` use -1
+// for in-progress (cycle guard, treated as false).
+struct SubgraphCache {
+  std::unordered_map<const Graph*, int> stateful;
+  std::unordered_map<const Graph*, std::set<std::string>> vars;
+};
+
+bool GraphHasStatefulNodeCached(const Graph& g, SubgraphCache& cache);
+
+bool NodeIsStatefulCached(const Node& node, SubgraphCache& cache) {
   const std::string& op = node.op();
   if (op == "Variable" || op == "Assign" || op == "Print") return true;
   for (const auto& [key, value] : node.attrs()) {
     const auto* sub = std::get_if<std::shared_ptr<Graph>>(&value);
     if (sub != nullptr && *sub != nullptr &&
-        GraphHasStatefulNode(**sub, seen)) {
+        GraphHasStatefulNodeCached(**sub, cache)) {
       return true;
     }
   }
   return false;
 }
 
-bool GraphHasStatefulNode(const Graph& g,
-                          std::unordered_set<const Graph*>& seen) {
-  if (!seen.insert(&g).second) return false;
+bool GraphHasStatefulNodeCached(const Graph& g, SubgraphCache& cache) {
+  auto [it, inserted] = cache.stateful.try_emplace(&g, -1);
+  if (!inserted) return it->second == 1;
+  bool found = false;
   for (const auto& n : g.nodes()) {
-    if (NodeIsStateful(*n, seen)) return true;
+    if (NodeIsStatefulCached(*n, cache)) {
+      found = true;
+      break;
+    }
   }
-  return false;
+  cache.stateful[&g] = found ? 1 : 0;
+  return found;
 }
 
-bool StepIsStateful(const Plan::Step& s) {
-  if (s.node == nullptr) return false;
-  std::unordered_set<const Graph*> seen;
-  return NodeIsStateful(*s.node, seen);
-}
+const std::set<std::string>& GraphVarTouchesCached(const Graph& g,
+                                                   SubgraphCache& cache);
 
-// Every variable name `node` (transitively, through subgraph attrs)
-// reads or writes.
-void CollectVarTouches(const Node& node,
-                       std::unordered_set<const Graph*>& seen,
-                       std::set<std::string>* vars) {
+void NodeVarTouchesCached(const Node& node, SubgraphCache& cache,
+                          std::set<std::string>* vars) {
   if (node.op() == "Variable" || node.op() == "Assign") {
     auto it = node.attrs().find("var_name");
     if (it != node.attrs().end()) {
@@ -88,35 +139,27 @@ void CollectVarTouches(const Node& node,
   for (const auto& [key, value] : node.attrs()) {
     const auto* sub = std::get_if<std::shared_ptr<Graph>>(&value);
     if (sub == nullptr || *sub == nullptr) continue;
-    if (!seen.insert(sub->get()).second) continue;
-    for (const auto& n : (*sub)->nodes()) {
-      CollectVarTouches(*n, seen, vars);
-    }
+    const std::set<std::string>& sub_vars =
+        GraphVarTouchesCached(**sub, cache);
+    vars->insert(sub_vars.begin(), sub_vars.end());
   }
 }
 
-// True when a successor path leads from step `from` to step `to`.
-// Edges found to be non-forward (AGV202 territory) are ignored so the
-// walk terminates on corrupted plans too.
-bool Reaches(const Plan& plan, int from, int to) {
-  if (from >= to) return false;
-  const int num_steps = static_cast<int>(plan.steps.size());
-  std::vector<char> seen(static_cast<size_t>(num_steps), 0);
-  std::vector<int> stack{from};
-  seen[static_cast<size_t>(from)] = 1;
-  while (!stack.empty()) {
-    const int s = stack.back();
-    stack.pop_back();
-    for (const int next : plan.steps[static_cast<size_t>(s)].successors) {
-      if (next <= s || next >= num_steps) continue;
-      if (next == to) return true;
-      if (next < to && seen[static_cast<size_t>(next)] == 0) {
-        seen[static_cast<size_t>(next)] = 1;
-        stack.push_back(next);
-      }
-    }
+const std::set<std::string>& GraphVarTouchesCached(const Graph& g,
+                                                   SubgraphCache& cache) {
+  auto [it, inserted] = cache.vars.try_emplace(&g);
+  if (!inserted) return it->second;  // done or in-progress (cycle guard)
+  std::set<std::string> vars;
+  for (const auto& n : g.nodes()) {
+    NodeVarTouchesCached(*n, cache, &vars);
   }
-  return false;
+  return cache.vars[&g] = std::move(vars);
+}
+
+bool StepIsStateful(const Plan::Step& s) {
+  if (s.node == nullptr) return false;
+  SubgraphCache cache;
+  return NodeIsStatefulCached(*s.node, cache);
 }
 
 Plan::Kind ExpectedKind(const std::string& op) {
@@ -208,15 +251,21 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
             StepRef(plan, i));
       }
     }
-    std::set<int> seen_succ;
-    for (const int succ : s.successors) {
+    // Successor lists are short (deduped by CompilePlan), so the
+    // duplicate check is a linear rescan of the prefix — no per-step
+    // allocation.
+    for (size_t si = 0; si < s.successors.size(); ++si) {
+      const int succ = s.successors[si];
       if (succ <= i || succ >= num_steps) {
         Add(&out, "AGV202",
             "successor " + std::to_string(succ) +
                 " is not a later step of the plan",
             StepRef(plan, i),
             "a non-forward edge makes the ready-queue cyclic");
-      } else if (!seen_succ.insert(succ).second) {
+      } else if (std::find(s.successors.begin(),
+                           s.successors.begin() + static_cast<long>(si),
+                           succ) !=
+                 s.successors.begin() + static_cast<long>(si)) {
         Add(&out, "AGV202",
             "duplicate successor edge to step " + std::to_string(succ),
             StepRef(plan, i),
@@ -229,9 +278,13 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
   // ---- AGV201: pending counts == distinct in-degree -------------------
   std::vector<int> indegree(static_cast<size_t>(num_steps), 0);
   for (int p = 0; p < num_steps; ++p) {
-    std::set<int> distinct;
-    for (const int succ : plan.steps[static_cast<size_t>(p)].successors) {
-      if (succ > p && succ < num_steps && distinct.insert(succ).second) {
+    const std::vector<int>& succs =
+        plan.steps[static_cast<size_t>(p)].successors;
+    for (size_t si = 0; si < succs.size(); ++si) {
+      const int succ = succs[si];
+      if (succ > p && succ < num_steps &&
+          std::find(succs.begin(), succs.begin() + static_cast<long>(si),
+                    succ) == succs.begin() + static_cast<long>(si)) {
         ++indegree[static_cast<size_t>(succ)];
       }
     }
@@ -256,12 +309,13 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
   // reduction drops edges a longer path implies, and the drain's
   // acq_rel pending-count decrements form a release sequence along any
   // path, so path reachability is the sound requirement.
+  const Reachability reach(plan);
   for (int i = 0; i < num_steps; ++i) {
     const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
     for (size_t j = 0; j < s.inputs.size(); ++j) {
       const int p = s.inputs[j].step;
       if (p < 0 || p >= i) continue;  // args / AGV205 territory
-      if (!Reaches(plan, p, i)) {
+      if (!reach.Reaches(p, i)) {
         Add(&out, "AGV203",
             "reads " + SlotRef(plan, s.inputs[j]) +
                 " but no successor path orders this step after the "
@@ -274,9 +328,13 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
   }
 
   // ---- AGV204: stateful chain is a direct total order -----------------
+  SubgraphCache subgraph_cache;
   int prev_stateful = -1;
   for (int i = 0; i < num_steps; ++i) {
-    if (!StepIsStateful(plan.steps[static_cast<size_t>(i)])) continue;
+    const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
+    if (s.node == nullptr || !NodeIsStatefulCached(*s.node, subgraph_cache)) {
+      continue;
+    }
     if (prev_stateful >= 0) {
       const std::vector<int>& succ =
           plan.steps[static_cast<size_t>(prev_stateful)].successors;
@@ -427,15 +485,14 @@ std::vector<VerifyDiagnostic> VerifyPlan(const Plan& plan,
       const Plan::Step& s = plan.steps[static_cast<size_t>(i)];
       if (s.node == nullptr) continue;
       std::set<std::string> vars;
-      std::unordered_set<const Graph*> seen;
-      CollectVarTouches(*s.node, seen, &vars);
+      NodeVarTouchesCached(*s.node, subgraph_cache, &vars);
       for (const std::string& v : vars) var_steps[v].push_back(i);
     }
     for (const auto& [var, steps] : var_steps) {
       for (size_t k = 1; k < steps.size(); ++k) {
         // Step lists are in plan order; pairwise-consecutive
         // reachability gives a total order by transitivity.
-        if (!Reaches(plan, steps[k - 1], steps[k])) {
+        if (!reach.Reaches(steps[k - 1], steps[k])) {
           Add(&out, "AGV214",
               StepRef(plan, steps[k - 1]) + " and " +
                   StepRef(plan, steps[k]) + " both touch variable '" +

@@ -110,6 +110,7 @@ void CheckAcyclic(const GraphScope& scope, const std::string& path,
                   std::vector<VerifyDiagnostic>* out) {
   enum : uint8_t { kWhite, kGrey, kBlack };
   std::unordered_map<const Node*, uint8_t> color;
+  color.reserve(scope.graph->num_nodes());
   for (const auto& n : scope.graph->nodes()) color[n.get()] = kWhite;
   for (const auto& root : scope.graph->nodes()) {
     if (color[root.get()] != kWhite) continue;
@@ -141,7 +142,7 @@ void CheckAcyclic(const GraphScope& scope, const std::string& path,
   }
 }
 
-void VerifyGraphInto(const Graph& g, std::vector<GraphScope>* ancestors,
+void VerifyGraphInto(const Graph& g, std::vector<const GraphScope*>* ancestors,
                      const std::string& path,
                      const GraphVerifyOptions& options,
                      std::unordered_set<const Graph*>* visited,
@@ -161,7 +162,8 @@ const Node* FindArg(const Graph& fg, int64_t index) {
 // FuncGraph capture structure (AGV103): captures and capture_args in
 // lockstep, Arg indices following the trailing-positional convention,
 // every captured endpoint alive in some enclosing graph.
-void CheckCaptures(const FuncGraph& fg, const std::vector<GraphScope>& outer,
+void CheckCaptures(const FuncGraph& fg,
+                   const std::vector<const GraphScope*>& outer,
                    const std::string& path,
                    std::vector<VerifyDiagnostic>* out) {
   const std::string where = path.empty() ? "subgraph" : path;
@@ -200,8 +202,8 @@ void CheckCaptures(const FuncGraph& fg, const std::vector<GraphScope>& outer,
       continue;
     }
     bool found = false;
-    for (const GraphScope& scope : outer) {
-      if (scope.nodes.count(ext.node) > 0) {
+    for (const GraphScope* scope : outer) {
+      if (scope->nodes.count(ext.node) > 0) {
         found = true;
         break;
       }
@@ -262,7 +264,7 @@ DType ReturnDtype(const Output& r) {
 // Cond call-site / branch-signature checks (AGV103/AGV104/AGV105) and
 // recursion into the branches.
 void CheckCond(const Node& node, const GraphScope& scope,
-               std::vector<GraphScope>* ancestors, const std::string& path,
+               std::vector<const GraphScope*>* ancestors, const std::string& path,
                const GraphVerifyOptions& options,
                std::unordered_set<const Graph*>* visited,
                std::vector<VerifyDiagnostic>* out) {
@@ -359,7 +361,7 @@ void CheckCond(const Node& node, const GraphScope& scope,
 // While call-site / loop-signature checks (AGV103/AGV105) and recursion
 // into cond/body.
 void CheckWhile(const Node& node, const GraphScope& scope,
-                std::vector<GraphScope>* ancestors, const std::string& path,
+                std::vector<const GraphScope*>* ancestors, const std::string& path,
                 const GraphVerifyOptions& options,
                 std::unordered_set<const Graph*>* visited,
                 std::vector<VerifyDiagnostic>* out) {
@@ -463,7 +465,7 @@ void CheckWhile(const Node& node, const GraphScope& scope,
                   options, visited, out);
 }
 
-void VerifyGraphInto(const Graph& g, std::vector<GraphScope>* ancestors,
+void VerifyGraphInto(const Graph& g, std::vector<const GraphScope*>* ancestors,
                      const std::string& path,
                      const GraphVerifyOptions& options,
                      std::unordered_set<const Graph*>* visited,
@@ -565,11 +567,11 @@ void VerifyGraphInto(const Graph& g, std::vector<GraphScope>* ancestors,
     }
 
     if (node.op() == "Cond") {
-      ancestors->push_back(MakeScope(g));
+      ancestors->push_back(&scope);
       CheckCond(node, scope, ancestors, path, options, visited, out);
       ancestors->pop_back();
     } else if (node.op() == "While") {
-      ancestors->push_back(MakeScope(g));
+      ancestors->push_back(&scope);
       CheckWhile(node, scope, ancestors, path, options, visited, out);
       ancestors->pop_back();
     } else {
@@ -578,7 +580,7 @@ void VerifyGraphInto(const Graph& g, std::vector<GraphScope>* ancestors,
       for (const auto& [key, value] : node.attrs()) {
         const auto* sub = std::get_if<std::shared_ptr<Graph>>(&value);
         if (sub == nullptr || *sub == nullptr) continue;
-        ancestors->push_back(MakeScope(g));
+        ancestors->push_back(&scope);
         VerifyGraphInto(**sub, ancestors,
                         key + " of '" + node.name() + "'", options, visited,
                         out);
@@ -600,7 +602,7 @@ std::string VerifyDiagnostic::str() const {
 std::vector<VerifyDiagnostic> VerifyGraph(const Graph& graph,
                                           const GraphVerifyOptions& options) {
   std::vector<VerifyDiagnostic> out;
-  std::vector<GraphScope> ancestors;
+  std::vector<const GraphScope*> ancestors;
   std::unordered_set<const Graph*> visited;
   VerifyGraphInto(graph, &ancestors, "", options, &visited, &out);
   return out;

@@ -4,12 +4,16 @@
 //   agserve [--port=N] [--workers=N] [--batch=N] [--linger-us=N]
 //           [--inter-op=N] [--intra-op=N] [--queue-depth=N]
 //           [--retries=N] [--budget-ms=N] <file.pym>
+//   agserve --artifact=model.agc [same server flags]
 // stages every top-level function of the file at startup (the paper's
-// one-time conversion cost), prints the bound port, and serves
-// length-prefixed requests (src/serve/protocol.h) against the shared
-// sessions until a client sends shutdown. --batch>1 turns on
-// cross-request dynamic batching; --retries/--budget-ms configure the
-// RunPolicy applied to every served run.
+// one-time conversion cost; functions stage concurrently), prints the
+// bound port, and serves length-prefixed requests
+// (src/serve/protocol.h) against the shared sessions until a client
+// sends shutdown. --artifact skips staging entirely: the server loads
+// pre-compiled graphs, plans, and mmap'd weights from an .agc file
+// produced by `agc compile` (millisecond cold-start). --batch>1 turns
+// on cross-request dynamic batching; --retries/--budget-ms configure
+// the RunPolicy applied to every served run.
 //
 // Client modes (talk to a running server):
 //   agserve --call=FN --port=N [--feeds=v1,v2,...] [--deadline-ms=N]
@@ -36,10 +40,13 @@ void PrintUsage() {
          "               [--linger-us=N] [--inter-op=N] [--intra-op=N]\n"
          "               [--queue-depth=N] [--retries=N] [--budget-ms=N]\n"
          "               <file.pym>\n"
+         "       agserve --artifact=model.agc [same server flags]\n"
          "       agserve --call=FN --port=N [--feeds=v1,v2,...]\n"
          "               [--deadline-ms=N]\n"
          "       agserve --probe --port=N\n"
          "       agserve --shutdown --port=N\n"
+         "  --artifact=F    serve a pre-compiled .agc artifact (from\n"
+         "                  `agc compile`) instead of staging a .pym\n"
          "  --port=N        port to listen on / connect to (default: "
          "0 = ephemeral)\n"
          "  --workers=N     dispatch threads (default 2)\n"
@@ -101,6 +108,7 @@ bool ParseFeeds(const std::string& spec, std::vector<float>* out) {
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string artifact_path;
   std::string call_fn;
   std::string feeds_spec;
   bool probe = false;
@@ -155,6 +163,8 @@ int main(int argc, char** argv) {
                         &deadline_ms)) {
         return 2;
       }
+    } else if (arg.rfind("--artifact=", 0) == 0) {
+      artifact_path = arg.substr(11);
     } else if (arg.rfind("--call=", 0) == 0) {
       call_fn = arg.substr(7);
     } else if (arg.rfind("--feeds=", 0) == 0) {
@@ -215,17 +225,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (path.empty()) {
-    PrintUsage();
-    return 2;
-  }
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "agserve: cannot read " << path << "\n";
+  if (path.empty() == artifact_path.empty()) {
+    if (!path.empty()) {
+      std::cerr << "agserve: give either a .pym file or --artifact, "
+                   "not both\n";
+    } else {
+      PrintUsage();
+    }
     return 2;
   }
   std::ostringstream buffer;
-  buffer << in.rdbuf();
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "agserve: cannot read " << path << "\n";
+      return 2;
+    }
+    buffer << in.rdbuf();
+  }
 
   try {
     ag::serve::ServerOptions options;
@@ -239,12 +256,17 @@ int main(int argc, char** argv) {
     options.policy.total_budget_ms = budget_ms;
 
     ag::serve::ServerCore core(options);
-    core.LoadSource(buffer.str(), path);
+    if (!artifact_path.empty()) {
+      core.LoadArtifact(artifact_path);
+    } else {
+      core.LoadSource(buffer.str(), path);
+    }
     for (const std::string& err : core.staging_errors()) {
       std::cerr << "agserve: warning: cannot stage " << err << "\n";
     }
     if (core.functions().empty()) {
-      std::cerr << "agserve: no stageable functions in " << path << "\n";
+      std::cerr << "agserve: no stageable functions in "
+                << (artifact_path.empty() ? path : artifact_path) << "\n";
       return 2;
     }
     core.Start();
